@@ -1,0 +1,59 @@
+// Ablation study of the design choices DESIGN.md calls out: partial
+// loading, the second load-store unit, and loop unrolling -- each
+// toggled independently on the intersection workload.
+
+#include <cstdio>
+
+#include "bench/bench_util.h"
+
+namespace dba::bench {
+namespace {
+
+void Run() {
+  PrintHeader("Ablation: partial loading x LSUs x unrolling (intersection)");
+  std::printf("%-14s %-9s %-8s %16s %16s\n", "config", "partial", "unroll",
+              "tput 50% M/s", "tput 0% M/s");
+  for (ProcessorKind kind :
+       {ProcessorKind::kDba1LsuEis, ProcessorKind::kDba2LsuEis}) {
+    for (bool partial : {false, true}) {
+      for (int unroll : {1, 32}) {
+        auto processor = MustCreate(
+            kind, {.partial_loading = partial, .unroll = unroll});
+        const double at50 = SetOpThroughput(*processor, SetOp::kIntersect,
+                                            0.5);
+        const double at0 =
+            SetOpThroughput(*processor, SetOp::kIntersect, 0.0);
+        std::printf("%-14s %-9s %-8d %16.1f %16.1f\n",
+                    std::string(hwmodel::ConfigKindName(kind)).c_str(),
+                    partial ? "yes" : "no", unroll, at50, at0);
+      }
+    }
+  }
+
+  PrintHeader("Ablation: branch-predictor influence on the scalar kernels");
+  // The scalar merge loop's "hardly predictable branch" (Section 2.3):
+  // compare mispredict counts across selectivities on DBA_1LSU.
+  auto processor = MustCreate(ProcessorKind::kDba1Lsu);
+  std::printf("%-8s %14s %18s %16s\n", "sel%", "cycles", "mispredicts",
+              "tput M/s");
+  for (double selectivity : {0.0, 0.5, 1.0}) {
+    auto pair = GenerateSetPair(kSetElements, kSetElements, selectivity,
+                                kSeed);
+    auto run =
+        processor->RunSetOperation(SetOp::kIntersect, pair->a, pair->b);
+    if (!run.ok()) std::abort();
+    std::printf("%-8.0f %14llu %18llu %16.1f\n", selectivity * 100,
+                static_cast<unsigned long long>(run->metrics.cycles),
+                static_cast<unsigned long long>(
+                    run->metrics.stats.mispredicted_branches),
+                run->metrics.throughput_meps);
+  }
+}
+
+}  // namespace
+}  // namespace dba::bench
+
+int main() {
+  dba::bench::Run();
+  return 0;
+}

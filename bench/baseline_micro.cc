@@ -1,0 +1,89 @@
+// Google-benchmark microbenchmarks of the host software baselines
+// (Section 5.4): scalar vs SIMD merge-sort and set intersection across
+// sizes and selectivities.
+
+#include <benchmark/benchmark.h>
+
+#include "baseline/scalar_baseline.h"
+#include "baseline/simd_baseline.h"
+#include "core/workload.h"
+
+namespace dba::baseline {
+namespace {
+
+void BM_ScalarMergeSort(benchmark::State& state) {
+  const auto n = static_cast<uint32_t>(state.range(0));
+  const std::vector<uint32_t> values = GenerateSortInput(n, 1);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(ScalarMergeSort(values));
+  }
+  state.SetItemsProcessed(state.iterations() * n);
+}
+BENCHMARK(BM_ScalarMergeSort)->Range(1 << 10, 1 << 19);
+
+void BM_SimdMergeSort(benchmark::State& state) {
+  const auto n = static_cast<uint32_t>(state.range(0));
+  const std::vector<uint32_t> values = GenerateSortInput(n, 1);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(SimdMergeSort(values));
+  }
+  state.SetItemsProcessed(state.iterations() * n);
+}
+BENCHMARK(BM_SimdMergeSort)->Range(1 << 10, 1 << 19);
+
+void BM_ScalarIntersect(benchmark::State& state) {
+  const auto n = static_cast<uint32_t>(state.range(0));
+  const auto selectivity = static_cast<double>(state.range(1)) / 100.0;
+  auto pair = GenerateSetPair(n, n, selectivity, 2);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(ScalarIntersect(pair->a, pair->b));
+  }
+  state.SetItemsProcessed(state.iterations() * 2 * n);
+}
+BENCHMARK(BM_ScalarIntersect)
+    ->Args({1 << 12, 50})
+    ->Args({1 << 16, 50})
+    ->Args({1 << 20, 50})
+    ->Args({1 << 16, 0})
+    ->Args({1 << 16, 100});
+
+void BM_SimdIntersect(benchmark::State& state) {
+  const auto n = static_cast<uint32_t>(state.range(0));
+  const auto selectivity = static_cast<double>(state.range(1)) / 100.0;
+  auto pair = GenerateSetPair(n, n, selectivity, 2);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(SimdIntersect(pair->a, pair->b));
+  }
+  state.SetItemsProcessed(state.iterations() * 2 * n);
+}
+BENCHMARK(BM_SimdIntersect)
+    ->Args({1 << 12, 50})
+    ->Args({1 << 16, 50})
+    ->Args({1 << 20, 50})
+    ->Args({1 << 16, 0})
+    ->Args({1 << 16, 100});
+
+void BM_ScalarUnion(benchmark::State& state) {
+  const auto n = static_cast<uint32_t>(state.range(0));
+  auto pair = GenerateSetPair(n, n, 0.5, 3);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(ScalarUnion(pair->a, pair->b));
+  }
+  state.SetItemsProcessed(state.iterations() * 2 * n);
+}
+BENCHMARK(BM_ScalarUnion)->Arg(1 << 16);
+
+void BM_ScalarDifference(benchmark::State& state) {
+  const auto n = static_cast<uint32_t>(state.range(0));
+  auto pair = GenerateSetPair(n, n, 0.5, 3);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(ScalarDifference(pair->a, pair->b));
+  }
+  state.SetItemsProcessed(state.iterations() * 2 * n);
+}
+BENCHMARK(BM_ScalarDifference)->Arg(1 << 16);
+
+}  // namespace
+}  // namespace dba::baseline
+
+BENCHMARK_MAIN();

@@ -1,0 +1,62 @@
+#ifndef DBA_BENCH_BENCH_UTIL_H_
+#define DBA_BENCH_BENCH_UTIL_H_
+
+#include <cstdio>
+#include <memory>
+#include <string>
+
+#include "core/processor.h"
+#include "core/workload.h"
+
+namespace dba::bench {
+
+/// Standard workload parameters of the evaluation (Section 5.2): sets of
+/// 5000 32-bit elements, 6500-value sort inputs, 50% selectivity.
+inline constexpr uint32_t kSetElements = 5000;
+inline constexpr uint32_t kSortElements = 6500;
+inline constexpr double kDefaultSelectivity = 0.5;
+inline constexpr uint64_t kSeed = 20140622;  // SIGMOD'14 opening day
+
+inline std::unique_ptr<Processor> MustCreate(ProcessorKind kind,
+                                             ProcessorOptions options = {}) {
+  auto processor = Processor::Create(kind, options);
+  if (!processor.ok()) {
+    std::fprintf(stderr, "failed to create processor: %s\n",
+                 processor.status().ToString().c_str());
+    std::abort();
+  }
+  return *std::move(processor);
+}
+
+inline double SetOpThroughput(Processor& processor, SetOp op,
+                              double selectivity = kDefaultSelectivity,
+                              uint32_t elements = kSetElements) {
+  auto pair = GenerateSetPair(elements, elements, selectivity, kSeed);
+  auto run = processor.RunSetOperation(op, pair->a, pair->b);
+  if (!run.ok()) {
+    std::fprintf(stderr, "set operation failed: %s\n",
+                 run.status().ToString().c_str());
+    std::abort();
+  }
+  return run->metrics.throughput_meps;
+}
+
+inline double SortThroughput(Processor& processor,
+                             uint32_t elements = kSortElements) {
+  auto values = GenerateSortInput(elements, kSeed);
+  auto run = processor.RunSort(values);
+  if (!run.ok()) {
+    std::fprintf(stderr, "sort failed: %s\n",
+                 run.status().ToString().c_str());
+    std::abort();
+  }
+  return run->metrics.throughput_meps;
+}
+
+inline void PrintHeader(const std::string& title) {
+  std::printf("\n== %s ==\n", title.c_str());
+}
+
+}  // namespace dba::bench
+
+#endif  // DBA_BENCH_BENCH_UTIL_H_

@@ -1,0 +1,112 @@
+// Compressed column scan (the "compression" candidate primitive of
+// Section 1, cf. SIMD-scan [36]): bit-unpacking throughput of the
+// merged unpack_beat instruction vs the base-ISA routine, across code
+// widths, plus an end-to-end compressed RID-list intersection.
+
+#include <cstdio>
+
+#include "bench/bench_util.h"
+#include "common/random.h"
+#include "dbkern/compression_kernels.h"
+#include "isa/assembler.h"
+#include "isa/registers.h"
+#include "mem/memory.h"
+#include "sim/cpu.h"
+#include "tie/packscan_extension.h"
+
+namespace dba::bench {
+namespace {
+
+constexpr uint64_t kSrcBase = 0x1000;
+constexpr uint64_t kDstBase = 0x80000;
+constexpr uint32_t kValues = 4096;
+
+struct UnpackResult {
+  uint64_t cycles = 0;
+};
+
+UnpackResult RunUnpack(const std::vector<uint32_t>& values, int bits,
+                       bool use_extension) {
+  sim::CoreConfig config;
+  config.num_lsus = 2;
+  config.data_bus_bits = 128;
+  config.instruction_bus_bits = 64;
+  sim::Cpu cpu(config);
+  auto memory = mem::Memory::Create(
+      {.name = "m", .base = kSrcBase, .size = 1 << 20,
+       .access_latency = 1});
+  tie::PackScanExtension extension;
+  std::vector<uint32_t> packed =
+      tie::PackScanExtension::Pack(values, bits);
+  packed.resize((packed.size() + 7) & ~size_t{3}, 0);
+  auto program = dbkern::BuildUnpackKernel(use_extension, bits);
+  if (!memory.ok() || !cpu.AttachMemory(&*memory).ok() ||
+      !extension.Attach(&cpu).ok() || !program.ok() ||
+      !memory->WriteBlock(kSrcBase, packed).ok() ||
+      !cpu.LoadProgram(*program).ok()) {
+    std::abort();
+  }
+  cpu.set_reg(isa::Reg::a0, kSrcBase);
+  cpu.set_reg(isa::Reg::a2, static_cast<uint32_t>(values.size()));
+  cpu.set_reg(isa::Reg::a4, kDstBase);
+  auto stats = cpu.Run();
+  if (!stats.ok() || cpu.reg(isa::Reg::a5) != values.size()) std::abort();
+  return {stats->cycles};
+}
+
+void Run() {
+  PrintHeader("Compressed column scan: unpack throughput (410 MHz core)");
+  Random rng(kSeed);
+
+  std::printf("%-6s %16s %16s %18s %10s\n", "bits", "sw cycles/val",
+              "hw cycles/val", "hw M values/s", "speedup");
+  for (int bits : {7, 9, 13, 17, 21, 25, 32}) {
+    std::vector<uint32_t> values(kValues);
+    const uint32_t mask =
+        bits >= 32 ? 0xFFFFFFFFu : ((1u << bits) - 1);
+    for (auto& v : values) v = rng.Next32() & mask;
+    const UnpackResult sw = RunUnpack(values, bits, false);
+    const UnpackResult hw = RunUnpack(values, bits, true);
+    const double sw_per = static_cast<double>(sw.cycles) / kValues;
+    const double hw_per = static_cast<double>(hw.cycles) / kValues;
+    std::printf("%-6d %16.2f %16.2f %18.0f %9.1fx\n", bits, sw_per, hw_per,
+                410.0 / hw_per, sw_per / hw_per);
+  }
+
+  PrintHeader("End-to-end: compressed RID lists -> unpack -> intersect");
+  auto pair = GenerateSetPair(4000, 4000, 0.5, kSeed);
+  // RIDs fit in 17 bits here (values < 4000*17).
+  const int bits = 17;
+  const UnpackResult unpack_a = RunUnpack(pair->a, bits, true);
+  const UnpackResult unpack_b = RunUnpack(pair->b, bits, true);
+  auto processor = MustCreate(ProcessorKind::kDba2LsuEis);
+  auto isect = processor->RunSetOperation(SetOp::kIntersect, pair->a,
+                                          pair->b);
+  if (!isect.ok()) std::abort();
+  const uint64_t total_cycles =
+      unpack_a.cycles + unpack_b.cycles + isect->metrics.cycles;
+  const double seconds =
+      static_cast<double>(total_cycles) / processor->frequency_hz();
+  const double compressed_bytes =
+      2.0 * 4000.0 * bits / 8.0;
+  const double uncompressed_bytes = 2.0 * 4000.0 * 4.0;
+  std::printf(
+      "2 x 4000 RIDs at %d bits: unpack %llu + %llu cycles, intersect "
+      "%llu cycles\n",
+      bits, static_cast<unsigned long long>(unpack_a.cycles),
+      static_cast<unsigned long long>(unpack_b.cycles),
+      static_cast<unsigned long long>(isect->metrics.cycles));
+  std::printf(
+      "end-to-end: %.1f M elements/s; memory traffic reduced %.1fx "
+      "(%.0f vs %.0f bytes)\n",
+      8000.0 / seconds / 1e6, uncompressed_bytes / compressed_bytes,
+      compressed_bytes, uncompressed_bytes);
+}
+
+}  // namespace
+}  // namespace dba::bench
+
+int main() {
+  dba::bench::Run();
+  return 0;
+}

@@ -1,0 +1,70 @@
+// Reproduces the pipeline analysis of paper Figures 7/10 and Table 1:
+// the instruction ordering of the EIS core loop, per-instruction issue
+// counts, the memory-interface utilization, and the theoretical peak
+// throughput ("8 elements every two cycles -> 2000 M elements/s at
+// 500 MHz").
+
+#include <cstdio>
+
+#include "bench/bench_util.h"
+#include "hwmodel/synthesis.h"
+#include "toolchain/profiler.h"
+
+namespace dba::bench {
+namespace {
+
+void Run() {
+  PrintHeader("Figure 7/10: EIS instruction schedule and peak throughput");
+
+  auto processor = MustCreate(ProcessorKind::kDba2LsuEis,
+                              {.partial_loading = true, .unroll = 1});
+  auto pair = GenerateSetPair(kSetElements, kSetElements,
+                              kDefaultSelectivity, kSeed);
+  auto run = processor->RunSetOperation(SetOp::kIntersect, pair->a, pair->b);
+  if (!run.ok()) std::abort();
+  const auto& stats = run->metrics.stats;
+  const auto& counters = processor->eis()->counters();
+
+  std::printf("core loop (unroll 1), 2x%u elements, 50%% selectivity:\n",
+              kSetElements);
+  std::printf("  cycles                      %10llu\n",
+              static_cast<unsigned long long>(stats.cycles));
+  std::printf("  SOP executions (iterations) %10llu\n",
+              static_cast<unsigned long long>(counters.sop_executions));
+  std::printf("  cycles / iteration          %10.2f  (paper: 3)\n",
+              static_cast<double>(stats.cycles) /
+                  static_cast<double>(counters.sop_executions));
+  std::printf("  LSU0 beats                  %10llu\n",
+              static_cast<unsigned long long>(stats.lsu_beats[0]));
+  std::printf("  LSU1 beats (incl. stores)   %10llu\n",
+              static_cast<unsigned long long>(stats.lsu_beats[1]));
+  std::printf("  memory-interface occupancy  %9.1f%%  (beats / 2 LSU-cycles)\n",
+              100.0 * static_cast<double>(stats.lsu_beats[0] +
+                                          stats.lsu_beats[1]) /
+                  (2.0 * static_cast<double>(stats.cycles)));
+  std::printf("  elements consumed per SOP   %10.2f\n",
+              static_cast<double>(counters.elements_consumed) /
+                  static_cast<double>(counters.sop_executions));
+
+  // Theoretical peak: both LSUs load 4 elements each, every other cycle
+  // (the store cycle alternates), at the 28 nm clock.
+  const auto at28 = hwmodel::Synthesize(hwmodel::ConfigKind::kDba2LsuEis,
+                                        hwmodel::TechNode::k28nmGfSlp);
+  const double peak_meps = 8.0 / 2.0 * at28.fmax_mhz;
+  std::printf(
+      "\ntheoretical maximum throughput: 8 elements / 2 cycles x %.0f MHz "
+      "= %.0f M elements/s (paper: 2000 M at 500 MHz)\n",
+      at28.fmax_mhz, peak_meps);
+
+  // Latency of the Figure 10 pipeline: LD -> LD_P -> SOP -> ST_S -> ST
+  // plus the loop stage.
+  std::printf("pipeline latency: 6 cycles (LD, LD_P, SOP, ST_S, ST, loop)\n");
+}
+
+}  // namespace
+}  // namespace dba::bench
+
+int main() {
+  dba::bench::Run();
+  return 0;
+}

@@ -1,0 +1,78 @@
+// Reproduces paper Figure 13: intersection throughput of the six
+// processor configurations as the selectivity sweeps from 0% to 100%
+// (5000-element sets).
+
+#include <cstdio>
+#include <optional>
+#include <vector>
+
+#include "bench/bench_util.h"
+
+namespace dba::bench {
+namespace {
+
+struct Series {
+  ProcessorKind kind;
+  std::optional<bool> partial;
+  const char* name;
+};
+
+const Series kSeries[] = {
+    {ProcessorKind::k108Mini, std::nullopt, "108Mini"},
+    {ProcessorKind::kDba1Lsu, std::nullopt, "DBA_1LSU"},
+    {ProcessorKind::kDba1LsuEis, false, "DBA_1LSU_EIS"},
+    {ProcessorKind::kDba2LsuEis, false, "DBA_2LSU_EIS"},
+    {ProcessorKind::kDba1LsuEis, true, "DBA_1LSU_EIS+p"},
+    {ProcessorKind::kDba2LsuEis, true, "DBA_2LSU_EIS+p"},
+};
+
+void SweepOperation(SetOp op, const char* title,
+                    std::vector<std::unique_ptr<Processor>>& processors) {
+  PrintHeader(title);
+  std::printf("%-5s", "sel%");
+  for (const Series& series : kSeries) std::printf(" %14s", series.name);
+  std::printf("\n");
+  for (int percent = 0; percent <= 100; percent += 10) {
+    std::printf("%4d ", percent);
+    for (auto& processor : processors) {
+      const double throughput =
+          SetOpThroughput(*processor, op, percent / 100.0);
+      std::printf(" %14.1f", throughput);
+    }
+    std::printf("\n");
+  }
+}
+
+void Run() {
+  std::vector<std::unique_ptr<Processor>> processors;
+  for (const Series& series : kSeries) {
+    ProcessorOptions options;
+    if (series.partial.has_value()) options.partial_loading = *series.partial;
+    processors.push_back(MustCreate(series.kind, options));
+  }
+
+  SweepOperation(
+      SetOp::kIntersect,
+      "Figure 13: intersection throughput [M elements/s] vs selectivity",
+      processors);
+  std::printf(
+      "\nexpected shape: all series rise with selectivity; EIS series rise "
+      "faster; partial loading converges to non-partial at 100%%.\n");
+
+  // Section 5.2: "We obtain similar results also for the other two set
+  // operation algorithms."
+  SweepOperation(SetOp::kUnion,
+                 "Union throughput vs selectivity (same shapes)",
+                 processors);
+  SweepOperation(SetOp::kDifference,
+                 "Difference throughput vs selectivity (same shapes)",
+                 processors);
+}
+
+}  // namespace
+}  // namespace dba::bench
+
+int main() {
+  dba::bench::Run();
+  return 0;
+}

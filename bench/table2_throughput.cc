@@ -1,0 +1,78 @@
+// Reproduces paper Table 2: maximum throughput [million elements per
+// second] of the six processor configurations for intersection, union,
+// difference, and merge-sort (5000-element sets / 6500-value sort
+// inputs, 50% selectivity), next to the published numbers.
+
+#include <cstdio>
+#include <optional>
+
+#include "bench/bench_util.h"
+
+namespace dba::bench {
+namespace {
+
+struct ConfigRow {
+  ProcessorKind kind;
+  std::optional<bool> partial;  // nullopt = scalar configuration
+  const char* name;
+  // Published Table 2 values: f[MHz], intersect, union, difference, sort.
+  double paper[5];
+};
+
+const ConfigRow kRows[] = {
+    {ProcessorKind::k108Mini, std::nullopt, "108Mini",
+     {442, 31.3, 26.4, 35.7, 1.7}},
+    {ProcessorKind::kDba1Lsu, std::nullopt, "DBA_1LSU",
+     {435, 50.7, 47.7, 50.4, 3.2}},
+    {ProcessorKind::kDba1LsuEis, false, "DBA_1LSU_EIS",
+     {424, 513.4, 665.0, 658.8, 29.3}},
+    {ProcessorKind::kDba2LsuEis, false, "DBA_2LSU_EIS",
+     {410, 693.0, 643.0, 637.0, 28.3}},
+    {ProcessorKind::kDba1LsuEis, true, "DBA_1LSU_EIS +partial",
+     {424, 859.0, 574.2, 859.0, 29.3}},
+    {ProcessorKind::kDba2LsuEis, true, "DBA_2LSU_EIS +partial",
+     {410, 1203.0, 780.4, 1192.6, 28.3}},
+};
+
+void Run() {
+  PrintHeader(
+      "Table 2: maximum throughput [M elements/s] (model | paper)");
+  std::printf("%-22s %-11s %19s %19s %19s %17s\n", "Processor", "f [MHz]",
+              "Intersection", "Union", "Difference", "Merge-Sort");
+
+  double mini_intersect = 0;
+  double best_intersect = 0;
+  for (const ConfigRow& row : kRows) {
+    ProcessorOptions options;
+    if (row.partial.has_value()) options.partial_loading = *row.partial;
+    auto processor = MustCreate(row.kind, options);
+    const double f = processor->synthesis().fmax_mhz;
+    const double intersect =
+        SetOpThroughput(*processor, SetOp::kIntersect);
+    const double uni = SetOpThroughput(*processor, SetOp::kUnion);
+    const double diff = SetOpThroughput(*processor, SetOp::kDifference);
+    const double sort = SortThroughput(*processor);
+    std::printf(
+        "%-22s %4.0f | %4.0f %8.1f | %7.1f %8.1f | %7.1f %8.1f | %7.1f "
+        "%7.1f | %6.1f\n",
+        row.name, f, row.paper[0], intersect, row.paper[1], uni,
+        row.paper[2], diff, row.paper[3], sort, row.paper[4]);
+    if (row.kind == ProcessorKind::k108Mini) mini_intersect = intersect;
+    if (row.partial.has_value() && *row.partial &&
+        row.kind == ProcessorKind::kDba2LsuEis) {
+      best_intersect = intersect;
+    }
+  }
+  std::printf(
+      "\nheadline speedup DBA_2LSU_EIS(+partial) vs 108Mini: %.1fx "
+      "(paper: 38.4x)\n",
+      best_intersect / mini_intersect);
+}
+
+}  // namespace
+}  // namespace dba::bench
+
+int main() {
+  dba::bench::Run();
+  return 0;
+}

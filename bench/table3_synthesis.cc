@@ -1,0 +1,69 @@
+// Reproduces paper Table 3: synthesis results (logic/memory area,
+// maximum frequency, power) for all five configurations at 65 nm and for
+// DBA_2LSU_EIS at 28 nm, from the analytical hardware model.
+
+#include <cstdio>
+
+#include "bench/bench_util.h"
+#include "hwmodel/synthesis.h"
+
+namespace dba::bench {
+namespace {
+
+using hwmodel::ConfigKind;
+using hwmodel::Synthesize;
+using hwmodel::TechNode;
+
+struct Row {
+  ConfigKind kind;
+  TechNode node;
+  // Published: logic, mem, fmax, power.
+  double paper[4];
+};
+
+const Row kRows[] = {
+    {ConfigKind::k108Mini, TechNode::k65nmTsmcLp, {0.2201, 0.0, 442, 27.4}},
+    {ConfigKind::kDba1Lsu, TechNode::k65nmTsmcLp, {0.177, 0.874, 435, 56.6}},
+    {ConfigKind::kDba2Lsu, TechNode::k65nmTsmcLp, {0.177, 0.870, 429, 57.1}},
+    {ConfigKind::kDba1LsuEis, TechNode::k65nmTsmcLp,
+     {0.523, 0.874, 424, 123.5}},
+    {ConfigKind::kDba2LsuEis, TechNode::k65nmTsmcLp,
+     {0.645, 0.870, 410, 135.1}},
+    {ConfigKind::kDba2LsuEis, TechNode::k28nmGfSlp,
+     {0.169, 0.232, 500, 47.0}},
+};
+
+void Run() {
+  PrintHeader("Table 3: synthesis results (model | paper)");
+  std::printf("%-6s %-14s %19s %19s %17s %19s\n", "Tech", "Processor",
+              "A_logic [mm2]", "A_mem [mm2]", "f_max [MHz]", "P [mW]");
+  for (const Row& row : kRows) {
+    const auto report = Synthesize(row.kind, row.node);
+    std::printf(
+        "%-6s %-14s %8.4f | %6.4f %8.3f | %5.3f %7.0f | %4.0f %8.1f | "
+        "%5.1f\n",
+        std::string(hwmodel::TechNodeName(row.node)).c_str(),
+        report.config_name.c_str(), report.logic_area_mm2, row.paper[0],
+        report.mem_area_mm2, row.paper[1], report.fmax_mhz, row.paper[2],
+        report.power_mw, row.paper[3]);
+  }
+
+  const auto eis65 = Synthesize(ConfigKind::kDba2LsuEis,
+                                TechNode::k65nmTsmcLp);
+  const auto mini = Synthesize(ConfigKind::k108Mini, TechNode::k65nmTsmcLp);
+  std::printf(
+      "\nDBA_2LSU_EIS vs 108Mini total area: %.1fx (paper: ~7x)\n",
+      eis65.total_area_mm2() / mini.total_area_mm2());
+  std::printf(
+      "Intel Xeon 3040 (65 nm, 111 mm2) vs DBA_2LSU_EIS: %.0fx larger "
+      "(paper: 73x)\n",
+      111.0 / eis65.total_area_mm2());
+}
+
+}  // namespace
+}  // namespace dba::bench
+
+int main() {
+  dba::bench::Run();
+  return 0;
+}

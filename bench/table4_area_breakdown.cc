@@ -1,0 +1,34 @@
+// Reproduces paper Table 4: relative area consumption per newly
+// introduced instruction of the DBA_2LSU_EIS processor.
+
+#include <cstdio>
+
+#include "bench/bench_util.h"
+#include "hwmodel/synthesis.h"
+
+namespace dba::bench {
+namespace {
+
+void Run() {
+  PrintHeader("Table 4: relative area per EIS component, DBA_2LSU_EIS");
+  // Published percentages in table order.
+  const double paper[] = {20.5, 14.4, 14.7, 11.3, 6.8, 9.0, 17.6, 5.7};
+  std::printf("%-22s %12s %12s %12s\n", "Part", "Area [mm2]", "model [%]",
+              "paper [%]");
+  double total = 0;
+  size_t index = 0;
+  for (const auto& entry : hwmodel::EisAreaBreakdown()) {
+    std::printf("%-22s %12.4f %12.1f %12.1f\n", entry.part.c_str(),
+                entry.area_mm2, entry.percent, paper[index++]);
+    total += entry.area_mm2;
+  }
+  std::printf("%-22s %12.4f %12.1f %12.1f\n", "SUM", total, 100.0, 100.0);
+}
+
+}  // namespace
+}  // namespace dba::bench
+
+int main() {
+  dba::bench::Run();
+  return 0;
+}

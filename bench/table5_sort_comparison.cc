@@ -1,0 +1,82 @@
+// Reproduces paper Table 5: merge-sort comparison -- hwsort (our EIS
+// merge-sort on the simulated DBA_2LSU_EIS) vs swsort (Chhugani et al.
+// SIMD merge-sort; published Intel Q9550 figure plus a re-measurement of
+// our reimplementation on this host).
+
+#include <chrono>
+#include <cstdio>
+
+#include "baseline/simd_baseline.h"
+#include "bench/bench_util.h"
+#include "hwmodel/reference.h"
+
+namespace dba::bench {
+namespace {
+
+double MeasureHostSortMeps(uint32_t n) {
+  const std::vector<uint32_t> values = GenerateSortInput(n, kSeed);
+  // Warm-up + best-of-3.
+  double best_seconds = 1e30;
+  for (int repetition = 0; repetition < 3; ++repetition) {
+    const auto start = std::chrono::steady_clock::now();
+    auto sorted = baseline::SimdMergeSort(values);
+    const auto stop = std::chrono::steady_clock::now();
+    if (sorted.size() != values.size()) std::abort();  // keep it live
+    best_seconds = std::min(
+        best_seconds, std::chrono::duration<double>(stop - start).count());
+  }
+  return static_cast<double>(n) / best_seconds / 1e6;
+}
+
+void Run() {
+  PrintHeader("Table 5: merge-sort comparison (hwsort vs swsort)");
+  const hwmodel::X86Reference q9550 = hwmodel::IntelQ9550();
+
+  auto processor = MustCreate(ProcessorKind::kDba2LsuEis);
+  const double hwsort_meps = SortThroughput(*processor, kSortElements);
+  const auto& synthesis = processor->synthesis();
+  const double swsort_host_meps =
+      MeasureHostSortMeps(static_cast<uint32_t>(q9550.paper_workload_elements));
+
+  std::printf("%-28s %16s %16s\n", "", q9550.name.c_str(), "DBA_2LSU_EIS");
+  std::printf("%-28s %10.0f M/s %10.1f M/s   (paper: 60 | 28.3)\n",
+              "Throughput (elements/s)", q9550.paper_throughput_meps,
+              hwsort_meps);
+  std::printf("%-28s %12.2f GHz %10.2f GHz\n", "Clock frequency",
+              q9550.clock_ghz, synthesis.fmax_mhz / 1000.0);
+  std::printf("%-28s %14.0f W %12.3f W\n", "Max. TDP", q9550.max_tdp_w,
+              synthesis.power_mw / 1000.0);
+  std::printf("%-28s %12d/%-3d %10d/%-3d\n", "Cores/Threads", q9550.cores,
+              q9550.threads, 1, 1);
+  std::printf("%-28s %13d nm %12d nm\n", "Feature size", q9550.feature_nm,
+              65);
+  std::printf("%-28s %12.0f mm2 %11.1f mm2\n", "Area (logic & memory)",
+              q9550.die_area_mm2, synthesis.total_area_mm2());
+
+  std::printf("\nderived comparisons:\n");
+  std::printf("  swsort/hwsort throughput: %.2fx (paper: ~2x)\n",
+              q9550.paper_throughput_meps / hwsort_meps);
+  std::printf("  power ratio Q9550/DBA: %.0fx (paper: ~700x)\n",
+              hwmodel::PowerRatio(q9550, synthesis.power_mw));
+  std::printf(
+      "  energy/element: swsort %.2f nJ vs hwsort %.3f nJ -> %.0fx less\n",
+      hwmodel::EnergyPerElementNj(q9550.max_tdp_w * 1000.0,
+                                  q9550.paper_throughput_meps),
+      hwmodel::EnergyPerElementNj(synthesis.power_mw, hwsort_meps),
+      hwmodel::EnergyPerElementNj(q9550.max_tdp_w * 1000.0,
+                                  q9550.paper_throughput_meps) /
+          hwmodel::EnergyPerElementNj(synthesis.power_mw, hwsort_meps));
+  std::printf(
+      "  swsort reimplementation on this host (%u values, %s): %.0f M/s\n",
+      static_cast<uint32_t>(q9550.paper_workload_elements),
+      baseline::SimdBaselineUsesVectorUnit() ? "SSE4.1" : "portable",
+      swsort_host_meps);
+}
+
+}  // namespace
+}  // namespace dba::bench
+
+int main() {
+  dba::bench::Run();
+  return 0;
+}

@@ -1,0 +1,85 @@
+// Reproduces paper Table 6: sorted-set intersection comparison -- hwset
+// (EIS intersection on the simulated DBA_2LSU_EIS, 2 x 2500 values) vs
+// swset (Schlegel et al. SIMD intersection; published Intel i7-920
+// figure plus a host re-measurement on 2 x 10M values), including the
+// 960x energy headline.
+
+#include <chrono>
+#include <cstdio>
+
+#include "baseline/simd_baseline.h"
+#include "bench/bench_util.h"
+#include "hwmodel/reference.h"
+
+namespace dba::bench {
+namespace {
+
+double MeasureHostIntersectMeps(uint32_t n) {
+  auto pair = GenerateSetPair(n, n, kDefaultSelectivity, kSeed);
+  double best_seconds = 1e30;
+  for (int repetition = 0; repetition < 3; ++repetition) {
+    const auto start = std::chrono::steady_clock::now();
+    auto result = baseline::SimdIntersect(pair->a, pair->b);
+    const auto stop = std::chrono::steady_clock::now();
+    if (result.size() != pair->common) std::abort();
+    best_seconds = std::min(
+        best_seconds, std::chrono::duration<double>(stop - start).count());
+  }
+  return 2.0 * n / best_seconds / 1e6;
+}
+
+void Run() {
+  PrintHeader("Table 6: sorted-set intersection comparison (hwset vs swset)");
+  const hwmodel::X86Reference i7 = hwmodel::IntelI7920();
+
+  auto processor = MustCreate(ProcessorKind::kDba2LsuEis);
+  // Paper: "intersecting two sets with 2500 values each in hwset".
+  const double hwset_meps =
+      SetOpThroughput(*processor, SetOp::kIntersect, kDefaultSelectivity,
+                      2500);
+  const auto& synthesis = processor->synthesis();
+  const double swset_host_meps = MeasureHostIntersectMeps(10000000);
+
+  std::printf("%-28s %16s %16s\n", "", i7.name.c_str(), "DBA_2LSU_EIS");
+  std::printf("%-28s %10.0f M/s %10.1f M/s   (paper: 1100 | 1203)\n",
+              "Throughput (elements/s)", i7.paper_throughput_meps,
+              hwset_meps);
+  std::printf("%-28s %12.2f GHz %10.2f GHz\n", "Clock frequency",
+              i7.clock_ghz, synthesis.fmax_mhz / 1000.0);
+  std::printf("%-28s %14.0f W %12.3f W\n", "Max. TDP", i7.max_tdp_w,
+              synthesis.power_mw / 1000.0);
+  std::printf("%-28s %12d/%-3d %10d/%-3d\n", "Cores/Threads", i7.cores,
+              i7.threads, 1, 1);
+  std::printf("%-28s %13d nm %12d nm\n", "Feature size", i7.feature_nm, 65);
+  std::printf("%-28s %12.0f mm2 %11.1f mm2\n", "Area (logic & memory)",
+              i7.die_area_mm2, synthesis.total_area_mm2());
+
+  std::printf("\nderived comparisons:\n");
+  std::printf("  hwset/swset throughput: %+.1f%% (paper: +9.4%%)\n",
+              100.0 * (hwset_meps / i7.paper_throughput_meps - 1.0));
+  std::printf(
+      "  power ratio i7-920/DBA: %.0fx -- the paper's \"more than 960x "
+      "less energy ... while providing the same performance\"\n",
+      hwmodel::PowerRatio(i7, synthesis.power_mw));
+  std::printf(
+      "  energy/element: swset %.2f nJ vs hwset %.3f nJ -> %.0fx less\n",
+      hwmodel::EnergyPerElementNj(i7.max_tdp_w * 1000.0,
+                                  i7.paper_throughput_meps),
+      hwmodel::EnergyPerElementNj(synthesis.power_mw, hwset_meps),
+      hwmodel::EnergyPerElementNj(i7.max_tdp_w * 1000.0,
+                                  i7.paper_throughput_meps) /
+          hwmodel::EnergyPerElementNj(synthesis.power_mw, hwset_meps));
+  std::printf(
+      "  swset reimplementation on this host (2 x 10M values, %s): %.0f "
+      "M/s\n",
+      baseline::SimdBaselineUsesVectorUnit() ? "SSE4.1" : "portable",
+      swset_host_meps);
+}
+
+}  // namespace
+}  // namespace dba::bench
+
+int main() {
+  dba::bench::Run();
+  return 0;
+}

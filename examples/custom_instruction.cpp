@@ -1,0 +1,74 @@
+// Extending the processor with your own instruction: the paper's
+// Figure 5 worked example (`add3_shift`) built with the TIE-like
+// framework, attached to a core, and issued from an assembled program.
+//
+// This is the extension path a downstream user follows to accelerate a
+// different database primitive (the paper: "the techniques ... can be
+// easily reused to obtain instruction sets for other (and even more
+// complex) database primitives").
+
+#include <cstdio>
+
+#include "isa/assembler.h"
+#include "isa/disassembler.h"
+#include "mem/memory.h"
+#include "sim/cpu.h"
+#include "tie/example_extension.h"
+
+int main() {
+  using dba::isa::Reg;
+
+  // A small core with a 64-bit instruction bus (FLIX-capable).
+  dba::sim::CoreConfig config;
+  config.name = "custom";
+  config.instruction_bus_bits = 64;
+  dba::sim::Cpu cpu(config);
+
+  auto memory = dba::mem::Memory::Create(
+      {.name = "ldm", .base = 0x10000, .size = 4096, .access_latency = 1});
+  if (!memory.ok() || !cpu.AttachMemory(&*memory).ok()) return 1;
+
+  // The Figure 5 extension: state8, reg32[8], and add3_shift.
+  dba::tie::ExampleExtension extension;
+  if (!extension.Attach(&cpu).ok()) return 1;
+
+  // Figure 5d, as a program:
+  //   reg32 v0, v1, v2;  WUR_state8(4);
+  //   int value = add3_shift(v0, v1, v2);
+  extension.FindRegFile("reg32")->Write(0, 100);
+  extension.FindRegFile("reg32")->Write(1, 200);
+  extension.FindRegFile("reg32")->Write(2, 4);
+
+  dba::isa::Assembler masm;
+  masm.Tie(dba::tie::ExampleExtension::kWurState8, 4);
+  // Operand packing: in0=r0, in1=r1, in2=r2, destination AR a2.
+  const uint16_t operand = 0 | (1 << 3) | (2 << 6) | (2 << 9);
+  masm.Tie(dba::tie::ExampleExtension::kAdd3Shift, operand);
+  masm.Halt();
+  auto program = masm.Finish();
+  if (!program.ok()) {
+    std::fprintf(stderr, "assembly failed: %s\n",
+                 program.status().ToString().c_str());
+    return 1;
+  }
+
+  std::printf("program listing:\n%s\n",
+              dba::isa::DisassembleProgram(*program,
+                                           cpu.MakeExtNameResolver())
+                  .c_str());
+
+  if (!cpu.LoadProgram(*program).ok()) return 1;
+  auto stats = cpu.Run();
+  if (!stats.ok()) {
+    std::fprintf(stderr, "run failed: %s\n",
+                 stats.status().ToString().c_str());
+    return 1;
+  }
+
+  std::printf("add3_shift(100, 200, 4) >> 4 = %u (expected %u)\n",
+              cpu.reg(Reg::a2), (100u + 200u + 4u) >> 4);
+  std::printf("executed in %llu cycles -- the merged instruction replaces "
+              "a 4-instruction scalar sequence\n",
+              static_cast<unsigned long long>(stats->cycles));
+  return 0;
+}

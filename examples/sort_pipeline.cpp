@@ -1,0 +1,59 @@
+// Scenario: ORDER BY on an intermediate result, plus the paper's
+// development loop (Figure 4) in action.
+//
+// The example sorts a 6500-row key column (the largest input that fits
+// the local store, Section 5.2) on the scalar core, profiles it to find
+// the hotspot -- the merge loop with its hardly predictable branch --
+// and then reruns the sort with the instruction-set extension, exactly
+// the iteration the paper's tool flow performs.
+
+#include <cstdio>
+
+#include "core/processor.h"
+#include "core/workload.h"
+#include "toolchain/profiler.h"
+
+int main() {
+  const std::vector<uint32_t> column = dba::GenerateSortInput(6500, 99);
+
+  // --- Step 1: run and profile the scalar merge-sort (the "before"). ---
+  auto scalar = dba::Processor::Create(dba::ProcessorKind::kDba1Lsu);
+  if (!scalar.ok()) return 1;
+  auto scalar_run = (*scalar)->RunSort(column, {.profile = true});
+  if (!scalar_run.ok()) {
+    std::fprintf(stderr, "error: %s\n",
+                 scalar_run.status().ToString().c_str());
+    return 1;
+  }
+  std::printf("scalar merge-sort: %llu cycles, %.1f M elements/s\n",
+              static_cast<unsigned long long>(scalar_run->metrics.cycles),
+              scalar_run->metrics.throughput_meps);
+  std::printf(
+      "  mispredicted branches: %llu (the merge loop's data-dependent "
+      "branch, Section 2.3)\n\n",
+      static_cast<unsigned long long>(
+          scalar_run->metrics.stats.mispredicted_branches));
+
+  // Cycle-accurate hotspot report (Figure 4, first box).
+  auto program = (*scalar)->sort_program(/*scalar=*/true);
+  if (!program.ok()) return 1;
+  const auto report = dba::toolchain::BuildProfile(
+      **program, scalar_run->metrics.stats,
+      (*scalar)->cpu().MakeExtNameResolver(), /*top_n=*/6);
+  std::printf("profiler hotspots:\n%s\n", report.ToString().c_str());
+
+  // --- Step 2: the "after": the same sort with the EIS. ---
+  auto eis = dba::Processor::Create(dba::ProcessorKind::kDba2LsuEis);
+  if (!eis.ok()) return 1;
+  auto eis_run = (*eis)->RunSort(column);
+  if (!eis_run.ok()) return 1;
+  std::printf(
+      "EIS merge-sort:    %llu cycles, %.1f M elements/s (%.1fx speedup)\n",
+      static_cast<unsigned long long>(eis_run->metrics.cycles),
+      eis_run->metrics.throughput_meps,
+      eis_run->metrics.throughput_meps /
+          scalar_run->metrics.throughput_meps);
+  std::printf("sorted output is identical: %s\n",
+              eis_run->sorted == scalar_run->sorted ? "yes" : "NO (bug!)");
+  return 0;
+}

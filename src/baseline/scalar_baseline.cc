@@ -1,0 +1,91 @@
+#include "baseline/scalar_baseline.h"
+
+#include <algorithm>
+
+namespace dba::baseline {
+
+std::vector<uint32_t> ScalarIntersect(std::span<const uint32_t> a,
+                                      std::span<const uint32_t> b) {
+  std::vector<uint32_t> out;
+  out.reserve(std::min(a.size(), b.size()));
+  size_t i = 0;
+  size_t j = 0;
+  while (i < a.size() && j < b.size()) {
+    if (a[i] == b[j]) {
+      out.push_back(a[i]);
+      ++i;
+      ++j;
+    } else if (a[i] < b[j]) {
+      ++i;
+    } else {
+      ++j;
+    }
+  }
+  return out;
+}
+
+std::vector<uint32_t> ScalarUnion(std::span<const uint32_t> a,
+                                  std::span<const uint32_t> b) {
+  std::vector<uint32_t> out;
+  out.reserve(a.size() + b.size());
+  size_t i = 0;
+  size_t j = 0;
+  while (i < a.size() && j < b.size()) {
+    if (a[i] == b[j]) {
+      out.push_back(a[i]);
+      ++i;
+      ++j;
+    } else if (a[i] < b[j]) {
+      out.push_back(a[i++]);
+    } else {
+      out.push_back(b[j++]);
+    }
+  }
+  out.insert(out.end(), a.begin() + static_cast<ptrdiff_t>(i), a.end());
+  out.insert(out.end(), b.begin() + static_cast<ptrdiff_t>(j), b.end());
+  return out;
+}
+
+std::vector<uint32_t> ScalarDifference(std::span<const uint32_t> a,
+                                       std::span<const uint32_t> b) {
+  std::vector<uint32_t> out;
+  out.reserve(a.size());
+  size_t i = 0;
+  size_t j = 0;
+  while (i < a.size() && j < b.size()) {
+    if (a[i] == b[j]) {
+      ++i;
+      ++j;
+    } else if (a[i] < b[j]) {
+      out.push_back(a[i++]);
+    } else {
+      ++j;
+    }
+  }
+  out.insert(out.end(), a.begin() + static_cast<ptrdiff_t>(i), a.end());
+  return out;
+}
+
+std::vector<uint32_t> ScalarMergeSort(std::span<const uint32_t> values) {
+  std::vector<uint32_t> src(values.begin(), values.end());
+  std::vector<uint32_t> dst(values.size());
+  const size_t n = src.size();
+  for (size_t run = 1; run < n; run *= 2) {
+    for (size_t pos = 0; pos < n; pos += 2 * run) {
+      const size_t mid = std::min(pos + run, n);
+      const size_t end = std::min(pos + 2 * run, n);
+      size_t i = pos;
+      size_t j = mid;
+      size_t out = pos;
+      while (i < mid && j < end) {
+        dst[out++] = src[j] < src[i] ? src[j++] : src[i++];
+      }
+      while (i < mid) dst[out++] = src[i++];
+      while (j < end) dst[out++] = src[j++];
+    }
+    std::swap(src, dst);
+  }
+  return src;
+}
+
+}  // namespace dba::baseline

@@ -1,0 +1,27 @@
+#ifndef DBA_BASELINE_SCALAR_BASELINE_H_
+#define DBA_BASELINE_SCALAR_BASELINE_H_
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+namespace dba::baseline {
+
+/// Host-executed scalar reference implementations (paper Figures 2/3
+/// compiled for the host x86). These serve three roles: correctness
+/// oracles for the simulator kernels, the scalar end of the Section 5.4
+/// comparison, and the starting point the SIMD baselines improve on.
+
+std::vector<uint32_t> ScalarIntersect(std::span<const uint32_t> a,
+                                      std::span<const uint32_t> b);
+std::vector<uint32_t> ScalarUnion(std::span<const uint32_t> a,
+                                  std::span<const uint32_t> b);
+std::vector<uint32_t> ScalarDifference(std::span<const uint32_t> a,
+                                       std::span<const uint32_t> b);
+
+/// Out-of-place bottom-up merge sort (the scalar merge of Figure 2).
+std::vector<uint32_t> ScalarMergeSort(std::span<const uint32_t> values);
+
+}  // namespace dba::baseline
+
+#endif  // DBA_BASELINE_SCALAR_BASELINE_H_

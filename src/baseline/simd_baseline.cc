@@ -1,0 +1,283 @@
+#include "baseline/simd_baseline.h"
+
+#include <algorithm>
+#include <array>
+#include <bit>
+
+#if defined(__SSE4_1__)
+#include <smmintrin.h>
+#if defined(__SSSE3__)
+#include <tmmintrin.h>
+#endif
+#define DBA_BASELINE_HAVE_SSE41 1
+#else
+#define DBA_BASELINE_HAVE_SSE41 0
+#endif
+
+namespace dba::baseline {
+
+bool SimdBaselineUsesVectorUnit() { return DBA_BASELINE_HAVE_SSE41 != 0; }
+
+namespace {
+
+#if DBA_BASELINE_HAVE_SSE41
+
+using V4 = __m128i;
+
+inline V4 Load(const uint32_t* p) {
+  return _mm_loadu_si128(reinterpret_cast<const __m128i*>(p));
+}
+inline void Store(uint32_t* p, V4 v) {
+  _mm_storeu_si128(reinterpret_cast<__m128i*>(p), v);
+}
+
+/// Bitonic merge network: va/vb sorted ascending in, va = lower four,
+/// vb = upper four of the merged eight out (three min/max stages).
+inline void VectorMerge(V4& va, V4& vb) {
+  const V4 rev_b = _mm_shuffle_epi32(vb, _MM_SHUFFLE(0, 1, 2, 3));
+  const V4 t0 = _mm_min_epu32(va, rev_b);
+  const V4 t1 = _mm_max_epu32(va, rev_b);
+  const V4 u0 = _mm_unpacklo_epi64(t0, t1);
+  const V4 u1 = _mm_unpackhi_epi64(t0, t1);
+  const V4 v_min = _mm_min_epu32(u0, u1);
+  const V4 v_max = _mm_max_epu32(u0, u1);
+  const V4 e0 = _mm_unpacklo_epi32(v_min, v_max);
+  const V4 e1 = _mm_unpackhi_epi32(v_min, v_max);
+  const V4 f0 = _mm_unpacklo_epi64(e0, e1);
+  const V4 f1 = _mm_unpackhi_epi64(e0, e1);
+  const V4 g0 = _mm_min_epu32(f0, f1);
+  const V4 g1 = _mm_max_epu32(f0, f1);
+  va = _mm_unpacklo_epi32(g0, g1);
+  vb = _mm_unpackhi_epi32(g0, g1);
+}
+
+/// Sorts 16 values (4 vectors) into four sorted runs of four via a
+/// column sorting network plus a 4x4 transpose (Chhugani et al.).
+inline void SortColumns16(uint32_t* p) {
+  V4 r0 = Load(p);
+  V4 r1 = Load(p + 4);
+  V4 r2 = Load(p + 8);
+  V4 r3 = Load(p + 12);
+  // Column sort (each lane independently): network (0,1)(2,3)(0,2)(1,3)(1,2).
+  auto cmpswap = [](V4& lo, V4& hi) {
+    const V4 t = _mm_min_epu32(lo, hi);
+    hi = _mm_max_epu32(lo, hi);
+    lo = t;
+  };
+  cmpswap(r0, r1);
+  cmpswap(r2, r3);
+  cmpswap(r0, r2);
+  cmpswap(r1, r3);
+  cmpswap(r1, r2);
+  // 4x4 transpose: rows become sorted runs.
+  const V4 t0 = _mm_unpacklo_epi32(r0, r1);
+  const V4 t1 = _mm_unpacklo_epi32(r2, r3);
+  const V4 t2 = _mm_unpackhi_epi32(r0, r1);
+  const V4 t3 = _mm_unpackhi_epi32(r2, r3);
+  Store(p, _mm_unpacklo_epi64(t0, t1));
+  Store(p + 4, _mm_unpackhi_epi64(t0, t1));
+  Store(p + 8, _mm_unpacklo_epi64(t2, t3));
+  Store(p + 12, _mm_unpackhi_epi64(t2, t3));
+}
+
+/// Compaction shuffle masks: entry m rearranges the lanes whose bit is
+/// set in m to the front (for _mm_shuffle_epi8).
+inline const std::array<std::array<uint8_t, 16>, 16>& CompactTable() {
+  static const std::array<std::array<uint8_t, 16>, 16> table = [] {
+    std::array<std::array<uint8_t, 16>, 16> t{};
+    for (int mask = 0; mask < 16; ++mask) {
+      int out = 0;
+      for (int lane = 0; lane < 4; ++lane) {
+        if ((mask >> lane) & 1) {
+          for (int byte = 0; byte < 4; ++byte) {
+            t[static_cast<size_t>(mask)][static_cast<size_t>(4 * out + byte)] =
+                static_cast<uint8_t>(4 * lane + byte);
+          }
+          ++out;
+        }
+      }
+      for (int byte = 4 * out; byte < 16; ++byte) {
+        t[static_cast<size_t>(mask)][static_cast<size_t>(byte)] = 0x80;
+      }
+    }
+    return t;
+  }();
+  return table;
+}
+
+#else  // !DBA_BASELINE_HAVE_SSE41
+
+/// Portable 4-lane stand-in with identical semantics.
+struct V4 {
+  uint32_t lane[4];
+};
+
+inline V4 Load(const uint32_t* p) { return V4{{p[0], p[1], p[2], p[3]}}; }
+inline void Store(uint32_t* p, V4 v) {
+  for (int i = 0; i < 4; ++i) p[i] = v.lane[i];
+}
+
+inline void VectorMerge(V4& va, V4& vb) {
+  uint32_t merged[8];
+  std::merge(va.lane, va.lane + 4, vb.lane, vb.lane + 4, merged);
+  for (int i = 0; i < 4; ++i) {
+    va.lane[i] = merged[i];
+    vb.lane[i] = merged[i + 4];
+  }
+}
+
+inline void SortColumns16(uint32_t* p) {
+  for (int run = 0; run < 4; ++run) std::sort(p + 4 * run, p + 4 * run + 4);
+}
+
+#endif  // DBA_BASELINE_HAVE_SSE41
+
+/// Three-way scalar merge used to drain the SIMD merge kernel's tail;
+/// allocation-free (it runs once per merged run pair).
+void MergeThreeWay(std::span<const uint32_t> x, std::span<const uint32_t> y,
+                   std::span<const uint32_t> z, uint32_t* out) {
+  size_t i = 0;
+  size_t j = 0;
+  size_t k = 0;
+  while (i < x.size() || j < y.size() || k < z.size()) {
+    uint32_t best = 0xFFFFFFFFu;
+    int source = -1;
+    if (i < x.size()) {
+      best = x[i];
+      source = 0;
+    }
+    if (j < y.size() && (source < 0 || y[j] < best)) {
+      best = y[j];
+      source = 1;
+    }
+    if (k < z.size() && (source < 0 || z[k] < best)) {
+      best = z[k];
+      source = 2;
+    }
+    *out++ = best;
+    if (source == 0) {
+      ++i;
+    } else if (source == 1) {
+      ++j;
+    } else {
+      ++k;
+    }
+  }
+}
+
+/// Merges [a, a_end) and [b, b_end) (both sorted) into `out` using the
+/// 4-wide bitonic merge kernel for the bulk and a scalar drain.
+void MergeRunsSimd(const uint32_t* a, const uint32_t* a_end,
+                   const uint32_t* b, const uint32_t* b_end, uint32_t* out) {
+  if (a_end - a < 4 || b_end - b < 4) {
+    std::merge(a, a_end, b, b_end, out);
+    return;
+  }
+  V4 va = Load(a);
+  a += 4;
+  V4 vb = Load(b);
+  b += 4;
+  VectorMerge(va, vb);
+  Store(out, va);
+  out += 4;
+  while (a_end - a >= 4 && b_end - b >= 4) {
+    // Refill from the run whose next element is smaller (its values
+    // interleave first with the kept upper half).
+    if (*a <= *b) {
+      va = Load(a);
+      a += 4;
+    } else {
+      va = Load(b);
+      b += 4;
+    }
+    VectorMerge(va, vb);
+    Store(out, va);
+    out += 4;
+  }
+  uint32_t kept[4];
+  Store(kept, vb);
+  MergeThreeWay({kept, 4}, {a, static_cast<size_t>(a_end - a)},
+                {b, static_cast<size_t>(b_end - b)}, out);
+}
+
+}  // namespace
+
+std::vector<uint32_t> SimdMergeSort(std::span<const uint32_t> values) {
+  std::vector<uint32_t> src(values.begin(), values.end());
+  const size_t n = src.size();
+  if (n <= 4) {
+    std::sort(src.begin(), src.end());
+    return src;
+  }
+  // Pass 0: sorted runs of four (in-register networks for full blocks
+  // of 16, scalar for the tail).
+  size_t pos = 0;
+  for (; pos + 16 <= n; pos += 16) SortColumns16(src.data() + pos);
+  for (; pos < n; pos += 4) {
+    std::sort(src.begin() + static_cast<ptrdiff_t>(pos),
+              src.begin() + static_cast<ptrdiff_t>(std::min(pos + 4, n)));
+  }
+  // Merge passes with the 4x4 bitonic kernel.
+  std::vector<uint32_t> dst(n);
+  for (size_t run = 4; run < n; run *= 2) {
+    for (size_t start = 0; start < n; start += 2 * run) {
+      const size_t mid = std::min(start + run, n);
+      const size_t end = std::min(start + 2 * run, n);
+      MergeRunsSimd(src.data() + start, src.data() + mid, src.data() + mid,
+                    src.data() + end, dst.data() + start);
+    }
+    std::swap(src, dst);
+  }
+  return src;
+}
+
+std::vector<uint32_t> SimdIntersect(std::span<const uint32_t> a,
+                                    std::span<const uint32_t> b) {
+  std::vector<uint32_t> out(std::min(a.size(), b.size()) + 4);
+  size_t count = 0;
+  size_t i = 0;
+  size_t j = 0;
+
+#if DBA_BASELINE_HAVE_SSE41
+  const auto& table = CompactTable();
+  while (i + 4 <= a.size() && j + 4 <= b.size()) {
+    const V4 va = Load(a.data() + i);
+    const V4 vb = Load(b.data() + j);
+    // All-to-all comparison: va against the four rotations of vb.
+    V4 match = _mm_cmpeq_epi32(va, vb);
+    match = _mm_or_si128(
+        match, _mm_cmpeq_epi32(va, _mm_shuffle_epi32(vb, _MM_SHUFFLE(0, 3, 2, 1))));
+    match = _mm_or_si128(
+        match, _mm_cmpeq_epi32(va, _mm_shuffle_epi32(vb, _MM_SHUFFLE(1, 0, 3, 2))));
+    match = _mm_or_si128(
+        match, _mm_cmpeq_epi32(va, _mm_shuffle_epi32(vb, _MM_SHUFFLE(2, 1, 0, 3))));
+    const int mask = _mm_movemask_ps(_mm_castsi128_ps(match));
+    const V4 shuffle = Load(reinterpret_cast<const uint32_t*>(
+        table[static_cast<size_t>(mask)].data()));
+    const V4 packed = _mm_shuffle_epi8(va, shuffle);
+    Store(out.data() + count, packed);
+    count += static_cast<size_t>(std::popcount(static_cast<unsigned>(mask)));
+    const uint32_t a_max = a[i + 3];
+    const uint32_t b_max = b[j + 3];
+    if (a_max <= b_max) i += 4;
+    if (b_max <= a_max) j += 4;
+  }
+#endif
+
+  // Scalar path / tail.
+  while (i < a.size() && j < b.size()) {
+    if (a[i] == b[j]) {
+      out[count++] = a[i];
+      ++i;
+      ++j;
+    } else if (a[i] < b[j]) {
+      ++i;
+    } else {
+      ++j;
+    }
+  }
+  out.resize(count);
+  return out;
+}
+
+}  // namespace dba::baseline

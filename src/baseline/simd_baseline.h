@@ -1,0 +1,32 @@
+#ifndef DBA_BASELINE_SIMD_BASELINE_H_
+#define DBA_BASELINE_SIMD_BASELINE_H_
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+namespace dba::baseline {
+
+/// Host-executed 4-wide SIMD baselines of Section 5.4:
+///
+///  - SimdMergeSort: the merge-sort of Chhugani et al. [6] -- in-register
+///    sorting networks build runs of four, bitonic 4x4 merge networks
+///    drive the merge passes ("swsort").
+///  - SimdIntersect: the sorted-set intersection of Schlegel et al. [33]
+///    -- blockwise all-to-all comparison with shuffle-based compaction
+///    ("swset").
+///
+/// Both use SSE4.1 intrinsics when the build target supports them and a
+/// functionally identical portable fallback otherwise.
+
+/// True when the SIMD code path is compiled in (SSE4.1).
+bool SimdBaselineUsesVectorUnit();
+
+std::vector<uint32_t> SimdMergeSort(std::span<const uint32_t> values);
+
+std::vector<uint32_t> SimdIntersect(std::span<const uint32_t> a,
+                                    std::span<const uint32_t> b);
+
+}  // namespace dba::baseline
+
+#endif  // DBA_BASELINE_SIMD_BASELINE_H_

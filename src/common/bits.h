@@ -1,0 +1,47 @@
+#ifndef DBA_COMMON_BITS_H_
+#define DBA_COMMON_BITS_H_
+
+#include <cstdint>
+
+namespace dba {
+
+/// Extracts `width` bits of `value` starting at bit `pos` (LSB = 0).
+constexpr uint64_t ExtractBits(uint64_t value, int pos, int width) {
+  return (value >> pos) & ((width >= 64) ? ~0ULL : ((1ULL << width) - 1));
+}
+
+/// Inserts the low `width` bits of `field` into `value` at bit `pos`.
+constexpr uint64_t InsertBits(uint64_t value, int pos, int width,
+                              uint64_t field) {
+  const uint64_t mask =
+      ((width >= 64) ? ~0ULL : ((1ULL << width) - 1)) << pos;
+  return (value & ~mask) | ((field << pos) & mask);
+}
+
+/// Sign-extends the low `width` bits of `value` to 64 bits.
+constexpr int64_t SignExtend(uint64_t value, int width) {
+  const uint64_t sign_bit = 1ULL << (width - 1);
+  const uint64_t masked = value & ((sign_bit << 1) - 1);
+  return static_cast<int64_t>((masked ^ sign_bit)) -
+         static_cast<int64_t>(sign_bit);
+}
+
+constexpr bool IsAligned(uint64_t value, uint64_t alignment) {
+  return (value & (alignment - 1)) == 0;
+}
+
+constexpr uint64_t AlignDown(uint64_t value, uint64_t alignment) {
+  return value & ~(alignment - 1);
+}
+
+constexpr uint64_t AlignUp(uint64_t value, uint64_t alignment) {
+  return (value + alignment - 1) & ~(alignment - 1);
+}
+
+constexpr bool IsPowerOfTwo(uint64_t value) {
+  return value != 0 && (value & (value - 1)) == 0;
+}
+
+}  // namespace dba
+
+#endif  // DBA_COMMON_BITS_H_

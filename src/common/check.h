@@ -1,0 +1,28 @@
+#ifndef DBA_COMMON_CHECK_H_
+#define DBA_COMMON_CHECK_H_
+
+#include <cstdio>
+#include <cstdlib>
+
+/// Always-on invariant checks for conditions that indicate a programming
+/// error inside the library (never for user input; user input errors are
+/// reported via Status). Aborting keeps the failure close to the bug.
+#define DBA_CHECK(cond)                                                      \
+  do {                                                                       \
+    if (!(cond)) {                                                           \
+      std::fprintf(stderr, "DBA_CHECK failed at %s:%d: %s\n", __FILE__,      \
+                   __LINE__, #cond);                                         \
+      std::abort();                                                          \
+    }                                                                        \
+  } while (false)
+
+#define DBA_CHECK_MSG(cond, msg)                                             \
+  do {                                                                       \
+    if (!(cond)) {                                                           \
+      std::fprintf(stderr, "DBA_CHECK failed at %s:%d: %s (%s)\n", __FILE__, \
+                   __LINE__, #cond, msg);                                    \
+      std::abort();                                                          \
+    }                                                                        \
+  } while (false)
+
+#endif  // DBA_COMMON_CHECK_H_

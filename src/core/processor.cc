@@ -1,0 +1,360 @@
+#include "core/processor.h"
+
+#include <algorithm>
+#include <utility>
+
+#include "common/bits.h"
+#include "dbkern/scalar_kernels.h"
+#include "isa/registers.h"
+
+namespace dba {
+
+namespace {
+
+using isa::Reg;
+
+// Flat address map of the processor model. LSU0 serves LDM0, LSU1
+// serves LDM1; the result region sits on the store port. 108Mini has no
+// local store and runs entirely from the (slower) system memory.
+constexpr uint64_t kLdm0Base = 0x0001'0000;
+constexpr uint64_t kLdm1Base = 0x0010'0000;
+constexpr uint64_t kResultBase = 0x0020'0000;
+constexpr uint64_t kResultSize = 1ull << 20;
+constexpr uint64_t kSysBase = 0x1000'0000;
+constexpr uint64_t kSysSize = 32ull << 20;
+constexpr uint32_t kSysLatencyCycles = 4;
+constexpr uint64_t kLocalDataBytesTotal = 64ull << 10;
+
+constexpr int kSortProgramKey = 99;
+
+Status ValidateStrictlyIncreasing(std::span<const uint32_t> values,
+                                  const char* which) {
+  for (size_t i = 1; i < values.size(); ++i) {
+    if (values[i] <= values[i - 1]) {
+      return Status::InvalidArgument(
+          std::string("input set ") + which +
+          " must be sorted and duplicate-free (violation at index " +
+          std::to_string(i) + ")");
+    }
+  }
+  return Status::Ok();
+}
+
+/// Bytes a set occupies in a local memory, including beat padding.
+uint64_t PaddedBytes(uint64_t elements) {
+  return AlignUp(elements * 4, mem::kBeatBytes);
+}
+
+}  // namespace
+
+Processor::Processor(ProcessorKind kind, const ProcessorOptions& options)
+    : kind_(kind),
+      options_(options),
+      synthesis_(hwmodel::Synthesize(kind, options.tech)) {}
+
+Result<std::unique_ptr<Processor>> Processor::Create(
+    ProcessorKind kind, const ProcessorOptions& options) {
+  if (options.unroll < 1 || options.unroll > 256) {
+    return Status::InvalidArgument("unroll factor must be in 1..256");
+  }
+  std::unique_ptr<Processor> processor(new Processor(kind, options));
+  DBA_RETURN_IF_ERROR(processor->Build());
+  return processor;
+}
+
+Status Processor::Build() {
+  sim::CoreConfig config;
+  config.name = std::string(hwmodel::ConfigKindName(kind_));
+  config.num_lsus = num_lsus();
+  config.branch_mispredict_penalty = 3;
+  if (uses_local_store()) {
+    config.data_bus_bits = 128;
+    config.instruction_bus_bits = 64;
+    config.instruction_memory_bytes = 32ull << 10;
+  } else {
+    config.data_bus_bits = 32;
+    config.instruction_bus_bits = 32;
+    config.instruction_memory_bytes = 0;  // fetched from system memory
+  }
+  cpu_ = std::make_unique<sim::Cpu>(config);
+
+  auto add_memory = [this](mem::MemoryConfig mem_config,
+                           mem::Memory** out) -> Status {
+    DBA_ASSIGN_OR_RETURN(mem::Memory memory,
+                         mem::Memory::Create(std::move(mem_config)));
+    memories_.push_back(std::make_unique<mem::Memory>(std::move(memory)));
+    *out = memories_.back().get();
+    return cpu_->AttachMemory(memories_.back().get());
+  };
+
+  if (uses_local_store()) {
+    const uint64_t bank_bytes =
+        num_lsus() == 2 ? kLocalDataBytesTotal / 2 : kLocalDataBytesTotal;
+    DBA_RETURN_IF_ERROR(add_memory(
+        {.name = "ldm0", .base = kLdm0Base, .size = bank_bytes,
+         .access_latency = 1, .dual_port = true},
+        &ldm0_));
+    if (num_lsus() == 2) {
+      DBA_RETURN_IF_ERROR(add_memory(
+          {.name = "ldm1", .base = kLdm1Base, .size = bank_bytes,
+           .access_latency = 1, .dual_port = true},
+          &ldm1_));
+    }
+    DBA_RETURN_IF_ERROR(add_memory(
+        {.name = "result", .base = kResultBase, .size = kResultSize,
+         .access_latency = 1, .dual_port = true},
+        &result_));
+  } else {
+    DBA_RETURN_IF_ERROR(add_memory(
+        {.name = "sysmem", .base = kSysBase, .size = kSysSize,
+         .access_latency = kSysLatencyCycles},
+        &sysmem_));
+  }
+
+  if (kind_has_eis()) {
+    eis_ = std::make_unique<eis::EisExtension>();
+    DBA_RETURN_IF_ERROR(eis_->Attach(cpu_.get()));
+  }
+  return Status::Ok();
+}
+
+uint32_t Processor::max_set_elements(uint32_t other_set_size) const {
+  if (!uses_local_store()) {
+    return static_cast<uint32_t>(kSysSize / 16);  // plenty; shared region
+  }
+  if (num_lsus() == 2) {
+    // Each set lives in its own 32 KiB bank.
+    return static_cast<uint32_t>(kLocalDataBytesTotal / 2 / 4 - 4);
+  }
+  // Both sets share the 64 KiB bank.
+  const uint64_t other_bytes = PaddedBytes(other_set_size);
+  if (other_bytes + mem::kBeatBytes >= kLocalDataBytesTotal) return 0;
+  return static_cast<uint32_t>(
+      (kLocalDataBytesTotal - other_bytes) / 4 - 4);
+}
+
+uint32_t Processor::max_sort_elements() const {
+  if (!uses_local_store()) {
+    return static_cast<uint32_t>(kSysSize / 16);
+  }
+  // Two ping-pong buffers of 4n bytes each across the local store.
+  return static_cast<uint32_t>(kLocalDataBytesTotal / 8 - 8);
+}
+
+Result<const isa::Program*> Processor::setop_program(SetOp op,
+                                                     bool scalar) {
+  return GetProgram(op, scalar);
+}
+
+Result<const isa::Program*> Processor::sort_program(bool scalar) {
+  const auto key = std::make_pair(kSortProgramKey, scalar);
+  auto it = program_cache_.find(key);
+  if (it == program_cache_.end()) {
+    Result<isa::Program> built = scalar ? dbkern::BuildScalarMergeSort()
+                                        : dbkern::BuildEisMergeSort();
+    if (!built.ok()) return built.status();
+    it = program_cache_.emplace(key, *std::move(built)).first;
+  }
+  return &it->second;
+}
+
+Result<const isa::Program*> Processor::GetProgram(SetOp op, bool scalar) {
+  const int op_key = static_cast<int>(op);
+  const auto key = std::make_pair(op_key, scalar);
+  auto it = program_cache_.find(key);
+  if (it == program_cache_.end()) {
+    Result<isa::Program> built =
+        op == SetOp::kMerge
+            ? (scalar ? dbkern::BuildScalarMergePair()
+                      : dbkern::BuildEisMergePair())
+            : (scalar ? dbkern::BuildScalarSetOp(op)
+                      : dbkern::BuildEisSetOp(op, options_.partial_loading,
+                                              options_.unroll));
+    if (!built.ok()) return built.status();
+    it = program_cache_.emplace(key, *std::move(built)).first;
+  }
+  return &it->second;
+}
+
+RunMetrics Processor::MakeMetrics(uint64_t elements,
+                                  sim::ExecStats stats) const {
+  RunMetrics metrics;
+  metrics.cycles = stats.cycles;
+  metrics.seconds = static_cast<double>(stats.cycles) / frequency_hz();
+  if (metrics.seconds > 0) {
+    metrics.throughput_meps =
+        static_cast<double>(elements) / metrics.seconds / 1e6;
+  }
+  if (metrics.throughput_meps > 0) {
+    metrics.energy_nj_per_element =
+        synthesis_.power_mw / metrics.throughput_meps;
+  }
+  metrics.stats = std::move(stats);
+  return metrics;
+}
+
+Result<SetOpRun> Processor::RunSetOperation(SetOp op,
+                                            std::span<const uint32_t> a,
+                                            std::span<const uint32_t> b,
+                                            const RunSettings& settings) {
+  if (op == SetOp::kMerge) {
+    return Status::InvalidArgument(
+        "kMerge is the merge-sort building block; use RunSort");
+  }
+  DBA_RETURN_IF_ERROR(ValidateStrictlyIncreasing(a, "A"));
+  DBA_RETURN_IF_ERROR(ValidateStrictlyIncreasing(b, "B"));
+  if (a.size() > max_set_elements(static_cast<uint32_t>(b.size())) ||
+      b.size() > max_set_elements(static_cast<uint32_t>(a.size()))) {
+    return Status::ResourceExhausted(
+        "input sets exceed the local data memories of " +
+        std::string(hwmodel::ConfigKindName(kind_)) +
+        "; stream larger sets with the data prefetcher (src/prefetch)");
+  }
+  const bool scalar = settings.force_scalar || !kind_has_eis();
+  DBA_ASSIGN_OR_RETURN(const isa::Program* program, GetProgram(op, scalar));
+  return ExecuteBinaryKernel(*program, a, b, settings);
+}
+
+Result<SetOpRun> Processor::RunMerge(std::span<const uint32_t> a,
+                                     std::span<const uint32_t> b,
+                                     const RunSettings& settings) {
+  auto validate_sorted = [](std::span<const uint32_t> values,
+                            const char* which) -> Status {
+    for (size_t i = 1; i < values.size(); ++i) {
+      if (values[i] < values[i - 1]) {
+        return Status::InvalidArgument(std::string("merge input ") + which +
+                                       " must be sorted");
+      }
+    }
+    return Status::Ok();
+  };
+  DBA_RETURN_IF_ERROR(validate_sorted(a, "A"));
+  DBA_RETURN_IF_ERROR(validate_sorted(b, "B"));
+  if (a.size() > max_set_elements(static_cast<uint32_t>(b.size())) ||
+      b.size() > max_set_elements(static_cast<uint32_t>(a.size()))) {
+    return Status::ResourceExhausted(
+        "merge inputs exceed the local data memories of " +
+        std::string(hwmodel::ConfigKindName(kind_)));
+  }
+  const bool scalar = settings.force_scalar || !kind_has_eis();
+  DBA_ASSIGN_OR_RETURN(const isa::Program* program,
+                       GetProgram(SetOp::kMerge, scalar));
+  return ExecuteBinaryKernel(*program, a, b, settings);
+}
+
+Result<SetOpRun> Processor::ExecuteBinaryKernel(
+    const isa::Program& program, std::span<const uint32_t> a,
+    std::span<const uint32_t> b, const RunSettings& settings) {
+  // Place the inputs. 2-LSU: A in LDM0, B in LDM1. 1-LSU: both in LDM0.
+  // 108Mini: everything in system memory.
+  uint64_t addr_a = 0;
+  uint64_t addr_b = 0;
+  uint64_t addr_c = 0;
+  if (!uses_local_store()) {
+    addr_a = kSysBase;
+    addr_b = addr_a + PaddedBytes(a.size());
+    addr_c = addr_b + PaddedBytes(b.size());
+    sysmem_->Clear();
+    DBA_RETURN_IF_ERROR(sysmem_->WriteBlock(addr_a, a));
+    DBA_RETURN_IF_ERROR(sysmem_->WriteBlock(addr_b, b));
+  } else {
+    addr_a = kLdm0Base;
+    ldm0_->Clear();
+    DBA_RETURN_IF_ERROR(ldm0_->WriteBlock(addr_a, a));
+    if (num_lsus() == 2) {
+      addr_b = kLdm1Base;
+      ldm1_->Clear();
+      DBA_RETURN_IF_ERROR(ldm1_->WriteBlock(addr_b, b));
+    } else {
+      addr_b = addr_a + PaddedBytes(a.size());
+      DBA_RETURN_IF_ERROR(ldm0_->WriteBlock(addr_b, b));
+    }
+    addr_c = kResultBase;
+    result_->Clear();
+  }
+
+  cpu_->ResetArchState();
+  if (eis_) eis_->ResetState();
+  DBA_RETURN_IF_ERROR(cpu_->LoadProgram(program));
+  cpu_->set_reg(isa::abi::kPtrA, static_cast<uint32_t>(addr_a));
+  cpu_->set_reg(isa::abi::kPtrB, static_cast<uint32_t>(addr_b));
+  cpu_->set_reg(isa::abi::kLenA, static_cast<uint32_t>(a.size()));
+  cpu_->set_reg(isa::abi::kLenB, static_cast<uint32_t>(b.size()));
+  cpu_->set_reg(isa::abi::kPtrC, static_cast<uint32_t>(addr_c));
+
+  sim::RunOptions run_options;
+  run_options.profile = settings.profile;
+  run_options.trace_limit = settings.trace_limit;
+  DBA_ASSIGN_OR_RETURN(sim::ExecStats stats, cpu_->Run(run_options));
+
+  const uint32_t count = cpu_->reg(isa::abi::kLenC);
+  DBA_ASSIGN_OR_RETURN(mem::Memory * result_memory,
+                       cpu_->memory_system().Route(addr_c, 4));
+  SetOpRun run;
+  if (count > 0) {
+    DBA_ASSIGN_OR_RETURN(run.result, result_memory->ReadBlock(addr_c, count));
+  }
+  run.metrics = MakeMetrics(a.size() + b.size(), std::move(stats));
+  return run;
+}
+
+Result<SortRun> Processor::RunSort(std::span<const uint32_t> values,
+                                   const RunSettings& settings) {
+  if (values.size() > max_sort_elements()) {
+    return Status::ResourceExhausted(
+        "sort input exceeds the local data memories of " +
+        std::string(hwmodel::ConfigKindName(kind_)));
+  }
+  const bool scalar = settings.force_scalar || !kind_has_eis();
+  DBA_ASSIGN_OR_RETURN(const isa::Program* program_ptr,
+                       sort_program(scalar));
+  const isa::Program& program = *program_ptr;
+
+  // Ping-pong buffers: LDM0 + LDM1 on 2-LSU cores, both halves of LDM0
+  // on 1-LSU cores, system memory on 108Mini.
+  uint64_t buf0 = 0;
+  uint64_t buf1 = 0;
+  const uint64_t bytes = PaddedBytes(values.size());
+  if (!uses_local_store()) {
+    buf0 = kSysBase;
+    buf1 = buf0 + bytes;
+    sysmem_->Clear();
+    DBA_RETURN_IF_ERROR(sysmem_->WriteBlock(buf0, values));
+  } else if (num_lsus() == 2) {
+    buf0 = kLdm0Base;
+    buf1 = kLdm1Base;
+    ldm0_->Clear();
+    ldm1_->Clear();
+    DBA_RETURN_IF_ERROR(ldm0_->WriteBlock(buf0, values));
+  } else {
+    buf0 = kLdm0Base;
+    buf1 = buf0 + bytes;
+    ldm0_->Clear();
+    DBA_RETURN_IF_ERROR(ldm0_->WriteBlock(buf0, values));
+  }
+
+  cpu_->ResetArchState();
+  if (eis_) eis_->ResetState();
+  DBA_RETURN_IF_ERROR(cpu_->LoadProgram(program));
+  cpu_->set_reg(isa::abi::kPtrA, static_cast<uint32_t>(buf0));
+  cpu_->set_reg(isa::abi::kLenA, static_cast<uint32_t>(values.size()));
+  cpu_->set_reg(isa::abi::kPtrC, static_cast<uint32_t>(buf1));
+
+  sim::RunOptions run_options;
+  run_options.profile = settings.profile;
+  run_options.trace_limit = settings.trace_limit;
+  DBA_ASSIGN_OR_RETURN(sim::ExecStats stats, cpu_->Run(run_options));
+
+  SortRun run;
+  const uint32_t sorted_ptr = cpu_->reg(isa::abi::kLenC);
+  if (!values.empty()) {
+    DBA_ASSIGN_OR_RETURN(mem::Memory * memory,
+                         cpu_->memory_system().Route(sorted_ptr, 4));
+    DBA_ASSIGN_OR_RETURN(run.sorted,
+                         memory->ReadBlock(sorted_ptr, values.size()));
+  }
+  run.metrics = MakeMetrics(values.size(), std::move(stats));
+  return run;
+}
+
+}  // namespace dba

@@ -1,0 +1,59 @@
+#include "core/workload.h"
+
+#include <algorithm>
+
+#include "common/random.h"
+
+namespace dba {
+
+Result<SetPair> GenerateSetPair(uint32_t size_a, uint32_t size_b,
+                                double selectivity, uint64_t seed) {
+  if (selectivity < 0.0 || selectivity > 1.0) {
+    return Status::InvalidArgument("selectivity must be in [0, 1]");
+  }
+  const uint32_t min_size = std::min(size_a, size_b);
+  const auto common =
+      static_cast<uint32_t>(selectivity * static_cast<double>(min_size) + 0.5);
+  const uint64_t total =
+      static_cast<uint64_t>(size_a) + size_b - common;
+  // Strictly increasing values with gaps in [1, 16]: the maximum value
+  // stays below 17 * total.
+  if (total * 17 > 0xFFFFFFFEull) {
+    return Status::InvalidArgument("set sizes exceed the 32-bit value space");
+  }
+
+  Random rng(seed);
+
+  // Tag each of the `total` distinct values: common / A-only / B-only,
+  // then shuffle the tags so the classes interleave randomly.
+  enum : uint8_t { kCommon = 0, kOnlyA = 1, kOnlyB = 2 };
+  std::vector<uint8_t> tags;
+  tags.reserve(total);
+  tags.insert(tags.end(), common, kCommon);
+  tags.insert(tags.end(), size_a - common, kOnlyA);
+  tags.insert(tags.end(), size_b - common, kOnlyB);
+  for (size_t i = tags.size(); i > 1; --i) {
+    std::swap(tags[i - 1], tags[rng.Uniform(i)]);
+  }
+
+  SetPair pair;
+  pair.a.reserve(size_a);
+  pair.b.reserve(size_b);
+  pair.common = common;
+  uint32_t value = 0;
+  for (const uint8_t tag : tags) {
+    value += 1 + static_cast<uint32_t>(rng.Uniform(16));
+    if (tag != kOnlyB) pair.a.push_back(value);
+    if (tag != kOnlyA) pair.b.push_back(value);
+  }
+  return pair;
+}
+
+std::vector<uint32_t> GenerateSortInput(uint32_t n, uint64_t seed) {
+  Random rng(seed);
+  std::vector<uint32_t> values(n);
+  for (uint32_t& value : values) value = rng.Next32();
+  return values;
+}
+
+}  // namespace dba

@@ -1,0 +1,35 @@
+#ifndef DBA_CORE_WORKLOAD_H_
+#define DBA_CORE_WORKLOAD_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "common/status.h"
+
+namespace dba {
+
+/// A pair of sorted, duplicate-free RID sets with a controlled overlap.
+struct SetPair {
+  std::vector<uint32_t> a;
+  std::vector<uint32_t> b;
+  uint32_t common = 0;  // |a intersect b|
+};
+
+/// Generates two sorted distinct uint32 sets whose intersection holds
+/// `selectivity * min(size_a, size_b)` elements -- the paper's
+/// selectivity definition (Section 5.2: 100% when both sets contain the
+/// same elements). Values are strictly increasing with random gaps, and
+/// which values are shared is randomized, so common and exclusive
+/// elements interleave.
+///
+/// Fails if selectivity is outside [0, 1] or the value space would
+/// overflow 32 bits.
+Result<SetPair> GenerateSetPair(uint32_t size_a, uint32_t size_b,
+                                double selectivity, uint64_t seed);
+
+/// Uniformly random (unsorted, possibly duplicated) sort input.
+std::vector<uint32_t> GenerateSortInput(uint32_t n, uint64_t seed);
+
+}  // namespace dba
+
+#endif  // DBA_CORE_WORKLOAD_H_

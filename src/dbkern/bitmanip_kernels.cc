@@ -1,0 +1,177 @@
+#include "dbkern/bitmanip_kernels.h"
+
+#include "isa/assembler.h"
+#include "tie/bitmanip_extension.h"
+
+namespace dba::dbkern {
+
+using isa::Assembler;
+using isa::Label;
+using isa::Reg;
+using tie::BitmanipExtension;
+
+namespace {
+
+// Shared loop scaffold: a6 = cursor, a7 = end (byte addresses).
+void EmitArrayLoopHead(Assembler& masm) {
+  masm.Slli(Reg::a7, Reg::a2, 2);
+  masm.Add(Reg::a7, Reg::a0, Reg::a7);
+  masm.Mv(Reg::a6, Reg::a0);
+}
+
+/// Operand for the bitmanip ops: [3:0] src AR, [7:4] dst AR.
+constexpr uint16_t BitmanipOperand(Reg src, Reg dst) {
+  return static_cast<uint16_t>(isa::RegIndex(src) |
+                               (isa::RegIndex(dst) << 4));
+}
+
+}  // namespace
+
+Result<isa::Program> BuildCrc32Kernel(bool use_extension) {
+  Assembler masm;
+  Label loop, done;
+
+  EmitArrayLoopHead(masm);
+  if (use_extension) {
+    masm.Tie(BitmanipExtension::kCrcReset);
+    masm.Bind(&loop, "word_loop");
+    masm.Bgeu(Reg::a6, Reg::a7, &done);
+    masm.Lw(Reg::a10, Reg::a6, 0);
+    // One crc32_step per byte, little-endian: the merged instruction
+    // absorbs the 8-stage shift/xor cascade.
+    for (int byte = 0; byte < 4; ++byte) {
+      masm.Tie(BitmanipExtension::kCrcStep,
+               BitmanipOperand(Reg::a10, Reg::a10));
+      if (byte < 3) masm.Srli(Reg::a10, Reg::a10, 8);
+    }
+    masm.Addi(Reg::a6, Reg::a6, 4);
+    masm.J(&loop);
+    masm.Bind(&done, "done");
+    masm.Tie(BitmanipExtension::kCrcRead, BitmanipOperand(Reg::a0, Reg::a5));
+    masm.Halt();
+    return masm.Finish();
+  }
+
+  // Software: crc ^= word; 32 x branchless bit step
+  //   crc = (crc >> 1) ^ (poly & -(crc & 1)).
+  Label bit_loop;
+  masm.Movi(Reg::a5, -1);  // crc = 0xFFFFFFFF
+  masm.LoadImm32(Reg::a11, BitmanipExtension::kCrc32Polynomial);
+  masm.Movi(Reg::a12, 0);  // zero
+  masm.Bind(&loop, "word_loop");
+  masm.Bgeu(Reg::a6, Reg::a7, &done);
+  masm.Lw(Reg::a10, Reg::a6, 0);
+  masm.Xor(Reg::a5, Reg::a5, Reg::a10);
+  masm.Movi(Reg::a13, 32);  // bit counter
+  masm.Bind(&bit_loop, "bit_loop");
+  masm.Andi(Reg::a14, Reg::a5, 1);
+  masm.Sub(Reg::a14, Reg::a12, Reg::a14);  // -(crc & 1)
+  masm.And(Reg::a14, Reg::a14, Reg::a11);  // poly or 0
+  masm.Srli(Reg::a5, Reg::a5, 1);
+  masm.Xor(Reg::a5, Reg::a5, Reg::a14);
+  masm.Addi(Reg::a13, Reg::a13, -1);
+  masm.Bne(Reg::a13, Reg::a12, &bit_loop);
+  masm.Addi(Reg::a6, Reg::a6, 4);
+  masm.J(&loop);
+  masm.Bind(&done, "done");
+  masm.Xori(Reg::a5, Reg::a5, -1);  // final inversion
+  masm.Halt();
+  return masm.Finish();
+}
+
+Result<isa::Program> BuildBitReverseKernel(bool use_extension) {
+  Assembler masm;
+  Label loop, done;
+
+  EmitArrayLoopHead(masm);
+  masm.Mv(Reg::a10, Reg::a4);  // output cursor
+  if (use_extension) {
+    masm.Bind(&loop, "word_loop");
+    masm.Bgeu(Reg::a6, Reg::a7, &done);
+    masm.Lw(Reg::a11, Reg::a6, 0);
+    masm.Tie(BitmanipExtension::kBitReverse,
+             BitmanipOperand(Reg::a11, Reg::a11));
+    masm.Sw(Reg::a11, Reg::a10, 0);
+    masm.Addi(Reg::a6, Reg::a6, 4);
+    masm.Addi(Reg::a10, Reg::a10, 4);
+    masm.J(&loop);
+  } else {
+    // The five-stage cascade; masks hoisted into registers.
+    masm.LoadImm32(Reg::a11, 0x55555555);
+    masm.LoadImm32(Reg::a12, 0x33333333);
+    masm.LoadImm32(Reg::a13, 0x0F0F0F0F);
+    masm.LoadImm32(Reg::a14, 0x00FF00FF);
+    masm.Bind(&loop, "word_loop");
+    masm.Bgeu(Reg::a6, Reg::a7, &done);
+    masm.Lw(Reg::a15, Reg::a6, 0);
+    const Reg masks[4] = {Reg::a11, Reg::a12, Reg::a13, Reg::a14};
+    const int shifts[4] = {1, 2, 4, 8};
+    for (int stage = 0; stage < 4; ++stage) {
+      // v = ((v & m) << k) | ((v >> k) & m)
+      masm.And(Reg::a8, Reg::a15, masks[stage]);
+      masm.Slli(Reg::a8, Reg::a8, shifts[stage]);
+      masm.Srli(Reg::a9, Reg::a15, shifts[stage]);
+      masm.And(Reg::a9, Reg::a9, masks[stage]);
+      masm.Or(Reg::a15, Reg::a8, Reg::a9);
+    }
+    masm.Slli(Reg::a8, Reg::a15, 16);  // final 16-bit rotate
+    masm.Srli(Reg::a9, Reg::a15, 16);
+    masm.Or(Reg::a15, Reg::a8, Reg::a9);
+    masm.Sw(Reg::a15, Reg::a10, 0);
+    masm.Addi(Reg::a6, Reg::a6, 4);
+    masm.Addi(Reg::a10, Reg::a10, 4);
+    masm.J(&loop);
+  }
+  masm.Bind(&done, "done");
+  masm.Mv(Reg::a5, Reg::a2);
+  masm.Halt();
+  return masm.Finish();
+}
+
+Result<isa::Program> BuildPopcountKernel(bool use_extension) {
+  Assembler masm;
+  Label loop, done;
+
+  EmitArrayLoopHead(masm);
+  masm.Movi(Reg::a5, 0);  // total
+  if (use_extension) {
+    masm.Bind(&loop, "word_loop");
+    masm.Bgeu(Reg::a6, Reg::a7, &done);
+    masm.Lw(Reg::a10, Reg::a6, 0);
+    masm.Tie(BitmanipExtension::kPopcount,
+             BitmanipOperand(Reg::a10, Reg::a10));
+    masm.Add(Reg::a5, Reg::a5, Reg::a10);
+    masm.Addi(Reg::a6, Reg::a6, 4);
+    masm.J(&loop);
+  } else {
+    // SWAR popcount: v -= (v>>1)&m1; v = (v&m2)+((v>>2)&m2);
+    // v = (v+(v>>4))&m3; v = (v*0x01010101)>>24.
+    masm.LoadImm32(Reg::a11, 0x55555555);
+    masm.LoadImm32(Reg::a12, 0x33333333);
+    masm.LoadImm32(Reg::a13, 0x0F0F0F0F);
+    masm.LoadImm32(Reg::a14, 0x01010101);
+    masm.Bind(&loop, "word_loop");
+    masm.Bgeu(Reg::a6, Reg::a7, &done);
+    masm.Lw(Reg::a10, Reg::a6, 0);
+    masm.Srli(Reg::a8, Reg::a10, 1);
+    masm.And(Reg::a8, Reg::a8, Reg::a11);
+    masm.Sub(Reg::a10, Reg::a10, Reg::a8);
+    masm.Srli(Reg::a8, Reg::a10, 2);
+    masm.And(Reg::a8, Reg::a8, Reg::a12);
+    masm.And(Reg::a10, Reg::a10, Reg::a12);
+    masm.Add(Reg::a10, Reg::a10, Reg::a8);
+    masm.Srli(Reg::a8, Reg::a10, 4);
+    masm.Add(Reg::a10, Reg::a10, Reg::a8);
+    masm.And(Reg::a10, Reg::a10, Reg::a13);
+    masm.Mul(Reg::a10, Reg::a10, Reg::a14);
+    masm.Srli(Reg::a10, Reg::a10, 24);
+    masm.Add(Reg::a5, Reg::a5, Reg::a10);
+    masm.Addi(Reg::a6, Reg::a6, 4);
+    masm.J(&loop);
+  }
+  masm.Bind(&done, "done");
+  masm.Halt();
+  return masm.Finish();
+}
+
+}  // namespace dba::dbkern

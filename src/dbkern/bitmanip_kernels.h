@@ -1,0 +1,34 @@
+#ifndef DBA_DBKERN_BITMANIP_KERNELS_H_
+#define DBA_DBKERN_BITMANIP_KERNELS_H_
+
+#include "common/status.h"
+#include "isa/program.h"
+
+namespace dba::dbkern {
+
+/// Kernels for the instruction-merging study of paper Section 2.2: each
+/// primitive exists as a software routine on the base ISA and as a
+/// single merged TIE instruction (tie::BitmanipExtension). The
+/// `instruction_merging` bench compares their cycle counts.
+///
+/// Common ABI: a0 = input word array, a2 = word count; results in a5
+/// (CRC value / total popcount); bit-reverse writes the transformed
+/// array to a4 and returns the count in a5.
+
+/// CRC-32 (IEEE, reflected) over a word array. The software version is
+/// the branchless bitwise loop (6 base instructions per bit); the
+/// hardware version issues one crc32_step per byte.
+Result<isa::Program> BuildCrc32Kernel(bool use_extension);
+
+/// Reverses the bit order of every word. Software: the five-stage
+/// mask-and-shift cascade ("requires dozens of instructions in
+/// software"); hardware: one bit_reverse per word.
+Result<isa::Program> BuildBitReverseKernel(bool use_extension);
+
+/// Sums the population count of every word. Software: the classic
+/// SWAR sequence; hardware: one popcount per word.
+Result<isa::Program> BuildPopcountKernel(bool use_extension);
+
+}  // namespace dba::dbkern
+
+#endif  // DBA_DBKERN_BITMANIP_KERNELS_H_

@@ -1,0 +1,65 @@
+#include "dbkern/compression_kernels.h"
+
+#include "isa/assembler.h"
+#include "tie/packscan_extension.h"
+
+namespace dba::dbkern {
+
+using isa::Assembler;
+using isa::Label;
+using isa::Reg;
+
+Result<isa::Program> BuildUnpackKernel(bool use_extension, int bits) {
+  if (bits < 1 || bits > 32) {
+    return Status::InvalidArgument("bit width must be 1..32");
+  }
+  Assembler masm;
+  Label loop, done;
+
+  if (use_extension) {
+    masm.Movi(Reg::a7, 0);
+    masm.Tie(tie::PackScanExtension::kInit, static_cast<uint16_t>(bits));
+    masm.Bind(&loop, "unpack_loop");
+    masm.Tie(tie::PackScanExtension::kUnpackBeat, 6);
+    masm.Bne(Reg::a6, Reg::a7, &loop);
+    masm.Halt();
+    return masm.Finish();
+  }
+
+  // Software bit unpack, branchless word-boundary handling:
+  //   value = ((lo >> sh) | ((hi << 1) << (31 - sh))) & mask
+  // (the double shift keeps the shift amounts in 0..31; for sh == 0 the
+  // high word contributes nothing, as required).
+  const uint32_t mask =
+      bits >= 32 ? 0xFFFFFFFFu : ((1u << bits) - 1);
+  masm.Movi(Reg::a8, 0);  // bit position
+  masm.Mv(Reg::a10, Reg::a4);
+  masm.LoadImm32(Reg::a11, mask);
+  masm.Slli(Reg::a7, Reg::a2, 2);
+  masm.Add(Reg::a7, Reg::a4, Reg::a7);  // output end
+  masm.Bind(&loop, "unpack_loop");
+  masm.Bgeu(Reg::a10, Reg::a7, &done);
+  masm.Srli(Reg::a9, Reg::a8, 5);  // word index
+  masm.Slli(Reg::a9, Reg::a9, 2);
+  masm.Add(Reg::a9, Reg::a0, Reg::a9);
+  masm.Lw(Reg::a12, Reg::a9, 0);  // lo word
+  masm.Lw(Reg::a13, Reg::a9, 4);  // hi word (source padded to a beat)
+  masm.Andi(Reg::a14, Reg::a8, 31);  // sh
+  masm.Srl(Reg::a12, Reg::a12, Reg::a14);
+  masm.Movi(Reg::a15, 31);
+  masm.Sub(Reg::a15, Reg::a15, Reg::a14);
+  masm.Slli(Reg::a13, Reg::a13, 1);
+  masm.Sll(Reg::a13, Reg::a13, Reg::a15);
+  masm.Or(Reg::a12, Reg::a12, Reg::a13);
+  masm.And(Reg::a12, Reg::a12, Reg::a11);
+  masm.Sw(Reg::a12, Reg::a10, 0);
+  masm.Addi(Reg::a10, Reg::a10, 4);
+  masm.Addi(Reg::a8, Reg::a8, bits);
+  masm.J(&loop);
+  masm.Bind(&done, "done");
+  masm.Mv(Reg::a5, Reg::a2);
+  masm.Halt();
+  return masm.Finish();
+}
+
+}  // namespace dba::dbkern

@@ -1,0 +1,23 @@
+#ifndef DBA_DBKERN_COMPRESSION_KERNELS_H_
+#define DBA_DBKERN_COMPRESSION_KERNELS_H_
+
+#include "common/status.h"
+#include "isa/program.h"
+
+namespace dba::dbkern {
+
+/// Bit-unpacking kernels for compressed column scans (the "compression"
+/// candidate primitive; cf. SIMD-scan [36]).
+///
+/// ABI: a0 = packed source (16-byte aligned, padded to a full beat),
+/// a2 = value count, a4 = destination (16-byte aligned); returns a5 =
+/// values produced.
+///
+/// The software variant decodes one value per ~17 base instructions
+/// (word pair load, shift/combine/mask); the extension variant streams
+/// four values per unpack_beat through tie::PackScanExtension.
+Result<isa::Program> BuildUnpackKernel(bool use_extension, int bits);
+
+}  // namespace dba::dbkern
+
+#endif  // DBA_DBKERN_COMPRESSION_KERNELS_H_

@@ -1,0 +1,144 @@
+#include "dbkern/eis_kernels.h"
+
+#include "eis/eis_extension.h"
+#include "isa/assembler.h"
+
+namespace dba::dbkern {
+
+using isa::Assembler;
+using isa::Label;
+using isa::Reg;
+
+namespace {
+
+// The loop-continuation flag lives in a6; a7 holds constant zero.
+constexpr uint16_t kFlagOperand = 6;
+
+}  // namespace
+
+Result<isa::Program> BuildEisSetOp(eis::SopMode mode, bool partial_loading,
+                                   int unroll) {
+  if (mode == eis::SopMode::kMerge) {
+    return Status::InvalidArgument(
+        "merge mode is driven by BuildEisMergeSort");
+  }
+  if (unroll < 1 || unroll > 256) {
+    return Status::InvalidArgument("unroll factor must be in 1..256");
+  }
+
+  Assembler masm;
+  Label loop;
+
+  masm.Movi(Reg::a7, 0);
+  masm.Tie(eis::op::kInit, eis::MakeInitOperand(mode, partial_loading));
+  masm.Tie(eis::op::kLdLdpShuffle);
+  masm.Bind(&loop, "core_loop");
+  for (int i = 0; i < unroll; ++i) {
+    masm.Tie(eis::op::kStoreSop, kFlagOperand);
+    masm.Tie(eis::op::kLdLdpShuffle);
+  }
+  masm.Bne(Reg::a6, Reg::a7, &loop);
+  masm.Tie(eis::op::kFlush);
+  masm.Halt();
+  return masm.Finish();
+}
+
+Result<isa::Program> BuildEisMergePair() {
+  // Figure 12 core loop on a single pair of runs:
+  //   INIT_STATES(); LD(); while (LD()) { STORE_MERGE(); } flush.
+  Assembler masm;
+  Label inner;
+  masm.Movi(Reg::a7, 0);
+  masm.Tie(eis::op::kInit,
+           eis::MakeInitOperand(eis::SopMode::kMerge, /*partial=*/true));
+  masm.Tie(eis::op::kLdMerge, kFlagOperand);
+  masm.Bind(&inner, "core_loop");
+  masm.Tie(eis::op::kStoreSop, kFlagOperand);  // STORE_MERGE
+  masm.Tie(eis::op::kLdMerge, kFlagOperand);
+  masm.Bne(Reg::a6, Reg::a7, &inner);
+  masm.Tie(eis::op::kFlush);
+  masm.Halt();
+  return masm.Finish();
+}
+
+Result<isa::Program> BuildEisMergeSort() {
+  // Register plan:
+  //   a6 = flag, a7 = zero, a8 = run length L, a11 = n,
+  //   a12 = source buffer, a13 = destination buffer, a15 = pair offset,
+  //   a9/a10 = temporaries; a0..a4 are rewritten per INIT call.
+  Assembler masm;
+  Label presort_loop, pass_loop, pair_loop, pair_end, pass_end, done;
+  Label has_b, len2_done, inner;
+
+  masm.Movi(Reg::a7, 0);
+  masm.Mv(Reg::a11, Reg::a2);
+  masm.Mv(Reg::a12, Reg::a0);
+  masm.Mv(Reg::a13, Reg::a4);
+
+  // --- Presorting pass: buffer0 -> buffer1 in sorted runs of 4 ---
+  // INIT consumes a0 (source), a2 (count), a4 (destination) as set.
+  masm.Tie(eis::op::kInit,
+           eis::MakeInitOperand(eis::SopMode::kMerge, /*partial=*/true));
+  masm.Bind(&presort_loop, "presort_loop");
+  masm.Tie(eis::op::kSortBeat, kFlagOperand);
+  masm.Bne(Reg::a6, Reg::a7, &presort_loop);
+
+  // Runs of 4 now live in buffer1: src = buffer1, dst = buffer0, L = 4.
+  masm.Mv(Reg::a9, Reg::a12);
+  masm.Mv(Reg::a12, Reg::a13);
+  masm.Mv(Reg::a13, Reg::a9);
+  masm.Movi(Reg::a8, 4);
+
+  masm.Bind(&pass_loop, "pass_loop");
+  masm.Bgeu(Reg::a8, Reg::a11, &done);  // L >= n: sorted
+  masm.Movi(Reg::a15, 0);
+
+  masm.Bind(&pair_loop, "pair_loop");
+  masm.Bgeu(Reg::a15, Reg::a11, &pass_end);
+  // a0 = src + 4*pos; a2 = len1 = min(L, n - pos)
+  masm.Slli(Reg::a9, Reg::a15, 2);
+  masm.Add(Reg::a0, Reg::a12, Reg::a9);
+  masm.Sub(Reg::a2, Reg::a11, Reg::a15);
+  masm.Min(Reg::a2, Reg::a2, Reg::a8);
+  // a1 = a0 + 4*len1; a3 = len2 = min(L, n - pos - len1)
+  masm.Slli(Reg::a10, Reg::a2, 2);
+  masm.Add(Reg::a1, Reg::a0, Reg::a10);
+  masm.Sub(Reg::a3, Reg::a11, Reg::a15);
+  masm.Bltu(Reg::a8, Reg::a3, &has_b);
+  masm.Movi(Reg::a3, 0);
+  masm.J(&len2_done);
+  masm.Bind(&has_b);
+  masm.Sub(Reg::a3, Reg::a3, Reg::a8);
+  masm.Min(Reg::a3, Reg::a3, Reg::a8);
+  masm.Bind(&len2_done);
+  // a4 = dst + 4*pos
+  masm.Add(Reg::a4, Reg::a13, Reg::a9);
+
+  // Figure 12 core loop: INIT; LD; while (LD()) { STORE_MERGE(); }
+  masm.Tie(eis::op::kInit,
+           eis::MakeInitOperand(eis::SopMode::kMerge, /*partial=*/true));
+  masm.Tie(eis::op::kLdMerge, kFlagOperand);
+  masm.Bind(&inner);
+  masm.Tie(eis::op::kStoreSop, kFlagOperand);  // STORE_MERGE
+  masm.Tie(eis::op::kLdMerge, kFlagOperand);
+  masm.Bne(Reg::a6, Reg::a7, &inner);
+  masm.Tie(eis::op::kFlush);
+
+  masm.Add(Reg::a15, Reg::a15, Reg::a8);  // pos += 2L
+  masm.Add(Reg::a15, Reg::a15, Reg::a8);
+  masm.J(&pair_loop);
+
+  masm.Bind(&pass_end, "pass_end");
+  masm.Mv(Reg::a9, Reg::a12);  // swap buffers, L *= 2
+  masm.Mv(Reg::a12, Reg::a13);
+  masm.Mv(Reg::a13, Reg::a9);
+  masm.Add(Reg::a8, Reg::a8, Reg::a8);
+  masm.J(&pass_loop);
+
+  masm.Bind(&done, "done");
+  masm.Mv(Reg::a5, Reg::a12);  // sorted buffer pointer
+  masm.Halt();
+  return masm.Finish();
+}
+
+}  // namespace dba::dbkern

@@ -1,0 +1,44 @@
+#ifndef DBA_DBKERN_EIS_KERNELS_H_
+#define DBA_DBKERN_EIS_KERNELS_H_
+
+#include "common/status.h"
+#include "eis/sop.h"
+#include "isa/program.h"
+
+namespace dba::dbkern {
+
+/// Default unroll factor of the EIS set-operation core loop; 32 unrolled
+/// iterations reduce the average loop cost to (2*32+1)/32 = 2.03 cycles
+/// (Section 4: "if 32 loops are unrolled the average number of cycles
+/// per loop is reduced to 2.03").
+inline constexpr int kDefaultUnroll = 32;
+
+/// EIS set-operation kernel: the core loop of Figure 11,
+///
+///   INIT_STATES(); LD_LDP_SHUFFLE();
+///   while (STORE_SOP()) { LD_LDP_SHUFFLE(); }
+///
+/// unrolled `unroll` times, followed by a FLUSH draining the result
+/// FIFO. ABI as in isa::abi; a5 returns the result count.
+Result<isa::Program> BuildEisSetOp(eis::SopMode mode, bool partial_loading,
+                                   int unroll = kDefaultUnroll);
+
+/// EIS pair-merge kernel: merges two sorted sequences (duplicates
+/// preserved) with the Figure 12 inner loop. Standard set-op ABI;
+/// returns a5 = |A| + |B|.
+Result<isa::Program> BuildEisMergePair();
+
+/// EIS merge-sort kernel: a presorting pass building sorted runs of four
+/// with the hardware sorting network, then bottom-up merge passes whose
+/// inner loop is Figure 12:
+///
+///   INIT_STATES(); LD();
+///   while (LD()) { STORE_MERGE(); }
+///
+/// ABI: a0 = buffer0 (input), a2 = n, a4 = buffer1 (scratch); a5 returns
+/// the pointer to the buffer holding the sorted output.
+Result<isa::Program> BuildEisMergeSort();
+
+}  // namespace dba::dbkern
+
+#endif  // DBA_DBKERN_EIS_KERNELS_H_

@@ -1,0 +1,73 @@
+#include "dbkern/partition_kernels.h"
+
+#include "isa/assembler.h"
+#include "tie/partition_extension.h"
+
+namespace dba::dbkern {
+
+using isa::Assembler;
+using isa::Label;
+using isa::Reg;
+
+Result<isa::Program> BuildPartitionKernel(bool use_extension, int buckets) {
+  if (buckets < 2 || buckets > tie::PartitionExtension::kMaxBuckets) {
+    return Status::InvalidArgument("bucket count must be 2..16");
+  }
+  Assembler masm;
+  Label loop, done;
+
+  if (use_extension) {
+    masm.Movi(Reg::a7, 0);
+    masm.Tie(tie::PartitionExtension::kInit,
+             static_cast<uint16_t>(buckets));
+    masm.Bind(&loop, "partition_loop");
+    masm.Tie(tie::PartitionExtension::kPartitionBeat, 6);
+    masm.Bne(Reg::a6, Reg::a7, &loop);
+    masm.Tie(tie::PartitionExtension::kFlush);
+    masm.Halt();
+    return masm.Finish();
+  }
+
+  // Software: per value, a branch-free compare-accumulate chain over the
+  // splitters, then a read-modify-write of the bucket count.
+  Label inner, inner_done;
+  masm.Movi(Reg::a15, 0);
+  masm.Slli(Reg::a7, Reg::a2, 2);
+  masm.Add(Reg::a7, Reg::a0, Reg::a7);  // source end
+  masm.Mv(Reg::a6, Reg::a0);            // cursor
+  masm.Bind(&loop, "value_loop");
+  masm.Bgeu(Reg::a6, Reg::a7, &done);
+  masm.Lw(Reg::a8, Reg::a6, 0);  // value
+  masm.Movi(Reg::a9, 0);         // bucket
+  masm.Mv(Reg::a11, Reg::a1);    // splitter cursor
+  masm.Movi(Reg::a13, buckets - 1);
+  masm.Bind(&inner, "splitter_loop");
+  masm.Beq(Reg::a13, Reg::a15, &inner_done);
+  masm.Lw(Reg::a10, Reg::a11, 0);
+  masm.Sltu(Reg::a12, Reg::a8, Reg::a10);  // value < splitter
+  masm.Xori(Reg::a12, Reg::a12, 1);        // value >= splitter
+  masm.Add(Reg::a9, Reg::a9, Reg::a12);
+  masm.Addi(Reg::a11, Reg::a11, 4);
+  masm.Addi(Reg::a13, Reg::a13, -1);
+  masm.J(&inner);
+  masm.Bind(&inner_done, "route");
+  // count address = a5 + 4*bucket; slot = base + 4*(bucket*cap + count).
+  masm.Slli(Reg::a10, Reg::a9, 2);
+  masm.Add(Reg::a10, Reg::a5, Reg::a10);
+  masm.Lw(Reg::a12, Reg::a10, 0);
+  masm.Mul(Reg::a14, Reg::a9, Reg::a3);
+  masm.Add(Reg::a14, Reg::a14, Reg::a12);
+  masm.Slli(Reg::a14, Reg::a14, 2);
+  masm.Add(Reg::a14, Reg::a4, Reg::a14);
+  masm.Sw(Reg::a8, Reg::a14, 0);
+  masm.Addi(Reg::a12, Reg::a12, 1);
+  masm.Sw(Reg::a12, Reg::a10, 0);
+  masm.Addi(Reg::a6, Reg::a6, 4);
+  masm.J(&loop);
+  masm.Bind(&done, "done");
+  masm.Mv(Reg::a5, Reg::a2);
+  masm.Halt();
+  return masm.Finish();
+}
+
+}  // namespace dba::dbkern

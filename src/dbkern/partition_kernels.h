@@ -1,0 +1,27 @@
+#ifndef DBA_DBKERN_PARTITION_KERNELS_H_
+#define DBA_DBKERN_PARTITION_KERNELS_H_
+
+#include "common/status.h"
+#include "isa/program.h"
+
+namespace dba::dbkern {
+
+/// Range-partitioning kernels (the "partitioning" candidate primitive;
+/// cf. the HARP accelerator [37] discussed in paper Section 6).
+///
+/// ABI: a0 = source (16-byte aligned), a1 = splitter table
+/// (`buckets`-1 strictly increasing u32), a2 = value count,
+/// a3 = per-bucket capacity in elements (multiple of 4),
+/// a4 = bucket region base (bucket i at a4 + i*capacity*4),
+/// a5 = bucket-count table (in; `buckets` u32 slots, zero-initialized
+/// for the software variant). Returns a5 = total values routed.
+///
+/// The software variant classifies each value with a branch-free
+/// compare-accumulate chain over the memory-resident splitter table
+/// (~7 instructions per splitter per value); the extension variant
+/// streams four values per partition_beat.
+Result<isa::Program> BuildPartitionKernel(bool use_extension, int buckets);
+
+}  // namespace dba::dbkern
+
+#endif  // DBA_DBKERN_PARTITION_KERNELS_H_

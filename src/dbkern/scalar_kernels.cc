@@ -1,0 +1,282 @@
+#include "dbkern/scalar_kernels.h"
+
+#include "isa/assembler.h"
+
+namespace dba::dbkern {
+
+using isa::Assembler;
+using isa::Label;
+using isa::Reg;
+
+namespace {
+
+// Register plan shared by the scalar set-operation kernels:
+//   a6  = cursor into A (byte address)     a7  = end of A
+//   a8  = cursor into B                    a9  = end of B
+//   a10 = output cursor                    a11 = *A, a12 = *B
+void EmitSetOpPrologue(Assembler& masm) {
+  masm.Slli(Reg::a7, Reg::a2, 2);
+  masm.Add(Reg::a7, Reg::a0, Reg::a7);
+  masm.Slli(Reg::a9, Reg::a3, 2);
+  masm.Add(Reg::a9, Reg::a1, Reg::a9);
+  masm.Mv(Reg::a6, Reg::a0);
+  masm.Mv(Reg::a8, Reg::a1);
+  masm.Mv(Reg::a10, Reg::a4);
+}
+
+// Epilogue: a5 = number of 32-bit elements written.
+void EmitSetOpEpilogue(Assembler& masm, Label* done) {
+  masm.Bind(done, "done");
+  masm.Sub(Reg::a5, Reg::a10, Reg::a4);
+  masm.Srli(Reg::a5, Reg::a5, 2);
+  masm.Halt();
+}
+
+// Copies [cursor, end) to the output; used for the remainder loops of
+// union ("remaining values ... are written at the end", Figure 2).
+void EmitTailCopy(Assembler& masm, Reg cursor, Reg end, Label* copy_loop,
+                  Label* done) {
+  masm.Bind(copy_loop);
+  masm.Bgeu(cursor, end, done);
+  masm.Lw(Reg::a11, cursor, 0);
+  masm.Sw(Reg::a11, Reg::a10, 0);
+  masm.Addi(cursor, cursor, 4);
+  masm.Addi(Reg::a10, Reg::a10, 4);
+  masm.J(copy_loop);
+}
+
+Result<isa::Program> BuildScalarIntersect() {
+  Assembler masm;
+  Label loop, match, less_a, done;
+
+  EmitSetOpPrologue(masm);
+  masm.Bind(&loop, "core_loop");
+  masm.Bgeu(Reg::a6, Reg::a7, &done);
+  masm.Bgeu(Reg::a8, Reg::a9, &done);
+  masm.Lw(Reg::a11, Reg::a6, 0);
+  masm.Lw(Reg::a12, Reg::a8, 0);
+  // The data-dependent branch pair of Figure 3: match / A-smaller / else.
+  masm.Beq(Reg::a11, Reg::a12, &match);
+  masm.Bltu(Reg::a11, Reg::a12, &less_a);
+  masm.Addi(Reg::a8, Reg::a8, 4);
+  masm.J(&loop);
+  masm.Bind(&less_a, "advance_a");
+  masm.Addi(Reg::a6, Reg::a6, 4);
+  masm.J(&loop);
+  masm.Bind(&match, "match");
+  masm.Sw(Reg::a11, Reg::a10, 0);
+  masm.Addi(Reg::a10, Reg::a10, 4);
+  masm.Addi(Reg::a6, Reg::a6, 4);
+  masm.Addi(Reg::a8, Reg::a8, 4);
+  masm.J(&loop);
+  EmitSetOpEpilogue(masm, &done);
+  return masm.Finish();
+}
+
+Result<isa::Program> BuildScalarUnion() {
+  Assembler masm;
+  Label loop, match, take_a, take_b, tail_a, tail_b, done;
+
+  EmitSetOpPrologue(masm);
+  masm.Bind(&loop, "core_loop");
+  masm.Bgeu(Reg::a6, Reg::a7, &tail_b);
+  masm.Bgeu(Reg::a8, Reg::a9, &tail_a);
+  masm.Lw(Reg::a11, Reg::a6, 0);
+  masm.Lw(Reg::a12, Reg::a8, 0);
+  masm.Beq(Reg::a11, Reg::a12, &match);
+  masm.Bltu(Reg::a11, Reg::a12, &take_a);
+  masm.Bind(&take_b, "take_b");
+  masm.Sw(Reg::a12, Reg::a10, 0);
+  masm.Addi(Reg::a10, Reg::a10, 4);
+  masm.Addi(Reg::a8, Reg::a8, 4);
+  masm.J(&loop);
+  masm.Bind(&take_a, "take_a");
+  masm.Sw(Reg::a11, Reg::a10, 0);
+  masm.Addi(Reg::a10, Reg::a10, 4);
+  masm.Addi(Reg::a6, Reg::a6, 4);
+  masm.J(&loop);
+  masm.Bind(&match, "match");
+  masm.Sw(Reg::a11, Reg::a10, 0);
+  masm.Addi(Reg::a10, Reg::a10, 4);
+  masm.Addi(Reg::a6, Reg::a6, 4);
+  masm.Addi(Reg::a8, Reg::a8, 4);
+  masm.J(&loop);
+  EmitTailCopy(masm, Reg::a6, Reg::a7, &tail_a, &done);
+  EmitTailCopy(masm, Reg::a8, Reg::a9, &tail_b, &done);
+  EmitSetOpEpilogue(masm, &done);
+  return masm.Finish();
+}
+
+Result<isa::Program> BuildScalarDifference() {
+  Assembler masm;
+  Label loop, match, take_a, tail_a, done;
+
+  EmitSetOpPrologue(masm);
+  masm.Bind(&loop, "core_loop");
+  masm.Bgeu(Reg::a6, Reg::a7, &done);
+  masm.Bgeu(Reg::a8, Reg::a9, &tail_a);
+  masm.Lw(Reg::a11, Reg::a6, 0);
+  masm.Lw(Reg::a12, Reg::a8, 0);
+  masm.Beq(Reg::a11, Reg::a12, &match);
+  masm.Bltu(Reg::a11, Reg::a12, &take_a);
+  masm.Addi(Reg::a8, Reg::a8, 4);  // B smaller: discard
+  masm.J(&loop);
+  masm.Bind(&take_a, "emit_a");
+  masm.Sw(Reg::a11, Reg::a10, 0);
+  masm.Addi(Reg::a10, Reg::a10, 4);
+  masm.Addi(Reg::a6, Reg::a6, 4);
+  masm.J(&loop);
+  masm.Bind(&match, "match");
+  masm.Addi(Reg::a6, Reg::a6, 4);  // present in both: suppressed
+  masm.Addi(Reg::a8, Reg::a8, 4);
+  masm.J(&loop);
+  EmitTailCopy(masm, Reg::a6, Reg::a7, &tail_a, &done);
+  EmitSetOpEpilogue(masm, &done);
+  return masm.Finish();
+}
+
+}  // namespace
+
+Result<isa::Program> BuildScalarSetOp(eis::SopMode mode) {
+  switch (mode) {
+    case eis::SopMode::kIntersect:
+      return BuildScalarIntersect();
+    case eis::SopMode::kUnion:
+      return BuildScalarUnion();
+    case eis::SopMode::kDifference:
+      return BuildScalarDifference();
+    case eis::SopMode::kMerge:
+      return Status::InvalidArgument(
+          "merge is not a standalone scalar kernel; use BuildScalarMergeSort");
+  }
+  return Status::InvalidArgument("unknown set operation");
+}
+
+Result<isa::Program> BuildScalarMergePair() {
+  // Figure 2: two cursors, the hardly predictable branch, and the two
+  // remainder-copy loops.
+  Assembler masm;
+  Label loop, take_b, advance, tail_a, tail_b, done;
+
+  EmitSetOpPrologue(masm);
+  masm.Bind(&loop, "core_loop");
+  masm.Bgeu(Reg::a6, Reg::a7, &tail_b);
+  masm.Bgeu(Reg::a8, Reg::a9, &tail_a);
+  masm.Lw(Reg::a11, Reg::a6, 0);
+  masm.Lw(Reg::a12, Reg::a8, 0);
+  masm.Bltu(Reg::a12, Reg::a11, &take_b);
+  masm.Sw(Reg::a11, Reg::a10, 0);  // A[pos_a] <= B[pos_b]
+  masm.Addi(Reg::a6, Reg::a6, 4);
+  masm.J(&advance);
+  masm.Bind(&take_b, "take_b");
+  masm.Sw(Reg::a12, Reg::a10, 0);
+  masm.Addi(Reg::a8, Reg::a8, 4);
+  masm.Bind(&advance);
+  masm.Addi(Reg::a10, Reg::a10, 4);
+  masm.J(&loop);
+  EmitTailCopy(masm, Reg::a6, Reg::a7, &tail_a, &done);
+  EmitTailCopy(masm, Reg::a8, Reg::a9, &tail_b, &done);
+  EmitSetOpEpilogue(masm, &done);
+  return masm.Finish();
+}
+
+Result<isa::Program> BuildScalarMergeSort() {
+  // Bottom-up merge sort between buffer0 (a0) and buffer1 (a4), run
+  // length doubling each pass; the inner loop is the merge procedure of
+  // Figure 2 with its hardly predictable branch.
+  //
+  // Register plan:
+  //   a6 = run length L (elements)   a13 = source buffer, a14 = dest
+  //   a15 = pair offset pos          a1 = run1 cursor, a7 = run1 end
+  //   a8 = run2 cursor, a9 = run2 end, a10 = output cursor
+  //   a11/a12 = loaded values        a3/a5 = temporaries
+  Assembler masm;
+  Label pass_loop, pair_loop, pair_end, pass_end, done;
+  Label has_b, len2_done, merge_loop, take_b, advance;
+  Label drain_a, drain_a_loop, drain_b, drain_b_loop;
+
+  masm.Movi(Reg::a6, 1);
+  masm.Mv(Reg::a13, Reg::a0);
+  masm.Mv(Reg::a14, Reg::a4);
+
+  masm.Bind(&pass_loop, "pass_loop");
+  masm.Bgeu(Reg::a6, Reg::a2, &done);  // L >= n: fully sorted
+  masm.Movi(Reg::a15, 0);
+
+  masm.Bind(&pair_loop, "pair_loop");
+  masm.Bgeu(Reg::a15, Reg::a2, &pass_end);
+  // run1 = [src + 4*pos, +4*min(L, n-pos))
+  masm.Slli(Reg::a3, Reg::a15, 2);
+  masm.Add(Reg::a1, Reg::a13, Reg::a3);
+  masm.Sub(Reg::a5, Reg::a2, Reg::a15);
+  masm.Min(Reg::a5, Reg::a5, Reg::a6);
+  masm.Slli(Reg::a5, Reg::a5, 2);
+  masm.Add(Reg::a7, Reg::a1, Reg::a5);
+  // run2 = [run1 end, +4*min(L, max(0, n-pos-L)))
+  masm.Mv(Reg::a8, Reg::a7);
+  masm.Sub(Reg::a5, Reg::a2, Reg::a15);
+  masm.Bltu(Reg::a6, Reg::a5, &has_b);
+  masm.Movi(Reg::a5, 0);
+  masm.J(&len2_done);
+  masm.Bind(&has_b);
+  masm.Sub(Reg::a5, Reg::a5, Reg::a6);
+  masm.Min(Reg::a5, Reg::a5, Reg::a6);
+  masm.Bind(&len2_done);
+  masm.Slli(Reg::a5, Reg::a5, 2);
+  masm.Add(Reg::a9, Reg::a8, Reg::a5);
+  // out = dst + 4*pos
+  masm.Add(Reg::a10, Reg::a14, Reg::a3);
+
+  masm.Bind(&merge_loop, "merge_loop");
+  masm.Bgeu(Reg::a1, Reg::a7, &drain_b);
+  masm.Bgeu(Reg::a8, Reg::a9, &drain_a);
+  masm.Lw(Reg::a11, Reg::a1, 0);
+  masm.Lw(Reg::a12, Reg::a8, 0);
+  masm.Bltu(Reg::a12, Reg::a11, &take_b);  // the unpredictable branch
+  masm.Sw(Reg::a11, Reg::a10, 0);
+  masm.Addi(Reg::a1, Reg::a1, 4);
+  masm.J(&advance);
+  masm.Bind(&take_b, "take_b");
+  masm.Sw(Reg::a12, Reg::a10, 0);
+  masm.Addi(Reg::a8, Reg::a8, 4);
+  masm.Bind(&advance);
+  masm.Addi(Reg::a10, Reg::a10, 4);
+  masm.J(&merge_loop);
+
+  masm.Bind(&drain_a, "drain_a");
+  masm.Bind(&drain_a_loop);
+  masm.Bgeu(Reg::a1, Reg::a7, &pair_end);
+  masm.Lw(Reg::a11, Reg::a1, 0);
+  masm.Sw(Reg::a11, Reg::a10, 0);
+  masm.Addi(Reg::a1, Reg::a1, 4);
+  masm.Addi(Reg::a10, Reg::a10, 4);
+  masm.J(&drain_a_loop);
+
+  masm.Bind(&drain_b, "drain_b");
+  masm.Bind(&drain_b_loop);
+  masm.Bgeu(Reg::a8, Reg::a9, &pair_end);
+  masm.Lw(Reg::a12, Reg::a8, 0);
+  masm.Sw(Reg::a12, Reg::a10, 0);
+  masm.Addi(Reg::a8, Reg::a8, 4);
+  masm.Addi(Reg::a10, Reg::a10, 4);
+  masm.J(&drain_b_loop);
+
+  masm.Bind(&pair_end, "pair_end");
+  masm.Add(Reg::a15, Reg::a15, Reg::a6);
+  masm.Add(Reg::a15, Reg::a15, Reg::a6);
+  masm.J(&pair_loop);
+
+  masm.Bind(&pass_end, "pass_end");
+  masm.Mv(Reg::a3, Reg::a13);  // swap source and destination buffers
+  masm.Mv(Reg::a13, Reg::a14);
+  masm.Mv(Reg::a14, Reg::a3);
+  masm.Add(Reg::a6, Reg::a6, Reg::a6);  // L *= 2
+  masm.J(&pass_loop);
+
+  masm.Bind(&done, "done");
+  masm.Mv(Reg::a5, Reg::a13);  // pointer to the sorted buffer
+  masm.Halt();
+  return masm.Finish();
+}
+
+}  // namespace dba::dbkern

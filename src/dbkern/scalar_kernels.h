@@ -1,0 +1,32 @@
+#ifndef DBA_DBKERN_SCALAR_KERNELS_H_
+#define DBA_DBKERN_SCALAR_KERNELS_H_
+
+#include "common/status.h"
+#include "eis/sop.h"
+#include "isa/program.h"
+
+namespace dba::dbkern {
+
+/// Scalar (base-ISA) kernels: the merge-based set-operation and
+/// merge-sort algorithms of paper Figures 2 and 3, hand-compiled for the
+/// base core. These run on every configuration, including 108Mini and
+/// DBA_1LSU, which lack the instruction-set extension.
+///
+/// Calling convention (see isa::abi):
+///   set ops:    a0=A, a1=B, a2=|A|, a3=|B|, a4=C; returns a5=|C|
+///   merge-sort: a0=buffer0 (input), a2=n, a4=buffer1 (scratch);
+///               returns a5 = pointer to the sorted buffer (0 or 1)
+///
+/// kMerge is not a set-operation kernel; use BuildScalarMergePair.
+Result<isa::Program> BuildScalarSetOp(eis::SopMode mode);
+
+/// The merge procedure of Figure 2, verbatim: merges two sorted
+/// sequences (duplicates preserved) into C. Standard set-op ABI;
+/// returns a5 = |A| + |B|.
+Result<isa::Program> BuildScalarMergePair();
+
+Result<isa::Program> BuildScalarMergeSort();
+
+}  // namespace dba::dbkern
+
+#endif  // DBA_DBKERN_SCALAR_KERNELS_H_

@@ -1,0 +1,59 @@
+#include "dbkern/string_kernels.h"
+
+#include "isa/assembler.h"
+#include "tie/string_extension.h"
+
+namespace dba::dbkern {
+
+using isa::Assembler;
+using isa::Label;
+using isa::Reg;
+
+Result<isa::Program> BuildStringScanKernel(bool use_extension) {
+  Assembler masm;
+  Label loop, done;
+
+  if (use_extension) {
+    masm.Movi(Reg::a7, 0);
+    masm.Tie(tie::StringExtension::kInit);
+    masm.Bind(&loop, "scan_loop");
+    masm.Tie(tie::StringExtension::kScan, 6);
+    masm.Bne(Reg::a6, Reg::a7, &loop);
+    masm.Tie(tie::StringExtension::kFlush);
+    masm.Halt();
+    return masm.Finish();
+  }
+
+  // Software: word-wise masked compare, short-circuiting on the first
+  // mismatching word (the common case for selective predicates).
+  Label no_match;
+  masm.Slli(Reg::a7, Reg::a2, 4);      // 16 bytes per row
+  masm.Add(Reg::a7, Reg::a0, Reg::a7);  // column end
+  masm.Mv(Reg::a6, Reg::a0);            // row cursor
+  masm.Movi(Reg::a8, 0);                // rid
+  masm.Mv(Reg::a9, Reg::a4);            // output cursor
+  masm.Movi(Reg::a15, 0);
+  masm.Bind(&loop, "row_loop");
+  masm.Bgeu(Reg::a6, Reg::a7, &done);
+  for (int word = 0; word < 4; ++word) {
+    masm.Lw(Reg::a10, Reg::a6, 4 * word);  // row word
+    masm.Lw(Reg::a11, Reg::a1, 4 * word);  // pattern word
+    masm.Lw(Reg::a12, Reg::a3, 4 * word);  // mask word
+    masm.Xor(Reg::a10, Reg::a10, Reg::a11);
+    masm.And(Reg::a10, Reg::a10, Reg::a12);
+    masm.Bne(Reg::a10, Reg::a15, &no_match);  // a15 = 0
+  }
+  masm.Sw(Reg::a8, Reg::a9, 0);  // match: record the rid
+  masm.Addi(Reg::a9, Reg::a9, 4);
+  masm.Bind(&no_match, "next_row");
+  masm.Addi(Reg::a6, Reg::a6, 16);
+  masm.Addi(Reg::a8, Reg::a8, 1);
+  masm.J(&loop);
+  masm.Bind(&done, "done");
+  masm.Sub(Reg::a5, Reg::a9, Reg::a4);
+  masm.Srli(Reg::a5, Reg::a5, 2);
+  masm.Halt();
+  return masm.Finish();
+}
+
+}  // namespace dba::dbkern

@@ -1,0 +1,25 @@
+#ifndef DBA_DBKERN_STRING_KERNELS_H_
+#define DBA_DBKERN_STRING_KERNELS_H_
+
+#include "common/status.h"
+#include "isa/program.h"
+
+namespace dba::dbkern {
+
+/// Masked fixed-width string-scan kernels (the "string operations"
+/// candidate primitive; cf. the SSE4.2 string instructions the paper
+/// cites as the existing general-purpose example).
+///
+/// ABI: a0 = column base (16 bytes/row, 16-byte aligned), a1 = pattern
+/// pointer (16 bytes), a2 = row count, a3 = mask pointer (16 bytes,
+/// each byte 0x00 = wildcard or 0xFF = must match), a4 = result RID
+/// buffer (16-byte aligned). Returns a5 = number of matching rows.
+///
+/// The software variant compares four 32-bit words per row with
+/// load/xor/and/branch sequences (~28 instructions per row); the
+/// extension variant tests a full row per str_scan instruction.
+Result<isa::Program> BuildStringScanKernel(bool use_extension);
+
+}  // namespace dba::dbkern
+
+#endif  // DBA_DBKERN_STRING_KERNELS_H_

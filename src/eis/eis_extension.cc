@@ -1,0 +1,312 @@
+#include "eis/eis_extension.h"
+
+#include <algorithm>
+
+#include "common/bits.h"
+#include "eis/networks.h"
+#include "isa/registers.h"
+
+namespace dba::eis {
+
+using isa::Reg;
+using sim::ExtContext;
+
+namespace {
+
+Reg FlagReg(const ExtContext& ctx) {
+  return isa::RegFromIndex(ctx.operand() & 0xF);
+}
+
+}  // namespace
+
+EisExtension::EisExtension() : TieExtension("eis") {
+  mode_state_ = AddState("sop_mode", 2, 0);
+  partial_state_ = AddState("partial_loading", 1, 0);
+  active_state_ = AddState("active", 1, 0);
+
+  DefineOp(op::kInit, "init",
+           [this](ExtContext& ctx) { return Init(ctx); });
+  DefineOp(op::kLd0, "ld_0", [this](ExtContext& ctx) { return Ld(ctx, 0); });
+  DefineOp(op::kLd1, "ld_1", [this](ExtContext& ctx) { return Ld(ctx, 1); });
+  DefineOp(op::kLdP0, "ld_p_0", [this](ExtContext& ctx) {
+    LdP(0);
+    return Status::Ok();
+  });
+  DefineOp(op::kLdP1, "ld_p_1", [this](ExtContext& ctx) {
+    LdP(1);
+    return Status::Ok();
+  });
+  DefineOp(op::kSop, "sop", [this](ExtContext& ctx) { return Sop(ctx); });
+  DefineOp(op::kStS, "st_s", [this](ExtContext& ctx) {
+    StS();
+    return Status::Ok();
+  });
+  DefineOp(op::kSt, "st", [this](ExtContext& ctx) { return St(ctx); });
+
+  DefineOp(op::kStoreSop, "store_sop", [this](ExtContext& ctx) {
+    // Fused ST + SOP: the store path writes the Store states filled in
+    // the previous iteration while the comparator network executes.
+    DBA_RETURN_IF_ERROR(St(ctx));
+    DBA_RETURN_IF_ERROR(Sop(ctx));
+    ctx.set_reg(FlagReg(ctx), active_state_->Get() != 0 ? 1u : 0u);
+    return Status::Ok();
+  });
+
+  DefineOp(op::kLdLdpShuffle, "ld_ldp_shuffle", [this](ExtContext& ctx) {
+    // Fused LD_0 | LD_1 | LD_P_0 | LD_P_1 | ST_S (Section 4).
+    DBA_RETURN_IF_ERROR(Ld(ctx, 0));
+    DBA_RETURN_IF_ERROR(Ld(ctx, 1));
+    LdP(0);
+    LdP(1);
+    StS();
+    return Status::Ok();
+  });
+
+  DefineOp(op::kFlush, "flush",
+           [this](ExtContext& ctx) { return Flush(ctx); });
+  DefineOp(op::kLdMerge, "ld_merge",
+           [this](ExtContext& ctx) { return LdMerge(ctx); });
+  DefineOp(op::kSortBeat, "sort_beat",
+           [this](ExtContext& ctx) { return SortBeat(ctx); });
+  DefineOp(op::kCopyBeat, "copy_beat",
+           [this](ExtContext& ctx) { return CopyBeat(ctx); });
+}
+
+void EisExtension::ResetState() {
+  TieExtension::ResetState();
+  a_.Reset();
+  b_.Reset();
+  result_fifo_.Clear();
+  store_buf_.fill(0);
+  store_count_ = 0;
+  c_ptr_ = 0;
+  c_count_ = 0;
+  counters_ = EisCounters{};
+}
+
+bool EisExtension::ContinueFlag() const {
+  switch (mode()) {
+    case SopMode::kIntersect:
+      return !a_.drained() && !b_.drained();
+    case SopMode::kUnion:
+    case SopMode::kMerge:
+      return !a_.drained() || !b_.drained();
+    case SopMode::kDifference:
+      return !a_.drained();
+  }
+  return false;
+}
+
+Status EisExtension::Init(ExtContext& ctx) {
+  // Reset the datapath but keep the activity counters: INIT runs once
+  // per merge pair inside the sort kernel, and the counters aggregate a
+  // whole run (ResetState clears them between Processor runs).
+  const EisCounters saved_counters = counters_;
+  ResetState();
+  counters_ = saved_counters;
+  const uint16_t operand = ctx.operand();
+  mode_state_->Set(operand & 0x3);
+  partial_state_->Set((operand >> 2) & 0x1);
+
+  a_.ptr = ctx.reg(isa::abi::kPtrA);
+  b_.ptr = ctx.reg(isa::abi::kPtrB);
+  a_.remaining = ctx.reg(isa::abi::kLenA);
+  b_.remaining = ctx.reg(isa::abi::kLenB);
+  c_ptr_ = ctx.reg(isa::abi::kPtrC);
+
+  // Alignment matters only for streams that will issue beats; merge
+  // pairs at the tail of a pass have an empty run2 at an odd offset.
+  if ((a_.remaining > 0 && !IsAligned(a_.ptr, 16)) ||
+      (b_.remaining > 0 && !IsAligned(b_.ptr, 16)) ||
+      !IsAligned(c_ptr_, 16)) {
+    return Status::InvalidArgument(
+        "EIS INIT: input/output pointers must be 16-byte aligned");
+  }
+  active_state_->Set(ContinueFlag() ? 1 : 0);
+  return Status::Ok();
+}
+
+Status EisExtension::Ld(ExtContext& ctx, int side_index) {
+  StreamSide& s = side(side_index);
+  if (s.remaining == 0) return Status::Ok();
+  // The load pipeline issues its 128-bit beat every iteration the stream
+  // is live (Figure 10: LD occupies both LSUs every other cycle); when
+  // the Load states are still full the beat is a redundant prefetch and
+  // its data is dropped, but the port cycle is spent either way.
+  DBA_ASSIGN_OR_RETURN(mem::Beat128 beat,
+                       ctx.LoadBeat(LoadLsu(side_index), s.ptr));
+  ++counters_.load_beats;
+  if (s.load_fifo.space() < 4) return Status::Ok();
+  const uint32_t take = std::min<uint32_t>(4, s.remaining);
+  for (uint32_t i = 0; i < take; ++i) {
+    s.load_fifo.Push(beat[i]);
+  }
+  s.ptr += mem::kBeatBytes;
+  s.remaining -= take;
+  return Status::Ok();
+}
+
+void EisExtension::LdP(int side_index) {
+  StreamSide& s = side(side_index);
+  const bool partial = partial_loading() || mode() == SopMode::kMerge;
+  if (!partial && !s.window.empty()) {
+    // Without partial loading the Word states are reloaded only once
+    // fully consumed; the window stays ragged in between.
+    return;
+  }
+  while (!s.window.full() && !s.load_fifo.empty()) {
+    s.window.Push(s.load_fifo.Pop());
+  }
+}
+
+Status EisExtension::Sop(ExtContext& ctx) {
+  const SopOutcome outcome = ComputeSop(mode(), a_.window, a_.upstream_empty(),
+                                        b_.window, b_.upstream_empty());
+  a_.window.Consume(outcome.consume_a);
+  b_.window.Consume(outcome.consume_b);
+  if (result_fifo_.space() < outcome.emit_count) {
+    return Status::Internal("EIS result FIFO overflow (store path stalled)");
+  }
+  for (int i = 0; i < outcome.emit_count; ++i) {
+    result_fifo_.Push(outcome.emit[static_cast<size_t>(i)]);
+  }
+  ++counters_.sop_executions;
+  counters_.elements_consumed +=
+      static_cast<uint64_t>(outcome.consume_a + outcome.consume_b);
+  counters_.elements_emitted += static_cast<uint64_t>(outcome.emit_count);
+  counters_.matches += static_cast<uint64_t>(outcome.matches);
+  active_state_->Set(ContinueFlag() ? 1 : 0);
+  return Status::Ok();
+}
+
+void EisExtension::StS() {
+  if (store_count_ != 0 || result_fifo_.size() < 4) return;
+  for (int i = 0; i < 4; ++i) {
+    store_buf_[static_cast<size_t>(i)] = result_fifo_.Pop();
+  }
+  store_count_ = 4;
+}
+
+Status EisExtension::StorePack(ExtContext& ctx,
+                               const std::array<uint32_t, 4>& pack) {
+  DBA_RETURN_IF_ERROR(ctx.StoreBeat(StoreLsu(), c_ptr_, pack));
+  c_ptr_ += mem::kBeatBytes;
+  c_count_ += 4;
+  ++counters_.store_beats;
+  return Status::Ok();
+}
+
+Status EisExtension::St(ExtContext& ctx) {
+  // The store is delayed while fewer than four elements are available
+  // (Section 4); a full Store state is written as one aligned beat.
+  if (store_count_ == 4) {
+    DBA_RETURN_IF_ERROR(StorePack(ctx, store_buf_));
+    store_count_ = 0;
+  } else if (store_count_ == 0 && result_fifo_.size() >= 4) {
+    // Merge-sort path: the core loop issues no ST_S (Figure 12 -- "the
+    // shuffle instruction is not applied"), so the Store states load
+    // directly from the result FIFO within the store instruction.
+    std::array<uint32_t, 4> pack;
+    for (auto& value : pack) value = result_fifo_.Pop();
+    DBA_RETURN_IF_ERROR(StorePack(ctx, pack));
+  }
+  // Burst drain: if the result FIFO has backed up past two packs (heavy
+  // union output), issue additional store beats; the port model charges
+  // one extra cycle per beat.
+  while (result_fifo_.size() >= 8) {
+    std::array<uint32_t, 4> pack;
+    for (auto& value : pack) value = result_fifo_.Pop();
+    DBA_RETURN_IF_ERROR(StorePack(ctx, pack));
+  }
+  return Status::Ok();
+}
+
+Status EisExtension::Flush(ExtContext& ctx) {
+  // Drain Store states and the result FIFO. Full packs leave as beats;
+  // the final partial pack is written with byte enables (modelled as
+  // word stores).
+  std::array<uint32_t, 4> pack;
+  int pending = 0;
+  auto flush_full = [&]() -> Status {
+    DBA_RETURN_IF_ERROR(StorePack(ctx, pack));
+    pending = 0;
+    return Status::Ok();
+  };
+  for (int i = 0; i < store_count_; ++i) {
+    pack[static_cast<size_t>(pending++)] = store_buf_[static_cast<size_t>(i)];
+  }
+  store_count_ = 0;
+  if (pending == 4) DBA_RETURN_IF_ERROR(flush_full());
+  while (!result_fifo_.empty()) {
+    pack[static_cast<size_t>(pending++)] = result_fifo_.Pop();
+    if (pending == 4) DBA_RETURN_IF_ERROR(flush_full());
+  }
+  for (int i = 0; i < pending; ++i) {
+    DBA_RETURN_IF_ERROR(ctx.StoreWord(
+        StoreLsu(), c_ptr_ + static_cast<uint64_t>(4 * i),
+        pack[static_cast<size_t>(i)]));
+    ++c_count_;
+  }
+  if (pending > 0) {
+    c_ptr_ += static_cast<uint64_t>(4 * pending);
+    ++counters_.store_beats;
+  }
+  ctx.set_reg(isa::abi::kLenC, c_count_);
+  return Status::Ok();
+}
+
+Status EisExtension::LdMerge(ExtContext& ctx) {
+  // Refill the side with fewer buffered elements first; if its stream
+  // is exhausted or its Load states are full, try the other side.
+  const int buffered_a = a_.window.count + a_.load_fifo.size();
+  const int buffered_b = b_.window.count + b_.load_fifo.size();
+  const int first = buffered_b < buffered_a ? 1 : 0;
+  const uint64_t beats_before = counters_.load_beats;
+  DBA_RETURN_IF_ERROR(Ld(ctx, first));
+  if (counters_.load_beats == beats_before) {
+    DBA_RETURN_IF_ERROR(Ld(ctx, 1 - first));
+  }
+  LdP(0);
+  LdP(1);
+  active_state_->Set(ContinueFlag() ? 1 : 0);
+  ctx.set_reg(FlagReg(ctx), active_state_->Get() != 0 ? 1u : 0u);
+  return Status::Ok();
+}
+
+Status EisExtension::SortBeat(ExtContext& ctx) {
+  if (a_.remaining > 0) {
+    DBA_ASSIGN_OR_RETURN(mem::Beat128 beat, ctx.LoadBeat(0, a_.ptr));
+    const uint32_t take = std::min<uint32_t>(4, a_.remaining);
+    // Pad the tail with the maximum value so the network sinks padding
+    // lanes to the end of the run.
+    for (uint32_t i = take; i < 4; ++i) beat[i] = 0xFFFFFFFFu;
+    SortNetwork4(beat);
+    DBA_RETURN_IF_ERROR(ctx.StoreBeat(0, c_ptr_, beat));
+    a_.ptr += mem::kBeatBytes;
+    a_.remaining -= take;
+    c_ptr_ += mem::kBeatBytes;
+    c_count_ += take;
+    ++counters_.load_beats;
+    ++counters_.store_beats;
+  }
+  ctx.set_reg(FlagReg(ctx), a_.remaining > 0 ? 1u : 0u);
+  return Status::Ok();
+}
+
+Status EisExtension::CopyBeat(ExtContext& ctx) {
+  if (a_.remaining > 0) {
+    DBA_ASSIGN_OR_RETURN(mem::Beat128 beat, ctx.LoadBeat(0, a_.ptr));
+    const uint32_t take = std::min<uint32_t>(4, a_.remaining);
+    DBA_RETURN_IF_ERROR(ctx.StoreBeat(0, c_ptr_, beat));
+    a_.ptr += mem::kBeatBytes;
+    a_.remaining -= take;
+    c_ptr_ += mem::kBeatBytes;
+    c_count_ += take;
+    ++counters_.load_beats;
+    ++counters_.store_beats;
+  }
+  ctx.set_reg(FlagReg(ctx), a_.remaining > 0 ? 1u : 0u);
+  return Status::Ok();
+}
+
+}  // namespace dba::eis

@@ -1,0 +1,56 @@
+#ifndef DBA_EIS_FIFO_H_
+#define DBA_EIS_FIFO_H_
+
+#include <array>
+#include <cstddef>
+#include <cstdint>
+
+#include "common/check.h"
+
+namespace dba::eis {
+
+/// Fixed-capacity ring FIFO modelling the small hardware buffers of the
+/// extension datapath (Load states, TmpStore/Store chain). Overflow and
+/// underflow are programming errors in the datapath and abort.
+template <typename T, size_t Capacity>
+class SmallFifo {
+ public:
+  int size() const { return static_cast<int>(size_); }
+  bool empty() const { return size_ == 0; }
+  bool full() const { return size_ == Capacity; }
+  int space() const { return static_cast<int>(Capacity - size_); }
+  static constexpr int capacity() { return static_cast<int>(Capacity); }
+
+  void Push(T value) {
+    DBA_CHECK_MSG(!full(), "FIFO overflow");
+    buffer_[(head_ + size_) % Capacity] = value;
+    ++size_;
+  }
+
+  T Pop() {
+    DBA_CHECK_MSG(!empty(), "FIFO underflow");
+    T value = buffer_[head_];
+    head_ = (head_ + 1) % Capacity;
+    --size_;
+    return value;
+  }
+
+  const T& Peek(int offset = 0) const {
+    DBA_CHECK(offset >= 0 && static_cast<size_t>(offset) < size_);
+    return buffer_[(head_ + static_cast<size_t>(offset)) % Capacity];
+  }
+
+  void Clear() {
+    head_ = 0;
+    size_ = 0;
+  }
+
+ private:
+  std::array<T, Capacity> buffer_{};
+  size_t head_ = 0;
+  size_t size_ = 0;
+};
+
+}  // namespace dba::eis
+
+#endif  // DBA_EIS_FIFO_H_

@@ -1,0 +1,47 @@
+#include "eis/networks.h"
+
+#include <utility>
+
+namespace dba::eis {
+
+namespace {
+
+inline void CompareExchange(uint32_t& lo, uint32_t& hi) {
+  if (lo > hi) std::swap(lo, hi);
+}
+
+}  // namespace
+
+void SortNetwork4(std::array<uint32_t, 4>& v) {
+  // Stage 1: (0,1) (2,3); stage 2: (0,2) (1,3); stage 3: (1,2).
+  CompareExchange(v[0], v[1]);
+  CompareExchange(v[2], v[3]);
+  CompareExchange(v[0], v[2]);
+  CompareExchange(v[1], v[3]);
+  CompareExchange(v[1], v[2]);
+}
+
+void MergeNetwork4x4(std::array<uint32_t, 4>& lo, std::array<uint32_t, 4>& hi) {
+  // Bitonic merge of (lo ascending, hi ascending): reverse hi to form a
+  // bitonic sequence, then three butterfly stages.
+  std::swap(hi[0], hi[3]);
+  std::swap(hi[1], hi[2]);
+
+  // Stage 1: compare across halves.
+  CompareExchange(lo[0], hi[0]);
+  CompareExchange(lo[1], hi[1]);
+  CompareExchange(lo[2], hi[2]);
+  CompareExchange(lo[3], hi[3]);
+  // Stage 2: distance 2 within each half.
+  CompareExchange(lo[0], lo[2]);
+  CompareExchange(lo[1], lo[3]);
+  CompareExchange(hi[0], hi[2]);
+  CompareExchange(hi[1], hi[3]);
+  // Stage 3: distance 1.
+  CompareExchange(lo[0], lo[1]);
+  CompareExchange(lo[2], lo[3]);
+  CompareExchange(hi[0], hi[1]);
+  CompareExchange(hi[2], hi[3]);
+}
+
+}  // namespace dba::eis

@@ -1,0 +1,24 @@
+#ifndef DBA_EIS_NETWORKS_H_
+#define DBA_EIS_NETWORKS_H_
+
+#include <array>
+#include <cstdint>
+
+namespace dba::eis {
+
+/// Hardware-style compare-exchange networks used by the presorting
+/// instructions (Section 4: "special load and store instructions ...
+/// which concurrently perform a sort operation"). Implemented as
+/// explicit comparator stages, exactly as they would be wired in TIE.
+
+/// In-place 4-element sorting network (Batcher even-odd, 5 comparators,
+/// 3 stages -- single-cycle at the modelled frequencies).
+void SortNetwork4(std::array<uint32_t, 4>& values);
+
+/// Bitonic 4x4 merge network: merges two sorted 4-vectors into one
+/// sorted 8-vector (lower half in `lo`, upper half in `hi`).
+void MergeNetwork4x4(std::array<uint32_t, 4>& lo, std::array<uint32_t, 4>& hi);
+
+}  // namespace dba::eis
+
+#endif  // DBA_EIS_NETWORKS_H_

@@ -1,0 +1,143 @@
+#include "eis/sop.h"
+
+#include <algorithm>
+
+#include "common/check.h"
+
+namespace dba::eis {
+
+std::string_view SopModeName(SopMode mode) {
+  switch (mode) {
+    case SopMode::kIntersect:
+      return "intersect";
+    case SopMode::kUnion:
+      return "union";
+    case SopMode::kDifference:
+      return "difference";
+    case SopMode::kMerge:
+      return "merge";
+  }
+  return "invalid";
+}
+
+void Window::Consume(int n) {
+  DBA_CHECK(n >= 0 && n <= count);
+  for (int i = n; i < count; ++i) {
+    lanes[static_cast<size_t>(i - n)] = lanes[static_cast<size_t>(i)];
+  }
+  count -= n;
+}
+
+void Window::Push(uint32_t value) {
+  DBA_CHECK_MSG(count < 4, "Window overflow");
+  DBA_CHECK_MSG(count == 0 || lanes[static_cast<size_t>(count - 1)] <= value,
+                "Window must stay sorted");
+  lanes[static_cast<size_t>(count++)] = value;
+}
+
+namespace {
+
+/// Consumption limit contributed by the opposite window: the comparator
+/// may release everything up to the other side's maximum; +inf once the
+/// other stream is fully drained; nothing while the other window merely
+/// awaits a refill. Modelled in an int64 domain around uint32 values.
+int64_t ConsumeLimit(const Window& other, bool other_drained) {
+  if (!other.empty()) return static_cast<int64_t>(other.max());
+  return other_drained ? INT64_MAX : INT64_MIN;
+}
+
+int CountLessEq(const Window& window, int64_t limit) {
+  int n = 0;
+  while (n < window.count &&
+         static_cast<int64_t>(window.lanes[static_cast<size_t>(n)]) <= limit) {
+    ++n;
+  }
+  return n;
+}
+
+}  // namespace
+
+SopOutcome ComputeSop(SopMode mode, const Window& a, bool a_drained,
+                      const Window& b, bool b_drained) {
+  SopOutcome outcome;
+  const int limit_a = CountLessEq(a, ConsumeLimit(b, b_drained));
+  const int limit_b = CountLessEq(b, ConsumeLimit(a, a_drained));
+
+  // All-to-all comparison over the consumed prefixes; in hardware this is
+  // the n^2 comparator array (Section 2.2, intra-element-wise SIMD).
+  // Functionally a two-pointer merge over the two sorted prefixes.
+  //
+  // The Result states are four elements wide (Figure 8: Result_0..3), so
+  // one SOP emits at most four values; consumption truncates at the
+  // element whose emission would overflow them. Modes that emit little
+  // (intersection at low selectivity) still consume full prefixes.
+  int i = 0;
+  int j = 0;
+  auto can_emit = [&outcome](int n) { return outcome.emit_count + n <= 4; };
+  auto push = [&outcome](uint32_t value) {
+    DBA_CHECK(outcome.emit_count < 4);
+    outcome.emit[static_cast<size_t>(outcome.emit_count++)] = value;
+  };
+  while (i < limit_a || j < limit_b) {
+    const bool take_a =
+        j >= limit_b ||
+        (i < limit_a && a.lanes[static_cast<size_t>(i)] <=
+                            b.lanes[static_cast<size_t>(j)]);
+    if (take_a && i < limit_a && j < limit_b &&
+        a.lanes[static_cast<size_t>(i)] == b.lanes[static_cast<size_t>(j)]) {
+      // Matched pair.
+      const uint32_t value = a.lanes[static_cast<size_t>(i)];
+      switch (mode) {
+        case SopMode::kIntersect:
+        case SopMode::kUnion:
+          if (!can_emit(1)) goto result_states_full;
+          push(value);
+          break;
+        case SopMode::kDifference:
+          break;  // suppressed
+        case SopMode::kMerge:
+          if (!can_emit(2)) goto result_states_full;
+          push(value);
+          push(value);  // duplicates preserved
+          break;
+      }
+      ++outcome.matches;
+      ++i;
+      ++j;
+      continue;
+    }
+    if (take_a) {
+      const uint32_t value = a.lanes[static_cast<size_t>(i)];
+      switch (mode) {
+        case SopMode::kIntersect:
+          break;
+        case SopMode::kUnion:
+        case SopMode::kDifference:
+        case SopMode::kMerge:
+          if (!can_emit(1)) goto result_states_full;
+          push(value);
+          break;
+      }
+      ++i;
+    } else {
+      const uint32_t value = b.lanes[static_cast<size_t>(j)];
+      switch (mode) {
+        case SopMode::kIntersect:
+        case SopMode::kDifference:
+          break;
+        case SopMode::kUnion:
+        case SopMode::kMerge:
+          if (!can_emit(1)) goto result_states_full;
+          push(value);
+          break;
+      }
+      ++j;
+    }
+  }
+result_states_full:
+  outcome.consume_a = i;
+  outcome.consume_b = j;
+  return outcome;
+}
+
+}  // namespace dba::eis

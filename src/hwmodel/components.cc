@@ -1,0 +1,64 @@
+#include "hwmodel/components.h"
+
+namespace dba::hwmodel {
+namespace component {
+
+// Calibration sources (all 65 nm TSMC low-power, typical case):
+//  - absolute logic areas of the EIS parts: Table 4 percentages applied
+//    to the 0.645 mm^2 of DBA_2LSU_EIS;
+//  - core/periphery areas: Table 3 (logic column);
+//  - critical-path contributions: decomposed from the Table 2/3 maximum
+//    frequencies (442/435/429/424/410 MHz);
+//  - power: decomposed from the Table 3 power column.
+
+Component Mini108Core() {
+  return {"108Mini core", 0.2201, 2.2624, 27.4};
+}
+
+Component DbaBaseCore() {
+  // The LX4-derived base core as reported in the EIS synthesis
+  // (Table 4: "Basic Core", 20.5% of 0.645 mm^2).
+  return {"basic core", 0.1322, 2.2989, 24.0};
+}
+
+Component LoadStoreUnit() {
+  // First LSU is part of the periphery; this entry models the marginal
+  // cost of an *additional* LSU: negligible area (Table 3 reports equal
+  // logic for DBA_1LSU and DBA_2LSU), a mux delay, and 0.5 mW.
+  return {"load-store unit", 0.0, 0.0321, 0.5};
+}
+
+Component SecondLsuGlue() { return LoadStoreUnit(); }
+
+Component PrefetchInterface() {
+  // Periphery of the base configurations: LSU0 datapath, prefetcher
+  // port, wide-bus infrastructure. Area closes the gap between the
+  // Table 4 basic core and the Table 3 base-configuration logic.
+  return {"core periphery", 0.0448, 0.0, 5.7};
+}
+
+Component EisDecodeMux() { return {"decoding/muxing", 0.0929, 0.0, 14.1}; }
+Component EisStates() { return {"states", 0.0948, 0.0, 14.4}; }
+Component EisOpAll() {
+  // The shared all-to-all comparator array also sets the extension's
+  // critical-path contribution.
+  return {"op: all", 0.0729, 0.0596, 11.1};
+}
+Component EisOpIntersect() { return {"op: intersection", 0.0439, 0.0, 6.7}; }
+Component EisOpDifference() { return {"op: difference", 0.0581, 0.0, 8.8}; }
+Component EisOpUnion() { return {"op: union", 0.1135, 0.0, 17.3}; }
+Component EisOpMerge() { return {"op: merge-sort", 0.0368, 0.0, 5.6}; }
+
+Component EisDualLsuGlue() {
+  // Partial loading across both LSUs lengthens the word-state muxing
+  // path; area and power are absorbed in the op circuits above.
+  return {"dual-LSU partial-load glue", 0.0, 0.0484, 0.0};
+}
+
+}  // namespace component
+
+double MemoryAreaMm2PerKib() { return 0.87 / 96.0; }
+
+double MemoryPowerMwPerKib() { return 26.9 / 96.0; }
+
+}  // namespace dba::hwmodel

@@ -1,0 +1,55 @@
+#ifndef DBA_HWMODEL_COMPONENTS_H_
+#define DBA_HWMODEL_COMPONENTS_H_
+
+#include <string>
+#include <vector>
+
+namespace dba::hwmodel {
+
+/// One synthesizable building block of a processor configuration.
+///
+/// The entries form the substitute for the Synopsys Design Compiler /
+/// PrimeTime flow of paper Section 5.1: each component carries its 65 nm
+/// logic area, its contribution to the longest combinational path, and
+/// its (switching-activity-averaged) power. Values are calibrated
+/// against the published synthesis results (Tables 3 and 4); the model
+/// composes them per configuration, so ablations (drop a component, add
+/// one twice) remain meaningful.
+struct Component {
+  std::string name;
+  double logic_area_mm2 = 0;  // 65 nm
+  double delay_ns = 0;        // critical-path contribution
+  double power_mw = 0;        // 65 nm, typical case (25C, 1.25 V)
+};
+
+/// Component library (65 nm TSMC low-power, typical case).
+namespace component {
+
+// Base cores.
+Component Mini108Core();       // Diamond 108Mini controller
+Component DbaBaseCore();       // LX4-derived base: 64-bit ibus, 128-bit dbus
+Component LoadStoreUnit();     // one LSU datapath
+Component SecondLsuGlue();     // crossbar/mux for the second LSU
+Component PrefetchInterface(); // data-prefetcher port & FSM interface
+
+// EIS components (relative areas from Table 4).
+Component EisDecodeMux();
+Component EisStates();
+Component EisOpAll();          // shared all-to-all comparison circuit
+Component EisOpIntersect();
+Component EisOpDifference();
+Component EisOpUnion();
+Component EisOpMerge();
+Component EisDualLsuGlue();    // partial loading across two LSUs
+
+}  // namespace component
+
+/// Local memory model: single-ported SRAM macro area/power per KiB at
+/// 65 nm (low-power TSMC libraries; calibrated to the 0.874 mm^2 /
+/// 96 KiB of DBA_1LSU).
+double MemoryAreaMm2PerKib();
+double MemoryPowerMwPerKib();
+
+}  // namespace dba::hwmodel
+
+#endif  // DBA_HWMODEL_COMPONENTS_H_

@@ -1,0 +1,64 @@
+#ifndef DBA_HWMODEL_REFERENCE_H_
+#define DBA_HWMODEL_REFERENCE_H_
+
+#include <string>
+
+namespace dba::hwmodel {
+
+/// Datasheet constants of the x86 comparison processors (Section 5.4,
+/// Tables 5 and 6) together with the published single-threaded
+/// throughput of the software baselines on them.
+struct X86Reference {
+  std::string name;
+  double clock_ghz = 0;
+  double max_tdp_w = 0;
+  int cores = 0;
+  int threads = 0;
+  int feature_nm = 0;
+  double die_area_mm2 = 0;
+  /// Published throughput of the referenced software implementation in
+  /// million elements per second.
+  double paper_throughput_meps = 0;
+  /// Workload size used in the referenced paper.
+  uint64_t paper_workload_elements = 0;
+};
+
+/// Intel Q9550: platform of the Chhugani et al. SIMD merge-sort
+/// (`swsort`); sorts 512,000 values at ~60 M elements/s single-threaded.
+inline X86Reference IntelQ9550() {
+  return {"Intel Q9550", 3.22, 95.0, 4, 4, 45, 214.0, 60.0, 512000};
+}
+
+/// Intel i7-920: platform of the Schlegel et al. SIMD sorted-set
+/// intersection (`swset`); 1,100 M elements/s on 2 x 10 M sets.
+inline X86Reference IntelI7920() {
+  return {"Intel i7-920", 2.67, 130.0, 4, 8, 45, 263.0, 1100.0, 10000000};
+}
+
+/// Energy per processed element in nanojoules.
+inline double EnergyPerElementNj(double power_mw, double throughput_meps) {
+  if (throughput_meps <= 0) return 0;
+  // mW / (M elements/s) = nJ / element.
+  return power_mw / throughput_meps;
+}
+
+/// Power ratio between an x86 reference (at max TDP) and a synthesized
+/// configuration -- the paper's "960x less energy ... while providing
+/// the same performance" headline for the i7-920 vs. DBA_2LSU_EIS.
+inline double PowerRatio(const X86Reference& reference, double power_mw) {
+  if (power_mw <= 0) return 0;
+  return reference.max_tdp_w * 1000.0 / power_mw;
+}
+
+/// Power density in W/cm² -- the dark-silicon argument of Section 1:
+/// general-purpose dies run at 40-90 W/cm² and cannot power all
+/// transistors simultaneously, while the DBA cores stay so cool that
+/// "hundreds of chips on a single board" face no thermal restrictions.
+inline double PowerDensityWPerCm2(double power_mw, double area_mm2) {
+  if (area_mm2 <= 0) return 0;
+  return (power_mw / 1000.0) / (area_mm2 / 100.0);
+}
+
+}  // namespace dba::hwmodel
+
+#endif  // DBA_HWMODEL_REFERENCE_H_

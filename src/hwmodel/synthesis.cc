@@ -1,0 +1,187 @@
+#include "hwmodel/synthesis.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace dba::hwmodel {
+
+namespace {
+
+/// Single-load-path instantiation factor: on a one-LSU core the EIS is
+/// synthesized with half the load datapath and without the dual write
+/// paths of the union circuit; calibrated from Table 3
+/// ((0.523 - 0.132) / (0.645 - 0.132) of the extension area).
+constexpr double kSingleLsuEisFactor = 0.762;
+
+/// Extension power at f_max, 65 nm, decomposed from Table 3:
+/// DBA_1LSU_EIS adds 66.9 mW over DBA_1LSU; DBA_2LSU_EIS adds 78.0 mW
+/// over DBA_2LSU.
+constexpr double kEisPowerSingleMw = 66.9;
+constexpr double kEisPowerDualMw = 78.0;
+
+std::vector<Component> EisComponents() {
+  return {component::EisDecodeMux(),   component::EisStates(),
+          component::EisOpAll(),       component::EisOpIntersect(),
+          component::EisOpDifference(), component::EisOpUnion(),
+          component::EisOpMerge()};
+}
+
+}  // namespace
+
+std::string_view ConfigKindName(ConfigKind kind) {
+  switch (kind) {
+    case ConfigKind::k108Mini:
+      return "108Mini";
+    case ConfigKind::kDba1Lsu:
+      return "DBA_1LSU";
+    case ConfigKind::kDba2Lsu:
+      return "DBA_2LSU";
+    case ConfigKind::kDba1LsuEis:
+      return "DBA_1LSU_EIS";
+    case ConfigKind::kDba2LsuEis:
+      return "DBA_2LSU_EIS";
+  }
+  return "invalid";
+}
+
+std::string_view TechNodeName(TechNode node) {
+  switch (node) {
+    case TechNode::k65nmTsmcLp:
+      return "65 nm";
+    case TechNode::k28nmGfSlp:
+      return "28 nm";
+  }
+  return "invalid";
+}
+
+MemoryPlan MemoryPlanFor(ConfigKind kind) {
+  MemoryPlan plan;
+  switch (kind) {
+    case ConfigKind::k108Mini:
+      // No caches and no local store: the whole die is logic.
+      plan.has_local_store = false;
+      break;
+    case ConfigKind::kDba1Lsu:
+    case ConfigKind::kDba1LsuEis:
+      plan.instruction_kib = 32;
+      plan.data_kib = 64;
+      plan.data_banks = 1;
+      plan.has_local_store = true;
+      break;
+    case ConfigKind::kDba2Lsu:
+    case ConfigKind::kDba2LsuEis:
+      plan.instruction_kib = 32;
+      plan.data_kib = 64;  // 32 KiB per LSU
+      plan.data_banks = 2;
+      plan.has_local_store = true;
+      break;
+  }
+  return plan;
+}
+
+TechScaling DefaultTechScaling() { return TechScaling{}; }
+
+SynthesisReport Synthesize(ConfigKind kind, TechNode node) {
+  std::vector<Component> parts;
+  switch (kind) {
+    case ConfigKind::k108Mini:
+      parts.push_back(component::Mini108Core());
+      break;
+    case ConfigKind::kDba1Lsu:
+      parts.push_back(component::DbaBaseCore());
+      parts.push_back(component::PrefetchInterface());
+      break;
+    case ConfigKind::kDba2Lsu:
+      parts.push_back(component::DbaBaseCore());
+      parts.push_back(component::PrefetchInterface());
+      parts.push_back(component::SecondLsuGlue());
+      break;
+    case ConfigKind::kDba1LsuEis:
+    case ConfigKind::kDba2LsuEis:
+      // With the extension present, synthesis absorbs the base
+      // periphery into the extension's decoding/muxing (Table 4 lists
+      // only "basic core" + extension parts for the full processor).
+      parts.push_back(component::DbaBaseCore());
+      for (Component& eis_part : EisComponents()) {
+        parts.push_back(eis_part);
+      }
+      if (kind == ConfigKind::kDba2LsuEis) {
+        parts.push_back(component::SecondLsuGlue());
+        parts.push_back(component::EisDualLsuGlue());
+      }
+      break;
+  }
+
+  SynthesisReport report;
+  report.config_name = std::string(ConfigKindName(kind));
+  report.node = node;
+
+  double critical_path_ns = 0;
+  for (const Component& part : parts) {
+    report.logic_area_mm2 += part.logic_area_mm2;
+    report.power_mw += part.power_mw;
+    critical_path_ns += part.delay_ns;
+  }
+
+  const double base_power = component::DbaBaseCore().power_mw +
+                            component::PrefetchInterface().power_mw;
+  if (kind == ConfigKind::kDba1LsuEis) {
+    // Narrow instantiation of the extension (see kSingleLsuEisFactor):
+    // scale the extension's share of area; power is the decomposed
+    // single-LSU extension figure.
+    const double base_area = component::DbaBaseCore().logic_area_mm2;
+    report.logic_area_mm2 =
+        base_area + (report.logic_area_mm2 - base_area) * kSingleLsuEisFactor;
+    report.power_mw = base_power + kEisPowerSingleMw;
+  } else if (kind == ConfigKind::kDba2LsuEis) {
+    report.power_mw =
+        base_power + component::SecondLsuGlue().power_mw + kEisPowerDualMw;
+  }
+
+  const MemoryPlan plan = MemoryPlanFor(kind);
+  const double total_kib =
+      static_cast<double>(plan.instruction_kib + plan.data_kib);
+  report.mem_area_mm2 = total_kib * MemoryAreaMm2PerKib();
+  if (plan.has_local_store && plan.data_banks == 1) {
+    // A single large data macro pays slightly more array overhead than
+    // two half-size macros (Table 3: 0.874 vs 0.870 mm^2).
+    report.mem_area_mm2 += 0.004;
+  }
+  report.power_mw += total_kib * MemoryPowerMwPerKib();
+
+  report.fmax_mhz = critical_path_ns > 0 ? 1000.0 / critical_path_ns : 0;
+
+  if (node == TechNode::k28nmGfSlp) {
+    const TechScaling scaling = DefaultTechScaling();
+    report.logic_area_mm2 /= scaling.area_divisor;
+    report.mem_area_mm2 /= scaling.area_divisor;
+    report.power_mw /= scaling.power_divisor;
+    report.fmax_mhz = std::min(scaling.fmax_cap_mhz, report.fmax_mhz * 1.5);
+  }
+  return report;
+}
+
+std::vector<AreaBreakdownEntry> EisAreaBreakdown() {
+  std::vector<Component> parts;
+  parts.push_back(component::DbaBaseCore());
+  parts.push_back(component::EisDecodeMux());
+  parts.push_back(component::EisStates());
+  parts.push_back(component::EisOpAll());
+  parts.push_back(component::EisOpIntersect());
+  parts.push_back(component::EisOpDifference());
+  parts.push_back(component::EisOpUnion());
+  parts.push_back(component::EisOpMerge());
+
+  double total = 0;
+  for (const Component& part : parts) total += part.logic_area_mm2;
+
+  std::vector<AreaBreakdownEntry> breakdown;
+  breakdown.reserve(parts.size());
+  for (const Component& part : parts) {
+    breakdown.push_back(AreaBreakdownEntry{
+        part.name, part.logic_area_mm2, 100.0 * part.logic_area_mm2 / total});
+  }
+  return breakdown;
+}
+
+}  // namespace dba::hwmodel

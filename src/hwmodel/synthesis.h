@@ -1,0 +1,85 @@
+#ifndef DBA_HWMODEL_SYNTHESIS_H_
+#define DBA_HWMODEL_SYNTHESIS_H_
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/status.h"
+#include "hwmodel/components.h"
+
+namespace dba::hwmodel {
+
+/// The five synthesized processor configurations of the evaluation
+/// (Section 5.1). EIS variants carry the database instruction-set
+/// extension of Section 4.
+enum class ConfigKind {
+  k108Mini,
+  kDba1Lsu,
+  kDba2Lsu,
+  kDba1LsuEis,
+  kDba2LsuEis,
+};
+
+std::string_view ConfigKindName(ConfigKind kind);
+
+/// Technology nodes of Table 3.
+enum class TechNode {
+  k65nmTsmcLp,  // 65 nm TSMC low-power, typical case (25C, 1.25 V)
+  k28nmGfSlp,   // 28 nm GF super-low-power, SLVT, typical (25C, 0.8 V)
+};
+
+std::string_view TechNodeName(TechNode node);
+
+/// Synthesis-level description of one configuration.
+struct SynthesisReport {
+  std::string config_name;
+  TechNode node = TechNode::k65nmTsmcLp;
+  double logic_area_mm2 = 0;
+  double mem_area_mm2 = 0;
+  double fmax_mhz = 0;
+  double power_mw = 0;  // at fmax
+
+  double total_area_mm2() const { return logic_area_mm2 + mem_area_mm2; }
+  double fmax_hz() const { return fmax_mhz * 1e6; }
+};
+
+/// One row of the Table 4 area breakdown.
+struct AreaBreakdownEntry {
+  std::string part;
+  double area_mm2 = 0;
+  double percent = 0;  // of the configuration's logic area
+};
+
+/// Hardware parameters of the memory subsystem per configuration.
+struct MemoryPlan {
+  uint32_t instruction_kib = 0;
+  uint32_t data_kib = 0;   // total across both LSUs
+  int data_banks = 1;      // one local memory per LSU
+  bool has_local_store = false;
+};
+
+MemoryPlan MemoryPlanFor(ConfigKind kind);
+
+/// Analytical stand-in for the Synopsys synthesis flow: composes the
+/// component library into area/critical-path/power for `kind` at `node`.
+/// See DESIGN.md for the substitution rationale and EXPERIMENTS.md for
+/// model-vs-paper numbers.
+SynthesisReport Synthesize(ConfigKind kind, TechNode node);
+
+/// The per-instruction relative area of the DBA_2LSU_EIS processor
+/// (reproduces Table 4).
+std::vector<AreaBreakdownEntry> EisAreaBreakdown();
+
+/// 65 nm -> 28 nm scaling constants (Table 3, last row).
+struct TechScaling {
+  double area_divisor = 3.8;
+  double power_divisor = 2.875;
+  double fmax_cap_mhz = 500.0;  // SLP/SLVT voltage-limited
+};
+
+TechScaling DefaultTechScaling();
+
+}  // namespace dba::hwmodel
+
+#endif  // DBA_HWMODEL_SYNTHESIS_H_

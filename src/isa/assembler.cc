@@ -1,0 +1,204 @@
+#include "isa/assembler.h"
+
+#include <utility>
+
+#include "common/bits.h"
+
+namespace dba::isa {
+
+void Assembler::Bind(Label* label, std::string name) {
+  const int id = EnsureLabelId(label);
+  if (label_positions_[static_cast<size_t>(id)] >= 0) {
+    AddError("label bound twice");
+    return;
+  }
+  label_positions_[static_cast<size_t>(id)] = pc();
+  if (!name.empty()) {
+    label_names_.emplace_back(std::move(name), pc());
+  }
+}
+
+void Assembler::EmitNone(Opcode op) {
+  Instruction instr;
+  instr.opcode = op;
+  words_.push_back(EncodeBase(instr));
+}
+
+void Assembler::EmitR(Opcode op, Reg rd, Reg rs1, Reg rs2) {
+  Instruction instr;
+  instr.opcode = op;
+  instr.rd = rd;
+  instr.rs1 = rs1;
+  instr.rs2 = rs2;
+  words_.push_back(EncodeBase(instr));
+}
+
+void Assembler::EmitI(Opcode op, Reg rd, Reg rs1, int32_t imm) {
+  if (imm < kMinImm12 || imm > kMaxImm12) {
+    AddError("imm12 out of range: " + std::to_string(imm));
+    imm = 0;
+  }
+  if ((op == Opcode::kSlli || op == Opcode::kSrli || op == Opcode::kSrai) &&
+      (imm < 0 || imm > 31)) {
+    AddError("shift amount out of range: " + std::to_string(imm));
+    imm = 0;
+  }
+  Instruction instr;
+  instr.opcode = op;
+  instr.rd = rd;
+  instr.rs1 = rs1;
+  instr.imm = imm;
+  words_.push_back(EncodeBase(instr));
+}
+
+void Assembler::Lui(Reg rd, uint32_t imm20) {
+  if (imm20 > kMaxImm20) {
+    AddError("imm20 out of range: " + std::to_string(imm20));
+    imm20 = 0;
+  }
+  Instruction instr;
+  instr.opcode = Opcode::kLui;
+  instr.rd = rd;
+  instr.imm = static_cast<int32_t>(imm20);
+  words_.push_back(EncodeBase(instr));
+}
+
+void Assembler::Sw(Reg value, Reg base, int32_t offset) {
+  if (offset < kMinImm12 || offset > kMaxImm12) {
+    AddError("store offset out of range: " + std::to_string(offset));
+    offset = 0;
+  }
+  Instruction instr;
+  instr.opcode = Opcode::kSw;
+  instr.rs1 = base;
+  instr.rs2 = value;
+  instr.imm = offset;
+  words_.push_back(EncodeBase(instr));
+}
+
+void Assembler::EmitB(Opcode op, Reg rs1, Reg rs2, Label* target) {
+  Instruction instr;
+  instr.opcode = op;
+  instr.rs1 = rs1;
+  instr.rs2 = rs2;
+  instr.imm = 0;
+  fixups_.push_back(Fixup{pc(), EnsureLabelId(target)});
+  words_.push_back(EncodeBase(instr));
+}
+
+void Assembler::J(Label* target) {
+  Instruction instr;
+  instr.opcode = Opcode::kJ;
+  instr.imm = 0;
+  fixups_.push_back(Fixup{pc(), EnsureLabelId(target)});
+  words_.push_back(EncodeBase(instr));
+}
+
+void Assembler::Tie(uint16_t ext_id, uint16_t operand) {
+  if (ext_id == 0 || ext_id > kMaxExtId) {
+    AddError("TIE ext_id out of range: " + std::to_string(ext_id));
+    ext_id = 1;
+  }
+  if (operand > kMaxTieOperand) {
+    AddError("TIE operand out of range: " + std::to_string(operand));
+    operand = 0;
+  }
+  Instruction instr;
+  instr.opcode = Opcode::kTie;
+  instr.ext_id = ext_id;
+  instr.operand = operand;
+  words_.push_back(EncodeBase(instr));
+}
+
+void Assembler::Flix(std::initializer_list<TieSlot> slots) {
+  if (slots.size() == 0 || slots.size() > kMaxFlixSlots) {
+    AddError("FLIX bundle must have 1.." + std::to_string(kMaxFlixSlots) +
+             " slots");
+    return;
+  }
+  std::array<TieSlot, kMaxFlixSlots> bundle{};
+  size_t i = 0;
+  for (const TieSlot& slot : slots) {
+    if (slot.ext_id == 0 || slot.ext_id > kMaxExtId) {
+      AddError("FLIX slot ext_id out of range");
+      return;
+    }
+    if (slot.operand > kMaxSlotOperand) {
+      AddError("FLIX slot operand out of range (8 bits in bundle form)");
+      return;
+    }
+    bundle[i++] = slot;
+  }
+  words_.push_back(EncodeFlix(bundle));
+}
+
+void Assembler::LoadImm32(Reg rd, uint32_t value) {
+  const auto signed_value = static_cast<int32_t>(value);
+  if (signed_value >= kMinImm12 && signed_value <= kMaxImm12) {
+    Movi(rd, signed_value);
+    return;
+  }
+  // RISC-V-style hi/lo split: the +0x800 compensates for the sign
+  // extension of the low 12 bits added by Addi.
+  const uint32_t hi = (value + 0x800u) >> 12;
+  const int32_t lo =
+      static_cast<int32_t>(SignExtend(value & 0xFFFu, 12));
+  Lui(rd, hi & kMaxImm20);
+  if (lo != 0) Addi(rd, rd, lo);
+}
+
+int Assembler::EnsureLabelId(Label* label) {
+  if (label->id_ < 0) {
+    label->id_ = static_cast<int>(label_positions_.size());
+    label_positions_.push_back(-1);
+  }
+  return label->id_;
+}
+
+void Assembler::AddError(const std::string& message) {
+  errors_.push_back("at pc " + std::to_string(pc()) + ": " + message);
+}
+
+Result<Program> Assembler::Finish() {
+  for (const Fixup& fixup : fixups_) {
+    const int64_t target = label_positions_[static_cast<size_t>(fixup.label_id)];
+    if (target < 0) {
+      errors_.push_back("unbound label referenced at pc " +
+                        std::to_string(fixup.pc));
+      continue;
+    }
+    // Offsets are relative to the instruction after the branch.
+    const int64_t offset = target - (fixup.pc + 1);
+    auto decoded = Decode(words_[fixup.pc]);
+    DBA_ASSIGN_OR_RETURN(DecodedWord word, std::move(decoded));
+    const bool is_jump = word.base.opcode == Opcode::kJ;
+    const int64_t lo = is_jump ? kMinImm24 : kMinImm12;
+    const int64_t hi = is_jump ? kMaxImm24 : kMaxImm12;
+    if (offset < lo || offset > hi) {
+      errors_.push_back("branch offset out of range at pc " +
+                        std::to_string(fixup.pc));
+      continue;
+    }
+    word.base.imm = static_cast<int32_t>(offset);
+    words_[fixup.pc] = EncodeBase(word.base);
+  }
+
+  if (!errors_.empty()) {
+    std::string joined = "assembly failed:";
+    for (const std::string& error : errors_) {
+      joined += "\n  ";
+      joined += error;
+    }
+    errors_.clear();
+    return Status::InvalidArgument(joined);
+  }
+
+  Program program(std::move(words_), std::move(label_names_));
+  words_.clear();
+  label_names_.clear();
+  label_positions_.clear();
+  fixups_.clear();
+  return program;
+}
+
+}  // namespace dba::isa

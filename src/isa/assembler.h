@@ -1,0 +1,140 @@
+#ifndef DBA_ISA_ASSEMBLER_H_
+#define DBA_ISA_ASSEMBLER_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "isa/encoding.h"
+#include "isa/instruction.h"
+#include "isa/program.h"
+
+namespace dba::isa {
+
+/// A branch target. Labels may be referenced before they are bound
+/// (forward branches); Assembler::Finish patches all references.
+class Label {
+ public:
+  Label() = default;
+
+ private:
+  friend class Assembler;
+  int id_ = -1;
+};
+
+/// Single-pass assembler for the base ISA and TIE extension space.
+///
+/// The assembler is the "compiler intrinsics" layer of the reproduction:
+/// where the paper writes C code with generated intrinsics, kernels here
+/// are emitted through this interface (see src/dbkern). All range errors
+/// are collected and reported by Finish(); emission calls never fail.
+///
+/// Example:
+///   Assembler masm;
+///   Label loop;
+///   masm.Movi(Reg::a6, 0);
+///   masm.Bind(&loop, "loop");
+///   masm.Addi(Reg::a6, Reg::a6, 1);
+///   masm.Blt(Reg::a6, Reg::a2, &loop);
+///   masm.Halt();
+///   Result<Program> program = masm.Finish();
+class Assembler {
+ public:
+  Assembler() = default;
+  Assembler(const Assembler&) = delete;
+  Assembler& operator=(const Assembler&) = delete;
+
+  // --- Labels ---
+  void Bind(Label* label, std::string name = {});
+
+  // --- No-operand ---
+  void Nop() { EmitNone(Opcode::kNop); }
+  void Halt() { EmitNone(Opcode::kHalt); }
+
+  // --- Register-register ALU ---
+  void Add(Reg rd, Reg rs1, Reg rs2) { EmitR(Opcode::kAdd, rd, rs1, rs2); }
+  void Sub(Reg rd, Reg rs1, Reg rs2) { EmitR(Opcode::kSub, rd, rs1, rs2); }
+  void And(Reg rd, Reg rs1, Reg rs2) { EmitR(Opcode::kAnd, rd, rs1, rs2); }
+  void Or(Reg rd, Reg rs1, Reg rs2) { EmitR(Opcode::kOr, rd, rs1, rs2); }
+  void Xor(Reg rd, Reg rs1, Reg rs2) { EmitR(Opcode::kXor, rd, rs1, rs2); }
+  void Sll(Reg rd, Reg rs1, Reg rs2) { EmitR(Opcode::kSll, rd, rs1, rs2); }
+  void Srl(Reg rd, Reg rs1, Reg rs2) { EmitR(Opcode::kSrl, rd, rs1, rs2); }
+  void Sra(Reg rd, Reg rs1, Reg rs2) { EmitR(Opcode::kSra, rd, rs1, rs2); }
+  void Slt(Reg rd, Reg rs1, Reg rs2) { EmitR(Opcode::kSlt, rd, rs1, rs2); }
+  void Sltu(Reg rd, Reg rs1, Reg rs2) { EmitR(Opcode::kSltu, rd, rs1, rs2); }
+  void Mul(Reg rd, Reg rs1, Reg rs2) { EmitR(Opcode::kMul, rd, rs1, rs2); }
+  void Min(Reg rd, Reg rs1, Reg rs2) { EmitR(Opcode::kMin, rd, rs1, rs2); }
+  void Max(Reg rd, Reg rs1, Reg rs2) { EmitR(Opcode::kMax, rd, rs1, rs2); }
+
+  // --- Register-immediate ALU ---
+  void Addi(Reg rd, Reg rs1, int32_t imm) { EmitI(Opcode::kAddi, rd, rs1, imm); }
+  void Andi(Reg rd, Reg rs1, int32_t imm) { EmitI(Opcode::kAndi, rd, rs1, imm); }
+  void Ori(Reg rd, Reg rs1, int32_t imm) { EmitI(Opcode::kOri, rd, rs1, imm); }
+  void Xori(Reg rd, Reg rs1, int32_t imm) { EmitI(Opcode::kXori, rd, rs1, imm); }
+  void Slli(Reg rd, Reg rs1, int32_t imm) { EmitI(Opcode::kSlli, rd, rs1, imm); }
+  void Srli(Reg rd, Reg rs1, int32_t imm) { EmitI(Opcode::kSrli, rd, rs1, imm); }
+  void Srai(Reg rd, Reg rs1, int32_t imm) { EmitI(Opcode::kSrai, rd, rs1, imm); }
+  void Slti(Reg rd, Reg rs1, int32_t imm) { EmitI(Opcode::kSlti, rd, rs1, imm); }
+  void Sltiu(Reg rd, Reg rs1, int32_t imm) { EmitI(Opcode::kSltiu, rd, rs1, imm); }
+
+  // --- Immediates ---
+  void Movi(Reg rd, int32_t imm) { EmitI(Opcode::kMovi, rd, Reg::a0, imm); }
+  void Lui(Reg rd, uint32_t imm20);
+
+  // --- Memory ---
+  void Lw(Reg rd, Reg base, int32_t offset) {
+    EmitI(Opcode::kLw, rd, base, offset);
+  }
+  void Sw(Reg value, Reg base, int32_t offset);
+
+  // --- Control flow ---
+  void Beq(Reg rs1, Reg rs2, Label* target) { EmitB(Opcode::kBeq, rs1, rs2, target); }
+  void Bne(Reg rs1, Reg rs2, Label* target) { EmitB(Opcode::kBne, rs1, rs2, target); }
+  void Blt(Reg rs1, Reg rs2, Label* target) { EmitB(Opcode::kBlt, rs1, rs2, target); }
+  void Bltu(Reg rs1, Reg rs2, Label* target) { EmitB(Opcode::kBltu, rs1, rs2, target); }
+  void Bge(Reg rs1, Reg rs2, Label* target) { EmitB(Opcode::kBge, rs1, rs2, target); }
+  void Bgeu(Reg rs1, Reg rs2, Label* target) { EmitB(Opcode::kBgeu, rs1, rs2, target); }
+  void J(Label* target);
+
+  // --- TIE extension space ---
+  /// Single-issue TIE operation (the common case for fused operations).
+  void Tie(uint16_t ext_id, uint16_t operand = 0);
+  /// FLIX bundle of up to kMaxFlixSlots TIE operations issued together.
+  void Flix(std::initializer_list<TieSlot> slots);
+
+  // --- Pseudo-instructions ---
+  void Mv(Reg rd, Reg rs) { Addi(rd, rs, 0); }
+  /// Materializes an arbitrary 32-bit constant (1 or 2 instructions).
+  void LoadImm32(Reg rd, uint32_t value);
+
+  /// Current emission position (pc of the next instruction).
+  uint32_t pc() const { return static_cast<uint32_t>(words_.size()); }
+
+  /// Validates, patches branch targets, and produces the program.
+  /// The assembler is left empty and reusable afterwards.
+  Result<Program> Finish();
+
+ private:
+  struct Fixup {
+    uint32_t pc;
+    int label_id;
+  };
+
+  void EmitNone(Opcode op);
+  void EmitR(Opcode op, Reg rd, Reg rs1, Reg rs2);
+  void EmitI(Opcode op, Reg rd, Reg rs1, int32_t imm);
+  void EmitB(Opcode op, Reg rs1, Reg rs2, Label* target);
+  int EnsureLabelId(Label* label);
+  void AddError(const std::string& message);
+
+  std::vector<uint64_t> words_;
+  std::vector<int64_t> label_positions_;  // -1 = unbound
+  std::vector<std::pair<std::string, uint32_t>> label_names_;
+  std::vector<Fixup> fixups_;
+  std::vector<std::string> errors_;
+};
+
+}  // namespace dba::isa
+
+#endif  // DBA_ISA_ASSEMBLER_H_

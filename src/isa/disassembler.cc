@@ -1,0 +1,102 @@
+#include "isa/disassembler.h"
+
+#include <cstdio>
+
+#include "isa/encoding.h"
+
+namespace dba::isa {
+
+namespace {
+
+std::string ExtName(uint16_t ext_id, const ExtNameResolver& resolver) {
+  if (resolver) {
+    std::string name = resolver(ext_id);
+    if (!name.empty()) return name;
+  }
+  return "tie." + std::to_string(ext_id);
+}
+
+std::string RegStr(Reg r) { return std::string(RegName(r)); }
+
+}  // namespace
+
+std::string DisassembleWord(const DecodedWord& word,
+                            const ExtNameResolver& resolver) {
+  if (word.kind == DecodedWord::Kind::kFlix) {
+    std::string out = "{ ";
+    bool first = true;
+    for (const TieSlot& slot : word.slots) {
+      if (slot.empty()) continue;
+      if (!first) out += "; ";
+      first = false;
+      out += ExtName(slot.ext_id, resolver);
+      if (slot.operand != 0) out += " #" + std::to_string(slot.operand);
+    }
+    out += " }";
+    return out;
+  }
+
+  const Instruction& instr = word.base;
+  std::string name(OpcodeName(instr.opcode));
+  switch (OpcodeFormat(instr.opcode)) {
+    case Format::kNone:
+      return name;
+    case Format::kR:
+      return name + " " + RegStr(instr.rd) + ", " + RegStr(instr.rs1) + ", " +
+             RegStr(instr.rs2);
+    case Format::kI:
+      if (instr.opcode == Opcode::kMovi) {
+        return name + " " + RegStr(instr.rd) + ", " + std::to_string(instr.imm);
+      }
+      if (instr.opcode == Opcode::kLw) {
+        return name + " " + RegStr(instr.rd) + ", " +
+               std::to_string(instr.imm) + "(" + RegStr(instr.rs1) + ")";
+      }
+      return name + " " + RegStr(instr.rd) + ", " + RegStr(instr.rs1) + ", " +
+             std::to_string(instr.imm);
+    case Format::kS:
+      return name + " " + RegStr(instr.rs2) + ", " + std::to_string(instr.imm) +
+             "(" + RegStr(instr.rs1) + ")";
+    case Format::kB:
+      return name + " " + RegStr(instr.rs1) + ", " + RegStr(instr.rs2) + ", " +
+             std::to_string(instr.imm);
+    case Format::kJ:
+      return name + " " + std::to_string(instr.imm);
+    case Format::kU:
+      return name + " " + RegStr(instr.rd) + ", 0x" + [&] {
+        char buf[16];
+        std::snprintf(buf, sizeof buf, "%x", static_cast<uint32_t>(instr.imm));
+        return std::string(buf);
+      }();
+    case Format::kTie:
+      if (instr.operand != 0) {
+        return ExtName(instr.ext_id, resolver) + " #" +
+               std::to_string(instr.operand);
+      }
+      return ExtName(instr.ext_id, resolver);
+  }
+  return name;
+}
+
+std::string DisassembleProgram(const Program& program,
+                               const ExtNameResolver& resolver) {
+  std::string out;
+  for (size_t pc = 0; pc < program.size(); ++pc) {
+    const std::string label = program.LabelAt(static_cast<uint32_t>(pc));
+    if (!label.empty()) {
+      out += label;
+      out += ":\n";
+    }
+    auto decoded = Decode(program.word(pc));
+    char head[48];
+    std::snprintf(head, sizeof head, "  %4zu: %016llx  ", pc,
+                  static_cast<unsigned long long>(program.word(pc)));
+    out += head;
+    out += decoded.ok() ? DisassembleWord(*decoded, resolver)
+                        : "<invalid: " + decoded.status().ToString() + ">";
+    out += "\n";
+  }
+  return out;
+}
+
+}  // namespace dba::isa

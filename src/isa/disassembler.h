@@ -1,0 +1,29 @@
+#ifndef DBA_ISA_DISASSEMBLER_H_
+#define DBA_ISA_DISASSEMBLER_H_
+
+#include <cstdint>
+#include <functional>
+#include <string>
+
+#include "isa/instruction.h"
+#include "isa/program.h"
+
+namespace dba::isa {
+
+/// Resolves a TIE extension-operation id to a mnemonic. Returning an empty
+/// string falls back to "tie.<id>".
+using ExtNameResolver = std::function<std::string(uint16_t ext_id)>;
+
+/// Renders one decoded word, e.g. "blt a7, a8, -3" or
+/// "{ sop, st }" for FLIX bundles.
+std::string DisassembleWord(const DecodedWord& word,
+                            const ExtNameResolver& resolver = nullptr);
+
+/// Renders a whole program with pc, encoding, labels, and mnemonics —
+/// the software face of the debug interface in the processor model.
+std::string DisassembleProgram(const Program& program,
+                               const ExtNameResolver& resolver = nullptr);
+
+}  // namespace dba::isa
+
+#endif  // DBA_ISA_DISASSEMBLER_H_

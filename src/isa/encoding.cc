@@ -1,0 +1,136 @@
+#include "isa/encoding.h"
+
+#include <string>
+
+#include "common/bits.h"
+
+namespace dba::isa {
+
+namespace {
+
+uint64_t EncodeSlot(const TieSlot& slot) {
+  return (static_cast<uint64_t>(slot.operand & 0xFF) << 12) |
+         (slot.ext_id & 0xFFFu);
+}
+
+TieSlot DecodeSlot(uint64_t raw20) {
+  TieSlot slot;
+  slot.ext_id = static_cast<uint16_t>(raw20 & 0xFFF);
+  slot.operand = static_cast<uint16_t>((raw20 >> 12) & 0xFF);
+  return slot;
+}
+
+}  // namespace
+
+uint64_t EncodeBase(const Instruction& instr) {
+  uint64_t word = static_cast<uint8_t>(instr.opcode);
+  switch (OpcodeFormat(instr.opcode)) {
+    case Format::kNone:
+      break;
+    case Format::kR:
+      word = InsertBits(word, 8, 4, static_cast<uint64_t>(RegIndex(instr.rd)));
+      word =
+          InsertBits(word, 12, 4, static_cast<uint64_t>(RegIndex(instr.rs1)));
+      word =
+          InsertBits(word, 16, 4, static_cast<uint64_t>(RegIndex(instr.rs2)));
+      break;
+    case Format::kI:
+      word = InsertBits(word, 8, 4, static_cast<uint64_t>(RegIndex(instr.rd)));
+      word =
+          InsertBits(word, 12, 4, static_cast<uint64_t>(RegIndex(instr.rs1)));
+      word = InsertBits(word, 20, 12, static_cast<uint64_t>(
+                                          static_cast<uint32_t>(instr.imm)));
+      break;
+    case Format::kS:
+    case Format::kB:
+      word =
+          InsertBits(word, 12, 4, static_cast<uint64_t>(RegIndex(instr.rs1)));
+      word =
+          InsertBits(word, 16, 4, static_cast<uint64_t>(RegIndex(instr.rs2)));
+      word = InsertBits(word, 20, 12, static_cast<uint64_t>(
+                                          static_cast<uint32_t>(instr.imm)));
+      break;
+    case Format::kJ:
+      word = InsertBits(word, 8, 24, static_cast<uint64_t>(
+                                         static_cast<uint32_t>(instr.imm)));
+      break;
+    case Format::kU:
+      word = InsertBits(word, 8, 4, static_cast<uint64_t>(RegIndex(instr.rd)));
+      word = InsertBits(word, 12, 20, static_cast<uint64_t>(
+                                          static_cast<uint32_t>(instr.imm)));
+      break;
+    case Format::kTie:
+      word = InsertBits(word, 8, 12, instr.ext_id);
+      word = InsertBits(word, 20, 12, instr.operand);
+      break;
+  }
+  return word;
+}
+
+uint64_t EncodeFlix(const std::array<TieSlot, kMaxFlixSlots>& slots) {
+  uint64_t word = kFlixFormatBit;
+  for (int i = 0; i < kMaxFlixSlots; ++i) {
+    word |= EncodeSlot(slots[static_cast<size_t>(i)]) << (20 * i);
+  }
+  return word;
+}
+
+Result<DecodedWord> Decode(uint64_t word) {
+  DecodedWord decoded;
+  if (word & kFlixFormatBit) {
+    decoded.kind = DecodedWord::Kind::kFlix;
+    bool any = false;
+    for (int i = 0; i < kMaxFlixSlots; ++i) {
+      decoded.slots[static_cast<size_t>(i)] =
+          DecodeSlot(ExtractBits(word, 20 * i, 20));
+      any = any || !decoded.slots[static_cast<size_t>(i)].empty();
+    }
+    if (!any) {
+      return Status::InvalidArgument("FLIX bundle with no occupied slot");
+    }
+    return decoded;
+  }
+
+  const auto raw_opcode = static_cast<uint8_t>(ExtractBits(word, 0, 8));
+  if (!IsValidOpcode(raw_opcode)) {
+    return Status::InvalidArgument("unknown opcode byte " +
+                                   std::to_string(raw_opcode));
+  }
+  decoded.kind = DecodedWord::Kind::kBase;
+  Instruction& instr = decoded.base;
+  instr.opcode = static_cast<Opcode>(raw_opcode);
+  switch (OpcodeFormat(instr.opcode)) {
+    case Format::kNone:
+      break;
+    case Format::kR:
+      instr.rd = RegFromIndex(static_cast<int>(ExtractBits(word, 8, 4)));
+      instr.rs1 = RegFromIndex(static_cast<int>(ExtractBits(word, 12, 4)));
+      instr.rs2 = RegFromIndex(static_cast<int>(ExtractBits(word, 16, 4)));
+      break;
+    case Format::kI:
+      instr.rd = RegFromIndex(static_cast<int>(ExtractBits(word, 8, 4)));
+      instr.rs1 = RegFromIndex(static_cast<int>(ExtractBits(word, 12, 4)));
+      instr.imm = static_cast<int32_t>(SignExtend(ExtractBits(word, 20, 12), 12));
+      break;
+    case Format::kS:
+    case Format::kB:
+      instr.rs1 = RegFromIndex(static_cast<int>(ExtractBits(word, 12, 4)));
+      instr.rs2 = RegFromIndex(static_cast<int>(ExtractBits(word, 16, 4)));
+      instr.imm = static_cast<int32_t>(SignExtend(ExtractBits(word, 20, 12), 12));
+      break;
+    case Format::kJ:
+      instr.imm = static_cast<int32_t>(SignExtend(ExtractBits(word, 8, 24), 24));
+      break;
+    case Format::kU:
+      instr.rd = RegFromIndex(static_cast<int>(ExtractBits(word, 8, 4)));
+      instr.imm = static_cast<int32_t>(ExtractBits(word, 12, 20));
+      break;
+    case Format::kTie:
+      instr.ext_id = static_cast<uint16_t>(ExtractBits(word, 8, 12));
+      instr.operand = static_cast<uint16_t>(ExtractBits(word, 20, 12));
+      break;
+  }
+  return decoded;
+}
+
+}  // namespace dba::isa

@@ -1,0 +1,53 @@
+#ifndef DBA_ISA_ENCODING_H_
+#define DBA_ISA_ENCODING_H_
+
+#include <cstdint>
+
+#include "common/status.h"
+#include "isa/instruction.h"
+
+namespace dba::isa {
+
+/// Binary program-word layout.
+///
+/// Every program word is 64 bits. Bit 63 selects the format:
+///
+///   bit 63 = 0: single base instruction in bits [31:0]
+///     [7:0]   opcode
+///     [11:8]  rd
+///     [15:12] rs1
+///     [19:16] rs2
+///     [31:20] imm12 (signed)          -- formats I, S, B
+///     [31:8]  imm24 (signed)          -- format J
+///     [31:12] imm20 (zero-extended)   -- format U
+///     [19:8]  ext_id, [31:20] operand -- format TIE
+///
+///   bit 63 = 1: FLIX bundle; three 20-bit slots at [19:0], [39:20],
+///     [59:40], each slot = ext_id [11:0] | operand [19:12]; ext_id 0
+///     marks an empty slot.
+inline constexpr uint64_t kFlixFormatBit = 1ULL << 63;
+
+/// Encodes a base instruction. The instruction is assumed well-formed
+/// (the assembler validates ranges before encoding).
+uint64_t EncodeBase(const Instruction& instr);
+
+/// Encodes a FLIX bundle from up to kMaxFlixSlots slots.
+uint64_t EncodeFlix(const std::array<TieSlot, kMaxFlixSlots>& slots);
+
+/// Decodes a program word. Fails with InvalidArgument on unknown opcodes
+/// or malformed bundles (e.g., all-empty FLIX).
+Result<DecodedWord> Decode(uint64_t word);
+
+/// Range limits implied by the encoding.
+inline constexpr int32_t kMaxImm12 = 2047;
+inline constexpr int32_t kMinImm12 = -2048;
+inline constexpr int32_t kMaxImm24 = (1 << 23) - 1;
+inline constexpr int32_t kMinImm24 = -(1 << 23);
+inline constexpr uint32_t kMaxImm20 = (1u << 20) - 1;
+inline constexpr uint16_t kMaxExtId = 0xFFF;
+inline constexpr uint16_t kMaxTieOperand = 0xFFF;   // single-issue TIE form
+inline constexpr uint16_t kMaxSlotOperand = 0xFF;   // FLIX slot form
+
+}  // namespace dba::isa
+
+#endif  // DBA_ISA_ENCODING_H_

@@ -1,0 +1,60 @@
+#ifndef DBA_ISA_INSTRUCTION_H_
+#define DBA_ISA_INSTRUCTION_H_
+
+#include <array>
+#include <cstdint>
+
+#include "isa/opcode.h"
+#include "isa/registers.h"
+
+namespace dba::isa {
+
+/// One decoded base instruction. Fields not used by the opcode's format
+/// are zero.
+struct Instruction {
+  Opcode opcode = Opcode::kNop;
+  Reg rd = Reg::a0;
+  Reg rs1 = Reg::a0;
+  Reg rs2 = Reg::a0;
+  int32_t imm = 0;      // sign-extended imm12 / imm24; raw imm20 for kLui
+  uint16_t ext_id = 0;  // kTie only: extension operation identifier
+  uint16_t operand = 0; // kTie only: 12-bit operand field
+
+  friend bool operator==(const Instruction&, const Instruction&) = default;
+};
+
+/// One slot of a FLIX (VLIW) bundle. FLIX slots carry TIE extension
+/// operations only; the base ISA always issues as single instructions.
+struct TieSlot {
+  uint16_t ext_id = 0;   // 0 = empty slot
+  uint16_t operand = 0;  // 8-bit operand field in the bundle encoding
+
+  bool empty() const { return ext_id == 0; }
+  friend bool operator==(const TieSlot&, const TieSlot&) = default;
+};
+
+inline constexpr int kMaxFlixSlots = 3;
+
+/// A decoded 64-bit program word: either one base instruction or a FLIX
+/// bundle of up to kMaxFlixSlots TIE operations issued in the same cycle.
+struct DecodedWord {
+  enum class Kind : uint8_t { kBase, kFlix };
+
+  Kind kind = Kind::kBase;
+  Instruction base;
+  std::array<TieSlot, kMaxFlixSlots> slots{};
+
+  int num_slots() const {
+    int n = 0;
+    for (const TieSlot& s : slots) {
+      if (!s.empty()) ++n;
+    }
+    return n;
+  }
+
+  friend bool operator==(const DecodedWord&, const DecodedWord&) = default;
+};
+
+}  // namespace dba::isa
+
+#endif  // DBA_ISA_INSTRUCTION_H_

@@ -1,0 +1,205 @@
+#include "isa/opcode.h"
+
+#include "isa/registers.h"
+
+namespace dba::isa {
+
+std::string_view OpcodeName(Opcode op) {
+  switch (op) {
+    case Opcode::kNop:
+      return "nop";
+    case Opcode::kHalt:
+      return "halt";
+    case Opcode::kAdd:
+      return "add";
+    case Opcode::kSub:
+      return "sub";
+    case Opcode::kAnd:
+      return "and";
+    case Opcode::kOr:
+      return "or";
+    case Opcode::kXor:
+      return "xor";
+    case Opcode::kSll:
+      return "sll";
+    case Opcode::kSrl:
+      return "srl";
+    case Opcode::kSra:
+      return "sra";
+    case Opcode::kSlt:
+      return "slt";
+    case Opcode::kSltu:
+      return "sltu";
+    case Opcode::kMul:
+      return "mul";
+    case Opcode::kMin:
+      return "min";
+    case Opcode::kMax:
+      return "max";
+    case Opcode::kAddi:
+      return "addi";
+    case Opcode::kAndi:
+      return "andi";
+    case Opcode::kOri:
+      return "ori";
+    case Opcode::kXori:
+      return "xori";
+    case Opcode::kSlli:
+      return "slli";
+    case Opcode::kSrli:
+      return "srli";
+    case Opcode::kSrai:
+      return "srai";
+    case Opcode::kSlti:
+      return "slti";
+    case Opcode::kSltiu:
+      return "sltiu";
+    case Opcode::kMovi:
+      return "movi";
+    case Opcode::kLui:
+      return "lui";
+    case Opcode::kLw:
+      return "lw";
+    case Opcode::kSw:
+      return "sw";
+    case Opcode::kBeq:
+      return "beq";
+    case Opcode::kBne:
+      return "bne";
+    case Opcode::kBlt:
+      return "blt";
+    case Opcode::kBltu:
+      return "bltu";
+    case Opcode::kBge:
+      return "bge";
+    case Opcode::kBgeu:
+      return "bgeu";
+    case Opcode::kJ:
+      return "j";
+    case Opcode::kTie:
+      return "tie";
+  }
+  return "invalid";
+}
+
+Format OpcodeFormat(Opcode op) {
+  switch (op) {
+    case Opcode::kNop:
+    case Opcode::kHalt:
+      return Format::kNone;
+    case Opcode::kAdd:
+    case Opcode::kSub:
+    case Opcode::kAnd:
+    case Opcode::kOr:
+    case Opcode::kXor:
+    case Opcode::kSll:
+    case Opcode::kSrl:
+    case Opcode::kSra:
+    case Opcode::kSlt:
+    case Opcode::kSltu:
+    case Opcode::kMul:
+    case Opcode::kMin:
+    case Opcode::kMax:
+      return Format::kR;
+    case Opcode::kAddi:
+    case Opcode::kAndi:
+    case Opcode::kOri:
+    case Opcode::kXori:
+    case Opcode::kSlli:
+    case Opcode::kSrli:
+    case Opcode::kSrai:
+    case Opcode::kSlti:
+    case Opcode::kSltiu:
+    case Opcode::kMovi:
+    case Opcode::kLw:
+      return Format::kI;
+    case Opcode::kLui:
+      return Format::kU;
+    case Opcode::kSw:
+      return Format::kS;
+    case Opcode::kBeq:
+    case Opcode::kBne:
+    case Opcode::kBlt:
+    case Opcode::kBltu:
+    case Opcode::kBge:
+    case Opcode::kBgeu:
+      return Format::kB;
+    case Opcode::kJ:
+      return Format::kJ;
+    case Opcode::kTie:
+      return Format::kTie;
+  }
+  return Format::kNone;
+}
+
+bool IsBranch(Opcode op) {
+  switch (op) {
+    case Opcode::kBeq:
+    case Opcode::kBne:
+    case Opcode::kBlt:
+    case Opcode::kBltu:
+    case Opcode::kBge:
+    case Opcode::kBgeu:
+      return true;
+    default:
+      return false;
+  }
+}
+
+bool IsControlFlow(Opcode op) { return IsBranch(op) || op == Opcode::kJ; }
+
+bool IsMemory(Opcode op) {
+  return op == Opcode::kLw || op == Opcode::kSw;
+}
+
+bool IsValidOpcode(uint8_t raw) {
+  switch (static_cast<Opcode>(raw)) {
+    case Opcode::kNop:
+    case Opcode::kHalt:
+    case Opcode::kAdd:
+    case Opcode::kSub:
+    case Opcode::kAnd:
+    case Opcode::kOr:
+    case Opcode::kXor:
+    case Opcode::kSll:
+    case Opcode::kSrl:
+    case Opcode::kSra:
+    case Opcode::kSlt:
+    case Opcode::kSltu:
+    case Opcode::kMul:
+    case Opcode::kMin:
+    case Opcode::kMax:
+    case Opcode::kAddi:
+    case Opcode::kAndi:
+    case Opcode::kOri:
+    case Opcode::kXori:
+    case Opcode::kSlli:
+    case Opcode::kSrli:
+    case Opcode::kSrai:
+    case Opcode::kSlti:
+    case Opcode::kSltiu:
+    case Opcode::kMovi:
+    case Opcode::kLui:
+    case Opcode::kLw:
+    case Opcode::kSw:
+    case Opcode::kBeq:
+    case Opcode::kBne:
+    case Opcode::kBlt:
+    case Opcode::kBltu:
+    case Opcode::kBge:
+    case Opcode::kBgeu:
+    case Opcode::kJ:
+    case Opcode::kTie:
+      return true;
+  }
+  return false;
+}
+
+std::string_view RegName(Reg r) {
+  static constexpr std::string_view kNames[kNumRegs] = {
+      "a0", "a1", "a2",  "a3",  "a4",  "a5",  "a6",  "a7",
+      "a8", "a9", "a10", "a11", "a12", "a13", "a14", "a15"};
+  return kNames[RegIndex(r)];
+}
+
+}  // namespace dba::isa

@@ -1,0 +1,85 @@
+#ifndef DBA_ISA_OPCODE_H_
+#define DBA_ISA_OPCODE_H_
+
+#include <cstdint>
+#include <string_view>
+
+namespace dba::isa {
+
+/// Base RISC instruction set of the configurable core. This models the
+/// subset of a Tensilica-class base ISA that the paper's scalar database
+/// kernels need; everything database-specific is added through the TIE
+/// extension mechanism (see src/tie) rather than here.
+enum class Opcode : uint8_t {
+  kNop = 0x00,
+  kHalt = 0x01,
+
+  // Register-register ALU (format R: rd, rs1, rs2).
+  kAdd = 0x10,
+  kSub = 0x11,
+  kAnd = 0x12,
+  kOr = 0x13,
+  kXor = 0x14,
+  kSll = 0x15,
+  kSrl = 0x16,
+  kSra = 0x17,
+  kSlt = 0x18,   // rd = (int32)rs1 < (int32)rs2
+  kSltu = 0x19,  // rd = (uint32)rs1 < (uint32)rs2
+  kMul = 0x1A,
+  kMin = 0x1B,   // rd = min((uint32)rs1, (uint32)rs2); DSP-style helper
+  kMax = 0x1C,   // rd = max((uint32)rs1, (uint32)rs2)
+
+  // Register-immediate ALU (format I: rd, rs1, imm12).
+  kAddi = 0x20,
+  kAndi = 0x21,
+  kOri = 0x22,
+  kXori = 0x23,
+  kSlli = 0x24,
+  kSrli = 0x25,
+  kSrai = 0x26,
+  kSlti = 0x27,
+  kSltiu = 0x28,
+
+  // Immediate materialization.
+  kMovi = 0x29,  // rd = signext(imm12)                   (format I, rs1 unused)
+  kLui = 0x2A,   // rd = imm20 << 12                      (format U)
+
+  // Memory (format I / S; address = rs1 + signext(imm12), byte address).
+  kLw = 0x30,  // rd = *(uint32*)(rs1 + imm)
+  kSw = 0x31,  // *(uint32*)(rs1 + imm) = rs2
+
+  // Control flow (format B: rs1, rs2, imm12 word offset; format J: imm24).
+  kBeq = 0x40,
+  kBne = 0x41,
+  kBlt = 0x42,   // signed
+  kBltu = 0x43,  // unsigned
+  kBge = 0x44,   // signed
+  kBgeu = 0x45,  // unsigned
+  kJ = 0x46,
+
+  // Gateway into the TIE extension space (format TIE: ext_id, operand).
+  kTie = 0x7F,
+};
+
+/// Operand layout class of an opcode.
+enum class Format : uint8_t {
+  kNone,  // kNop, kHalt
+  kR,     // rd, rs1, rs2
+  kI,     // rd, rs1, imm12
+  kS,     // rs1, rs2, imm12 (store)
+  kB,     // rs1, rs2, imm12 (branch offset in words)
+  kJ,     // imm24 (jump offset in words)
+  kU,     // rd, imm20
+  kTie,   // ext_id, operand
+};
+
+std::string_view OpcodeName(Opcode op);
+Format OpcodeFormat(Opcode op);
+bool IsBranch(Opcode op);       // conditional branches only
+bool IsControlFlow(Opcode op);  // branches and jumps
+bool IsMemory(Opcode op);
+bool IsValidOpcode(uint8_t raw);
+
+}  // namespace dba::isa
+
+#endif  // DBA_ISA_OPCODE_H_

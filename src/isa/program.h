@@ -1,0 +1,49 @@
+#ifndef DBA_ISA_PROGRAM_H_
+#define DBA_ISA_PROGRAM_H_
+
+#include <cstdint>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "isa/instruction.h"
+
+namespace dba::isa {
+
+/// An assembled program: a flat sequence of 64-bit program words plus the
+/// label table kept for disassembly and profiling. The program counter of
+/// the simulator indexes this sequence directly (one word per issue).
+class Program {
+ public:
+  Program() = default;
+
+  Program(std::vector<uint64_t> words,
+          std::vector<std::pair<std::string, uint32_t>> labels)
+      : words_(std::move(words)), labels_(std::move(labels)) {}
+
+  const std::vector<uint64_t>& words() const { return words_; }
+  size_t size() const { return words_.size(); }
+  bool empty() const { return words_.empty(); }
+  uint64_t word(size_t pc) const { return words_[pc]; }
+
+  /// Label table in program order: (name, pc).
+  const std::vector<std::pair<std::string, uint32_t>>& labels() const {
+    return labels_;
+  }
+
+  /// Returns the name of the label bound at `pc`, or an empty string.
+  std::string LabelAt(uint32_t pc) const {
+    for (const auto& [name, position] : labels_) {
+      if (position == pc) return name;
+    }
+    return {};
+  }
+
+ private:
+  std::vector<uint64_t> words_;
+  std::vector<std::pair<std::string, uint32_t>> labels_;
+};
+
+}  // namespace dba::isa
+
+#endif  // DBA_ISA_PROGRAM_H_

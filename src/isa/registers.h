@@ -1,0 +1,59 @@
+#ifndef DBA_ISA_REGISTERS_H_
+#define DBA_ISA_REGISTERS_H_
+
+#include <cstdint>
+#include <string_view>
+
+namespace dba::isa {
+
+/// The base core exposes 16 general-purpose 32-bit address registers
+/// (AR file), mirroring the Xtensa AR register file visible to a single
+/// call frame. TIE register files and states live in the extensions.
+enum class Reg : uint8_t {
+  a0 = 0,
+  a1,
+  a2,
+  a3,
+  a4,
+  a5,
+  a6,
+  a7,
+  a8,
+  a9,
+  a10,
+  a11,
+  a12,
+  a13,
+  a14,
+  a15,
+};
+
+inline constexpr int kNumRegs = 16;
+
+constexpr int RegIndex(Reg r) { return static_cast<int>(r); }
+
+constexpr Reg RegFromIndex(int index) {
+  return static_cast<Reg>(index & 0xF);
+}
+
+std::string_view RegName(Reg r);
+
+/// Kernel-program calling convention (documented contract between the
+/// drivers in dbkern/ and the assembly programs):
+///   a0 = pointer to input A     a1 = pointer to input B
+///   a2 = element count of A     a3 = element count of B
+///   a4 = pointer to output C
+///   a5 = (on exit) element count written to C
+///   a6..a15 = scratch
+namespace abi {
+inline constexpr Reg kPtrA = Reg::a0;
+inline constexpr Reg kPtrB = Reg::a1;
+inline constexpr Reg kLenA = Reg::a2;
+inline constexpr Reg kLenB = Reg::a3;
+inline constexpr Reg kPtrC = Reg::a4;
+inline constexpr Reg kLenC = Reg::a5;
+}  // namespace abi
+
+}  // namespace dba::isa
+
+#endif  // DBA_ISA_REGISTERS_H_

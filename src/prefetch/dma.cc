@@ -1,0 +1,46 @@
+#include "prefetch/dma.h"
+
+#include <utility>
+
+#include "common/bits.h"
+
+namespace dba::prefetch {
+
+uint64_t DmaController::TransferCycles(uint64_t bytes) const {
+  if (bytes == 0) return 0;
+  const uint64_t bursts =
+      (bytes + config_.burst_bytes - 1) / config_.burst_bytes;
+  const auto data_cycles = static_cast<uint64_t>(
+      static_cast<double>(bytes) / config_.bytes_per_cycle + 0.5);
+  return bursts * config_.setup_cycles_per_burst + data_cycles;
+}
+
+void DmaController::Program(std::vector<DmaDescriptor> descriptors) {
+  descriptors_ = std::move(descriptors);
+}
+
+Result<uint64_t> DmaController::Execute(const mem::MemorySystem& memories) {
+  uint64_t cycles = 0;
+  for (const DmaDescriptor& descriptor : descriptors_) {
+    if (!IsAligned(descriptor.src, 4) || !IsAligned(descriptor.dst, 4) ||
+        !IsAligned(descriptor.bytes, 4)) {
+      return Status::InvalidArgument(
+          "DMA descriptors must be 4-byte aligned");
+    }
+    DBA_ASSIGN_OR_RETURN(
+        mem::Memory * src,
+        memories.Route(descriptor.src, descriptor.bytes));
+    DBA_ASSIGN_OR_RETURN(
+        mem::Memory * dst,
+        memories.Route(descriptor.dst, descriptor.bytes));
+    DBA_ASSIGN_OR_RETURN(
+        std::vector<uint32_t> words,
+        src->ReadBlock(descriptor.src, descriptor.bytes / 4));
+    DBA_RETURN_IF_ERROR(dst->WriteBlock(descriptor.dst, words));
+    cycles += TransferCycles(descriptor.bytes);
+  }
+  descriptors_.clear();
+  return cycles;
+}
+
+}  // namespace dba::prefetch

@@ -1,0 +1,61 @@
+#ifndef DBA_PREFETCH_DMA_H_
+#define DBA_PREFETCH_DMA_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "common/status.h"
+#include "mem/memory.h"
+
+namespace dba::prefetch {
+
+/// Timing parameters of the data prefetcher (paper Section 3.2): a
+/// direct-memory-access controller driven by a programmable FSM, moving
+/// KB-order bursts over the on-chip interconnect into the second port of
+/// the dual-ported local memories.
+struct DmaConfig {
+  /// Sustained interconnect bandwidth in bytes per core cycle (a
+  /// 256-bit NoC flit per cycle: wide enough that burst prefetch keeps
+  /// the set-operation pipeline compute-bound, Section 5.2).
+  double bytes_per_cycle = 32.0;
+  /// Burst granularity ("typically in the order of several KB").
+  uint32_t burst_bytes = 4096;
+  /// FSM descriptor fetch + interconnect handshake per burst.
+  uint32_t setup_cycles_per_burst = 32;
+};
+
+/// One FSM descriptor: copy `bytes` from `src` to `dst`.
+struct DmaDescriptor {
+  uint64_t src = 0;
+  uint64_t dst = 0;
+  uint64_t bytes = 0;
+};
+
+/// Functional + timing model of the DMA controller. Transfers move data
+/// between attached memories through the dual port, concurrently with
+/// core execution (the overlap is modelled by StreamingSetOperation).
+class DmaController {
+ public:
+  explicit DmaController(DmaConfig config) : config_(config) {}
+
+  const DmaConfig& config() const { return config_; }
+
+  /// Cycles to transfer `bytes` (burst setup + bandwidth-limited data).
+  uint64_t TransferCycles(uint64_t bytes) const;
+
+  /// Programs the FSM with a descriptor chain.
+  void Program(std::vector<DmaDescriptor> descriptors);
+
+  /// Executes all programmed descriptors against `memories`, returning
+  /// the total transfer cycles. Descriptors must be 4-byte aligned and
+  /// within mapped regions.
+  Result<uint64_t> Execute(const mem::MemorySystem& memories);
+
+ private:
+  DmaConfig config_;
+  std::vector<DmaDescriptor> descriptors_;
+};
+
+}  // namespace dba::prefetch
+
+#endif  // DBA_PREFETCH_DMA_H_

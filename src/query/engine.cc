@@ -1,0 +1,331 @@
+#include "query/engine.h"
+
+#include <algorithm>
+#include <numeric>
+
+#include "prefetch/streaming.h"
+
+namespace dba::query {
+
+namespace {
+
+void AddPlanStep(QueryStats* stats, std::string step) {
+  if (stats != nullptr) stats->plan.push_back(std::move(step));
+}
+
+}  // namespace
+
+Status QueryEngine::BuildIndex(const std::string& column) {
+  DBA_ASSIGN_OR_RETURN(SecondaryIndex index,
+                       SecondaryIndex::Build(*table_, column));
+  indexes_.erase(column);
+  indexes_.emplace(column, std::move(index));
+  return Status::Ok();
+}
+
+Result<std::vector<Rid>> QueryEngine::Probe(const Predicate& leaf,
+                                            QueryStats* stats) {
+  auto it = indexes_.find(leaf.column);
+  if (it == indexes_.end()) {
+    return Status::FailedPrecondition(
+        "no secondary index on column '" + leaf.column +
+        "'; call BuildIndex first");
+  }
+  std::vector<Rid> rids;
+  switch (leaf.kind) {
+    case Predicate::Kind::kEquals:
+      rids = it->second.ProbeEquals(leaf.lo);
+      break;
+    case Predicate::Kind::kBetween:
+    case Predicate::Kind::kLessEq:
+    case Predicate::Kind::kGreaterEq:
+      rids = it->second.ProbeRange(leaf.lo, leaf.hi);
+      break;
+    default:
+      return Status::Internal("Probe called on a non-leaf predicate");
+  }
+  if (stats != nullptr) {
+    ++stats->index_probes;
+    AddPlanStep(stats, "probe " + leaf.ToString() + " -> " +
+                           std::to_string(rids.size()) + " RIDs");
+  }
+  return rids;
+}
+
+Result<std::vector<Rid>> QueryEngine::RunSetOp(SetOp op,
+                                               const std::vector<Rid>& a,
+                                               const std::vector<Rid>& b,
+                                               QueryStats* stats) {
+  // Degenerate inputs need no accelerator round trip.
+  if (a.empty() || b.empty()) {
+    std::vector<Rid> result;
+    switch (op) {
+      case SetOp::kIntersect:
+        break;
+      case SetOp::kUnion:
+        result = a.empty() ? b : a;
+        break;
+      case SetOp::kDifference:
+        result = a;
+        break;
+      default:
+        return Status::InvalidArgument("unsupported set operation");
+    }
+    AddPlanStep(stats, std::string(eis::SopModeName(op)) +
+                           " (degenerate) -> " +
+                           std::to_string(result.size()) + " RIDs");
+    return result;
+  }
+
+  uint64_t cycles = 0;
+  std::vector<Rid> result;
+  const bool fits =
+      a.size() <= processor_->max_set_elements(
+                      static_cast<uint32_t>(b.size())) &&
+      b.size() <= processor_->max_set_elements(static_cast<uint32_t>(a.size()));
+  if (fits) {
+    DBA_ASSIGN_OR_RETURN(SetOpRun run,
+                         processor_->RunSetOperation(op, a, b));
+    cycles = run.metrics.cycles;
+    result = std::move(run.result);
+  } else {
+    prefetch::StreamingSetOperation streaming(processor_,
+                                              prefetch::DmaConfig{});
+    DBA_ASSIGN_OR_RETURN(prefetch::StreamingRun run, streaming.Run(op, a, b));
+    cycles = run.total_cycles;
+    result = std::move(run.result);
+  }
+  if (stats != nullptr) {
+    ++stats->set_operations;
+    stats->accelerator_cycles += cycles;
+    stats->elements_processed += a.size() + b.size();
+    AddPlanStep(stats, std::string(eis::SopModeName(op)) + " " +
+                           std::to_string(a.size()) + " x " +
+                           std::to_string(b.size()) + " -> " +
+                           std::to_string(result.size()) + " RIDs" +
+                           (fits ? "" : " [streamed]"));
+  }
+  return result;
+}
+
+Result<std::vector<Rid>> QueryEngine::Complement(const std::vector<Rid>& rids,
+                                                 QueryStats* stats) {
+  std::vector<Rid> all(table_->num_rows());
+  std::iota(all.begin(), all.end(), 0u);
+  return RunSetOp(SetOp::kDifference, all, rids, stats);
+}
+
+Result<std::vector<Rid>> QueryEngine::Evaluate(const Predicate& predicate,
+                                               QueryStats* stats) {
+  if (predicate.is_leaf()) return Probe(predicate, stats);
+
+  switch (predicate.kind) {
+    case Predicate::Kind::kNot: {
+      DBA_ASSIGN_OR_RETURN(std::vector<Rid> child,
+                           Evaluate(*predicate.children[0], stats));
+      return Complement(child, stats);
+    }
+    case Predicate::Kind::kAnd: {
+      // Index ANDing (Raman et al. [31]): evaluate positive conjuncts,
+      // intersect smallest-first, and apply negated conjuncts as
+      // difference operands (A AND NOT B = A \ B) -- never
+      // materializing a complement.
+      std::vector<std::vector<Rid>> positives;
+      std::vector<const Predicate*> negatives;
+      for (const PredicatePtr& child : predicate.children) {
+        if (child->kind == Predicate::Kind::kNot) {
+          negatives.push_back(child->children[0].get());
+        } else {
+          DBA_ASSIGN_OR_RETURN(std::vector<Rid> rids,
+                               Evaluate(*child, stats));
+          positives.push_back(std::move(rids));
+        }
+      }
+      std::vector<Rid> accumulator;
+      if (positives.empty()) {
+        accumulator.resize(table_->num_rows());
+        std::iota(accumulator.begin(), accumulator.end(), 0u);
+      } else {
+        std::sort(positives.begin(), positives.end(),
+                  [](const auto& x, const auto& y) {
+                    return x.size() < y.size();
+                  });
+        accumulator = std::move(positives.front());
+        for (size_t i = 1; i < positives.size(); ++i) {
+          DBA_ASSIGN_OR_RETURN(
+              accumulator,
+              RunSetOp(SetOp::kIntersect, accumulator, positives[i], stats));
+        }
+      }
+      for (const Predicate* negative : negatives) {
+        DBA_ASSIGN_OR_RETURN(std::vector<Rid> excluded,
+                             Evaluate(*negative, stats));
+        DBA_ASSIGN_OR_RETURN(
+            accumulator,
+            RunSetOp(SetOp::kDifference, accumulator, excluded, stats));
+      }
+      return accumulator;
+    }
+    case Predicate::Kind::kOr: {
+      std::vector<Rid> accumulator;
+      bool first = true;
+      for (const PredicatePtr& child : predicate.children) {
+        DBA_ASSIGN_OR_RETURN(std::vector<Rid> rids, Evaluate(*child, stats));
+        if (first) {
+          accumulator = std::move(rids);
+          first = false;
+        } else {
+          DBA_ASSIGN_OR_RETURN(
+              accumulator,
+              RunSetOp(SetOp::kUnion, accumulator, rids, stats));
+        }
+      }
+      return accumulator;
+    }
+    default:
+      return Status::Internal("unhandled predicate kind");
+  }
+}
+
+Result<std::vector<Rid>> QueryEngine::Select(const Predicate& predicate,
+                                             QueryStats* stats) {
+  DBA_ASSIGN_OR_RETURN(std::vector<Rid> rids, Evaluate(predicate, stats));
+  if (stats != nullptr) {
+    stats->accelerator_seconds =
+        static_cast<double>(stats->accelerator_cycles) /
+        processor_->frequency_hz();
+  }
+  return rids;
+}
+
+Result<std::vector<uint32_t>> QueryEngine::JoinKeys(
+    const std::string& column, const Table& other,
+    const std::string& other_column, QueryStats* stats) {
+  auto sorted_unique_keys =
+      [this, stats](const Table& table,
+                    const std::string& key_column)
+      -> Result<std::vector<uint32_t>> {
+    DBA_ASSIGN_OR_RETURN(std::span<const uint32_t> values,
+                         table.Column(key_column));
+    // Accelerator sort (chunked beyond the local store; streamed merge).
+    std::vector<uint32_t> sorted;
+    const uint32_t capacity = processor_->max_sort_elements();
+    prefetch::StreamingSetOperation streaming(processor_,
+                                              prefetch::DmaConfig{});
+    for (size_t pos = 0; pos < values.size(); pos += capacity) {
+      const size_t len = std::min<size_t>(capacity, values.size() - pos);
+      DBA_ASSIGN_OR_RETURN(SortRun run,
+                           processor_->RunSort(values.subspan(pos, len)));
+      if (stats != nullptr) {
+        ++stats->sorts;
+        stats->accelerator_cycles += run.metrics.cycles;
+        stats->elements_processed += len;
+      }
+      if (sorted.empty()) {
+        sorted = std::move(run.sorted);
+      } else {
+        DBA_ASSIGN_OR_RETURN(
+            prefetch::StreamingRun merge_run,
+            streaming.Run(SetOp::kMerge, sorted, run.sorted));
+        if (stats != nullptr) {
+          stats->accelerator_cycles += merge_run.total_cycles;
+        }
+        sorted = std::move(merge_run.result);
+      }
+    }
+    for (size_t i = 1; i < sorted.size(); ++i) {
+      if (sorted[i] == sorted[i - 1]) {
+        return Status::InvalidArgument(
+            "JoinKeys requires unique keys; column '" + key_column +
+            "' of table '" + table.name() + "' has duplicates");
+      }
+    }
+    AddPlanStep(stats, "sort join keys of " + table.name() + "." +
+                           key_column + " (" +
+                           std::to_string(sorted.size()) + " keys)");
+    return sorted;
+  };
+
+  DBA_ASSIGN_OR_RETURN(std::vector<uint32_t> left,
+                       sorted_unique_keys(*table_, column));
+  DBA_ASSIGN_OR_RETURN(std::vector<uint32_t> right,
+                       sorted_unique_keys(other, other_column));
+  DBA_ASSIGN_OR_RETURN(std::vector<uint32_t> keys,
+                       RunSetOp(SetOp::kIntersect, left, right, stats));
+  if (stats != nullptr) {
+    stats->accelerator_seconds =
+        static_cast<double>(stats->accelerator_cycles) /
+        processor_->frequency_hz();
+  }
+  return keys;
+}
+
+Result<std::vector<uint32_t>> QueryEngine::SelectValuesOrdered(
+    const Predicate& predicate, const std::string& order_by,
+    QueryStats* stats) {
+  DBA_ASSIGN_OR_RETURN(std::vector<Rid> rids, Evaluate(predicate, stats));
+  DBA_ASSIGN_OR_RETURN(std::span<const uint32_t> column,
+                       table_->Column(order_by));
+
+  // Gather the qualifying values (in hardware: a prefetcher gather).
+  std::vector<uint32_t> values;
+  values.reserve(rids.size());
+  for (Rid rid : rids) values.push_back(column[rid]);
+
+  // Accelerator sort; chunked with a host merge beyond the local store.
+  const uint32_t capacity = processor_->max_sort_elements();
+  std::vector<uint32_t> sorted;
+  if (values.size() <= capacity) {
+    DBA_ASSIGN_OR_RETURN(SortRun run, processor_->RunSort(values));
+    if (stats != nullptr) {
+      ++stats->sorts;
+      stats->accelerator_cycles += run.metrics.cycles;
+      stats->elements_processed += values.size();
+      AddPlanStep(stats, "sort " + std::to_string(values.size()) +
+                             " values on " + order_by);
+    }
+    sorted = std::move(run.sorted);
+  } else {
+    // External sort: sort local-store-sized chunks on the accelerator,
+    // then merge the runs pairwise with the streamed EIS merge kernel.
+    uint32_t chunks = 0;
+    prefetch::StreamingSetOperation streaming(processor_,
+                                              prefetch::DmaConfig{});
+    for (size_t pos = 0; pos < values.size(); pos += capacity) {
+      const size_t len = std::min<size_t>(capacity, values.size() - pos);
+      DBA_ASSIGN_OR_RETURN(
+          SortRun run,
+          processor_->RunSort({values.data() + pos, len}));
+      if (stats != nullptr) {
+        ++stats->sorts;
+        stats->accelerator_cycles += run.metrics.cycles;
+        stats->elements_processed += len;
+      }
+      if (sorted.empty()) {
+        sorted = std::move(run.sorted);
+      } else {
+        DBA_ASSIGN_OR_RETURN(
+            prefetch::StreamingRun merge_run,
+            streaming.Run(SetOp::kMerge, sorted, run.sorted));
+        if (stats != nullptr) {
+          ++stats->set_operations;
+          stats->accelerator_cycles += merge_run.total_cycles;
+          stats->elements_processed += sorted.size() + run.sorted.size();
+        }
+        sorted = std::move(merge_run.result);
+      }
+      ++chunks;
+    }
+    AddPlanStep(stats, "external sort of " + std::to_string(values.size()) +
+                           " values (" + std::to_string(chunks) +
+                           " chunks, streamed merges)");
+  }
+  if (stats != nullptr) {
+    stats->accelerator_seconds =
+        static_cast<double>(stats->accelerator_cycles) /
+        processor_->frequency_hz();
+  }
+  return sorted;
+}
+
+}  // namespace dba::query

@@ -1,0 +1,89 @@
+#ifndef DBA_QUERY_ENGINE_H_
+#define DBA_QUERY_ENGINE_H_
+
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "core/processor.h"
+#include "query/index.h"
+#include "query/predicate.h"
+#include "query/table.h"
+
+namespace dba::query {
+
+/// Execution statistics of one query.
+struct QueryStats {
+  uint32_t index_probes = 0;
+  uint32_t set_operations = 0;
+  uint32_t sorts = 0;
+  uint64_t accelerator_cycles = 0;   // total cycles on the DBA core
+  uint64_t elements_processed = 0;   // set-op + sort input elements
+  double accelerator_seconds = 0;    // at the synthesized f_max
+  std::vector<std::string> plan;     // rendered execution steps
+};
+
+/// A miniature selection/ordering engine on top of the accelerator: the
+/// integration layer a database system would put between its planner and
+/// the DBA processor. WHERE-clause predicate trees compile to secondary-
+/// index probes combined with the EIS set operations (AND -> intersect,
+/// OR -> union, AND NOT -> difference, Section 2.3), and ORDER BY runs
+/// on the merge-sort kernel. RID lists larger than the local store are
+/// streamed through the data prefetcher automatically.
+class QueryEngine {
+ public:
+  /// `table` and `processor` must outlive the engine.
+  QueryEngine(const Table* table, Processor* processor)
+      : table_(table), processor_(processor) {}
+
+  QueryEngine(const QueryEngine&) = delete;
+  QueryEngine& operator=(const QueryEngine&) = delete;
+
+  /// Builds (or rebuilds) the secondary index for `column`.
+  Status BuildIndex(const std::string& column);
+  bool HasIndex(const std::string& column) const {
+    return indexes_.count(column) != 0;
+  }
+
+  /// Evaluates the WHERE clause: the sorted RID set of qualifying rows.
+  /// Every column referenced by `predicate` must have an index.
+  Result<std::vector<Rid>> Select(const Predicate& predicate,
+                                  QueryStats* stats = nullptr);
+
+  /// SELECT <order_by> FROM t WHERE <predicate> ORDER BY <order_by>:
+  /// gathers the qualifying rows' values of `order_by` and sorts them on
+  /// the accelerator. Inputs beyond the local store sort in chunks with
+  /// a final host merge (counted in the plan, not in cycles).
+  Result<std::vector<uint32_t>> SelectValuesOrdered(
+      const Predicate& predicate, const std::string& order_by,
+      QueryStats* stats = nullptr);
+
+  /// Match-finding phase of a sort-merge join on unique keys (paper
+  /// Section 2.3: "Sorting ... is used before sort-merge joins"): sorts
+  /// both key columns on the accelerator and intersects them, returning
+  /// the sorted join keys. Fails if either column has duplicate keys.
+  Result<std::vector<uint32_t>> JoinKeys(const std::string& column,
+                                         const Table& other,
+                                         const std::string& other_column,
+                                         QueryStats* stats = nullptr);
+
+ private:
+  Result<std::vector<Rid>> Evaluate(const Predicate& predicate,
+                                    QueryStats* stats);
+  Result<std::vector<Rid>> Probe(const Predicate& leaf, QueryStats* stats);
+  Result<std::vector<Rid>> RunSetOp(SetOp op, const std::vector<Rid>& a,
+                                    const std::vector<Rid>& b,
+                                    QueryStats* stats);
+  Result<std::vector<Rid>> Complement(const std::vector<Rid>& rids,
+                                      QueryStats* stats);
+
+  const Table* table_;
+  Processor* processor_;
+  std::map<std::string, SecondaryIndex> indexes_;
+};
+
+}  // namespace dba::query
+
+#endif  // DBA_QUERY_ENGINE_H_

@@ -1,0 +1,109 @@
+#include "query/predicate.h"
+
+namespace dba::query {
+
+namespace {
+
+PredicatePtr MakeLeaf(Predicate::Kind kind, std::string column, uint32_t lo,
+                      uint32_t hi) {
+  auto predicate = std::make_unique<Predicate>();
+  predicate->kind = kind;
+  predicate->column = std::move(column);
+  predicate->lo = lo;
+  predicate->hi = hi;
+  return predicate;
+}
+
+PredicatePtr MakeNode(Predicate::Kind kind,
+                      std::vector<PredicatePtr> children) {
+  auto predicate = std::make_unique<Predicate>();
+  predicate->kind = kind;
+  predicate->children = std::move(children);
+  return predicate;
+}
+
+}  // namespace
+
+PredicatePtr Equals(std::string column, uint32_t value) {
+  return MakeLeaf(Predicate::Kind::kEquals, std::move(column), value, value);
+}
+
+PredicatePtr In(std::string column, std::vector<uint32_t> values) {
+  std::vector<PredicatePtr> children;
+  children.reserve(values.size());
+  for (const uint32_t value : values) {
+    children.push_back(Equals(column, value));
+  }
+  if (children.size() == 1) return std::move(children.front());
+  return MakeNode(Predicate::Kind::kOr, std::move(children));
+}
+
+PredicatePtr Between(std::string column, uint32_t lo, uint32_t hi) {
+  return MakeLeaf(Predicate::Kind::kBetween, std::move(column), lo, hi);
+}
+
+PredicatePtr LessEq(std::string column, uint32_t value) {
+  return MakeLeaf(Predicate::Kind::kLessEq, std::move(column), 0, value);
+}
+
+PredicatePtr GreaterEq(std::string column, uint32_t value) {
+  return MakeLeaf(Predicate::Kind::kGreaterEq, std::move(column), value,
+                  0xFFFFFFFFu);
+}
+
+PredicatePtr And(std::vector<PredicatePtr> children) {
+  return MakeNode(Predicate::Kind::kAnd, std::move(children));
+}
+
+PredicatePtr And(PredicatePtr a, PredicatePtr b) {
+  std::vector<PredicatePtr> children;
+  children.push_back(std::move(a));
+  children.push_back(std::move(b));
+  return And(std::move(children));
+}
+
+PredicatePtr Or(std::vector<PredicatePtr> children) {
+  return MakeNode(Predicate::Kind::kOr, std::move(children));
+}
+
+PredicatePtr Or(PredicatePtr a, PredicatePtr b) {
+  std::vector<PredicatePtr> children;
+  children.push_back(std::move(a));
+  children.push_back(std::move(b));
+  return Or(std::move(children));
+}
+
+PredicatePtr Not(PredicatePtr child) {
+  std::vector<PredicatePtr> children;
+  children.push_back(std::move(child));
+  return MakeNode(Predicate::Kind::kNot, std::move(children));
+}
+
+std::string Predicate::ToString() const {
+  switch (kind) {
+    case Kind::kEquals:
+      return column + " = " + std::to_string(lo);
+    case Kind::kBetween:
+      return column + " BETWEEN " + std::to_string(lo) + " AND " +
+             std::to_string(hi);
+    case Kind::kLessEq:
+      return column + " <= " + std::to_string(hi);
+    case Kind::kGreaterEq:
+      return column + " >= " + std::to_string(lo);
+    case Kind::kNot:
+      return "NOT " + children[0]->ToString();
+    case Kind::kAnd:
+    case Kind::kOr: {
+      std::string out = "(";
+      for (size_t i = 0; i < children.size(); ++i) {
+        if (i > 0) out += kind == Kind::kAnd ? " AND " : " OR ";
+        out += children[i]->ToString();
+      }
+      out += ")";
+      return out;
+    }
+  }
+  return "?";
+}
+
+}  // namespace dba::query

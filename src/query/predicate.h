@@ -1,0 +1,62 @@
+#ifndef DBA_QUERY_PREDICATE_H_
+#define DBA_QUERY_PREDICATE_H_
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+namespace dba::query {
+
+/// A WHERE-clause predicate tree over integer columns. Leaves compare a
+/// column against constants; inner nodes combine with AND / OR / NOT --
+/// the three combinators the paper maps to intersection, union, and
+/// difference of RID sets (Section 2.3: "INTERSECT, UNION, or
+/// DIFFERENCE clause" / index ANDing).
+struct Predicate {
+  enum class Kind : uint8_t {
+    kEquals,   // column == value
+    kBetween,  // lo <= column <= hi (inclusive)
+    kLessEq,   // column <= value
+    kGreaterEq,  // column >= value
+    kAnd,
+    kOr,
+    kNot,
+  };
+
+  Kind kind;
+  // Leaf fields.
+  std::string column;
+  uint32_t lo = 0;
+  uint32_t hi = 0;
+  // Children (kAnd/kOr: >= 2; kNot: exactly 1).
+  std::vector<std::unique_ptr<Predicate>> children;
+
+  bool is_leaf() const {
+    return kind == Kind::kEquals || kind == Kind::kBetween ||
+           kind == Kind::kLessEq || kind == Kind::kGreaterEq;
+  }
+
+  /// Human-readable rendering, e.g. "(region = 3 AND NOT status = 1)".
+  std::string ToString() const;
+};
+
+using PredicatePtr = std::unique_ptr<Predicate>;
+
+// --- Builder functions (compose freely) ---
+PredicatePtr Equals(std::string column, uint32_t value);
+/// IN-list: sugar for OR(column = v0, column = v1, ...). Requires a
+/// non-empty, duplicate-free list.
+PredicatePtr In(std::string column, std::vector<uint32_t> values);
+PredicatePtr Between(std::string column, uint32_t lo, uint32_t hi);
+PredicatePtr LessEq(std::string column, uint32_t value);
+PredicatePtr GreaterEq(std::string column, uint32_t value);
+PredicatePtr And(std::vector<PredicatePtr> children);
+PredicatePtr And(PredicatePtr a, PredicatePtr b);
+PredicatePtr Or(std::vector<PredicatePtr> children);
+PredicatePtr Or(PredicatePtr a, PredicatePtr b);
+PredicatePtr Not(PredicatePtr child);
+
+}  // namespace dba::query
+
+#endif  // DBA_QUERY_PREDICATE_H_

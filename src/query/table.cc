@@ -1,0 +1,61 @@
+#include "query/table.h"
+
+namespace dba::query {
+
+Status Table::AddColumn(std::string column_name,
+                        std::vector<uint32_t> values) {
+  if (Find(column_name) != nullptr) {
+    return Status::AlreadyExists("column '" + column_name +
+                                 "' already exists in table '" + name_ + "'");
+  }
+  if (!columns_.empty() && values.size() != num_rows_) {
+    return Status::InvalidArgument(
+        "column '" + column_name + "' has " + std::to_string(values.size()) +
+        " rows; table '" + name_ + "' has " + std::to_string(num_rows_));
+  }
+  if (columns_.empty()) num_rows_ = static_cast<uint32_t>(values.size());
+  columns_.push_back(NamedColumn{std::move(column_name), std::move(values)});
+  return Status::Ok();
+}
+
+const Table::NamedColumn* Table::Find(std::string_view column_name) const {
+  for (const NamedColumn& column : columns_) {
+    if (column.name == column_name) return &column;
+  }
+  return nullptr;
+}
+
+Result<std::span<const uint32_t>> Table::Column(
+    std::string_view column_name) const {
+  const NamedColumn* column = Find(column_name);
+  if (column == nullptr) {
+    return Status::NotFound("no column '" + std::string(column_name) +
+                            "' in table '" + name_ + "'");
+  }
+  return std::span<const uint32_t>(column->values);
+}
+
+bool Table::HasColumn(std::string_view column_name) const {
+  return Find(column_name) != nullptr;
+}
+
+std::vector<std::string> Table::ColumnNames() const {
+  std::vector<std::string> names;
+  names.reserve(columns_.size());
+  for (const NamedColumn& column : columns_) names.push_back(column.name);
+  return names;
+}
+
+Result<uint32_t> Table::Value(std::string_view column_name, Rid rid) const {
+  const NamedColumn* column = Find(column_name);
+  if (column == nullptr) {
+    return Status::NotFound("no column '" + std::string(column_name) + "'");
+  }
+  if (rid >= column->values.size()) {
+    return Status::OutOfRange("rid " + std::to_string(rid) +
+                              " outside table '" + name_ + "'");
+  }
+  return column->values[rid];
+}
+
+}  // namespace dba::query

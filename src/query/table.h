@@ -1,0 +1,56 @@
+#ifndef DBA_QUERY_TABLE_H_
+#define DBA_QUERY_TABLE_H_
+
+#include <cstdint>
+#include <span>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/status.h"
+
+namespace dba::query {
+
+/// Row identifier: dense 0-based position within a table.
+using Rid = uint32_t;
+
+/// A minimal column-oriented table of 32-bit integer columns -- the
+/// in-memory substrate the paper's motivation assumes ("modern database
+/// architectures are mostly main-memory centric"). Strings/decimals are
+/// assumed dictionary- or scale-encoded to uint32 upstream.
+class Table {
+ public:
+  explicit Table(std::string name) : name_(std::move(name)) {}
+
+  const std::string& name() const { return name_; }
+  uint32_t num_rows() const { return num_rows_; }
+  size_t num_columns() const { return columns_.size(); }
+
+  /// Appends a column. All columns must have equal length; the first
+  /// column added defines the row count.
+  Status AddColumn(std::string column_name, std::vector<uint32_t> values);
+
+  /// Column access by name.
+  Result<std::span<const uint32_t>> Column(std::string_view column_name) const;
+  bool HasColumn(std::string_view column_name) const;
+  std::vector<std::string> ColumnNames() const;
+
+  /// Value of `column_name` at `rid` (bounds-checked).
+  Result<uint32_t> Value(std::string_view column_name, Rid rid) const;
+
+ private:
+  struct NamedColumn {
+    std::string name;
+    std::vector<uint32_t> values;
+  };
+
+  const NamedColumn* Find(std::string_view column_name) const;
+
+  std::string name_;
+  uint32_t num_rows_ = 0;
+  std::vector<NamedColumn> columns_;
+};
+
+}  // namespace dba::query
+
+#endif  // DBA_QUERY_TABLE_H_

@@ -1,0 +1,45 @@
+#ifndef DBA_SIM_CORE_CONFIG_H_
+#define DBA_SIM_CORE_CONFIG_H_
+
+#include <cstdint>
+#include <string>
+
+namespace dba::sim {
+
+/// Static parameters of a configurable core, mirroring the knobs the
+/// paper turns on the Tensilica LX4 base (Section 3.2 / 5.1): number of
+/// load-store units, bus widths, and local-store presence. Timing
+/// parameters of the in-order pipeline are explicit so that experiments
+/// can ablate them.
+struct CoreConfig {
+  std::string name = "core";
+
+  /// Number of load-store units (1 or 2). TIE operations address LSUs by
+  /// index; on a single-LSU core all accesses serialize on LSU 0, which
+  /// is exactly the DBA_1LSU_EIS vs DBA_2LSU_EIS distinction.
+  int num_lsus = 1;
+
+  /// Width of the data bus between LSUs and memory in bits. 128-bit
+  /// beats (Beat128) require 128; scalar 32-bit accesses always work.
+  uint32_t data_bus_bits = 32;
+
+  /// Width of fetched instruction words in bits; 64 enables FLIX bundles.
+  uint32_t instruction_bus_bits = 32;
+
+  /// Penalty in cycles for a mispredicted conditional branch. The core
+  /// uses a static backward-taken/forward-not-taken (BTFN) predictor, so
+  /// loop back-edges are free while data-dependent forward branches --
+  /// the "hardly predictable branch" of the merge loop (Section 2.3) --
+  /// pay this penalty about half the time.
+  uint32_t branch_mispredict_penalty = 3;
+
+  /// Local instruction memory capacity in bytes (0 = unlimited fetch,
+  /// used by baseline cores without a local store).
+  uint64_t instruction_memory_bytes = 0;
+
+  friend bool operator==(const CoreConfig&, const CoreConfig&) = default;
+};
+
+}  // namespace dba::sim
+
+#endif  // DBA_SIM_CORE_CONFIG_H_

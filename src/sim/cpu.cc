@@ -1,0 +1,425 @@
+#include "sim/cpu.h"
+
+#include <cstdio>
+
+#include <utility>
+
+#include "common/check.h"
+#include "isa/encoding.h"
+#include "isa/opcode.h"
+
+namespace dba::sim {
+
+using isa::Instruction;
+using isa::Opcode;
+using isa::Reg;
+
+Cpu::Cpu(CoreConfig config) : config_(std::move(config)) {
+  DBA_CHECK_MSG(config_.num_lsus >= 1 && config_.num_lsus <= 2,
+                "core supports 1 or 2 load-store units");
+}
+
+Status Cpu::AttachMemory(mem::Memory* memory) {
+  return memory_system_.AddRegion(memory);
+}
+
+Status Cpu::RegisterExtOp(uint16_t ext_id, std::string name, ExtOpFn fn) {
+  if (ext_id == 0 || ext_id > isa::kMaxExtId) {
+    return Status::InvalidArgument("ext_id must be in 1..4095");
+  }
+  if (ext_ops_.count(ext_id) != 0) {
+    return Status::AlreadyExists("ext_id " + std::to_string(ext_id) +
+                                 " already registered as '" +
+                                 ext_ops_[ext_id].name + "'");
+  }
+  if (!fn) return Status::InvalidArgument("extension function must be set");
+  ext_ops_.emplace(ext_id, ExtOp{std::move(name), std::move(fn)});
+  return Status::Ok();
+}
+
+isa::ExtNameResolver Cpu::MakeExtNameResolver() const {
+  return [this](uint16_t ext_id) -> std::string {
+    auto it = ext_ops_.find(ext_id);
+    return it == ext_ops_.end() ? std::string() : it->second.name;
+  };
+}
+
+Status Cpu::LoadProgram(const isa::Program& program) {
+  if (program.empty()) {
+    return Status::InvalidArgument("cannot load an empty program");
+  }
+  std::vector<isa::DecodedWord> decoded;
+  decoded.reserve(program.size());
+  uint64_t bytes = 0;
+  for (size_t pc = 0; pc < program.size(); ++pc) {
+    auto word = isa::Decode(program.word(pc));
+    if (!word.ok()) {
+      return Status::InvalidArgument("program word " + std::to_string(pc) +
+                                     ": " + word.status().message());
+    }
+    if (word->kind == isa::DecodedWord::Kind::kFlix) {
+      if (config_.instruction_bus_bits < 64) {
+        return Status::FailedPrecondition(
+            "FLIX bundles require a 64-bit instruction bus; core '" +
+            config_.name + "' has " +
+            std::to_string(config_.instruction_bus_bits) + " bits");
+      }
+      for (const isa::TieSlot& slot : word->slots) {
+        if (!slot.empty() && ext_ops_.count(slot.ext_id) == 0) {
+          return Status::NotFound("program word " + std::to_string(pc) +
+                                  " uses unregistered extension op " +
+                                  std::to_string(slot.ext_id));
+        }
+      }
+      bytes += 8;
+    } else {
+      if (word->base.opcode == Opcode::kTie &&
+          ext_ops_.count(word->base.ext_id) == 0) {
+        return Status::NotFound("program word " + std::to_string(pc) +
+                                " uses unregistered extension op " +
+                                std::to_string(word->base.ext_id));
+      }
+      bytes += 4;
+    }
+    decoded.push_back(*std::move(word));
+  }
+  if (config_.instruction_memory_bytes != 0 &&
+      bytes > config_.instruction_memory_bytes) {
+    return Status::ResourceExhausted(
+        "program needs " + std::to_string(bytes) +
+        " bytes of instruction memory; core '" + config_.name + "' has " +
+        std::to_string(config_.instruction_memory_bytes));
+  }
+  decoded_ = std::move(decoded);
+  program_ = &program;
+  pc_ = 0;
+  return Status::Ok();
+}
+
+void Cpu::ResetArchState() {
+  regs_.fill(0);
+  pc_ = 0;
+}
+
+Result<mem::Memory*> Cpu::RouteData(uint64_t addr, uint64_t bytes) {
+  return memory_system_.Route(addr, bytes);
+}
+
+// --- ExtContext ---
+
+int ExtContext::num_lsus() const { return cpu_->config().num_lsus; }
+
+uint32_t ExtContext::reg(Reg r) const { return cpu_->reg(r); }
+
+void ExtContext::set_reg(Reg r, uint32_t value) { cpu_->set_reg(r, value); }
+
+void ExtContext::AddCycles(uint32_t extra) { extra_cycles_ += extra; }
+
+namespace {
+int FoldLsu(int lsu, int num_lsus) {
+  return (lsu < 0 || lsu >= num_lsus) ? 0 : lsu;
+}
+}  // namespace
+
+Result<mem::Beat128> ExtContext::LoadBeat(int lsu, uint64_t addr) {
+  if (cpu_->config().data_bus_bits < 128) {
+    return Status::FailedPrecondition(
+        "128-bit beats require a 128-bit data bus");
+  }
+  lsu = FoldLsu(lsu, num_lsus());
+  DBA_ASSIGN_OR_RETURN(mem::Memory * memory, cpu_->RouteData(addr, 16));
+  beats_[lsu] += memory->config().access_latency;
+  return memory->Load128(addr);
+}
+
+Status ExtContext::StoreBeat(int lsu, uint64_t addr,
+                             const mem::Beat128& beat) {
+  if (cpu_->config().data_bus_bits < 128) {
+    return Status::FailedPrecondition(
+        "128-bit beats require a 128-bit data bus");
+  }
+  lsu = FoldLsu(lsu, num_lsus());
+  DBA_ASSIGN_OR_RETURN(mem::Memory * memory, cpu_->RouteData(addr, 16));
+  beats_[lsu] += memory->config().access_latency;
+  return memory->Store128(addr, beat);
+}
+
+Result<uint32_t> ExtContext::LoadWord(int lsu, uint64_t addr) {
+  lsu = FoldLsu(lsu, num_lsus());
+  DBA_ASSIGN_OR_RETURN(mem::Memory * memory, cpu_->RouteData(addr, 4));
+  beats_[lsu] += memory->config().access_latency;
+  return memory->LoadU32(addr);
+}
+
+Status ExtContext::StoreWord(int lsu, uint64_t addr, uint32_t value) {
+  lsu = FoldLsu(lsu, num_lsus());
+  DBA_ASSIGN_OR_RETURN(mem::Memory * memory, cpu_->RouteData(addr, 4));
+  beats_[lsu] += memory->config().access_latency;
+  return memory->StoreU32(addr, value);
+}
+
+// --- Execution ---
+
+Status Cpu::ExecuteTieOp(uint16_t ext_id, uint16_t operand,
+                         ExecStats* stats) {
+  auto it = ext_ops_.find(ext_id);
+  if (it == ext_ops_.end()) {
+    return Status::NotFound("unregistered extension op " +
+                            std::to_string(ext_id));
+  }
+  ExtContext ctx(this, operand);
+  DBA_RETURN_IF_ERROR(it->second.fn(ctx));
+  const uint32_t port_cycles = std::max(ctx.beats_[0], ctx.beats_[1]);
+  if (port_cycles > 1) {
+    stats->port_stall_cycles += port_cycles - 1;
+    stats->cycles += port_cycles - 1;
+  }
+  stats->ext_extra_cycles += ctx.extra_cycles_;
+  stats->cycles += ctx.extra_cycles_;
+  stats->lsu_beats[0] += ctx.beats_[0];
+  stats->lsu_beats[1] += ctx.beats_[1];
+  return Status::Ok();
+}
+
+Status Cpu::ExecuteBase(const Instruction& instr, ExecStats* stats,
+                        bool* halted) {
+  const uint32_t rs1 = reg(instr.rs1);
+  const uint32_t rs2 = reg(instr.rs2);
+  const auto imm = static_cast<uint32_t>(instr.imm);
+  uint32_t next_pc = pc_ + 1;
+
+  switch (instr.opcode) {
+    case Opcode::kNop:
+      break;
+    case Opcode::kHalt:
+      *halted = true;
+      break;
+
+    case Opcode::kAdd:
+      set_reg(instr.rd, rs1 + rs2);
+      break;
+    case Opcode::kSub:
+      set_reg(instr.rd, rs1 - rs2);
+      break;
+    case Opcode::kAnd:
+      set_reg(instr.rd, rs1 & rs2);
+      break;
+    case Opcode::kOr:
+      set_reg(instr.rd, rs1 | rs2);
+      break;
+    case Opcode::kXor:
+      set_reg(instr.rd, rs1 ^ rs2);
+      break;
+    case Opcode::kSll:
+      set_reg(instr.rd, rs1 << (rs2 & 31));
+      break;
+    case Opcode::kSrl:
+      set_reg(instr.rd, rs1 >> (rs2 & 31));
+      break;
+    case Opcode::kSra:
+      set_reg(instr.rd, static_cast<uint32_t>(static_cast<int32_t>(rs1) >>
+                                              (rs2 & 31)));
+      break;
+    case Opcode::kSlt:
+      set_reg(instr.rd, static_cast<int32_t>(rs1) < static_cast<int32_t>(rs2)
+                            ? 1u
+                            : 0u);
+      break;
+    case Opcode::kSltu:
+      set_reg(instr.rd, rs1 < rs2 ? 1u : 0u);
+      break;
+    case Opcode::kMul:
+      set_reg(instr.rd, rs1 * rs2);
+      break;
+    case Opcode::kMin:
+      set_reg(instr.rd, rs1 < rs2 ? rs1 : rs2);
+      break;
+    case Opcode::kMax:
+      set_reg(instr.rd, rs1 > rs2 ? rs1 : rs2);
+      break;
+
+    case Opcode::kAddi:
+      set_reg(instr.rd, rs1 + imm);
+      break;
+    case Opcode::kAndi:
+      set_reg(instr.rd, rs1 & imm);
+      break;
+    case Opcode::kOri:
+      set_reg(instr.rd, rs1 | imm);
+      break;
+    case Opcode::kXori:
+      set_reg(instr.rd, rs1 ^ imm);
+      break;
+    case Opcode::kSlli:
+      set_reg(instr.rd, rs1 << (imm & 31));
+      break;
+    case Opcode::kSrli:
+      set_reg(instr.rd, rs1 >> (imm & 31));
+      break;
+    case Opcode::kSrai:
+      set_reg(instr.rd,
+              static_cast<uint32_t>(static_cast<int32_t>(rs1) >> (imm & 31)));
+      break;
+    case Opcode::kSlti:
+      set_reg(instr.rd,
+              static_cast<int32_t>(rs1) < instr.imm ? 1u : 0u);
+      break;
+    case Opcode::kSltiu:
+      set_reg(instr.rd, rs1 < imm ? 1u : 0u);
+      break;
+
+    case Opcode::kMovi:
+      set_reg(instr.rd, imm);
+      break;
+    case Opcode::kLui:
+      set_reg(instr.rd, static_cast<uint32_t>(instr.imm) << 12);
+      break;
+
+    case Opcode::kLw: {
+      const uint32_t addr = rs1 + imm;
+      DBA_ASSIGN_OR_RETURN(mem::Memory * memory, RouteData(addr, 4));
+      DBA_ASSIGN_OR_RETURN(uint32_t value, memory->LoadU32(addr));
+      set_reg(instr.rd, value);
+      const uint32_t stall = memory->config().access_latency - 1;
+      stats->load_stall_cycles += stall;
+      stats->cycles += stall;
+      break;
+    }
+    case Opcode::kSw: {
+      const uint32_t addr = rs1 + imm;
+      DBA_ASSIGN_OR_RETURN(mem::Memory * memory, RouteData(addr, 4));
+      DBA_RETURN_IF_ERROR(memory->StoreU32(addr, rs2));
+      const uint32_t stall = memory->config().access_latency - 1;
+      stats->store_stall_cycles += stall;
+      stats->cycles += stall;
+      break;
+    }
+
+    case Opcode::kBeq:
+    case Opcode::kBne:
+    case Opcode::kBlt:
+    case Opcode::kBltu:
+    case Opcode::kBge:
+    case Opcode::kBgeu: {
+      bool taken = false;
+      switch (instr.opcode) {
+        case Opcode::kBeq:
+          taken = rs1 == rs2;
+          break;
+        case Opcode::kBne:
+          taken = rs1 != rs2;
+          break;
+        case Opcode::kBlt:
+          taken = static_cast<int32_t>(rs1) < static_cast<int32_t>(rs2);
+          break;
+        case Opcode::kBltu:
+          taken = rs1 < rs2;
+          break;
+        case Opcode::kBge:
+          taken = static_cast<int32_t>(rs1) >= static_cast<int32_t>(rs2);
+          break;
+        case Opcode::kBgeu:
+          taken = rs1 >= rs2;
+          break;
+        default:
+          break;
+      }
+      // Static BTFN prediction: backward branches predicted taken,
+      // forward branches predicted not-taken.
+      const bool predicted_taken = instr.imm < 0;
+      if (taken) {
+        ++stats->taken_branches;
+        next_pc = static_cast<uint32_t>(static_cast<int64_t>(pc_) + 1 +
+                                        instr.imm);
+      }
+      if (taken != predicted_taken) {
+        ++stats->mispredicted_branches;
+        stats->branch_penalty_cycles += config_.branch_mispredict_penalty;
+        stats->cycles += config_.branch_mispredict_penalty;
+      }
+      break;
+    }
+    case Opcode::kJ:
+      next_pc =
+          static_cast<uint32_t>(static_cast<int64_t>(pc_) + 1 + instr.imm);
+      break;
+
+    case Opcode::kTie:
+      DBA_RETURN_IF_ERROR(ExecuteTieOp(instr.ext_id, instr.operand, stats));
+      break;
+  }
+
+  if (!*halted) pc_ = next_pc;
+  return Status::Ok();
+}
+
+Result<ExecStats> Cpu::Run(const RunOptions& options) {
+  if (decoded_.empty()) {
+    return Status::FailedPrecondition("no program loaded");
+  }
+  ExecStats stats;
+  if (options.profile) stats.pc_counts.resize(decoded_.size(), 0);
+
+  bool halted = false;
+  while (!halted) {
+    if (stats.cycles >= options.max_cycles) {
+      return Status::DeadlineExceeded(
+          "watchdog: exceeded " + std::to_string(options.max_cycles) +
+          " cycles at pc " + std::to_string(pc_));
+    }
+    if (pc_ >= decoded_.size()) {
+      return Status::Internal("pc " + std::to_string(pc_) +
+                              " outside the program (missing halt?)");
+    }
+    const isa::DecodedWord& word = decoded_[pc_];
+    if (options.profile) ++stats.pc_counts[pc_];
+    if (stats.trace.size() < options.trace_limit) {
+      char head[32];
+      std::snprintf(head, sizeof head, "%8llu %4u: ",
+                    static_cast<unsigned long long>(stats.cycles), pc_);
+      stats.trace.push_back(
+          head + isa::DisassembleWord(word, MakeExtNameResolver()));
+    }
+    ++stats.bundles;
+    ++stats.cycles;  // issue cycle
+
+    if (word.kind == isa::DecodedWord::Kind::kBase) {
+      ++stats.instructions;
+      if (options.profile) {
+        if (word.base.opcode == Opcode::kTie) {
+          ++stats.mnemonic_counts[ext_ops_[word.base.ext_id].name];
+        } else {
+          ++stats.mnemonic_counts[std::string(
+              isa::OpcodeName(word.base.opcode))];
+        }
+      }
+      DBA_RETURN_IF_ERROR(ExecuteBase(word.base, &stats, &halted));
+    } else {
+      // FLIX bundle: all slots issue in the same cycle and share the
+      // LSU ports; port contention across slots serializes beats.
+      ExtContext ctx(this, 0);
+      for (const isa::TieSlot& slot : word.slots) {
+        if (slot.empty()) continue;
+        ++stats.instructions;
+        auto it = ext_ops_.find(slot.ext_id);
+        DBA_CHECK(it != ext_ops_.end());  // validated by LoadProgram
+        if (options.profile) ++stats.mnemonic_counts[it->second.name];
+        ctx.operand_ = slot.operand;
+        DBA_RETURN_IF_ERROR(it->second.fn(ctx));
+      }
+      const uint32_t port_cycles = std::max(ctx.beats_[0], ctx.beats_[1]);
+      if (port_cycles > 1) {
+        stats.port_stall_cycles += port_cycles - 1;
+        stats.cycles += port_cycles - 1;
+      }
+      stats.ext_extra_cycles += ctx.extra_cycles_;
+      stats.cycles += ctx.extra_cycles_;
+      stats.lsu_beats[0] += ctx.beats_[0];
+      stats.lsu_beats[1] += ctx.beats_[1];
+      pc_ = pc_ + 1;
+    }
+  }
+  return stats;
+}
+
+}  // namespace dba::sim

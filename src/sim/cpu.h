@@ -1,0 +1,113 @@
+#ifndef DBA_SIM_CPU_H_
+#define DBA_SIM_CPU_H_
+
+#include <array>
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "isa/disassembler.h"
+#include "isa/instruction.h"
+#include "isa/program.h"
+#include "mem/memory.h"
+#include "sim/core_config.h"
+#include "sim/ext_op.h"
+#include "sim/stats.h"
+
+namespace dba::sim {
+
+/// Execution controls for Cpu::Run.
+struct RunOptions {
+  /// Watchdog: abort with DeadlineExceeded after this many cycles.
+  uint64_t max_cycles = 1ull << 36;
+  /// Collect per-pc counts and the dynamic instruction mix (slower).
+  bool profile = false;
+  /// Record the first `trace_limit` issued words as rendered trace
+  /// lines in ExecStats::trace (the debug interface of the processor
+  /// model); 0 disables tracing.
+  uint32_t trace_limit = 0;
+};
+
+/// Cycle-accurate in-order model of the configurable core.
+///
+/// The model issues one program word per cycle and adds stall cycles for
+/// the events that dominate the paper's analysis:
+///   - memory latency of scalar loads/stores (local store vs. system
+///     memory is the 108Mini vs. DBA_1LSU difference),
+///   - mispredicted data-dependent branches (static BTFN predictor),
+///   - load-store-unit port contention of extension beats (1 vs. 2 LSUs),
+///   - extra datapath cycles declared by extension operations.
+///
+/// Instruction fetch is modelled as ideal for all configurations (see
+/// DESIGN.md, deliberate deviations).
+class Cpu {
+ public:
+  explicit Cpu(CoreConfig config);
+
+  Cpu(const Cpu&) = delete;
+  Cpu& operator=(const Cpu&) = delete;
+
+  const CoreConfig& config() const { return config_; }
+
+  /// Maps a memory into the core's address space (non-owning).
+  Status AttachMemory(mem::Memory* memory);
+  const mem::MemorySystem& memory_system() const { return memory_system_; }
+
+  /// Registers a TIE extension operation under `ext_id` (1..0xFFF).
+  Status RegisterExtOp(uint16_t ext_id, std::string name, ExtOpFn fn);
+  bool HasExtOp(uint16_t ext_id) const { return ext_ops_.count(ext_id) != 0; }
+
+  /// Mnemonic lookup for the disassembler.
+  isa::ExtNameResolver MakeExtNameResolver() const;
+
+  /// Validates, decodes, and installs `program`; resets pc to 0.
+  /// Fails if the program exceeds the local instruction memory, uses
+  /// 64-bit FLIX words on a 32-bit instruction bus, or references
+  /// unregistered extension operations.
+  Status LoadProgram(const isa::Program& program);
+
+  // --- Architectural state ---
+  uint32_t reg(isa::Reg r) const {
+    return regs_[static_cast<size_t>(isa::RegIndex(r))];
+  }
+  void set_reg(isa::Reg r, uint32_t value) {
+    regs_[static_cast<size_t>(isa::RegIndex(r))] = value;
+  }
+  uint32_t pc() const { return pc_; }
+  void set_pc(uint32_t pc) { pc_ = pc; }
+
+  /// Resets pc and registers (memories and extension state untouched).
+  void ResetArchState();
+
+  /// Runs until kHalt. Returns the cycle-accurate statistics.
+  Result<ExecStats> Run(const RunOptions& options = {});
+
+ private:
+  friend class ExtContext;
+
+  struct ExtOp {
+    std::string name;
+    ExtOpFn fn;
+  };
+
+  Status ExecuteBase(const isa::Instruction& instr, ExecStats* stats,
+                     bool* halted);
+  Status ExecuteTieOp(uint16_t ext_id, uint16_t operand, ExecStats* stats);
+  Result<mem::Memory*> RouteData(uint64_t addr, uint64_t bytes);
+
+  CoreConfig config_;
+  mem::MemorySystem memory_system_;
+  std::map<uint16_t, ExtOp> ext_ops_;
+
+  std::vector<isa::DecodedWord> decoded_;
+  const isa::Program* program_ = nullptr;  // for diagnostics only
+
+  std::array<uint32_t, isa::kNumRegs> regs_{};
+  uint32_t pc_ = 0;
+};
+
+}  // namespace dba::sim
+
+#endif  // DBA_SIM_CPU_H_

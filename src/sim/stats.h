@@ -1,0 +1,61 @@
+#ifndef DBA_SIM_STATS_H_
+#define DBA_SIM_STATS_H_
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+namespace dba::sim {
+
+/// Cycle-accurate execution statistics of one Cpu::Run. The profiler in
+/// src/toolchain renders these into hotspot reports (the first box of
+/// the paper's Figure 4 tool flow).
+struct ExecStats {
+  uint64_t cycles = 0;
+  uint64_t bundles = 0;        // issued program words
+  uint64_t instructions = 0;   // base instructions + TIE slot operations
+
+  uint64_t taken_branches = 0;
+  uint64_t mispredicted_branches = 0;
+  uint64_t branch_penalty_cycles = 0;
+
+  uint64_t load_stall_cycles = 0;   // scalar loads beyond 1 cycle
+  uint64_t store_stall_cycles = 0;  // scalar stores beyond 1 cycle
+  uint64_t port_stall_cycles = 0;   // TIE beats serialized on an LSU port
+  uint64_t ext_extra_cycles = 0;    // multi-cycle TIE operations
+
+  uint64_t lsu_beats[2] = {0, 0};   // 128-bit beats per load-store unit
+
+  /// Per-pc execution counts; filled only when RunOptions::profile.
+  std::vector<uint64_t> pc_counts;
+
+  /// Dynamic instruction mix; filled only when RunOptions::profile.
+  std::map<std::string, uint64_t> mnemonic_counts;
+
+  /// Rendered trace of the first RunOptions::trace_limit issued words:
+  /// "cycle pc: disassembly".
+  std::vector<std::string> trace;
+
+  void Accumulate(const ExecStats& other) {
+    cycles += other.cycles;
+    bundles += other.bundles;
+    instructions += other.instructions;
+    taken_branches += other.taken_branches;
+    mispredicted_branches += other.mispredicted_branches;
+    branch_penalty_cycles += other.branch_penalty_cycles;
+    load_stall_cycles += other.load_stall_cycles;
+    store_stall_cycles += other.store_stall_cycles;
+    port_stall_cycles += other.port_stall_cycles;
+    ext_extra_cycles += other.ext_extra_cycles;
+    lsu_beats[0] += other.lsu_beats[0];
+    lsu_beats[1] += other.lsu_beats[1];
+    for (const auto& [name, count] : other.mnemonic_counts) {
+      mnemonic_counts[name] += count;
+    }
+  }
+};
+
+}  // namespace dba::sim
+
+#endif  // DBA_SIM_STATS_H_

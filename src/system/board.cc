@@ -1,0 +1,236 @@
+#include "system/board.h"
+
+#include <algorithm>
+
+#include "prefetch/streaming.h"
+
+namespace dba::system {
+
+namespace {
+
+/// Value splitters that cut `reference` into `parts` roughly equal
+/// ranges. Returned splitters are strictly increasing upper bounds; the
+/// last range is unbounded.
+std::vector<uint32_t> PickSplitters(std::span<const uint32_t> reference,
+                                    int parts) {
+  std::vector<uint32_t> splitters;
+  if (reference.empty() || parts <= 1) return splitters;
+  for (int i = 1; i < parts; ++i) {
+    const size_t position = reference.size() * static_cast<size_t>(i) /
+                            static_cast<size_t>(parts);
+    const uint32_t candidate = reference[position];
+    if (splitters.empty() || candidate > splitters.back()) {
+      splitters.push_back(candidate);
+    }
+  }
+  return splitters;
+}
+
+/// Splits a sorted array into the ranges defined by `splitters`:
+/// range i = values in (splitters[i-1], splitters[i]].
+std::vector<std::span<const uint32_t>> PartitionSorted(
+    std::span<const uint32_t> values, const std::vector<uint32_t>& splitters) {
+  std::vector<std::span<const uint32_t>> ranges;
+  size_t begin = 0;
+  for (const uint32_t splitter : splitters) {
+    const size_t end = static_cast<size_t>(
+        std::upper_bound(values.begin() + static_cast<ptrdiff_t>(begin),
+                         values.end(), splitter) -
+        values.begin());
+    ranges.push_back(values.subspan(begin, end - begin));
+    begin = end;
+  }
+  ranges.push_back(values.subspan(begin));
+  return ranges;
+}
+
+/// Sorts arbitrarily large inputs on one core: local-store-sized chunks
+/// via the merge-sort kernel, runs merged pairwise with the streamed
+/// merge kernel. Returns total core cycles.
+Result<uint64_t> ExternalSort(Processor& core,
+                              std::span<const uint32_t> values,
+                              std::vector<uint32_t>* sorted) {
+  uint64_t cycles = 0;
+  const uint32_t capacity = core.max_sort_elements();
+  sorted->clear();
+  if (values.size() <= capacity) {
+    DBA_ASSIGN_OR_RETURN(SortRun run, core.RunSort(values));
+    *sorted = std::move(run.sorted);
+    return run.metrics.cycles;
+  }
+  prefetch::StreamingSetOperation streaming(&core, prefetch::DmaConfig{});
+  for (size_t pos = 0; pos < values.size(); pos += capacity) {
+    const size_t len = std::min<size_t>(capacity, values.size() - pos);
+    DBA_ASSIGN_OR_RETURN(SortRun run,
+                         core.RunSort(values.subspan(pos, len)));
+    cycles += run.metrics.cycles;
+    if (sorted->empty()) {
+      *sorted = std::move(run.sorted);
+    } else {
+      DBA_ASSIGN_OR_RETURN(prefetch::StreamingRun merge_run,
+                           streaming.Run(SetOp::kMerge, *sorted, run.sorted));
+      cycles += merge_run.total_cycles;
+      *sorted = std::move(merge_run.result);
+    }
+  }
+  return cycles;
+}
+
+}  // namespace
+
+Result<std::unique_ptr<Board>> Board::Create(const BoardConfig& config) {
+  if (config.num_cores < 1 || config.num_cores > 1024) {
+    return Status::InvalidArgument("board supports 1..1024 cores");
+  }
+  std::vector<std::unique_ptr<Processor>> cores;
+  cores.reserve(static_cast<size_t>(config.num_cores));
+  for (int i = 0; i < config.num_cores; ++i) {
+    DBA_ASSIGN_OR_RETURN(std::unique_ptr<Processor> core,
+                         Processor::Create(config.core_kind,
+                                           config.core_options));
+    cores.push_back(std::move(core));
+  }
+  return std::unique_ptr<Board>(new Board(config, std::move(cores)));
+}
+
+void Board::FinishRun(ParallelRun* run, uint64_t elements) const {
+  const double frequency = core_frequency_hz();
+  if (run->makespan_cycles > 0) {
+    run->throughput_meps = static_cast<double>(elements) /
+                           (static_cast<double>(run->makespan_cycles) /
+                            frequency) /
+                           1e6;
+  }
+  run->board_power_mw = board_power_mw();
+  run->energy_uj = static_cast<double>(run->total_core_cycles) / frequency *
+                   cores_[0]->synthesis().power_mw * 1e3;
+}
+
+Result<ParallelRun> Board::RunSetOperation(SetOp op,
+                                           std::span<const uint32_t> a,
+                                           std::span<const uint32_t> b) {
+  ParallelRun run;
+  run.per_core_cycles.assign(cores_.size(), 0);
+
+  const std::vector<uint32_t> splitters =
+      PickSplitters(a.size() >= b.size() ? a : b, num_cores());
+  const auto a_ranges = PartitionSorted(a, splitters);
+  const auto b_ranges = PartitionSorted(b, splitters);
+
+  int active_streams = 0;
+  for (size_t i = 0; i < a_ranges.size(); ++i) {
+    if (!a_ranges[i].empty() || !b_ranges[i].empty()) ++active_streams;
+  }
+
+  for (size_t i = 0; i < a_ranges.size(); ++i) {
+    const std::span<const uint32_t> part_a = a_ranges[i];
+    const std::span<const uint32_t> part_b = b_ranges[i];
+    if (part_a.empty() && part_b.empty()) continue;
+    Processor& core = *cores_[i];
+
+    uint64_t compute_cycles = 0;
+    std::vector<uint32_t> part_result;
+    const bool fits =
+        part_a.size() <=
+            core.max_set_elements(static_cast<uint32_t>(part_b.size())) &&
+        part_b.size() <=
+            core.max_set_elements(static_cast<uint32_t>(part_a.size()));
+    if (fits && !part_a.empty() && !part_b.empty()) {
+      DBA_ASSIGN_OR_RETURN(SetOpRun core_run,
+                           core.RunSetOperation(op, part_a, part_b));
+      compute_cycles = core_run.metrics.cycles;
+      part_result = std::move(core_run.result);
+    } else if (part_a.empty() || part_b.empty()) {
+      // Degenerate range.
+      switch (op) {
+        case SetOp::kIntersect:
+          break;
+        case SetOp::kUnion:
+          part_result.assign(part_a.empty() ? part_b.begin() : part_a.begin(),
+                             part_a.empty() ? part_b.end() : part_a.end());
+          break;
+        case SetOp::kDifference:
+          part_result.assign(part_a.begin(), part_a.end());
+          break;
+        default:
+          return Status::InvalidArgument("unsupported parallel operation");
+      }
+      compute_cycles = 3 * ((part_result.size() + 3) / 4);  // copy beats
+    } else {
+      prefetch::StreamingSetOperation streaming(&core,
+                                                prefetch::DmaConfig{});
+      DBA_ASSIGN_OR_RETURN(prefetch::StreamingRun core_run,
+                           streaming.Run(op, part_a, part_b));
+      compute_cycles = core_run.total_cycles;
+      part_result = std::move(core_run.result);
+    }
+
+    // Feed over the shared interconnect, all active cores concurrently.
+    const uint64_t bytes =
+        4 * (part_a.size() + part_b.size() + part_result.size());
+    const uint64_t feed_cycles = noc_.TransferCycles(bytes, active_streams);
+    const uint64_t core_total = std::max(compute_cycles, feed_cycles);
+    run.noc_bound |= feed_cycles > compute_cycles;
+    run.per_core_cycles[i] = core_total;
+    run.total_core_cycles += compute_cycles;
+    run.makespan_cycles = std::max(run.makespan_cycles, core_total);
+    run.result.insert(run.result.end(), part_result.begin(),
+                      part_result.end());
+  }
+
+  FinishRun(&run, a.size() + b.size());
+  return run;
+}
+
+Result<ParallelRun> Board::RunSort(std::span<const uint32_t> values) {
+  ParallelRun run;
+  run.per_core_cycles.assign(cores_.size(), 0);
+
+  // Sample splitters (planner-side; in hardware this partitioning pass
+  // would itself be a streaming primitive, cf. the HARP partitioner the
+  // paper cites [37]).
+  std::vector<uint32_t> sample;
+  const size_t sample_size =
+      std::min<size_t>(values.size(), static_cast<size_t>(num_cores()) * 64);
+  for (size_t i = 0; i < sample_size; ++i) {
+    sample.push_back(values[i * values.size() / sample_size]);
+  }
+  std::sort(sample.begin(), sample.end());
+  const std::vector<uint32_t> splitters = PickSplitters(sample, num_cores());
+
+  // Bucket the input.
+  std::vector<std::vector<uint32_t>> buckets(
+      static_cast<size_t>(num_cores()));
+  for (const uint32_t value : values) {
+    const size_t bucket = static_cast<size_t>(
+        std::lower_bound(splitters.begin(), splitters.end(), value) -
+        splitters.begin());
+    buckets[bucket].push_back(value);
+  }
+
+  int active_streams = 0;
+  for (const auto& bucket : buckets) {
+    if (!bucket.empty()) ++active_streams;
+  }
+
+  for (size_t i = 0; i < buckets.size(); ++i) {
+    if (buckets[i].empty()) continue;
+    Processor& core = *cores_[i];
+    std::vector<uint32_t> sorted;
+    DBA_ASSIGN_OR_RETURN(uint64_t compute_cycles,
+                         ExternalSort(core, buckets[i], &sorted));
+    const uint64_t bytes = 4 * 2 * buckets[i].size();  // in + out
+    const uint64_t feed_cycles = noc_.TransferCycles(bytes, active_streams);
+    const uint64_t core_total = std::max(compute_cycles, feed_cycles);
+    run.noc_bound |= feed_cycles > compute_cycles;
+    run.per_core_cycles[i] = core_total;
+    run.total_core_cycles += compute_cycles;
+    run.makespan_cycles = std::max(run.makespan_cycles, core_total);
+    run.result.insert(run.result.end(), sorted.begin(), sorted.end());
+  }
+
+  FinishRun(&run, values.size());
+  return run;
+}
+
+}  // namespace dba::system

@@ -1,0 +1,82 @@
+#ifndef DBA_SYSTEM_BOARD_H_
+#define DBA_SYSTEM_BOARD_H_
+
+#include <memory>
+#include <span>
+#include <vector>
+
+#include "common/status.h"
+#include "core/processor.h"
+#include "system/noc.h"
+
+namespace dba::system {
+
+/// Configuration of a multi-core accelerator board.
+struct BoardConfig {
+  ProcessorKind core_kind = ProcessorKind::kDba2LsuEis;
+  ProcessorOptions core_options;
+  int num_cores = 16;
+  NocConfig noc;
+};
+
+/// Result of one parallel operation.
+struct ParallelRun {
+  std::vector<uint32_t> result;
+  uint64_t makespan_cycles = 0;      // slowest core incl. its feed
+  uint64_t total_core_cycles = 0;    // sum over cores (for energy)
+  std::vector<uint64_t> per_core_cycles;
+  double throughput_meps = 0;        // at f_max, over the makespan
+  double board_power_mw = 0;         // num_cores x core power
+  double energy_uj = 0;              // total core cycles x power
+  bool noc_bound = false;
+};
+
+/// A board of identical DBA cores with value-range-partitioned parallel
+/// set operations and sample-sort. Every core is a full cycle-accurate
+/// Processor; the board schedules partitions, models the shared
+/// interconnect feed, and reports makespan and energy. This substantiates
+/// the paper's scale-out argument (Section 5.4: "the number of cores of
+/// DBA_2LSU_EIS could be largely increased until it occupies the same
+/// area as the Intel Q9550 processor").
+class Board {
+ public:
+  static Result<std::unique_ptr<Board>> Create(const BoardConfig& config);
+
+  Board(const Board&) = delete;
+  Board& operator=(const Board&) = delete;
+
+  const BoardConfig& config() const { return config_; }
+  int num_cores() const { return static_cast<int>(cores_.size()); }
+  double core_frequency_hz() const { return cores_[0]->frequency_hz(); }
+  double board_power_mw() const {
+    return cores_[0]->synthesis().power_mw * num_cores();
+  }
+  double board_area_mm2() const {
+    return cores_[0]->synthesis().total_area_mm2() * num_cores();
+  }
+
+  /// Parallel sorted-set operation: inputs are partitioned into
+  /// disjoint value ranges (one per core), each core processes its
+  /// range (streaming through its prefetcher if needed), and the
+  /// concatenated per-range results form the output.
+  Result<ParallelRun> RunSetOperation(SetOp op, std::span<const uint32_t> a,
+                                      std::span<const uint32_t> b);
+
+  /// Parallel sample-sort: values are bucketed by sampled splitters,
+  /// each core sorts its bucket, buckets concatenate in splitter order.
+  Result<ParallelRun> RunSort(std::span<const uint32_t> values);
+
+ private:
+  Board(BoardConfig config, std::vector<std::unique_ptr<Processor>> cores)
+      : config_(config), noc_(config.noc), cores_(std::move(cores)) {}
+
+  void FinishRun(ParallelRun* run, uint64_t elements) const;
+
+  BoardConfig config_;
+  Noc noc_;
+  std::vector<std::unique_ptr<Processor>> cores_;
+};
+
+}  // namespace dba::system
+
+#endif  // DBA_SYSTEM_BOARD_H_

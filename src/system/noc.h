@@ -1,0 +1,52 @@
+#ifndef DBA_SYSTEM_NOC_H_
+#define DBA_SYSTEM_NOC_H_
+
+#include <algorithm>
+#include <cstdint>
+
+namespace dba::system {
+
+/// Shared-interconnect model for a board of DBA cores (paper Section 1:
+/// "the extremely low-energy design enables us to put hundreds of chips
+/// on a single board"). Each core's data prefetcher pulls its partition
+/// over the network; the aggregate feed rate is capped by the bisection
+/// bandwidth to off-board memory.
+struct NocConfig {
+  /// Per-core link bandwidth in bytes per core cycle.
+  double link_bytes_per_cycle = 32.0;
+  /// Aggregate bandwidth to the shared memory, bytes per core cycle.
+  double bisection_bytes_per_cycle = 512.0;
+  /// Base latency of one transfer (arbitration + hops).
+  uint32_t transfer_latency_cycles = 64;
+};
+
+class Noc {
+ public:
+  explicit Noc(NocConfig config) : config_(config) {}
+
+  const NocConfig& config() const { return config_; }
+
+  /// Effective per-stream bandwidth with `streams` concurrent readers.
+  double BandwidthPerStream(int streams) const {
+    if (streams <= 0) return config_.link_bytes_per_cycle;
+    return std::min(config_.link_bytes_per_cycle,
+                    config_.bisection_bytes_per_cycle / streams);
+  }
+
+  /// Cycles for one core to pull `bytes` while `streams` cores read
+  /// concurrently.
+  uint64_t TransferCycles(uint64_t bytes, int streams) const {
+    if (bytes == 0) return 0;
+    const double bandwidth = BandwidthPerStream(streams);
+    return config_.transfer_latency_cycles +
+           static_cast<uint64_t>(static_cast<double>(bytes) / bandwidth +
+                                 0.5);
+  }
+
+ private:
+  NocConfig config_;
+};
+
+}  // namespace dba::system
+
+#endif  // DBA_SYSTEM_NOC_H_

@@ -1,0 +1,81 @@
+#include "tie/bitmanip_extension.h"
+
+#include <bit>
+
+#include "common/bits.h"
+#include "isa/registers.h"
+
+namespace dba::tie {
+
+namespace {
+
+isa::Reg SrcReg(uint16_t operand) {
+  return isa::RegFromIndex(operand & 0xF);
+}
+
+isa::Reg DstReg(uint16_t operand) {
+  return isa::RegFromIndex((operand >> 4) & 0xF);
+}
+
+uint32_t Crc32Update(uint32_t crc, uint8_t byte) {
+  crc ^= byte;
+  for (int bit = 0; bit < 8; ++bit) {
+    // In hardware all eight stages unroll combinationally within the
+    // cycle; the conditional XOR is a mux per stage.
+    crc = (crc >> 1) ^ ((crc & 1u) ? BitmanipExtension::kCrc32Polynomial : 0u);
+  }
+  return crc;
+}
+
+}  // namespace
+
+BitmanipExtension::BitmanipExtension() : TieExtension("bitmanip") {
+  crc_ = AddState("crc32", 32, 0xFFFFFFFFu);
+
+  DefineOp(kCrcReset, "crc32_reset", [this](sim::ExtContext&) {
+    crc_->Set(0xFFFFFFFFu);
+    return Status::Ok();
+  });
+
+  DefineOp(kCrcStep, "crc32_step", [this](sim::ExtContext& ctx) {
+    const auto byte =
+        static_cast<uint8_t>(ctx.reg(SrcReg(ctx.operand())) & 0xFF);
+    crc_->Set(Crc32Update(static_cast<uint32_t>(crc_->Get()), byte));
+    return Status::Ok();
+  });
+
+  DefineOp(kCrcRead, "crc32_read", [this](sim::ExtContext& ctx) {
+    ctx.set_reg(DstReg(ctx.operand()),
+                ~static_cast<uint32_t>(crc_->Get()));
+    return Status::Ok();
+  });
+
+  DefineOp(kBitReverse, "bit_reverse", [](sim::ExtContext& ctx) {
+    ctx.set_reg(DstReg(ctx.operand()),
+                ReferenceBitReverse(ctx.reg(SrcReg(ctx.operand()))));
+    return Status::Ok();
+  });
+
+  DefineOp(kPopcount, "popcount", [](sim::ExtContext& ctx) {
+    ctx.set_reg(DstReg(ctx.operand()),
+                static_cast<uint32_t>(
+                    std::popcount(ctx.reg(SrcReg(ctx.operand())))));
+    return Status::Ok();
+  });
+}
+
+uint32_t BitmanipExtension::ReferenceCrc32(const uint8_t* data, size_t size) {
+  uint32_t crc = 0xFFFFFFFFu;
+  for (size_t i = 0; i < size; ++i) crc = Crc32Update(crc, data[i]);
+  return ~crc;
+}
+
+uint32_t BitmanipExtension::ReferenceBitReverse(uint32_t value) {
+  value = ((value & 0x55555555u) << 1) | ((value >> 1) & 0x55555555u);
+  value = ((value & 0x33333333u) << 2) | ((value >> 2) & 0x33333333u);
+  value = ((value & 0x0F0F0F0Fu) << 4) | ((value >> 4) & 0x0F0F0F0Fu);
+  value = ((value & 0x00FF00FFu) << 8) | ((value >> 8) & 0x00FF00FFu);
+  return (value << 16) | (value >> 16);
+}
+
+}  // namespace dba::tie

@@ -1,0 +1,53 @@
+#ifndef DBA_TIE_BITMANIP_EXTENSION_H_
+#define DBA_TIE_BITMANIP_EXTENSION_H_
+
+#include <cstdint>
+
+#include "tie/tie_extension.h"
+
+namespace dba::tie {
+
+/// Bit-manipulation instruction set: the instruction-merging examples of
+/// paper Section 2.2, built with the same TIE framework as the EIS.
+///
+///  - `crc32_step`: one CRC-32 update ("calculating a CRC value ...
+///    requires shift, comparison, and XOR instructions, which can all be
+///    combined into a single instruction"). Byte-at-a-time update of the
+///    crc32 state with the low 8 bits of an AR register.
+///  - `bit_reverse`: reverses the 32 bits of a register ("cheap in
+///    hardware whereas it requires dozens of instructions in software").
+///  - `popcount`: population count, the classic mask-and-shift cascade.
+///
+/// Operand encoding for all three: [3:0] source AR, [7:4] destination AR
+/// (fits the 8-bit FLIX slot field).
+///
+/// Each operation executes in a single cycle; `MergedInstructionCounts`
+/// documents how many base-ISA instructions the software equivalent
+/// needs (see dbkern::BuildSoftwareBitmanip and the instruction_merging
+/// bench).
+class BitmanipExtension : public TieExtension {
+ public:
+  static constexpr uint16_t kCrcReset = 0x180;  // crc32 state := ~0
+  static constexpr uint16_t kCrcStep = 0x181;   // crc32 state update
+  static constexpr uint16_t kCrcRead = 0x182;   // AR := ~state (final xor)
+  static constexpr uint16_t kBitReverse = 0x183;
+  static constexpr uint16_t kPopcount = 0x184;
+
+  /// IEEE 802.3 polynomial (reflected).
+  static constexpr uint32_t kCrc32Polynomial = 0xEDB88320u;
+
+  BitmanipExtension();
+
+  uint32_t crc_state() const { return static_cast<uint32_t>(crc_->Get()); }
+
+  /// Host reference implementations (oracles for tests).
+  static uint32_t ReferenceCrc32(const uint8_t* data, size_t size);
+  static uint32_t ReferenceBitReverse(uint32_t value);
+
+ private:
+  TieState* crc_;
+};
+
+}  // namespace dba::tie
+
+#endif  // DBA_TIE_BITMANIP_EXTENSION_H_

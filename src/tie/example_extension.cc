@@ -1,0 +1,42 @@
+#include "tie/example_extension.h"
+
+#include "common/bits.h"
+#include "isa/registers.h"
+
+namespace dba::tie {
+
+ExampleExtension::ExampleExtension() : TieExtension("example") {
+  // state state8 8 8'h0 add_read_write
+  state8_ = AddState("state8", 8, 0);
+  // regfile reg32 32 8 reg
+  reg32_ = AddRegFile("reg32", 32, 8);
+
+  DefineOp(kWurState8, "wur_state8", [this](sim::ExtContext& ctx) {
+    state8_->Set(ctx.operand() & 0xFF);
+    return Status::Ok();
+  });
+
+  DefineOp(kWrReg32, "wr_reg32", [this](sim::ExtContext& ctx) {
+    const int index = ctx.operand() & 0x7;
+    reg32_->Write(index, ctx.reg(isa::Reg::a7));
+    return Status::Ok();
+  });
+
+  DefineOp(kAdd3Shift, "add3_shift", [this](sim::ExtContext& ctx) {
+    const uint16_t operand = ctx.operand();
+    const auto in0 = static_cast<uint32_t>(
+        reg32_->Read(static_cast<int>(ExtractBits(operand, 0, 3))));
+    const auto in1 = static_cast<uint32_t>(
+        reg32_->Read(static_cast<int>(ExtractBits(operand, 3, 3))));
+    const auto in2 = static_cast<uint32_t>(
+        reg32_->Read(static_cast<int>(ExtractBits(operand, 6, 3))));
+    const auto rd =
+        isa::RegFromIndex(static_cast<int>(ExtractBits(operand, 9, 3)));
+    const auto shift = static_cast<uint32_t>(state8_->Get() & 31);
+    // assign res = (in0 + in1 + in2) >> state8; executed in one cycle.
+    ctx.set_reg(rd, (in0 + in1 + in2) >> shift);
+    return Status::Ok();
+  });
+}
+
+}  // namespace dba::tie

@@ -1,0 +1,39 @@
+#ifndef DBA_TIE_EXAMPLE_EXTENSION_H_
+#define DBA_TIE_EXAMPLE_EXTENSION_H_
+
+#include <cstdint>
+
+#include "tie/tie_extension.h"
+
+namespace dba::tie {
+
+/// The worked example of the paper's Figure 5, reproduced 1:1 in this
+/// framework: an 8-bit state `state8`, an 8-entry 32-bit register file
+/// `reg32`, and the single-cycle operation
+///
+///   add3_shift { out AR res, in reg32 in0..in2 } { in state8 }
+///     res = (in0 + in1 + in2) >> state8
+///
+/// Operation encoding (operand field, 12 bits):
+///   [2:0] in0  [5:3] in1  [8:6] in2  [11:9] destination AR index
+/// (AR destination limited to a0..a7 by the field width).
+///
+/// Two helper operations model the generated WUR/WR intrinsics:
+///   wur_state8  (operand = new 8-bit state value)
+///   wr_reg32    (operand = [2:0] register index; value taken from AR a7)
+class ExampleExtension : public TieExtension {
+ public:
+  static constexpr uint16_t kWurState8 = 0x100;
+  static constexpr uint16_t kWrReg32 = 0x101;
+  static constexpr uint16_t kAdd3Shift = 0x102;
+
+  ExampleExtension();
+
+ private:
+  TieState* state8_;
+  TieRegisterFile* reg32_;
+};
+
+}  // namespace dba::tie
+
+#endif  // DBA_TIE_EXAMPLE_EXTENSION_H_

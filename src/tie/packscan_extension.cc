@@ -1,0 +1,142 @@
+#include "tie/packscan_extension.h"
+
+#include <algorithm>
+
+#include "common/bits.h"
+#include "isa/registers.h"
+#include "mem/memory.h"
+
+namespace dba::tie {
+
+namespace {
+
+uint32_t ValueMask32(int bits) {
+  return bits >= 32 ? 0xFFFFFFFFu
+                    : static_cast<uint32_t>((1ull << bits) - 1);
+}
+
+}  // namespace
+
+PackScanExtension::PackScanExtension() : TieExtension("packscan") {
+  width_state_ = AddState("unpack_width", 6, 0);
+
+  DefineOp(kInit, "unpack_init",
+           [this](sim::ExtContext& ctx) { return Init(ctx); });
+  DefineOp(kUnpackBeat, "unpack_beat",
+           [this](sim::ExtContext& ctx) { return UnpackBeat(ctx); });
+}
+
+Status PackScanExtension::Init(sim::ExtContext& ctx) {
+  const int bits = ctx.operand() & 0x3F;
+  if (bits < 1 || bits > 32) {
+    return Status::InvalidArgument(
+        "unpack_init: bit width must be 1..32, got " + std::to_string(bits));
+  }
+  width_state_->Set(static_cast<uint64_t>(bits));
+  src_ptr_ = ctx.reg(isa::abi::kPtrA);
+  values_remaining_ = ctx.reg(isa::abi::kLenA);
+  dst_ptr_ = ctx.reg(isa::abi::kPtrC);
+  produced_ = 0;
+  word_fifo_.Clear();
+  bit_buffer_ = 0;
+  bits_held_ = 0;
+  if (!IsAligned(src_ptr_, 16) || !IsAligned(dst_ptr_, 16)) {
+    return Status::InvalidArgument(
+        "unpack_init: source/destination must be 16-byte aligned");
+  }
+  const uint64_t total_bits =
+      static_cast<uint64_t>(values_remaining_) * static_cast<uint64_t>(bits);
+  words_remaining_ = static_cast<uint32_t>((total_bits + 31) / 32);
+  return Status::Ok();
+}
+
+Status PackScanExtension::UnpackBeat(sim::ExtContext& ctx) {
+  const int bits = bit_width();
+  const auto flag_reg = isa::RegFromIndex(ctx.operand() & 0xF);
+  if (bits == 0) {
+    return Status::FailedPrecondition("unpack_beat before unpack_init");
+  }
+
+  // Refill the staging FIFO with one source beat when there is room.
+  if (words_remaining_ > 0 && word_fifo_.space() >= 4) {
+    DBA_ASSIGN_OR_RETURN(mem::Beat128 beat, ctx.LoadBeat(0, src_ptr_));
+    const uint32_t take = std::min<uint32_t>(4, words_remaining_);
+    for (uint32_t i = 0; i < take; ++i) word_fifo_.Push(beat[i]);
+    src_ptr_ += mem::kBeatBytes;
+    words_remaining_ -= take;
+  }
+
+  // Decode up to four values through the shift buffer.
+  mem::Beat128 out{};
+  uint32_t decoded = 0;
+  while (decoded < 4 && values_remaining_ > 0) {
+    while (bits_held_ < bits && !word_fifo_.empty()) {
+      bit_buffer_ |= static_cast<uint64_t>(word_fifo_.Pop()) << bits_held_;
+      bits_held_ += 32;
+    }
+    if (bits_held_ < bits) break;  // starved: wait for the next beat
+    out[decoded] = static_cast<uint32_t>(bit_buffer_) & ValueMask32(bits);
+    bit_buffer_ >>= bits;
+    bits_held_ -= bits;
+    ++decoded;
+    --values_remaining_;
+  }
+
+  // Store the result beat (byte-enabled for the final partial group).
+  if (decoded == 4) {
+    DBA_RETURN_IF_ERROR(ctx.StoreBeat(1, dst_ptr_, out));
+    dst_ptr_ += mem::kBeatBytes;
+  } else {
+    for (uint32_t i = 0; i < decoded; ++i) {
+      DBA_RETURN_IF_ERROR(
+          ctx.StoreWord(1, dst_ptr_ + 4ull * i, out[i]));
+    }
+    dst_ptr_ += 4ull * decoded;
+  }
+  produced_ += decoded;
+
+  ctx.set_reg(flag_reg, values_remaining_ > 0 ? 1u : 0u);
+  ctx.set_reg(isa::abi::kLenC, produced_);
+  return Status::Ok();
+}
+
+std::vector<uint32_t> PackScanExtension::Pack(
+    std::span<const uint32_t> values, int bits) {
+  std::vector<uint32_t> packed;
+  uint64_t buffer = 0;
+  int held = 0;
+  const uint32_t mask = ValueMask32(bits);
+  for (const uint32_t value : values) {
+    buffer |= static_cast<uint64_t>(value & mask) << held;
+    held += bits;
+    while (held >= 32) {
+      packed.push_back(static_cast<uint32_t>(buffer));
+      buffer >>= 32;
+      held -= 32;
+    }
+  }
+  if (held > 0) packed.push_back(static_cast<uint32_t>(buffer));
+  return packed;
+}
+
+std::vector<uint32_t> PackScanExtension::Unpack(
+    std::span<const uint32_t> packed, int bits, size_t count) {
+  std::vector<uint32_t> values;
+  values.reserve(count);
+  uint64_t buffer = 0;
+  int held = 0;
+  size_t next_word = 0;
+  const uint32_t mask = ValueMask32(bits);
+  for (size_t i = 0; i < count; ++i) {
+    while (held < bits && next_word < packed.size()) {
+      buffer |= static_cast<uint64_t>(packed[next_word++]) << held;
+      held += 32;
+    }
+    values.push_back(static_cast<uint32_t>(buffer) & mask);
+    buffer >>= bits;
+    held -= bits;
+  }
+  return values;
+}
+
+}  // namespace dba::tie

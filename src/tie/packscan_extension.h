@@ -1,0 +1,77 @@
+#ifndef DBA_TIE_PACKSCAN_EXTENSION_H_
+#define DBA_TIE_PACKSCAN_EXTENSION_H_
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "eis/fifo.h"
+#include "tie/tie_extension.h"
+
+namespace dba::tie {
+
+/// Bit-unpacking instruction set for compressed column scans -- the
+/// "compression" candidate primitive of paper Section 1, in the style of
+/// SIMD-scan [36] / Lemire-Boytsov [26] that the paper cites: RID lists
+/// and column values are stored k-bit-packed; the extension unpacks four
+/// values per UNPACK instruction, streaming beat-in/beat-out.
+///
+/// Operations:
+///   unpack_init (operand = bit width 1..32): reads a0 = packed source,
+///     a2 = value count, a4 = destination from the ARs.
+///   unpack_beat (operand = flag AR [3:0]): refills the bit buffer from
+///     the source (<=1 load beat via LSU0), decodes up to four values,
+///     stores one result beat via LSU1, and writes a continuation flag.
+///
+/// On a 2-LSU core the loop sustains four values per 3-cycle iteration;
+/// the software equivalent (dbkern::BuildUnpackKernel) needs ~10 base
+/// instructions per value.
+class PackScanExtension : public TieExtension {
+ public:
+  static constexpr uint16_t kInit = 0x1A0;
+  static constexpr uint16_t kUnpackBeat = 0x1A1;
+
+  PackScanExtension();
+
+  void ResetState() override {
+    TieExtension::ResetState();
+    src_ptr_ = 0;
+    words_remaining_ = 0;
+    dst_ptr_ = 0;
+    values_remaining_ = 0;
+    produced_ = 0;
+    word_fifo_.Clear();
+    bit_buffer_ = 0;
+    bits_held_ = 0;
+  }
+
+  int bit_width() const { return static_cast<int>(width_state_->Get()); }
+  uint32_t values_produced() const { return produced_; }
+
+  /// Host utilities (oracles and input preparation): LSB-first k-bit
+  /// packing into little-endian 32-bit words.
+  static std::vector<uint32_t> Pack(std::span<const uint32_t> values,
+                                    int bits);
+  static std::vector<uint32_t> Unpack(std::span<const uint32_t> packed,
+                                      int bits, size_t count);
+
+ private:
+  Status Init(sim::ExtContext& ctx);
+  Status UnpackBeat(sim::ExtContext& ctx);
+
+  TieState* width_state_;  // 6 bits
+
+  // Datapath.
+  uint64_t src_ptr_ = 0;
+  uint32_t words_remaining_ = 0;
+  uint64_t dst_ptr_ = 0;
+  uint32_t values_remaining_ = 0;
+  uint32_t produced_ = 0;
+  eis::SmallFifo<uint32_t, 8> word_fifo_;  // staged source words
+  uint64_t bit_buffer_ = 0;
+  int bits_held_ = 0;
+};
+
+}  // namespace dba::tie
+
+#endif  // DBA_TIE_PACKSCAN_EXTENSION_H_

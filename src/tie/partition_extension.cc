@@ -1,0 +1,159 @@
+#include "tie/partition_extension.h"
+
+#include <algorithm>
+
+#include "common/bits.h"
+#include "isa/registers.h"
+#include "mem/memory.h"
+
+namespace dba::tie {
+
+PartitionExtension::PartitionExtension() : TieExtension("partition") {
+  buckets_state_ = AddState("partition_buckets", 5, 0);
+
+  DefineOp(kInit, "partition_init",
+           [this](sim::ExtContext& ctx) { return Init(ctx); });
+  DefineOp(kPartitionBeat, "partition_beat",
+           [this](sim::ExtContext& ctx) { return Beat(ctx); });
+  DefineOp(kFlush, "partition_flush",
+           [this](sim::ExtContext& ctx) { return Flush(ctx); });
+}
+
+void PartitionExtension::ResetState() {
+  TieExtension::ResetState();
+  splitters_.fill(0);
+  src_ptr_ = 0;
+  remaining_ = 0;
+  bucket_base_ = 0;
+  bucket_capacity_ = 0;
+  counts_ptr_ = 0;
+  counts_.fill(0);
+  for (auto& buffer : coalesce_) buffer.fill(0);
+  coalesce_fill_.fill(0);
+}
+
+Status PartitionExtension::Init(sim::ExtContext& ctx) {
+  const int buckets = ctx.operand() & 0x1F;
+  if (buckets < 2 || buckets > kMaxBuckets) {
+    return Status::InvalidArgument(
+        "partition_init: bucket count must be 2.." +
+        std::to_string(kMaxBuckets));
+  }
+  ResetState();
+  buckets_state_->Set(static_cast<uint64_t>(buckets));
+  src_ptr_ = ctx.reg(isa::abi::kPtrA);
+  remaining_ = ctx.reg(isa::abi::kLenA);
+  bucket_capacity_ = ctx.reg(isa::abi::kLenB);  // a3: per-bucket capacity
+  bucket_base_ = ctx.reg(isa::abi::kPtrC);
+  counts_ptr_ = ctx.reg(isa::abi::kLenC);       // a5: count table pointer
+  if (!IsAligned(src_ptr_, 16) || !IsAligned(bucket_base_, 16) ||
+      !IsAligned(static_cast<uint64_t>(bucket_capacity_) * 4, 16)) {
+    return Status::InvalidArgument(
+        "partition_init: source/buckets must be 16-byte aligned and the "
+        "per-bucket capacity a multiple of 4");
+  }
+  // Load the splitter table (HARP holds it in registers; one beat per
+  // four splitters).
+  const uint64_t splitter_ptr = ctx.reg(isa::abi::kPtrB);
+  for (size_t i = 0; i + 1 < static_cast<size_t>(buckets); ++i) {
+    DBA_ASSIGN_OR_RETURN(splitters_[i],
+                         ctx.LoadWord(0, splitter_ptr + 4 * i));
+    if (i > 0 && splitters_[i] <= splitters_[i - 1]) {
+      return Status::InvalidArgument(
+          "partition_init: splitters must be strictly increasing");
+    }
+  }
+  return Status::Ok();
+}
+
+int PartitionExtension::BucketFor(uint32_t value) const {
+  // Comparator tree: in hardware all bucket_count-1 comparisons happen
+  // in parallel; functionally a branch-free lower bound.
+  const int buckets = num_buckets();
+  int bucket = 0;
+  for (int i = 0; i < buckets - 1; ++i) {
+    bucket += value >= splitters_[static_cast<size_t>(i)] ? 1 : 0;
+  }
+  return bucket;
+}
+
+Status PartitionExtension::SpillFull(sim::ExtContext& ctx, int bucket) {
+  auto& buffer = coalesce_[static_cast<size_t>(bucket)];
+  const uint32_t filled = counts_[static_cast<size_t>(bucket)];
+  if (filled + 4 > bucket_capacity_) {
+    return Status::ResourceExhausted(
+        "partition bucket " + std::to_string(bucket) +
+        " overflows its capacity of " + std::to_string(bucket_capacity_));
+  }
+  const uint64_t addr =
+      bucket_base_ + 4 * (static_cast<uint64_t>(bucket) * bucket_capacity_ +
+                          filled);
+  DBA_RETURN_IF_ERROR(ctx.StoreBeat(1, addr, buffer));
+  counts_[static_cast<size_t>(bucket)] += 4;
+  coalesce_fill_[static_cast<size_t>(bucket)] = 0;
+  return Status::Ok();
+}
+
+Status PartitionExtension::Route(sim::ExtContext& ctx, uint32_t value) {
+  const int bucket = BucketFor(value);
+  auto& fill = coalesce_fill_[static_cast<size_t>(bucket)];
+  coalesce_[static_cast<size_t>(bucket)][static_cast<size_t>(fill++)] = value;
+  if (fill == 4) {
+    DBA_RETURN_IF_ERROR(SpillFull(ctx, bucket));
+  }
+  return Status::Ok();
+}
+
+Status PartitionExtension::Beat(sim::ExtContext& ctx) {
+  const auto flag_reg = isa::RegFromIndex(ctx.operand() & 0xF);
+  if (num_buckets() == 0) {
+    return Status::FailedPrecondition("partition_beat before init");
+  }
+  if (remaining_ > 0) {
+    DBA_ASSIGN_OR_RETURN(mem::Beat128 beat, ctx.LoadBeat(0, src_ptr_));
+    const uint32_t take = std::min<uint32_t>(4, remaining_);
+    for (uint32_t i = 0; i < take; ++i) {
+      DBA_RETURN_IF_ERROR(Route(ctx, beat[i]));
+    }
+    src_ptr_ += mem::kBeatBytes;
+    remaining_ -= take;
+  }
+  ctx.set_reg(flag_reg, remaining_ > 0 ? 1u : 0u);
+  return Status::Ok();
+}
+
+Status PartitionExtension::Flush(sim::ExtContext& ctx) {
+  const int buckets = num_buckets();
+  if (buckets == 0) {
+    return Status::FailedPrecondition("partition_flush before init");
+  }
+  uint32_t total = 0;
+  for (int bucket = 0; bucket < buckets; ++bucket) {
+    const int fill = coalesce_fill_[static_cast<size_t>(bucket)];
+    const uint32_t filled = counts_[static_cast<size_t>(bucket)];
+    if (filled + static_cast<uint32_t>(fill) > bucket_capacity_) {
+      return Status::ResourceExhausted(
+          "partition bucket " + std::to_string(bucket) +
+          " overflows its capacity");
+    }
+    for (int i = 0; i < fill; ++i) {
+      const uint64_t addr =
+          bucket_base_ +
+          4 * (static_cast<uint64_t>(bucket) * bucket_capacity_ + filled +
+               static_cast<uint64_t>(i));
+      DBA_RETURN_IF_ERROR(ctx.StoreWord(
+          1, addr, coalesce_[static_cast<size_t>(bucket)]
+                       [static_cast<size_t>(i)]));
+    }
+    counts_[static_cast<size_t>(bucket)] += static_cast<uint32_t>(fill);
+    coalesce_fill_[static_cast<size_t>(bucket)] = 0;
+    DBA_RETURN_IF_ERROR(ctx.StoreWord(
+        1, counts_ptr_ + 4 * static_cast<uint64_t>(bucket),
+        counts_[static_cast<size_t>(bucket)]));
+    total += counts_[static_cast<size_t>(bucket)];
+  }
+  ctx.set_reg(isa::abi::kLenC, total);
+  return Status::Ok();
+}
+
+}  // namespace dba::tie

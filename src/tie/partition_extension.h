@@ -1,0 +1,75 @@
+#ifndef DBA_TIE_PARTITION_EXTENSION_H_
+#define DBA_TIE_PARTITION_EXTENSION_H_
+
+#include <array>
+#include <cstdint>
+
+#include "eis/fifo.h"
+#include "tie/tie_extension.h"
+
+namespace dba::tie {
+
+/// Range-partitioning instruction set -- the "partitioning" candidate
+/// primitive of paper Section 1, in the spirit of the HARP accelerator
+/// the paper discusses in Section 6 [37]: a streaming datapath that
+/// routes each input value to one of up to 16 range buckets through a
+/// splitter comparator tree, with a 4-element coalescing buffer per
+/// bucket so bucket memory is written in full 128-bit beats.
+///
+/// Operations:
+///   partition_init (operand = bucket count 2..16): reads from the ARs
+///     a0 = source, a1 = splitter table (bucket_count-1 sorted u32),
+///     a2 = value count, a3 = per-bucket capacity (elements),
+///     a4 = bucket region base (bucket i at a4 + i*capacity*4, 16-byte
+///     aligned), a5 = bucket-count table (bucket_count u32, written by
+///     partition_flush).
+///   partition_beat (operand = flag AR): loads one source beat, routes
+///     its four values, spills any full coalescing buffers (one store
+///     beat each), sets the flag while input remains.
+///   partition_flush: drains all partial buffers and writes the bucket
+///     counts; returns the total in a5.
+///
+/// A bucket overflowing its capacity fails with ResourceExhausted.
+class PartitionExtension : public TieExtension {
+ public:
+  static constexpr uint16_t kInit = 0x1B0;
+  static constexpr uint16_t kPartitionBeat = 0x1B1;
+  static constexpr uint16_t kFlush = 0x1B2;
+
+  static constexpr int kMaxBuckets = 16;
+
+  PartitionExtension();
+
+  void ResetState() override;
+
+  int num_buckets() const {
+    return static_cast<int>(buckets_state_->Get());
+  }
+
+ private:
+  Status Init(sim::ExtContext& ctx);
+  Status Beat(sim::ExtContext& ctx);
+  Status Flush(sim::ExtContext& ctx);
+
+  Status Route(sim::ExtContext& ctx, uint32_t value);
+  Status SpillFull(sim::ExtContext& ctx, int bucket);
+
+  int BucketFor(uint32_t value) const;
+
+  TieState* buckets_state_;  // 5 bits: configured bucket count
+
+  // Datapath.
+  std::array<uint32_t, kMaxBuckets - 1> splitters_{};
+  uint64_t src_ptr_ = 0;
+  uint32_t remaining_ = 0;
+  uint64_t bucket_base_ = 0;
+  uint32_t bucket_capacity_ = 0;
+  uint64_t counts_ptr_ = 0;
+  std::array<uint32_t, kMaxBuckets> counts_{};
+  std::array<std::array<uint32_t, 4>, kMaxBuckets> coalesce_{};
+  std::array<int, kMaxBuckets> coalesce_fill_{};
+};
+
+}  // namespace dba::tie
+
+#endif  // DBA_TIE_PARTITION_EXTENSION_H_

@@ -1,0 +1,114 @@
+#include "tie/string_extension.h"
+
+#include <cstring>
+
+#include "common/bits.h"
+#include "isa/registers.h"
+
+namespace dba::tie {
+
+StringExtension::StringExtension() : TieExtension("string") {
+  pattern_state_ = AddState("str_pattern", 128, 0);
+  mask_state_ = AddState("str_mask", 128, 0);
+
+  DefineOp(kInit, "str_init",
+           [this](sim::ExtContext& ctx) { return Init(ctx); });
+  DefineOp(kScan, "str_scan",
+           [this](sim::ExtContext& ctx) { return Scan(ctx); });
+  DefineOp(kFlush, "str_flush",
+           [this](sim::ExtContext& ctx) { return Flush(ctx); });
+}
+
+void StringExtension::ResetState() {
+  TieExtension::ResetState();
+  column_ptr_ = 0;
+  rows_remaining_ = 0;
+  next_rid_ = 0;
+  result_ptr_ = 0;
+  match_count_ = 0;
+  coalesce_.fill(0);
+  coalesce_fill_ = 0;
+  initialized_ = false;
+}
+
+bool StringExtension::Matches(const uint8_t* row, const uint8_t* pattern,
+                              const uint8_t* mask) {
+  // In hardware: 16 byte comparators, AND-reduced -- single cycle.
+  for (uint32_t i = 0; i < kRowBytes; ++i) {
+    if (mask[i] != 0 && row[i] != pattern[i]) return false;
+  }
+  return true;
+}
+
+Status StringExtension::Init(sim::ExtContext& ctx) {
+  ResetState();
+  column_ptr_ = ctx.reg(isa::abi::kPtrA);
+  rows_remaining_ = ctx.reg(isa::abi::kLenA);
+  result_ptr_ = ctx.reg(isa::abi::kPtrC);
+  if (!IsAligned(column_ptr_, 16) || !IsAligned(result_ptr_, 16)) {
+    return Status::InvalidArgument(
+        "str_init: column and result pointers must be 16-byte aligned");
+  }
+  // Pattern and mask load through LSU0 into the wide states.
+  DBA_ASSIGN_OR_RETURN(mem::Beat128 pattern,
+                       ctx.LoadBeat(0, ctx.reg(isa::abi::kPtrB)));
+  DBA_ASSIGN_OR_RETURN(mem::Beat128 mask,
+                       ctx.LoadBeat(0, ctx.reg(isa::abi::kLenB)));
+  for (int lane = 0; lane < 4; ++lane) {
+    pattern_state_->set_lane(lane, pattern[static_cast<size_t>(lane)]);
+    mask_state_->set_lane(lane, mask[static_cast<size_t>(lane)]);
+  }
+  initialized_ = true;
+  return Status::Ok();
+}
+
+Status StringExtension::Scan(sim::ExtContext& ctx) {
+  const auto flag_reg = isa::RegFromIndex(ctx.operand() & 0xF);
+  if (!initialized_) {
+    return Status::FailedPrecondition("str_scan before str_init");
+  }
+  if (rows_remaining_ > 0) {
+    DBA_ASSIGN_OR_RETURN(mem::Beat128 row, ctx.LoadBeat(0, column_ptr_));
+    uint8_t row_bytes[kRowBytes];
+    uint8_t pattern_bytes[kRowBytes];
+    uint8_t mask_bytes[kRowBytes];
+    std::memcpy(row_bytes, row.data(), kRowBytes);
+    for (int lane = 0; lane < 4; ++lane) {
+      const uint32_t pattern_word = pattern_state_->lane(lane);
+      const uint32_t mask_word = mask_state_->lane(lane);
+      std::memcpy(pattern_bytes + 4 * lane, &pattern_word, 4);
+      std::memcpy(mask_bytes + 4 * lane, &mask_word, 4);
+    }
+    if (Matches(row_bytes, pattern_bytes, mask_bytes)) {
+      coalesce_[static_cast<size_t>(coalesce_fill_++)] = next_rid_;
+      if (coalesce_fill_ == 4) {
+        DBA_RETURN_IF_ERROR(ctx.StoreBeat(1, result_ptr_, coalesce_));
+        result_ptr_ += mem::kBeatBytes;
+        match_count_ += 4;
+        coalesce_fill_ = 0;
+      }
+    }
+    column_ptr_ += kRowBytes;
+    ++next_rid_;
+    --rows_remaining_;
+  }
+  ctx.set_reg(flag_reg, rows_remaining_ > 0 ? 1u : 0u);
+  return Status::Ok();
+}
+
+Status StringExtension::Flush(sim::ExtContext& ctx) {
+  if (!initialized_) {
+    return Status::FailedPrecondition("str_flush before str_init");
+  }
+  for (uint64_t i = 0; i < static_cast<uint64_t>(coalesce_fill_); ++i) {
+    DBA_RETURN_IF_ERROR(ctx.StoreWord(1, result_ptr_ + 4 * i,
+                                      coalesce_[static_cast<size_t>(i)]));
+  }
+  match_count_ += static_cast<uint32_t>(coalesce_fill_);
+  result_ptr_ += 4 * static_cast<uint64_t>(coalesce_fill_);
+  coalesce_fill_ = 0;
+  ctx.set_reg(isa::abi::kLenC, match_count_);
+  return Status::Ok();
+}
+
+}  // namespace dba::tie

@@ -1,0 +1,68 @@
+#ifndef DBA_TIE_STRING_EXTENSION_H_
+#define DBA_TIE_STRING_EXTENSION_H_
+
+#include <array>
+#include <cstdint>
+
+#include "mem/memory.h"
+#include "tie/tie_extension.h"
+
+namespace dba::tie {
+
+/// String-scan instruction set -- the "string operations" candidate
+/// primitive of paper Section 1 (the paper's motivating example of an
+/// existing extension is SSE4.2/STTNI): a predicate scan over a column
+/// of fixed-width 16-byte strings, one row per STR_SCAN instruction.
+///
+/// The 16-byte pattern and a per-byte wildcard mask live in TIE states
+/// (loaded from memory at init); the comparator array evaluates all 16
+/// byte positions in parallel. A row matches when every non-wildcard
+/// byte equals the pattern byte -- this covers dictionary equality
+/// (mask = all ones) and prefix predicates like `LIKE 'abc%'` (mask set
+/// for the first three bytes). Matching row ids leave through a
+/// 4-entry coalescing buffer as full 128-bit beats.
+///
+/// Operations:
+///   str_init: a0 = column base (16 bytes per row, 16-byte aligned),
+///     a1 = pattern pointer, a3 = mask pointer (16 bytes each),
+///     a2 = row count, a4 = result RID buffer (16-byte aligned).
+///   str_scan (operand = flag AR): tests one row, sets the flag while
+///     rows remain.
+///   str_flush: drains pending RIDs; a5 = match count.
+class StringExtension : public TieExtension {
+ public:
+  static constexpr uint16_t kInit = 0x1C0;
+  static constexpr uint16_t kScan = 0x1C1;
+  static constexpr uint16_t kFlush = 0x1C2;
+
+  static constexpr uint32_t kRowBytes = 16;
+
+  StringExtension();
+
+  void ResetState() override;
+
+  /// Host oracle: does `row` (16 bytes) match pattern/mask?
+  static bool Matches(const uint8_t* row, const uint8_t* pattern,
+                      const uint8_t* mask);
+
+ private:
+  Status Init(sim::ExtContext& ctx);
+  Status Scan(sim::ExtContext& ctx);
+  Status Flush(sim::ExtContext& ctx);
+
+  TieState* pattern_state_;  // 128 bits
+  TieState* mask_state_;     // 128 bits
+
+  uint64_t column_ptr_ = 0;
+  uint32_t rows_remaining_ = 0;
+  uint32_t next_rid_ = 0;
+  uint64_t result_ptr_ = 0;
+  uint32_t match_count_ = 0;
+  std::array<uint32_t, 4> coalesce_{};
+  int coalesce_fill_ = 0;
+  bool initialized_ = false;
+};
+
+}  // namespace dba::tie
+
+#endif  // DBA_TIE_STRING_EXTENSION_H_

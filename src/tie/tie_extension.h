@@ -1,0 +1,127 @@
+#ifndef DBA_TIE_TIE_EXTENSION_H_
+#define DBA_TIE_TIE_EXTENSION_H_
+
+#include <memory>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/status.h"
+#include "sim/cpu.h"
+#include "sim/ext_op.h"
+#include "tie/tie_interface.h"
+#include "tie/tie_state.h"
+
+namespace dba::tie {
+
+/// Base class for instruction-set extensions built with the TIE-like
+/// framework. A concrete extension declares its states, register files,
+/// and operations in its constructor (the software equivalent of a TIE
+/// source file, Figure 5), then is attached to a Cpu, which makes the
+/// operations issueable from programs via Assembler::Tie / Flix.
+///
+/// Extension operation ids are global per Cpu; each extension owns a
+/// disjoint id range (see the id allocations in the concrete headers).
+class TieExtension {
+ public:
+  explicit TieExtension(std::string name) : name_(std::move(name)) {}
+  virtual ~TieExtension() = default;
+
+  TieExtension(const TieExtension&) = delete;
+  TieExtension& operator=(const TieExtension&) = delete;
+
+  const std::string& name() const { return name_; }
+
+  /// Registers all declared operations with `cpu`. The extension must
+  /// outlive the cpu's use of the operations.
+  Status Attach(sim::Cpu* cpu) {
+    for (const OpDef& op : ops_) {
+      DBA_RETURN_IF_ERROR(cpu->RegisterExtOp(op.id, op.name, op.fn));
+    }
+    return Status::Ok();
+  }
+
+  /// Restores all states, register files, and queues to their power-on
+  /// values.
+  virtual void ResetState() {
+    for (auto& state : states_) state->Reset();
+    for (auto& regfile : regfiles_) regfile->Reset();
+    for (auto& queue : queues_) queue->Clear();
+  }
+
+  /// Introspection for tests and the debug interface.
+  TieState* FindState(std::string_view state_name) {
+    for (auto& state : states_) {
+      if (state->name() == state_name) return state.get();
+    }
+    return nullptr;
+  }
+  TieRegisterFile* FindRegFile(std::string_view regfile_name) {
+    for (auto& regfile : regfiles_) {
+      if (regfile->name() == regfile_name) return regfile.get();
+    }
+    return nullptr;
+  }
+  TieQueue* FindQueue(std::string_view queue_name) {
+    for (auto& queue : queues_) {
+      if (queue->name() == queue_name) return queue.get();
+    }
+    return nullptr;
+  }
+  TieLookup* FindLookup(std::string_view lookup_name) {
+    for (auto& lookup : lookups_) {
+      if (lookup->name() == lookup_name) return lookup.get();
+    }
+    return nullptr;
+  }
+  const std::vector<std::unique_ptr<TieState>>& states() const {
+    return states_;
+  }
+
+ protected:
+  /// Declaration helpers, used from subclass constructors.
+  TieState* AddState(std::string state_name, int width_bits,
+                     uint64_t reset_value = 0) {
+    states_.push_back(std::make_unique<TieState>(std::move(state_name),
+                                                 width_bits, reset_value));
+    return states_.back().get();
+  }
+  TieRegisterFile* AddRegFile(std::string regfile_name, int width_bits,
+                              int num_regs) {
+    regfiles_.push_back(std::make_unique<TieRegisterFile>(
+        std::move(regfile_name), width_bits, num_regs));
+    return regfiles_.back().get();
+  }
+  TieQueue* AddQueue(std::string queue_name, int width_bits,
+                     size_t capacity) {
+    queues_.push_back(std::make_unique<TieQueue>(std::move(queue_name),
+                                                 width_bits, capacity));
+    return queues_.back().get();
+  }
+  TieLookup* AddLookup(std::string lookup_name, uint32_t latency_cycles) {
+    lookups_.push_back(std::make_unique<TieLookup>(std::move(lookup_name),
+                                                   latency_cycles));
+    return lookups_.back().get();
+  }
+  void DefineOp(uint16_t ext_id, std::string op_name, sim::ExtOpFn fn) {
+    ops_.push_back(OpDef{ext_id, std::move(op_name), std::move(fn)});
+  }
+
+ private:
+  struct OpDef {
+    uint16_t id;
+    std::string name;
+    sim::ExtOpFn fn;
+  };
+
+  std::string name_;
+  std::vector<std::unique_ptr<TieState>> states_;
+  std::vector<std::unique_ptr<TieRegisterFile>> regfiles_;
+  std::vector<std::unique_ptr<TieQueue>> queues_;
+  std::vector<std::unique_ptr<TieLookup>> lookups_;
+  std::vector<OpDef> ops_;
+};
+
+}  // namespace dba::tie
+
+#endif  // DBA_TIE_TIE_EXTENSION_H_

@@ -1,0 +1,106 @@
+#ifndef DBA_TIE_TIE_INTERFACE_H_
+#define DBA_TIE_TIE_INTERFACE_H_
+
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <string>
+
+#include "common/check.h"
+#include "common/status.h"
+
+namespace dba::tie {
+
+/// TIE queue: a hardware FIFO crossing the processor boundary ("TIE
+/// queues read or write data from external queues", paper Section 3.2).
+/// The extension side pushes/pops from operations; the host side models
+/// the external producer/consumer. A full (empty) queue back-pressures
+/// the extension, which surfaces as ResourceExhausted / FailedPrecondition
+/// so the operation can retry or charge stall cycles.
+class TieQueue {
+ public:
+  TieQueue(std::string name, int width_bits, size_t capacity)
+      : name_(std::move(name)), width_bits_(width_bits), capacity_(capacity) {
+    DBA_CHECK_MSG(width_bits >= 1 && width_bits <= 64,
+                  "TIE queue width must be 1..64 bits");
+    DBA_CHECK_MSG(capacity >= 1, "TIE queue capacity must be >= 1");
+  }
+
+  const std::string& name() const { return name_; }
+  int width_bits() const { return width_bits_; }
+  size_t capacity() const { return capacity_; }
+  size_t size() const { return entries_.size(); }
+  bool empty() const { return entries_.empty(); }
+  bool full() const { return entries_.size() == capacity_; }
+
+  // --- Extension (processor) side ---
+  Status ExtPush(uint64_t value) {
+    if (full()) {
+      return Status::ResourceExhausted("TIE queue '" + name_ + "' is full");
+    }
+    entries_.push_back(value & Mask());
+    return Status::Ok();
+  }
+  Result<uint64_t> ExtPop() {
+    if (empty()) {
+      return Status::FailedPrecondition("TIE queue '" + name_ +
+                                        "' is empty");
+    }
+    const uint64_t value = entries_.front();
+    entries_.pop_front();
+    return value;
+  }
+
+  // --- Host (external device) side ---
+  Status HostPush(uint64_t value) { return ExtPush(value); }
+  Result<uint64_t> HostPop() { return ExtPop(); }
+
+  void Clear() { entries_.clear(); }
+
+ private:
+  uint64_t Mask() const {
+    return width_bits_ >= 64 ? ~0ULL : ((1ULL << width_bits_) - 1);
+  }
+
+  std::string name_;
+  int width_bits_;
+  size_t capacity_;
+  std::deque<uint64_t> entries_;
+};
+
+/// TIE lookup: a request/response interface to an external device ("TIE
+/// lookups request data from external devices"). The host installs the
+/// handler (e.g., an off-core dictionary memory); lookups have a fixed
+/// round-trip latency the issuing operation charges via AddCycles.
+class TieLookup {
+ public:
+  using Handler = std::function<Result<uint64_t>(uint64_t key)>;
+
+  TieLookup(std::string name, uint32_t latency_cycles)
+      : name_(std::move(name)), latency_cycles_(latency_cycles) {}
+
+  const std::string& name() const { return name_; }
+  uint32_t latency_cycles() const { return latency_cycles_; }
+
+  void SetHandler(Handler handler) { handler_ = std::move(handler); }
+  bool has_handler() const { return static_cast<bool>(handler_); }
+
+  /// Issues the lookup. The caller charges latency_cycles() itself
+  /// (through ExtContext::AddCycles) so the timing shows up on the core.
+  Result<uint64_t> Request(uint64_t key) const {
+    if (!handler_) {
+      return Status::FailedPrecondition("TIE lookup '" + name_ +
+                                        "' has no external device attached");
+    }
+    return handler_(key);
+  }
+
+ private:
+  std::string name_;
+  uint32_t latency_cycles_;
+  Handler handler_;
+};
+
+}  // namespace dba::tie
+
+#endif  // DBA_TIE_TIE_INTERFACE_H_

@@ -1,0 +1,120 @@
+#ifndef DBA_TIE_TIE_STATE_H_
+#define DBA_TIE_TIE_STATE_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/check.h"
+
+namespace dba::tie {
+
+/// A TIE *state*: a named internal register of an extension datapath
+/// (paper Section 3.2, Figure 5a). States are read and written by
+/// extension operations in the same cycle the operation executes; unlike
+/// register files, their content is managed by the application, not the
+/// compiler.
+///
+/// Widths up to 1024 bits are supported; wide states expose 32-bit lanes
+/// (the EIS Word/Load/Result states are 4 x 32 = 128 bits).
+class TieState {
+ public:
+  TieState(std::string name, int width_bits, uint64_t reset_value = 0)
+      : name_(std::move(name)),
+        width_bits_(width_bits),
+        reset_value_(reset_value) {
+    DBA_CHECK_MSG(width_bits >= 1 && width_bits <= 1024,
+                  "TIE state width must be 1..1024 bits");
+    lanes_.resize(static_cast<size_t>((width_bits + 31) / 32), 0);
+    Reset();
+  }
+
+  const std::string& name() const { return name_; }
+  int width_bits() const { return width_bits_; }
+  int num_lanes() const { return static_cast<int>(lanes_.size()); }
+
+  /// Whole-value access for states up to 64 bits wide.
+  uint64_t Get() const {
+    DBA_CHECK_MSG(width_bits_ <= 64, "Get() requires width <= 64");
+    uint64_t value = lanes_[0];
+    if (lanes_.size() > 1) value |= static_cast<uint64_t>(lanes_[1]) << 32;
+    return value & Mask();
+  }
+  void Set(uint64_t value) {
+    DBA_CHECK_MSG(width_bits_ <= 64, "Set() requires width <= 64");
+    value &= Mask();
+    lanes_[0] = static_cast<uint32_t>(value);
+    if (lanes_.size() > 1) lanes_[1] = static_cast<uint32_t>(value >> 32);
+  }
+
+  /// 32-bit lane access for wide states (lane 0 = least significant).
+  uint32_t lane(int i) const {
+    DBA_CHECK(i >= 0 && i < num_lanes());
+    return lanes_[static_cast<size_t>(i)];
+  }
+  void set_lane(int i, uint32_t value) {
+    DBA_CHECK(i >= 0 && i < num_lanes());
+    lanes_[static_cast<size_t>(i)] = value;
+  }
+
+  /// Restores the power-on value (Figure 5a: initialized at power-on).
+  void Reset() {
+    std::fill(lanes_.begin(), lanes_.end(), 0u);
+    if (width_bits_ <= 64) {
+      Set(reset_value_);
+    }
+  }
+
+ private:
+  uint64_t Mask() const {
+    return width_bits_ >= 64 ? ~0ULL : ((1ULL << width_bits_) - 1);
+  }
+
+  std::string name_;
+  int width_bits_;
+  uint64_t reset_value_;
+  std::vector<uint32_t> lanes_;
+};
+
+/// A user-defined TIE register file (Figure 5b): `num_regs` registers of
+/// `width_bits` each, readable by any extension operation. Register
+/// allocation is the program's responsibility (the assembler layer).
+class TieRegisterFile {
+ public:
+  TieRegisterFile(std::string name, int width_bits, int num_regs)
+      : name_(std::move(name)), width_bits_(width_bits) {
+    DBA_CHECK_MSG(width_bits >= 1 && width_bits <= 64,
+                  "TIE register width must be 1..64 bits");
+    DBA_CHECK_MSG(num_regs >= 1 && num_regs <= 64,
+                  "TIE register file size must be 1..64");
+    regs_.resize(static_cast<size_t>(num_regs), 0);
+  }
+
+  const std::string& name() const { return name_; }
+  int width_bits() const { return width_bits_; }
+  int num_regs() const { return static_cast<int>(regs_.size()); }
+
+  uint64_t Read(int index) const {
+    DBA_CHECK(index >= 0 && index < num_regs());
+    return regs_[static_cast<size_t>(index)] & Mask();
+  }
+  void Write(int index, uint64_t value) {
+    DBA_CHECK(index >= 0 && index < num_regs());
+    regs_[static_cast<size_t>(index)] = value & Mask();
+  }
+
+  void Reset() { std::fill(regs_.begin(), regs_.end(), 0u); }
+
+ private:
+  uint64_t Mask() const {
+    return width_bits_ >= 64 ? ~0ULL : ((1ULL << width_bits_) - 1);
+  }
+
+  std::string name_;
+  int width_bits_;
+  std::vector<uint64_t> regs_;
+};
+
+}  // namespace dba::tie
+
+#endif  // DBA_TIE_TIE_STATE_H_

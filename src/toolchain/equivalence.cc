@@ -1,0 +1,97 @@
+#include "toolchain/equivalence.h"
+
+#include <algorithm>
+
+#include "common/random.h"
+#include "core/workload.h"
+
+namespace dba::toolchain {
+
+namespace {
+
+constexpr int kMaxRecordedFailures = 5;
+
+void RecordFailure(EquivalenceReport* report, std::string detail) {
+  ++report->failures;
+  if (report->failure_details.size() < kMaxRecordedFailures) {
+    report->failure_details.push_back(std::move(detail));
+  }
+}
+
+}  // namespace
+
+std::string EquivalenceReport::ToString() const {
+  std::string out = subject + ": " + std::to_string(trials) + " trials, " +
+                    std::to_string(failures) + " failures";
+  out += passed() ? " [PASS]" : " [FAIL]";
+  for (const std::string& detail : failure_details) {
+    out += "\n  " + detail;
+  }
+  return out;
+}
+
+Result<EquivalenceReport> CheckSetOpEquivalence(Processor& processor,
+                                                SetOp op, int trials,
+                                                uint64_t seed) {
+  if (!processor.has_eis()) {
+    return Status::FailedPrecondition(
+        "equivalence checking needs an EIS configuration");
+  }
+  EquivalenceReport report;
+  report.subject = "setop/" + std::string(eis::SopModeName(op));
+  Random rng(seed);
+  for (int trial = 0; trial < trials; ++trial) {
+    const auto size_a = static_cast<uint32_t>(rng.Uniform(3000));
+    const auto size_b = static_cast<uint32_t>(rng.Uniform(3000));
+    const double selectivity = rng.NextDouble();
+    DBA_ASSIGN_OR_RETURN(
+        SetPair pair,
+        GenerateSetPair(size_a, size_b, selectivity, rng.Next64()));
+
+    DBA_ASSIGN_OR_RETURN(SetOpRun eis_run,
+                         processor.RunSetOperation(op, pair.a, pair.b));
+    DBA_ASSIGN_OR_RETURN(
+        SetOpRun scalar_run,
+        processor.RunSetOperation(op, pair.a, pair.b,
+                                  {.force_scalar = true}));
+    ++report.trials;
+    if (eis_run.result != scalar_run.result) {
+      RecordFailure(&report,
+                    "trial " + std::to_string(trial) + ": |A|=" +
+                        std::to_string(size_a) + " |B|=" +
+                        std::to_string(size_b) + " -> EIS " +
+                        std::to_string(eis_run.result.size()) +
+                        " elements vs scalar " +
+                        std::to_string(scalar_run.result.size()));
+    }
+  }
+  return report;
+}
+
+Result<EquivalenceReport> CheckSortEquivalence(Processor& processor,
+                                               int trials, uint64_t seed) {
+  if (!processor.has_eis()) {
+    return Status::FailedPrecondition(
+        "equivalence checking needs an EIS configuration");
+  }
+  EquivalenceReport report;
+  report.subject = "merge-sort";
+  Random rng(seed);
+  for (int trial = 0; trial < trials; ++trial) {
+    const auto n = static_cast<uint32_t>(
+        rng.Uniform(processor.max_sort_elements()));
+    const std::vector<uint32_t> values = GenerateSortInput(n, rng.Next64());
+
+    DBA_ASSIGN_OR_RETURN(SortRun eis_run, processor.RunSort(values));
+    DBA_ASSIGN_OR_RETURN(SortRun scalar_run,
+                         processor.RunSort(values, {.force_scalar = true}));
+    ++report.trials;
+    if (eis_run.sorted != scalar_run.sorted) {
+      RecordFailure(&report, "trial " + std::to_string(trial) + ": n=" +
+                                 std::to_string(n) + " mismatch");
+    }
+  }
+  return report;
+}
+
+}  // namespace dba::toolchain

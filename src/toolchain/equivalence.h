@@ -1,0 +1,41 @@
+#ifndef DBA_TOOLCHAIN_EQUIVALENCE_H_
+#define DBA_TOOLCHAIN_EQUIVALENCE_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "core/processor.h"
+
+namespace dba::toolchain {
+
+/// Result of an equivalence-check campaign (the "equivalence checks" of
+/// the paper's Figure 4 verification stage: the extension kernels must
+/// produce bit-identical results to the scalar reference kernels on the
+/// same core).
+struct EquivalenceReport {
+  std::string subject;
+  uint32_t trials = 0;
+  uint32_t failures = 0;
+  /// First few mismatches, rendered for the log.
+  std::vector<std::string> failure_details;
+
+  bool passed() const { return failures == 0 && trials > 0; }
+  std::string ToString() const;
+};
+
+/// Cross-checks the EIS set-operation kernel against the scalar kernel
+/// on `processor` (must be an EIS configuration) over `trials`
+/// randomized workloads of varying size and selectivity.
+Result<EquivalenceReport> CheckSetOpEquivalence(Processor& processor,
+                                                SetOp op, int trials,
+                                                uint64_t seed);
+
+/// Cross-checks the EIS merge-sort kernel against the scalar one.
+Result<EquivalenceReport> CheckSortEquivalence(Processor& processor,
+                                               int trials, uint64_t seed);
+
+}  // namespace dba::toolchain
+
+#endif  // DBA_TOOLCHAIN_EQUIVALENCE_H_

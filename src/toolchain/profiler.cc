@@ -1,0 +1,99 @@
+#include "toolchain/profiler.h"
+
+#include <algorithm>
+#include <cstdio>
+
+#include "isa/encoding.h"
+
+namespace dba::toolchain {
+
+ProfileReport BuildProfile(const isa::Program& program,
+                           const sim::ExecStats& stats,
+                           const isa::ExtNameResolver& resolver, int top_n) {
+  ProfileReport report;
+  report.cycles = stats.cycles;
+  report.instructions = stats.instructions;
+  if (stats.instructions > 0) {
+    report.cycles_per_instruction = static_cast<double>(stats.cycles) /
+                                    static_cast<double>(stats.instructions);
+  }
+
+  // Rank program words by execution count.
+  std::vector<std::pair<uint32_t, uint64_t>> ranked;
+  for (size_t pc = 0; pc < stats.pc_counts.size(); ++pc) {
+    if (stats.pc_counts[pc] > 0) {
+      ranked.emplace_back(static_cast<uint32_t>(pc), stats.pc_counts[pc]);
+    }
+  }
+  std::stable_sort(ranked.begin(), ranked.end(),
+                   [](const auto& x, const auto& y) {
+                     return x.second > y.second;
+                   });
+  if (top_n > 0 && ranked.size() > static_cast<size_t>(top_n)) {
+    ranked.resize(static_cast<size_t>(top_n));
+  }
+
+  // Enclosing label per pc: last label bound at or before it.
+  auto enclosing_label = [&program](uint32_t pc) {
+    std::string best;
+    uint32_t best_pos = 0;
+    for (const auto& [name, position] : program.labels()) {
+      if (position <= pc && (best.empty() || position >= best_pos)) {
+        best = name;
+        best_pos = position;
+      }
+    }
+    return best;
+  };
+
+  for (const auto& [pc, count] : ranked) {
+    HotspotEntry entry;
+    entry.pc = pc;
+    entry.count = count;
+    entry.percent = stats.bundles > 0 ? 100.0 * static_cast<double>(count) /
+                                            static_cast<double>(stats.bundles)
+                                      : 0.0;
+    entry.label = enclosing_label(pc);
+    auto decoded = isa::Decode(program.word(pc));
+    entry.disassembly =
+        decoded.ok() ? isa::DisassembleWord(*decoded, resolver) : "<invalid>";
+    report.hotspots.push_back(std::move(entry));
+  }
+
+  report.instruction_mix.assign(stats.mnemonic_counts.begin(),
+                                stats.mnemonic_counts.end());
+  std::stable_sort(report.instruction_mix.begin(),
+                   report.instruction_mix.end(),
+                   [](const auto& x, const auto& y) {
+                     return x.second > y.second;
+                   });
+  return report;
+}
+
+std::string ProfileReport::ToString() const {
+  std::string out;
+  char line[160];
+  std::snprintf(line, sizeof line,
+                "cycles=%llu instructions=%llu CPI=%.2f\n",
+                static_cast<unsigned long long>(cycles),
+                static_cast<unsigned long long>(instructions),
+                cycles_per_instruction);
+  out += line;
+  out += "hotspots:\n";
+  for (const HotspotEntry& entry : hotspots) {
+    std::snprintf(line, sizeof line, "  pc %4u  %10llu (%5.1f%%)  %-12s %s\n",
+                  entry.pc, static_cast<unsigned long long>(entry.count),
+                  entry.percent, entry.label.c_str(),
+                  entry.disassembly.c_str());
+    out += line;
+  }
+  out += "instruction mix:\n";
+  for (const auto& [name, count] : instruction_mix) {
+    std::snprintf(line, sizeof line, "  %-16s %10llu\n", name.c_str(),
+                  static_cast<unsigned long long>(count));
+    out += line;
+  }
+  return out;
+}
+
+}  // namespace dba::toolchain

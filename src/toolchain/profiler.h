@@ -1,0 +1,47 @@
+#ifndef DBA_TOOLCHAIN_PROFILER_H_
+#define DBA_TOOLCHAIN_PROFILER_H_
+
+#include <cstdint>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "isa/disassembler.h"
+#include "isa/program.h"
+#include "sim/stats.h"
+
+namespace dba::toolchain {
+
+/// One hot program location.
+struct HotspotEntry {
+  uint32_t pc = 0;
+  uint64_t count = 0;
+  double percent = 0;  // of all issued words
+  std::string label;   // enclosing label, if any
+  std::string disassembly;
+};
+
+/// Cycle-accurate profile of one run: the entry point of the paper's
+/// Figure 4 tool flow ("cycle-accurate profiling of an application to
+/// analyze its runtime behavior ... unveils hotspots").
+struct ProfileReport {
+  uint64_t cycles = 0;
+  uint64_t instructions = 0;
+  double cycles_per_instruction = 0;
+  std::vector<HotspotEntry> hotspots;  // descending by count
+  std::vector<std::pair<std::string, uint64_t>> instruction_mix;
+
+  std::string ToString() const;
+};
+
+/// Builds a profile from a run executed with RunOptions::profile = true.
+/// `resolver` names TIE operations in the disassembly (see
+/// Cpu::MakeExtNameResolver).
+ProfileReport BuildProfile(const isa::Program& program,
+                           const sim::ExecStats& stats,
+                           const isa::ExtNameResolver& resolver = nullptr,
+                           int top_n = 10);
+
+}  // namespace dba::toolchain
+
+#endif  // DBA_TOOLCHAIN_PROFILER_H_

@@ -1,0 +1,67 @@
+// The Figure 4 verification stage as a test: the extension kernels must
+// be observationally equivalent to the scalar kernels across randomized
+// workloads, on both EIS configurations.
+
+#include <gtest/gtest.h>
+
+#include "core/processor.h"
+#include "toolchain/equivalence.h"
+
+namespace dba::toolchain {
+namespace {
+
+class CrossValidationTest : public ::testing::TestWithParam<ProcessorKind> {};
+
+TEST_P(CrossValidationTest, SetOperationsEquivalent) {
+  auto processor = Processor::Create(GetParam());
+  ASSERT_TRUE(processor.ok());
+  for (SetOp op : {SetOp::kIntersect, SetOp::kUnion, SetOp::kDifference}) {
+    auto report = CheckSetOpEquivalence(**processor, op, /*trials=*/20,
+                                        /*seed=*/0xBEEF);
+    ASSERT_TRUE(report.ok()) << report.status();
+    EXPECT_TRUE(report->passed()) << report->ToString();
+    EXPECT_EQ(report->trials, 20u);
+  }
+}
+
+TEST_P(CrossValidationTest, SortEquivalent) {
+  auto processor = Processor::Create(GetParam());
+  ASSERT_TRUE(processor.ok());
+  auto report = CheckSortEquivalence(**processor, /*trials=*/8,
+                                     /*seed=*/0xF00D);
+  ASSERT_TRUE(report.ok()) << report.status();
+  EXPECT_TRUE(report->passed()) << report->ToString();
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    EisKinds, CrossValidationTest,
+    ::testing::Values(ProcessorKind::kDba1LsuEis,
+                      ProcessorKind::kDba2LsuEis),
+    [](const ::testing::TestParamInfo<ProcessorKind>& param_info) {
+      return std::string(hwmodel::ConfigKindName(param_info.param));
+    });
+
+TEST(CrossValidationTest, RequiresEisConfiguration) {
+  auto processor = Processor::Create(ProcessorKind::kDba1Lsu);
+  ASSERT_TRUE(processor.ok());
+  EXPECT_EQ(CheckSetOpEquivalence(**processor, SetOp::kIntersect, 1, 1)
+                .status()
+                .code(),
+            StatusCode::kFailedPrecondition);
+  EXPECT_EQ(CheckSortEquivalence(**processor, 1, 1).status().code(),
+            StatusCode::kFailedPrecondition);
+}
+
+TEST(CrossValidationTest, ReportRendersStatus) {
+  auto processor = Processor::Create(ProcessorKind::kDba2LsuEis);
+  ASSERT_TRUE(processor.ok());
+  auto report =
+      CheckSetOpEquivalence(**processor, SetOp::kIntersect, 3, 42);
+  ASSERT_TRUE(report.ok());
+  const std::string text = report->ToString();
+  EXPECT_NE(text.find("setop/intersect"), std::string::npos);
+  EXPECT_NE(text.find("[PASS]"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace dba::toolchain

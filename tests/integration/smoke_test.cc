@@ -1,0 +1,72 @@
+// End-to-end smoke: every processor configuration runs every kernel on a
+// generated workload and must produce results identical to the host
+// reference implementations, at plausible cycle counts.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "baseline/scalar_baseline.h"
+#include "core/processor.h"
+#include "core/workload.h"
+
+namespace dba {
+namespace {
+
+class SmokeTest : public ::testing::TestWithParam<ProcessorKind> {};
+
+std::vector<uint32_t> Reference(SetOp op, const std::vector<uint32_t>& a,
+                                const std::vector<uint32_t>& b) {
+  switch (op) {
+    case SetOp::kIntersect:
+      return baseline::ScalarIntersect(a, b);
+    case SetOp::kUnion:
+      return baseline::ScalarUnion(a, b);
+    case SetOp::kDifference:
+      return baseline::ScalarDifference(a, b);
+    default:
+      return {};
+  }
+}
+
+TEST_P(SmokeTest, SetOperationsMatchReference) {
+  auto processor = Processor::Create(GetParam());
+  ASSERT_TRUE(processor.ok()) << processor.status();
+  auto pair = GenerateSetPair(1000, 1000, 0.5, /*seed=*/42);
+  ASSERT_TRUE(pair.ok());
+
+  for (SetOp op :
+       {SetOp::kIntersect, SetOp::kUnion, SetOp::kDifference}) {
+    auto run = (*processor)->RunSetOperation(op, pair->a, pair->b);
+    ASSERT_TRUE(run.ok()) << "op " << eis::SopModeName(op) << ": "
+                          << run.status();
+    EXPECT_EQ(run->result, Reference(op, pair->a, pair->b))
+        << "op " << eis::SopModeName(op);
+    EXPECT_GT(run->metrics.cycles, 0u);
+    EXPECT_GT(run->metrics.throughput_meps, 0.0);
+  }
+}
+
+TEST_P(SmokeTest, SortMatchesReference) {
+  auto processor = Processor::Create(GetParam());
+  ASSERT_TRUE(processor.ok()) << processor.status();
+  std::vector<uint32_t> values = GenerateSortInput(1500, /*seed=*/7);
+
+  auto run = (*processor)->RunSort(values);
+  ASSERT_TRUE(run.ok()) << run.status();
+  std::vector<uint32_t> expected = values;
+  std::sort(expected.begin(), expected.end());
+  EXPECT_EQ(run->sorted, expected);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllKinds, SmokeTest,
+    ::testing::Values(ProcessorKind::k108Mini, ProcessorKind::kDba1Lsu,
+                      ProcessorKind::kDba2Lsu, ProcessorKind::kDba1LsuEis,
+                      ProcessorKind::kDba2LsuEis),
+    [](const ::testing::TestParamInfo<ProcessorKind>& param_info) {
+      return std::string(hwmodel::ConfigKindName(param_info.param));
+    });
+
+}  // namespace
+}  // namespace dba

@@ -1,0 +1,263 @@
+// Cycle-level shape tests: the paper's headline timing claims must hold
+// in the simulator (Figures 10-13, Table 2 relations). These tests pin
+// relative behaviour, not absolute paper numbers (see EXPERIMENTS.md).
+
+#include <gtest/gtest.h>
+
+#include "core/processor.h"
+#include "core/workload.h"
+
+namespace dba {
+namespace {
+
+std::unique_ptr<Processor> Make(ProcessorKind kind, bool partial = true,
+                                int unroll = 1) {
+  ProcessorOptions options;
+  options.partial_loading = partial;
+  options.unroll = unroll;
+  auto processor = Processor::Create(kind, options);
+  EXPECT_TRUE(processor.ok()) << processor.status();
+  return *std::move(processor);
+}
+
+double CyclesPerIteration(Processor& processor, SetOp op, double selectivity,
+                          uint64_t* sops = nullptr) {
+  auto pair = GenerateSetPair(5000, 5000, selectivity, 97);
+  EXPECT_TRUE(pair.ok());
+  auto run = processor.RunSetOperation(op, pair->a, pair->b);
+  EXPECT_TRUE(run.ok()) << run.status();
+  const auto& counters = processor.eis()->counters();
+  if (sops != nullptr) *sops = counters.sop_executions;
+  return static_cast<double>(run->metrics.cycles) /
+         static_cast<double>(counters.sop_executions);
+}
+
+TEST(CoreLoopTimingTest, ThreeCyclesPerIterationUnrolled1) {
+  // Figure 11: "One iteration of the core loop requires only three
+  // cycles" (SOP+ST / LD+LD_P+ST_S / loop condition).
+  auto processor = Make(ProcessorKind::kDba2LsuEis, true, 1);
+  const double cpi = CyclesPerIteration(*processor, SetOp::kIntersect, 0.0);
+  EXPECT_GT(cpi, 2.85);
+  EXPECT_LT(cpi, 3.3);
+}
+
+TEST(CoreLoopTimingTest, UnrollingApproaches2Point03) {
+  // Section 4: "if 32 loops are unrolled the average number of cycles
+  // per loop is reduced to 2.03".
+  auto processor = Make(ProcessorKind::kDba2LsuEis, true, 32);
+  const double cpi = CyclesPerIteration(*processor, SetOp::kIntersect, 0.0);
+  EXPECT_GT(cpi, 1.95);
+  EXPECT_LT(cpi, 2.3);
+}
+
+TEST(CoreLoopTimingTest, SingleLsuCostsTheExtraLoadCycle) {
+  // Section 5.2: the second LSU buys ~35% because "values of both input
+  // sets can now be read in one cycle" -- on one LSU the fused load
+  // serializes, making the loop 4 cycles instead of 3.
+  auto one = Make(ProcessorKind::kDba1LsuEis, true, 1);
+  auto two = Make(ProcessorKind::kDba2LsuEis, true, 1);
+  const double cpi_one = CyclesPerIteration(*one, SetOp::kIntersect, 0.0);
+  const double cpi_two = CyclesPerIteration(*two, SetOp::kIntersect, 0.0);
+  EXPECT_NEAR(cpi_one / cpi_two, 4.0 / 3.0, 0.12);
+}
+
+TEST(CoreLoopTimingTest, UnionPaysForStoreTraffic) {
+  // Table 2: union throughput trails intersection/difference because it
+  // "produces more output tuples, which have to be written into the
+  // result set".
+  auto processor = Make(ProcessorKind::kDba2LsuEis, true, 32);
+  auto pair = GenerateSetPair(5000, 5000, 0.5, 3);
+  ASSERT_TRUE(pair.ok());
+  auto isect =
+      processor->RunSetOperation(SetOp::kIntersect, pair->a, pair->b);
+  auto uni = processor->RunSetOperation(SetOp::kUnion, pair->a, pair->b);
+  auto diff =
+      processor->RunSetOperation(SetOp::kDifference, pair->a, pair->b);
+  ASSERT_TRUE(isect.ok());
+  ASSERT_TRUE(uni.ok());
+  ASSERT_TRUE(diff.ok());
+  EXPECT_LT(uni->metrics.throughput_meps,
+            0.95 * isect->metrics.throughput_meps);
+  // Intersection and difference behave nearly identically (Table 2:
+  // 1203.0 vs 1192.6).
+  EXPECT_NEAR(diff->metrics.throughput_meps / isect->metrics.throughput_meps,
+              1.0, 0.05);
+}
+
+TEST(SelectivityShapeTest, ThroughputIncreasesWithSelectivity) {
+  // Figure 13: "If the selectivity increases, the throughput usually
+  // increases as well because the number of comparisons decreases."
+  auto processor = Make(ProcessorKind::kDba2LsuEis, true, 32);
+  double previous = 0;
+  for (double selectivity : {0.0, 0.5, 1.0}) {
+    auto pair = GenerateSetPair(5000, 5000, selectivity, 11);
+    ASSERT_TRUE(pair.ok());
+    auto run =
+        processor->RunSetOperation(SetOp::kIntersect, pair->a, pair->b);
+    ASSERT_TRUE(run.ok());
+    EXPECT_GT(run->metrics.throughput_meps, previous)
+        << "selectivity " << selectivity;
+    previous = run->metrics.throughput_meps;
+  }
+}
+
+TEST(SelectivityShapeTest, PartialLoadingWinsExceptAtFullSelectivity) {
+  // Figure 13: "Only if the selectivity reaches 100% ... partial loading
+  // has no advantage anymore."
+  auto partial = Make(ProcessorKind::kDba2LsuEis, true, 32);
+  auto whole = Make(ProcessorKind::kDba2LsuEis, false, 32);
+  for (double selectivity : {0.0, 0.5}) {
+    auto pair = GenerateSetPair(5000, 5000, selectivity, 23);
+    ASSERT_TRUE(pair.ok());
+    auto partial_run =
+        partial->RunSetOperation(SetOp::kIntersect, pair->a, pair->b);
+    auto whole_run =
+        whole->RunSetOperation(SetOp::kIntersect, pair->a, pair->b);
+    ASSERT_TRUE(partial_run.ok());
+    ASSERT_TRUE(whole_run.ok());
+    EXPECT_GT(partial_run->metrics.throughput_meps,
+              1.1 * whole_run->metrics.throughput_meps)
+        << "selectivity " << selectivity;
+  }
+  // At 100% both advance by four elements per input set per iteration.
+  auto pair = GenerateSetPair(5000, 5000, 1.0, 23);
+  ASSERT_TRUE(pair.ok());
+  auto partial_run =
+      partial->RunSetOperation(SetOp::kIntersect, pair->a, pair->b);
+  auto whole_run =
+      whole->RunSetOperation(SetOp::kIntersect, pair->a, pair->b);
+  ASSERT_TRUE(partial_run.ok());
+  ASSERT_TRUE(whole_run.ok());
+  EXPECT_NEAR(partial_run->metrics.throughput_meps /
+                  whole_run->metrics.throughput_meps,
+              1.0, 0.02);
+}
+
+TEST(SpeedupShapeTest, EisIsAnOrderOfMagnitudeOverScalar) {
+  // Table 2: "the throughput increases by an order of magnitude compared
+  // to the processor configurations that provide only the standard
+  // instruction set."
+  auto eis = Make(ProcessorKind::kDba2LsuEis, true, 32);
+  auto scalar = Make(ProcessorKind::kDba1Lsu);
+  auto pair = GenerateSetPair(5000, 5000, 0.5, 31);
+  ASSERT_TRUE(pair.ok());
+  auto eis_run = eis->RunSetOperation(SetOp::kIntersect, pair->a, pair->b);
+  auto scalar_run =
+      scalar->RunSetOperation(SetOp::kIntersect, pair->a, pair->b);
+  ASSERT_TRUE(eis_run.ok());
+  ASSERT_TRUE(scalar_run.ok());
+  EXPECT_GT(eis_run->metrics.throughput_meps,
+            10.0 * scalar_run->metrics.throughput_meps);
+}
+
+TEST(SpeedupShapeTest, HeadlineSpeedupOver108Mini) {
+  // Section 5.2: "a speedup of up to 38.4x compared to the initial
+  // processor configuration 108Mini" (intersection, 50% selectivity).
+  auto best = Make(ProcessorKind::kDba2LsuEis, true, 32);
+  auto mini = Make(ProcessorKind::k108Mini);
+  auto pair = GenerateSetPair(5000, 5000, 0.5, 42);
+  ASSERT_TRUE(pair.ok());
+  auto best_run = best->RunSetOperation(SetOp::kIntersect, pair->a, pair->b);
+  auto mini_run = mini->RunSetOperation(SetOp::kIntersect, pair->a, pair->b);
+  ASSERT_TRUE(best_run.ok());
+  ASSERT_TRUE(mini_run.ok());
+  const double speedup = best_run->metrics.throughput_meps /
+                         mini_run->metrics.throughput_meps;
+  EXPECT_GT(speedup, 25.0);
+  EXPECT_LT(speedup, 55.0);
+}
+
+TEST(SpeedupShapeTest, LocalStoreRoughlyDoublesScalarThroughput) {
+  // Table 2: "With the attached local store (DBA_1LSU), the throughput
+  // of all three operations almost doubles."
+  auto mini = Make(ProcessorKind::k108Mini);
+  auto dba = Make(ProcessorKind::kDba1Lsu);
+  auto pair = GenerateSetPair(3000, 3000, 0.5, 5);
+  ASSERT_TRUE(pair.ok());
+  for (SetOp op : {SetOp::kIntersect, SetOp::kUnion, SetOp::kDifference}) {
+    auto mini_run = mini->RunSetOperation(op, pair->a, pair->b);
+    auto dba_run = dba->RunSetOperation(op, pair->a, pair->b);
+    ASSERT_TRUE(mini_run.ok());
+    ASSERT_TRUE(dba_run.ok());
+    const double gain = dba_run->metrics.throughput_meps /
+                        mini_run->metrics.throughput_meps;
+    EXPECT_GT(gain, 1.3) << eis::SopModeName(op);
+    EXPECT_LT(gain, 2.5) << eis::SopModeName(op);
+  }
+}
+
+TEST(SortShapeTest, EisSortIsOrderOfMagnitudeOverScalar) {
+  // Table 2: DBA_1LSU_EIS sort is 16x / 8.5x over 108Mini / DBA_1LSU.
+  auto eis = Make(ProcessorKind::kDba1LsuEis);
+  auto scalar = Make(ProcessorKind::kDba1Lsu);
+  auto mini = Make(ProcessorKind::k108Mini);
+  const std::vector<uint32_t> values = GenerateSortInput(6500, 9);
+  auto eis_run = eis->RunSort(values);
+  auto scalar_run = scalar->RunSort(values);
+  auto mini_run = mini->RunSort(values);
+  ASSERT_TRUE(eis_run.ok());
+  ASSERT_TRUE(scalar_run.ok());
+  ASSERT_TRUE(mini_run.ok());
+  const double vs_scalar = eis_run->metrics.throughput_meps /
+                           scalar_run->metrics.throughput_meps;
+  const double vs_mini =
+      eis_run->metrics.throughput_meps / mini_run->metrics.throughput_meps;
+  EXPECT_GT(vs_scalar, 6.0);
+  EXPECT_LT(vs_scalar, 14.0);
+  EXPECT_GT(vs_mini, 10.0);
+  EXPECT_LT(vs_mini, 24.0);
+}
+
+TEST(EnergyShapeTest, EisIsFarMoreEnergyEfficient) {
+  auto eis = Make(ProcessorKind::kDba2LsuEis, true, 32);
+  auto mini = Make(ProcessorKind::k108Mini);
+  auto pair = GenerateSetPair(5000, 5000, 0.5, 12);
+  ASSERT_TRUE(pair.ok());
+  auto eis_run = eis->RunSetOperation(SetOp::kIntersect, pair->a, pair->b);
+  auto mini_run = mini->RunSetOperation(SetOp::kIntersect, pair->a, pair->b);
+  ASSERT_TRUE(eis_run.ok());
+  ASSERT_TRUE(mini_run.ok());
+  // 4.9x the power for ~38x the throughput: ~8x less energy per element.
+  EXPECT_LT(eis_run->metrics.energy_nj_per_element,
+            0.25 * mini_run->metrics.energy_nj_per_element);
+}
+
+TEST(ScalarSecondLsuTest, CompilerCannotUseTheSecondLsu) {
+  // Section 5.1: "the DBA_2LSU processor is synthesized ... Nevertheless,
+  // the compiler is not able to make use of it. Consequently,
+  // performance is the same" -- scalar kernels run cycle-identically on
+  // one and two LSUs.
+  auto one = Make(ProcessorKind::kDba1Lsu);
+  auto two = Make(ProcessorKind::kDba2Lsu);
+  auto pair = GenerateSetPair(2000, 2000, 0.5, 19);
+  ASSERT_TRUE(pair.ok());
+  for (SetOp op : {SetOp::kIntersect, SetOp::kUnion, SetOp::kDifference}) {
+    auto run_one = one->RunSetOperation(op, pair->a, pair->b);
+    auto run_two = two->RunSetOperation(op, pair->a, pair->b);
+    ASSERT_TRUE(run_one.ok());
+    ASSERT_TRUE(run_two.ok());
+    EXPECT_EQ(run_one->metrics.cycles, run_two->metrics.cycles)
+        << eis::SopModeName(op);
+    // Only the synthesized frequency differs (435 vs 429 MHz).
+    EXPECT_GT(run_one->metrics.throughput_meps,
+              run_two->metrics.throughput_meps);
+  }
+}
+
+TEST(MemoryTrafficTest, BeatAccountingIsPlausible) {
+  auto processor = Make(ProcessorKind::kDba2LsuEis, true, 1);
+  auto pair = GenerateSetPair(4000, 4000, 0.5, 8);
+  ASSERT_TRUE(pair.ok());
+  auto run = processor->RunSetOperation(SetOp::kIntersect, pair->a, pair->b);
+  ASSERT_TRUE(run.ok());
+  const auto& stats = run->metrics.stats;
+  // Every input element must be loaded at least once: >= 2000 beats
+  // total, plus the result stores.
+  EXPECT_GE(stats.lsu_beats[0] + stats.lsu_beats[1], 2000u);
+  // Both LSUs participate on the two-LSU configuration.
+  EXPECT_GT(stats.lsu_beats[0], 0u);
+  EXPECT_GT(stats.lsu_beats[1], 0u);
+}
+
+}  // namespace
+}  // namespace dba

@@ -1,0 +1,186 @@
+// Randomized property sweeps over the auxiliary instruction-set
+// extensions (bitmanip, packscan, partition): hardware-path results must
+// match host oracles for arbitrary inputs and configurations.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <bit>
+
+#include "common/random.h"
+#include "dbkern/bitmanip_kernels.h"
+#include "dbkern/compression_kernels.h"
+#include "dbkern/partition_kernels.h"
+#include "isa/registers.h"
+#include "mem/memory.h"
+#include "sim/cpu.h"
+#include "tie/bitmanip_extension.h"
+#include "tie/packscan_extension.h"
+#include "tie/partition_extension.h"
+
+namespace dba {
+namespace {
+
+using isa::Reg;
+
+constexpr uint64_t kBase = 0x1000;
+
+/// Fresh 2-LSU core with all three auxiliary extensions attached.
+struct Rig {
+  Rig()
+      : memory(*mem::Memory::Create({.name = "m",
+                                     .base = kBase,
+                                     .size = 4 << 20,
+                                     .access_latency = 1})),
+        cpu(MakeConfig()) {
+    EXPECT_TRUE(cpu.AttachMemory(&memory).ok());
+    EXPECT_TRUE(bitmanip.Attach(&cpu).ok());
+    EXPECT_TRUE(packscan.Attach(&cpu).ok());
+    EXPECT_TRUE(partition.Attach(&cpu).ok());
+  }
+
+  static sim::CoreConfig MakeConfig() {
+    sim::CoreConfig config;
+    config.num_lsus = 2;
+    config.data_bus_bits = 128;
+    config.instruction_bus_bits = 64;
+    return config;
+  }
+
+  Result<uint64_t> Run(const isa::Program& program) {
+    program_storage = program;
+    DBA_RETURN_IF_ERROR(cpu.LoadProgram(program_storage));
+    DBA_ASSIGN_OR_RETURN(sim::ExecStats stats, cpu.Run());
+    return stats.cycles;
+  }
+
+  mem::Memory memory;
+  sim::Cpu cpu;
+  tie::BitmanipExtension bitmanip;
+  tie::PackScanExtension packscan;
+  tie::PartitionExtension partition;
+  isa::Program program_storage;
+};
+
+TEST(BitmanipPropertyTest, RandomArraysAllPrimitives) {
+  Random rng(101);
+  for (int trial = 0; trial < 30; ++trial) {
+    Rig rig;
+    const auto n = static_cast<uint32_t>(rng.Uniform(200));
+    std::vector<uint32_t> words(n);
+    for (auto& w : words) w = rng.Next32();
+    ASSERT_TRUE(rig.memory.WriteBlock(kBase, words).ok());
+
+    // CRC32 against the oracle.
+    auto crc = dbkern::BuildCrc32Kernel(true);
+    ASSERT_TRUE(crc.ok());
+    rig.cpu.ResetArchState();
+    rig.bitmanip.ResetState();
+    rig.cpu.set_reg(Reg::a0, kBase);
+    rig.cpu.set_reg(Reg::a2, n);
+    ASSERT_TRUE(rig.Run(*crc).ok());
+    EXPECT_EQ(rig.cpu.reg(Reg::a5),
+              tie::BitmanipExtension::ReferenceCrc32(
+                  reinterpret_cast<const uint8_t*>(words.data()), n * 4));
+
+    // Popcount against std::popcount.
+    uint32_t expected_pop = 0;
+    for (const uint32_t w : words) {
+      expected_pop += static_cast<uint32_t>(std::popcount(w));
+    }
+    auto pop = dbkern::BuildPopcountKernel(true);
+    ASSERT_TRUE(pop.ok());
+    rig.cpu.ResetArchState();
+    rig.cpu.set_reg(Reg::a0, kBase);
+    rig.cpu.set_reg(Reg::a2, n);
+    ASSERT_TRUE(rig.Run(*pop).ok());
+    EXPECT_EQ(rig.cpu.reg(Reg::a5), expected_pop);
+  }
+}
+
+TEST(PackScanPropertyTest, RandomWidthsAndCounts) {
+  Random rng(202);
+  for (int trial = 0; trial < 40; ++trial) {
+    Rig rig;
+    const int bits = 1 + static_cast<int>(rng.Uniform(32));
+    const auto n = static_cast<uint32_t>(rng.Uniform(300));
+    const uint32_t mask =
+        bits >= 32 ? 0xFFFFFFFFu : ((1u << bits) - 1);
+    std::vector<uint32_t> values(n);
+    for (auto& v : values) v = rng.Next32() & mask;
+
+    std::vector<uint32_t> packed =
+        tie::PackScanExtension::Pack(values, bits);
+    packed.resize((packed.size() + 7) & ~size_t{3}, 0);
+    ASSERT_TRUE(rig.memory.WriteBlock(kBase, packed).ok());
+
+    auto program = dbkern::BuildUnpackKernel(true, bits);
+    ASSERT_TRUE(program.ok());
+    rig.cpu.ResetArchState();
+    rig.cpu.set_reg(Reg::a0, kBase);
+    rig.cpu.set_reg(Reg::a2, n);
+    rig.cpu.set_reg(Reg::a4, kBase + (2 << 20));
+    ASSERT_TRUE(rig.Run(*program).ok());
+    ASSERT_EQ(rig.cpu.reg(Reg::a5), n) << "bits=" << bits;
+    if (n > 0) {
+      EXPECT_EQ(*rig.memory.ReadBlock(kBase + (2 << 20), n), values)
+          << "bits=" << bits << " trial=" << trial;
+    }
+  }
+}
+
+TEST(PartitionPropertyTest, RandomSplittersAndData) {
+  Random rng(303);
+  for (int trial = 0; trial < 40; ++trial) {
+    Rig rig;
+    const int buckets = 2 + static_cast<int>(rng.Uniform(15));
+    const auto n = static_cast<uint32_t>(rng.Uniform(600));
+    std::vector<uint32_t> values(n);
+    for (auto& v : values) v = rng.Next32() % 100000;
+    std::vector<uint32_t> splitters;
+    uint32_t splitter = 0;
+    for (int i = 1; i < buckets; ++i) {
+      splitter += 1 + static_cast<uint32_t>(rng.Uniform(100000u / static_cast<uint32_t>(buckets)));
+      splitters.push_back(splitter);
+    }
+    const uint32_t capacity = ((n + 4) & ~3u) + 4;
+
+    ASSERT_TRUE(rig.memory.WriteBlock(kBase, values).ok());
+    ASSERT_TRUE(
+        rig.memory.WriteBlock(kBase + 0x40000, splitters).ok());
+    auto program = dbkern::BuildPartitionKernel(true, buckets);
+    ASSERT_TRUE(program.ok());
+    rig.cpu.ResetArchState();
+    rig.cpu.set_reg(Reg::a0, kBase);
+    rig.cpu.set_reg(Reg::a1, kBase + 0x40000);
+    rig.cpu.set_reg(Reg::a2, n);
+    rig.cpu.set_reg(Reg::a3, capacity);
+    rig.cpu.set_reg(Reg::a4, kBase + 0x80000);
+    rig.cpu.set_reg(Reg::a5, kBase + 0x48000);
+    ASSERT_TRUE(rig.Run(*program).ok()) << "trial " << trial;
+    ASSERT_EQ(rig.cpu.reg(Reg::a5), n);
+
+    auto counts = *rig.memory.ReadBlock(kBase + 0x48000,
+                                        static_cast<size_t>(buckets));
+    std::vector<std::vector<uint32_t>> expected(
+        static_cast<size_t>(buckets));
+    for (const uint32_t value : values) {
+      const size_t bucket = static_cast<size_t>(
+          std::upper_bound(splitters.begin(), splitters.end(), value) -
+          splitters.begin());
+      expected[bucket].push_back(value);
+    }
+    for (uint64_t bucket = 0; bucket < static_cast<uint64_t>(buckets);
+         ++bucket) {
+      ASSERT_EQ(counts[bucket], expected[bucket].size())
+          << "trial " << trial << " bucket " << bucket;
+      auto contents = *rig.memory.ReadBlock(
+          kBase + 0x80000 + 4 * bucket * capacity, counts[bucket]);
+      ASSERT_EQ(contents, expected[bucket])
+          << "trial " << trial << " bucket " << bucket;
+    }
+  }
+}
+
+}  // namespace
+}  // namespace dba

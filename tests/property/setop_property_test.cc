@@ -1,0 +1,167 @@
+// Property sweep: every (configuration x operation x selectivity x size
+// x partial-loading) combination must produce exactly the reference
+// result, and basic metric invariants must hold.
+
+#include <gtest/gtest.h>
+
+#include <tuple>
+
+#include "baseline/scalar_baseline.h"
+#include "core/processor.h"
+#include "core/workload.h"
+
+namespace dba {
+namespace {
+
+using Param = std::tuple<ProcessorKind, SetOp, double, uint32_t, bool>;
+
+class SetOpPropertyTest : public ::testing::TestWithParam<Param> {};
+
+std::vector<uint32_t> Reference(SetOp op, const std::vector<uint32_t>& a,
+                                const std::vector<uint32_t>& b) {
+  switch (op) {
+    case SetOp::kIntersect:
+      return baseline::ScalarIntersect(a, b);
+    case SetOp::kUnion:
+      return baseline::ScalarUnion(a, b);
+    case SetOp::kDifference:
+      return baseline::ScalarDifference(a, b);
+    default:
+      return {};
+  }
+}
+
+TEST_P(SetOpPropertyTest, MatchesReference) {
+  const auto [kind, op, selectivity, size, partial] = GetParam();
+  ProcessorOptions options;
+  options.partial_loading = partial;
+  auto processor = Processor::Create(kind, options);
+  ASSERT_TRUE(processor.ok()) << processor.status();
+
+  // Also exercise asymmetric sizes: |B| = 60% of |A|.
+  const auto size_b = static_cast<uint32_t>(size * 6 / 10);
+  auto pair = GenerateSetPair(size, std::max(1u, size_b), selectivity,
+                              /*seed=*/size * 31 + 7);
+  ASSERT_TRUE(pair.ok());
+
+  auto run = (*processor)->RunSetOperation(op, pair->a, pair->b);
+  ASSERT_TRUE(run.ok()) << run.status();
+  EXPECT_EQ(run->result, Reference(op, pair->a, pair->b));
+
+  // Metric invariants.
+  EXPECT_GT(run->metrics.cycles, 0u);
+  EXPECT_GT(run->metrics.seconds, 0.0);
+  EXPECT_GT(run->metrics.throughput_meps, 0.0);
+  EXPECT_GT(run->metrics.energy_nj_per_element, 0.0);
+  EXPECT_EQ(run->metrics.stats.cycles, run->metrics.cycles);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, SetOpPropertyTest,
+    ::testing::Combine(
+        ::testing::Values(ProcessorKind::kDba1Lsu,
+                          ProcessorKind::kDba1LsuEis,
+                          ProcessorKind::kDba2LsuEis),
+        ::testing::Values(SetOp::kIntersect, SetOp::kUnion,
+                          SetOp::kDifference),
+        ::testing::Values(0.0, 0.25, 0.5, 1.0),
+        ::testing::Values(64u, 1000u, 5000u),
+        ::testing::Bool()),
+    [](const ::testing::TestParamInfo<Param>& param_info) {
+      std::string name(
+          hwmodel::ConfigKindName(std::get<0>(param_info.param)));
+      name += '_';
+      name += eis::SopModeName(std::get<1>(param_info.param));
+      name += "_sel";
+      name += std::to_string(
+          static_cast<int>(std::get<2>(param_info.param) * 100));
+      name += "_n";
+      name += std::to_string(std::get<3>(param_info.param));
+      name += std::get<4>(param_info.param) ? "_partial" : "_whole";
+      return name;
+    });
+
+// Dedicated 108Mini sweep (slow scalar core, smaller sizes).
+class MiniSetOpPropertyTest
+    : public ::testing::TestWithParam<std::tuple<SetOp, double>> {};
+
+TEST_P(MiniSetOpPropertyTest, MatchesReference) {
+  const auto [op, selectivity] = GetParam();
+  auto processor = Processor::Create(ProcessorKind::k108Mini);
+  ASSERT_TRUE(processor.ok());
+  auto pair = GenerateSetPair(800, 800, selectivity, 13);
+  ASSERT_TRUE(pair.ok());
+  auto run = (*processor)->RunSetOperation(op, pair->a, pair->b);
+  ASSERT_TRUE(run.ok());
+  EXPECT_EQ(run->result, Reference(op, pair->a, pair->b));
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, MiniSetOpPropertyTest,
+    ::testing::Combine(::testing::Values(SetOp::kIntersect, SetOp::kUnion,
+                                         SetOp::kDifference),
+                       ::testing::Values(0.0, 0.5, 1.0)),
+    [](const ::testing::TestParamInfo<std::tuple<SetOp, double>>& param_info) {
+      return std::string(eis::SopModeName(std::get<0>(param_info.param))) +
+             "_sel" + std::to_string(
+                          static_cast<int>(std::get<1>(param_info.param) * 100));
+    });
+
+// Workload-generator properties.
+class WorkloadPropertyTest
+    : public ::testing::TestWithParam<std::tuple<double, uint32_t>> {};
+
+TEST_P(WorkloadPropertyTest, SelectivityIsExact) {
+  const auto [selectivity, size] = GetParam();
+  auto pair = GenerateSetPair(size, size, selectivity, 1234);
+  ASSERT_TRUE(pair.ok());
+  EXPECT_EQ(pair->a.size(), size);
+  EXPECT_EQ(pair->b.size(), size);
+  // Strictly increasing.
+  for (size_t i = 1; i < pair->a.size(); ++i) {
+    ASSERT_LT(pair->a[i - 1], pair->a[i]);
+  }
+  for (size_t i = 1; i < pair->b.size(); ++i) {
+    ASSERT_LT(pair->b[i - 1], pair->b[i]);
+  }
+  const auto expected =
+      static_cast<uint32_t>(selectivity * static_cast<double>(size) + 0.5);
+  EXPECT_EQ(baseline::ScalarIntersect(pair->a, pair->b).size(), expected);
+  EXPECT_EQ(pair->common, expected);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, WorkloadPropertyTest,
+    ::testing::Combine(::testing::Values(0.0, 0.1, 0.33, 0.5, 0.9, 1.0),
+                       ::testing::Values(1u, 10u, 1000u, 5000u)),
+    [](const ::testing::TestParamInfo<std::tuple<double, uint32_t>>&
+           param_info) {
+      return "sel" + std::to_string(
+                         static_cast<int>(std::get<0>(param_info.param) * 100)) +
+             "_n" + std::to_string(std::get<1>(param_info.param));
+    });
+
+TEST(WorkloadTest, RejectsBadSelectivity) {
+  EXPECT_FALSE(GenerateSetPair(10, 10, -0.1, 1).ok());
+  EXPECT_FALSE(GenerateSetPair(10, 10, 1.5, 1).ok());
+}
+
+TEST(WorkloadTest, DifferentSeedsDifferentSets) {
+  auto first = GenerateSetPair(100, 100, 0.5, 1);
+  auto second = GenerateSetPair(100, 100, 0.5, 2);
+  ASSERT_TRUE(first.ok());
+  ASSERT_TRUE(second.ok());
+  EXPECT_NE(first->a, second->a);
+}
+
+TEST(WorkloadTest, SameSeedSameSets) {
+  auto first = GenerateSetPair(100, 100, 0.5, 42);
+  auto second = GenerateSetPair(100, 100, 0.5, 42);
+  ASSERT_TRUE(first.ok());
+  ASSERT_TRUE(second.ok());
+  EXPECT_EQ(first->a, second->a);
+  EXPECT_EQ(first->b, second->b);
+}
+
+}  // namespace
+}  // namespace dba

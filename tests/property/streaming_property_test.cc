@@ -1,0 +1,89 @@
+// Property sweep of the prefetcher-streamed path: every operation
+// (including merge) over sizes spanning the local-store boundary must
+// match the host reference exactly, on both EIS configurations.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <tuple>
+
+#include "baseline/scalar_baseline.h"
+#include "core/processor.h"
+#include "common/random.h"
+#include "core/workload.h"
+#include "prefetch/streaming.h"
+
+namespace dba {
+namespace {
+
+using Param = std::tuple<ProcessorKind, SetOp, uint32_t>;
+
+class StreamingPropertyTest : public ::testing::TestWithParam<Param> {};
+
+TEST_P(StreamingPropertyTest, MatchesReference) {
+  const auto [kind, op, size] = GetParam();
+  auto processor = Processor::Create(kind);
+  ASSERT_TRUE(processor.ok());
+
+  std::vector<uint32_t> a;
+  std::vector<uint32_t> b;
+  if (op == SetOp::kMerge) {
+    Random rng(size);
+    a.resize(size);
+    b.resize(size * 2 / 3 + 1);
+    for (auto& v : a) v = rng.Next32() % (size * 8 + 16);
+    for (auto& v : b) v = rng.Next32() % (size * 8 + 16);
+    std::sort(a.begin(), a.end());
+    std::sort(b.begin(), b.end());
+  } else {
+    auto pair = GenerateSetPair(size, size * 2 / 3 + 1, 0.4, size + 5);
+    ASSERT_TRUE(pair.ok());
+    a = std::move(pair->a);
+    b = std::move(pair->b);
+  }
+
+  prefetch::StreamingSetOperation streaming(processor->get(),
+                                            prefetch::DmaConfig{});
+  auto run = streaming.Run(op, a, b);
+  ASSERT_TRUE(run.ok()) << run.status();
+
+  std::vector<uint32_t> expected;
+  switch (op) {
+    case SetOp::kIntersect:
+      expected = baseline::ScalarIntersect(a, b);
+      break;
+    case SetOp::kUnion:
+      expected = baseline::ScalarUnion(a, b);
+      break;
+    case SetOp::kDifference:
+      expected = baseline::ScalarDifference(a, b);
+      break;
+    case SetOp::kMerge:
+      expected.resize(a.size() + b.size());
+      std::merge(a.begin(), a.end(), b.begin(), b.end(), expected.begin());
+      break;
+  }
+  EXPECT_EQ(run->result, expected);
+  EXPECT_GT(run->total_cycles, 0u);
+  EXPECT_GE(run->total_cycles,
+            std::max(run->compute_cycles, run->dma_cycles) / run->chunks);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, StreamingPropertyTest,
+    ::testing::Combine(
+        ::testing::Values(ProcessorKind::kDba1LsuEis,
+                          ProcessorKind::kDba2LsuEis),
+        ::testing::Values(SetOp::kIntersect, SetOp::kUnion,
+                          SetOp::kDifference, SetOp::kMerge),
+        // Below, at, and well beyond the local-store capacity.
+        ::testing::Values(500u, 8000u, 9000u, 40000u)),
+    [](const ::testing::TestParamInfo<Param>& param_info) {
+      return std::string(
+                 hwmodel::ConfigKindName(std::get<0>(param_info.param))) +
+             "_" + std::string(eis::SopModeName(std::get<1>(param_info.param))) +
+             "_n" + std::to_string(std::get<2>(param_info.param));
+    });
+
+}  // namespace
+}  // namespace dba

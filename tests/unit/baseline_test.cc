@@ -1,0 +1,155 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "baseline/scalar_baseline.h"
+#include "baseline/simd_baseline.h"
+#include "common/random.h"
+#include "core/workload.h"
+
+namespace dba::baseline {
+namespace {
+
+// --- Scalar reference implementations vs. the standard library ---
+
+TEST(ScalarBaselineTest, MatchesStdAlgorithms) {
+  auto pair = GenerateSetPair(777, 555, 0.4, 9);
+  ASSERT_TRUE(pair.ok());
+  std::vector<uint32_t> expected;
+
+  expected.clear();
+  std::set_intersection(pair->a.begin(), pair->a.end(), pair->b.begin(),
+                        pair->b.end(), std::back_inserter(expected));
+  EXPECT_EQ(ScalarIntersect(pair->a, pair->b), expected);
+
+  expected.clear();
+  std::set_union(pair->a.begin(), pair->a.end(), pair->b.begin(),
+                 pair->b.end(), std::back_inserter(expected));
+  EXPECT_EQ(ScalarUnion(pair->a, pair->b), expected);
+
+  expected.clear();
+  std::set_difference(pair->a.begin(), pair->a.end(), pair->b.begin(),
+                      pair->b.end(), std::back_inserter(expected));
+  EXPECT_EQ(ScalarDifference(pair->a, pair->b), expected);
+}
+
+TEST(ScalarBaselineTest, EmptyInputs) {
+  EXPECT_TRUE(ScalarIntersect({}, {}).empty());
+  EXPECT_EQ(ScalarUnion(std::vector<uint32_t>{1}, {}),
+            (std::vector<uint32_t>{1}));
+  EXPECT_EQ(ScalarDifference(std::vector<uint32_t>{1}, {}),
+            (std::vector<uint32_t>{1}));
+}
+
+TEST(ScalarBaselineTest, MergeSortMatchesStdSort) {
+  for (uint32_t n : {0u, 1u, 2u, 3u, 100u, 1000u}) {
+    std::vector<uint32_t> values = GenerateSortInput(n, n + 1);
+    std::vector<uint32_t> expected = values;
+    std::sort(expected.begin(), expected.end());
+    EXPECT_EQ(ScalarMergeSort(values), expected) << "n=" << n;
+  }
+}
+
+// --- SIMD merge-sort (swsort) ---
+
+TEST(SimdSortTest, SizesSweep) {
+  for (uint32_t n : {0u, 1u, 3u, 4u, 5u, 15u, 16u, 17u, 31u, 32u, 33u, 63u,
+                     64u, 100u, 255u, 256u, 1000u}) {
+    std::vector<uint32_t> values = GenerateSortInput(n, 1000 + n);
+    std::vector<uint32_t> expected = values;
+    std::sort(expected.begin(), expected.end());
+    EXPECT_EQ(SimdMergeSort(values), expected) << "n=" << n;
+  }
+}
+
+TEST(SimdSortTest, AdversarialPatterns) {
+  std::vector<uint32_t> descending;
+  std::vector<uint32_t> equal(97, 5);
+  std::vector<uint32_t> organ_pipe;
+  for (uint32_t i = 0; i < 97; ++i) descending.push_back(97 - i);
+  for (uint32_t i = 0; i < 97; ++i) {
+    organ_pipe.push_back(i < 48 ? i : 97 - i);
+  }
+  for (const auto& values : {descending, equal, organ_pipe}) {
+    std::vector<uint32_t> expected = values;
+    std::sort(expected.begin(), expected.end());
+    EXPECT_EQ(SimdMergeSort(values), expected);
+  }
+}
+
+TEST(SimdSortTest, RandomizedAgainstStdSort) {
+  Random rng(31);
+  for (int trial = 0; trial < 200; ++trial) {
+    const auto n = static_cast<uint32_t>(rng.Uniform(500));
+    std::vector<uint32_t> values(n);
+    for (auto& v : values) v = static_cast<uint32_t>(rng.Uniform(1000));
+    std::vector<uint32_t> expected = values;
+    std::sort(expected.begin(), expected.end());
+    ASSERT_EQ(SimdMergeSort(values), expected) << "trial " << trial;
+  }
+}
+
+// --- SIMD intersection (swset) ---
+
+TEST(SimdIntersectTest, MatchesScalarOnWorkloads) {
+  for (double selectivity : {0.0, 0.1, 0.5, 0.9, 1.0}) {
+    auto pair = GenerateSetPair(1000, 1000, selectivity, 17);
+    ASSERT_TRUE(pair.ok());
+    EXPECT_EQ(SimdIntersect(pair->a, pair->b),
+              ScalarIntersect(pair->a, pair->b))
+        << "selectivity " << selectivity;
+  }
+}
+
+TEST(SimdIntersectTest, BlockBoundaryPatterns) {
+  // Matches exactly at 4-element block boundaries, equal maxima, and
+  // tails shorter than a vector.
+  const std::vector<uint32_t> a = {1, 2, 3, 4, 5, 6, 7, 8, 9};
+  const std::vector<uint32_t> b = {4, 5, 6, 7, 8};
+  EXPECT_EQ(SimdIntersect(a, b), ScalarIntersect(a, b));
+  const std::vector<uint32_t> c = {4, 8, 12, 16, 20, 24, 28, 32};
+  const std::vector<uint32_t> d = {16, 32};
+  EXPECT_EQ(SimdIntersect(c, d), ScalarIntersect(c, d));
+  EXPECT_EQ(SimdIntersect(d, c), ScalarIntersect(d, c));
+}
+
+TEST(SimdIntersectTest, EmptyAndTiny) {
+  EXPECT_TRUE(SimdIntersect({}, {}).empty());
+  EXPECT_TRUE(
+      SimdIntersect(std::vector<uint32_t>{1, 2, 3}, {}).empty());
+  EXPECT_EQ(SimdIntersect(std::vector<uint32_t>{5},
+                          std::vector<uint32_t>{5}),
+            (std::vector<uint32_t>{5}));
+}
+
+TEST(SimdIntersectTest, RandomizedAgainstScalar) {
+  Random rng(55);
+  for (int trial = 0; trial < 300; ++trial) {
+    auto make_set = [&rng]() {
+      const auto n = rng.Uniform(60);
+      std::vector<uint32_t> values;
+      uint32_t v = 0;
+      for (uint64_t i = 0; i < n; ++i) {
+        v += 1 + static_cast<uint32_t>(rng.Uniform(4));
+        values.push_back(v);
+      }
+      return values;
+    };
+    const auto a = make_set();
+    const auto b = make_set();
+    ASSERT_EQ(SimdIntersect(a, b), ScalarIntersect(a, b)) << "trial " << trial;
+  }
+}
+
+TEST(SimdBaselineTest, ReportsVectorUnitUse) {
+  // The library translation unit decides the code path; the answer must
+  // be stable across calls. (On x86-64 builds the vector path is on.)
+  const bool first = SimdBaselineUsesVectorUnit();
+  EXPECT_EQ(first, SimdBaselineUsesVectorUnit());
+#if defined(__x86_64__)
+  EXPECT_TRUE(first);
+#endif
+}
+
+}  // namespace
+}  // namespace dba::baseline

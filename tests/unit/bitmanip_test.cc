@@ -1,0 +1,167 @@
+// Tests of the bit-manipulation extension and the instruction-merging
+// kernels (paper Section 2.2): hardware and software variants must
+// agree with host oracles and with each other, and the merged
+// instructions must be dramatically cheaper.
+
+#include <gtest/gtest.h>
+
+#include <bit>
+
+#include "common/random.h"
+#include "dbkern/bitmanip_kernels.h"
+#include "isa/registers.h"
+#include "mem/memory.h"
+#include "sim/cpu.h"
+#include "tie/bitmanip_extension.h"
+
+namespace dba {
+namespace {
+
+using isa::Reg;
+using tie::BitmanipExtension;
+
+constexpr uint64_t kDataBase = 0x1000;
+constexpr uint64_t kOutBase = 0x8000;
+
+class BitmanipTest : public ::testing::Test {
+ protected:
+  BitmanipTest()
+      : memory_(*mem::Memory::Create({.name = "m",
+                                      .base = kDataBase,
+                                      .size = 64 << 10,
+                                      .access_latency = 1})),
+        cpu_(MakeConfig()) {
+    EXPECT_TRUE(cpu_.AttachMemory(&memory_).ok());
+    EXPECT_TRUE(ext_.Attach(&cpu_).ok());
+  }
+
+  static sim::CoreConfig MakeConfig() {
+    sim::CoreConfig config;
+    config.instruction_bus_bits = 64;
+    return config;
+  }
+
+  /// Runs `program` over `words`; returns (a5, cycles).
+  Result<std::pair<uint32_t, uint64_t>> RunOver(
+      const isa::Program& program, const std::vector<uint32_t>& words) {
+    DBA_RETURN_IF_ERROR(memory_.WriteBlock(kDataBase, words));
+    DBA_RETURN_IF_ERROR(cpu_.LoadProgram(program));
+    cpu_.ResetArchState();
+    ext_.ResetState();
+    cpu_.set_reg(Reg::a0, kDataBase);
+    cpu_.set_reg(Reg::a2, static_cast<uint32_t>(words.size()));
+    cpu_.set_reg(Reg::a4, kOutBase);
+    DBA_ASSIGN_OR_RETURN(sim::ExecStats stats, cpu_.Run());
+    return std::make_pair(cpu_.reg(Reg::a5), stats.cycles);
+  }
+
+  mem::Memory memory_;
+  sim::Cpu cpu_;
+  BitmanipExtension ext_;
+};
+
+TEST_F(BitmanipTest, ReferenceOraclesAreSane) {
+  // CRC32("123456789") = 0xCBF43926 (the classic check value).
+  const uint8_t check[] = {'1', '2', '3', '4', '5', '6', '7', '8', '9'};
+  EXPECT_EQ(BitmanipExtension::ReferenceCrc32(check, sizeof check),
+            0xCBF43926u);
+  EXPECT_EQ(BitmanipExtension::ReferenceBitReverse(0x80000000u), 1u);
+  EXPECT_EQ(BitmanipExtension::ReferenceBitReverse(0x00000001u),
+            0x80000000u);
+  EXPECT_EQ(BitmanipExtension::ReferenceBitReverse(0xF0F0F0F0u),
+            0x0F0F0F0Fu);
+}
+
+TEST_F(BitmanipTest, CrcKernelsMatchOracle) {
+  Random rng(1);
+  std::vector<uint32_t> words(64);
+  for (auto& w : words) w = rng.Next32();
+  const uint32_t expected = BitmanipExtension::ReferenceCrc32(
+      reinterpret_cast<const uint8_t*>(words.data()), words.size() * 4);
+
+  auto hw = dbkern::BuildCrc32Kernel(/*use_extension=*/true);
+  auto sw = dbkern::BuildCrc32Kernel(/*use_extension=*/false);
+  ASSERT_TRUE(hw.ok());
+  ASSERT_TRUE(sw.ok());
+  auto hw_run = RunOver(*hw, words);
+  auto sw_run = RunOver(*sw, words);
+  ASSERT_TRUE(hw_run.ok()) << hw_run.status();
+  ASSERT_TRUE(sw_run.ok()) << sw_run.status();
+  EXPECT_EQ(hw_run->first, expected);
+  EXPECT_EQ(sw_run->first, expected);
+  // Section 2.2: the merged instruction collapses the shift/xor cascade.
+  EXPECT_LT(hw_run->second * 10, sw_run->second);
+}
+
+TEST_F(BitmanipTest, BitReverseKernelsMatchOracle) {
+  Random rng(2);
+  std::vector<uint32_t> words(50);
+  for (auto& w : words) w = rng.Next32();
+
+  for (bool use_extension : {true, false}) {
+    auto program = dbkern::BuildBitReverseKernel(use_extension);
+    ASSERT_TRUE(program.ok());
+    auto run = RunOver(*program, words);
+    ASSERT_TRUE(run.ok()) << run.status();
+    EXPECT_EQ(run->first, words.size());
+    auto out = *memory_.ReadBlock(kOutBase, words.size());
+    for (size_t i = 0; i < words.size(); ++i) {
+      ASSERT_EQ(out[i], BitmanipExtension::ReferenceBitReverse(words[i]))
+          << "word " << i << " ext=" << use_extension;
+    }
+  }
+}
+
+TEST_F(BitmanipTest, BitReverseMergingSavesCycles) {
+  std::vector<uint32_t> words(100, 0xDEADBEEF);
+  auto hw = dbkern::BuildBitReverseKernel(true);
+  auto sw = dbkern::BuildBitReverseKernel(false);
+  ASSERT_TRUE(hw.ok());
+  ASSERT_TRUE(sw.ok());
+  auto hw_run = RunOver(*hw, words);
+  auto sw_run = RunOver(*sw, words);
+  ASSERT_TRUE(hw_run.ok());
+  ASSERT_TRUE(sw_run.ok());
+  // "Reversing the order of the bits ... is cheap in hardware whereas it
+  // requires dozens of instructions in software."
+  EXPECT_LT(hw_run->second * 3, sw_run->second);
+}
+
+TEST_F(BitmanipTest, PopcountKernelsMatchOracle) {
+  Random rng(3);
+  std::vector<uint32_t> words(80);
+  uint32_t expected = 0;
+  for (auto& w : words) {
+    w = rng.Next32();
+    expected += static_cast<uint32_t>(std::popcount(w));
+  }
+  for (bool use_extension : {true, false}) {
+    auto program = dbkern::BuildPopcountKernel(use_extension);
+    ASSERT_TRUE(program.ok());
+    auto run = RunOver(*program, words);
+    ASSERT_TRUE(run.ok()) << run.status();
+    EXPECT_EQ(run->first, expected) << "ext=" << use_extension;
+  }
+}
+
+TEST_F(BitmanipTest, EmptyInputs) {
+  for (bool use_extension : {true, false}) {
+    auto crc = dbkern::BuildCrc32Kernel(use_extension);
+    ASSERT_TRUE(crc.ok());
+    auto run = RunOver(*crc, {});
+    ASSERT_TRUE(run.ok());
+    EXPECT_EQ(run->first, 0u);  // CRC of nothing: ~~0xFFFFFFFF -> 0
+    auto pop = dbkern::BuildPopcountKernel(use_extension);
+    ASSERT_TRUE(pop.ok());
+    auto pop_run = RunOver(*pop, {});
+    ASSERT_TRUE(pop_run.ok());
+    EXPECT_EQ(pop_run->first, 0u);
+  }
+}
+
+TEST_F(BitmanipTest, CrcStateResetByPowerOn) {
+  EXPECT_EQ(ext_.crc_state(), 0xFFFFFFFFu);
+}
+
+}  // namespace
+}  // namespace dba

@@ -1,0 +1,249 @@
+// Kernel-program tests through the public Processor API: small and
+// adversarial inputs on scalar and EIS configurations.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "baseline/scalar_baseline.h"
+#include "core/processor.h"
+#include "core/workload.h"
+#include "dbkern/eis_kernels.h"
+#include "dbkern/scalar_kernels.h"
+
+namespace dba {
+namespace {
+
+std::unique_ptr<Processor> Make(ProcessorKind kind,
+                                ProcessorOptions options = {}) {
+  auto processor = Processor::Create(kind, options);
+  EXPECT_TRUE(processor.ok()) << processor.status();
+  return *std::move(processor);
+}
+
+std::vector<uint32_t> RunOp(Processor& processor, SetOp op,
+                            const std::vector<uint32_t>& a,
+                            const std::vector<uint32_t>& b,
+                            RunSettings settings = {}) {
+  auto run = processor.RunSetOperation(op, a, b, settings);
+  EXPECT_TRUE(run.ok()) << run.status();
+  return run.ok() ? run->result : std::vector<uint32_t>{};
+}
+
+TEST(KernelBuilderTest, ScalarMergeModeRejected) {
+  EXPECT_FALSE(dbkern::BuildScalarSetOp(eis::SopMode::kMerge).ok());
+}
+
+TEST(KernelBuilderTest, EisMergeModeRejected) {
+  EXPECT_FALSE(dbkern::BuildEisSetOp(eis::SopMode::kMerge, true).ok());
+}
+
+TEST(KernelBuilderTest, UnrollRangeValidated) {
+  EXPECT_FALSE(dbkern::BuildEisSetOp(eis::SopMode::kIntersect, true, 0).ok());
+  EXPECT_FALSE(
+      dbkern::BuildEisSetOp(eis::SopMode::kIntersect, true, 1000).ok());
+  EXPECT_TRUE(dbkern::BuildEisSetOp(eis::SopMode::kIntersect, true, 1).ok());
+}
+
+TEST(KernelBuilderTest, ProgramsAssemble) {
+  EXPECT_TRUE(dbkern::BuildScalarMergeSort().ok());
+  EXPECT_TRUE(dbkern::BuildEisMergeSort().ok());
+  for (auto mode : {eis::SopMode::kIntersect, eis::SopMode::kUnion,
+                    eis::SopMode::kDifference}) {
+    EXPECT_TRUE(dbkern::BuildScalarSetOp(mode).ok());
+    EXPECT_TRUE(dbkern::BuildEisSetOp(mode, false).ok());
+    EXPECT_TRUE(dbkern::BuildEisSetOp(mode, true).ok());
+  }
+}
+
+class KernelEdgeCaseTest : public ::testing::TestWithParam<ProcessorKind> {};
+
+TEST_P(KernelEdgeCaseTest, EmptyInputs) {
+  auto processor = Make(GetParam());
+  EXPECT_TRUE(RunOp(*processor, SetOp::kIntersect, {}, {}).empty());
+  EXPECT_TRUE(RunOp(*processor, SetOp::kIntersect, {1, 2}, {}).empty());
+  EXPECT_TRUE(RunOp(*processor, SetOp::kIntersect, {}, {1, 2}).empty());
+  EXPECT_EQ(RunOp(*processor, SetOp::kUnion, {1, 2}, {}),
+            (std::vector<uint32_t>{1, 2}));
+  EXPECT_EQ(RunOp(*processor, SetOp::kUnion, {}, {3}),
+            (std::vector<uint32_t>{3}));
+  EXPECT_EQ(RunOp(*processor, SetOp::kDifference, {1, 2}, {}),
+            (std::vector<uint32_t>{1, 2}));
+  EXPECT_TRUE(RunOp(*processor, SetOp::kDifference, {}, {1}).empty());
+}
+
+TEST_P(KernelEdgeCaseTest, SingleElements) {
+  auto processor = Make(GetParam());
+  EXPECT_EQ(RunOp(*processor, SetOp::kIntersect, {7}, {7}),
+            (std::vector<uint32_t>{7}));
+  EXPECT_TRUE(RunOp(*processor, SetOp::kIntersect, {7}, {8}).empty());
+  EXPECT_EQ(RunOp(*processor, SetOp::kUnion, {7}, {8}),
+            (std::vector<uint32_t>{7, 8}));
+  EXPECT_EQ(RunOp(*processor, SetOp::kDifference, {7}, {7}),
+            (std::vector<uint32_t>{}));
+}
+
+TEST_P(KernelEdgeCaseTest, IdenticalSets) {
+  auto processor = Make(GetParam());
+  const std::vector<uint32_t> values = {1, 5, 9, 13, 17, 21, 25};
+  EXPECT_EQ(RunOp(*processor, SetOp::kIntersect, values, values), values);
+  EXPECT_EQ(RunOp(*processor, SetOp::kUnion, values, values), values);
+  EXPECT_TRUE(RunOp(*processor, SetOp::kDifference, values, values).empty());
+}
+
+TEST_P(KernelEdgeCaseTest, FullyDisjointInterleaved) {
+  auto processor = Make(GetParam());
+  std::vector<uint32_t> odd;
+  std::vector<uint32_t> even;
+  for (uint32_t i = 0; i < 50; ++i) {
+    even.push_back(2 * i);
+    odd.push_back(2 * i + 1);
+  }
+  EXPECT_TRUE(RunOp(*processor, SetOp::kIntersect, even, odd).empty());
+  EXPECT_EQ(RunOp(*processor, SetOp::kUnion, even, odd).size(), 100u);
+  EXPECT_EQ(RunOp(*processor, SetOp::kDifference, even, odd), even);
+}
+
+TEST_P(KernelEdgeCaseTest, DisjointRanges) {
+  auto processor = Make(GetParam());
+  std::vector<uint32_t> low;
+  std::vector<uint32_t> high;
+  for (uint32_t i = 0; i < 40; ++i) {
+    low.push_back(i);
+    high.push_back(1000 + i);
+  }
+  EXPECT_TRUE(RunOp(*processor, SetOp::kIntersect, low, high).empty());
+  EXPECT_EQ(RunOp(*processor, SetOp::kUnion, low, high).size(), 80u);
+  EXPECT_EQ(RunOp(*processor, SetOp::kDifference, high, low), high);
+}
+
+TEST_P(KernelEdgeCaseTest, VeryAsymmetricSizes) {
+  auto processor = Make(GetParam());
+  std::vector<uint32_t> big;
+  for (uint32_t i = 0; i < 300; ++i) big.push_back(3 * i);
+  const std::vector<uint32_t> small = {3, 299 * 3, 1000000};
+  EXPECT_EQ(RunOp(*processor, SetOp::kIntersect, big, small),
+            (std::vector<uint32_t>{3, 299 * 3}));
+  EXPECT_EQ(RunOp(*processor, SetOp::kIntersect, small, big),
+            (std::vector<uint32_t>{3, 299 * 3}));
+}
+
+TEST_P(KernelEdgeCaseTest, SortEdgeSizes) {
+  auto processor = Make(GetParam());
+  for (uint32_t n : {0u, 1u, 2u, 3u, 4u, 5u, 7u, 8u, 9u, 15u, 16u, 17u, 63u,
+                     64u, 100u}) {
+    std::vector<uint32_t> values = GenerateSortInput(n, n);
+    auto run = processor->RunSort(values);
+    ASSERT_TRUE(run.ok()) << "n=" << n << ": " << run.status();
+    std::vector<uint32_t> expected = values;
+    std::sort(expected.begin(), expected.end());
+    EXPECT_EQ(run->sorted, expected) << "n=" << n;
+  }
+}
+
+TEST_P(KernelEdgeCaseTest, SortAdversarialPatterns) {
+  auto processor = Make(GetParam());
+  std::vector<std::vector<uint32_t>> inputs;
+  std::vector<uint32_t> ascending;
+  std::vector<uint32_t> descending;
+  std::vector<uint32_t> constant(77, 42);
+  std::vector<uint32_t> sawtooth;
+  for (uint32_t i = 0; i < 77; ++i) {
+    ascending.push_back(i);
+    descending.push_back(1000 - i);
+    sawtooth.push_back(i % 8);
+  }
+  inputs = {ascending, descending, constant, sawtooth};
+  for (const auto& values : inputs) {
+    auto run = processor->RunSort(values);
+    ASSERT_TRUE(run.ok()) << run.status();
+    std::vector<uint32_t> expected = values;
+    std::sort(expected.begin(), expected.end());
+    EXPECT_EQ(run->sorted, expected);
+  }
+}
+
+TEST_P(KernelEdgeCaseTest, ExtremeValues) {
+  auto processor = Make(GetParam());
+  const std::vector<uint32_t> a = {0, 1, 0x7FFFFFFF, 0xFFFFFFFE, 0xFFFFFFFF};
+  const std::vector<uint32_t> b = {0, 0x7FFFFFFF, 0xFFFFFFFF};
+  EXPECT_EQ(RunOp(*processor, SetOp::kIntersect, a, b), b);
+  EXPECT_EQ(RunOp(*processor, SetOp::kUnion, a, b), a);
+  EXPECT_EQ(RunOp(*processor, SetOp::kDifference, a, b),
+            (std::vector<uint32_t>{1, 0xFFFFFFFE}));
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllKinds, KernelEdgeCaseTest,
+    ::testing::Values(ProcessorKind::k108Mini, ProcessorKind::kDba1Lsu,
+                      ProcessorKind::kDba1LsuEis, ProcessorKind::kDba2LsuEis),
+    [](const ::testing::TestParamInfo<ProcessorKind>& param_info) {
+      return std::string(hwmodel::ConfigKindName(param_info.param));
+    });
+
+TEST(KernelValidationTest, RejectsUnsortedInput) {
+  auto processor = Make(ProcessorKind::kDba2LsuEis);
+  auto run = processor->RunSetOperation(SetOp::kIntersect, {{3u, 1u, 2u}},
+                                        {{1u, 2u}});
+  EXPECT_EQ(run.status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST(KernelValidationTest, RejectsDuplicates) {
+  auto processor = Make(ProcessorKind::kDba2LsuEis);
+  auto run = processor->RunSetOperation(SetOp::kIntersect, {{1u, 1u, 2u}},
+                                        {{1u, 2u}});
+  EXPECT_EQ(run.status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST(KernelValidationTest, RejectsMergeAsSetOp) {
+  auto processor = Make(ProcessorKind::kDba2LsuEis);
+  auto run = processor->RunSetOperation(SetOp::kMerge, {{1u}}, {{2u}});
+  EXPECT_EQ(run.status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST(KernelValidationTest, CapacityEnforced) {
+  auto processor = Make(ProcessorKind::kDba2LsuEis);
+  const uint32_t too_big = processor->max_set_elements(0) + 1;
+  std::vector<uint32_t> a(too_big);
+  for (uint32_t i = 0; i < too_big; ++i) a[i] = i;
+  auto run = processor->RunSetOperation(SetOp::kIntersect, a, {{1u}});
+  EXPECT_EQ(run.status().code(), StatusCode::kResourceExhausted);
+  std::vector<uint32_t> sort_input(processor->max_sort_elements() + 1, 1);
+  EXPECT_EQ(processor->RunSort(sort_input).status().code(),
+            StatusCode::kResourceExhausted);
+}
+
+TEST(KernelForceScalarTest, EisKindRunsScalarKernel) {
+  auto processor = Make(ProcessorKind::kDba2LsuEis);
+  auto pair = GenerateSetPair(500, 500, 0.3, 11);
+  ASSERT_TRUE(pair.ok());
+  auto eis_run =
+      processor->RunSetOperation(SetOp::kIntersect, pair->a, pair->b);
+  auto scalar_run = processor->RunSetOperation(
+      SetOp::kIntersect, pair->a, pair->b, {.force_scalar = true});
+  ASSERT_TRUE(eis_run.ok());
+  ASSERT_TRUE(scalar_run.ok());
+  EXPECT_EQ(eis_run->result, scalar_run->result);
+  // The extension is an order of magnitude faster on the same core.
+  EXPECT_LT(eis_run->metrics.cycles * 5, scalar_run->metrics.cycles);
+}
+
+TEST(KernelUnrollTest, UnrollReducesCycles) {
+  auto pair = GenerateSetPair(2000, 2000, 0.5, 3);
+  ASSERT_TRUE(pair.ok());
+  ProcessorOptions unrolled;
+  unrolled.unroll = 32;
+  ProcessorOptions rolled;
+  rolled.unroll = 1;
+  auto fast = Make(ProcessorKind::kDba2LsuEis, unrolled);
+  auto slow = Make(ProcessorKind::kDba2LsuEis, rolled);
+  auto fast_run = fast->RunSetOperation(SetOp::kIntersect, pair->a, pair->b);
+  auto slow_run = slow->RunSetOperation(SetOp::kIntersect, pair->a, pair->b);
+  ASSERT_TRUE(fast_run.ok());
+  ASSERT_TRUE(slow_run.ok());
+  EXPECT_EQ(fast_run->result, slow_run->result);
+  EXPECT_LT(fast_run->metrics.cycles, slow_run->metrics.cycles);
+}
+
+}  // namespace
+}  // namespace dba

@@ -1,0 +1,181 @@
+// The hardware model must reproduce the published synthesis results
+// (paper Tables 3 and 4) -- these tests pin the calibration.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "hwmodel/reference.h"
+#include "hwmodel/synthesis.h"
+
+namespace dba::hwmodel {
+namespace {
+
+constexpr double kTightTolerance = 0.01;  // calibrated cells
+constexpr double kLooseTolerance = 0.05;  // derived cells
+
+void ExpectNear(double actual, double expected, double relative_tolerance,
+                const char* what) {
+  EXPECT_NEAR(actual, expected, std::abs(expected) * relative_tolerance)
+      << what;
+}
+
+struct Table3Row {
+  ConfigKind kind;
+  TechNode node;
+  double logic;
+  double mem;
+  double fmax;
+  double power;
+};
+
+// Paper Table 3.
+const Table3Row kTable3[] = {
+    {ConfigKind::k108Mini, TechNode::k65nmTsmcLp, 0.2201, 0.0, 442, 27.4},
+    {ConfigKind::kDba1Lsu, TechNode::k65nmTsmcLp, 0.177, 0.874, 435, 56.6},
+    {ConfigKind::kDba2Lsu, TechNode::k65nmTsmcLp, 0.177, 0.870, 429, 57.1},
+    {ConfigKind::kDba1LsuEis, TechNode::k65nmTsmcLp, 0.523, 0.874, 424,
+     123.5},
+    {ConfigKind::kDba2LsuEis, TechNode::k65nmTsmcLp, 0.645, 0.870, 410,
+     135.1},
+    {ConfigKind::kDba2LsuEis, TechNode::k28nmGfSlp, 0.169, 0.232, 500, 47.0},
+};
+
+TEST(SynthesisTest, ReproducesTable3) {
+  for (const Table3Row& row : kTable3) {
+    const SynthesisReport report = Synthesize(row.kind, row.node);
+    SCOPED_TRACE(std::string(ConfigKindName(row.kind)) + " @ " +
+                 std::string(TechNodeName(row.node)));
+    ExpectNear(report.logic_area_mm2, row.logic, kLooseTolerance, "logic");
+    if (row.mem > 0) {
+      ExpectNear(report.mem_area_mm2, row.mem, kLooseTolerance, "mem");
+    } else {
+      EXPECT_EQ(report.mem_area_mm2, 0.0);
+    }
+    ExpectNear(report.fmax_mhz, row.fmax, kTightTolerance, "fmax");
+    ExpectNear(report.power_mw, row.power, kLooseTolerance, "power");
+  }
+}
+
+TEST(SynthesisTest, EisConfigsAreLargerAndHungrier) {
+  const auto base = Synthesize(ConfigKind::kDba2Lsu, TechNode::k65nmTsmcLp);
+  const auto eis = Synthesize(ConfigKind::kDba2LsuEis, TechNode::k65nmTsmcLp);
+  EXPECT_GT(eis.logic_area_mm2, base.logic_area_mm2);
+  EXPECT_GT(eis.power_mw, base.power_mw);
+  EXPECT_LT(eis.fmax_mhz, base.fmax_mhz);
+  // "only a small impact on the core frequency" -- under 10%.
+  EXPECT_GT(eis.fmax_mhz, 0.9 * base.fmax_mhz);
+}
+
+TEST(SynthesisTest, MemoryDominatesBaseArea) {
+  const auto report = Synthesize(ConfigKind::kDba1Lsu, TechNode::k65nmTsmcLp);
+  EXPECT_GT(report.mem_area_mm2, report.logic_area_mm2);
+  EXPECT_NEAR(report.total_area_mm2(),
+              report.logic_area_mm2 + report.mem_area_mm2, 1e-12);
+}
+
+TEST(SynthesisTest, TechScalingMatchesPaperFactors) {
+  const auto at65 = Synthesize(ConfigKind::kDba2LsuEis, TechNode::k65nmTsmcLp);
+  const auto at28 = Synthesize(ConfigKind::kDba2LsuEis, TechNode::k28nmGfSlp);
+  // "the area occupied by DBA_2LSU_EIS shrinks by 3.8x"
+  ExpectNear(at65.total_area_mm2() / at28.total_area_mm2(), 3.8, 0.02,
+             "area scale");
+  // "the power consumed ... shrinks by 2.9x to 47 mW"
+  ExpectNear(at65.power_mw / at28.power_mw, 2.875, 0.02, "power scale");
+  EXPECT_EQ(at28.fmax_mhz, 500.0);
+}
+
+TEST(SynthesisTest, ReproducesTable4Breakdown) {
+  const auto breakdown = EisAreaBreakdown();
+  ASSERT_EQ(breakdown.size(), 8u);
+  // Paper Table 4 percentages.
+  const std::pair<const char*, double> expected[] = {
+      {"basic core", 20.5},     {"decoding/muxing", 14.4},
+      {"states", 14.7},         {"op: all", 11.3},
+      {"op: intersection", 6.8}, {"op: difference", 9.0},
+      {"op: union", 17.6},      {"op: merge-sort", 5.7},
+  };
+  double total_percent = 0;
+  for (size_t i = 0; i < breakdown.size(); ++i) {
+    EXPECT_EQ(breakdown[i].part, expected[i].first);
+    EXPECT_NEAR(breakdown[i].percent, expected[i].second, 0.3)
+        << breakdown[i].part;
+    total_percent += breakdown[i].percent;
+  }
+  EXPECT_NEAR(total_percent, 100.0, 1e-9);
+}
+
+TEST(SynthesisTest, UnionCircuitIsTheLargestOperation) {
+  // "whereby the union operation is most expensive" (Section 5.3).
+  const auto breakdown = EisAreaBreakdown();
+  double union_area = 0;
+  double max_other_op = 0;
+  for (const auto& entry : breakdown) {
+    if (entry.part == "op: union") {
+      union_area = entry.area_mm2;
+    } else if (entry.part.rfind("op:", 0) == 0) {
+      max_other_op = std::max(max_other_op, entry.area_mm2);
+    }
+  }
+  EXPECT_GT(union_area, max_other_op);
+}
+
+TEST(MemoryPlanTest, MatchesSection51) {
+  const MemoryPlan mini = MemoryPlanFor(ConfigKind::k108Mini);
+  EXPECT_FALSE(mini.has_local_store);
+  const MemoryPlan one = MemoryPlanFor(ConfigKind::kDba1LsuEis);
+  EXPECT_EQ(one.data_kib, 64u);
+  EXPECT_EQ(one.instruction_kib, 32u);
+  EXPECT_EQ(one.data_banks, 1);
+  const MemoryPlan two = MemoryPlanFor(ConfigKind::kDba2LsuEis);
+  EXPECT_EQ(two.data_kib, 64u);  // 32 KiB per LSU
+  EXPECT_EQ(two.data_banks, 2);
+}
+
+TEST(ReferenceTest, EnergyArithmetic) {
+  // 960x headline: i7-920 at 130 W vs DBA_2LSU_EIS at 135.1 mW.
+  const auto report = Synthesize(ConfigKind::kDba2LsuEis,
+                                 TechNode::k65nmTsmcLp);
+  const double ratio = PowerRatio(IntelI7920(), report.power_mw);
+  EXPECT_GT(ratio, 900.0);
+  EXPECT_LT(ratio, 1000.0);
+  // Energy per element at the paper's 1203 M elem/s.
+  const double nj = EnergyPerElementNj(report.power_mw, 1203.0);
+  EXPECT_NEAR(nj, 0.112, 0.01);
+  EXPECT_EQ(EnergyPerElementNj(report.power_mw, 0.0), 0.0);
+}
+
+TEST(ReferenceTest, DatasheetConstants) {
+  const X86Reference q9550 = IntelQ9550();
+  EXPECT_EQ(q9550.cores, 4);
+  EXPECT_EQ(q9550.feature_nm, 45);
+  EXPECT_EQ(q9550.paper_throughput_meps, 60.0);
+  const X86Reference i7 = IntelI7920();
+  EXPECT_EQ(i7.threads, 8);
+  EXPECT_EQ(i7.paper_throughput_meps, 1100.0);
+}
+
+TEST(ReferenceTest, PowerDensityStaysCool) {
+  // Section 1's dark-silicon argument: the accelerator die dissipates an
+  // order of magnitude less power per area than a general-purpose die.
+  const auto report = Synthesize(ConfigKind::kDba2LsuEis,
+                                 TechNode::k65nmTsmcLp);
+  const double dba = PowerDensityWPerCm2(report.power_mw,
+                                         report.total_area_mm2());
+  const double i7 = PowerDensityWPerCm2(IntelI7920().max_tdp_w * 1000.0,
+                                        IntelI7920().die_area_mm2);
+  EXPECT_GT(dba, 1.0);
+  EXPECT_LT(dba, 15.0);
+  EXPECT_GT(i7 / dba, 4.0);
+  EXPECT_EQ(PowerDensityWPerCm2(100.0, 0.0), 0.0);
+}
+
+TEST(ConfigKindTest, NamesAreStable) {
+  EXPECT_EQ(ConfigKindName(ConfigKind::k108Mini), "108Mini");
+  EXPECT_EQ(ConfigKindName(ConfigKind::kDba2LsuEis), "DBA_2LSU_EIS");
+  EXPECT_EQ(TechNodeName(TechNode::k65nmTsmcLp), "65 nm");
+  EXPECT_EQ(TechNodeName(TechNode::k28nmGfSlp), "28 nm");
+}
+
+}  // namespace
+}  // namespace dba::hwmodel

@@ -1,0 +1,245 @@
+#include <gtest/gtest.h>
+
+#include "common/random.h"
+#include "isa/assembler.h"
+#include "isa/disassembler.h"
+#include "isa/encoding.h"
+#include "isa/opcode.h"
+
+namespace dba::isa {
+namespace {
+
+// --- Encoding ---
+
+TEST(EncodingTest, BaseRoundTripAllFormats) {
+  Instruction samples[] = {
+      {.opcode = Opcode::kNop},
+      {.opcode = Opcode::kHalt},
+      {.opcode = Opcode::kAdd, .rd = Reg::a3, .rs1 = Reg::a4, .rs2 = Reg::a5},
+      {.opcode = Opcode::kAddi, .rd = Reg::a1, .rs1 = Reg::a2, .imm = -7},
+      {.opcode = Opcode::kLw, .rd = Reg::a9, .rs1 = Reg::a0, .imm = 2047},
+      {.opcode = Opcode::kSw, .rs1 = Reg::a0, .rs2 = Reg::a15, .imm = -2048},
+      {.opcode = Opcode::kBlt, .rs1 = Reg::a6, .rs2 = Reg::a7, .imm = -3},
+      {.opcode = Opcode::kJ, .imm = -100000},
+      {.opcode = Opcode::kLui, .rd = Reg::a8, .imm = 0xFFFFF},
+      {.opcode = Opcode::kTie, .ext_id = 0x205, .operand = 0x7F},
+  };
+  for (const Instruction& instr : samples) {
+    auto decoded = Decode(EncodeBase(instr));
+    ASSERT_TRUE(decoded.ok()) << decoded.status();
+    ASSERT_EQ(decoded->kind, DecodedWord::Kind::kBase);
+    EXPECT_EQ(decoded->base, instr) << OpcodeName(instr.opcode);
+  }
+}
+
+TEST(EncodingTest, RandomizedRoundTrip) {
+  // Property sweep: every valid opcode with random field values survives
+  // an encode/decode round trip.
+  Random rng(2024);
+  const Opcode opcodes[] = {
+      Opcode::kAdd,  Opcode::kSub,  Opcode::kAnd,  Opcode::kOr,
+      Opcode::kXor,  Opcode::kSll,  Opcode::kSrl,  Opcode::kSra,
+      Opcode::kSlt,  Opcode::kSltu, Opcode::kMul,  Opcode::kMin,
+      Opcode::kMax,  Opcode::kAddi, Opcode::kAndi, Opcode::kOri,
+      Opcode::kXori, Opcode::kSlti, Opcode::kSltiu, Opcode::kMovi,
+      Opcode::kLw,   Opcode::kSw,   Opcode::kBeq,  Opcode::kBne,
+      Opcode::kBlt,  Opcode::kBltu, Opcode::kBge,  Opcode::kBgeu,
+  };
+  for (int trial = 0; trial < 2000; ++trial) {
+    Instruction instr;
+    instr.opcode = opcodes[rng.Uniform(std::size(opcodes))];
+    const Format format = OpcodeFormat(instr.opcode);
+    if (format == Format::kR || format == Format::kI) {
+      instr.rd = RegFromIndex(static_cast<int>(rng.Uniform(16)));
+    }
+    instr.rs1 = RegFromIndex(static_cast<int>(rng.Uniform(16)));
+    if (format != Format::kI) {
+      instr.rs2 = RegFromIndex(static_cast<int>(rng.Uniform(16)));
+    }
+    if (format == Format::kI || format == Format::kS || format == Format::kB) {
+      instr.imm = static_cast<int32_t>(rng.Uniform(4096)) - 2048;
+    }
+    // Formats leave unused fields zero, as the decoder reproduces them.
+    if (format == Format::kR) instr.imm = 0;
+    if (format == Format::kS || format == Format::kB) instr.rd = Reg::a0;
+    if (format == Format::kI) instr.rs2 = Reg::a0;
+    auto decoded = Decode(EncodeBase(instr));
+    ASSERT_TRUE(decoded.ok());
+    EXPECT_EQ(decoded->base, instr) << OpcodeName(instr.opcode);
+  }
+}
+
+TEST(EncodingTest, FlixRoundTrip) {
+  std::array<TieSlot, kMaxFlixSlots> slots = {
+      TieSlot{0x201, 0}, TieSlot{0x202, 0x7F}, TieSlot{}};
+  auto decoded = Decode(EncodeFlix(slots));
+  ASSERT_TRUE(decoded.ok());
+  EXPECT_EQ(decoded->kind, DecodedWord::Kind::kFlix);
+  EXPECT_EQ(decoded->slots, slots);
+  EXPECT_EQ(decoded->num_slots(), 2);
+}
+
+TEST(EncodingTest, RejectsUnknownOpcode) {
+  EXPECT_FALSE(Decode(0xFE).ok());
+}
+
+TEST(EncodingTest, RejectsEmptyFlix) {
+  EXPECT_FALSE(Decode(kFlixFormatBit).ok());
+}
+
+TEST(OpcodeTest, Classification) {
+  EXPECT_TRUE(IsBranch(Opcode::kBeq));
+  EXPECT_FALSE(IsBranch(Opcode::kJ));
+  EXPECT_TRUE(IsControlFlow(Opcode::kJ));
+  EXPECT_TRUE(IsMemory(Opcode::kLw));
+  EXPECT_TRUE(IsMemory(Opcode::kSw));
+  EXPECT_FALSE(IsMemory(Opcode::kAdd));
+  EXPECT_TRUE(IsValidOpcode(static_cast<uint8_t>(Opcode::kTie)));
+  EXPECT_FALSE(IsValidOpcode(0x70));
+}
+
+// --- Assembler ---
+
+TEST(AssemblerTest, BackwardBranchOffset) {
+  Assembler masm;
+  Label loop;
+  masm.Movi(Reg::a6, 0);
+  masm.Bind(&loop, "loop");
+  masm.Addi(Reg::a6, Reg::a6, 1);
+  masm.Blt(Reg::a6, Reg::a2, &loop);
+  masm.Halt();
+  auto program = masm.Finish();
+  ASSERT_TRUE(program.ok()) << program.status();
+  auto branch = Decode(program->word(2));
+  ASSERT_TRUE(branch.ok());
+  EXPECT_EQ(branch->base.imm, -2);  // back to pc 1 from pc 2
+  EXPECT_EQ(program->LabelAt(1), "loop");
+}
+
+TEST(AssemblerTest, ForwardBranchPatched) {
+  Assembler masm;
+  Label done;
+  masm.Beq(Reg::a0, Reg::a1, &done);
+  masm.Nop();
+  masm.Nop();
+  masm.Bind(&done, "done");
+  masm.Halt();
+  auto program = masm.Finish();
+  ASSERT_TRUE(program.ok());
+  auto branch = Decode(program->word(0));
+  EXPECT_EQ(branch->base.imm, 2);
+}
+
+TEST(AssemblerTest, UnboundLabelFails) {
+  Assembler masm;
+  Label nowhere;
+  masm.J(&nowhere);
+  masm.Halt();
+  auto program = masm.Finish();
+  EXPECT_FALSE(program.ok());
+  EXPECT_NE(program.status().message().find("unbound"), std::string::npos);
+}
+
+TEST(AssemblerTest, DoubleBindFails) {
+  Assembler masm;
+  Label twice;
+  masm.Bind(&twice);
+  masm.Nop();
+  masm.Bind(&twice);
+  masm.Halt();
+  EXPECT_FALSE(masm.Finish().ok());
+}
+
+TEST(AssemblerTest, ImmediateRangeChecked) {
+  Assembler masm;
+  masm.Addi(Reg::a0, Reg::a0, 5000);  // > 2047
+  masm.Halt();
+  EXPECT_FALSE(masm.Finish().ok());
+}
+
+TEST(AssemblerTest, ShiftRangeChecked) {
+  Assembler masm;
+  masm.Slli(Reg::a0, Reg::a0, 32);
+  masm.Halt();
+  EXPECT_FALSE(masm.Finish().ok());
+}
+
+TEST(AssemblerTest, FlixSlotCountChecked) {
+  Assembler masm;
+  masm.Flix({TieSlot{1, 0}, TieSlot{2, 0}, TieSlot{3, 0}, TieSlot{4, 0}});
+  masm.Halt();
+  EXPECT_FALSE(masm.Finish().ok());
+}
+
+TEST(AssemblerTest, TieZeroIdRejected) {
+  Assembler masm;
+  masm.Tie(0);
+  masm.Halt();
+  EXPECT_FALSE(masm.Finish().ok());
+}
+
+TEST(AssemblerTest, ReusableAfterFinish) {
+  Assembler masm;
+  masm.Halt();
+  ASSERT_TRUE(masm.Finish().ok());
+  masm.Nop();
+  masm.Halt();
+  auto second = masm.Finish();
+  ASSERT_TRUE(second.ok());
+  EXPECT_EQ(second->size(), 2u);
+}
+
+TEST(AssemblerTest, ErrorsReportPc) {
+  Assembler masm;
+  masm.Nop();
+  masm.Movi(Reg::a0, 99999);
+  auto program = masm.Finish();
+  ASSERT_FALSE(program.ok());
+  EXPECT_NE(program.status().message().find("pc 1"), std::string::npos);
+}
+
+// --- Disassembler ---
+
+TEST(DisassemblerTest, FormatsBaseInstructions) {
+  Assembler masm;
+  masm.Add(Reg::a1, Reg::a2, Reg::a3);
+  masm.Lw(Reg::a4, Reg::a5, 8);
+  masm.Sw(Reg::a6, Reg::a7, -4);
+  masm.Movi(Reg::a0, -5);
+  masm.Halt();
+  auto program = masm.Finish();
+  ASSERT_TRUE(program.ok());
+  EXPECT_EQ(DisassembleWord(*Decode(program->word(0))), "add a1, a2, a3");
+  EXPECT_EQ(DisassembleWord(*Decode(program->word(1))), "lw a4, 8(a5)");
+  EXPECT_EQ(DisassembleWord(*Decode(program->word(2))), "sw a6, -4(a7)");
+  EXPECT_EQ(DisassembleWord(*Decode(program->word(3))), "movi a0, -5");
+  EXPECT_EQ(DisassembleWord(*Decode(program->word(4))), "halt");
+}
+
+TEST(DisassemblerTest, UsesExtResolver) {
+  Assembler masm;
+  masm.Tie(0x205);
+  masm.Halt();
+  auto program = masm.Finish();
+  ASSERT_TRUE(program.ok());
+  auto resolver = [](uint16_t ext_id) {
+    return ext_id == 0x205 ? std::string("sop") : std::string();
+  };
+  EXPECT_EQ(DisassembleWord(*Decode(program->word(0)), resolver), "sop");
+  EXPECT_EQ(DisassembleWord(*Decode(program->word(0))), "tie.517");
+}
+
+TEST(DisassemblerTest, ProgramListingHasLabels) {
+  Assembler masm;
+  Label loop;
+  masm.Bind(&loop, "loop");
+  masm.J(&loop);
+  auto program = masm.Finish();
+  ASSERT_TRUE(program.ok());
+  const std::string listing = DisassembleProgram(*program);
+  EXPECT_NE(listing.find("loop:"), std::string::npos);
+  EXPECT_NE(listing.find("j -1"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace dba::isa

@@ -1,0 +1,136 @@
+// Structural tests of the kernel programs: label layout, instruction
+// mix, and the Figure 11/12 loop shapes, via the disassembler. These
+// catch unintended codegen changes that correctness tests would miss
+// (e.g., a silently widened core loop).
+
+#include <gtest/gtest.h>
+
+#include "dbkern/eis_kernels.h"
+#include "dbkern/scalar_kernels.h"
+#include "eis/eis_extension.h"
+#include "isa/disassembler.h"
+#include "isa/encoding.h"
+
+namespace dba::dbkern {
+namespace {
+
+std::string EisName(uint16_t ext_id) {
+  switch (ext_id) {
+    case eis::op::kInit:
+      return "init";
+    case eis::op::kStoreSop:
+      return "store_sop";
+    case eis::op::kLdLdpShuffle:
+      return "ld_ldp_shuffle";
+    case eis::op::kLdMerge:
+      return "ld_merge";
+    case eis::op::kSortBeat:
+      return "sort_beat";
+    case eis::op::kFlush:
+      return "flush";
+    default:
+      return {};
+  }
+}
+
+int CountMnemonic(const isa::Program& program, const std::string& needle) {
+  int count = 0;
+  for (size_t pc = 0; pc < program.size(); ++pc) {
+    auto word = isa::Decode(program.word(pc));
+    if (word.ok() && isa::DisassembleWord(*word, EisName) == needle) {
+      ++count;
+    }
+  }
+  return count;
+}
+
+TEST(KernelStructureTest, EisSetOpLoopIsTwoWordsPerIteration) {
+  // Figure 11: the unrolled body is U x (STORE_SOP, LD_LDP_SHUFFLE)
+  // plus prologue (movi, init, first load), the back edge, flush, halt.
+  for (int unroll : {1, 4, 32}) {
+    auto program =
+        BuildEisSetOp(eis::SopMode::kIntersect, true, unroll);
+    ASSERT_TRUE(program.ok());
+    EXPECT_EQ(program->size(),
+              static_cast<size_t>(3 + 2 * unroll + 3))
+        << "unroll " << unroll;
+    EXPECT_EQ(CountMnemonic(*program, "store_sop #6"), unroll);
+    EXPECT_EQ(CountMnemonic(*program, "ld_ldp_shuffle"), unroll + 1);
+    EXPECT_EQ(CountMnemonic(*program, "flush"), 1);
+    EXPECT_EQ(program->LabelAt(3), "core_loop");
+  }
+}
+
+TEST(KernelStructureTest, EisMergePairIsFigure12Shape) {
+  auto program = BuildEisMergePair();
+  ASSERT_TRUE(program.ok());
+  // movi, init, ld_merge, [store_sop, ld_merge, bne], flush, halt = 8.
+  EXPECT_EQ(program->size(), 8u);
+  EXPECT_EQ(CountMnemonic(*program, "store_sop #6"), 1);
+  EXPECT_EQ(CountMnemonic(*program, "ld_merge #6"), 2);
+  EXPECT_EQ(program->LabelAt(3), "core_loop");
+}
+
+TEST(KernelStructureTest, EisSortUsesPresortAndMergeLoops) {
+  auto program = BuildEisMergeSort();
+  ASSERT_TRUE(program.ok());
+  EXPECT_EQ(CountMnemonic(*program, "sort_beat #6"), 1);
+  EXPECT_EQ(CountMnemonic(*program, "init #7"), 2);  // presort + per-pair
+  // Named structure present.
+  bool has_presort = false;
+  bool has_pair_loop = false;
+  for (const auto& [name, pc] : program->labels()) {
+    has_presort |= name == "presort_loop";
+    has_pair_loop |= name == "pair_loop";
+  }
+  EXPECT_TRUE(has_presort);
+  EXPECT_TRUE(has_pair_loop);
+}
+
+TEST(KernelStructureTest, ScalarKernelsKeepTheirBranchStructure) {
+  auto intersect = BuildScalarSetOp(eis::SopMode::kIntersect);
+  ASSERT_TRUE(intersect.ok());
+  // Figure 3: the two data-dependent branches are beq + bltu.
+  int beq = 0;
+  int bltu = 0;
+  for (size_t pc = 0; pc < intersect->size(); ++pc) {
+    auto word = isa::Decode(intersect->word(pc));
+    ASSERT_TRUE(word.ok());
+    if (word->base.opcode == isa::Opcode::kBeq) ++beq;
+    if (word->base.opcode == isa::Opcode::kBltu) ++bltu;
+  }
+  EXPECT_EQ(beq, 1);
+  EXPECT_EQ(bltu, 1);
+  EXPECT_EQ(intersect->LabelAt(7), "core_loop");
+}
+
+TEST(KernelStructureTest, AllKernelsFitTheInstructionMemory) {
+  // 32 KiB local instruction memory (Section 5.1); base words are 4
+  // bytes in this encoding.
+  for (auto mode : {eis::SopMode::kIntersect, eis::SopMode::kUnion,
+                    eis::SopMode::kDifference}) {
+    auto eis_program = BuildEisSetOp(mode, true, 32);
+    ASSERT_TRUE(eis_program.ok());
+    EXPECT_LT(eis_program->size() * 4, 32u << 10);
+    auto scalar_program = BuildScalarSetOp(mode);
+    ASSERT_TRUE(scalar_program.ok());
+    EXPECT_LT(scalar_program->size() * 4, 32u << 10);
+  }
+  auto sort_program = BuildEisMergeSort();
+  ASSERT_TRUE(sort_program.ok());
+  EXPECT_LT(sort_program->size() * 4, 32u << 10);
+}
+
+TEST(KernelStructureTest, DisassemblyListingIsStable) {
+  // Spot-check the rendered prologue of the EIS intersection kernel.
+  auto program = BuildEisSetOp(eis::SopMode::kIntersect, true, 1);
+  ASSERT_TRUE(program.ok());
+  const std::string listing = isa::DisassembleProgram(*program, EisName);
+  EXPECT_NE(listing.find("movi a7, 0"), std::string::npos);
+  EXPECT_NE(listing.find("init #4"), std::string::npos);  // intersect+partial
+  EXPECT_NE(listing.find("core_loop:"), std::string::npos);
+  EXPECT_NE(listing.find("bne a6, a7, -3"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace dba::dbkern

@@ -1,0 +1,107 @@
+#include <gtest/gtest.h>
+
+#include "mem/memory.h"
+
+namespace dba::mem {
+namespace {
+
+Memory MakeMemory(uint64_t base = 0x1000, uint64_t size = 256,
+                  uint32_t latency = 1) {
+  auto memory = Memory::Create(
+      {.name = "test", .base = base, .size = size, .access_latency = latency});
+  return *std::move(memory);
+}
+
+TEST(MemoryTest, CreateValidatesConfig) {
+  EXPECT_FALSE(Memory::Create({.name = "m", .base = 0, .size = 0}).ok());
+  EXPECT_FALSE(Memory::Create({.name = "m", .base = 0, .size = 20}).ok());
+  EXPECT_FALSE(Memory::Create({.name = "m", .base = 8, .size = 32}).ok());
+  EXPECT_FALSE(Memory::Create(
+                   {.name = "m", .base = 0, .size = 32, .access_latency = 0})
+                   .ok());
+  EXPECT_TRUE(Memory::Create({.name = "m", .base = 16, .size = 32}).ok());
+}
+
+TEST(MemoryTest, WordRoundTrip) {
+  Memory memory = MakeMemory();
+  ASSERT_TRUE(memory.StoreU32(0x1000, 0xDEADBEEF).ok());
+  ASSERT_TRUE(memory.StoreU32(0x10FC, 42).ok());
+  EXPECT_EQ(*memory.LoadU32(0x1000), 0xDEADBEEFu);
+  EXPECT_EQ(*memory.LoadU32(0x10FC), 42u);
+  EXPECT_EQ(*memory.LoadU32(0x1004), 0u);  // zero-initialized
+}
+
+TEST(MemoryTest, WordBoundsAndAlignment) {
+  Memory memory = MakeMemory();
+  EXPECT_EQ(memory.LoadU32(0x0FFC).status().code(), StatusCode::kOutOfRange);
+  EXPECT_EQ(memory.LoadU32(0x1100).status().code(), StatusCode::kOutOfRange);
+  EXPECT_EQ(memory.LoadU32(0x1002).status().code(),
+            StatusCode::kInvalidArgument);
+  EXPECT_FALSE(memory.StoreU32(0x1100, 1).ok());
+}
+
+TEST(MemoryTest, BeatRoundTrip) {
+  Memory memory = MakeMemory();
+  const Beat128 beat = {1, 2, 3, 4};
+  ASSERT_TRUE(memory.Store128(0x1010, beat).ok());
+  EXPECT_EQ(*memory.Load128(0x1010), beat);
+  // Little-endian word overlap.
+  EXPECT_EQ(*memory.LoadU32(0x1014), 2u);
+}
+
+TEST(MemoryTest, BeatAlignmentEnforced) {
+  Memory memory = MakeMemory();
+  EXPECT_FALSE(memory.Load128(0x1008).ok());
+  EXPECT_FALSE(memory.Store128(0x1004, Beat128{}).ok());
+}
+
+TEST(MemoryTest, BlockRoundTrip) {
+  Memory memory = MakeMemory();
+  const std::vector<uint32_t> values = {9, 8, 7, 6, 5};
+  ASSERT_TRUE(memory.WriteBlock(0x1004, values).ok());
+  EXPECT_EQ(*memory.ReadBlock(0x1004, 5), values);
+  EXPECT_FALSE(memory.WriteBlock(0x10F8, values).ok());  // overruns
+}
+
+TEST(MemoryTest, ClearZeroes) {
+  Memory memory = MakeMemory();
+  ASSERT_TRUE(memory.StoreU32(0x1000, 7).ok());
+  memory.Clear();
+  EXPECT_EQ(*memory.LoadU32(0x1000), 0u);
+}
+
+TEST(MemoryTest, Contains) {
+  Memory memory = MakeMemory();
+  EXPECT_TRUE(memory.Contains(0x1000));
+  EXPECT_TRUE(memory.Contains(0x10FF));
+  EXPECT_TRUE(memory.Contains(0x10F0, 16));
+  EXPECT_FALSE(memory.Contains(0x10F0, 17));
+  EXPECT_FALSE(memory.Contains(0xFFF));
+}
+
+TEST(MemorySystemTest, RoutesByAddress) {
+  Memory low = MakeMemory(0x1000, 256);
+  Memory high = MakeMemory(0x2000, 256);
+  MemorySystem system;
+  ASSERT_TRUE(system.AddRegion(&low).ok());
+  ASSERT_TRUE(system.AddRegion(&high).ok());
+  EXPECT_EQ(*system.Route(0x1000), &low);
+  EXPECT_EQ(*system.Route(0x20F0, 16), &high);
+  EXPECT_EQ(system.Route(0x3000).status().code(), StatusCode::kNotFound);
+  // Access straddling the end of a region does not route.
+  EXPECT_FALSE(system.Route(0x10FC, 16).ok());
+}
+
+TEST(MemorySystemTest, RejectsOverlap) {
+  Memory first = MakeMemory(0x1000, 256);
+  Memory overlapping = MakeMemory(0x1080, 256);
+  Memory adjacent = MakeMemory(0x1100, 64);
+  MemorySystem system;
+  ASSERT_TRUE(system.AddRegion(&first).ok());
+  EXPECT_EQ(system.AddRegion(&overlapping).code(),
+            StatusCode::kAlreadyExists);
+  EXPECT_TRUE(system.AddRegion(&adjacent).ok());
+}
+
+}  // namespace
+}  // namespace dba::mem

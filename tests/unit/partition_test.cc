@@ -1,0 +1,234 @@
+// Tests of the range-partitioning extension (the HARP-style streaming
+// partitioner, paper Sections 1 and 6).
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "common/random.h"
+#include "isa/assembler.h"
+#include "isa/registers.h"
+#include "mem/memory.h"
+#include "sim/cpu.h"
+#include "dbkern/partition_kernels.h"
+#include "tie/partition_extension.h"
+
+namespace dba {
+namespace {
+
+using isa::Reg;
+using tie::PartitionExtension;
+
+constexpr uint64_t kSrcBase = 0x1000;
+constexpr uint64_t kSplitterBase = 0x40000;
+constexpr uint64_t kBucketBase = 0x50000;
+constexpr uint64_t kCountBase = 0x48000;
+
+class PartitionTest : public ::testing::Test {
+ protected:
+  PartitionTest()
+      : memory_(*mem::Memory::Create({.name = "m",
+                                      .base = kSrcBase,
+                                      .size = 1 << 20,
+                                      .access_latency = 1})),
+        cpu_(MakeConfig()) {
+    EXPECT_TRUE(cpu_.AttachMemory(&memory_).ok());
+    EXPECT_TRUE(ext_.Attach(&cpu_).ok());
+  }
+
+  static sim::CoreConfig MakeConfig() {
+    sim::CoreConfig config;
+    config.num_lsus = 2;
+    config.data_bus_bits = 128;
+    config.instruction_bus_bits = 64;
+    return config;
+  }
+
+  /// Partitions `values` into `buckets` ranges; returns per-bucket
+  /// contents read back from memory, plus the run cycles.
+  Result<std::pair<std::vector<std::vector<uint32_t>>, uint64_t>>
+  RunPartition(const std::vector<uint32_t>& values,
+               const std::vector<uint32_t>& splitters,
+               uint32_t bucket_capacity) {
+    const auto buckets = static_cast<int>(splitters.size()) + 1;
+    DBA_RETURN_IF_ERROR(memory_.WriteBlock(kSrcBase, values));
+    DBA_RETURN_IF_ERROR(memory_.WriteBlock(kSplitterBase, splitters));
+
+    isa::Assembler masm;
+    isa::Label loop;
+    masm.Movi(Reg::a7, 0);
+    masm.Tie(PartitionExtension::kInit, static_cast<uint16_t>(buckets));
+    masm.Bind(&loop, "partition_loop");
+    masm.Tie(PartitionExtension::kPartitionBeat, 6);
+    masm.Bne(Reg::a6, Reg::a7, &loop);
+    masm.Tie(PartitionExtension::kFlush);
+    masm.Halt();
+    auto program = masm.Finish();
+    if (!program.ok()) return program.status();
+    program_ = *std::move(program);
+
+    cpu_.ResetArchState();
+    ext_.ResetState();
+    cpu_.set_reg(Reg::a0, kSrcBase);
+    cpu_.set_reg(Reg::a1, kSplitterBase);
+    cpu_.set_reg(Reg::a2, static_cast<uint32_t>(values.size()));
+    cpu_.set_reg(Reg::a3, bucket_capacity);
+    cpu_.set_reg(Reg::a4, kBucketBase);
+    cpu_.set_reg(Reg::a5, kCountBase);
+    DBA_RETURN_IF_ERROR(cpu_.LoadProgram(program_));
+    DBA_ASSIGN_OR_RETURN(sim::ExecStats stats, cpu_.Run());
+
+    DBA_ASSIGN_OR_RETURN(
+        std::vector<uint32_t> counts,
+        memory_.ReadBlock(kCountBase, static_cast<size_t>(buckets)));
+    std::vector<std::vector<uint32_t>> out;
+    for (uint64_t bucket = 0; bucket < static_cast<uint64_t>(buckets);
+         ++bucket) {
+      const uint64_t addr = kBucketBase + 4 * bucket * bucket_capacity;
+      DBA_ASSIGN_OR_RETURN(
+          std::vector<uint32_t> contents,
+          memory_.ReadBlock(addr, counts[static_cast<size_t>(bucket)]));
+      out.push_back(std::move(contents));
+    }
+    if (cpu_.reg(Reg::a5) != values.size()) {
+      return Status::Internal("flush total mismatch");
+    }
+    return std::make_pair(std::move(out), stats.cycles);
+  }
+
+  mem::Memory memory_;
+  sim::Cpu cpu_;
+  PartitionExtension ext_;
+  isa::Program program_;
+};
+
+std::vector<std::vector<uint32_t>> Reference(
+    const std::vector<uint32_t>& values,
+    const std::vector<uint32_t>& splitters) {
+  std::vector<std::vector<uint32_t>> buckets(splitters.size() + 1);
+  for (const uint32_t value : values) {
+    const size_t bucket = static_cast<size_t>(
+        std::upper_bound(splitters.begin(), splitters.end(), value) -
+        splitters.begin());
+    buckets[bucket].push_back(value);
+  }
+  return buckets;
+}
+
+TEST_F(PartitionTest, PartitionsCorrectlyAndStably) {
+  Random rng(3);
+  std::vector<uint32_t> values(1000);
+  for (auto& v : values) v = static_cast<uint32_t>(rng.Uniform(10000));
+  const std::vector<uint32_t> splitters = {2500, 5000, 7500};
+  auto run = RunPartition(values, splitters, 1024);
+  ASSERT_TRUE(run.ok()) << run.status();
+  EXPECT_EQ(run->first, Reference(values, splitters));
+}
+
+TEST_F(PartitionTest, BucketCountsSweep) {
+  Random rng(9);
+  std::vector<uint32_t> values(512);
+  for (auto& v : values) v = rng.Next32() % 4096;
+  for (int buckets : {2, 3, 8, 16}) {
+    std::vector<uint32_t> splitters;
+    for (int i = 1; i < buckets; ++i) {
+      splitters.push_back(static_cast<uint32_t>(4096 * i / buckets));
+    }
+    auto run = RunPartition(values, splitters, 1024);
+    ASSERT_TRUE(run.ok()) << "buckets=" << buckets << ": " << run.status();
+    EXPECT_EQ(run->first, Reference(values, splitters))
+        << "buckets=" << buckets;
+  }
+}
+
+TEST_F(PartitionTest, BoundaryValuesGoRight) {
+  // Values equal to a splitter belong to the bucket to its right
+  // (upper_bound semantics, matching BucketFor's >=).
+  const std::vector<uint32_t> values = {9, 10, 11, 19, 20, 21, 0, 5};
+  const std::vector<uint32_t> splitters = {10, 20};
+  auto run = RunPartition(values, splitters, 64);
+  ASSERT_TRUE(run.ok());
+  EXPECT_EQ(run->first[0], (std::vector<uint32_t>{9, 0, 5}));
+  EXPECT_EQ(run->first[1], (std::vector<uint32_t>{10, 11, 19}));
+  EXPECT_EQ(run->first[2], (std::vector<uint32_t>{20, 21}));
+}
+
+TEST_F(PartitionTest, EdgeSizes) {
+  const std::vector<uint32_t> splitters = {100};
+  for (uint32_t n : {0u, 1u, 3u, 4u, 5u, 8u}) {
+    std::vector<uint32_t> values;
+    for (uint32_t i = 0; i < n; ++i) values.push_back(i * 60);
+    auto run = RunPartition(values, splitters, 64);
+    ASSERT_TRUE(run.ok()) << "n=" << n << ": " << run.status();
+    EXPECT_EQ(run->first, Reference(values, splitters)) << "n=" << n;
+  }
+}
+
+TEST_F(PartitionTest, OverflowReportsResourceExhausted) {
+  std::vector<uint32_t> values(64, 5);  // all land in bucket 0
+  auto run = RunPartition(values, {1000}, /*bucket_capacity=*/16);
+  EXPECT_EQ(run.status().code(), StatusCode::kResourceExhausted);
+}
+
+TEST_F(PartitionTest, ValidatesConfiguration) {
+  // Bucket count out of range.
+  auto run = RunPartition({1, 2, 3}, {}, 64);  // 1 bucket
+  EXPECT_EQ(run.status().code(), StatusCode::kInvalidArgument);
+  // Non-increasing splitters.
+  auto bad = RunPartition({1, 2, 3}, {50, 50}, 64);
+  EXPECT_EQ(bad.status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST_F(PartitionTest, SoftwareKernelMatchesExtension) {
+  // The base-ISA partition routine (dbkern::BuildPartitionKernel,
+  // software variant) must route identically to the extension.
+  Random rng(13);
+  std::vector<uint32_t> values(777);
+  for (auto& v : values) v = rng.Next32() % 9999;
+  const std::vector<uint32_t> splitters = {2000, 4000, 6000, 8000};
+  constexpr uint32_t kCapacity = 1024;
+  ASSERT_TRUE(memory_.WriteBlock(kSrcBase, values).ok());
+  ASSERT_TRUE(memory_.WriteBlock(kSplitterBase, splitters).ok());
+  // Zero the count table (the software kernel read-modify-writes it).
+  ASSERT_TRUE(
+      memory_.WriteBlock(kCountBase, std::vector<uint32_t>(5, 0)).ok());
+
+  auto program = dbkern::BuildPartitionKernel(/*use_extension=*/false, 5);
+  ASSERT_TRUE(program.ok());
+  program_ = *std::move(program);
+  cpu_.ResetArchState();
+  cpu_.set_reg(Reg::a0, kSrcBase);
+  cpu_.set_reg(Reg::a1, kSplitterBase);
+  cpu_.set_reg(Reg::a2, static_cast<uint32_t>(values.size()));
+  cpu_.set_reg(Reg::a3, kCapacity);
+  cpu_.set_reg(Reg::a4, kBucketBase);
+  cpu_.set_reg(Reg::a5, kCountBase);
+  ASSERT_TRUE(cpu_.LoadProgram(program_).ok());
+  ASSERT_TRUE(cpu_.Run().ok());
+
+  const auto expected = Reference(values, splitters);
+  auto counts = *memory_.ReadBlock(kCountBase, 5);
+  for (uint64_t bucket = 0; bucket < 5; ++bucket) {
+    ASSERT_EQ(counts[bucket], expected[bucket].size()) << bucket;
+    auto contents = *memory_.ReadBlock(
+        kBucketBase + 4 * bucket * kCapacity, counts[bucket]);
+    EXPECT_EQ(contents, expected[bucket]) << bucket;
+  }
+}
+
+TEST_F(PartitionTest, StreamsAtBeatRate) {
+  // ~4 values per 3-cycle loop iteration (load beat + spill beat run on
+  // separate LSUs), HARP-style streaming.
+  Random rng(4);
+  std::vector<uint32_t> values(4096);
+  for (auto& v : values) v = rng.Next32() % 65536;
+  std::vector<uint32_t> splitters = {16384, 32768, 49152};
+  auto run = RunPartition(values, splitters, 4096);
+  ASSERT_TRUE(run.ok());
+  const double cycles_per_value =
+      static_cast<double>(run->second) / 4096.0;
+  EXPECT_LT(cycles_per_value, 1.2);
+}
+
+}  // namespace
+}  // namespace dba

@@ -1,0 +1,126 @@
+#include <gtest/gtest.h>
+
+#include "baseline/scalar_baseline.h"
+#include "core/workload.h"
+#include "mem/memory.h"
+#include "prefetch/dma.h"
+#include "prefetch/streaming.h"
+
+namespace dba::prefetch {
+namespace {
+
+TEST(DmaTest, TransferCyclesModel) {
+  DmaController dma({.bytes_per_cycle = 8.0,
+                     .burst_bytes = 4096,
+                     .setup_cycles_per_burst = 32});
+  EXPECT_EQ(dma.TransferCycles(0), 0u);
+  // One burst: setup + bytes/bandwidth.
+  EXPECT_EQ(dma.TransferCycles(4096), 32u + 512u);
+  // Two bursts.
+  EXPECT_EQ(dma.TransferCycles(4097), 64u + 512u);
+  // Sub-burst transfer still pays one setup.
+  EXPECT_EQ(dma.TransferCycles(64), 32u + 8u);
+}
+
+TEST(DmaTest, ExecuteCopiesBetweenMemories) {
+  auto src = *mem::Memory::Create(
+      {.name = "src", .base = 0x1000, .size = 256, .access_latency = 4});
+  auto dst = *mem::Memory::Create(
+      {.name = "dst", .base = 0x2000, .size = 256, .access_latency = 1,
+       .dual_port = true});
+  mem::MemorySystem system;
+  ASSERT_TRUE(system.AddRegion(&src).ok());
+  ASSERT_TRUE(system.AddRegion(&dst).ok());
+  const std::vector<uint32_t> payload = {1, 2, 3, 4, 5, 6, 7, 8};
+  ASSERT_TRUE(src.WriteBlock(0x1000, payload).ok());
+
+  DmaController dma({});
+  dma.Program({{.src = 0x1000, .dst = 0x2000, .bytes = 32}});
+  auto cycles = dma.Execute(system);
+  ASSERT_TRUE(cycles.ok()) << cycles.status();
+  EXPECT_GT(*cycles, 0u);
+  EXPECT_EQ(*dst.ReadBlock(0x2000, 8), payload);
+}
+
+TEST(DmaTest, ExecuteValidatesDescriptors) {
+  auto memory = *mem::Memory::Create(
+      {.name = "m", .base = 0x1000, .size = 256, .access_latency = 1});
+  mem::MemorySystem system;
+  ASSERT_TRUE(system.AddRegion(&memory).ok());
+  DmaController dma({});
+  dma.Program({{.src = 0x1001, .dst = 0x1010, .bytes = 4}});
+  EXPECT_EQ(dma.Execute(system).status().code(),
+            StatusCode::kInvalidArgument);
+  dma.Program({{.src = 0x9000, .dst = 0x1010, .bytes = 4}});
+  EXPECT_EQ(dma.Execute(system).status().code(), StatusCode::kNotFound);
+}
+
+class StreamingTest : public ::testing::Test {
+ protected:
+  StreamingTest() {
+    auto processor = Processor::Create(ProcessorKind::kDba2LsuEis);
+    EXPECT_TRUE(processor.ok());
+    processor_ = *std::move(processor);
+  }
+
+  std::unique_ptr<Processor> processor_;
+};
+
+TEST_F(StreamingTest, LargeIntersectionMatchesReference) {
+  // 50k elements per side: an order of magnitude beyond the local store.
+  auto pair = GenerateSetPair(50000, 50000, 0.5, 77);
+  ASSERT_TRUE(pair.ok());
+  StreamingSetOperation streaming(processor_.get(), DmaConfig{});
+  auto run = streaming.Run(SetOp::kIntersect, pair->a, pair->b);
+  ASSERT_TRUE(run.ok()) << run.status();
+  EXPECT_EQ(run->result, baseline::ScalarIntersect(pair->a, pair->b));
+  EXPECT_GT(run->chunks, 5u);
+}
+
+TEST_F(StreamingTest, UnionAndDifferenceWithTails) {
+  // Asymmetric sizes force a remainder stream after the main loop.
+  auto pair = GenerateSetPair(30000, 9000, 0.3, 5);
+  ASSERT_TRUE(pair.ok());
+  StreamingSetOperation streaming(processor_.get(), DmaConfig{});
+  auto union_run = streaming.Run(SetOp::kUnion, pair->a, pair->b);
+  ASSERT_TRUE(union_run.ok());
+  EXPECT_EQ(union_run->result, baseline::ScalarUnion(pair->a, pair->b));
+  auto diff_run = streaming.Run(SetOp::kDifference, pair->a, pair->b);
+  ASSERT_TRUE(diff_run.ok());
+  EXPECT_EQ(diff_run->result, baseline::ScalarDifference(pair->a, pair->b));
+}
+
+TEST_F(StreamingTest, SmallInputsSingleChunk) {
+  auto pair = GenerateSetPair(100, 100, 0.5, 3);
+  ASSERT_TRUE(pair.ok());
+  StreamingSetOperation streaming(processor_.get(), DmaConfig{});
+  auto run = streaming.Run(SetOp::kIntersect, pair->a, pair->b);
+  ASSERT_TRUE(run.ok());
+  EXPECT_EQ(run->result, baseline::ScalarIntersect(pair->a, pair->b));
+  EXPECT_EQ(run->chunks, 1u);
+}
+
+TEST_F(StreamingTest, ThroughputStaysRoughlyConstant) {
+  // Section 5.2: "System level simulation validates a constant
+  // throughput of the processor for larger data sets due to the
+  // concurrently performed data prefetch."
+  auto small_pair = GenerateSetPair(4000, 4000, 0.5, 8);
+  auto large_pair = GenerateSetPair(64000, 64000, 0.5, 8);
+  ASSERT_TRUE(small_pair.ok());
+  ASSERT_TRUE(large_pair.ok());
+  auto in_memory = processor_->RunSetOperation(SetOp::kIntersect,
+                                               small_pair->a, small_pair->b);
+  ASSERT_TRUE(in_memory.ok());
+  StreamingSetOperation streaming(processor_.get(), DmaConfig{});
+  auto streamed = streaming.Run(SetOp::kIntersect, large_pair->a,
+                                large_pair->b);
+  ASSERT_TRUE(streamed.ok());
+  // Streaming throughput within 40% of the in-memory figure.
+  EXPECT_GT(streamed->throughput_meps,
+            0.6 * in_memory->metrics.throughput_meps);
+  EXPECT_GT(streamed->compute_cycles, 0u);
+  EXPECT_GT(streamed->dma_cycles, 0u);
+}
+
+}  // namespace
+}  // namespace dba::prefetch

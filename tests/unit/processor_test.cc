@@ -1,0 +1,189 @@
+// Core-module tests: Processor construction, options, capacities, the
+// merge kernel, and metric plumbing.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "common/random.h"
+#include "core/processor.h"
+#include "core/workload.h"
+#include "prefetch/streaming.h"
+
+namespace dba {
+namespace {
+
+TEST(ProcessorTest, CreateValidatesOptions) {
+  ProcessorOptions bad;
+  bad.unroll = 0;
+  EXPECT_FALSE(Processor::Create(ProcessorKind::kDba2LsuEis, bad).ok());
+  bad.unroll = 999;
+  EXPECT_FALSE(Processor::Create(ProcessorKind::kDba2LsuEis, bad).ok());
+}
+
+TEST(ProcessorTest, KindProperties) {
+  auto mini = Processor::Create(ProcessorKind::k108Mini);
+  auto eis = Processor::Create(ProcessorKind::kDba2LsuEis);
+  ASSERT_TRUE(mini.ok());
+  ASSERT_TRUE(eis.ok());
+  EXPECT_FALSE((*mini)->has_eis());
+  EXPECT_TRUE((*eis)->has_eis());
+  EXPECT_EQ((*mini)->kind(), ProcessorKind::k108Mini);
+  EXPECT_NE((*mini)->eis(), (*eis)->eis());
+  EXPECT_EQ((*mini)->eis(), nullptr);
+  EXPECT_NEAR((*eis)->frequency_hz(), 410e6, 1e6);
+}
+
+TEST(ProcessorTest, TechNodeChangesMetricsNotResults) {
+  ProcessorOptions at28;
+  at28.tech = hwmodel::TechNode::k28nmGfSlp;
+  auto node65 = Processor::Create(ProcessorKind::kDba2LsuEis);
+  auto node28 = Processor::Create(ProcessorKind::kDba2LsuEis, at28);
+  ASSERT_TRUE(node65.ok());
+  ASSERT_TRUE(node28.ok());
+  auto pair = GenerateSetPair(1000, 1000, 0.5, 4);
+  ASSERT_TRUE(pair.ok());
+  auto run65 =
+      (*node65)->RunSetOperation(SetOp::kIntersect, pair->a, pair->b);
+  auto run28 =
+      (*node28)->RunSetOperation(SetOp::kIntersect, pair->a, pair->b);
+  ASSERT_TRUE(run65.ok());
+  ASSERT_TRUE(run28.ok());
+  EXPECT_EQ(run65->result, run28->result);
+  EXPECT_EQ(run65->metrics.cycles, run28->metrics.cycles);
+  // 500 MHz vs 410 MHz and 47 mW vs 135 mW.
+  EXPECT_GT(run28->metrics.throughput_meps,
+            run65->metrics.throughput_meps * 1.15);
+  EXPECT_LT(run28->metrics.energy_nj_per_element,
+            run65->metrics.energy_nj_per_element * 0.5);
+}
+
+TEST(ProcessorTest, CapacityQueries) {
+  auto two_lsu = Processor::Create(ProcessorKind::kDba2LsuEis);
+  auto one_lsu = Processor::Create(ProcessorKind::kDba1LsuEis);
+  auto mini = Processor::Create(ProcessorKind::k108Mini);
+  ASSERT_TRUE(two_lsu.ok());
+  ASSERT_TRUE(one_lsu.ok());
+  ASSERT_TRUE(mini.ok());
+  // 2-LSU: per-bank capacity independent of the other set.
+  EXPECT_EQ((*two_lsu)->max_set_elements(0),
+            (*two_lsu)->max_set_elements(5000));
+  EXPECT_NEAR((*two_lsu)->max_set_elements(0), 8192, 16);
+  // 1-LSU: shared bank, so the other set's size matters.
+  EXPECT_LT((*one_lsu)->max_set_elements(8000),
+            (*one_lsu)->max_set_elements(1000));
+  // Paper workloads fit.
+  EXPECT_GE((*one_lsu)->max_set_elements(5000), 5000u);
+  EXPECT_GE((*two_lsu)->max_sort_elements(), 6500u);
+  // 108Mini streams from system memory: far larger.
+  EXPECT_GT((*mini)->max_set_elements(0), 1000000u);
+}
+
+TEST(ProcessorTest, ProgramAccessors) {
+  auto processor = Processor::Create(ProcessorKind::kDba2LsuEis);
+  ASSERT_TRUE(processor.ok());
+  auto eis_program = (*processor)->setop_program(SetOp::kIntersect, false);
+  auto scalar_program =
+      (*processor)->setop_program(SetOp::kIntersect, true);
+  ASSERT_TRUE(eis_program.ok());
+  ASSERT_TRUE(scalar_program.ok());
+  EXPECT_NE(*eis_program, *scalar_program);
+  // Cached: same pointer on re-request.
+  EXPECT_EQ(*eis_program,
+            *(*processor)->setop_program(SetOp::kIntersect, false));
+  EXPECT_TRUE((*processor)->sort_program(true).ok());
+  EXPECT_TRUE((*processor)->sort_program(false).ok());
+}
+
+class MergeTest : public ::testing::TestWithParam<ProcessorKind> {};
+
+TEST_P(MergeTest, MatchesStdMerge) {
+  auto processor = Processor::Create(GetParam());
+  ASSERT_TRUE(processor.ok());
+  Random rng(9);
+  for (int trial = 0; trial < 20; ++trial) {
+    auto make_run = [&rng](size_t max_len) {
+      std::vector<uint32_t> values(rng.Uniform(max_len));
+      for (auto& v : values) v = static_cast<uint32_t>(rng.Uniform(5000));
+      std::sort(values.begin(), values.end());
+      return values;
+    };
+    const auto a = make_run(2000);
+    const auto b = make_run(2000);
+    auto run = (*processor)->RunMerge(a, b);
+    ASSERT_TRUE(run.ok()) << run.status();
+    std::vector<uint32_t> expected(a.size() + b.size());
+    std::merge(a.begin(), a.end(), b.begin(), b.end(), expected.begin());
+    ASSERT_EQ(run->result, expected) << "trial " << trial;
+  }
+}
+
+TEST_P(MergeTest, DuplicateHeavyInputs) {
+  auto processor = Processor::Create(GetParam());
+  ASSERT_TRUE(processor.ok());
+  const std::vector<uint32_t> a(300, 7);
+  std::vector<uint32_t> b(200, 7);
+  b.insert(b.end(), 100, 9u);
+  auto run = (*processor)->RunMerge(a, b);
+  ASSERT_TRUE(run.ok()) << run.status();
+  std::vector<uint32_t> expected(a.size() + b.size());
+  std::merge(a.begin(), a.end(), b.begin(), b.end(), expected.begin());
+  EXPECT_EQ(run->result, expected);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Kinds, MergeTest,
+    ::testing::Values(ProcessorKind::k108Mini, ProcessorKind::kDba1Lsu,
+                      ProcessorKind::kDba1LsuEis, ProcessorKind::kDba2LsuEis),
+    [](const ::testing::TestParamInfo<ProcessorKind>& param_info) {
+      return std::string(hwmodel::ConfigKindName(param_info.param));
+    });
+
+TEST(MergeValidationTest, RejectsUnsortedInputs) {
+  auto processor = Processor::Create(ProcessorKind::kDba2LsuEis);
+  ASSERT_TRUE(processor.ok());
+  auto run = (*processor)->RunMerge({{3u, 1u}}, {{1u, 2u}});
+  EXPECT_EQ(run.status().code(), StatusCode::kInvalidArgument);
+  // Duplicates within an input are fine for merge.
+  EXPECT_TRUE((*processor)->RunMerge({{1u, 1u, 2u}}, {{2u}}).ok());
+}
+
+TEST(MergeStreamingTest, LargeMergeViaPrefetcher) {
+  auto processor = Processor::Create(ProcessorKind::kDba2LsuEis);
+  ASSERT_TRUE(processor.ok());
+  Random rng(17);
+  std::vector<uint32_t> a(40000);
+  std::vector<uint32_t> b(25000);
+  for (auto& v : a) v = rng.Next32() % 1000000;
+  for (auto& v : b) v = rng.Next32() % 1000000;
+  std::sort(a.begin(), a.end());
+  std::sort(b.begin(), b.end());
+  prefetch::StreamingSetOperation streaming(processor->get(),
+                                            prefetch::DmaConfig{});
+  auto run = streaming.Run(SetOp::kMerge, a, b);
+  ASSERT_TRUE(run.ok()) << run.status();
+  std::vector<uint32_t> expected(a.size() + b.size());
+  std::merge(a.begin(), a.end(), b.begin(), b.end(), expected.begin());
+  EXPECT_EQ(run->result, expected);
+  EXPECT_GT(run->chunks, 1u);
+}
+
+TEST(MetricsTest, ThroughputDefinitionsMatchSection52) {
+  // T_set = (l_a + l_b) / t and T_sort = n / t.
+  auto processor = Processor::Create(ProcessorKind::kDba2LsuEis);
+  ASSERT_TRUE(processor.ok());
+  auto pair = GenerateSetPair(2000, 1000, 0.5, 6);
+  ASSERT_TRUE(pair.ok());
+  auto run =
+      (*processor)->RunSetOperation(SetOp::kIntersect, pair->a, pair->b);
+  ASSERT_TRUE(run.ok());
+  const double expected_tput =
+      3000.0 / run->metrics.seconds / 1e6;
+  EXPECT_NEAR(run->metrics.throughput_meps, expected_tput, 1e-6);
+  const double expected_energy =
+      (*processor)->synthesis().power_mw / run->metrics.throughput_meps;
+  EXPECT_NEAR(run->metrics.energy_nj_per_element, expected_energy, 1e-9);
+}
+
+}  // namespace
+}  // namespace dba

@@ -1,0 +1,149 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "baseline/scalar_baseline.h"
+#include "core/workload.h"
+#include "system/board.h"
+#include "system/noc.h"
+
+namespace dba::system {
+namespace {
+
+TEST(NocTest, BandwidthSharing) {
+  Noc noc({.link_bytes_per_cycle = 32.0,
+           .bisection_bytes_per_cycle = 128.0,
+           .transfer_latency_cycles = 10});
+  // Few streams: link-limited. Many streams: bisection-limited.
+  EXPECT_DOUBLE_EQ(noc.BandwidthPerStream(1), 32.0);
+  EXPECT_DOUBLE_EQ(noc.BandwidthPerStream(4), 32.0);
+  EXPECT_DOUBLE_EQ(noc.BandwidthPerStream(8), 16.0);
+  EXPECT_EQ(noc.TransferCycles(0, 4), 0u);
+  EXPECT_EQ(noc.TransferCycles(320, 1), 10u + 10u);
+  EXPECT_EQ(noc.TransferCycles(320, 8), 10u + 20u);
+}
+
+TEST(BoardTest, CreateValidates) {
+  BoardConfig config;
+  config.num_cores = 0;
+  EXPECT_FALSE(Board::Create(config).ok());
+  config.num_cores = 4;
+  auto board = Board::Create(config);
+  ASSERT_TRUE(board.ok());
+  EXPECT_EQ((*board)->num_cores(), 4);
+  EXPECT_NEAR((*board)->board_power_mw(), 4 * 135.1, 1.0);
+}
+
+class BoardOpTest : public ::testing::TestWithParam<SetOp> {};
+
+TEST_P(BoardOpTest, ParallelResultMatchesReference) {
+  BoardConfig config;
+  config.num_cores = 8;
+  auto board = Board::Create(config);
+  ASSERT_TRUE(board.ok());
+  auto pair = GenerateSetPair(60000, 50000, 0.4, 99);
+  ASSERT_TRUE(pair.ok());
+  auto run = (*board)->RunSetOperation(GetParam(), pair->a, pair->b);
+  ASSERT_TRUE(run.ok()) << run.status();
+  std::vector<uint32_t> expected;
+  switch (GetParam()) {
+    case SetOp::kIntersect:
+      expected = baseline::ScalarIntersect(pair->a, pair->b);
+      break;
+    case SetOp::kUnion:
+      expected = baseline::ScalarUnion(pair->a, pair->b);
+      break;
+    case SetOp::kDifference:
+      expected = baseline::ScalarDifference(pair->a, pair->b);
+      break;
+    default:
+      break;
+  }
+  EXPECT_EQ(run->result, expected);
+  EXPECT_GT(run->makespan_cycles, 0u);
+  EXPECT_GE(run->total_core_cycles, run->makespan_cycles);
+  EXPECT_GT(run->throughput_meps, 0.0);
+  EXPECT_GT(run->energy_uj, 0.0);
+}
+
+INSTANTIATE_TEST_SUITE_P(Ops, BoardOpTest,
+                         ::testing::Values(SetOp::kIntersect, SetOp::kUnion,
+                                           SetOp::kDifference),
+                         [](const ::testing::TestParamInfo<SetOp>& info_p) {
+                           return std::string(
+                               eis::SopModeName(info_p.param));
+                         });
+
+TEST(BoardTest, MoreCoresMoreThroughput) {
+  auto pair = GenerateSetPair(120000, 120000, 0.5, 7);
+  ASSERT_TRUE(pair.ok());
+  double previous = 0;
+  for (int cores : {1, 4, 16}) {
+    BoardConfig config;
+    config.num_cores = cores;
+    // Generous interconnect so scaling is compute-limited.
+    config.noc.bisection_bytes_per_cycle = 4096.0;
+    auto board = Board::Create(config);
+    ASSERT_TRUE(board.ok());
+    auto run = (*board)->RunSetOperation(SetOp::kIntersect, pair->a, pair->b);
+    ASSERT_TRUE(run.ok());
+    EXPECT_GT(run->throughput_meps, previous * 1.5)
+        << cores << " cores";
+    previous = run->throughput_meps;
+  }
+}
+
+TEST(BoardTest, NarrowBisectionBecomesNocBound) {
+  auto pair = GenerateSetPair(60000, 60000, 0.5, 8);
+  ASSERT_TRUE(pair.ok());
+  BoardConfig config;
+  config.num_cores = 16;
+  config.noc.bisection_bytes_per_cycle = 8.0;  // starved
+  auto board = Board::Create(config);
+  ASSERT_TRUE(board.ok());
+  auto run = (*board)->RunSetOperation(SetOp::kIntersect, pair->a, pair->b);
+  ASSERT_TRUE(run.ok());
+  EXPECT_TRUE(run->noc_bound);
+}
+
+TEST(BoardTest, ParallelSortMatchesStdSort) {
+  BoardConfig config;
+  config.num_cores = 8;
+  auto board = Board::Create(config);
+  ASSERT_TRUE(board.ok());
+  for (uint32_t n : {0u, 1u, 100u, 5000u, 80000u}) {
+    std::vector<uint32_t> values = GenerateSortInput(n, n + 3);
+    auto run = (*board)->RunSort(values);
+    ASSERT_TRUE(run.ok()) << "n=" << n << ": " << run.status();
+    std::vector<uint32_t> expected = values;
+    std::sort(expected.begin(), expected.end());
+    EXPECT_EQ(run->result, expected) << "n=" << n;
+  }
+}
+
+TEST(BoardTest, SkewedSortStillCorrect) {
+  // All values equal: one bucket takes everything.
+  BoardConfig config;
+  config.num_cores = 8;
+  auto board = Board::Create(config);
+  ASSERT_TRUE(board.ok());
+  std::vector<uint32_t> values(20000, 42);
+  auto run = (*board)->RunSort(values);
+  ASSERT_TRUE(run.ok()) << run.status();
+  EXPECT_EQ(run->result, values);
+}
+
+TEST(BoardTest, SingleCoreBoardEqualsProcessor) {
+  BoardConfig config;
+  config.num_cores = 1;
+  auto board = Board::Create(config);
+  ASSERT_TRUE(board.ok());
+  auto pair = GenerateSetPair(4000, 4000, 0.5, 12);
+  ASSERT_TRUE(pair.ok());
+  auto run = (*board)->RunSetOperation(SetOp::kIntersect, pair->a, pair->b);
+  ASSERT_TRUE(run.ok());
+  EXPECT_EQ(run->result, baseline::ScalarIntersect(pair->a, pair->b));
+}
+
+}  // namespace
+}  // namespace dba::system

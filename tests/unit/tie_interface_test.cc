@@ -1,0 +1,174 @@
+// Tests of the TIE queue / lookup interfaces (paper Section 3.2: "TIE
+// queues read or write data from external queues ... TIE lookups
+// request data from external devices"), exercised through a demo
+// extension: a dictionary-decode pipeline that pops encoded codes from
+// an input queue, resolves them through an external dictionary lookup,
+// and pushes decoded values to an output queue.
+
+#include <gtest/gtest.h>
+
+#include "isa/assembler.h"
+#include "sim/cpu.h"
+#include "tie/tie_extension.h"
+#include "tie/tie_interface.h"
+
+namespace dba::tie {
+namespace {
+
+using isa::Assembler;
+using isa::Reg;
+
+// --- TieQueue in isolation ---
+
+TEST(TieQueueTest, PushPopOrderAndBounds) {
+  TieQueue queue("q", 16, 3);
+  EXPECT_TRUE(queue.empty());
+  EXPECT_TRUE(queue.ExtPush(0x1ABCD).ok());  // masked to 16 bits
+  EXPECT_TRUE(queue.ExtPush(2).ok());
+  EXPECT_TRUE(queue.ExtPush(3).ok());
+  EXPECT_TRUE(queue.full());
+  EXPECT_EQ(queue.ExtPush(4).code(), StatusCode::kResourceExhausted);
+  EXPECT_EQ(*queue.ExtPop(), 0xABCDu);
+  EXPECT_EQ(*queue.ExtPop(), 2u);
+  EXPECT_EQ(*queue.ExtPop(), 3u);
+  EXPECT_EQ(queue.ExtPop().status().code(),
+            StatusCode::kFailedPrecondition);
+}
+
+TEST(TieQueueTest, HostAndExtensionShareTheFifo) {
+  TieQueue queue("q", 32, 8);
+  ASSERT_TRUE(queue.HostPush(11).ok());
+  ASSERT_TRUE(queue.HostPush(22).ok());
+  EXPECT_EQ(*queue.ExtPop(), 11u);
+  ASSERT_TRUE(queue.ExtPush(33).ok());
+  EXPECT_EQ(*queue.HostPop(), 22u);
+  EXPECT_EQ(*queue.HostPop(), 33u);
+  queue.Clear();
+  EXPECT_TRUE(queue.empty());
+}
+
+// --- TieLookup in isolation ---
+
+TEST(TieLookupTest, HandlerLifecycle) {
+  TieLookup lookup("dict", 12);
+  EXPECT_FALSE(lookup.has_handler());
+  EXPECT_EQ(lookup.Request(1).status().code(),
+            StatusCode::kFailedPrecondition);
+  lookup.SetHandler([](uint64_t key) -> Result<uint64_t> {
+    if (key > 100) return Status::NotFound("no such code");
+    return key * 10;
+  });
+  EXPECT_TRUE(lookup.has_handler());
+  EXPECT_EQ(*lookup.Request(7), 70u);
+  EXPECT_EQ(lookup.Request(200).status().code(), StatusCode::kNotFound);
+  EXPECT_EQ(lookup.latency_cycles(), 12u);
+}
+
+// --- A demo extension wiring both into operations ---
+
+class DictDecodeExtension : public TieExtension {
+ public:
+  static constexpr uint16_t kDecodeOne = 0x190;
+
+  DictDecodeExtension() : TieExtension("dict_decode") {
+    input_ = AddQueue("codes_in", 32, 8);
+    output_ = AddQueue("values_out", 32, 8);
+    dictionary_ = AddLookup("dictionary", /*latency_cycles=*/6);
+
+    // Pops one code, resolves it externally, pushes the decoded value.
+    // Sets AR a5 = 1 on success, 0 when the input queue is empty.
+    DefineOp(kDecodeOne, "decode_one", [this](sim::ExtContext& ctx) {
+      auto code = input_->ExtPop();
+      if (!code.ok()) {
+        ctx.set_reg(Reg::a5, 0);
+        return Status::Ok();
+      }
+      DBA_ASSIGN_OR_RETURN(uint64_t value, dictionary_->Request(*code));
+      ctx.AddCycles(dictionary_->latency_cycles());
+      DBA_RETURN_IF_ERROR(output_->ExtPush(value));
+      ctx.set_reg(Reg::a5, 1);
+      return Status::Ok();
+    });
+  }
+
+  TieQueue* input_;
+  TieQueue* output_;
+  TieLookup* dictionary_;
+};
+
+class TieInterfaceTest : public ::testing::Test {
+ protected:
+  TieInterfaceTest() : cpu_(MakeConfig()) {
+    EXPECT_TRUE(ext_.Attach(&cpu_).ok());
+  }
+  static sim::CoreConfig MakeConfig() {
+    sim::CoreConfig config;
+    config.instruction_bus_bits = 64;
+    return config;
+  }
+
+  DictDecodeExtension ext_;
+  sim::Cpu cpu_;
+  isa::Program program_;
+};
+
+TEST_F(TieInterfaceTest, DecodePipelineEndToEnd) {
+  // External device: dictionary decode = code * 3 + 1.
+  ext_.dictionary_->SetHandler(
+      [](uint64_t key) -> Result<uint64_t> { return key * 3 + 1; });
+  for (uint32_t code : {5u, 10u, 15u}) {
+    ASSERT_TRUE(ext_.input_->HostPush(code).ok());
+  }
+
+  Assembler masm;
+  for (int i = 0; i < 4; ++i) masm.Tie(DictDecodeExtension::kDecodeOne);
+  masm.Halt();
+  auto program = masm.Finish();
+  ASSERT_TRUE(program.ok());
+  program_ = *std::move(program);
+  ASSERT_TRUE(cpu_.LoadProgram(program_).ok());
+  auto stats = cpu_.Run();
+  ASSERT_TRUE(stats.ok()) << stats.status();
+
+  // Fourth decode found the queue empty.
+  EXPECT_EQ(cpu_.reg(Reg::a5), 0u);
+  EXPECT_EQ(*ext_.output_->HostPop(), 16u);
+  EXPECT_EQ(*ext_.output_->HostPop(), 31u);
+  EXPECT_EQ(*ext_.output_->HostPop(), 46u);
+  EXPECT_TRUE(ext_.output_->empty());
+  // Three lookups at 6 cycles each show up in the cycle count:
+  // 4 ops + halt = 5 issue cycles + 18 lookup cycles.
+  EXPECT_EQ(stats->cycles, 5u + 18u);
+  EXPECT_EQ(stats->ext_extra_cycles, 18u);
+}
+
+TEST_F(TieInterfaceTest, LookupErrorPropagatesToRun) {
+  ext_.dictionary_->SetHandler([](uint64_t) -> Result<uint64_t> {
+    return Status::NotFound("corrupt dictionary");
+  });
+  ASSERT_TRUE(ext_.input_->HostPush(1).ok());
+  Assembler masm;
+  masm.Tie(DictDecodeExtension::kDecodeOne);
+  masm.Halt();
+  auto program = masm.Finish();
+  ASSERT_TRUE(program.ok());
+  program_ = *std::move(program);
+  ASSERT_TRUE(cpu_.LoadProgram(program_).ok());
+  EXPECT_EQ(cpu_.Run().status().code(), StatusCode::kNotFound);
+}
+
+TEST_F(TieInterfaceTest, ResetStateClearsQueues) {
+  ASSERT_TRUE(ext_.input_->HostPush(9).ok());
+  ext_.ResetState();
+  EXPECT_TRUE(ext_.input_->empty());
+}
+
+TEST_F(TieInterfaceTest, Introspection) {
+  EXPECT_EQ(ext_.FindQueue("codes_in"), ext_.input_);
+  EXPECT_EQ(ext_.FindQueue("nope"), nullptr);
+  EXPECT_EQ(ext_.FindLookup("dictionary"), ext_.dictionary_);
+  EXPECT_EQ(ext_.FindLookup("nope"), nullptr);
+}
+
+}  // namespace
+}  // namespace dba::tie

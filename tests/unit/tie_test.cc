@@ -1,0 +1,163 @@
+#include <gtest/gtest.h>
+
+#include "isa/assembler.h"
+#include "sim/cpu.h"
+#include "tie/example_extension.h"
+#include "tie/tie_extension.h"
+#include "tie/tie_state.h"
+
+namespace dba::tie {
+namespace {
+
+using isa::Assembler;
+using isa::Reg;
+
+// --- TieState ---
+
+TEST(TieStateTest, NarrowStateMasksToWidth) {
+  TieState state("state8", 8, 0);
+  state.Set(0x1FF);
+  EXPECT_EQ(state.Get(), 0xFFu);
+  EXPECT_EQ(state.width_bits(), 8);
+  EXPECT_EQ(state.num_lanes(), 1);
+}
+
+TEST(TieStateTest, ResetRestoresPowerOnValue) {
+  TieState state("s", 16, 0xAB);
+  EXPECT_EQ(state.Get(), 0xABu);
+  state.Set(0x1234);
+  state.Reset();
+  EXPECT_EQ(state.Get(), 0xABu);
+}
+
+TEST(TieStateTest, WideStateLanes) {
+  TieState state("word_a", 128);
+  EXPECT_EQ(state.num_lanes(), 4);
+  state.set_lane(0, 11);
+  state.set_lane(3, 44);
+  EXPECT_EQ(state.lane(0), 11u);
+  EXPECT_EQ(state.lane(3), 44u);
+  state.Reset();
+  EXPECT_EQ(state.lane(3), 0u);
+}
+
+TEST(TieStateTest, SixtyFourBitBoundary) {
+  TieState state("s64", 64);
+  state.Set(0xDEADBEEFCAFEF00Dull);
+  EXPECT_EQ(state.Get(), 0xDEADBEEFCAFEF00Dull);
+}
+
+// --- TieRegisterFile ---
+
+TEST(TieRegisterFileTest, ReadWriteMasked) {
+  TieRegisterFile regfile("reg32", 32, 8);
+  regfile.Write(3, 0x1'0000'0007ull);
+  EXPECT_EQ(regfile.Read(3), 7u);
+  EXPECT_EQ(regfile.num_regs(), 8);
+  regfile.Reset();
+  EXPECT_EQ(regfile.Read(3), 0u);
+}
+
+// --- TieExtension via the paper's Figure 5 example ---
+
+class ExampleExtensionTest : public ::testing::Test {
+ protected:
+  ExampleExtensionTest() : cpu_(MakeConfig()) {
+    EXPECT_TRUE(ext_.Attach(&cpu_).ok());
+  }
+
+  static sim::CoreConfig MakeConfig() {
+    sim::CoreConfig config;
+    config.instruction_bus_bits = 64;
+    return config;
+  }
+
+  ExampleExtension ext_;
+  sim::Cpu cpu_;
+  isa::Program program_;
+
+  Result<sim::ExecStats> Run(Assembler& masm) {
+    auto program = masm.Finish();
+    if (!program.ok()) return program.status();
+    program_ = *std::move(program);
+    DBA_RETURN_IF_ERROR(cpu_.LoadProgram(program_));
+    return cpu_.Run();
+  }
+};
+
+TEST_F(ExampleExtensionTest, StatesAndRegfilesDiscoverable) {
+  EXPECT_NE(ext_.FindState("state8"), nullptr);
+  EXPECT_NE(ext_.FindRegFile("reg32"), nullptr);
+  EXPECT_EQ(ext_.FindState("nope"), nullptr);
+  EXPECT_EQ(ext_.FindRegFile("nope"), nullptr);
+}
+
+TEST_F(ExampleExtensionTest, Add3ShiftMatchesFigure5) {
+  // Figure 5d: reg32 v0..v2; WUR_state8(4); value = add3_shift(v0,v1,v2).
+  ext_.FindRegFile("reg32")->Write(0, 100);
+  ext_.FindRegFile("reg32")->Write(1, 200);
+  ext_.FindRegFile("reg32")->Write(2, 4);
+
+  Assembler masm;
+  masm.Tie(ExampleExtension::kWurState8, 4);
+  // add3_shift: in0=r0, in1=r1, in2=r2, result in a2.
+  const uint16_t operand = 0 | (1 << 3) | (2 << 6) | (2 << 9);
+  masm.Tie(ExampleExtension::kAdd3Shift, operand);
+  masm.Halt();
+  ASSERT_TRUE(Run(masm).ok());
+  EXPECT_EQ(cpu_.reg(Reg::a2), (100u + 200u + 4u) >> 4);
+  EXPECT_EQ(ext_.FindState("state8")->Get(), 4u);
+}
+
+TEST_F(ExampleExtensionTest, SingleCycleOperation) {
+  Assembler masm;
+  masm.Tie(ExampleExtension::kAdd3Shift, 0);
+  masm.Halt();
+  auto stats = Run(masm);
+  ASSERT_TRUE(stats.ok());
+  EXPECT_EQ(stats->cycles, 2u);  // the operation + halt
+}
+
+TEST_F(ExampleExtensionTest, WrReg32TakesValueFromA7) {
+  Assembler masm;
+  masm.Movi(Reg::a7, 77);
+  masm.Tie(ExampleExtension::kWrReg32, 5);
+  masm.Halt();
+  ASSERT_TRUE(Run(masm).ok());
+  EXPECT_EQ(ext_.FindRegFile("reg32")->Read(5), 77u);
+}
+
+TEST_F(ExampleExtensionTest, OperationsComposeInFlixBundle) {
+  ext_.FindRegFile("reg32")->Write(0, 8);
+  Assembler masm;
+  // wur + add3_shift in one 64-bit FLIX word: both see the same cycle;
+  // the state write is visible to the later slot (sequential slot
+  // semantics within the bundle). FLIX slot operands are 8 bits, so the
+  // destination must be a0 (rd field bits [11:9] zero).
+  masm.Flix({isa::TieSlot{ExampleExtension::kWurState8, 1},
+             isa::TieSlot{ExampleExtension::kAdd3Shift, 0}});
+  masm.Halt();
+  auto stats = Run(masm);
+  ASSERT_TRUE(stats.ok()) << stats.status();
+  EXPECT_EQ(stats->cycles, 2u);
+  EXPECT_EQ(cpu_.reg(Reg::a0), (8u + 8u + 8u) >> 1);
+}
+
+TEST_F(ExampleExtensionTest, ResetStateRestoresAll) {
+  ext_.FindState("state8")->Set(9);
+  ext_.FindRegFile("reg32")->Write(0, 1);
+  ext_.ResetState();
+  EXPECT_EQ(ext_.FindState("state8")->Get(), 0u);
+  EXPECT_EQ(ext_.FindRegFile("reg32")->Read(0), 0u);
+}
+
+TEST(TieExtensionTest, AttachTwiceFails) {
+  sim::CoreConfig config;
+  sim::Cpu cpu(config);
+  ExampleExtension ext;
+  ASSERT_TRUE(ext.Attach(&cpu).ok());
+  EXPECT_EQ(ext.Attach(&cpu).code(), StatusCode::kAlreadyExists);
+}
+
+}  // namespace
+}  // namespace dba::tie

@@ -1,0 +1,299 @@
+// dba_cli -- command-line driver for the DBA processor simulator.
+//
+// Run any kernel on any configuration without writing C++:
+//
+//   dba_cli --list-configs
+//   dba_cli --config=DBA_2LSU_EIS --op=intersect --n=5000 --selectivity=0.5
+//   dba_cli --config=DBA_1LSU_EIS --op=sort --n=6500 --no-partial
+//   dba_cli --config=DBA_2LSU_EIS --op=union --n=200000 --stream
+//   dba_cli --config=DBA_2LSU_EIS --op=intersect --n=64 --profile --disasm
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <optional>
+#include <string>
+
+#include "core/processor.h"
+#include "core/workload.h"
+#include "hwmodel/synthesis.h"
+#include "isa/disassembler.h"
+#include "prefetch/streaming.h"
+#include "toolchain/profiler.h"
+
+namespace {
+
+using dba::ProcessorKind;
+using dba::SetOp;
+
+struct CliOptions {
+  std::string config = "DBA_2LSU_EIS";
+  std::string op = "intersect";
+  uint32_t n = 5000;
+  std::optional<uint32_t> nb;
+  double selectivity = 0.5;
+  uint64_t seed = 42;
+  bool partial = true;
+  int unroll = 32;
+  bool tech28 = false;
+  bool scalar = false;
+  bool profile = false;
+  bool disasm = false;
+  bool stream = false;
+  bool list_configs = false;
+  uint32_t trace = 0;
+};
+
+void PrintUsage() {
+  std::printf(
+      "usage: dba_cli [options]\n"
+      "  --list-configs           print the synthesis table and exit\n"
+      "  --config=NAME            108Mini | DBA_1LSU | DBA_2LSU |\n"
+      "                           DBA_1LSU_EIS | DBA_2LSU_EIS\n"
+      "  --op=NAME                intersect | union | difference | merge |"
+      " sort\n"
+      "  --n=N                    elements per input (default 5000)\n"
+      "  --nb=N                   elements in set B (default = --n)\n"
+      "  --selectivity=F          0.0 .. 1.0 (default 0.5)\n"
+      "  --seed=N                 workload seed (default 42)\n"
+      "  --no-partial             disable partial loading\n"
+      "  --unroll=N               EIS core-loop unroll factor (default 32)\n"
+      "  --tech28                 use the 28 nm node for timing/energy\n"
+      "  --scalar                 force the scalar kernel\n"
+      "  --stream                 stream via the data prefetcher\n"
+      "  --profile                print the hotspot report\n"
+      "  --trace=N                print the first N executed words\n"
+      "  --disasm                 print the kernel program listing\n");
+}
+
+std::optional<ProcessorKind> ParseKind(const std::string& name) {
+  using hwmodel = dba::hwmodel::ConfigKind;
+  if (name == "108Mini") return hwmodel::k108Mini;
+  if (name == "DBA_1LSU") return hwmodel::kDba1Lsu;
+  if (name == "DBA_2LSU") return hwmodel::kDba2Lsu;
+  if (name == "DBA_1LSU_EIS") return hwmodel::kDba1LsuEis;
+  if (name == "DBA_2LSU_EIS") return hwmodel::kDba2LsuEis;
+  return std::nullopt;
+}
+
+std::optional<SetOp> ParseOp(const std::string& name) {
+  if (name == "intersect") return SetOp::kIntersect;
+  if (name == "union") return SetOp::kUnion;
+  if (name == "difference") return SetOp::kDifference;
+  if (name == "merge") return SetOp::kMerge;
+  return std::nullopt;  // "sort" handled separately
+}
+
+bool ParseFlag(const char* arg, const char* name, std::string* value) {
+  const size_t len = std::strlen(name);
+  if (std::strncmp(arg, name, len) == 0 && arg[len] == '=') {
+    *value = arg + len + 1;
+    return true;
+  }
+  return false;
+}
+
+int ListConfigs() {
+  std::printf("%-14s %-6s %14s %12s %12s %10s\n", "config", "tech",
+              "logic [mm2]", "mem [mm2]", "fmax [MHz]", "P [mW]");
+  using dba::hwmodel::ConfigKind;
+  using dba::hwmodel::TechNode;
+  for (ConfigKind kind :
+       {ConfigKind::k108Mini, ConfigKind::kDba1Lsu, ConfigKind::kDba2Lsu,
+        ConfigKind::kDba1LsuEis, ConfigKind::kDba2LsuEis}) {
+    for (TechNode node : {TechNode::k65nmTsmcLp, TechNode::k28nmGfSlp}) {
+      const auto report = dba::hwmodel::Synthesize(kind, node);
+      std::printf("%-14s %-6s %14.4f %12.3f %12.0f %10.1f\n",
+                  report.config_name.c_str(),
+                  std::string(dba::hwmodel::TechNodeName(node)).c_str(),
+                  report.logic_area_mm2, report.mem_area_mm2,
+                  report.fmax_mhz, report.power_mw);
+    }
+  }
+  return 0;
+}
+
+void PrintMetrics(const dba::RunMetrics& metrics, size_t result_size,
+                  const dba::Processor& processor) {
+  std::printf("result elements   %zu\n", result_size);
+  std::printf("cycles            %llu\n",
+              static_cast<unsigned long long>(metrics.cycles));
+  std::printf("time              %.3f us @ %.0f MHz\n", metrics.seconds * 1e6,
+              processor.synthesis().fmax_mhz);
+  std::printf("throughput        %.1f M elements/s\n",
+              metrics.throughput_meps);
+  std::printf("energy            %.4f nJ/element (%.1f mW)\n",
+              metrics.energy_nj_per_element, processor.synthesis().power_mw);
+  std::printf("branches          %llu taken, %llu mispredicted\n",
+              static_cast<unsigned long long>(metrics.stats.taken_branches),
+              static_cast<unsigned long long>(
+                  metrics.stats.mispredicted_branches));
+  std::printf("memory beats      LSU0 %llu, LSU1 %llu\n",
+              static_cast<unsigned long long>(metrics.stats.lsu_beats[0]),
+              static_cast<unsigned long long>(metrics.stats.lsu_beats[1]));
+}
+
+int Fail(const dba::Status& status) {
+  std::fprintf(stderr, "error: %s\n", status.ToString().c_str());
+  return 1;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  CliOptions options;
+  for (int i = 1; i < argc; ++i) {
+    std::string value;
+    const char* arg = argv[i];
+    if (std::strcmp(arg, "--help") == 0 || std::strcmp(arg, "-h") == 0) {
+      PrintUsage();
+      return 0;
+    } else if (std::strcmp(arg, "--list-configs") == 0) {
+      options.list_configs = true;
+    } else if (std::strcmp(arg, "--no-partial") == 0) {
+      options.partial = false;
+    } else if (std::strcmp(arg, "--tech28") == 0) {
+      options.tech28 = true;
+    } else if (std::strcmp(arg, "--scalar") == 0) {
+      options.scalar = true;
+    } else if (std::strcmp(arg, "--profile") == 0) {
+      options.profile = true;
+    } else if (std::strcmp(arg, "--disasm") == 0) {
+      options.disasm = true;
+    } else if (std::strcmp(arg, "--stream") == 0) {
+      options.stream = true;
+    } else if (ParseFlag(arg, "--config", &value)) {
+      options.config = value;
+    } else if (ParseFlag(arg, "--op", &value)) {
+      options.op = value;
+    } else if (ParseFlag(arg, "--n", &value)) {
+      options.n = static_cast<uint32_t>(std::strtoul(value.c_str(), nullptr, 10));
+    } else if (ParseFlag(arg, "--nb", &value)) {
+      options.nb = static_cast<uint32_t>(std::strtoul(value.c_str(), nullptr, 10));
+    } else if (ParseFlag(arg, "--selectivity", &value)) {
+      options.selectivity = std::strtod(value.c_str(), nullptr);
+    } else if (ParseFlag(arg, "--seed", &value)) {
+      options.seed = std::strtoull(value.c_str(), nullptr, 10);
+    } else if (ParseFlag(arg, "--unroll", &value)) {
+      options.unroll = static_cast<int>(std::strtol(value.c_str(), nullptr, 10));
+    } else if (ParseFlag(arg, "--trace", &value)) {
+      options.trace = static_cast<uint32_t>(std::strtoul(value.c_str(), nullptr, 10));
+    } else {
+      std::fprintf(stderr, "unknown option: %s\n\n", arg);
+      PrintUsage();
+      return 2;
+    }
+  }
+
+  if (options.list_configs) return ListConfigs();
+
+  const auto kind = ParseKind(options.config);
+  if (!kind.has_value()) {
+    std::fprintf(stderr, "unknown config '%s'\n", options.config.c_str());
+    return 2;
+  }
+  dba::ProcessorOptions processor_options;
+  processor_options.partial_loading = options.partial;
+  processor_options.unroll = options.unroll;
+  if (options.tech28) {
+    processor_options.tech = dba::hwmodel::TechNode::k28nmGfSlp;
+  }
+  auto processor = dba::Processor::Create(*kind, processor_options);
+  if (!processor.ok()) return Fail(processor.status());
+
+  std::printf("== %s%s, %s, op=%s, n=%u ==\n", options.config.c_str(),
+              options.tech28 ? " @28nm" : "",
+              options.scalar ? "scalar kernel" : "best kernel",
+              options.op.c_str(), options.n);
+
+  const bool is_sort = options.op == "sort";
+  const bool is_eis_kind = (*processor)->has_eis();
+  const bool scalar = options.scalar || !is_eis_kind;
+
+  if (options.disasm) {
+    auto program =
+        is_sort ? (*processor)->sort_program(scalar)
+                : (*processor)->setop_program(
+                      ParseOp(options.op).value_or(SetOp::kIntersect),
+                      scalar);
+    if (!program.ok()) return Fail(program.status());
+    std::printf("%s\n",
+                dba::isa::DisassembleProgram(
+                    **program, (*processor)->cpu().MakeExtNameResolver())
+                    .c_str());
+  }
+
+  dba::RunSettings settings;
+  settings.force_scalar = options.scalar;
+  settings.profile = options.profile;
+  settings.trace_limit = options.trace;
+
+  if (is_sort) {
+    const auto values = dba::GenerateSortInput(options.n, options.seed);
+    auto run = (*processor)->RunSort(values, settings);
+    if (!run.ok()) return Fail(run.status());
+    PrintMetrics(run->metrics, run->sorted.size(), **processor);
+    if (options.profile) {
+      auto program = (*processor)->sort_program(scalar);
+      if (program.ok()) {
+        std::printf("\n%s", dba::toolchain::BuildProfile(
+                                **program, run->metrics.stats,
+                                (*processor)->cpu().MakeExtNameResolver())
+                                .ToString()
+                                .c_str());
+      }
+    }
+    return 0;
+  }
+
+  const auto op = ParseOp(options.op);
+  if (!op.has_value()) {
+    std::fprintf(stderr, "unknown op '%s'\n", options.op.c_str());
+    return 2;
+  }
+  auto pair = dba::GenerateSetPair(options.n, options.nb.value_or(options.n),
+                                   options.selectivity, options.seed);
+  if (!pair.ok()) return Fail(pair.status());
+
+  if (options.stream) {
+    dba::prefetch::StreamingSetOperation streaming(
+        processor->get(), dba::prefetch::DmaConfig{});
+    auto run = streaming.Run(*op, pair->a, pair->b);
+    if (!run.ok()) return Fail(run.status());
+    std::printf("result elements   %zu\n", run->result.size());
+    std::printf("chunks            %u (%s-bound)\n", run->chunks,
+                run->dma_bound ? "dma" : "compute");
+    std::printf("total cycles      %llu (compute %llu, dma %llu)\n",
+                static_cast<unsigned long long>(run->total_cycles),
+                static_cast<unsigned long long>(run->compute_cycles),
+                static_cast<unsigned long long>(run->dma_cycles));
+    std::printf("throughput        %.1f M elements/s\n",
+                run->throughput_meps);
+    return 0;
+  }
+
+  auto run = *op == SetOp::kMerge
+                 ? (*processor)->RunMerge(pair->a, pair->b, settings)
+                 : (*processor)->RunSetOperation(*op, pair->a, pair->b,
+                                                 settings);
+  if (!run.ok()) return Fail(run.status());
+  PrintMetrics(run->metrics, run->result.size(), **processor);
+  if (!run->metrics.stats.trace.empty()) {
+    std::printf("\ntrace (first %zu issued words):\n",
+                run->metrics.stats.trace.size());
+    for (const std::string& line : run->metrics.stats.trace) {
+      std::printf("%s\n", line.c_str());
+    }
+  }
+  if (options.profile) {
+    auto program = (*processor)->setop_program(*op, scalar);
+    if (program.ok()) {
+      std::printf("\n%s", dba::toolchain::BuildProfile(
+                              **program, run->metrics.stats,
+                              (*processor)->cpu().MakeExtNameResolver())
+                              .ToString()
+                              .c_str());
+    }
+  }
+  return 0;
+}
