@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/baseline_micro.dir/baseline_micro.cc.o"
+  "CMakeFiles/baseline_micro.dir/baseline_micro.cc.o.d"
+  "baseline_micro"
+  "baseline_micro.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/baseline_micro.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

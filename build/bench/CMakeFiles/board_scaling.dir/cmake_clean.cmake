@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/board_scaling.dir/board_scaling.cc.o"
+  "CMakeFiles/board_scaling.dir/board_scaling.cc.o.d"
+  "board_scaling"
+  "board_scaling.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/board_scaling.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig10_pipeline.dir/fig10_pipeline.cc.o"
+  "CMakeFiles/fig10_pipeline.dir/fig10_pipeline.cc.o.d"
+  "fig10_pipeline"
+  "fig10_pipeline.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig10_pipeline.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

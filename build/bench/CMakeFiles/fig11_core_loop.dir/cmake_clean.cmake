@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig11_core_loop.dir/fig11_core_loop.cc.o"
+  "CMakeFiles/fig11_core_loop.dir/fig11_core_loop.cc.o.d"
+  "fig11_core_loop"
+  "fig11_core_loop.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig11_core_loop.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig13_selectivity.dir/fig13_selectivity.cc.o"
+  "CMakeFiles/fig13_selectivity.dir/fig13_selectivity.cc.o.d"
+  "fig13_selectivity"
+  "fig13_selectivity.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig13_selectivity.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/instruction_merging.dir/instruction_merging.cc.o"
+  "CMakeFiles/instruction_merging.dir/instruction_merging.cc.o.d"
+  "instruction_merging"
+  "instruction_merging.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/instruction_merging.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/partition_throughput.dir/partition_throughput.cc.o"
+  "CMakeFiles/partition_throughput.dir/partition_throughput.cc.o.d"
+  "partition_throughput"
+  "partition_throughput.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/partition_throughput.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/prefetch_scaling.dir/prefetch_scaling.cc.o"
+  "CMakeFiles/prefetch_scaling.dir/prefetch_scaling.cc.o.d"
+  "prefetch_scaling"
+  "prefetch_scaling.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/prefetch_scaling.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/string_scan.dir/string_scan.cc.o"
+  "CMakeFiles/string_scan.dir/string_scan.cc.o.d"
+  "string_scan"
+  "string_scan.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/string_scan.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table4_area_breakdown.dir/table4_area_breakdown.cc.o"
+  "CMakeFiles/table4_area_breakdown.dir/table4_area_breakdown.cc.o.d"
+  "table4_area_breakdown"
+  "table4_area_breakdown.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table4_area_breakdown.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

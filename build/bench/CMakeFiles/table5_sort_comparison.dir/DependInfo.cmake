@@ -1,0 +1,32 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/table5_sort_comparison.cc" "bench/CMakeFiles/table5_sort_comparison.dir/table5_sort_comparison.cc.o" "gcc" "bench/CMakeFiles/table5_sort_comparison.dir/table5_sort_comparison.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/dba_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/toolchain/CMakeFiles/dba_toolchain.dir/DependInfo.cmake"
+  "/root/repo/build/src/prefetch/CMakeFiles/dba_prefetch.dir/DependInfo.cmake"
+  "/root/repo/build/src/baseline/CMakeFiles/dba_baseline.dir/DependInfo.cmake"
+  "/root/repo/build/src/system/CMakeFiles/dba_system.dir/DependInfo.cmake"
+  "/root/repo/build/src/dbkern/CMakeFiles/dba_dbkern.dir/DependInfo.cmake"
+  "/root/repo/build/src/tie/CMakeFiles/dba_tie.dir/DependInfo.cmake"
+  "/root/repo/build/src/eis/CMakeFiles/dba_eis.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/dba_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/isa/CMakeFiles/dba_isa.dir/DependInfo.cmake"
+  "/root/repo/build/src/hwmodel/CMakeFiles/dba_hwmodel.dir/DependInfo.cmake"
+  "/root/repo/build/src/mem/CMakeFiles/dba_mem.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/dba_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table5_sort_comparison.dir/table5_sort_comparison.cc.o"
+  "CMakeFiles/table5_sort_comparison.dir/table5_sort_comparison.cc.o.d"
+  "table5_sort_comparison"
+  "table5_sort_comparison.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table5_sort_comparison.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

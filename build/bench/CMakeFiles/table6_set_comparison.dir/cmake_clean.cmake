@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table6_set_comparison.dir/table6_set_comparison.cc.o"
+  "CMakeFiles/table6_set_comparison.dir/table6_set_comparison.cc.o.d"
+  "table6_set_comparison"
+  "table6_set_comparison.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table6_set_comparison.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/board_simulation.dir/board_simulation.cpp.o"
+  "CMakeFiles/board_simulation.dir/board_simulation.cpp.o.d"
+  "board_simulation"
+  "board_simulation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/board_simulation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rid_intersection.dir/rid_intersection.cpp.o"
+  "CMakeFiles/rid_intersection.dir/rid_intersection.cpp.o.d"
+  "rid_intersection"
+  "rid_intersection.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rid_intersection.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

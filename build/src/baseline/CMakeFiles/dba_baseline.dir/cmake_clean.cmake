@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dba_baseline.dir/scalar_baseline.cc.o"
+  "CMakeFiles/dba_baseline.dir/scalar_baseline.cc.o.d"
+  "CMakeFiles/dba_baseline.dir/simd_baseline.cc.o"
+  "CMakeFiles/dba_baseline.dir/simd_baseline.cc.o.d"
+  "libdba_baseline.a"
+  "libdba_baseline.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dba_baseline.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dba_common.dir/status.cc.o"
+  "CMakeFiles/dba_common.dir/status.cc.o.d"
+  "libdba_common.a"
+  "libdba_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dba_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dba_core.dir/processor.cc.o"
+  "CMakeFiles/dba_core.dir/processor.cc.o.d"
+  "CMakeFiles/dba_core.dir/workload.cc.o"
+  "CMakeFiles/dba_core.dir/workload.cc.o.d"
+  "libdba_core.a"
+  "libdba_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dba_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

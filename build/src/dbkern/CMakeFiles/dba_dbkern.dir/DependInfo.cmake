@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/dbkern/bitmanip_kernels.cc" "src/dbkern/CMakeFiles/dba_dbkern.dir/bitmanip_kernels.cc.o" "gcc" "src/dbkern/CMakeFiles/dba_dbkern.dir/bitmanip_kernels.cc.o.d"
+  "/root/repo/src/dbkern/compression_kernels.cc" "src/dbkern/CMakeFiles/dba_dbkern.dir/compression_kernels.cc.o" "gcc" "src/dbkern/CMakeFiles/dba_dbkern.dir/compression_kernels.cc.o.d"
+  "/root/repo/src/dbkern/eis_kernels.cc" "src/dbkern/CMakeFiles/dba_dbkern.dir/eis_kernels.cc.o" "gcc" "src/dbkern/CMakeFiles/dba_dbkern.dir/eis_kernels.cc.o.d"
+  "/root/repo/src/dbkern/partition_kernels.cc" "src/dbkern/CMakeFiles/dba_dbkern.dir/partition_kernels.cc.o" "gcc" "src/dbkern/CMakeFiles/dba_dbkern.dir/partition_kernels.cc.o.d"
+  "/root/repo/src/dbkern/scalar_kernels.cc" "src/dbkern/CMakeFiles/dba_dbkern.dir/scalar_kernels.cc.o" "gcc" "src/dbkern/CMakeFiles/dba_dbkern.dir/scalar_kernels.cc.o.d"
+  "/root/repo/src/dbkern/string_kernels.cc" "src/dbkern/CMakeFiles/dba_dbkern.dir/string_kernels.cc.o" "gcc" "src/dbkern/CMakeFiles/dba_dbkern.dir/string_kernels.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/dba_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/isa/CMakeFiles/dba_isa.dir/DependInfo.cmake"
+  "/root/repo/build/src/eis/CMakeFiles/dba_eis.dir/DependInfo.cmake"
+  "/root/repo/build/src/tie/CMakeFiles/dba_tie.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/dba_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/mem/CMakeFiles/dba_mem.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dba_dbkern.dir/bitmanip_kernels.cc.o"
+  "CMakeFiles/dba_dbkern.dir/bitmanip_kernels.cc.o.d"
+  "CMakeFiles/dba_dbkern.dir/compression_kernels.cc.o"
+  "CMakeFiles/dba_dbkern.dir/compression_kernels.cc.o.d"
+  "CMakeFiles/dba_dbkern.dir/eis_kernels.cc.o"
+  "CMakeFiles/dba_dbkern.dir/eis_kernels.cc.o.d"
+  "CMakeFiles/dba_dbkern.dir/partition_kernels.cc.o"
+  "CMakeFiles/dba_dbkern.dir/partition_kernels.cc.o.d"
+  "CMakeFiles/dba_dbkern.dir/scalar_kernels.cc.o"
+  "CMakeFiles/dba_dbkern.dir/scalar_kernels.cc.o.d"
+  "CMakeFiles/dba_dbkern.dir/string_kernels.cc.o"
+  "CMakeFiles/dba_dbkern.dir/string_kernels.cc.o.d"
+  "libdba_dbkern.a"
+  "libdba_dbkern.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dba_dbkern.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

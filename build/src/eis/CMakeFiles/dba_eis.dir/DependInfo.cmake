@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/eis/eis_extension.cc" "src/eis/CMakeFiles/dba_eis.dir/eis_extension.cc.o" "gcc" "src/eis/CMakeFiles/dba_eis.dir/eis_extension.cc.o.d"
+  "/root/repo/src/eis/networks.cc" "src/eis/CMakeFiles/dba_eis.dir/networks.cc.o" "gcc" "src/eis/CMakeFiles/dba_eis.dir/networks.cc.o.d"
+  "/root/repo/src/eis/sop.cc" "src/eis/CMakeFiles/dba_eis.dir/sop.cc.o" "gcc" "src/eis/CMakeFiles/dba_eis.dir/sop.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/dba_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/dba_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/tie/CMakeFiles/dba_tie.dir/DependInfo.cmake"
+  "/root/repo/build/src/isa/CMakeFiles/dba_isa.dir/DependInfo.cmake"
+  "/root/repo/build/src/mem/CMakeFiles/dba_mem.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

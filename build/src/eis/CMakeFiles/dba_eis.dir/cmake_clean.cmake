@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dba_eis.dir/eis_extension.cc.o"
+  "CMakeFiles/dba_eis.dir/eis_extension.cc.o.d"
+  "CMakeFiles/dba_eis.dir/networks.cc.o"
+  "CMakeFiles/dba_eis.dir/networks.cc.o.d"
+  "CMakeFiles/dba_eis.dir/sop.cc.o"
+  "CMakeFiles/dba_eis.dir/sop.cc.o.d"
+  "libdba_eis.a"
+  "libdba_eis.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dba_eis.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dba_hwmodel.dir/components.cc.o"
+  "CMakeFiles/dba_hwmodel.dir/components.cc.o.d"
+  "CMakeFiles/dba_hwmodel.dir/synthesis.cc.o"
+  "CMakeFiles/dba_hwmodel.dir/synthesis.cc.o.d"
+  "libdba_hwmodel.a"
+  "libdba_hwmodel.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dba_hwmodel.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dba_isa.dir/assembler.cc.o"
+  "CMakeFiles/dba_isa.dir/assembler.cc.o.d"
+  "CMakeFiles/dba_isa.dir/disassembler.cc.o"
+  "CMakeFiles/dba_isa.dir/disassembler.cc.o.d"
+  "CMakeFiles/dba_isa.dir/encoding.cc.o"
+  "CMakeFiles/dba_isa.dir/encoding.cc.o.d"
+  "CMakeFiles/dba_isa.dir/opcode.cc.o"
+  "CMakeFiles/dba_isa.dir/opcode.cc.o.d"
+  "libdba_isa.a"
+  "libdba_isa.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dba_isa.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dba_mem.dir/memory.cc.o"
+  "CMakeFiles/dba_mem.dir/memory.cc.o.d"
+  "libdba_mem.a"
+  "libdba_mem.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dba_mem.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dba_prefetch.dir/dma.cc.o"
+  "CMakeFiles/dba_prefetch.dir/dma.cc.o.d"
+  "CMakeFiles/dba_prefetch.dir/streaming.cc.o"
+  "CMakeFiles/dba_prefetch.dir/streaming.cc.o.d"
+  "libdba_prefetch.a"
+  "libdba_prefetch.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dba_prefetch.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dba_query.dir/engine.cc.o"
+  "CMakeFiles/dba_query.dir/engine.cc.o.d"
+  "CMakeFiles/dba_query.dir/index.cc.o"
+  "CMakeFiles/dba_query.dir/index.cc.o.d"
+  "CMakeFiles/dba_query.dir/predicate.cc.o"
+  "CMakeFiles/dba_query.dir/predicate.cc.o.d"
+  "CMakeFiles/dba_query.dir/table.cc.o"
+  "CMakeFiles/dba_query.dir/table.cc.o.d"
+  "libdba_query.a"
+  "libdba_query.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dba_query.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dba_sim.dir/cpu.cc.o"
+  "CMakeFiles/dba_sim.dir/cpu.cc.o.d"
+  "libdba_sim.a"
+  "libdba_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dba_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dba_system.dir/board.cc.o"
+  "CMakeFiles/dba_system.dir/board.cc.o.d"
+  "libdba_system.a"
+  "libdba_system.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dba_system.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

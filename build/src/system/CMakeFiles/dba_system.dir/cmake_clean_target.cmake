@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libdba_system.a"
+)

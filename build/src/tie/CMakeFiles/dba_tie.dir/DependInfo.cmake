@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/tie/bitmanip_extension.cc" "src/tie/CMakeFiles/dba_tie.dir/bitmanip_extension.cc.o" "gcc" "src/tie/CMakeFiles/dba_tie.dir/bitmanip_extension.cc.o.d"
+  "/root/repo/src/tie/example_extension.cc" "src/tie/CMakeFiles/dba_tie.dir/example_extension.cc.o" "gcc" "src/tie/CMakeFiles/dba_tie.dir/example_extension.cc.o.d"
+  "/root/repo/src/tie/packscan_extension.cc" "src/tie/CMakeFiles/dba_tie.dir/packscan_extension.cc.o" "gcc" "src/tie/CMakeFiles/dba_tie.dir/packscan_extension.cc.o.d"
+  "/root/repo/src/tie/partition_extension.cc" "src/tie/CMakeFiles/dba_tie.dir/partition_extension.cc.o" "gcc" "src/tie/CMakeFiles/dba_tie.dir/partition_extension.cc.o.d"
+  "/root/repo/src/tie/string_extension.cc" "src/tie/CMakeFiles/dba_tie.dir/string_extension.cc.o" "gcc" "src/tie/CMakeFiles/dba_tie.dir/string_extension.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/dba_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/dba_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/eis/CMakeFiles/dba_eis.dir/DependInfo.cmake"
+  "/root/repo/build/src/isa/CMakeFiles/dba_isa.dir/DependInfo.cmake"
+  "/root/repo/build/src/mem/CMakeFiles/dba_mem.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

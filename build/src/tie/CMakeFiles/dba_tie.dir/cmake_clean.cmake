@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dba_tie.dir/bitmanip_extension.cc.o"
+  "CMakeFiles/dba_tie.dir/bitmanip_extension.cc.o.d"
+  "CMakeFiles/dba_tie.dir/example_extension.cc.o"
+  "CMakeFiles/dba_tie.dir/example_extension.cc.o.d"
+  "CMakeFiles/dba_tie.dir/packscan_extension.cc.o"
+  "CMakeFiles/dba_tie.dir/packscan_extension.cc.o.d"
+  "CMakeFiles/dba_tie.dir/partition_extension.cc.o"
+  "CMakeFiles/dba_tie.dir/partition_extension.cc.o.d"
+  "CMakeFiles/dba_tie.dir/string_extension.cc.o"
+  "CMakeFiles/dba_tie.dir/string_extension.cc.o.d"
+  "libdba_tie.a"
+  "libdba_tie.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dba_tie.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dba_toolchain.dir/equivalence.cc.o"
+  "CMakeFiles/dba_toolchain.dir/equivalence.cc.o.d"
+  "CMakeFiles/dba_toolchain.dir/profiler.cc.o"
+  "CMakeFiles/dba_toolchain.dir/profiler.cc.o.d"
+  "libdba_toolchain.a"
+  "libdba_toolchain.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dba_toolchain.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

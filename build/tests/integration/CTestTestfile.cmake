@@ -1,0 +1,10 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests/integration
+# Build directory: /root/repo/build/tests/integration
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build/tests/integration/smoke_test[1]_include.cmake")
+include("/root/repo/build/tests/integration/timing_test[1]_include.cmake")
+include("/root/repo/build/tests/integration/cross_validation_test[1]_include.cmake")
+include("/root/repo/build/tests/integration/reproduction_test[1]_include.cmake")

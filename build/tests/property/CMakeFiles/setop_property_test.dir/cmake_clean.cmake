@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/setop_property_test.dir/setop_property_test.cc.o"
+  "CMakeFiles/setop_property_test.dir/setop_property_test.cc.o.d"
+  "setop_property_test"
+  "setop_property_test.pdb"
+  "setop_property_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/setop_property_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

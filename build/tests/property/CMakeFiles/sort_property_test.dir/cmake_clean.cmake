@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sort_property_test.dir/sort_property_test.cc.o"
+  "CMakeFiles/sort_property_test.dir/sort_property_test.cc.o.d"
+  "sort_property_test"
+  "sort_property_test.pdb"
+  "sort_property_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sort_property_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

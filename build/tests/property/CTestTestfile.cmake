@@ -1,0 +1,10 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests/property
+# Build directory: /root/repo/build/tests/property
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build/tests/property/setop_property_test[1]_include.cmake")
+include("/root/repo/build/tests/property/sort_property_test[1]_include.cmake")
+include("/root/repo/build/tests/property/streaming_property_test[1]_include.cmake")
+include("/root/repo/build/tests/property/extension_property_test[1]_include.cmake")

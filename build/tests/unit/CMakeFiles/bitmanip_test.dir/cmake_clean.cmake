@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bitmanip_test.dir/bitmanip_test.cc.o"
+  "CMakeFiles/bitmanip_test.dir/bitmanip_test.cc.o.d"
+  "bitmanip_test"
+  "bitmanip_test.pdb"
+  "bitmanip_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bitmanip_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dbkern_test.dir/dbkern_test.cc.o"
+  "CMakeFiles/dbkern_test.dir/dbkern_test.cc.o.d"
+  "dbkern_test"
+  "dbkern_test.pdb"
+  "dbkern_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dbkern_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

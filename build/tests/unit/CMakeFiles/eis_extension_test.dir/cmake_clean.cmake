@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/eis_extension_test.dir/eis_extension_test.cc.o"
+  "CMakeFiles/eis_extension_test.dir/eis_extension_test.cc.o.d"
+  "eis_extension_test"
+  "eis_extension_test.pdb"
+  "eis_extension_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/eis_extension_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/eis_sop_test.dir/eis_sop_test.cc.o"
+  "CMakeFiles/eis_sop_test.dir/eis_sop_test.cc.o.d"
+  "eis_sop_test"
+  "eis_sop_test.pdb"
+  "eis_sop_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/eis_sop_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/kernel_structure_test.dir/kernel_structure_test.cc.o"
+  "CMakeFiles/kernel_structure_test.dir/kernel_structure_test.cc.o.d"
+  "kernel_structure_test"
+  "kernel_structure_test.pdb"
+  "kernel_structure_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/kernel_structure_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

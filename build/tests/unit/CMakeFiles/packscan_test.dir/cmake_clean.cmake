@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/packscan_test.dir/packscan_test.cc.o"
+  "CMakeFiles/packscan_test.dir/packscan_test.cc.o.d"
+  "packscan_test"
+  "packscan_test.pdb"
+  "packscan_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/packscan_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/string_scan_test.dir/string_scan_test.cc.o"
+  "CMakeFiles/string_scan_test.dir/string_scan_test.cc.o.d"
+  "string_scan_test"
+  "string_scan_test.pdb"
+  "string_scan_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/string_scan_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

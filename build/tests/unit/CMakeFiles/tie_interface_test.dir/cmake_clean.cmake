@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tie_interface_test.dir/tie_interface_test.cc.o"
+  "CMakeFiles/tie_interface_test.dir/tie_interface_test.cc.o.d"
+  "tie_interface_test"
+  "tie_interface_test.pdb"
+  "tie_interface_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tie_interface_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

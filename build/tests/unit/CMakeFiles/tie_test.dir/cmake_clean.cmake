@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tie_test.dir/tie_test.cc.o"
+  "CMakeFiles/tie_test.dir/tie_test.cc.o.d"
+  "tie_test"
+  "tie_test.pdb"
+  "tie_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tie_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,28 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests/unit
+# Build directory: /root/repo/build/tests/unit
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build/tests/unit/common_test[1]_include.cmake")
+include("/root/repo/build/tests/unit/isa_test[1]_include.cmake")
+include("/root/repo/build/tests/unit/mem_test[1]_include.cmake")
+include("/root/repo/build/tests/unit/sim_test[1]_include.cmake")
+include("/root/repo/build/tests/unit/tie_test[1]_include.cmake")
+include("/root/repo/build/tests/unit/eis_sop_test[1]_include.cmake")
+include("/root/repo/build/tests/unit/eis_extension_test[1]_include.cmake")
+include("/root/repo/build/tests/unit/dbkern_test[1]_include.cmake")
+include("/root/repo/build/tests/unit/hwmodel_test[1]_include.cmake")
+include("/root/repo/build/tests/unit/baseline_test[1]_include.cmake")
+include("/root/repo/build/tests/unit/toolchain_test[1]_include.cmake")
+include("/root/repo/build/tests/unit/prefetch_test[1]_include.cmake")
+include("/root/repo/build/tests/unit/query_test[1]_include.cmake")
+include("/root/repo/build/tests/unit/system_test[1]_include.cmake")
+include("/root/repo/build/tests/unit/bitmanip_test[1]_include.cmake")
+include("/root/repo/build/tests/unit/fuzz_test[1]_include.cmake")
+include("/root/repo/build/tests/unit/processor_test[1]_include.cmake")
+include("/root/repo/build/tests/unit/tie_interface_test[1]_include.cmake")
+include("/root/repo/build/tests/unit/packscan_test[1]_include.cmake")
+include("/root/repo/build/tests/unit/kernel_structure_test[1]_include.cmake")
+include("/root/repo/build/tests/unit/partition_test[1]_include.cmake")
+include("/root/repo/build/tests/unit/string_scan_test[1]_include.cmake")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dba_cli.dir/dba_cli.cc.o"
+  "CMakeFiles/dba_cli.dir/dba_cli.cc.o.d"
+  "dba_cli"
+  "dba_cli.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dba_cli.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
