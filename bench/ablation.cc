@@ -23,6 +23,12 @@ void Run() {
                                             0.5);
         const double at0 =
             SetOpThroughput(*processor, SetOp::kIntersect, 0.0);
+        AddBenchRow(ConfigName(kind))
+            .Set("op", "intersect")
+            .Set("partial_loading", partial)
+            .Set("unroll", unroll)
+            .Set("throughput_meps_sel50", at50)
+            .Set("throughput_meps_sel0", at0);
         std::printf("%-14s %-9s %-8d %16.1f %16.1f\n",
                     std::string(hwmodel::ConfigKindName(kind)).c_str(),
                     partial ? "yes" : "no", unroll, at50, at0);
@@ -37,23 +43,23 @@ void Run() {
   std::printf("%-8s %14s %18s %16s\n", "sel%", "cycles", "mispredicts",
               "tput M/s");
   for (double selectivity : {0.0, 0.5, 1.0}) {
-    auto pair = GenerateSetPair(kSetElements, kSetElements, selectivity,
-                                kSeed);
-    auto run =
-        processor->RunSetOperation(SetOp::kIntersect, pair->a, pair->b);
-    if (!run.ok()) std::abort();
+    const RunMetrics metrics =
+        SetOpMetrics(*processor, SetOp::kIntersect, selectivity);
+    RecordRun("DBA_1LSU", "intersect", metrics)
+        .Set("selectivity_percent", selectivity * 100)
+        .Set("mispredicted_branches",
+             metrics.stats.mispredicted_branches);
     std::printf("%-8.0f %14llu %18llu %16.1f\n", selectivity * 100,
-                static_cast<unsigned long long>(run->metrics.cycles),
+                static_cast<unsigned long long>(metrics.cycles),
                 static_cast<unsigned long long>(
-                    run->metrics.stats.mispredicted_branches),
-                run->metrics.throughput_meps);
+                    metrics.stats.mispredicted_branches),
+                metrics.throughput_meps);
   }
 }
 
 }  // namespace
 }  // namespace dba::bench
 
-int main() {
-  dba::bench::Run();
-  return 0;
+int main(int argc, char** argv) {
+  return dba::bench::BenchMain(argc, argv, "ablation", dba::bench::Run);
 }

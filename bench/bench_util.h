@@ -2,11 +2,15 @@
 #define DBA_BENCH_BENCH_UTIL_H_
 
 #include <cstdio>
+#include <cstdlib>
 #include <memory>
 #include <string>
+#include <string_view>
+#include <utility>
 
 #include "core/processor.h"
 #include "core/workload.h"
+#include "obs/bench_json.h"
 
 namespace dba::bench {
 
@@ -17,44 +21,179 @@ inline constexpr uint32_t kSortElements = 6500;
 inline constexpr double kDefaultSelectivity = 0.5;
 inline constexpr uint64_t kSeed = 20140622;  // SIGMOD'14 opening day
 
+inline std::string ConfigName(ProcessorKind kind) {
+  return std::string(hwmodel::ConfigKindName(kind));
+}
+
+inline std::string SetOpName(SetOp op) {
+  return std::string(eis::SopModeName(op));
+}
+
+namespace internal {
+
+/// Shared state of one bench binary: the dba.bench.v1 row accumulator
+/// plus the --json destination, both owned by BenchMain.
+struct ReporterState {
+  std::unique_ptr<obs::BenchJsonWriter> writer;
+  std::string json_path;
+};
+
+inline ReporterState& Reporter() {
+  static ReporterState state;
+  return state;
+}
+
+inline obs::BenchJsonWriter& Writer() {
+  ReporterState& state = Reporter();
+  if (state.writer == nullptr) {
+    // Helpers used outside BenchMain (tests) still accumulate rows.
+    state.writer = std::make_unique<obs::BenchJsonWriter>("adhoc");
+  }
+  return *state.writer;
+}
+
+}  // namespace internal
+
+/// True when the bench was invoked with --json (results will be written
+/// as a dba.bench.v1 document on exit).
+inline bool JsonEnabled() {
+  return !internal::Reporter().json_path.empty();
+}
+
+/// Appends one result row with "config" preset; finish it fluently:
+///   AddBenchRow("DBA_2LSU_EIS").Set("op", "intersect").Set(...)
+/// Rows are written by BenchMain when --json is given, otherwise they
+/// are discarded on exit (recording is cheap, so benches always record).
+inline obs::JsonValue& AddBenchRow(std::string config) {
+  return internal::Writer().AddRow(std::move(config));
+}
+
+/// Appends the standard throughput row for one kernel run: cycles, CPI,
+/// cycle breakdown, throughput, energy, and LSU beats.
+inline obs::JsonValue& RecordRun(std::string config, std::string op,
+                                 const RunMetrics& metrics) {
+  obs::JsonValue& row = AddBenchRow(std::move(config));
+  row.Set("op", std::move(op));
+  obs::MergeRunMetrics(row, metrics);
+  return row;
+}
+
 inline std::unique_ptr<Processor> MustCreate(ProcessorKind kind,
                                              ProcessorOptions options = {}) {
   auto processor = Processor::Create(kind, options);
   if (!processor.ok()) {
-    std::fprintf(stderr, "failed to create processor: %s\n",
+    std::fprintf(stderr,
+                 "bench: creating processor %s (partial_loading=%s, "
+                 "unroll=%d) failed: %s\n",
+                 ConfigName(kind).c_str(),
+                 options.partial_loading ? "on" : "off", options.unroll,
                  processor.status().ToString().c_str());
-    std::abort();
+    std::exit(1);
   }
   return *std::move(processor);
+}
+
+/// Runs one set operation and returns its metrics; on failure it names
+/// the configuration and operation before exiting non-zero so CI logs
+/// are attributable.
+inline RunMetrics SetOpMetrics(Processor& processor, SetOp op,
+                               double selectivity = kDefaultSelectivity,
+                               uint32_t elements = kSetElements) {
+  auto pair = GenerateSetPair(elements, elements, selectivity, kSeed);
+  if (!pair.ok()) {
+    std::fprintf(stderr,
+                 "bench: generating a 2x%u-element set pair "
+                 "(selectivity %.2f) failed: %s\n",
+                 elements, selectivity, pair.status().ToString().c_str());
+    std::exit(1);
+  }
+  auto run = processor.RunSetOperation(op, pair->a, pair->b);
+  if (!run.ok()) {
+    std::fprintf(stderr,
+                 "bench: %s on %s over 2x%u elements (selectivity %.2f) "
+                 "failed: %s\n",
+                 SetOpName(op).c_str(),
+                 processor.synthesis().config_name.c_str(), elements,
+                 selectivity, run.status().ToString().c_str());
+    std::exit(1);
+  }
+  return run->metrics;
 }
 
 inline double SetOpThroughput(Processor& processor, SetOp op,
                               double selectivity = kDefaultSelectivity,
                               uint32_t elements = kSetElements) {
-  auto pair = GenerateSetPair(elements, elements, selectivity, kSeed);
-  auto run = processor.RunSetOperation(op, pair->a, pair->b);
+  return SetOpMetrics(processor, op, selectivity, elements).throughput_meps;
+}
+
+/// Runs the merge-sort kernel and returns its metrics; failures name
+/// the configuration and input size before exiting non-zero.
+inline RunMetrics SortMetrics(Processor& processor,
+                              uint32_t elements = kSortElements) {
+  auto values = GenerateSortInput(elements, kSeed);
+  auto run = processor.RunSort(values);
   if (!run.ok()) {
-    std::fprintf(stderr, "set operation failed: %s\n",
+    std::fprintf(stderr, "bench: sort of %u values on %s failed: %s\n",
+                 elements, processor.synthesis().config_name.c_str(),
                  run.status().ToString().c_str());
-    std::abort();
+    std::exit(1);
   }
-  return run->metrics.throughput_meps;
+  return run->metrics;
 }
 
 inline double SortThroughput(Processor& processor,
                              uint32_t elements = kSortElements) {
-  auto values = GenerateSortInput(elements, kSeed);
-  auto run = processor.RunSort(values);
-  if (!run.ok()) {
-    std::fprintf(stderr, "sort failed: %s\n",
-                 run.status().ToString().c_str());
-    std::abort();
-  }
-  return run->metrics.throughput_meps;
+  return SortMetrics(processor, elements).throughput_meps;
 }
 
 inline void PrintHeader(const std::string& title) {
   std::printf("\n== %s ==\n", title.c_str());
+}
+
+/// Entry point shared by all bench binaries: parses the common flags
+/// (--json <path> writes the accumulated rows as a dba.bench.v1
+/// document, see docs/OBSERVABILITY.md), runs the bench body, and
+/// writes/validates the JSON output.
+inline int BenchMain(int argc, char** argv, const char* bench_name,
+                     void (*run)()) {
+  std::string json_path;
+  for (int i = 1; i < argc; ++i) {
+    const std::string_view arg = argv[i];
+    if (arg == "--help" || arg == "-h") {
+      std::printf("usage: %s [--json <path>]\n"
+                  "  --json <path>  also write results as a dba.bench.v1 "
+                  "JSON document\n",
+                  bench_name);
+      return 0;
+    }
+    if (arg.rfind("--json=", 0) == 0) {
+      json_path = std::string(arg.substr(7));
+    } else if (arg == "--json" && i + 1 < argc) {
+      json_path = argv[++i];
+    } else {
+      std::fprintf(stderr,
+                   "%s: unknown option '%s' (supported: --json <path>)\n",
+                   bench_name, argv[i]);
+      return 2;
+    }
+  }
+  internal::ReporterState& reporter = internal::Reporter();
+  reporter.writer = std::make_unique<obs::BenchJsonWriter>(bench_name);
+  reporter.json_path = json_path;
+
+  run();
+
+  if (!json_path.empty()) {
+    const Status status = reporter.writer->WriteTo(json_path);
+    if (!status.ok()) {
+      std::fprintf(stderr, "%s: writing %s failed: %s\n", bench_name,
+                   json_path.c_str(), status.ToString().c_str());
+      return 1;
+    }
+    std::printf("\nwrote %zu result rows to %s\n",
+                reporter.writer->row_count(), json_path.c_str());
+  }
+  return 0;
 }
 
 }  // namespace dba::bench

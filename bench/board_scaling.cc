@@ -31,6 +31,12 @@ void Run() {
       reference.die_area_mm2);
 
   auto pair = GenerateSetPair(500000, 500000, kDefaultSelectivity, kSeed);
+  if (!pair.ok()) {
+    std::fprintf(stderr,
+                 "bench: generating a 2x500000-element set pair failed: %s\n",
+                 pair.status().ToString().c_str());
+    std::exit(1);
+  }
 
   std::printf("%-8s %16s %12s %12s %12s %10s\n", "cores", "tput [M/s]",
               "speedup", "P [W]", "energy [uJ]", "bound");
@@ -40,14 +46,27 @@ void Run() {
     system::BoardConfig config;
     config.num_cores = cores;
     auto board = system::Board::Create(config);
-    if (!board.ok()) std::abort();
+    if (!board.ok()) {
+      std::fprintf(stderr, "bench: creating a %d-core board failed: %s\n",
+                   cores, board.status().ToString().c_str());
+      std::exit(1);
+    }
     auto run = (*board)->RunSetOperation(SetOp::kIntersect, pair->a, pair->b);
     if (!run.ok()) {
-      std::fprintf(stderr, "board run failed: %s\n",
+      std::fprintf(stderr,
+                   "bench: intersect on a %d-core board failed: %s\n", cores,
                    run.status().ToString().c_str());
-      std::abort();
+      std::exit(1);
     }
     if (cores == 1) single_tput = run->throughput_meps;
+    AddBenchRow("DBA_2LSU_EIS board")
+        .Set("op", "intersect")
+        .Set("cores", cores)
+        .Set("throughput_meps", run->throughput_meps)
+        .Set("speedup", run->throughput_meps / single_tput)
+        .Set("board_power_mw", run->board_power_mw)
+        .Set("energy_uj", run->energy_uj)
+        .Set("bound", std::string(run->noc_bound ? "noc" : "compute"));
     std::printf("%-8d %16.0f %12.1f %12.2f %12.1f %10s\n", cores,
                 run->throughput_meps, run->throughput_meps / single_tput,
                 run->board_power_mw / 1000.0, run->energy_uj,
@@ -63,7 +82,7 @@ void Run() {
 }  // namespace
 }  // namespace dba::bench
 
-int main() {
-  dba::bench::Run();
-  return 0;
+int main(int argc, char** argv) {
+  return dba::bench::BenchMain(argc, argv, "board_scaling",
+                               dba::bench::Run);
 }

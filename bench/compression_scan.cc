@@ -44,13 +44,24 @@ UnpackResult RunUnpack(const std::vector<uint32_t>& values, int bits,
       !extension.Attach(&cpu).ok() || !program.ok() ||
       !memory->WriteBlock(kSrcBase, packed).ok() ||
       !cpu.LoadProgram(*program).ok()) {
-    std::abort();
+    std::fprintf(stderr,
+                 "bench: setting up the %d-bit %s unpack kernel failed\n",
+                 bits, use_extension ? "merged" : "software");
+    std::exit(1);
   }
   cpu.set_reg(isa::Reg::a0, kSrcBase);
   cpu.set_reg(isa::Reg::a2, static_cast<uint32_t>(values.size()));
   cpu.set_reg(isa::Reg::a4, kDstBase);
   auto stats = cpu.Run();
-  if (!stats.ok() || cpu.reg(isa::Reg::a5) != values.size()) std::abort();
+  if (!stats.ok() || cpu.reg(isa::Reg::a5) != values.size()) {
+    std::fprintf(stderr,
+                 "bench: the %d-bit %s unpack kernel %s (%u of %zu values "
+                 "unpacked)\n",
+                 bits, use_extension ? "merged" : "software",
+                 stats.ok() ? "miscounted" : "failed",
+                 cpu.reg(isa::Reg::a5), values.size());
+    std::exit(1);
+  }
   return {stats->cycles};
 }
 
@@ -69,12 +80,25 @@ void Run() {
     const UnpackResult hw = RunUnpack(values, bits, true);
     const double sw_per = static_cast<double>(sw.cycles) / kValues;
     const double hw_per = static_cast<double>(hw.cycles) / kValues;
+    AddBenchRow("packscan core")
+        .Set("op", "unpack")
+        .Set("bits", bits)
+        .Set("sw_cycles_per_value", sw_per)
+        .Set("merged_cycles_per_value", hw_per)
+        .Set("merged_mvalues_per_second", 410.0 / hw_per)
+        .Set("speedup", sw_per / hw_per);
     std::printf("%-6d %16.2f %16.2f %18.0f %9.1fx\n", bits, sw_per, hw_per,
                 410.0 / hw_per, sw_per / hw_per);
   }
 
   PrintHeader("End-to-end: compressed RID lists -> unpack -> intersect");
   auto pair = GenerateSetPair(4000, 4000, 0.5, kSeed);
+  if (!pair.ok()) {
+    std::fprintf(stderr,
+                 "bench: generating a 2x4000-element set pair failed: %s\n",
+                 pair.status().ToString().c_str());
+    std::exit(1);
+  }
   // RIDs fit in 17 bits here (values < 4000*17).
   const int bits = 17;
   const UnpackResult unpack_a = RunUnpack(pair->a, bits, true);
@@ -82,7 +106,13 @@ void Run() {
   auto processor = MustCreate(ProcessorKind::kDba2LsuEis);
   auto isect = processor->RunSetOperation(SetOp::kIntersect, pair->a,
                                           pair->b);
-  if (!isect.ok()) std::abort();
+  if (!isect.ok()) {
+    std::fprintf(stderr,
+                 "bench: intersect of the unpacked RID lists on "
+                 "DBA_2LSU_EIS failed: %s\n",
+                 isect.status().ToString().c_str());
+    std::exit(1);
+  }
   const uint64_t total_cycles =
       unpack_a.cycles + unpack_b.cycles + isect->metrics.cycles;
   const double seconds =
@@ -96,6 +126,12 @@ void Run() {
       bits, static_cast<unsigned long long>(unpack_a.cycles),
       static_cast<unsigned long long>(unpack_b.cycles),
       static_cast<unsigned long long>(isect->metrics.cycles));
+  AddBenchRow("DBA_2LSU_EIS")
+      .Set("op", "unpack+intersect")
+      .Set("bits", bits)
+      .Set("cycles", total_cycles)
+      .Set("throughput_meps", 8000.0 / seconds / 1e6)
+      .Set("traffic_reduction", uncompressed_bytes / compressed_bytes);
   std::printf(
       "end-to-end: %.1f M elements/s; memory traffic reduced %.1fx "
       "(%.0f vs %.0f bytes)\n",
@@ -106,7 +142,7 @@ void Run() {
 }  // namespace
 }  // namespace dba::bench
 
-int main() {
-  dba::bench::Run();
-  return 0;
+int main(int argc, char** argv) {
+  return dba::bench::BenchMain(argc, argv, "compression_scan",
+                               dba::bench::Run);
 }

@@ -18,12 +18,22 @@ void Run() {
 
   auto processor = MustCreate(ProcessorKind::kDba2LsuEis,
                               {.partial_loading = true, .unroll = 1});
-  auto pair = GenerateSetPair(kSetElements, kSetElements,
-                              kDefaultSelectivity, kSeed);
-  auto run = processor->RunSetOperation(SetOp::kIntersect, pair->a, pair->b);
-  if (!run.ok()) std::abort();
-  const auto& stats = run->metrics.stats;
+  const RunMetrics metrics = SetOpMetrics(*processor, SetOp::kIntersect);
+  const auto& stats = metrics.stats;
   const auto& counters = processor->eis()->counters();
+
+  const double cycles_per_iteration =
+      static_cast<double>(stats.cycles) /
+      static_cast<double>(counters.sop_executions);
+  const double occupancy =
+      static_cast<double>(stats.lsu_beats[0] + stats.lsu_beats[1]) /
+      (2.0 * static_cast<double>(stats.cycles));
+  RecordRun("DBA_2LSU_EIS", "intersect", metrics)
+      .Set("unroll", 1)
+      .Set("sop_executions", counters.sop_executions)
+      .Set("cycles_per_iteration", cycles_per_iteration)
+      .Set("memory_interface_occupancy", occupancy)
+      .Set("paper_cycles_per_iteration", 3);
 
   std::printf("core loop (unroll 1), 2x%u elements, 50%% selectivity:\n",
               kSetElements);
@@ -64,7 +74,7 @@ void Run() {
 }  // namespace
 }  // namespace dba::bench
 
-int main() {
-  dba::bench::Run();
-  return 0;
+int main(int argc, char** argv) {
+  return dba::bench::BenchMain(argc, argv, "fig10_pipeline",
+                               dba::bench::Run);
 }

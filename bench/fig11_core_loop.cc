@@ -17,42 +17,45 @@ void Run() {
   for (int unroll : {1, 2, 4, 8, 16, 32, 64}) {
     auto processor = MustCreate(ProcessorKind::kDba2LsuEis,
                                 {.partial_loading = true, .unroll = unroll});
-    auto pair =
-        GenerateSetPair(kSetElements, kSetElements, 0.0, kSeed);
-    auto run =
-        processor->RunSetOperation(SetOp::kIntersect, pair->a, pair->b);
-    if (!run.ok()) std::abort();
+    const RunMetrics metrics =
+        SetOpMetrics(*processor, SetOp::kIntersect, 0.0);
     const double iterations = static_cast<double>(
         processor->eis()->counters().sop_executions);
+    RecordRun("DBA_2LSU_EIS", "intersect", metrics)
+        .Set("unroll", unroll)
+        .Set("cycles_per_iteration",
+             static_cast<double>(metrics.cycles) / iterations);
     std::printf("%-8d %18.3f %18.1f\n", unroll,
-                static_cast<double>(run->metrics.cycles) / iterations,
-                run->metrics.throughput_meps);
+                static_cast<double>(metrics.cycles) / iterations,
+                metrics.throughput_meps);
   }
 
   PrintHeader("Figure 12: merge-sort inner loop");
   auto processor = MustCreate(ProcessorKind::kDba2LsuEis);
-  auto values = GenerateSortInput(kSortElements, kSeed);
-  auto run = processor->RunSort(values);
-  if (!run.ok()) std::abort();
+  const RunMetrics metrics = SortMetrics(*processor);
   const auto& counters = processor->eis()->counters();
   const double inner_cycles =
       3.0 * static_cast<double>(counters.sop_executions);
+  RecordRun("DBA_2LSU_EIS", "sort", metrics)
+      .Set("sop_executions", counters.sop_executions)
+      .Set("inner_loop_cycle_share",
+           inner_cycles / static_cast<double>(metrics.cycles));
   std::printf(
       "sort of %u values: %llu cycles, %llu merge SOPs\n"
       "inner loops at the paper's 3 cycles/iteration account for %.0f%% "
       "of the run;\nthe rest is presorting, per-pair setup, and tail "
       "handling\n",
-      kSortElements, static_cast<unsigned long long>(run->metrics.cycles),
+      kSortElements, static_cast<unsigned long long>(metrics.cycles),
       static_cast<unsigned long long>(counters.sop_executions),
-      100.0 * inner_cycles / static_cast<double>(run->metrics.cycles));
+      100.0 * inner_cycles / static_cast<double>(metrics.cycles));
   std::printf("throughput: %.1f M elements/s (paper: 28.3)\n",
-              run->metrics.throughput_meps);
+              metrics.throughput_meps);
 }
 
 }  // namespace
 }  // namespace dba::bench
 
-int main() {
-  dba::bench::Run();
-  return 0;
+int main(int argc, char** argv) {
+  return dba::bench::BenchMain(argc, argv, "fig11_core_loop",
+                               dba::bench::Run);
 }

@@ -34,9 +34,13 @@ void SweepOperation(SetOp op, const char* title,
   std::printf("\n");
   for (int percent = 0; percent <= 100; percent += 10) {
     std::printf("%4d ", percent);
-    for (auto& processor : processors) {
+    for (size_t i = 0; i < processors.size(); ++i) {
       const double throughput =
-          SetOpThroughput(*processor, op, percent / 100.0);
+          SetOpThroughput(*processors[i], op, percent / 100.0);
+      AddBenchRow(kSeries[i].name)
+          .Set("op", SetOpName(op))
+          .Set("selectivity_percent", percent)
+          .Set("throughput_meps", throughput);
       std::printf(" %14.1f", throughput);
     }
     std::printf("\n");
@@ -72,7 +76,7 @@ void Run() {
 }  // namespace
 }  // namespace dba::bench
 
-int main() {
-  dba::bench::Run();
-  return 0;
+int main(int argc, char** argv) {
+  return dba::bench::BenchMain(argc, argv, "fig13_selectivity",
+                               dba::bench::Run);
 }

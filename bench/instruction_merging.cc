@@ -20,7 +20,7 @@ constexpr uint64_t kDataBase = 0x1000;
 constexpr uint64_t kOutBase = 0x40000;
 constexpr uint32_t kWords = 2048;
 
-uint64_t RunKernel(const isa::Program& program,
+uint64_t RunKernel(const char* name, const isa::Program& program,
                    const std::vector<uint32_t>& words) {
   sim::CoreConfig config;
   config.instruction_bus_bits = 64;
@@ -33,13 +33,18 @@ uint64_t RunKernel(const isa::Program& program,
       !extension.Attach(&cpu).ok() ||
       !memory->WriteBlock(kDataBase, words).ok() ||
       !cpu.LoadProgram(program).ok()) {
-    std::abort();
+    std::fprintf(stderr, "bench: setting up the %s kernel failed\n", name);
+    std::exit(1);
   }
   cpu.set_reg(isa::Reg::a0, kDataBase);
   cpu.set_reg(isa::Reg::a2, static_cast<uint32_t>(words.size()));
   cpu.set_reg(isa::Reg::a4, kOutBase);
   auto stats = cpu.Run();
-  if (!stats.ok()) std::abort();
+  if (!stats.ok()) {
+    std::fprintf(stderr, "bench: running the %s kernel failed: %s\n", name,
+                 stats.status().ToString().c_str());
+    std::exit(1);
+  }
   return stats->cycles;
 }
 
@@ -64,11 +69,21 @@ void Run() {
   for (const Row& row : rows) {
     auto sw = row.builder(false);
     auto hw = row.builder(true);
-    if (!sw.ok() || !hw.ok()) std::abort();
+    if (!sw.ok() || !hw.ok()) {
+      std::fprintf(stderr, "bench: building the %s kernels failed: %s\n",
+                   row.name,
+                   (sw.ok() ? hw.status() : sw.status()).ToString().c_str());
+      std::exit(1);
+    }
     const double sw_cycles =
-        static_cast<double>(RunKernel(*sw, words)) / kWords;
+        static_cast<double>(RunKernel(row.name, *sw, words)) / kWords;
     const double hw_cycles =
-        static_cast<double>(RunKernel(*hw, words)) / kWords;
+        static_cast<double>(RunKernel(row.name, *hw, words)) / kWords;
+    AddBenchRow("bitmanip core")
+        .Set("op", std::string(row.name))
+        .Set("sw_cycles_per_word", sw_cycles)
+        .Set("merged_cycles_per_word", hw_cycles)
+        .Set("speedup", sw_cycles / hw_cycles);
     std::printf("%-14s %20.1f %20.1f %9.1fx\n", row.name, sw_cycles,
                 hw_cycles, sw_cycles / hw_cycles);
   }
@@ -82,7 +97,7 @@ void Run() {
 }  // namespace
 }  // namespace dba::bench
 
-int main() {
-  dba::bench::Run();
-  return 0;
+int main(int argc, char** argv) {
+  return dba::bench::BenchMain(argc, argv, "instruction_merging",
+                               dba::bench::Run);
 }

@@ -44,7 +44,11 @@ uint64_t RunPartition(const std::vector<uint32_t>& values, int buckets,
       !memory->WriteBlock(kSrcBase, values).ok() ||
       !memory->WriteBlock(kSplitterBase, splitters).ok() ||
       !cpu.LoadProgram(*program).ok()) {
-    std::abort();
+    std::fprintf(stderr,
+                 "bench: setting up the %d-bucket %s partition kernel "
+                 "failed\n",
+                 buckets, use_extension ? "merged" : "software");
+    std::exit(1);
   }
   cpu.set_reg(isa::Reg::a0, kSrcBase);
   cpu.set_reg(isa::Reg::a1, kSplitterBase);
@@ -53,7 +57,15 @@ uint64_t RunPartition(const std::vector<uint32_t>& values, int buckets,
   cpu.set_reg(isa::Reg::a4, kBucketBase);
   cpu.set_reg(isa::Reg::a5, kCountBase);
   auto stats = cpu.Run();
-  if (!stats.ok() || cpu.reg(isa::Reg::a5) != kValues) std::abort();
+  if (!stats.ok() || cpu.reg(isa::Reg::a5) != kValues) {
+    std::fprintf(stderr,
+                 "bench: the %d-bucket %s partition kernel %s (%u of %u "
+                 "values placed)\n",
+                 buckets, use_extension ? "merged" : "software",
+                 stats.ok() ? "miscounted" : "failed",
+                 cpu.reg(isa::Reg::a5), kValues);
+    std::exit(1);
+  }
   return stats->cycles;
 }
 
@@ -71,6 +83,13 @@ void Run() {
         static_cast<double>(RunPartition(values, buckets, false)) / kValues;
     const double hw =
         static_cast<double>(RunPartition(values, buckets, true)) / kValues;
+    AddBenchRow("partition core")
+        .Set("op", "partition")
+        .Set("buckets", buckets)
+        .Set("sw_cycles_per_value", sw)
+        .Set("merged_cycles_per_value", hw)
+        .Set("merged_mvalues_per_second", 410.0 / hw)
+        .Set("speedup", sw / hw);
     std::printf("%-8d %16.2f %16.2f %18.0f %9.1fx\n", buckets, sw, hw,
                 410.0 / hw, sw / hw);
   }
@@ -83,7 +102,7 @@ void Run() {
 }  // namespace
 }  // namespace dba::bench
 
-int main() {
-  dba::bench::Run();
-  return 0;
+int main(int argc, char** argv) {
+  return dba::bench::BenchMain(argc, argv, "partition_throughput",
+                               dba::bench::Run);
 }

@@ -16,23 +16,43 @@ void Run() {
   auto processor = MustCreate(ProcessorKind::kDba2LsuEis);
 
   // In-memory reference at the paper's workload size.
-  auto pair = GenerateSetPair(kSetElements, kSetElements,
-                              kDefaultSelectivity, kSeed);
-  auto reference =
-      processor->RunSetOperation(SetOp::kIntersect, pair->a, pair->b);
-  if (!reference.ok()) std::abort();
+  const RunMetrics reference = SetOpMetrics(*processor, SetOp::kIntersect);
+  RecordRun("DBA_2LSU_EIS", "intersect", reference)
+      .Set("elements_per_set", kSetElements)
+      .Set("mode", "in-memory");
   std::printf("in-memory reference (2x%u): %.1f M elements/s\n",
-              kSetElements, reference->metrics.throughput_meps);
+              kSetElements, reference.throughput_meps);
 
   std::printf("%-12s %10s %16s %14s %14s %10s\n", "elements/set", "chunks",
               "throughput M/s", "compute cyc", "dma cyc", "bound");
   for (uint32_t n : {1000u, 4000u, 16000u, 64000u, 256000u, 1000000u}) {
     auto big_pair =
         GenerateSetPair(n, n, kDefaultSelectivity, kSeed + n);
+    if (!big_pair.ok()) {
+      std::fprintf(stderr,
+                   "bench: generating a 2x%u-element set pair failed: %s\n",
+                   n, big_pair.status().ToString().c_str());
+      std::exit(1);
+    }
     prefetch::StreamingSetOperation streaming(processor.get(),
                                               prefetch::DmaConfig{});
     auto run = streaming.Run(SetOp::kIntersect, big_pair->a, big_pair->b);
-    if (!run.ok()) std::abort();
+    if (!run.ok()) {
+      std::fprintf(stderr,
+                   "bench: streaming intersect of 2x%u elements on "
+                   "DBA_2LSU_EIS failed: %s\n",
+                   n, run.status().ToString().c_str());
+      std::exit(1);
+    }
+    AddBenchRow("DBA_2LSU_EIS")
+        .Set("op", "intersect")
+        .Set("mode", "streaming")
+        .Set("elements_per_set", n)
+        .Set("chunks", run->chunks)
+        .Set("throughput_meps", run->throughput_meps)
+        .Set("compute_cycles", run->compute_cycles)
+        .Set("dma_cycles", run->dma_cycles)
+        .Set("bound", std::string(run->dma_bound ? "dma" : "compute"));
     std::printf("%-12u %10u %16.1f %14llu %14llu %10s\n", n, run->chunks,
                 run->throughput_meps,
                 static_cast<unsigned long long>(run->compute_cycles),
@@ -47,7 +67,7 @@ void Run() {
 }  // namespace
 }  // namespace dba::bench
 
-int main() {
-  dba::bench::Run();
-  return 0;
+int main(int argc, char** argv) {
+  return dba::bench::BenchMain(argc, argv, "prefetch_scaling",
+                               dba::bench::Run);
 }

@@ -50,7 +50,10 @@ uint64_t RunScan(const std::vector<uint32_t>& column_words, uint32_t rows,
       !memory->WriteBlock(kPatternBase, pattern_words).ok() ||
       !memory->WriteBlock(kMaskBase, mask_words).ok() ||
       !cpu.LoadProgram(*program).ok()) {
-    std::abort();
+    std::fprintf(stderr,
+                 "bench: setting up the %s string-scan kernel failed\n",
+                 use_extension ? "merged" : "software");
+    std::exit(1);
   }
   cpu.set_reg(isa::Reg::a0, kColumnBase);
   cpu.set_reg(isa::Reg::a1, kPatternBase);
@@ -58,7 +61,14 @@ uint64_t RunScan(const std::vector<uint32_t>& column_words, uint32_t rows,
   cpu.set_reg(isa::Reg::a3, kMaskBase);
   cpu.set_reg(isa::Reg::a4, kResultBase);
   auto stats = cpu.Run();
-  if (!stats.ok()) std::abort();
+  if (!stats.ok()) {
+    std::fprintf(stderr,
+                 "bench: running the %s string-scan kernel over %u rows "
+                 "failed: %s\n",
+                 use_extension ? "merged" : "software", rows,
+                 stats.status().ToString().c_str());
+    std::exit(1);
+  }
   *matches = cpu.reg(isa::Reg::a5);
   return stats->cycles;
 }
@@ -88,7 +98,20 @@ void Run() {
     const double hw = static_cast<double>(
                           RunScan(column, kRows, "OPEN", true, &hw_matches)) /
                       kRows;
-    if (hw_matches != expected || sw_matches != expected) std::abort();
+    if (hw_matches != expected || sw_matches != expected) {
+      std::fprintf(stderr,
+                   "bench: string-scan match counts diverge (sw %u, merged "
+                   "%u, expected %u)\n",
+                   sw_matches, hw_matches, expected);
+      std::exit(1);
+    }
+    AddBenchRow("string core")
+        .Set("op", "str_scan")
+        .Set("match_rate_percent", match_rate * 100)
+        .Set("sw_cycles_per_row", sw)
+        .Set("merged_cycles_per_row", hw)
+        .Set("merged_mrows_per_second", 410.0 / hw)
+        .Set("speedup", sw / hw);
     std::printf("%-12.1f %16.2f %16.2f %16.0f %9.1fx\n", match_rate * 100,
                 sw, hw, 410.0 / hw, sw / hw);
   }
@@ -100,7 +123,6 @@ void Run() {
 }  // namespace
 }  // namespace dba::bench
 
-int main() {
-  dba::bench::Run();
-  return 0;
+int main(int argc, char** argv) {
+  return dba::bench::BenchMain(argc, argv, "string_scan", dba::bench::Run);
 }

@@ -47,11 +47,28 @@ void Run() {
     if (row.partial.has_value()) options.partial_loading = *row.partial;
     auto processor = MustCreate(row.kind, options);
     const double f = processor->synthesis().fmax_mhz;
-    const double intersect =
-        SetOpThroughput(*processor, SetOp::kIntersect);
-    const double uni = SetOpThroughput(*processor, SetOp::kUnion);
-    const double diff = SetOpThroughput(*processor, SetOp::kDifference);
-    const double sort = SortThroughput(*processor);
+    const RunMetrics intersect_metrics =
+        SetOpMetrics(*processor, SetOp::kIntersect);
+    const RunMetrics union_metrics = SetOpMetrics(*processor, SetOp::kUnion);
+    const RunMetrics diff_metrics =
+        SetOpMetrics(*processor, SetOp::kDifference);
+    const RunMetrics sort_metrics = SortMetrics(*processor);
+    const double intersect = intersect_metrics.throughput_meps;
+    const double uni = union_metrics.throughput_meps;
+    const double diff = diff_metrics.throughput_meps;
+    const double sort = sort_metrics.throughput_meps;
+    RecordRun(row.name, "intersect", intersect_metrics)
+        .Set("frequency_mhz", f)
+        .Set("paper_meps", row.paper[1]);
+    RecordRun(row.name, "union", union_metrics)
+        .Set("frequency_mhz", f)
+        .Set("paper_meps", row.paper[2]);
+    RecordRun(row.name, "difference", diff_metrics)
+        .Set("frequency_mhz", f)
+        .Set("paper_meps", row.paper[3]);
+    RecordRun(row.name, "sort", sort_metrics)
+        .Set("frequency_mhz", f)
+        .Set("paper_meps", row.paper[4]);
     std::printf(
         "%-22s %4.0f | %4.0f %8.1f | %7.1f %8.1f | %7.1f %8.1f | %7.1f "
         "%7.1f | %6.1f\n",
@@ -72,7 +89,7 @@ void Run() {
 }  // namespace
 }  // namespace dba::bench
 
-int main() {
-  dba::bench::Run();
-  return 0;
+int main(int argc, char** argv) {
+  return dba::bench::BenchMain(argc, argv, "table2_throughput",
+                               dba::bench::Run);
 }

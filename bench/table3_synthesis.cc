@@ -39,6 +39,16 @@ void Run() {
               "A_logic [mm2]", "A_mem [mm2]", "f_max [MHz]", "P [mW]");
   for (const Row& row : kRows) {
     const auto report = Synthesize(row.kind, row.node);
+    AddBenchRow(report.config_name)
+        .Set("tech_node", std::string(hwmodel::TechNodeName(row.node)))
+        .Set("logic_area_mm2", report.logic_area_mm2)
+        .Set("mem_area_mm2", report.mem_area_mm2)
+        .Set("fmax_mhz", report.fmax_mhz)
+        .Set("power_mw", report.power_mw)
+        .Set("paper_logic_area_mm2", row.paper[0])
+        .Set("paper_mem_area_mm2", row.paper[1])
+        .Set("paper_fmax_mhz", row.paper[2])
+        .Set("paper_power_mw", row.paper[3]);
     std::printf(
         "%-6s %-14s %8.4f | %6.4f %8.3f | %5.3f %7.0f | %4.0f %8.1f | "
         "%5.1f\n",
@@ -63,7 +73,7 @@ void Run() {
 }  // namespace
 }  // namespace dba::bench
 
-int main() {
-  dba::bench::Run();
-  return 0;
+int main(int argc, char** argv) {
+  return dba::bench::BenchMain(argc, argv, "table3_synthesis",
+                               dba::bench::Run);
 }

@@ -18,6 +18,11 @@ void Run() {
   double total = 0;
   size_t index = 0;
   for (const auto& entry : hwmodel::EisAreaBreakdown()) {
+    AddBenchRow("DBA_2LSU_EIS")
+        .Set("part", entry.part)
+        .Set("area_mm2", entry.area_mm2)
+        .Set("percent", entry.percent)
+        .Set("paper_percent", paper[index]);
     std::printf("%-22s %12.4f %12.1f %12.1f\n", entry.part.c_str(),
                 entry.area_mm2, entry.percent, paper[index++]);
     total += entry.area_mm2;
@@ -28,7 +33,7 @@ void Run() {
 }  // namespace
 }  // namespace dba::bench
 
-int main() {
-  dba::bench::Run();
-  return 0;
+int main(int argc, char** argv) {
+  return dba::bench::BenchMain(argc, argv, "table4_area_breakdown",
+                               dba::bench::Run);
 }

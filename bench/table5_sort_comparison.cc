@@ -21,7 +21,13 @@ double MeasureHostSortMeps(uint32_t n) {
     const auto start = std::chrono::steady_clock::now();
     auto sorted = baseline::SimdMergeSort(values);
     const auto stop = std::chrono::steady_clock::now();
-    if (sorted.size() != values.size()) std::abort();  // keep it live
+    if (sorted.size() != values.size()) {  // keep the result live
+      std::fprintf(stderr,
+                   "bench: host SimdMergeSort of %u values returned %zu "
+                   "values\n",
+                   n, sorted.size());
+      std::exit(1);
+    }
     best_seconds = std::min(
         best_seconds, std::chrono::duration<double>(stop - start).count());
   }
@@ -33,10 +39,23 @@ void Run() {
   const hwmodel::X86Reference q9550 = hwmodel::IntelQ9550();
 
   auto processor = MustCreate(ProcessorKind::kDba2LsuEis);
-  const double hwsort_meps = SortThroughput(*processor, kSortElements);
+  const RunMetrics hwsort_metrics = SortMetrics(*processor, kSortElements);
+  const double hwsort_meps = hwsort_metrics.throughput_meps;
   const auto& synthesis = processor->synthesis();
   const double swsort_host_meps =
       MeasureHostSortMeps(static_cast<uint32_t>(q9550.paper_workload_elements));
+
+  RecordRun("DBA_2LSU_EIS", "sort", hwsort_metrics)
+      .Set("role", "hwsort")
+      .Set("power_mw", synthesis.power_mw)
+      .Set("area_mm2", synthesis.total_area_mm2());
+  AddBenchRow(q9550.name)
+      .Set("op", "sort")
+      .Set("role", "swsort")
+      .Set("paper_throughput_meps", q9550.paper_throughput_meps)
+      .Set("host_throughput_meps", swsort_host_meps)
+      .Set("power_mw", q9550.max_tdp_w * 1000.0)
+      .Set("area_mm2", q9550.die_area_mm2);
 
   std::printf("%-28s %16s %16s\n", "", q9550.name.c_str(), "DBA_2LSU_EIS");
   std::printf("%-28s %10.0f M/s %10.1f M/s   (paper: 60 | 28.3)\n",
@@ -76,7 +95,7 @@ void Run() {
 }  // namespace
 }  // namespace dba::bench
 
-int main() {
-  dba::bench::Run();
-  return 0;
+int main(int argc, char** argv) {
+  return dba::bench::BenchMain(argc, argv, "table5_sort_comparison",
+                               dba::bench::Run);
 }

@@ -16,12 +16,24 @@ namespace {
 
 double MeasureHostIntersectMeps(uint32_t n) {
   auto pair = GenerateSetPair(n, n, kDefaultSelectivity, kSeed);
+  if (!pair.ok()) {
+    std::fprintf(stderr,
+                 "bench: generating a 2x%u-element set pair failed: %s\n", n,
+                 pair.status().ToString().c_str());
+    std::exit(1);
+  }
   double best_seconds = 1e30;
   for (int repetition = 0; repetition < 3; ++repetition) {
     const auto start = std::chrono::steady_clock::now();
     auto result = baseline::SimdIntersect(pair->a, pair->b);
     const auto stop = std::chrono::steady_clock::now();
-    if (result.size() != pair->common) std::abort();
+    if (result.size() != pair->common) {
+      std::fprintf(stderr,
+                   "bench: host SimdIntersect over 2x%u elements returned "
+                   "%zu values, expected %zu\n",
+                   n, result.size(), static_cast<size_t>(pair->common));
+      std::exit(1);
+    }
     best_seconds = std::min(
         best_seconds, std::chrono::duration<double>(stop - start).count());
   }
@@ -34,11 +46,23 @@ void Run() {
 
   auto processor = MustCreate(ProcessorKind::kDba2LsuEis);
   // Paper: "intersecting two sets with 2500 values each in hwset".
-  const double hwset_meps =
-      SetOpThroughput(*processor, SetOp::kIntersect, kDefaultSelectivity,
-                      2500);
+  const RunMetrics hwset_metrics = SetOpMetrics(
+      *processor, SetOp::kIntersect, kDefaultSelectivity, 2500);
+  const double hwset_meps = hwset_metrics.throughput_meps;
   const auto& synthesis = processor->synthesis();
   const double swset_host_meps = MeasureHostIntersectMeps(10000000);
+
+  RecordRun("DBA_2LSU_EIS", "intersect", hwset_metrics)
+      .Set("role", "hwset")
+      .Set("power_mw", synthesis.power_mw)
+      .Set("area_mm2", synthesis.total_area_mm2());
+  AddBenchRow(i7.name)
+      .Set("op", "intersect")
+      .Set("role", "swset")
+      .Set("paper_throughput_meps", i7.paper_throughput_meps)
+      .Set("host_throughput_meps", swset_host_meps)
+      .Set("power_mw", i7.max_tdp_w * 1000.0)
+      .Set("area_mm2", i7.die_area_mm2);
 
   std::printf("%-28s %16s %16s\n", "", i7.name.c_str(), "DBA_2LSU_EIS");
   std::printf("%-28s %10.0f M/s %10.1f M/s   (paper: 1100 | 1203)\n",
@@ -79,7 +103,7 @@ void Run() {
 }  // namespace
 }  // namespace dba::bench
 
-int main() {
-  dba::bench::Run();
-  return 0;
+int main(int argc, char** argv) {
+  return dba::bench::BenchMain(argc, argv, "table6_set_comparison",
+                               dba::bench::Run);
 }

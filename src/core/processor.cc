@@ -212,7 +212,9 @@ Result<SetOpRun> Processor::RunSetOperation(SetOp op,
   }
   const bool scalar = settings.force_scalar || !kind_has_eis();
   DBA_ASSIGN_OR_RETURN(const isa::Program* program, GetProgram(op, scalar));
-  return ExecuteBinaryKernel(*program, a, b, settings);
+  const std::string phase = std::string(eis::SopModeName(op)) + "[" +
+                            std::string(hwmodel::ConfigKindName(kind_)) + "]";
+  return ExecuteBinaryKernel(*program, a, b, settings, phase);
 }
 
 Result<SetOpRun> Processor::RunMerge(std::span<const uint32_t> a,
@@ -239,12 +241,15 @@ Result<SetOpRun> Processor::RunMerge(std::span<const uint32_t> a,
   const bool scalar = settings.force_scalar || !kind_has_eis();
   DBA_ASSIGN_OR_RETURN(const isa::Program* program,
                        GetProgram(SetOp::kMerge, scalar));
-  return ExecuteBinaryKernel(*program, a, b, settings);
+  const std::string phase = "merge[" +
+                            std::string(hwmodel::ConfigKindName(kind_)) + "]";
+  return ExecuteBinaryKernel(*program, a, b, settings, phase);
 }
 
 Result<SetOpRun> Processor::ExecuteBinaryKernel(
     const isa::Program& program, std::span<const uint32_t> a,
-    std::span<const uint32_t> b, const RunSettings& settings) {
+    std::span<const uint32_t> b, const RunSettings& settings,
+    std::string_view phase) {
   // Place the inputs. 2-LSU: A in LDM0, B in LDM1. 1-LSU: both in LDM0.
   // 108Mini: everything in system memory.
   uint64_t addr_a = 0;
@@ -285,7 +290,18 @@ Result<SetOpRun> Processor::ExecuteBinaryKernel(
   sim::RunOptions run_options;
   run_options.profile = settings.profile;
   run_options.trace_limit = settings.trace_limit;
-  DBA_ASSIGN_OR_RETURN(sim::ExecStats stats, cpu_->Run(run_options));
+  run_options.trace_sink = settings.trace_sink;
+  if (settings.trace_sink != nullptr) {
+    settings.trace_sink->BeginRegion(0, phase);
+  }
+  auto run_result = cpu_->Run(run_options);
+  // On failure the phase region stays open; the trace writer closes
+  // dangling regions at the last seen timestamp.
+  if (!run_result.ok()) return run_result.status();
+  sim::ExecStats stats = *std::move(run_result);
+  if (settings.trace_sink != nullptr) {
+    settings.trace_sink->EndRegion(stats.cycles);
+  }
 
   const uint32_t count = cpu_->reg(isa::abi::kLenC);
   DBA_ASSIGN_OR_RETURN(mem::Memory * result_memory,
@@ -343,7 +359,17 @@ Result<SortRun> Processor::RunSort(std::span<const uint32_t> values,
   sim::RunOptions run_options;
   run_options.profile = settings.profile;
   run_options.trace_limit = settings.trace_limit;
-  DBA_ASSIGN_OR_RETURN(sim::ExecStats stats, cpu_->Run(run_options));
+  run_options.trace_sink = settings.trace_sink;
+  if (settings.trace_sink != nullptr) {
+    settings.trace_sink->BeginRegion(
+        0, "sort[" + std::string(hwmodel::ConfigKindName(kind_)) + "]");
+  }
+  auto run_result = cpu_->Run(run_options);
+  if (!run_result.ok()) return run_result.status();
+  sim::ExecStats stats = *std::move(run_result);
+  if (settings.trace_sink != nullptr) {
+    settings.trace_sink->EndRegion(stats.cycles);
+  }
 
   SortRun run;
   const uint32_t sorted_ptr = cpu_->reg(isa::abi::kLenC);

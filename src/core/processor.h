@@ -5,6 +5,7 @@
 #include <memory>
 #include <optional>
 #include <span>
+#include <string_view>
 #include <vector>
 
 #include "common/status.h"
@@ -44,6 +45,11 @@ struct RunSettings {
   /// Record the first N issued words as rendered trace lines in the
   /// returned stats (0 = off).
   uint32_t trace_limit = 0;
+  /// Cycle-trace receiver (non-owning; may be null). The run is wrapped
+  /// in a kernel-phase region (e.g. "intersect[DBA_2LSU_EIS]") and the
+  /// core emits label-region slices and stall/beat counter tracks into
+  /// it; render with obs::ChromeTraceWriter for ui.perfetto.dev.
+  sim::CycleTraceSink* trace_sink = nullptr;
 };
 
 /// Timing/energy results of one kernel execution.
@@ -148,7 +154,8 @@ class Processor {
   Result<SetOpRun> ExecuteBinaryKernel(const isa::Program& program,
                                        std::span<const uint32_t> a,
                                        std::span<const uint32_t> b,
-                                       const RunSettings& settings);
+                                       const RunSettings& settings,
+                                       std::string_view phase);
   RunMetrics MakeMetrics(uint64_t elements, sim::ExecStats stats) const;
 
   ProcessorKind kind_;

@@ -1,0 +1,134 @@
+#include "obs/bench_json.h"
+
+#include <cmath>
+#include <utility>
+
+#include "obs/stall_report.h"
+#include "obs/serialize.h"
+
+namespace dba::obs {
+
+BenchJsonWriter::BenchJsonWriter(std::string bench_name)
+    : bench_name_(std::move(bench_name)) {}
+
+JsonValue& BenchJsonWriter::AddRow(std::string config) {
+  results_.push_back(JsonValue::Object().Set("config", std::move(config)));
+  return results_.back();
+}
+
+JsonValue BenchJsonWriter::ToJson() const {
+  JsonValue results = JsonValue::Array();
+  for (const JsonValue& row : results_) results.Push(row);
+  JsonValue root = JsonValue::Object();
+  root.Set("schema", kBenchSchema)
+      .Set("bench", bench_name_)
+      .Set("results", std::move(results));
+  return root;
+}
+
+Status BenchJsonWriter::WriteTo(const std::string& path) const {
+  DBA_RETURN_IF_ERROR(ValidateBenchJson(ToJson()));
+  return WriteJsonFile(path, ToJson());
+}
+
+void MergeRunMetrics(JsonValue& row, const RunMetrics& metrics) {
+  const sim::ExecStats& stats = metrics.stats;
+  row.Set("cycles", metrics.cycles)
+      .Set("instructions", stats.instructions)
+      .Set("cycles_per_instruction",
+           stats.instructions > 0
+               ? static_cast<double>(stats.cycles) /
+                     static_cast<double>(stats.instructions)
+               : 0.0)
+      .Set("seconds", metrics.seconds)
+      .Set("throughput_meps", metrics.throughput_meps)
+      .Set("energy_nj_per_element", metrics.energy_nj_per_element);
+  StallComponents components;
+  components.issue_cycles = stats.bundles;
+  components.branch_penalty_cycles = stats.branch_penalty_cycles;
+  components.load_stall_cycles = stats.load_stall_cycles;
+  components.store_stall_cycles = stats.store_stall_cycles;
+  components.port_stall_cycles = stats.port_stall_cycles;
+  components.ext_extra_cycles = stats.ext_extra_cycles;
+  row.Set("cycle_breakdown", StallComponentsToJson(components));
+  row.Set("lsu_beats", JsonValue::Array()
+                           .Push(stats.lsu_beats[0])
+                           .Push(stats.lsu_beats[1]));
+}
+
+namespace {
+
+Status ValidateScalarTree(const JsonValue& value, const std::string& where,
+                          int depth) {
+  if (depth > 8) {
+    return Status::InvalidArgument(where + ": nesting too deep for a row");
+  }
+  switch (value.kind()) {
+    case JsonValue::Kind::kNumber:
+      if (!std::isfinite(value.as_double())) {
+        return Status::InvalidArgument(where + ": non-finite number");
+      }
+      return Status::Ok();
+    case JsonValue::Kind::kBool:
+    case JsonValue::Kind::kString:
+      return Status::Ok();
+    case JsonValue::Kind::kNull:
+      return Status::InvalidArgument(where + ": null value in a result row");
+    case JsonValue::Kind::kArray: {
+      for (size_t i = 0; i < value.size(); ++i) {
+        DBA_RETURN_IF_ERROR(ValidateScalarTree(
+            value.at(i), where + "[" + std::to_string(i) + "]", depth + 1));
+      }
+      return Status::Ok();
+    }
+    case JsonValue::Kind::kObject: {
+      for (const auto& [key, member] : value.members()) {
+        DBA_RETURN_IF_ERROR(
+            ValidateScalarTree(member, where + "." + key, depth + 1));
+      }
+      return Status::Ok();
+    }
+  }
+  return Status::Internal("unreachable");
+}
+
+}  // namespace
+
+Status ValidateBenchJson(const JsonValue& root) {
+  if (!root.is_object()) {
+    return Status::InvalidArgument("bench document must be a JSON object");
+  }
+  const JsonValue& schema = root.at("schema");
+  if (!schema.is_string() || schema.as_string() != kBenchSchema) {
+    return Status::InvalidArgument(
+        "bench document schema must be \"" + std::string(kBenchSchema) +
+        "\"");
+  }
+  const JsonValue& bench = root.at("bench");
+  if (!bench.is_string() || bench.as_string().empty()) {
+    return Status::InvalidArgument(
+        "bench document needs a non-empty \"bench\" name");
+  }
+  const JsonValue& results = root.at("results");
+  if (!results.is_array()) {
+    return Status::InvalidArgument(
+        "bench document needs a \"results\" array");
+  }
+  for (size_t i = 0; i < results.size(); ++i) {
+    const JsonValue& row = results.at(i);
+    const std::string where = "results[" + std::to_string(i) + "]";
+    if (!row.is_object() || row.members().empty()) {
+      return Status::InvalidArgument(where +
+                                     " must be a non-empty object");
+    }
+    const JsonValue& config = row.at("config");
+    if (!config.is_string() || config.as_string().empty()) {
+      return Status::InvalidArgument(
+          where + " needs a non-empty string \"config\"");
+    }
+    DBA_RETURN_IF_ERROR(ValidateScalarTree(row, where, 0));
+  }
+  return Status::Ok();
+}
+
+}  // namespace dba::obs

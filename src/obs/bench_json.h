@@ -1,0 +1,61 @@
+#ifndef DBA_OBS_BENCH_JSON_H_
+#define DBA_OBS_BENCH_JSON_H_
+
+#include <string>
+
+#include "common/status.h"
+#include "core/processor.h"
+#include "obs/json.h"
+
+namespace dba::obs {
+
+/// The machine-readable bench output schema ("dba.bench.v1"): one
+/// document per bench binary, one result row per measured
+/// configuration/operation point. This is the format of the BENCH_*.json
+/// perf-trajectory files; docs/OBSERVABILITY.md is the reference.
+///
+///   {
+///     "schema": "dba.bench.v1",
+///     "bench": "table2_throughput",
+///     "results": [
+///       {"config": "DBA_2LSU_EIS", "op": "intersect",
+///        "cycles": 9049, "throughput_meps": 1200.1, ...},
+///       ...
+///     ]
+///   }
+inline constexpr std::string_view kBenchSchema = "dba.bench.v1";
+
+/// Accumulates result rows for one bench binary and renders the
+/// versioned document.
+class BenchJsonWriter {
+ public:
+  explicit BenchJsonWriter(std::string bench_name);
+
+  const std::string& bench_name() const { return bench_name_; }
+  size_t row_count() const { return results_.size(); }
+
+  /// Appends a row with "config" preset and returns it for fluent
+  /// completion: AddRow("DBA_2LSU_EIS").Set("op", "intersect")...
+  JsonValue& AddRow(std::string config);
+
+  JsonValue ToJson() const;
+  Status WriteTo(const std::string& path) const;
+
+ private:
+  std::string bench_name_;
+  std::vector<JsonValue> results_;
+};
+
+/// The standard per-run fields (cycles, CPI, throughput, energy, cycle
+/// breakdown, LSU beats) every throughput-style row shares. Merge into
+/// a row with MergeRunMetrics(row, metrics).
+void MergeRunMetrics(JsonValue& row, const RunMetrics& metrics);
+
+/// Validates a parsed document against the dba.bench.v1 schema: schema
+/// tag, non-empty bench name, results rows that are objects with a
+/// string "config" and only finite scalar / nested-object values.
+Status ValidateBenchJson(const JsonValue& root);
+
+}  // namespace dba::obs
+
+#endif  // DBA_OBS_BENCH_JSON_H_

@@ -1,0 +1,111 @@
+#ifndef DBA_OBS_JSON_H_
+#define DBA_OBS_JSON_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+#include "common/status.h"
+
+namespace dba::obs {
+
+/// Minimal JSON document model for the observability layer: the writers
+/// (profile / stall / trace / bench exports) build values, the parser
+/// reads them back for validation and round-trip tests. Objects keep
+/// insertion order so emitted files are stable across runs.
+///
+/// Numbers are stored as double; integral values up to 2^53 round-trip
+/// exactly and are printed without a fractional part. All cycle counts
+/// the simulator produces fit (the watchdog caps runs at 2^36 cycles).
+class JsonValue {
+ public:
+  enum class Kind { kNull, kBool, kNumber, kString, kArray, kObject };
+
+  JsonValue() : kind_(Kind::kNull) {}
+  JsonValue(bool value) : kind_(Kind::kBool), bool_(value) {}  // NOLINT
+  JsonValue(double value) : kind_(Kind::kNumber), number_(value) {}  // NOLINT
+  JsonValue(int value)  // NOLINT
+      : kind_(Kind::kNumber), number_(static_cast<double>(value)) {}
+  JsonValue(unsigned value)  // NOLINT
+      : kind_(Kind::kNumber), number_(static_cast<double>(value)) {}
+  JsonValue(int64_t value)  // NOLINT
+      : kind_(Kind::kNumber), number_(static_cast<double>(value)) {}
+  JsonValue(uint64_t value)  // NOLINT
+      : kind_(Kind::kNumber), number_(static_cast<double>(value)) {}
+  JsonValue(std::string value)  // NOLINT
+      : kind_(Kind::kString), string_(std::move(value)) {}
+  JsonValue(std::string_view value)  // NOLINT
+      : kind_(Kind::kString), string_(value) {}
+  JsonValue(const char* value)  // NOLINT
+      : kind_(Kind::kString), string_(value) {}
+
+  static JsonValue Object() {
+    JsonValue value;
+    value.kind_ = Kind::kObject;
+    return value;
+  }
+  static JsonValue Array() {
+    JsonValue value;
+    value.kind_ = Kind::kArray;
+    return value;
+  }
+
+  Kind kind() const { return kind_; }
+  bool is_null() const { return kind_ == Kind::kNull; }
+  bool is_bool() const { return kind_ == Kind::kBool; }
+  bool is_number() const { return kind_ == Kind::kNumber; }
+  bool is_string() const { return kind_ == Kind::kString; }
+  bool is_array() const { return kind_ == Kind::kArray; }
+  bool is_object() const { return kind_ == Kind::kObject; }
+
+  bool as_bool() const { return bool_; }
+  double as_double() const { return number_; }
+  uint64_t as_u64() const { return static_cast<uint64_t>(number_); }
+  const std::string& as_string() const { return string_; }
+
+  /// Object accessors. Set replaces an existing key; returns *this so
+  /// rows can be built fluently.
+  JsonValue& Set(std::string key, JsonValue value);
+  /// Returns the member or nullptr.
+  const JsonValue* Find(std::string_view key) const;
+  /// Returns the member or a shared null value.
+  const JsonValue& at(std::string_view key) const;
+  const std::vector<std::pair<std::string, JsonValue>>& members() const {
+    return members_;
+  }
+
+  /// Array accessors.
+  JsonValue& Push(JsonValue value);
+  size_t size() const;
+  const JsonValue& at(size_t index) const { return elements_[index]; }
+  const std::vector<JsonValue>& elements() const { return elements_; }
+
+  /// Serializes the value. indent > 0 pretty-prints with that many
+  /// spaces per level; 0 emits a compact single line.
+  std::string Dump(int indent = 0) const;
+
+  /// Parses a complete JSON document (trailing whitespace allowed).
+  static Result<JsonValue> Parse(std::string_view text);
+
+ private:
+  void DumpTo(std::string* out, int indent, int depth) const;
+
+  Kind kind_;
+  bool bool_ = false;
+  double number_ = 0;
+  std::string string_;
+  std::vector<JsonValue> elements_;                          // kArray
+  std::vector<std::pair<std::string, JsonValue>> members_;   // kObject
+};
+
+/// Writes `value` to `path` (pretty-printed, trailing newline).
+Status WriteJsonFile(const std::string& path, const JsonValue& value);
+
+/// Reads and parses a JSON file.
+Result<JsonValue> ReadJsonFile(const std::string& path);
+
+}  // namespace dba::obs
+
+#endif  // DBA_OBS_JSON_H_

@@ -1,0 +1,128 @@
+#include "obs/serialize.h"
+
+namespace dba::obs {
+
+JsonValue ExecStatsToJson(const sim::ExecStats& stats) {
+  JsonValue json = JsonValue::Object();
+  json.Set("schema", kExecStatsSchema)
+      .Set("cycles", stats.cycles)
+      .Set("bundles", stats.bundles)
+      .Set("instructions", stats.instructions)
+      .Set("taken_branches", stats.taken_branches)
+      .Set("mispredicted_branches", stats.mispredicted_branches)
+      .Set("branch_penalty_cycles", stats.branch_penalty_cycles)
+      .Set("load_stall_cycles", stats.load_stall_cycles)
+      .Set("store_stall_cycles", stats.store_stall_cycles)
+      .Set("port_stall_cycles", stats.port_stall_cycles)
+      .Set("ext_extra_cycles", stats.ext_extra_cycles)
+      .Set("lsu_beats", JsonValue::Array()
+                            .Push(stats.lsu_beats[0])
+                            .Push(stats.lsu_beats[1]));
+  if (!stats.pc_counts.empty()) {
+    JsonValue counts = JsonValue::Array();
+    for (uint64_t count : stats.pc_counts) counts.Push(count);
+    json.Set("pc_counts", std::move(counts));
+  }
+  if (!stats.mnemonic_counts.empty()) {
+    JsonValue mix = JsonValue::Object();
+    for (const auto& [name, count] : stats.mnemonic_counts) {
+      mix.Set(name, count);
+    }
+    json.Set("mnemonic_counts", std::move(mix));
+  }
+  // ExecStats::trace is a rendered debug listing, not a metric; it is
+  // deliberately left out of the stable schema.
+  return json;
+}
+
+JsonValue RunMetricsToJson(const RunMetrics& metrics) {
+  JsonValue json = JsonValue::Object();
+  json.Set("schema", kRunMetricsSchema)
+      .Set("cycles", metrics.cycles)
+      .Set("seconds", metrics.seconds)
+      .Set("throughput_meps", metrics.throughput_meps)
+      .Set("energy_nj_per_element", metrics.energy_nj_per_element)
+      .Set("stats", ExecStatsToJson(metrics.stats));
+  return json;
+}
+
+JsonValue SynthesisReportToJson(const hwmodel::SynthesisReport& report) {
+  JsonValue json = JsonValue::Object();
+  json.Set("schema", kSynthesisSchema)
+      .Set("config", report.config_name)
+      .Set("tech_node", std::string(hwmodel::TechNodeName(report.node)))
+      .Set("logic_area_mm2", report.logic_area_mm2)
+      .Set("mem_area_mm2", report.mem_area_mm2)
+      .Set("total_area_mm2", report.total_area_mm2())
+      .Set("fmax_mhz", report.fmax_mhz)
+      .Set("power_mw", report.power_mw);
+  return json;
+}
+
+JsonValue ProfileReportToJson(const toolchain::ProfileReport& report) {
+  JsonValue json = JsonValue::Object();
+  json.Set("schema", kProfileSchema)
+      .Set("cycles", report.cycles)
+      .Set("instructions", report.instructions)
+      .Set("cycles_per_instruction", report.cycles_per_instruction);
+  JsonValue hotspots = JsonValue::Array();
+  for (const toolchain::HotspotEntry& entry : report.hotspots) {
+    JsonValue hotspot = JsonValue::Object();
+    hotspot.Set("pc", static_cast<uint64_t>(entry.pc))
+        .Set("count", entry.count)
+        .Set("percent", entry.percent)
+        .Set("label", entry.label)
+        .Set("disassembly", entry.disassembly);
+    hotspots.Push(std::move(hotspot));
+  }
+  json.Set("hotspots", std::move(hotspots));
+  JsonValue mix = JsonValue::Array();
+  for (const auto& [name, count] : report.instruction_mix) {
+    mix.Push(JsonValue::Object().Set("mnemonic", name).Set("count", count));
+  }
+  json.Set("instruction_mix", std::move(mix));
+  return json;
+}
+
+JsonValue StallComponentsToJson(const StallComponents& components) {
+  JsonValue json = JsonValue::Object();
+  json.Set("issue_cycles", components.issue_cycles)
+      .Set("branch_penalty_cycles", components.branch_penalty_cycles)
+      .Set("load_stall_cycles", components.load_stall_cycles)
+      .Set("store_stall_cycles", components.store_stall_cycles)
+      .Set("port_stall_cycles", components.port_stall_cycles)
+      .Set("ext_extra_cycles", components.ext_extra_cycles)
+      .Set("total_cycles", components.total_cycles());
+  return json;
+}
+
+JsonValue StallReportToJson(const StallReport& report) {
+  JsonValue json = JsonValue::Object();
+  json.Set("schema", kStallsSchema)
+      .Set("config", report.config_name)
+      .Set("num_lsus", static_cast<int64_t>(report.num_lsus))
+      .Set("cycles", report.cycles)
+      .Set("instructions", report.instructions)
+      .Set("cycles_per_instruction", report.cycles_per_instruction)
+      .Set("components", StallComponentsToJson(report.totals))
+      .Set("lsu_beats", JsonValue::Array()
+                            .Push(report.lsu_beats[0])
+                            .Push(report.lsu_beats[1]))
+      .Set("lsu_utilization", JsonValue::Array()
+                                  .Push(report.lsu_utilization[0])
+                                  .Push(report.lsu_utilization[1]));
+  JsonValue labels = JsonValue::Array();
+  for (const LabelStallRow& row : report.labels) {
+    JsonValue label = JsonValue::Object();
+    label.Set("label", row.label)
+        .Set("components", StallComponentsToJson(row.components))
+        .Set("lsu_beats", JsonValue::Array()
+                              .Push(row.lsu_beats[0])
+                              .Push(row.lsu_beats[1]));
+    labels.Push(std::move(label));
+  }
+  json.Set("labels", std::move(labels));
+  return json;
+}
+
+}  // namespace dba::obs

@@ -1,0 +1,34 @@
+#ifndef DBA_OBS_SERIALIZE_H_
+#define DBA_OBS_SERIALIZE_H_
+
+#include "core/processor.h"
+#include "hwmodel/synthesis.h"
+#include "obs/json.h"
+#include "obs/stall_report.h"
+#include "sim/stats.h"
+#include "toolchain/profiler.h"
+
+namespace dba::obs {
+
+/// Stable, versioned JSON exports of the simulator's result types.
+/// Every serializer tags its object with a "schema" member
+/// ("dba.<type>.v<N>"); adding members is a compatible change, removing
+/// or renaming one bumps the version. docs/OBSERVABILITY.md documents
+/// the schemas.
+
+inline constexpr std::string_view kExecStatsSchema = "dba.execstats.v1";
+inline constexpr std::string_view kRunMetricsSchema = "dba.runmetrics.v1";
+inline constexpr std::string_view kSynthesisSchema = "dba.synthesis.v1";
+inline constexpr std::string_view kProfileSchema = "dba.profile.v1";
+inline constexpr std::string_view kStallsSchema = "dba.stalls.v1";
+
+JsonValue ExecStatsToJson(const sim::ExecStats& stats);
+JsonValue RunMetricsToJson(const RunMetrics& metrics);
+JsonValue SynthesisReportToJson(const hwmodel::SynthesisReport& report);
+JsonValue ProfileReportToJson(const toolchain::ProfileReport& report);
+JsonValue StallComponentsToJson(const StallComponents& components);
+JsonValue StallReportToJson(const StallReport& report);
+
+}  // namespace dba::obs
+
+#endif  // DBA_OBS_SERIALIZE_H_

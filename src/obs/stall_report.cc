@@ -1,0 +1,160 @@
+#include "obs/stall_report.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <map>
+
+namespace dba::obs {
+
+namespace {
+
+/// Enclosing label per pc: the label bound at the greatest position at
+/// or before it (mirrors the region naming of the cycle trace).
+std::vector<std::string> EnclosingLabels(const isa::Program& program,
+                                         size_t size) {
+  std::vector<std::string> labels(size, "(entry)");
+  auto sorted = program.labels();
+  std::stable_sort(sorted.begin(), sorted.end(),
+                   [](const auto& x, const auto& y) {
+                     return x.second < y.second;
+                   });
+  for (const auto& [name, position] : sorted) {
+    for (size_t pc = position; pc < size; ++pc) {
+      labels[pc] = name;
+    }
+  }
+  return labels;
+}
+
+}  // namespace
+
+StallReport BuildStallReport(const isa::Program& program,
+                             const sim::ExecStats& stats,
+                             std::string config_name, int num_lsus) {
+  StallReport report;
+  report.config_name = std::move(config_name);
+  report.num_lsus = num_lsus;
+  report.cycles = stats.cycles;
+  report.instructions = stats.instructions;
+  if (stats.instructions > 0) {
+    report.cycles_per_instruction = static_cast<double>(stats.cycles) /
+                                    static_cast<double>(stats.instructions);
+  }
+
+  // Issue cycles are whatever the explicit stall categories do not
+  // cover: the simulator adds exactly one issue cycle per bundle.
+  report.totals.issue_cycles = stats.bundles;
+  report.totals.branch_penalty_cycles = stats.branch_penalty_cycles;
+  report.totals.load_stall_cycles = stats.load_stall_cycles;
+  report.totals.store_stall_cycles = stats.store_stall_cycles;
+  report.totals.port_stall_cycles = stats.port_stall_cycles;
+  report.totals.ext_extra_cycles = stats.ext_extra_cycles;
+
+  report.lsu_beats[0] = stats.lsu_beats[0];
+  report.lsu_beats[1] = stats.lsu_beats[1];
+  for (int port = 0; port < 2; ++port) {
+    report.lsu_utilization[port] =
+        stats.cycles > 0 ? static_cast<double>(stats.lsu_beats[port]) /
+                               static_cast<double>(stats.cycles)
+                         : 0.0;
+  }
+
+  if (!stats.pc_cycles.empty()) {
+    const std::vector<std::string> labels =
+        EnclosingLabels(program, stats.pc_cycles.size());
+    std::map<std::string, LabelStallRow> rows;
+    for (size_t pc = 0; pc < stats.pc_cycles.size(); ++pc) {
+      const sim::PcCycleBreakdown& breakdown = stats.pc_cycles[pc];
+      if (breakdown.total_cycles() == 0 && breakdown.lsu_beats[0] == 0 &&
+          breakdown.lsu_beats[1] == 0) {
+        continue;
+      }
+      LabelStallRow& row = rows[labels[pc]];
+      row.label = labels[pc];
+      row.components.issue_cycles += breakdown.issue_cycles;
+      row.components.branch_penalty_cycles += breakdown.branch_penalty_cycles;
+      row.components.load_stall_cycles += breakdown.load_stall_cycles;
+      row.components.store_stall_cycles += breakdown.store_stall_cycles;
+      row.components.port_stall_cycles += breakdown.port_stall_cycles;
+      row.components.ext_extra_cycles += breakdown.ext_extra_cycles;
+      row.lsu_beats[0] += breakdown.lsu_beats[0];
+      row.lsu_beats[1] += breakdown.lsu_beats[1];
+    }
+    for (auto& [label, row] : rows) {
+      report.labels.push_back(std::move(row));
+    }
+    std::stable_sort(report.labels.begin(), report.labels.end(),
+                     [](const LabelStallRow& x, const LabelStallRow& y) {
+                       return x.components.total_cycles() >
+                              y.components.total_cycles();
+                     });
+  }
+  return report;
+}
+
+std::string StallReport::ToString() const {
+  std::string out;
+  char line[200];
+  std::snprintf(line, sizeof line,
+                "%s: %llu cycles, %llu instructions, CPI %.3f\n",
+                config_name.c_str(),
+                static_cast<unsigned long long>(cycles),
+                static_cast<unsigned long long>(instructions),
+                cycles_per_instruction);
+  out += line;
+
+  auto percent = [this](uint64_t value) {
+    return cycles > 0
+               ? 100.0 * static_cast<double>(value) / static_cast<double>(cycles)
+               : 0.0;
+  };
+  std::snprintf(line, sizeof line,
+                "cycle breakdown: issue %llu (%.1f%%), branch %llu (%.1f%%), "
+                "load %llu (%.1f%%), store %llu (%.1f%%), port %llu (%.1f%%), "
+                "ext %llu (%.1f%%)\n",
+                static_cast<unsigned long long>(totals.issue_cycles),
+                percent(totals.issue_cycles),
+                static_cast<unsigned long long>(totals.branch_penalty_cycles),
+                percent(totals.branch_penalty_cycles),
+                static_cast<unsigned long long>(totals.load_stall_cycles),
+                percent(totals.load_stall_cycles),
+                static_cast<unsigned long long>(totals.store_stall_cycles),
+                percent(totals.store_stall_cycles),
+                static_cast<unsigned long long>(totals.port_stall_cycles),
+                percent(totals.port_stall_cycles),
+                static_cast<unsigned long long>(totals.ext_extra_cycles),
+                percent(totals.ext_extra_cycles));
+  out += line;
+
+  for (int port = 0; port < num_lsus; ++port) {
+    std::snprintf(line, sizeof line,
+                  "LSU%d: %llu beats, %.1f%% beat utilization\n", port,
+                  static_cast<unsigned long long>(lsu_beats[port]),
+                  100.0 * lsu_utilization[port]);
+    out += line;
+  }
+
+  if (!labels.empty()) {
+    out += "per-label attribution (cycles: issue/branch/load/store/port/ext, "
+           "beats LSU0+LSU1):\n";
+    for (const LabelStallRow& row : labels) {
+      std::snprintf(
+          line, sizeof line,
+          "  %-20s %10llu  %llu/%llu/%llu/%llu/%llu/%llu  %llu+%llu\n",
+          row.label.c_str(),
+          static_cast<unsigned long long>(row.components.total_cycles()),
+          static_cast<unsigned long long>(row.components.issue_cycles),
+          static_cast<unsigned long long>(row.components.branch_penalty_cycles),
+          static_cast<unsigned long long>(row.components.load_stall_cycles),
+          static_cast<unsigned long long>(row.components.store_stall_cycles),
+          static_cast<unsigned long long>(row.components.port_stall_cycles),
+          static_cast<unsigned long long>(row.components.ext_extra_cycles),
+          static_cast<unsigned long long>(row.lsu_beats[0]),
+          static_cast<unsigned long long>(row.lsu_beats[1]));
+      out += line;
+    }
+  }
+  return out;
+}
+
+}  // namespace dba::obs

@@ -1,0 +1,70 @@
+#ifndef DBA_OBS_STALL_REPORT_H_
+#define DBA_OBS_STALL_REPORT_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "isa/program.h"
+#include "sim/stats.h"
+
+namespace dba::obs {
+
+/// One CPI decomposition: every cycle of a run is exactly one of these
+/// six kinds (issue is the single issue cycle of each program word; the
+/// rest are the stall categories the simulator models). The components
+/// therefore sum to the cycle count of the region they describe.
+struct StallComponents {
+  uint64_t issue_cycles = 0;
+  uint64_t branch_penalty_cycles = 0;
+  uint64_t load_stall_cycles = 0;
+  uint64_t store_stall_cycles = 0;
+  uint64_t port_stall_cycles = 0;
+  uint64_t ext_extra_cycles = 0;
+
+  uint64_t total_cycles() const {
+    return issue_cycles + branch_penalty_cycles + load_stall_cycles +
+           store_stall_cycles + port_stall_cycles + ext_extra_cycles;
+  }
+};
+
+/// Stall attribution for one enclosing program label.
+struct LabelStallRow {
+  std::string label;  // "(entry)" for code before the first label
+  StallComponents components;
+  uint64_t lsu_beats[2] = {0, 0};
+};
+
+/// The stall-attribution report: CPI decomposed into issue and stall
+/// components, per enclosing program label, plus LSU beat utilization
+/// per port -- the quantity that explains the 1-LSU vs 2-LSU and
+/// partial-loading deltas of the paper's Table 2.
+struct StallReport {
+  std::string config_name;
+  int num_lsus = 1;
+  uint64_t cycles = 0;
+  uint64_t instructions = 0;
+  double cycles_per_instruction = 0;
+
+  StallComponents totals;
+  uint64_t lsu_beats[2] = {0, 0};
+  /// Beats issued on a port divided by total cycles: the fraction of
+  /// cycles the port transfers a 128-bit beat.
+  double lsu_utilization[2] = {0, 0};
+
+  /// Per-label rows, descending by total cycles. Filled only when the
+  /// run was profiled (RunOptions::profile); rows sum to `totals`.
+  std::vector<LabelStallRow> labels;
+
+  std::string ToString() const;
+};
+
+/// Builds the stall-attribution report of one run. `stats` must come
+/// from the given `program`; per-label rows need a profiled run.
+StallReport BuildStallReport(const isa::Program& program,
+                             const sim::ExecStats& stats,
+                             std::string config_name, int num_lsus);
+
+}  // namespace dba::obs
+
+#endif  // DBA_OBS_STALL_REPORT_H_

@@ -1,0 +1,84 @@
+#include "obs/trace_writer.h"
+
+#include <utility>
+
+namespace dba::obs {
+
+namespace {
+constexpr int kPid = 1;
+constexpr int kSliceTid = 1;
+}  // namespace
+
+ChromeTraceWriter::ChromeTraceWriter(std::string process_name)
+    : process_name_(std::move(process_name)) {}
+
+void ChromeTraceWriter::BeginRegion(uint64_t cycle, std::string_view name) {
+  events_.push_back(Event{'B', cycle, std::string(name), 0});
+  open_regions_.emplace_back(name);
+  last_cycle_ = std::max(last_cycle_, cycle);
+}
+
+void ChromeTraceWriter::EndRegion(uint64_t cycle) {
+  if (open_regions_.empty()) return;  // unbalanced End; drop it
+  events_.push_back(Event{'E', cycle, open_regions_.back(), 0});
+  open_regions_.pop_back();
+  last_cycle_ = std::max(last_cycle_, cycle);
+}
+
+void ChromeTraceWriter::Counter(uint64_t cycle, std::string_view name,
+                                double value) {
+  events_.push_back(Event{'C', cycle, std::string(name), value});
+  last_cycle_ = std::max(last_cycle_, cycle);
+}
+
+JsonValue ChromeTraceWriter::ToJson() const {
+  JsonValue trace_events = JsonValue::Array();
+
+  JsonValue process_meta = JsonValue::Object();
+  process_meta.Set("name", "process_name")
+      .Set("ph", "M")
+      .Set("pid", kPid)
+      .Set("args", JsonValue::Object().Set("name", process_name_));
+  trace_events.Push(std::move(process_meta));
+  JsonValue thread_meta = JsonValue::Object();
+  thread_meta.Set("name", "thread_name")
+      .Set("ph", "M")
+      .Set("pid", kPid)
+      .Set("tid", kSliceTid)
+      .Set("args", JsonValue::Object().Set("name", "kernel phases"));
+  trace_events.Push(std::move(thread_meta));
+
+  auto emit = [&trace_events](const Event& event) {
+    JsonValue json = JsonValue::Object();
+    json.Set("name", event.name)
+        .Set("ph", std::string(1, event.phase))
+        .Set("ts", event.cycle)
+        .Set("pid", kPid);
+    if (event.phase == 'C') {
+      json.Set("args", JsonValue::Object().Set("value", event.value));
+    } else {
+      json.Set("tid", kSliceTid);
+    }
+    trace_events.Push(std::move(json));
+  };
+  for (const Event& event : events_) emit(event);
+  // Close any regions an aborted run left open so every 'B' has its 'E'.
+  for (auto it = open_regions_.rbegin(); it != open_regions_.rend(); ++it) {
+    emit(Event{'E', last_cycle_, *it, 0});
+  }
+
+  JsonValue root = JsonValue::Object();
+  root.Set("traceEvents", std::move(trace_events));
+  root.Set("displayTimeUnit", "ns");
+  root.Set("otherData",
+           JsonValue::Object()
+               .Set("source", "dba simulator cycle trace")
+               .Set("time_unit", "1 trace us = 1 core cycle"));
+  return root;
+}
+
+Status ChromeTraceWriter::WriteTo(const std::string& path) const {
+  return WriteJsonFile(path, ToJson());
+}
+
+}  // namespace dba::obs

@@ -1,0 +1,56 @@
+#ifndef DBA_OBS_TRACE_WRITER_H_
+#define DBA_OBS_TRACE_WRITER_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "obs/json.h"
+#include "sim/trace_sink.h"
+
+namespace dba::obs {
+
+/// Cycle-trace sink that renders Chrome trace-event JSON ("JSON object
+/// format"), loadable in ui.perfetto.dev and chrome://tracing. Region
+/// begin/end pairs become duration slices ("ph":"B"/"E") on one track;
+/// counter samples become counter tracks ("ph":"C"). One simulated
+/// cycle maps to one microsecond of trace time, so the viewer's time
+/// ruler reads directly in cycles.
+class ChromeTraceWriter : public sim::CycleTraceSink {
+ public:
+  /// `process_name` labels the trace's process row (e.g. the processor
+  /// configuration).
+  explicit ChromeTraceWriter(std::string process_name = "dba-sim");
+
+  // sim::CycleTraceSink
+  void BeginRegion(uint64_t cycle, std::string_view name) override;
+  void EndRegion(uint64_t cycle) override;
+  void Counter(uint64_t cycle, std::string_view name, double value) override;
+
+  size_t event_count() const { return events_.size(); }
+
+  /// The complete document: {"traceEvents": [...], ...}. Regions still
+  /// open (e.g. after an aborted run) are closed at the last seen
+  /// timestamp so the output is always well-formed.
+  JsonValue ToJson() const;
+
+  Status WriteTo(const std::string& path) const;
+
+ private:
+  struct Event {
+    char phase;  // 'B', 'E', 'C'
+    uint64_t cycle;
+    std::string name;
+    double value;  // counters only
+  };
+
+  std::string process_name_;
+  std::vector<Event> events_;
+  std::vector<std::string> open_regions_;
+  uint64_t last_cycle_ = 0;
+};
+
+}  // namespace dba::obs
+
+#endif  // DBA_OBS_TRACE_WRITER_H_

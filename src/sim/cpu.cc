@@ -2,6 +2,7 @@
 
 #include <cstdio>
 
+#include <algorithm>
 #include <utility>
 
 #include "common/check.h"
@@ -92,6 +93,19 @@ Status Cpu::LoadProgram(const isa::Program& program) {
   }
   decoded_ = std::move(decoded);
   program_ = &program;
+  // Enclosing label per pc: the label bound at the greatest position at
+  // or before it.
+  pc_labels_.assign(decoded_.size(), std::string());
+  auto sorted_labels = program.labels();
+  std::stable_sort(sorted_labels.begin(), sorted_labels.end(),
+                   [](const auto& x, const auto& y) {
+                     return x.second < y.second;
+                   });
+  for (const auto& [name, position] : sorted_labels) {
+    for (size_t pc = position; pc < decoded_.size(); ++pc) {
+      pc_labels_[pc] = name;
+    }
+  }
   pc_ = 0;
   return Status::Ok();
 }
@@ -358,7 +372,29 @@ Result<ExecStats> Cpu::Run(const RunOptions& options) {
     return Status::FailedPrecondition("no program loaded");
   }
   ExecStats stats;
-  if (options.profile) stats.pc_counts.resize(decoded_.size(), 0);
+  if (options.profile) {
+    stats.pc_counts.resize(decoded_.size(), 0);
+    stats.pc_cycles.resize(decoded_.size());
+  }
+
+  CycleTraceSink* sink = options.trace_sink;
+  auto sample_counters = [&stats, sink](uint64_t cycle) {
+    sink->Counter(cycle, "stall/branch",
+                  static_cast<double>(stats.branch_penalty_cycles));
+    sink->Counter(cycle, "stall/load",
+                  static_cast<double>(stats.load_stall_cycles));
+    sink->Counter(cycle, "stall/store",
+                  static_cast<double>(stats.store_stall_cycles));
+    sink->Counter(cycle, "stall/port",
+                  static_cast<double>(stats.port_stall_cycles));
+    sink->Counter(cycle, "stall/ext",
+                  static_cast<double>(stats.ext_extra_cycles));
+    sink->Counter(cycle, "lsu0/beats",
+                  static_cast<double>(stats.lsu_beats[0]));
+    sink->Counter(cycle, "lsu1/beats",
+                  static_cast<double>(stats.lsu_beats[1]));
+  };
+  const std::string* open_region = nullptr;  // label of the open region
 
   bool halted = false;
   while (!halted) {
@@ -371,8 +407,22 @@ Result<ExecStats> Cpu::Run(const RunOptions& options) {
       return Status::Internal("pc " + std::to_string(pc_) +
                               " outside the program (missing halt?)");
     }
+    const uint32_t issue_pc = pc_;
     const isa::DecodedWord& word = decoded_[pc_];
     if (options.profile) ++stats.pc_counts[pc_];
+    if (sink != nullptr) {
+      const std::string& label = pc_labels_[issue_pc];
+      if (open_region == nullptr || label != *open_region) {
+        if (open_region != nullptr) {
+          sink->EndRegion(stats.cycles);
+          sample_counters(stats.cycles);
+        }
+        sink->BeginRegion(stats.cycles,
+                          label.empty() ? std::string_view("(entry)")
+                                        : std::string_view(label));
+        open_region = &label;
+      }
+    }
     if (stats.trace.size() < options.trace_limit) {
       char head[32];
       std::snprintf(head, sizeof head, "%8llu %4u: ",
@@ -382,6 +432,19 @@ Result<ExecStats> Cpu::Run(const RunOptions& options) {
     }
     ++stats.bundles;
     ++stats.cycles;  // issue cycle
+
+    // Snapshot the stall counters so the deltas of this word can be
+    // attributed to its pc (and through it, to its enclosing label).
+    PcCycleBreakdown before;
+    if (options.profile) {
+      before.branch_penalty_cycles = stats.branch_penalty_cycles;
+      before.load_stall_cycles = stats.load_stall_cycles;
+      before.store_stall_cycles = stats.store_stall_cycles;
+      before.port_stall_cycles = stats.port_stall_cycles;
+      before.ext_extra_cycles = stats.ext_extra_cycles;
+      before.lsu_beats[0] = stats.lsu_beats[0];
+      before.lsu_beats[1] = stats.lsu_beats[1];
+    }
 
     if (word.kind == isa::DecodedWord::Kind::kBase) {
       ++stats.instructions;
@@ -418,6 +481,28 @@ Result<ExecStats> Cpu::Run(const RunOptions& options) {
       stats.lsu_beats[1] += ctx.beats_[1];
       pc_ = pc_ + 1;
     }
+
+    if (options.profile) {
+      PcCycleBreakdown& slot = stats.pc_cycles[issue_pc];
+      slot.issue_cycles += 1;
+      slot.branch_penalty_cycles +=
+          stats.branch_penalty_cycles - before.branch_penalty_cycles;
+      slot.load_stall_cycles +=
+          stats.load_stall_cycles - before.load_stall_cycles;
+      slot.store_stall_cycles +=
+          stats.store_stall_cycles - before.store_stall_cycles;
+      slot.port_stall_cycles +=
+          stats.port_stall_cycles - before.port_stall_cycles;
+      slot.ext_extra_cycles +=
+          stats.ext_extra_cycles - before.ext_extra_cycles;
+      slot.lsu_beats[0] += stats.lsu_beats[0] - before.lsu_beats[0];
+      slot.lsu_beats[1] += stats.lsu_beats[1] - before.lsu_beats[1];
+    }
+  }
+
+  if (sink != nullptr && open_region != nullptr) {
+    sink->EndRegion(stats.cycles);
+    sample_counters(stats.cycles);
   }
   return stats;
 }

@@ -15,6 +15,7 @@
 #include "sim/core_config.h"
 #include "sim/ext_op.h"
 #include "sim/stats.h"
+#include "sim/trace_sink.h"
 
 namespace dba::sim {
 
@@ -22,12 +23,18 @@ namespace dba::sim {
 struct RunOptions {
   /// Watchdog: abort with DeadlineExceeded after this many cycles.
   uint64_t max_cycles = 1ull << 36;
-  /// Collect per-pc counts and the dynamic instruction mix (slower).
+  /// Collect per-pc counts, per-pc cycle attribution, and the dynamic
+  /// instruction mix (slower).
   bool profile = false;
   /// Record the first `trace_limit` issued words as rendered trace
   /// lines in ExecStats::trace (the debug interface of the processor
   /// model); 0 disables tracing.
   uint32_t trace_limit = 0;
+  /// Cycle-trace receiver (non-owning; may be null). When set, the run
+  /// emits a duration slice per enclosing label region and samples the
+  /// stall/beat counter tracks at each region boundary. The Chrome
+  /// trace-event writer in src/obs renders these for ui.perfetto.dev.
+  CycleTraceSink* trace_sink = nullptr;
 };
 
 /// Cycle-accurate in-order model of the configurable core.
@@ -103,6 +110,9 @@ class Cpu {
 
   std::vector<isa::DecodedWord> decoded_;
   const isa::Program* program_ = nullptr;  // for diagnostics only
+  /// Enclosing label per pc (empty when none), rebuilt by LoadProgram;
+  /// names the cycle-trace regions and the stall-attribution rows.
+  std::vector<std::string> pc_labels_;
 
   std::array<uint32_t, isa::kNumRegs> regs_{};
   uint32_t pc_ = 0;

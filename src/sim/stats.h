@@ -1,6 +1,7 @@
 #ifndef DBA_SIM_STATS_H_
 #define DBA_SIM_STATS_H_
 
+#include <algorithm>
 #include <cstdint>
 #include <map>
 #include <string>
@@ -8,9 +9,41 @@
 
 namespace dba::sim {
 
+/// Where the cycles of one program word went. Collected per pc when
+/// RunOptions::profile so the observability layer (src/obs) can
+/// attribute stalls to the enclosing program label; the invariant
+///   total_cycles() summed over all pcs == ExecStats::cycles
+/// holds for a complete profiled run.
+struct PcCycleBreakdown {
+  uint64_t issue_cycles = 0;  // one per issue of this word
+  uint64_t branch_penalty_cycles = 0;
+  uint64_t load_stall_cycles = 0;
+  uint64_t store_stall_cycles = 0;
+  uint64_t port_stall_cycles = 0;
+  uint64_t ext_extra_cycles = 0;
+  uint64_t lsu_beats[2] = {0, 0};  // not cycles; utilization bookkeeping
+
+  uint64_t total_cycles() const {
+    return issue_cycles + branch_penalty_cycles + load_stall_cycles +
+           store_stall_cycles + port_stall_cycles + ext_extra_cycles;
+  }
+
+  void Accumulate(const PcCycleBreakdown& other) {
+    issue_cycles += other.issue_cycles;
+    branch_penalty_cycles += other.branch_penalty_cycles;
+    load_stall_cycles += other.load_stall_cycles;
+    store_stall_cycles += other.store_stall_cycles;
+    port_stall_cycles += other.port_stall_cycles;
+    ext_extra_cycles += other.ext_extra_cycles;
+    lsu_beats[0] += other.lsu_beats[0];
+    lsu_beats[1] += other.lsu_beats[1];
+  }
+};
+
 /// Cycle-accurate execution statistics of one Cpu::Run. The profiler in
 /// src/toolchain renders these into hotspot reports (the first box of
-/// the paper's Figure 4 tool flow).
+/// the paper's Figure 4 tool flow); src/obs serializes them to JSON and
+/// builds the stall-attribution report.
 struct ExecStats {
   uint64_t cycles = 0;
   uint64_t bundles = 0;        // issued program words
@@ -30,6 +63,10 @@ struct ExecStats {
   /// Per-pc execution counts; filled only when RunOptions::profile.
   std::vector<uint64_t> pc_counts;
 
+  /// Per-pc cycle attribution; filled only when RunOptions::profile.
+  /// Indexed like pc_counts.
+  std::vector<PcCycleBreakdown> pc_cycles;
+
   /// Dynamic instruction mix; filled only when RunOptions::profile.
   std::map<std::string, uint64_t> mnemonic_counts;
 
@@ -37,6 +74,12 @@ struct ExecStats {
   /// "cycle pc: disassembly".
   std::vector<std::string> trace;
 
+  /// Merges the counters of another run into this one. Per-pc vectors
+  /// are added element-wise (the result covers the larger program), so
+  /// accumulating runs of the same program keeps hotspot and stall
+  /// attribution exact. `trace` is intentionally NOT merged: it is a
+  /// rendered debug listing of one specific run, and interleaving the
+  /// lines of two runs would produce a listing that never happened.
   void Accumulate(const ExecStats& other) {
     cycles += other.cycles;
     bundles += other.bundles;
@@ -50,6 +93,18 @@ struct ExecStats {
     ext_extra_cycles += other.ext_extra_cycles;
     lsu_beats[0] += other.lsu_beats[0];
     lsu_beats[1] += other.lsu_beats[1];
+    if (pc_counts.size() < other.pc_counts.size()) {
+      pc_counts.resize(other.pc_counts.size(), 0);
+    }
+    for (size_t pc = 0; pc < other.pc_counts.size(); ++pc) {
+      pc_counts[pc] += other.pc_counts[pc];
+    }
+    if (pc_cycles.size() < other.pc_cycles.size()) {
+      pc_cycles.resize(other.pc_cycles.size());
+    }
+    for (size_t pc = 0; pc < other.pc_cycles.size(); ++pc) {
+      pc_cycles[pc].Accumulate(other.pc_cycles[pc]);
+    }
     for (const auto& [name, count] : other.mnemonic_counts) {
       mnemonic_counts[name] += count;
     }

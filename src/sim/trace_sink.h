@@ -1,0 +1,34 @@
+#ifndef DBA_SIM_TRACE_SINK_H_
+#define DBA_SIM_TRACE_SINK_H_
+
+#include <cstdint>
+#include <string_view>
+
+namespace dba::sim {
+
+/// Receiver of cycle-trace events emitted by Cpu::Run (and by the layers
+/// above it, e.g. Processor kernel phases). Timestamps are cycle numbers
+/// relative to the start of the run; regions nest like a call stack.
+///
+/// The simulator only depends on this interface; concrete sinks (the
+/// Chrome trace-event / Perfetto writer) live in src/obs.
+class CycleTraceSink {
+ public:
+  virtual ~CycleTraceSink() = default;
+
+  /// A named region begins at `cycle`. Regions are emitted in nesting
+  /// order: a BeginRegion opens a child of the innermost open region.
+  virtual void BeginRegion(uint64_t cycle, std::string_view name) = 0;
+
+  /// The innermost open region ends at `cycle`.
+  virtual void EndRegion(uint64_t cycle) = 0;
+
+  /// Sample of a cumulative counter track (stall cycles, LSU beats) at
+  /// `cycle`.
+  virtual void Counter(uint64_t cycle, std::string_view name,
+                       double value) = 0;
+};
+
+}  // namespace dba::sim
+
+#endif  // DBA_SIM_TRACE_SINK_H_

@@ -7,6 +7,12 @@
 //   dba_cli --config=DBA_1LSU_EIS --op=sort --n=6500 --no-partial
 //   dba_cli --config=DBA_2LSU_EIS --op=union --n=200000 --stream
 //   dba_cli --config=DBA_2LSU_EIS --op=intersect --n=64 --profile --disasm
+//
+// Observability subcommands (docs/OBSERVABILITY.md):
+//
+//   dba_cli profile --config=DBA_2LSU_EIS --op=intersect --json=out.json
+//   dba_cli trace --config=DBA_2LSU_EIS --op=intersect --out=run.trace.json
+//   dba_cli validate-bench BENCH_table2_throughput.json
 
 #include <cstdio>
 #include <cstdlib>
@@ -18,6 +24,9 @@
 #include "core/workload.h"
 #include "hwmodel/synthesis.h"
 #include "isa/disassembler.h"
+#include "obs/bench_json.h"
+#include "obs/serialize.h"
+#include "obs/trace_writer.h"
 #include "prefetch/streaming.h"
 #include "toolchain/profiler.h"
 
@@ -27,6 +36,7 @@ using dba::ProcessorKind;
 using dba::SetOp;
 
 struct CliOptions {
+  std::string command;  // "", "profile", "trace"
   std::string config = "DBA_2LSU_EIS";
   std::string op = "intersect";
   uint32_t n = 5000;
@@ -42,11 +52,23 @@ struct CliOptions {
   bool stream = false;
   bool list_configs = false;
   uint32_t trace = 0;
+  std::string json_path;   // profile: combined JSON report
+  std::string trace_path = "dba.trace.json";  // trace: Perfetto file
 };
 
 void PrintUsage() {
   std::printf(
-      "usage: dba_cli [options]\n"
+      "usage: dba_cli [command] [options]\n"
+      "commands:\n"
+      "  (none)                   run a kernel and print its metrics\n"
+      "  profile                  run profiled; print the hotspot and\n"
+      "                           stall-attribution reports\n"
+      "                           (--json=PATH writes them as JSON)\n"
+      "  trace                    run with the cycle tracer; write a\n"
+      "                           Chrome trace-event / Perfetto file\n"
+      "                           (--out=PATH, default dba.trace.json)\n"
+      "  validate-bench FILE...   validate dba.bench.v1 JSON documents\n"
+      "options:\n"
       "  --list-configs           print the synthesis table and exit\n"
       "  --config=NAME            108Mini | DBA_1LSU | DBA_2LSU |\n"
       "                           DBA_1LSU_EIS | DBA_2LSU_EIS\n"
@@ -138,11 +160,105 @@ int Fail(const dba::Status& status) {
   return 1;
 }
 
+int NumLsus(ProcessorKind kind) {
+  return (kind == ProcessorKind::kDba2Lsu ||
+          kind == ProcessorKind::kDba2LsuEis)
+             ? 2
+             : 1;
+}
+
+/// validate-bench FILE...: parse each document and check it against the
+/// dba.bench.v1 schema.
+int ValidateBenchFiles(int argc, char** argv, int first) {
+  if (first >= argc) {
+    std::fprintf(stderr, "validate-bench: no files given\n");
+    return 2;
+  }
+  int failures = 0;
+  for (int i = first; i < argc; ++i) {
+    auto document = dba::obs::ReadJsonFile(argv[i]);
+    const dba::Status status =
+        document.ok() ? dba::obs::ValidateBenchJson(*document)
+                      : document.status();
+    if (status.ok()) {
+      std::printf("%s: OK (%s, %zu rows)\n", argv[i],
+                  document->at("bench").as_string().c_str(),
+                  document->at("results").size());
+    } else {
+      std::fprintf(stderr, "%s: INVALID: %s\n", argv[i],
+                   status.ToString().c_str());
+      ++failures;
+    }
+  }
+  return failures == 0 ? 0 : 1;
+}
+
+/// Shared tail of the profile/trace subcommands: prints the hotspot and
+/// stall reports, writes the combined JSON document (profile --json) and
+/// the Perfetto trace file (trace).
+int FinishRun(dba::Processor& processor, const CliOptions& options,
+              const dba::RunMetrics& metrics,
+              const dba::isa::Program* program,
+              const dba::obs::ChromeTraceWriter* trace_writer) {
+  const bool want_reports = options.command == "profile";
+  dba::obs::StallReport stalls;
+  if (want_reports || !options.json_path.empty()) {
+    stalls = dba::obs::BuildStallReport(*program, metrics.stats,
+                                        processor.synthesis().config_name,
+                                        NumLsus(processor.kind()));
+  }
+  if (want_reports) {
+    std::printf("\n%s", dba::toolchain::BuildProfile(
+                            *program, metrics.stats,
+                            processor.cpu().MakeExtNameResolver())
+                            .ToString()
+                            .c_str());
+    std::printf("\n%s", stalls.ToString().c_str());
+  }
+  if (!options.json_path.empty()) {
+    auto root = dba::obs::JsonValue::Object();
+    root.Set("config", processor.synthesis().config_name)
+        .Set("op", options.op)
+        .Set("profile",
+             dba::obs::ProfileReportToJson(dba::toolchain::BuildProfile(
+                 *program, metrics.stats,
+                 processor.cpu().MakeExtNameResolver())))
+        .Set("stalls", dba::obs::StallReportToJson(stalls))
+        .Set("metrics", dba::obs::RunMetricsToJson(metrics))
+        .Set("synthesis",
+             dba::obs::SynthesisReportToJson(processor.synthesis()));
+    const dba::Status status =
+        dba::obs::WriteJsonFile(options.json_path, root);
+    if (!status.ok()) return Fail(status);
+    std::printf("\nwrote profile JSON to %s\n", options.json_path.c_str());
+  }
+  if (trace_writer != nullptr) {
+    const dba::Status status = trace_writer->WriteTo(options.trace_path);
+    if (!status.ok()) return Fail(status);
+    std::printf("\nwrote %zu trace events to %s (open in ui.perfetto.dev)\n",
+                trace_writer->event_count(), options.trace_path.c_str());
+  }
+  return 0;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
   CliOptions options;
-  for (int i = 1; i < argc; ++i) {
+  int first_flag = 1;
+  if (argc > 1 && argv[1][0] != '-') {
+    options.command = argv[1];
+    first_flag = 2;
+    if (options.command == "validate-bench") {
+      return ValidateBenchFiles(argc, argv, 2);
+    }
+    if (options.command != "profile" && options.command != "trace") {
+      std::fprintf(stderr, "unknown command: %s\n\n", argv[1]);
+      PrintUsage();
+      return 2;
+    }
+  }
+  for (int i = first_flag; i < argc; ++i) {
     std::string value;
     const char* arg = argv[i];
     if (std::strcmp(arg, "--help") == 0 || std::strcmp(arg, "-h") == 0) {
@@ -178,6 +294,10 @@ int main(int argc, char** argv) {
       options.unroll = static_cast<int>(std::strtol(value.c_str(), nullptr, 10));
     } else if (ParseFlag(arg, "--trace", &value)) {
       options.trace = static_cast<uint32_t>(std::strtoul(value.c_str(), nullptr, 10));
+    } else if (ParseFlag(arg, "--json", &value)) {
+      options.json_path = value;
+    } else if (ParseFlag(arg, "--out", &value)) {
+      options.trace_path = value;
     } else {
       std::fprintf(stderr, "unknown option: %s\n\n", arg);
       PrintUsage();
@@ -186,6 +306,14 @@ int main(int argc, char** argv) {
   }
 
   if (options.list_configs) return ListConfigs();
+
+  const bool is_command = !options.command.empty();
+  if (is_command && options.stream) {
+    std::fprintf(stderr, "%s does not support --stream\n",
+                 options.command.c_str());
+    return 2;
+  }
+  if (options.command == "profile") options.profile = true;
 
   const auto kind = ParseKind(options.config);
   if (!kind.has_value()) {
@@ -223,25 +351,30 @@ int main(int argc, char** argv) {
                     .c_str());
   }
 
+  dba::obs::ChromeTraceWriter trace_writer(options.config);
   dba::RunSettings settings;
   settings.force_scalar = options.scalar;
   settings.profile = options.profile;
   settings.trace_limit = options.trace;
+  if (options.command == "trace") settings.trace_sink = &trace_writer;
 
   if (is_sort) {
     const auto values = dba::GenerateSortInput(options.n, options.seed);
     auto run = (*processor)->RunSort(values, settings);
     if (!run.ok()) return Fail(run.status());
     PrintMetrics(run->metrics, run->sorted.size(), **processor);
+    auto program = (*processor)->sort_program(scalar);
+    if (!program.ok()) return Fail(program.status());
+    if (is_command) {
+      return FinishRun(**processor, options, run->metrics, *program,
+                       options.command == "trace" ? &trace_writer : nullptr);
+    }
     if (options.profile) {
-      auto program = (*processor)->sort_program(scalar);
-      if (program.ok()) {
-        std::printf("\n%s", dba::toolchain::BuildProfile(
-                                **program, run->metrics.stats,
-                                (*processor)->cpu().MakeExtNameResolver())
-                                .ToString()
-                                .c_str());
-      }
+      std::printf("\n%s", dba::toolchain::BuildProfile(
+                              **program, run->metrics.stats,
+                              (*processor)->cpu().MakeExtNameResolver())
+                              .ToString()
+                              .c_str());
     }
     return 0;
   }
@@ -285,15 +418,18 @@ int main(int argc, char** argv) {
       std::printf("%s\n", line.c_str());
     }
   }
-  if (options.profile) {
-    auto program = (*processor)->setop_program(*op, scalar);
-    if (program.ok()) {
-      std::printf("\n%s", dba::toolchain::BuildProfile(
-                              **program, run->metrics.stats,
-                              (*processor)->cpu().MakeExtNameResolver())
-                              .ToString()
-                              .c_str());
-    }
+  auto program = (*processor)->setop_program(*op, scalar);
+  if (is_command) {
+    if (!program.ok()) return Fail(program.status());
+    return FinishRun(**processor, options, run->metrics, *program,
+                     options.command == "trace" ? &trace_writer : nullptr);
+  }
+  if (options.profile && program.ok()) {
+    std::printf("\n%s", dba::toolchain::BuildProfile(
+                            **program, run->metrics.stats,
+                            (*processor)->cpu().MakeExtNameResolver())
+                            .ToString()
+                            .c_str());
   }
   return 0;
 }
