@@ -3,6 +3,7 @@
 
 #include <cstdio>
 #include <cstdlib>
+#include <functional>
 #include <memory>
 #include <string>
 #include <string_view>
@@ -153,23 +154,32 @@ inline void PrintHeader(const std::string& title) {
 /// Entry point shared by all bench binaries: parses the common flags
 /// (--json <path> writes the accumulated rows as a dba.bench.v1
 /// document, see docs/OBSERVABILITY.md), runs the bench body, and
-/// writes/validates the JSON output.
+/// writes/validates the JSON output. Benches with their own knobs pass
+/// an `extra_flag` callback: it sees every argument the common parser
+/// does not recognize and returns true when it consumed it (see
+/// board_scaling's --host-threads).
 inline int BenchMain(int argc, char** argv, const char* bench_name,
-                     void (*run)()) {
+                     void (*run)(),
+                     const std::function<bool(std::string_view)>&
+                         extra_flag = {},
+                     const char* extra_usage = nullptr) {
   std::string json_path;
   for (int i = 1; i < argc; ++i) {
     const std::string_view arg = argv[i];
     if (arg == "--help" || arg == "-h") {
-      std::printf("usage: %s [--json <path>]\n"
+      std::printf("usage: %s [--json <path>]%s\n"
                   "  --json <path>  also write results as a dba.bench.v1 "
-                  "JSON document\n",
-                  bench_name);
+                  "JSON document\n%s",
+                  bench_name, extra_usage != nullptr ? " [flags]" : "",
+                  extra_usage != nullptr ? extra_usage : "");
       return 0;
     }
     if (arg.rfind("--json=", 0) == 0) {
       json_path = std::string(arg.substr(7));
     } else if (arg == "--json" && i + 1 < argc) {
       json_path = argv[++i];
+    } else if (extra_flag && extra_flag(arg)) {
+      // Consumed by the bench's own parser.
     } else {
       std::fprintf(stderr,
                    "%s: unknown option '%s' (supported: --json <path>)\n",

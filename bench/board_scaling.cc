@@ -5,20 +5,44 @@
 //
 // The bench sweeps board sizes up to the Q9550-area-equivalent count,
 // running partitioned parallel intersection on cycle-accurate cores over
-// a shared-interconnect model.
+// a shared-interconnect model. Simulated numbers (throughput, energy,
+// makespan) are invariant under --host-threads; the host_wall_seconds
+// and sim_speedup columns track how fast the *simulator* runs when the
+// board's cores are simulated on concurrent host threads.
 
+#include <charconv>
 #include <cstdio>
 
 #include "bench/bench_util.h"
+#include "common/thread_pool.h"
 #include "hwmodel/reference.h"
 #include "system/board.h"
 
 namespace dba::bench {
 namespace {
 
+int g_host_threads = 0;  // 0 = hardware concurrency
+
+/// Host wall-clock of the same run simulated serially, per board size;
+/// denominator of sim_speedup.
+double SerialWallSeconds(int cores, SetOp op, std::span<const uint32_t> a,
+                         std::span<const uint32_t> b) {
+  system::BoardConfig config;
+  config.num_cores = cores;
+  config.host_threads = 1;
+  auto board = system::Board::Create(config);
+  if (!board.ok()) return 0;
+  auto run = (*board)->RunSetOperation(op, a, b);
+  if (!run.ok()) return 0;
+  return run->host_wall_seconds;
+}
+
 void Run() {
   PrintHeader("Board scaling: parallel intersection across DBA cores");
 
+  const int host_threads = g_host_threads == 0
+                               ? common::ThreadPool::HardwareConcurrency()
+                               : g_host_threads;
   const auto reference = hwmodel::IntelQ9550();
   auto single = MustCreate(ProcessorKind::kDba2LsuEis);
   const double core_area = single->synthesis().total_area_mm2();
@@ -26,9 +50,9 @@ void Run() {
       static_cast<int>(reference.die_area_mm2 / core_area);
   std::printf(
       "one DBA_2LSU_EIS core: %.2f mm2, %.1f mW -> %d cores fit in one "
-      "Q9550 die (%g mm2)\n\n",
+      "Q9550 die (%g mm2); simulating with %d host thread(s)\n\n",
       core_area, single->synthesis().power_mw, area_equivalent_cores,
-      reference.die_area_mm2);
+      reference.die_area_mm2, host_threads);
 
   auto pair = GenerateSetPair(500000, 500000, kDefaultSelectivity, kSeed);
   if (!pair.ok()) {
@@ -38,13 +62,15 @@ void Run() {
     std::exit(1);
   }
 
-  std::printf("%-8s %16s %12s %12s %12s %10s\n", "cores", "tput [M/s]",
-              "speedup", "P [W]", "energy [uJ]", "bound");
+  std::printf("%-8s %12s %8s %8s %11s %8s %12s %12s\n", "cores",
+              "tput [M/s]", "speedup", "P [W]", "energy [uJ]", "bound",
+              "host [s]", "sim_speedup");
   double single_tput = 0;
   for (int cores : {1, 2, 4, 8, 16, 32, 64, 128}) {
     if (cores > area_equivalent_cores + 20) break;
     system::BoardConfig config;
     config.num_cores = cores;
+    config.host_threads = host_threads;
     auto board = system::Board::Create(config);
     if (!board.ok()) {
       std::fprintf(stderr, "bench: creating a %d-core board failed: %s\n",
@@ -59,18 +85,26 @@ void Run() {
       std::exit(1);
     }
     if (cores == 1) single_tput = run->throughput_meps;
-    AddBenchRow("DBA_2LSU_EIS board")
-        .Set("op", "intersect")
-        .Set("cores", cores)
-        .Set("throughput_meps", run->throughput_meps)
-        .Set("speedup", run->throughput_meps / single_tput)
-        .Set("board_power_mw", run->board_power_mw)
-        .Set("energy_uj", run->energy_uj)
-        .Set("bound", std::string(run->noc_bound ? "noc" : "compute"));
-    std::printf("%-8d %16.0f %12.1f %12.2f %12.1f %10s\n", cores,
+    // sim_speedup = serial host wall-clock / this run's wall-clock; 1.0
+    // by construction when simulating on one thread.
+    double sim_speedup = 1.0;
+    if ((*board)->host_threads() > 1 && run->host_wall_seconds > 0) {
+      const double serial_seconds =
+          SerialWallSeconds(cores, SetOp::kIntersect, pair->a, pair->b);
+      if (serial_seconds > 0) {
+        sim_speedup = serial_seconds / run->host_wall_seconds;
+      }
+    }
+    obs::JsonValue& row = AddBenchRow("DBA_2LSU_EIS board");
+    row.Set("op", "intersect").Set("cores", cores);
+    obs::MergeParallelRun(row, *run);
+    row.Set("speedup", run->throughput_meps / single_tput)
+        .Set("sim_speedup", sim_speedup);
+    std::printf("%-8d %12.0f %8.1f %8.2f %11.1f %8s %12.4f %12.2f\n", cores,
                 run->throughput_meps, run->throughput_meps / single_tput,
                 run->board_power_mw / 1000.0, run->energy_uj,
-                run->noc_bound ? "noc" : "compute");
+                run->noc_bound ? "noc" : "compute", run->host_wall_seconds,
+                sim_speedup);
   }
 
   std::printf(
@@ -79,10 +113,31 @@ void Run() {
       "~17 W.\n");
 }
 
+bool ParseFlag(std::string_view arg) {
+  constexpr std::string_view kPrefix = "--host-threads=";
+  if (arg.rfind(kPrefix, 0) != 0) return false;
+  const std::string_view value = arg.substr(kPrefix.size());
+  int parsed = 0;
+  const auto [ptr, ec] =
+      std::from_chars(value.data(), value.data() + value.size(), parsed);
+  if (ec != std::errc() || ptr != value.data() + value.size() ||
+      parsed < 0) {
+    std::fprintf(stderr,
+                 "board_scaling: --host-threads expects a non-negative "
+                 "integer, got '%.*s'\n",
+                 static_cast<int>(value.size()), value.data());
+    std::exit(2);
+  }
+  g_host_threads = parsed;
+  return true;
+}
+
 }  // namespace
 }  // namespace dba::bench
 
 int main(int argc, char** argv) {
-  return dba::bench::BenchMain(argc, argv, "board_scaling",
-                               dba::bench::Run);
+  return dba::bench::BenchMain(
+      argc, argv, "board_scaling", dba::bench::Run, dba::bench::ParseFlag,
+      "  --host-threads=<n>  host threads simulating board cores "
+      "(0 = hardware concurrency, 1 = serial)\n");
 }

@@ -1,0 +1,98 @@
+#include "common/thread_pool.h"
+
+#include <atomic>
+#include <memory>
+
+namespace dba::common {
+
+ThreadPool::ThreadPool(int num_threads) {
+  const int count = num_threads < 1 ? 1 : num_threads;
+  workers_.reserve(static_cast<size_t>(count));
+  for (int i = 0; i < count; ++i) {
+    workers_.emplace_back([this] { WorkerLoop(); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    stopping_ = true;
+  }
+  wake_.notify_all();
+  for (std::thread& worker : workers_) worker.join();
+}
+
+int ThreadPool::HardwareConcurrency() {
+  const unsigned count = std::thread::hardware_concurrency();
+  return count == 0 ? 1 : static_cast<int>(count);
+}
+
+void ThreadPool::Run(std::function<void()> task) {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    queue_.push_back(std::move(task));
+  }
+  wake_.notify_one();
+}
+
+void ThreadPool::WorkerLoop() {
+  for (;;) {
+    std::function<void()> task;
+    {
+      std::unique_lock<std::mutex> lock(mutex_);
+      wake_.wait(lock, [this] { return stopping_ || !queue_.empty(); });
+      if (queue_.empty()) return;  // stopping_ and drained
+      task = std::move(queue_.front());
+      queue_.pop_front();
+    }
+    task();
+  }
+}
+
+void ThreadPool::ParallelFor(size_t n, const std::function<void(size_t)>& fn) {
+  if (n == 0) return;
+  if (n == 1) {
+    fn(0);
+    return;
+  }
+
+  struct SharedState {
+    std::atomic<size_t> next{0};
+    std::atomic<size_t> done{0};
+    size_t total = 0;
+    std::mutex mutex;
+    std::condition_variable all_done;
+  };
+  auto state = std::make_shared<SharedState>();
+  state->total = n;
+
+  auto drain = [state, &fn] {
+    for (;;) {
+      const size_t index = state->next.fetch_add(1);
+      if (index >= state->total) return;
+      fn(index);
+      if (state->done.fetch_add(1) + 1 == state->total) {
+        // Wake the caller; the lock orders the notify against its wait.
+        std::lock_guard<std::mutex> lock(state->mutex);
+        state->all_done.notify_all();
+      }
+    }
+  };
+
+  // Helpers only speed things up while indices remain; each worker task
+  // holds its own shared_ptr so a late wake-up after ParallelFor returned
+  // finds the state alive (and no indices left).
+  const size_t helpers =
+      std::min(static_cast<size_t>(size()), n - 1);
+  for (size_t i = 0; i < helpers; ++i) {
+    Run([state, drain] { drain(); });
+  }
+  drain();
+
+  std::unique_lock<std::mutex> lock(state->mutex);
+  state->all_done.wait(lock, [&state] {
+    return state->done.load() == state->total;
+  });
+}
+
+}  // namespace dba::common

@@ -1,0 +1,57 @@
+#ifndef DBA_COMMON_THREAD_POOL_H_
+#define DBA_COMMON_THREAD_POOL_H_
+
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace dba::common {
+
+/// A small dependency-free worker pool for host-side parallelism (the
+/// board simulates its cores on these threads; the simulated hardware is
+/// oblivious to it). Tasks are plain std::function<void()>; ParallelFor
+/// is the only coordination primitive the simulator needs: results keyed
+/// by index stay deterministic no matter which worker runs which index.
+class ThreadPool {
+ public:
+  /// Creates `num_threads` workers. Values < 1 are clamped to 1. A pool
+  /// of size 1 still runs tasks on its single worker thread; callers
+  /// that want a strictly serial path should not construct a pool.
+  explicit ThreadPool(int num_threads);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  int size() const { return static_cast<int>(workers_.size()); }
+
+  /// std::thread::hardware_concurrency with a sane floor of 1.
+  static int HardwareConcurrency();
+
+  /// Enqueues one task; returns immediately.
+  void Run(std::function<void()> task);
+
+  /// Runs fn(0) .. fn(n-1), distributing indices over the workers with
+  /// the calling thread participating, and returns once all n calls have
+  /// finished. Index assignment is dynamic (an atomic cursor), so the
+  /// schedule is nondeterministic -- callers must write results into
+  /// per-index slots, never into shared accumulators.
+  void ParallelFor(size_t n, const std::function<void(size_t)>& fn);
+
+ private:
+  void WorkerLoop();
+
+  std::mutex mutex_;
+  std::condition_variable wake_;
+  std::deque<std::function<void()>> queue_;
+  bool stopping_ = false;
+  std::vector<std::thread> workers_;
+};
+
+}  // namespace dba::common
+
+#endif  // DBA_COMMON_THREAD_POOL_H_

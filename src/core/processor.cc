@@ -54,10 +54,23 @@ Processor::Processor(ProcessorKind kind, const ProcessorOptions& options)
 
 Result<std::unique_ptr<Processor>> Processor::Create(
     ProcessorKind kind, const ProcessorOptions& options) {
+  return Create(kind, options, nullptr);
+}
+
+Result<std::unique_ptr<Processor>> Processor::Create(
+    ProcessorKind kind, const ProcessorOptions& options,
+    std::shared_ptr<const ProgramCache> programs) {
   if (options.unroll < 1 || options.unroll > 256) {
     return Status::InvalidArgument("unroll factor must be in 1..256");
   }
+  if (programs != nullptr &&
+      (programs->partial_loading() != options.partial_loading ||
+       programs->unroll() != options.unroll)) {
+    return Status::InvalidArgument(
+        "shared ProgramCache was built with different kernel options");
+  }
   std::unique_ptr<Processor> processor(new Processor(kind, options));
+  processor->shared_programs_ = std::move(programs);
   DBA_RETURN_IF_ERROR(processor->Build());
   return processor;
 }
@@ -147,6 +160,13 @@ Result<const isa::Program*> Processor::setop_program(SetOp op,
 }
 
 Result<const isa::Program*> Processor::sort_program(bool scalar) {
+  if (shared_programs_ != nullptr) {
+    const isa::Program* program = shared_programs_->sort(scalar);
+    if (program == nullptr) {
+      return Status::Internal("shared ProgramCache lacks the sort kernel");
+    }
+    return program;
+  }
   const auto key = std::make_pair(kSortProgramKey, scalar);
   auto it = program_cache_.find(key);
   if (it == program_cache_.end()) {
@@ -159,6 +179,14 @@ Result<const isa::Program*> Processor::sort_program(bool scalar) {
 }
 
 Result<const isa::Program*> Processor::GetProgram(SetOp op, bool scalar) {
+  if (shared_programs_ != nullptr) {
+    const isa::Program* program = shared_programs_->setop(op, scalar);
+    if (program == nullptr) {
+      return Status::Internal(
+          "shared ProgramCache lacks a built kernel for this operation");
+    }
+    return program;
+  }
   const int op_key = static_cast<int>(op);
   const auto key = std::make_pair(op_key, scalar);
   auto it = program_cache_.find(key);

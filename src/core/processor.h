@@ -9,6 +9,7 @@
 #include <vector>
 
 #include "common/status.h"
+#include "core/program_cache.h"
 #include "dbkern/eis_kernels.h"
 #include "eis/eis_extension.h"
 #include "eis/sop.h"
@@ -87,6 +88,15 @@ class Processor {
  public:
   static Result<std::unique_ptr<Processor>> Create(
       ProcessorKind kind, const ProcessorOptions& options = {});
+
+  /// Creates a processor that reads its kernel programs from a shared
+  /// immutable cache instead of assembling its own (the board hands one
+  /// cache to all of its cores; see ProgramCache). `programs` must have
+  /// been built with the same kernel options and outlives nothing -- the
+  /// processor keeps a shared reference. Fails on an options mismatch.
+  static Result<std::unique_ptr<Processor>> Create(
+      ProcessorKind kind, const ProcessorOptions& options,
+      std::shared_ptr<const ProgramCache> programs);
 
   Processor(const Processor&) = delete;
   Processor& operator=(const Processor&) = delete;
@@ -170,6 +180,9 @@ class Processor {
   mem::Memory* result_ = nullptr;  // result region on the store port
   mem::Memory* sysmem_ = nullptr;  // system memory (108Mini)
 
+  /// Pre-built programs shared across cores (may be null); the lazy
+  /// per-instance map below serves processors created without one.
+  std::shared_ptr<const ProgramCache> shared_programs_;
   std::map<std::pair<int, bool>, isa::Program> program_cache_;
 };
 

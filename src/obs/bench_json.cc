@@ -56,6 +56,17 @@ void MergeRunMetrics(JsonValue& row, const RunMetrics& metrics) {
                            .Push(stats.lsu_beats[1]));
 }
 
+void MergeParallelRun(JsonValue& row, const system::ParallelRun& run) {
+  row.Set("makespan_cycles", run.makespan_cycles)
+      .Set("total_core_cycles", run.total_core_cycles)
+      .Set("throughput_meps", run.throughput_meps)
+      .Set("board_power_mw", run.board_power_mw)
+      .Set("energy_uj", run.energy_uj)
+      .Set("bound", std::string(run.noc_bound ? "noc" : "compute"))
+      .Set("host_wall_seconds", run.host_wall_seconds)
+      .Set("host_threads", run.host_threads_used);
+}
+
 namespace {
 
 Status ValidateScalarTree(const JsonValue& value, const std::string& where,

@@ -6,6 +6,7 @@
 #include "common/status.h"
 #include "core/processor.h"
 #include "obs/json.h"
+#include "system/board.h"
 
 namespace dba::obs {
 
@@ -50,6 +51,11 @@ class BenchJsonWriter {
 /// breakdown, LSU beats) every throughput-style row shares. Merge into
 /// a row with MergeRunMetrics(row, metrics).
 void MergeRunMetrics(JsonValue& row, const RunMetrics& metrics);
+
+/// The standard per-board-run fields (simulated makespan/throughput/
+/// energy plus host-side wall clock and thread count) a board-scaling
+/// row shares. Merge into a row with MergeParallelRun(row, run).
+void MergeParallelRun(JsonValue& row, const system::ParallelRun& run);
 
 /// Validates a parsed document against the dba.bench.v1 schema: schema
 /// tag, non-empty bench name, results rows that are objects with a

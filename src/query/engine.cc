@@ -198,60 +198,100 @@ Result<std::vector<Rid>> QueryEngine::Select(const Predicate& predicate,
   return rids;
 }
 
+namespace {
+
+/// Sorts one key column on `processor` (chunked beyond the local store;
+/// streamed merge) and verifies uniqueness. Telemetry lands in the
+/// caller-provided `stats` (may be null) so two columns can sort on
+/// concurrent host threads into separate stats, merged after the join
+/// in left-right order -- keeping plans and counters identical to the
+/// serial engine.
+Result<std::vector<uint32_t>> SortUniqueKeys(Processor* processor,
+                                             const Table& table,
+                                             const std::string& key_column,
+                                             QueryStats* stats) {
+  DBA_ASSIGN_OR_RETURN(std::span<const uint32_t> values,
+                       table.Column(key_column));
+  std::vector<uint32_t> sorted;
+  const uint32_t capacity = processor->max_sort_elements();
+  prefetch::StreamingSetOperation streaming(processor,
+                                            prefetch::DmaConfig{});
+  for (size_t pos = 0; pos < values.size(); pos += capacity) {
+    const size_t len = std::min<size_t>(capacity, values.size() - pos);
+    DBA_ASSIGN_OR_RETURN(SortRun run,
+                         processor->RunSort(values.subspan(pos, len)));
+    if (stats != nullptr) {
+      ++stats->sorts;
+      stats->accelerator_cycles += run.metrics.cycles;
+      stats->elements_processed += len;
+    }
+    if (sorted.empty()) {
+      sorted = std::move(run.sorted);
+    } else {
+      DBA_ASSIGN_OR_RETURN(
+          prefetch::StreamingRun merge_run,
+          streaming.Run(SetOp::kMerge, sorted, run.sorted));
+      if (stats != nullptr) {
+        stats->accelerator_cycles += merge_run.total_cycles;
+      }
+      sorted = std::move(merge_run.result);
+    }
+  }
+  for (size_t i = 1; i < sorted.size(); ++i) {
+    if (sorted[i] == sorted[i - 1]) {
+      return Status::InvalidArgument(
+          "JoinKeys requires unique keys; column '" + key_column +
+          "' of table '" + table.name() + "' has duplicates");
+    }
+  }
+  AddPlanStep(stats, "sort join keys of " + table.name() + "." +
+                         key_column + " (" +
+                         std::to_string(sorted.size()) + " keys)");
+  return sorted;
+}
+
+void MergeJoinStats(QueryStats* stats, const QueryStats& side) {
+  if (stats == nullptr) return;
+  stats->sorts += side.sorts;
+  stats->accelerator_cycles += side.accelerator_cycles;
+  stats->elements_processed += side.elements_processed;
+  for (const std::string& step : side.plan) stats->plan.push_back(step);
+}
+
+}  // namespace
+
 Result<std::vector<uint32_t>> QueryEngine::JoinKeys(
     const std::string& column, const Table& other,
     const std::string& other_column, QueryStats* stats) {
-  auto sorted_unique_keys =
-      [this, stats](const Table& table,
-                    const std::string& key_column)
-      -> Result<std::vector<uint32_t>> {
-    DBA_ASSIGN_OR_RETURN(std::span<const uint32_t> values,
-                         table.Column(key_column));
-    // Accelerator sort (chunked beyond the local store; streamed merge).
-    std::vector<uint32_t> sorted;
-    const uint32_t capacity = processor_->max_sort_elements();
-    prefetch::StreamingSetOperation streaming(processor_,
-                                              prefetch::DmaConfig{});
-    for (size_t pos = 0; pos < values.size(); pos += capacity) {
-      const size_t len = std::min<size_t>(capacity, values.size() - pos);
-      DBA_ASSIGN_OR_RETURN(SortRun run,
-                           processor_->RunSort(values.subspan(pos, len)));
-      if (stats != nullptr) {
-        ++stats->sorts;
-        stats->accelerator_cycles += run.metrics.cycles;
-        stats->elements_processed += len;
-      }
-      if (sorted.empty()) {
-        sorted = std::move(run.sorted);
+  Result<std::vector<uint32_t>> left = Status::Internal("unset");
+  Result<std::vector<uint32_t>> right = Status::Internal("unset");
+  QueryStats left_stats;
+  QueryStats right_stats;
+  QueryStats* want = stats != nullptr ? &left_stats : nullptr;
+  if (pool_ != nullptr && sibling_ != nullptr) {
+    // The two column sorts are independent: run them on concurrent host
+    // threads, the second on the sibling processor. Each side writes
+    // only its own result slot and stats.
+    pool_->ParallelFor(2, [&](size_t side) {
+      if (side == 0) {
+        left = SortUniqueKeys(processor_, *table_, column, want);
       } else {
-        DBA_ASSIGN_OR_RETURN(
-            prefetch::StreamingRun merge_run,
-            streaming.Run(SetOp::kMerge, sorted, run.sorted));
-        if (stats != nullptr) {
-          stats->accelerator_cycles += merge_run.total_cycles;
-        }
-        sorted = std::move(merge_run.result);
+        right = SortUniqueKeys(sibling_, other, other_column,
+                               stats != nullptr ? &right_stats : nullptr);
       }
-    }
-    for (size_t i = 1; i < sorted.size(); ++i) {
-      if (sorted[i] == sorted[i - 1]) {
-        return Status::InvalidArgument(
-            "JoinKeys requires unique keys; column '" + key_column +
-            "' of table '" + table.name() + "' has duplicates");
-      }
-    }
-    AddPlanStep(stats, "sort join keys of " + table.name() + "." +
-                           key_column + " (" +
-                           std::to_string(sorted.size()) + " keys)");
-    return sorted;
-  };
-
-  DBA_ASSIGN_OR_RETURN(std::vector<uint32_t> left,
-                       sorted_unique_keys(*table_, column));
-  DBA_ASSIGN_OR_RETURN(std::vector<uint32_t> right,
-                       sorted_unique_keys(other, other_column));
+    });
+  } else {
+    left = SortUniqueKeys(processor_, *table_, column, want);
+    right = SortUniqueKeys(sibling_ != nullptr ? sibling_ : processor_,
+                           other, other_column,
+                           stats != nullptr ? &right_stats : nullptr);
+  }
+  DBA_RETURN_IF_ERROR(left.status());
+  DBA_RETURN_IF_ERROR(right.status());
+  MergeJoinStats(stats, left_stats);
+  MergeJoinStats(stats, right_stats);
   DBA_ASSIGN_OR_RETURN(std::vector<uint32_t> keys,
-                       RunSetOp(SetOp::kIntersect, left, right, stats));
+                       RunSetOp(SetOp::kIntersect, *left, *right, stats));
   if (stats != nullptr) {
     stats->accelerator_seconds =
         static_cast<double>(stats->accelerator_cycles) /

@@ -7,6 +7,7 @@
 #include <vector>
 
 #include "common/status.h"
+#include "common/thread_pool.h"
 #include "core/processor.h"
 #include "query/index.h"
 #include "query/predicate.h"
@@ -69,6 +70,19 @@ class QueryEngine {
                                          const std::string& other_column,
                                          QueryStats* stats = nullptr);
 
+  /// Opt-in host parallelism for independent engine steps: JoinKeys
+  /// sorts its two key columns concurrently, the second one on
+  /// `sibling` (a same-configuration Processor, e.g. a spare core of a
+  /// system::Board, whose host_pool()/core() provide both arguments).
+  /// Results, cycle counts, and plans stay bit-identical to the serial
+  /// engine; only the host wall-clock changes. Pass nulls to go back to
+  /// serial. `pool` and `sibling` must outlive the engine and must not
+  /// be used by the caller while a query runs.
+  void EnableConcurrentSorts(common::ThreadPool* pool, Processor* sibling) {
+    pool_ = pool;
+    sibling_ = sibling;
+  }
+
  private:
   Result<std::vector<Rid>> Evaluate(const Predicate& predicate,
                                     QueryStats* stats);
@@ -81,6 +95,8 @@ class QueryEngine {
 
   const Table* table_;
   Processor* processor_;
+  common::ThreadPool* pool_ = nullptr;   // non-owning; may be null
+  Processor* sibling_ = nullptr;         // non-owning; may be null
   std::map<std::string, SecondaryIndex> indexes_;
 };
 

@@ -49,6 +49,16 @@ Status Cpu::LoadProgram(const isa::Program& program) {
   if (program.empty()) {
     return Status::InvalidArgument("cannot load an empty program");
   }
+  // Reloading the program that is already resident (a board core runs
+  // the same kernel for every partition) only resets the pc. The check
+  // compares content, not identity, so a different program that happens
+  // to reuse a freed address can never hit the fast path.
+  if (program.words() == loaded_words_ &&
+      program.labels() == loaded_labels_) {
+    program_ = &program;
+    pc_ = 0;
+    return Status::Ok();
+  }
   std::vector<isa::DecodedWord> decoded;
   decoded.reserve(program.size());
   uint64_t bytes = 0;
@@ -93,6 +103,8 @@ Status Cpu::LoadProgram(const isa::Program& program) {
   }
   decoded_ = std::move(decoded);
   program_ = &program;
+  loaded_words_ = program.words();
+  loaded_labels_ = program.labels();
   // Enclosing label per pc: the label bound at the greatest position at
   // or before it.
   pc_labels_.assign(decoded_.size(), std::string());

@@ -110,6 +110,10 @@ class Cpu {
 
   std::vector<isa::DecodedWord> decoded_;
   const isa::Program* program_ = nullptr;  // for diagnostics only
+  /// Copy of the resident program's words/labels; LoadProgram skips the
+  /// decode when asked to load identical content again.
+  std::vector<uint64_t> loaded_words_;
+  std::vector<std::pair<std::string, uint32_t>> loaded_labels_;
   /// Enclosing label per pc (empty when none), rebuilt by LoadProgram;
   /// names the cycle-trace regions and the stall-attribution rows.
   std::vector<std::string> pc_labels_;

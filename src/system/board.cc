@@ -1,6 +1,7 @@
 #include "system/board.h"
 
 #include <algorithm>
+#include <chrono>
 
 #include "prefetch/streaming.h"
 
@@ -44,6 +45,62 @@ std::vector<std::span<const uint32_t>> PartitionSorted(
   return ranges;
 }
 
+/// A range where one side is empty needs no core time beyond copying the
+/// surviving side out (intersect drops everything, union/difference keep
+/// the non-empty operand). Shared by the serial and parallel paths.
+Status RunDegenerateRange(SetOp op, std::span<const uint32_t> a,
+                          std::span<const uint32_t> b,
+                          std::vector<uint32_t>* result,
+                          uint64_t* compute_cycles) {
+  switch (op) {
+    case SetOp::kIntersect:
+      break;
+    case SetOp::kUnion:
+      result->assign(a.empty() ? b.begin() : a.begin(),
+                     a.empty() ? b.end() : a.end());
+      break;
+    case SetOp::kDifference:
+      result->assign(a.begin(), a.end());
+      break;
+    default:
+      return Status::InvalidArgument("unsupported parallel operation");
+  }
+  *compute_cycles = 3 * ((result->size() + 3) / 4);  // copy beats
+  return Status::Ok();
+}
+
+/// One core's share of a set operation: in-store kernel when the range
+/// fits, degenerate copy when a side is empty, streamed chunks
+/// otherwise. Writes pure compute cycles; NoC feed is reduced after the
+/// join (it depends on how many cores stream concurrently).
+Status RunSetPartition(Processor& core, SetOp op,
+                       std::span<const uint32_t> part_a,
+                       std::span<const uint32_t> part_b,
+                       std::vector<uint32_t>* result,
+                       uint64_t* compute_cycles) {
+  const bool fits =
+      part_a.size() <=
+          core.max_set_elements(static_cast<uint32_t>(part_b.size())) &&
+      part_b.size() <=
+          core.max_set_elements(static_cast<uint32_t>(part_a.size()));
+  if (part_a.empty() || part_b.empty()) {
+    return RunDegenerateRange(op, part_a, part_b, result, compute_cycles);
+  }
+  if (fits) {
+    DBA_ASSIGN_OR_RETURN(SetOpRun core_run,
+                         core.RunSetOperation(op, part_a, part_b));
+    *compute_cycles = core_run.metrics.cycles;
+    *result = std::move(core_run.result);
+    return Status::Ok();
+  }
+  prefetch::StreamingSetOperation streaming(&core, prefetch::DmaConfig{});
+  DBA_ASSIGN_OR_RETURN(prefetch::StreamingRun core_run,
+                       streaming.Run(op, part_a, part_b));
+  *compute_cycles = core_run.total_cycles;
+  *result = std::move(core_run.result);
+  return Status::Ok();
+}
+
 /// Sorts arbitrarily large inputs on one core: local-store-sized chunks
 /// via the merge-sort kernel, runs merged pairwise with the streamed
 /// merge kernel. Returns total core cycles.
@@ -76,21 +133,48 @@ Result<uint64_t> ExternalSort(Processor& core,
   return cycles;
 }
 
+double SecondsSince(std::chrono::steady_clock::time_point start) {
+  return std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                       start)
+      .count();
+}
+
 }  // namespace
 
 Result<std::unique_ptr<Board>> Board::Create(const BoardConfig& config) {
   if (config.num_cores < 1 || config.num_cores > 1024) {
     return Status::InvalidArgument("board supports 1..1024 cores");
   }
+  if (config.host_threads < 0 || config.host_threads > 1024) {
+    return Status::InvalidArgument("host_threads must be in 0..1024");
+  }
+  // The kernel programs are identical across cores: build them once and
+  // let every Processor reference the shared immutable cache.
+  DBA_ASSIGN_OR_RETURN(std::shared_ptr<const ProgramCache> programs,
+                       ProgramCache::Build(config.core_options));
   std::vector<std::unique_ptr<Processor>> cores;
   cores.reserve(static_cast<size_t>(config.num_cores));
   for (int i = 0; i < config.num_cores; ++i) {
-    DBA_ASSIGN_OR_RETURN(std::unique_ptr<Processor> core,
-                         Processor::Create(config.core_kind,
-                                           config.core_options));
+    DBA_ASSIGN_OR_RETURN(
+        std::unique_ptr<Processor> core,
+        Processor::Create(config.core_kind, config.core_options, programs));
     cores.push_back(std::move(core));
   }
-  return std::unique_ptr<Board>(new Board(config, std::move(cores)));
+  int host_threads = config.host_threads == 0
+                         ? common::ThreadPool::HardwareConcurrency()
+                         : config.host_threads;
+  // More host threads than cores cannot help: one task per core.
+  host_threads = std::min(host_threads, config.num_cores);
+  return std::unique_ptr<Board>(new Board(
+      config, std::move(cores), std::move(programs), host_threads));
+}
+
+void Board::ForEachCore(size_t n, const std::function<void(size_t)>& fn) {
+  if (pool_ == nullptr) {
+    for (size_t i = 0; i < n; ++i) fn(i);
+    return;
+  }
+  pool_->ParallelFor(n, fn);
 }
 
 void Board::FinishRun(ParallelRun* run, uint64_t elements) const {
@@ -104,11 +188,13 @@ void Board::FinishRun(ParallelRun* run, uint64_t elements) const {
   run->board_power_mw = board_power_mw();
   run->energy_uj = static_cast<double>(run->total_core_cycles) / frequency *
                    cores_[0]->synthesis().power_mw * 1e3;
+  run->host_threads_used = host_threads_;
 }
 
 Result<ParallelRun> Board::RunSetOperation(SetOp op,
                                            std::span<const uint32_t> a,
                                            std::span<const uint32_t> b) {
+  const auto host_start = std::chrono::steady_clock::now();
   ParallelRun run;
   run.per_core_cycles.assign(cores_.size(), 0);
 
@@ -122,67 +208,44 @@ Result<ParallelRun> Board::RunSetOperation(SetOp op,
     if (!a_ranges[i].empty() || !b_ranges[i].empty()) ++active_streams;
   }
 
-  for (size_t i = 0; i < a_ranges.size(); ++i) {
+  // Fan the independent core simulations out across the host threads.
+  // Each task touches only its own core and its own CoreRun slot.
+  std::vector<CoreRun> core_runs(a_ranges.size());
+  ForEachCore(a_ranges.size(), [&](size_t i) {
     const std::span<const uint32_t> part_a = a_ranges[i];
     const std::span<const uint32_t> part_b = b_ranges[i];
-    if (part_a.empty() && part_b.empty()) continue;
-    Processor& core = *cores_[i];
+    if (part_a.empty() && part_b.empty()) return;
+    CoreRun& out = core_runs[i];
+    out.status = RunSetPartition(*cores_[i], op, part_a, part_b,
+                                 &out.result, &out.compute_cycles);
+  });
 
-    uint64_t compute_cycles = 0;
-    std::vector<uint32_t> part_result;
-    const bool fits =
-        part_a.size() <=
-            core.max_set_elements(static_cast<uint32_t>(part_b.size())) &&
-        part_b.size() <=
-            core.max_set_elements(static_cast<uint32_t>(part_a.size()));
-    if (fits && !part_a.empty() && !part_b.empty()) {
-      DBA_ASSIGN_OR_RETURN(SetOpRun core_run,
-                           core.RunSetOperation(op, part_a, part_b));
-      compute_cycles = core_run.metrics.cycles;
-      part_result = std::move(core_run.result);
-    } else if (part_a.empty() || part_b.empty()) {
-      // Degenerate range.
-      switch (op) {
-        case SetOp::kIntersect:
-          break;
-        case SetOp::kUnion:
-          part_result.assign(part_a.empty() ? part_b.begin() : part_a.begin(),
-                             part_a.empty() ? part_b.end() : part_a.end());
-          break;
-        case SetOp::kDifference:
-          part_result.assign(part_a.begin(), part_a.end());
-          break;
-        default:
-          return Status::InvalidArgument("unsupported parallel operation");
-      }
-      compute_cycles = 3 * ((part_result.size() + 3) / 4);  // copy beats
-    } else {
-      prefetch::StreamingSetOperation streaming(&core,
-                                                prefetch::DmaConfig{});
-      DBA_ASSIGN_OR_RETURN(prefetch::StreamingRun core_run,
-                           streaming.Run(op, part_a, part_b));
-      compute_cycles = core_run.total_cycles;
-      part_result = std::move(core_run.result);
-    }
-
-    // Feed over the shared interconnect, all active cores concurrently.
+  // Reduce after the join, in partition order: the NoC feed model needs
+  // the final active-stream count, and makespan/energy/result must not
+  // depend on which host thread finished first.
+  for (size_t i = 0; i < core_runs.size(); ++i) {
+    if (a_ranges[i].empty() && b_ranges[i].empty()) continue;
+    CoreRun& core_run = core_runs[i];
+    if (!core_run.status.ok()) return core_run.status;
     const uint64_t bytes =
-        4 * (part_a.size() + part_b.size() + part_result.size());
+        4 * (a_ranges[i].size() + b_ranges[i].size() + core_run.result.size());
     const uint64_t feed_cycles = noc_.TransferCycles(bytes, active_streams);
-    const uint64_t core_total = std::max(compute_cycles, feed_cycles);
-    run.noc_bound |= feed_cycles > compute_cycles;
+    const uint64_t core_total = std::max(core_run.compute_cycles, feed_cycles);
+    run.noc_bound |= feed_cycles > core_run.compute_cycles;
     run.per_core_cycles[i] = core_total;
-    run.total_core_cycles += compute_cycles;
+    run.total_core_cycles += core_run.compute_cycles;
     run.makespan_cycles = std::max(run.makespan_cycles, core_total);
-    run.result.insert(run.result.end(), part_result.begin(),
-                      part_result.end());
+    run.result.insert(run.result.end(), core_run.result.begin(),
+                      core_run.result.end());
   }
 
   FinishRun(&run, a.size() + b.size());
+  run.host_wall_seconds = SecondsSince(host_start);
   return run;
 }
 
 Result<ParallelRun> Board::RunSort(std::span<const uint32_t> values) {
+  const auto host_start = std::chrono::steady_clock::now();
   ParallelRun run;
   run.per_core_cycles.assign(cores_.size(), 0);
 
@@ -213,23 +276,36 @@ Result<ParallelRun> Board::RunSort(std::span<const uint32_t> values) {
     if (!bucket.empty()) ++active_streams;
   }
 
-  for (size_t i = 0; i < buckets.size(); ++i) {
+  std::vector<CoreRun> core_runs(buckets.size());
+  ForEachCore(buckets.size(), [&](size_t i) {
+    if (buckets[i].empty()) return;
+    CoreRun& out = core_runs[i];
+    Result<uint64_t> cycles =
+        ExternalSort(*cores_[i], buckets[i], &out.result);
+    if (!cycles.ok()) {
+      out.status = cycles.status();
+      return;
+    }
+    out.compute_cycles = *cycles;
+  });
+
+  for (size_t i = 0; i < core_runs.size(); ++i) {
     if (buckets[i].empty()) continue;
-    Processor& core = *cores_[i];
-    std::vector<uint32_t> sorted;
-    DBA_ASSIGN_OR_RETURN(uint64_t compute_cycles,
-                         ExternalSort(core, buckets[i], &sorted));
+    CoreRun& core_run = core_runs[i];
+    if (!core_run.status.ok()) return core_run.status;
     const uint64_t bytes = 4 * 2 * buckets[i].size();  // in + out
     const uint64_t feed_cycles = noc_.TransferCycles(bytes, active_streams);
-    const uint64_t core_total = std::max(compute_cycles, feed_cycles);
-    run.noc_bound |= feed_cycles > compute_cycles;
+    const uint64_t core_total = std::max(core_run.compute_cycles, feed_cycles);
+    run.noc_bound |= feed_cycles > core_run.compute_cycles;
     run.per_core_cycles[i] = core_total;
-    run.total_core_cycles += compute_cycles;
+    run.total_core_cycles += core_run.compute_cycles;
     run.makespan_cycles = std::max(run.makespan_cycles, core_total);
-    run.result.insert(run.result.end(), sorted.begin(), sorted.end());
+    run.result.insert(run.result.end(), core_run.result.begin(),
+                      core_run.result.end());
   }
 
   FinishRun(&run, values.size());
+  run.host_wall_seconds = SecondsSince(host_start);
   return run;
 }
 

@@ -1,11 +1,13 @@
 #ifndef DBA_SYSTEM_BOARD_H_
 #define DBA_SYSTEM_BOARD_H_
 
+#include <functional>
 #include <memory>
 #include <span>
 #include <vector>
 
 #include "common/status.h"
+#include "common/thread_pool.h"
 #include "core/processor.h"
 #include "system/noc.h"
 
@@ -17,6 +19,11 @@ struct BoardConfig {
   ProcessorOptions core_options;
   int num_cores = 16;
   NocConfig noc;
+  /// Host threads simulating the board's cores concurrently. 0 picks the
+  /// host's hardware concurrency; 1 preserves the serial loop. The value
+  /// only changes how fast the host simulates -- results, per-core
+  /// cycles, makespan, and energy are bit-identical at any setting.
+  int host_threads = 0;
 };
 
 /// Result of one parallel operation.
@@ -29,6 +36,10 @@ struct ParallelRun {
   double board_power_mw = 0;         // num_cores x core power
   double energy_uj = 0;              // total core cycles x power
   bool noc_bound = false;
+  /// Host-side telemetry: how long the simulator itself took (wall
+  /// clock) and how many host threads simulated the cores.
+  double host_wall_seconds = 0;
+  int host_threads_used = 1;
 };
 
 /// A board of identical DBA cores with value-range-partitioned parallel
@@ -38,6 +49,13 @@ struct ParallelRun {
 /// the paper's scale-out argument (Section 5.4: "the number of cores of
 /// DBA_2LSU_EIS could be largely increased until it occupies the same
 /// area as the Intel Q9550 processor").
+///
+/// Host execution: the per-core simulations are independent (each core
+/// owns its Cpu, memories, and extension state, and all cores read one
+/// immutable ProgramCache), so the board fans them out across a host
+/// thread pool and then reduces the cross-core telemetry -- the NoC feed
+/// model, per-core cycles, makespan, energy, and the concatenated result
+/// -- in partition order after the join. See docs/ARCHITECTURE.md.
 class Board {
  public:
   static Result<std::unique_ptr<Board>> Create(const BoardConfig& config);
@@ -55,6 +73,20 @@ class Board {
     return cores_[0]->synthesis().total_area_mm2() * num_cores();
   }
 
+  /// Resolved host parallelism (>= 1); 1 means the serial loop.
+  int host_threads() const { return host_threads_; }
+  /// The board's host worker pool (null when host_threads() == 1).
+  /// Callers may borrow it for their own independent work, e.g.
+  /// QueryEngine::EnableConcurrentSorts.
+  common::ThreadPool* host_pool() const { return pool_.get(); }
+  /// Direct access to core `i` (for borrowing an idle core as a sibling
+  /// executor; the board and the caller must not run it concurrently).
+  Processor* core(int i) { return cores_[static_cast<size_t>(i)].get(); }
+  /// The kernel programs shared by all cores of this board.
+  const std::shared_ptr<const ProgramCache>& programs() const {
+    return programs_;
+  }
+
   /// Parallel sorted-set operation: inputs are partitioned into
   /// disjoint value ranges (one per core), each core processes its
   /// range (streaming through its prefetcher if needed), and the
@@ -67,14 +99,40 @@ class Board {
   Result<ParallelRun> RunSort(std::span<const uint32_t> values);
 
  private:
-  Board(BoardConfig config, std::vector<std::unique_ptr<Processor>> cores)
-      : config_(config), noc_(config.noc), cores_(std::move(cores)) {}
+  /// What one core's simulation produces before the cross-core reduce:
+  /// its partition result and pure compute cycles. NoC feed cycles are
+  /// deliberately absent -- they depend on the number of active streams
+  /// and are applied in the reduce step after the join.
+  struct CoreRun {
+    Status status;
+    uint64_t compute_cycles = 0;
+    std::vector<uint32_t> result;
+  };
+
+  Board(BoardConfig config, std::vector<std::unique_ptr<Processor>> cores,
+        std::shared_ptr<const ProgramCache> programs, int host_threads)
+      : config_(config),
+        noc_(config.noc),
+        cores_(std::move(cores)),
+        programs_(std::move(programs)),
+        host_threads_(host_threads) {
+    if (host_threads_ > 1) {
+      // Workers + the calling thread (which ParallelFor enlists).
+      pool_ = std::make_unique<common::ThreadPool>(host_threads_ - 1);
+    }
+  }
+
+  /// Runs fn(0..n-1): inline when serial, over the pool otherwise.
+  void ForEachCore(size_t n, const std::function<void(size_t)>& fn);
 
   void FinishRun(ParallelRun* run, uint64_t elements) const;
 
   BoardConfig config_;
   Noc noc_;
   std::vector<std::unique_ptr<Processor>> cores_;
+  std::shared_ptr<const ProgramCache> programs_;
+  int host_threads_ = 1;
+  std::unique_ptr<common::ThreadPool> pool_;
 };
 
 }  // namespace dba::system

@@ -1,10 +1,13 @@
 #include <gtest/gtest.h>
 
+#include <atomic>
 #include <set>
+#include <vector>
 
 #include "common/bits.h"
 #include "common/random.h"
 #include "common/status.h"
+#include "common/thread_pool.h"
 
 namespace dba {
 namespace {
@@ -173,6 +176,51 @@ TEST(BitsTest, Alignment) {
   EXPECT_TRUE(IsPowerOfTwo(64));
   EXPECT_FALSE(IsPowerOfTwo(65));
   EXPECT_FALSE(IsPowerOfTwo(0));
+}
+
+// --- ThreadPool ---
+
+TEST(ThreadPoolTest, ClampsToOneWorker) {
+  common::ThreadPool pool(0);
+  EXPECT_EQ(pool.size(), 1);
+  EXPECT_GE(common::ThreadPool::HardwareConcurrency(), 1);
+}
+
+TEST(ThreadPoolTest, RunExecutesTasksBeforeDestruction) {
+  std::atomic<int> counter{0};
+  {
+    // The destructor drains the queue before joining the workers.
+    common::ThreadPool pool(2);
+    for (int i = 0; i < 200; ++i) {
+      pool.Run([&counter] { counter.fetch_add(1); });
+    }
+  }
+  EXPECT_EQ(counter.load(), 200);
+}
+
+TEST(ThreadPoolTest, ParallelForCoversEveryIndexExactlyOnce) {
+  common::ThreadPool pool(4);
+  for (const size_t n : {0u, 1u, 3u, 64u, 1000u}) {
+    std::vector<std::atomic<int>> hits(n);
+    pool.ParallelFor(n, [&hits](size_t i) { hits[i].fetch_add(1); });
+    for (size_t i = 0; i < n; ++i) {
+      EXPECT_EQ(hits[i].load(), 1) << "index " << i << " of " << n;
+    }
+  }
+}
+
+TEST(ThreadPoolTest, ParallelForResultsAreOrderedBySlot) {
+  common::ThreadPool pool(3);
+  std::vector<size_t> out(257, 0);
+  pool.ParallelFor(out.size(), [&out](size_t i) { out[i] = i * i; });
+  for (size_t i = 0; i < out.size(); ++i) EXPECT_EQ(out[i], i * i);
+}
+
+TEST(ThreadPoolTest, ParallelForMoreTasksThanWorkers) {
+  common::ThreadPool pool(2);
+  std::atomic<size_t> sum{0};
+  pool.ParallelFor(500, [&sum](size_t i) { sum.fetch_add(i + 1); });
+  EXPECT_EQ(sum.load(), 500u * 501u / 2);
 }
 
 }  // namespace

@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "common/random.h"
+#include "common/thread_pool.h"
 #include "query/engine.h"
 #include "query/index.h"
 #include "query/predicate.h"
@@ -348,6 +349,51 @@ TEST_F(QueryEngineTest, JoinKeysMatchesReference) {
   EXPECT_EQ(*keys, expected);
   EXPECT_GE(stats.sorts, 2u);
   EXPECT_GE(stats.set_operations, 1u);
+}
+
+TEST_F(QueryEngineTest, ConcurrentJoinKeysMatchesSerial) {
+  // The two key-column sorts are independent; running them on
+  // concurrent host threads (the second on a sibling processor) must
+  // leave results, cycle counts, and the rendered plan bit-identical.
+  Table customers("customers");
+  Table orders2("orders2");
+  Random rng(47);
+  std::vector<uint32_t> left_keys;
+  std::vector<uint32_t> right_keys;
+  uint32_t next = 0;
+  for (int i = 0; i < 2000; ++i) {
+    next += 1 + static_cast<uint32_t>(rng.Uniform(3));
+    if (rng.Bernoulli(0.6)) left_keys.push_back(next);
+    if (rng.Bernoulli(0.6)) right_keys.push_back(next);
+  }
+  ASSERT_TRUE(orders2.AddColumn("cust_key", std::move(left_keys)).ok());
+  ASSERT_TRUE(customers.AddColumn("key", std::move(right_keys)).ok());
+
+  QueryEngine serial(&orders2, processor_.get());
+  QueryStats serial_stats;
+  auto serial_keys =
+      serial.JoinKeys("cust_key", customers, "key", &serial_stats);
+  ASSERT_TRUE(serial_keys.ok()) << serial_keys.status();
+
+  auto sibling = Processor::Create(processor_->kind(),
+                                   processor_->options());
+  ASSERT_TRUE(sibling.ok());
+  common::ThreadPool pool(2);
+  QueryEngine parallel(&orders2, processor_.get());
+  parallel.EnableConcurrentSorts(&pool, sibling->get());
+  QueryStats parallel_stats;
+  auto parallel_keys =
+      parallel.JoinKeys("cust_key", customers, "key", &parallel_stats);
+  ASSERT_TRUE(parallel_keys.ok()) << parallel_keys.status();
+
+  EXPECT_EQ(*parallel_keys, *serial_keys);
+  EXPECT_EQ(parallel_stats.sorts, serial_stats.sorts);
+  EXPECT_EQ(parallel_stats.set_operations, serial_stats.set_operations);
+  EXPECT_EQ(parallel_stats.accelerator_cycles,
+            serial_stats.accelerator_cycles);
+  EXPECT_EQ(parallel_stats.elements_processed,
+            serial_stats.elements_processed);
+  EXPECT_EQ(parallel_stats.plan, serial_stats.plan);
 }
 
 TEST_F(QueryEngineTest, JoinKeysRejectsDuplicateKeys) {

@@ -13,6 +13,11 @@
 //   dba_cli profile --config=DBA_2LSU_EIS --op=intersect --json=out.json
 //   dba_cli trace --config=DBA_2LSU_EIS --op=intersect --out=run.trace.json
 //   dba_cli validate-bench BENCH_table2_throughput.json
+//
+// Multi-core board runs (Section 5.4 scale-out; the cores are simulated
+// on concurrent host threads, see docs/ARCHITECTURE.md):
+//
+//   dba_cli board --op=intersect --cores=16 --n=500000 --host-threads=8
 
 #include <cstdio>
 #include <cstdlib>
@@ -28,6 +33,7 @@
 #include "obs/serialize.h"
 #include "obs/trace_writer.h"
 #include "prefetch/streaming.h"
+#include "system/board.h"
 #include "toolchain/profiler.h"
 
 namespace {
@@ -36,7 +42,7 @@ using dba::ProcessorKind;
 using dba::SetOp;
 
 struct CliOptions {
-  std::string command;  // "", "profile", "trace"
+  std::string command;  // "", "profile", "trace", "board"
   std::string config = "DBA_2LSU_EIS";
   std::string op = "intersect";
   uint32_t n = 5000;
@@ -54,6 +60,8 @@ struct CliOptions {
   uint32_t trace = 0;
   std::string json_path;   // profile: combined JSON report
   std::string trace_path = "dba.trace.json";  // trace: Perfetto file
+  int cores = 16;          // board: number of cores
+  int host_threads = 0;    // board: 0 = hardware concurrency
 };
 
 void PrintUsage() {
@@ -67,6 +75,9 @@ void PrintUsage() {
       "  trace                    run with the cycle tracer; write a\n"
       "                           Chrome trace-event / Perfetto file\n"
       "                           (--out=PATH, default dba.trace.json)\n"
+      "  board                    run a parallel op on a multi-core board\n"
+      "                           (--cores=N, --host-threads=N; 0 = all\n"
+      "                           host cores, 1 = serial simulation)\n"
       "  validate-bench FILE...   validate dba.bench.v1 JSON documents\n"
       "options:\n"
       "  --list-configs           print the synthesis table and exit\n"
@@ -193,6 +204,61 @@ int ValidateBenchFiles(int argc, char** argv, int first) {
   return failures == 0 ? 0 : 1;
 }
 
+/// board --op=... --cores=N --host-threads=N: a parallel set operation
+/// or sample-sort on a multi-core board, with the host-side simulation
+/// speed reported next to the simulated figures.
+int RunBoard(const CliOptions& options, ProcessorKind kind,
+             const dba::ProcessorOptions& processor_options) {
+  dba::system::BoardConfig config;
+  config.core_kind = kind;
+  config.core_options = processor_options;
+  config.num_cores = options.cores;
+  config.host_threads = options.host_threads;
+  auto board = dba::system::Board::Create(config);
+  if (!board.ok()) return Fail(board.status());
+
+  dba::Result<dba::system::ParallelRun> run =
+      dba::Status::Internal("unset");
+  if (options.op == "sort") {
+    const auto values = dba::GenerateSortInput(options.n, options.seed);
+    run = (*board)->RunSort(values);
+  } else {
+    const auto op = ParseOp(options.op);
+    if (!op.has_value() || *op == SetOp::kMerge) {
+      std::fprintf(stderr, "board supports intersect|union|difference|sort\n");
+      return 2;
+    }
+    auto pair = dba::GenerateSetPair(options.n,
+                                     options.nb.value_or(options.n),
+                                     options.selectivity, options.seed);
+    if (!pair.ok()) return Fail(pair.status());
+    run = (*board)->RunSetOperation(*op, pair->a, pair->b);
+  }
+  if (!run.ok()) return Fail(run.status());
+
+  std::printf("result elements   %zu\n", run->result.size());
+  std::printf("makespan          %llu cycles\n",
+              static_cast<unsigned long long>(run->makespan_cycles));
+  std::printf("throughput        %.1f M elements/s (%s-bound)\n",
+              run->throughput_meps, run->noc_bound ? "noc" : "compute");
+  std::printf("board power       %.2f W, energy %.1f uJ\n",
+              run->board_power_mw / 1000.0, run->energy_uj);
+  std::printf("host wall clock   %.4f s on %d host thread(s)\n",
+              run->host_wall_seconds, run->host_threads_used);
+  if (!options.json_path.empty()) {
+    auto root = dba::obs::JsonValue::Object();
+    root.Set("config", options.config)
+        .Set("op", options.op)
+        .Set("cores", options.cores);
+    dba::obs::MergeParallelRun(root, *run);
+    const dba::Status status =
+        dba::obs::WriteJsonFile(options.json_path, root);
+    if (!status.ok()) return Fail(status);
+    std::printf("wrote board JSON to %s\n", options.json_path.c_str());
+  }
+  return 0;
+}
+
 /// Shared tail of the profile/trace subcommands: prints the hotspot and
 /// stall reports, writes the combined JSON document (profile --json) and
 /// the Perfetto trace file (trace).
@@ -252,7 +318,8 @@ int main(int argc, char** argv) {
     if (options.command == "validate-bench") {
       return ValidateBenchFiles(argc, argv, 2);
     }
-    if (options.command != "profile" && options.command != "trace") {
+    if (options.command != "profile" && options.command != "trace" &&
+        options.command != "board") {
       std::fprintf(stderr, "unknown command: %s\n\n", argv[1]);
       PrintUsage();
       return 2;
@@ -298,6 +365,11 @@ int main(int argc, char** argv) {
       options.json_path = value;
     } else if (ParseFlag(arg, "--out", &value)) {
       options.trace_path = value;
+    } else if (ParseFlag(arg, "--cores", &value)) {
+      options.cores = static_cast<int>(std::strtol(value.c_str(), nullptr, 10));
+    } else if (ParseFlag(arg, "--host-threads", &value)) {
+      options.host_threads =
+          static_cast<int>(std::strtol(value.c_str(), nullptr, 10));
     } else {
       std::fprintf(stderr, "unknown option: %s\n\n", arg);
       PrintUsage();
@@ -326,6 +398,10 @@ int main(int argc, char** argv) {
   if (options.tech28) {
     processor_options.tech = dba::hwmodel::TechNode::k28nmGfSlp;
   }
+  if (options.command == "board") {
+    return RunBoard(options, *kind, processor_options);
+  }
+
   auto processor = dba::Processor::Create(*kind, processor_options);
   if (!processor.ok()) return Fail(processor.status());
 
