@@ -27,6 +27,10 @@ std::string_view StatusCodeToString(StatusCode code) {
       return "AlreadyExists";
     case StatusCode::kDeadlineExceeded:
       return "DeadlineExceeded";
+    case StatusCode::kUnavailable:
+      return "Unavailable";
+    case StatusCode::kDataLoss:
+      return "DataLoss";
   }
   return "Unknown";
 }

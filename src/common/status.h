@@ -23,6 +23,8 @@ enum class StatusCode : uint8_t {
   kNotFound = 7,
   kAlreadyExists = 8,
   kDeadlineExceeded = 9,
+  kUnavailable = 10,
+  kDataLoss = 11,
 };
 
 /// Returns a short human-readable name for `code` ("OK", "InvalidArgument"...).
@@ -71,6 +73,12 @@ class Status {
   }
   static Status DeadlineExceeded(std::string msg) {
     return Status(StatusCode::kDeadlineExceeded, std::move(msg));
+  }
+  static Status Unavailable(std::string msg) {
+    return Status(StatusCode::kUnavailable, std::move(msg));
+  }
+  static Status DataLoss(std::string msg) {
+    return Status(StatusCode::kDataLoss, std::move(msg));
   }
 
   bool ok() const { return code_ == StatusCode::kOk; }

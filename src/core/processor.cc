@@ -229,8 +229,10 @@ Result<SetOpRun> Processor::RunSetOperation(SetOp op,
     return Status::InvalidArgument(
         "kMerge is the merge-sort building block; use RunSort");
   }
-  DBA_RETURN_IF_ERROR(ValidateStrictlyIncreasing(a, "A"));
-  DBA_RETURN_IF_ERROR(ValidateStrictlyIncreasing(b, "B"));
+  if (settings.validate_inputs) {
+    DBA_RETURN_IF_ERROR(ValidateStrictlyIncreasing(a, "A"));
+    DBA_RETURN_IF_ERROR(ValidateStrictlyIncreasing(b, "B"));
+  }
   if (a.size() > max_set_elements(static_cast<uint32_t>(b.size())) ||
       b.size() > max_set_elements(static_cast<uint32_t>(a.size()))) {
     return Status::ResourceExhausted(
@@ -319,6 +321,7 @@ Result<SetOpRun> Processor::ExecuteBinaryKernel(
   run_options.profile = settings.profile;
   run_options.trace_limit = settings.trace_limit;
   run_options.trace_sink = settings.trace_sink;
+  if (settings.max_cycles > 0) run_options.max_cycles = settings.max_cycles;
   if (settings.trace_sink != nullptr) {
     settings.trace_sink->BeginRegion(0, phase);
   }
@@ -388,6 +391,7 @@ Result<SortRun> Processor::RunSort(std::span<const uint32_t> values,
   run_options.profile = settings.profile;
   run_options.trace_limit = settings.trace_limit;
   run_options.trace_sink = settings.trace_sink;
+  if (settings.max_cycles > 0) run_options.max_cycles = settings.max_cycles;
   if (settings.trace_sink != nullptr) {
     settings.trace_sink->BeginRegion(
         0, "sort[" + std::string(hwmodel::ConfigKindName(kind_)) + "]");

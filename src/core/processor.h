@@ -46,6 +46,15 @@ struct RunSettings {
   /// Record the first N issued words as rendered trace lines in the
   /// returned stats (0 = off).
   uint32_t trace_limit = 0;
+  /// Validate that set-operation inputs are strictly increasing before
+  /// running the kernel, returning InvalidArgument instead of silently
+  /// producing garbage. Off by default: the hot path trusts its caller
+  /// (the board turns it on for attempts that may see injected faults).
+  bool validate_inputs = false;
+  /// Watchdog budget for the kernel run in cycles; 0 keeps the
+  /// simulator's default (2^36). Fault-tolerant callers set a tight
+  /// budget so a hung core surfaces as DeadlineExceeded quickly.
+  uint64_t max_cycles = 0;
   /// Cycle-trace receiver (non-owning; may be null). The run is wrapped
   /// in a kernel-phase region (e.g. "intersect[DBA_2LSU_EIS]") and the
   /// core emits label-region slices and stall/beat counter tracks into
@@ -116,7 +125,9 @@ class Processor {
 
   /// Executes a sorted-set operation (intersection, union, difference).
   /// Inputs must be strictly increasing (sorted, duplicate-free) and
-  /// within capacity. Uses the EIS kernel when available.
+  /// within capacity; set RunSettings::validate_inputs to have the
+  /// processor check the ordering instead of trusting the caller. Uses
+  /// the EIS kernel when available.
   Result<SetOpRun> RunSetOperation(SetOp op, std::span<const uint32_t> a,
                                    std::span<const uint32_t> b,
                                    const RunSettings& settings = {});

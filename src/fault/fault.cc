@@ -1,0 +1,116 @@
+#include "fault/fault.h"
+
+#include <algorithm>
+#include <utility>
+
+#include "common/random.h"
+#include "isa/assembler.h"
+
+namespace dba::fault {
+
+namespace {
+
+/// SplitMix-style combiner; the per-site seed must decorrelate sites
+/// that differ in a single field.
+uint64_t Mix(uint64_t h, uint64_t v) {
+  h ^= v + 0x9E3779B97F4A7C15ULL + (h << 6) + (h >> 2);
+  h *= 0xBF58476D1CE4E5B9ULL;
+  h ^= h >> 27;
+  return h;
+}
+
+Status ValidateRate(double rate, const char* name) {
+  if (rate < 0 || rate > 1) {
+    return Status::InvalidArgument(std::string("FaultPlan::") + name +
+                                   " must be in [0, 1]");
+  }
+  return Status::Ok();
+}
+
+}  // namespace
+
+std::string_view FaultKindName(FaultKind kind) {
+  switch (kind) {
+    case FaultKind::kNone:
+      return "none";
+    case FaultKind::kCoreHang:
+      return "core_hang";
+    case FaultKind::kLocalStoreBitFlip:
+      return "local_store_bit_flip";
+    case FaultKind::kResultBitFlip:
+      return "result_bit_flip";
+    case FaultKind::kTransferFail:
+      return "transfer_fail";
+    case FaultKind::kTransferTimeout:
+      return "transfer_timeout";
+  }
+  return "unknown";
+}
+
+Status FaultPlan::Validate() const {
+  DBA_RETURN_IF_ERROR(ValidateRate(hang_rate, "hang_rate"));
+  DBA_RETURN_IF_ERROR(ValidateRate(input_flip_rate, "input_flip_rate"));
+  DBA_RETURN_IF_ERROR(ValidateRate(result_flip_rate, "result_flip_rate"));
+  DBA_RETURN_IF_ERROR(ValidateRate(transfer_fail_rate, "transfer_fail_rate"));
+  DBA_RETURN_IF_ERROR(
+      ValidateRate(transfer_timeout_rate, "transfer_timeout_rate"));
+  for (const int core : broken_cores) {
+    if (core < 0) {
+      return Status::InvalidArgument(
+          "FaultPlan::broken_cores entries must be >= 0");
+    }
+  }
+  if (hang_watchdog_cycles == 0) {
+    return Status::InvalidArgument(
+        "FaultPlan::hang_watchdog_cycles must be >= 1");
+  }
+  return Status::Ok();
+}
+
+FaultInjector::FaultInjector(FaultPlan plan) : plan_(std::move(plan)) {}
+
+bool FaultInjector::IsBroken(uint32_t core) const {
+  return std::find(plan_.broken_cores.begin(), plan_.broken_cores.end(),
+                   static_cast<int>(core)) != plan_.broken_cores.end();
+}
+
+FaultDecision FaultInjector::Decide(const AttemptSite& site) const {
+  FaultDecision decision;
+  // Permanent failures key off the core: wherever a partition lands,
+  // a dead part stays dead.
+  if (IsBroken(site.core)) decision.hang = true;
+  if (plan_.hang_rate == 0 && plan_.input_flip_rate == 0 &&
+      plan_.result_flip_rate == 0 && plan_.transfer_fail_rate == 0 &&
+      plan_.transfer_timeout_rate == 0) {
+    return decision;
+  }
+  // Transient faults key off the work item (not the core): the schedule
+  // must not change when a retry lands on a different core, and must
+  // not depend on host-thread scheduling. Draws happen in a fixed order
+  // so every rate consumes the same entropy.
+  uint64_t h = Mix(plan_.seed ^ 0xD1B54A32D192ED03ULL, site.op_ordinal);
+  h = Mix(h, site.partition);
+  h = Mix(h, site.attempt);
+  Random rng(h);
+  decision.hang |= rng.Bernoulli(plan_.hang_rate);
+  decision.transfer_fail = rng.Bernoulli(plan_.transfer_fail_rate);
+  decision.transfer_timeout = rng.Bernoulli(plan_.transfer_timeout_rate);
+  decision.flip_input = rng.Bernoulli(plan_.input_flip_rate);
+  decision.flip_result = rng.Bernoulli(plan_.result_flip_rate);
+  decision.flip_offset = rng.Next64();
+  decision.flip_bit = static_cast<uint32_t>(rng.Uniform(32));
+  return decision;
+}
+
+Result<isa::Program> BuildHangLoopProgram() {
+  isa::Assembler masm;
+  isa::Label loop;
+  masm.Bind(&loop, "hang");
+  masm.J(&loop);
+  // Unreachable; keeps the program well-formed for tools that expect a
+  // terminating instruction.
+  masm.Halt();
+  return masm.Finish();
+}
+
+}  // namespace dba::fault

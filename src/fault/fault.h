@@ -1,0 +1,110 @@
+#ifndef DBA_FAULT_FAULT_H_
+#define DBA_FAULT_FAULT_H_
+
+#include <cstdint>
+#include <string_view>
+#include <vector>
+
+#include "common/status.h"
+#include "isa/program.h"
+
+namespace dba::fault {
+
+/// The fault classes the injector can produce. At the part counts the
+/// paper targets (Section 1: "hundreds of chips on a single board"),
+/// all of these are steady-state events, not exceptions.
+enum class FaultKind : uint8_t {
+  kNone = 0,
+  kCoreHang = 1,          // core stops making progress; watchdog trips
+  kLocalStoreBitFlip = 2, // transient flip in a staged input word
+  kResultBitFlip = 3,     // transient flip in a partition result word
+  kTransferFail = 4,      // NoC transfer aborts (link error)
+  kTransferTimeout = 5,   // NoC transfer never completes
+};
+
+std::string_view FaultKindName(FaultKind kind);
+
+/// Identifies one execution attempt of one partition. The injector's
+/// decision is a pure function of the plan seed and this site, so the
+/// fault schedule is attached to the *work item*, not to whichever host
+/// thread or core happens to execute it -- that is what makes recovery
+/// reproducible at any host_threads setting and across requeues.
+struct AttemptSite {
+  uint64_t op_ordinal = 0;  // nth board-level operation since creation
+  uint32_t partition = 0;   // partition index within the operation
+  uint32_t core = 0;        // core executing the attempt
+  uint32_t attempt = 0;     // 0 = first try, 1 = first retry, ...
+};
+
+/// What the injector decided for one attempt. Multiple faults can hit
+/// the same attempt; the hang (if any) preempts the rest.
+struct FaultDecision {
+  bool hang = false;
+  bool transfer_fail = false;
+  bool transfer_timeout = false;
+  bool flip_input = false;
+  bool flip_result = false;
+  /// Entropy for placing a flip: the target word is flip_offset modulo
+  /// the affected array's size, the target bit is flip_bit.
+  uint64_t flip_offset = 0;
+  uint32_t flip_bit = 0;
+
+  bool any() const {
+    return hang || transfer_fail || transfer_timeout || flip_input ||
+           flip_result;
+  }
+};
+
+/// A deterministic, seeded fault schedule. Rates are per-attempt
+/// probabilities; `broken_cores` lists cores that hang on every attempt
+/// (permanent failures). A default-constructed plan injects nothing.
+struct FaultPlan {
+  uint64_t seed = 0;
+  double hang_rate = 0;
+  double input_flip_rate = 0;
+  double result_flip_rate = 0;
+  double transfer_fail_rate = 0;
+  double transfer_timeout_rate = 0;
+  /// Cores that permanently hang (simulating dead parts).
+  std::vector<int> broken_cores;
+  /// Watchdog budget a fault-aware caller grants a possibly-hung core;
+  /// also the cycle cost charged for a detected hang.
+  uint64_t hang_watchdog_cycles = 50000;
+
+  /// True when the plan can inject at least one fault.
+  bool enabled() const {
+    return hang_rate > 0 || input_flip_rate > 0 || result_flip_rate > 0 ||
+           transfer_fail_rate > 0 || transfer_timeout_rate > 0 ||
+           !broken_cores.empty();
+  }
+
+  Status Validate() const;
+};
+
+/// Draws fault decisions from a FaultPlan. Thread-safe: Decide is a
+/// pure function of (plan, site) with no mutable state, so concurrent
+/// host threads can consult one injector.
+class FaultInjector {
+ public:
+  explicit FaultInjector(FaultPlan plan);
+
+  const FaultPlan& plan() const { return plan_; }
+
+  /// True when `core` is in the plan's broken_cores list.
+  bool IsBroken(uint32_t core) const;
+
+  /// The (deterministic) fault decision for one attempt.
+  FaultDecision Decide(const AttemptSite& site) const;
+
+ private:
+  FaultPlan plan_;
+};
+
+/// A two-instruction program that branches to itself forever: loading it
+/// into a core makes the real sim::Cpu watchdog trip after exactly the
+/// caller's max_cycles budget -- a genuine hang, not a simulated status.
+Result<isa::Program> BuildHangLoopProgram();
+
+}  // namespace dba::fault
+
+#endif  // DBA_FAULT_FAULT_H_

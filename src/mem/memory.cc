@@ -82,6 +82,15 @@ Result<std::vector<uint32_t>> Memory::ReadBlock(uint64_t addr,
   return values;
 }
 
+Status Memory::FlipBit(uint64_t addr, uint32_t bit) {
+  if (bit >= 32) {
+    return Status::InvalidArgument(config_.name +
+                                   ": FlipBit bit index must be in 0..31");
+  }
+  DBA_ASSIGN_OR_RETURN(uint32_t word, LoadU32(addr));
+  return StoreU32(addr, word ^ (1u << bit));
+}
+
 void Memory::Clear() { std::fill(data_.begin(), data_.end(), 0); }
 
 Status MemorySystem::AddRegion(Memory* memory) {

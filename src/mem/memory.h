@@ -59,6 +59,10 @@ class Memory {
   Status WriteBlock(uint64_t addr, std::span<const uint32_t> values);
   Result<std::vector<uint32_t>> ReadBlock(uint64_t addr, size_t count) const;
 
+  /// Inverts bit `bit` (0..31) of the 32-bit word at `addr` -- the
+  /// fault injector's model of a transient single-event upset.
+  Status FlipBit(uint64_t addr, uint32_t bit);
+
   /// Zeroes the full memory contents.
   void Clear();
 

@@ -65,6 +65,19 @@ void MergeParallelRun(JsonValue& row, const system::ParallelRun& run) {
       .Set("bound", std::string(run.noc_bound ? "noc" : "compute"))
       .Set("host_wall_seconds", run.host_wall_seconds)
       .Set("host_threads", run.host_threads_used);
+  // Fault-tolerance telemetry (all zero / empty for a fault-free run).
+  const system::RecoveryTelemetry& recovery = run.recovery;
+  JsonValue quarantined = JsonValue::Array();
+  for (const int core : recovery.quarantined_cores) quarantined.Push(core);
+  row.Set("faults_injected", recovery.faults_injected)
+      .Set("failed_attempts", recovery.failed_attempts)
+      .Set("retries", recovery.retries)
+      .Set("requeues", recovery.requeues)
+      .Set("verification_failures", recovery.verification_failures)
+      .Set("recovery_rounds", recovery.rounds)
+      .Set("recovery_cycles", recovery.recovery_cycles)
+      .Set("quarantined_cores", std::move(quarantined))
+      .Set("degraded", recovery.degraded);
 }
 
 namespace {

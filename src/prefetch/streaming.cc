@@ -6,8 +6,12 @@ namespace dba::prefetch {
 
 StreamingSetOperation::StreamingSetOperation(Processor* processor,
                                              DmaConfig dma_config,
-                                             uint32_t chunk_elements)
-    : processor_(processor), dma_(dma_config), chunk_elements_(chunk_elements) {
+                                             uint32_t chunk_elements,
+                                             const RunSettings& base_settings)
+    : processor_(processor),
+      dma_(dma_config),
+      chunk_elements_(chunk_elements),
+      base_settings_(base_settings) {
   if (chunk_elements_ == 0) {
     // Half the per-set capacity: the other half is the double buffer
     // the prefetcher fills while the core works.
@@ -45,9 +49,11 @@ Result<StreamingRun> StreamingSetOperation::Run(SetOp op,
     DBA_ASSIGN_OR_RETURN(
         SetOpRun chunk_run,
         op == SetOp::kMerge
-            ? processor_->RunMerge(a.subspan(ia, na), b.subspan(ib, nb))
+            ? processor_->RunMerge(a.subspan(ia, na), b.subspan(ib, nb),
+                                   base_settings_)
             : processor_->RunSetOperation(op, a.subspan(ia, na),
-                                          b.subspan(ib, nb)));
+                                          b.subspan(ib, nb),
+                                          base_settings_));
 
     // Transfer cost of this round: both staged chunks in, results out.
     const uint64_t dma_bytes =

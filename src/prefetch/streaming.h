@@ -36,9 +36,11 @@ class StreamingSetOperation {
  public:
   /// `processor` must outlive this object. `chunk_elements` is the
   /// per-side staging size; 0 picks the largest that fits the local
-  /// memories.
+  /// memories. `base_settings` is applied to every per-chunk kernel run
+  /// (e.g. a watchdog budget from a fault-tolerant caller).
   StreamingSetOperation(Processor* processor, DmaConfig dma_config,
-                        uint32_t chunk_elements = 0);
+                        uint32_t chunk_elements = 0,
+                        const RunSettings& base_settings = {});
 
   Result<StreamingRun> Run(SetOp op, std::span<const uint32_t> a,
                            std::span<const uint32_t> b);
@@ -47,6 +49,7 @@ class StreamingSetOperation {
   Processor* processor_;
   DmaController dma_;
   uint32_t chunk_elements_;
+  RunSettings base_settings_;
 };
 
 }  // namespace dba::prefetch

@@ -13,6 +13,22 @@ void AddPlanStep(QueryStats* stats, std::string step) {
   if (stats != nullptr) stats->plan.push_back(std::move(step));
 }
 
+/// Failure codes worth re-executing: the attempt may succeed on a retry
+/// (a tripped watchdog, a dropped transfer, detected data corruption).
+/// Anything else -- bad inputs, missing indexes -- fails immediately.
+bool IsTransient(StatusCode code) {
+  return code == StatusCode::kDeadlineExceeded ||
+         code == StatusCode::kUnavailable || code == StatusCode::kDataLoss;
+}
+
+/// The attempt's settings: the base watchdog budget doubles with every
+/// retry (a genuine slow run eventually fits; a real hang keeps failing).
+RunSettings AttemptSettings(const RunSettings& base, int attempt) {
+  RunSettings settings = base;
+  settings.max_cycles = base.max_cycles << attempt;
+  return settings;
+}
+
 }  // namespace
 
 Status QueryEngine::BuildIndex(const std::string& column) {
@@ -83,19 +99,39 @@ Result<std::vector<Rid>> QueryEngine::RunSetOp(SetOp op,
       a.size() <= processor_->max_set_elements(
                       static_cast<uint32_t>(b.size())) &&
       b.size() <= processor_->max_set_elements(static_cast<uint32_t>(a.size()));
-  if (fits) {
-    DBA_ASSIGN_OR_RETURN(SetOpRun run,
-                         processor_->RunSetOperation(op, a, b));
-    cycles = run.metrics.cycles;
-    result = std::move(run.result);
-  } else {
-    prefetch::StreamingSetOperation streaming(processor_,
-                                              prefetch::DmaConfig{});
-    DBA_ASSIGN_OR_RETURN(prefetch::StreamingRun run, streaming.Run(op, a, b));
-    cycles = run.total_cycles;
-    result = std::move(run.result);
+  Status last_error = Status::Internal("no attempt executed");
+  int attempts_used = 0;
+  bool done = false;
+  for (int attempt = 0; attempt < max_attempts_ && !done; ++attempt) {
+    attempts_used = attempt + 1;
+    const RunSettings settings = AttemptSettings(run_settings_, attempt);
+    if (fits) {
+      Result<SetOpRun> run = processor_->RunSetOperation(op, a, b, settings);
+      if (run.ok()) {
+        cycles = run->metrics.cycles;
+        result = std::move(run->result);
+        done = true;
+      } else {
+        last_error = run.status();
+      }
+    } else {
+      prefetch::StreamingSetOperation streaming(processor_,
+                                                prefetch::DmaConfig{}, 0,
+                                                settings);
+      Result<prefetch::StreamingRun> run = streaming.Run(op, a, b);
+      if (run.ok()) {
+        cycles = run->total_cycles;
+        result = std::move(run->result);
+        done = true;
+      } else {
+        last_error = run.status();
+      }
+    }
+    if (!done && !IsTransient(last_error.code())) return last_error;
   }
+  if (!done) return last_error;
   if (stats != nullptr) {
+    stats->retries += static_cast<uint32_t>(attempts_used - 1);
     ++stats->set_operations;
     stats->accelerator_cycles += cycles;
     stats->elements_processed += a.size() + b.size();
@@ -206,20 +242,20 @@ namespace {
 /// concurrent host threads into separate stats, merged after the join
 /// in left-right order -- keeping plans and counters identical to the
 /// serial engine.
-Result<std::vector<uint32_t>> SortUniqueKeys(Processor* processor,
-                                             const Table& table,
-                                             const std::string& key_column,
-                                             QueryStats* stats) {
+Result<std::vector<uint32_t>> SortUniqueKeysOnce(
+    Processor* processor, const Table& table, const std::string& key_column,
+    const RunSettings& settings, QueryStats* stats) {
   DBA_ASSIGN_OR_RETURN(std::span<const uint32_t> values,
                        table.Column(key_column));
   std::vector<uint32_t> sorted;
   const uint32_t capacity = processor->max_sort_elements();
-  prefetch::StreamingSetOperation streaming(processor,
-                                            prefetch::DmaConfig{});
+  prefetch::StreamingSetOperation streaming(processor, prefetch::DmaConfig{},
+                                            0, settings);
   for (size_t pos = 0; pos < values.size(); pos += capacity) {
     const size_t len = std::min<size_t>(capacity, values.size() - pos);
     DBA_ASSIGN_OR_RETURN(SortRun run,
-                         processor->RunSort(values.subspan(pos, len)));
+                         processor->RunSort(values.subspan(pos, len),
+                                            settings));
     if (stats != nullptr) {
       ++stats->sorts;
       stats->accelerator_cycles += run.metrics.cycles;
@@ -250,9 +286,48 @@ Result<std::vector<uint32_t>> SortUniqueKeys(Processor* processor,
   return sorted;
 }
 
+/// SortUniqueKeysOnce with transient-failure retry: each attempt runs
+/// with a doubled watchdog budget into fresh per-attempt stats, so a
+/// failed attempt leaves the caller's telemetry untouched (only the
+/// retry counter and a plan note record that it happened).
+Result<std::vector<uint32_t>> SortUniqueKeys(Processor* processor,
+                                             const Table& table,
+                                             const std::string& key_column,
+                                             const RunSettings& base_settings,
+                                             int max_attempts,
+                                             QueryStats* stats) {
+  Status last_error = Status::Internal("no attempt executed");
+  for (int attempt = 0; attempt < max_attempts; ++attempt) {
+    QueryStats attempt_stats;
+    Result<std::vector<uint32_t>> sorted = SortUniqueKeysOnce(
+        processor, table, key_column, AttemptSettings(base_settings, attempt),
+        stats != nullptr ? &attempt_stats : nullptr);
+    if (sorted.ok()) {
+      if (stats != nullptr) {
+        stats->retries += static_cast<uint32_t>(attempt);
+        stats->sorts += attempt_stats.sorts;
+        stats->accelerator_cycles += attempt_stats.accelerator_cycles;
+        stats->elements_processed += attempt_stats.elements_processed;
+        for (std::string& step : attempt_stats.plan) {
+          stats->plan.push_back(std::move(step));
+        }
+      }
+      return sorted;
+    }
+    last_error = sorted.status();
+    if (!IsTransient(last_error.code())) return last_error;
+    AddPlanStep(stats, "retry sort of " + table.name() + "." + key_column +
+                           " after " +
+                           std::string(StatusCodeToString(
+                               last_error.code())));
+  }
+  return last_error;
+}
+
 void MergeJoinStats(QueryStats* stats, const QueryStats& side) {
   if (stats == nullptr) return;
   stats->sorts += side.sorts;
+  stats->retries += side.retries;
   stats->accelerator_cycles += side.accelerator_cycles;
   stats->elements_processed += side.elements_processed;
   for (const std::string& step : side.plan) stats->plan.push_back(step);
@@ -274,16 +349,19 @@ Result<std::vector<uint32_t>> QueryEngine::JoinKeys(
     // only its own result slot and stats.
     pool_->ParallelFor(2, [&](size_t side) {
       if (side == 0) {
-        left = SortUniqueKeys(processor_, *table_, column, want);
+        left = SortUniqueKeys(processor_, *table_, column, run_settings_,
+                              max_attempts_, want);
       } else {
-        right = SortUniqueKeys(sibling_, other, other_column,
+        right = SortUniqueKeys(sibling_, other, other_column, run_settings_,
+                               max_attempts_,
                                stats != nullptr ? &right_stats : nullptr);
       }
     });
   } else {
-    left = SortUniqueKeys(processor_, *table_, column, want);
+    left = SortUniqueKeys(processor_, *table_, column, run_settings_,
+                          max_attempts_, want);
     right = SortUniqueKeys(sibling_ != nullptr ? sibling_ : processor_,
-                           other, other_column,
+                           other, other_column, run_settings_, max_attempts_,
                            stats != nullptr ? &right_stats : nullptr);
   }
   DBA_RETURN_IF_ERROR(left.status());
@@ -316,7 +394,8 @@ Result<std::vector<uint32_t>> QueryEngine::SelectValuesOrdered(
   const uint32_t capacity = processor_->max_sort_elements();
   std::vector<uint32_t> sorted;
   if (values.size() <= capacity) {
-    DBA_ASSIGN_OR_RETURN(SortRun run, processor_->RunSort(values));
+    DBA_ASSIGN_OR_RETURN(SortRun run,
+                         processor_->RunSort(values, run_settings_));
     if (stats != nullptr) {
       ++stats->sorts;
       stats->accelerator_cycles += run.metrics.cycles;
@@ -330,12 +409,13 @@ Result<std::vector<uint32_t>> QueryEngine::SelectValuesOrdered(
     // then merge the runs pairwise with the streamed EIS merge kernel.
     uint32_t chunks = 0;
     prefetch::StreamingSetOperation streaming(processor_,
-                                              prefetch::DmaConfig{});
+                                              prefetch::DmaConfig{}, 0,
+                                              run_settings_);
     for (size_t pos = 0; pos < values.size(); pos += capacity) {
       const size_t len = std::min<size_t>(capacity, values.size() - pos);
       DBA_ASSIGN_OR_RETURN(
           SortRun run,
-          processor_->RunSort({values.data() + pos, len}));
+          processor_->RunSort({values.data() + pos, len}, run_settings_));
       if (stats != nullptr) {
         ++stats->sorts;
         stats->accelerator_cycles += run.metrics.cycles;

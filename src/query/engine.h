@@ -20,6 +20,7 @@ struct QueryStats {
   uint32_t index_probes = 0;
   uint32_t set_operations = 0;
   uint32_t sorts = 0;
+  uint32_t retries = 0;              // transient-failure re-executions
   uint64_t accelerator_cycles = 0;   // total cycles on the DBA core
   uint64_t elements_processed = 0;   // set-op + sort input elements
   double accelerator_seconds = 0;    // at the synthesized f_max
@@ -83,6 +84,20 @@ class QueryEngine {
     sibling_ = sibling;
   }
 
+  /// Base kernel-run settings applied to every accelerator call -- e.g. a
+  /// watchdog budget (RunSettings::max_cycles) when the core may hang, or
+  /// input validation when RID lists may arrive corrupted.
+  void SetRunSettings(const RunSettings& settings) {
+    run_settings_ = settings;
+  }
+  /// Attempts per accelerator step (>= 1; default 1 = fail fast, the
+  /// historical behavior). Transient failures -- DeadlineExceeded,
+  /// Unavailable, DataLoss -- are re-executed with the watchdog budget
+  /// doubled each attempt; QueryStats::retries counts re-executions.
+  void SetMaxAttempts(int attempts) {
+    max_attempts_ = attempts < 1 ? 1 : attempts;
+  }
+
  private:
   Result<std::vector<Rid>> Evaluate(const Predicate& predicate,
                                     QueryStats* stats);
@@ -97,6 +112,8 @@ class QueryEngine {
   Processor* processor_;
   common::ThreadPool* pool_ = nullptr;   // non-owning; may be null
   Processor* sibling_ = nullptr;         // non-owning; may be null
+  RunSettings run_settings_;
+  int max_attempts_ = 1;
   std::map<std::string, SecondaryIndex> indexes_;
 };
 

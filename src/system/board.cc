@@ -2,6 +2,8 @@
 
 #include <algorithm>
 #include <chrono>
+#include <string>
+#include <utility>
 
 #include "prefetch/streaming.h"
 
@@ -76,6 +78,7 @@ Status RunDegenerateRange(SetOp op, std::span<const uint32_t> a,
 Status RunSetPartition(Processor& core, SetOp op,
                        std::span<const uint32_t> part_a,
                        std::span<const uint32_t> part_b,
+                       const RunSettings& settings,
                        std::vector<uint32_t>* result,
                        uint64_t* compute_cycles) {
   const bool fits =
@@ -88,12 +91,13 @@ Status RunSetPartition(Processor& core, SetOp op,
   }
   if (fits) {
     DBA_ASSIGN_OR_RETURN(SetOpRun core_run,
-                         core.RunSetOperation(op, part_a, part_b));
+                         core.RunSetOperation(op, part_a, part_b, settings));
     *compute_cycles = core_run.metrics.cycles;
     *result = std::move(core_run.result);
     return Status::Ok();
   }
-  prefetch::StreamingSetOperation streaming(&core, prefetch::DmaConfig{});
+  prefetch::StreamingSetOperation streaming(&core, prefetch::DmaConfig{}, 0,
+                                            settings);
   DBA_ASSIGN_OR_RETURN(prefetch::StreamingRun core_run,
                        streaming.Run(op, part_a, part_b));
   *compute_cycles = core_run.total_cycles;
@@ -106,20 +110,22 @@ Status RunSetPartition(Processor& core, SetOp op,
 /// merge kernel. Returns total core cycles.
 Result<uint64_t> ExternalSort(Processor& core,
                               std::span<const uint32_t> values,
+                              const RunSettings& settings,
                               std::vector<uint32_t>* sorted) {
   uint64_t cycles = 0;
   const uint32_t capacity = core.max_sort_elements();
   sorted->clear();
   if (values.size() <= capacity) {
-    DBA_ASSIGN_OR_RETURN(SortRun run, core.RunSort(values));
+    DBA_ASSIGN_OR_RETURN(SortRun run, core.RunSort(values, settings));
     *sorted = std::move(run.sorted);
     return run.metrics.cycles;
   }
-  prefetch::StreamingSetOperation streaming(&core, prefetch::DmaConfig{});
+  prefetch::StreamingSetOperation streaming(&core, prefetch::DmaConfig{}, 0,
+                                            settings);
   for (size_t pos = 0; pos < values.size(); pos += capacity) {
     const size_t len = std::min<size_t>(capacity, values.size() - pos);
     DBA_ASSIGN_OR_RETURN(SortRun run,
-                         core.RunSort(values.subspan(pos, len)));
+                         core.RunSort(values.subspan(pos, len), settings));
     cycles += run.metrics.cycles;
     if (sorted->empty()) {
       *sorted = std::move(run.sorted);
@@ -139,7 +145,25 @@ double SecondsSince(std::chrono::steady_clock::time_point start) {
       .count();
 }
 
+/// Adds context to a status without changing its code (the code is what
+/// retry policies and tests dispatch on).
+Status Annotate(const Status& status, const std::string& context) {
+  return Status(status.code(), context + ": " + status.message());
+}
+
 }  // namespace
+
+Status RecoveryPolicy::Validate() const {
+  if (max_attempts < 1 || max_attempts > 32) {
+    return Status::InvalidArgument(
+        "RecoveryPolicy::max_attempts must be in 1..32");
+  }
+  if (quarantine_after < 1) {
+    return Status::InvalidArgument(
+        "RecoveryPolicy::quarantine_after must be >= 1");
+  }
+  return Status::Ok();
+}
 
 Result<std::unique_ptr<Board>> Board::Create(const BoardConfig& config) {
   if (config.num_cores < 1 || config.num_cores > 1024) {
@@ -147,6 +171,17 @@ Result<std::unique_ptr<Board>> Board::Create(const BoardConfig& config) {
   }
   if (config.host_threads < 0 || config.host_threads > 1024) {
     return Status::InvalidArgument("host_threads must be in 0..1024");
+  }
+  DBA_RETURN_IF_ERROR(config.noc.Validate());
+  DBA_RETURN_IF_ERROR(config.fault_plan.Validate());
+  DBA_RETURN_IF_ERROR(config.recovery.Validate());
+  for (const int core : config.fault_plan.broken_cores) {
+    if (core >= config.num_cores) {
+      return Status::InvalidArgument(
+          "FaultPlan::broken_cores lists core " + std::to_string(core) +
+          " but the board has " + std::to_string(config.num_cores) +
+          " cores");
+    }
   }
   // The kernel programs are identical across cores: build them once and
   // let every Processor reference the shared immutable cache.
@@ -165,8 +200,33 @@ Result<std::unique_ptr<Board>> Board::Create(const BoardConfig& config) {
                          : config.host_threads;
   // More host threads than cores cannot help: one task per core.
   host_threads = std::min(host_threads, config.num_cores);
-  return std::unique_ptr<Board>(new Board(
+  std::unique_ptr<Board> board(new Board(
       config, std::move(cores), std::move(programs), host_threads));
+  if (config.fault_plan.enabled()) {
+    board->injector_ =
+        std::make_unique<fault::FaultInjector>(config.fault_plan);
+    DBA_ASSIGN_OR_RETURN(isa::Program hang_loop,
+                         fault::BuildHangLoopProgram());
+    board->hang_program_ =
+        std::make_shared<const isa::Program>(std::move(hang_loop));
+  }
+  return board;
+}
+
+Board::Board(BoardConfig config,
+             std::vector<std::unique_ptr<Processor>> cores,
+             std::shared_ptr<const ProgramCache> programs, int host_threads)
+    : config_(std::move(config)),
+      noc_(config_.noc),
+      cores_(std::move(cores)),
+      programs_(std::move(programs)),
+      host_threads_(host_threads),
+      core_failures_(cores_.size(), 0),
+      quarantined_(cores_.size(), false) {
+  if (host_threads_ > 1) {
+    // Workers + the calling thread (which ParallelFor enlists).
+    pool_ = std::make_unique<common::ThreadPool>(host_threads_ - 1);
+  }
 }
 
 void Board::ForEachCore(size_t n, const std::function<void(size_t)>& fn) {
@@ -191,64 +251,461 @@ void Board::FinishRun(ParallelRun* run, uint64_t elements) const {
   run->host_threads_used = host_threads_;
 }
 
-Result<ParallelRun> Board::RunSetOperation(SetOp op,
-                                           std::span<const uint32_t> a,
-                                           std::span<const uint32_t> b) {
+void Board::Quarantine(int core) {
+  quarantined_[static_cast<size_t>(core)] = true;
+  quarantined_list_.insert(
+      std::upper_bound(quarantined_list_.begin(), quarantined_list_.end(),
+                       core),
+      core);
+}
+
+void Board::ResetQuarantine() {
+  std::fill(quarantined_.begin(), quarantined_.end(), false);
+  std::fill(core_failures_.begin(), core_failures_.end(), 0);
+  quarantined_list_.clear();
+}
+
+namespace {
+
+/// Inputs to output verification (kept free of Board's private types so
+/// the checker can live in this anonymous namespace).
+struct VerifyView {
+  std::span<const uint32_t> result;
+  size_t a_size = 0;
+  size_t b_size = 0;
+  uint32_t lo = 0;
+  uint32_t hi = 0xFFFFFFFFu;
+  bool is_sort = false;
+  SetOp op = SetOp::kIntersect;
+};
+
+/// Output verification of one partition attempt: the result must be
+/// monotone (strictly increasing for set operations, non-decreasing for
+/// sort), stay inside the partition's value range, and respect the
+/// size bounds the operation implies. This is the second detection
+/// layer of docs/FAULTS.md; anything it cannot see is caught by the
+/// parity backstop in RunAttempt.
+Status VerifyPartitionResult(const VerifyView& view) {
+  if (view.is_sort) {
+    if (view.result.size() != view.a_size) {
+      return Status::DataLoss(
+          "partition verification: sort result has " +
+          std::to_string(view.result.size()) + " values, bucket had " +
+          std::to_string(view.a_size));
+    }
+  } else {
+    size_t max_size = 0;
+    switch (view.op) {
+      case SetOp::kIntersect:
+        max_size = std::min(view.a_size, view.b_size);
+        break;
+      case SetOp::kUnion:
+        max_size = view.a_size + view.b_size;
+        break;
+      case SetOp::kDifference:
+        max_size = view.a_size;
+        break;
+      default:
+        max_size = view.a_size + view.b_size;
+        break;
+    }
+    if (view.result.size() > max_size) {
+      return Status::DataLoss(
+          "partition verification: result size " +
+          std::to_string(view.result.size()) + " exceeds the bound " +
+          std::to_string(max_size));
+    }
+  }
+  for (size_t i = 0; i < view.result.size(); ++i) {
+    const uint32_t value = view.result[i];
+    if (value < view.lo || value > view.hi) {
+      return Status::DataLoss(
+          "partition verification: value " + std::to_string(value) +
+          " at index " + std::to_string(i) +
+          " is outside the partition range [" + std::to_string(view.lo) +
+          ", " + std::to_string(view.hi) + "]");
+    }
+    if (i > 0) {
+      const bool bad = view.is_sort ? value < view.result[i - 1]
+                                    : value <= view.result[i - 1];
+      if (bad) {
+        return Status::DataLoss(
+            "partition verification: result is not " +
+            std::string(view.is_sort ? "sorted" : "strictly increasing") +
+            " at index " + std::to_string(i));
+      }
+    }
+  }
+  return Status::Ok();
+}
+
+}  // namespace
+
+Board::AttemptOutcome Board::RunAttempt(int core_index,
+                                        const PartitionWork& part,
+                                        bool is_sort, SetOp op,
+                                        const fault::AttemptSite& site,
+                                        const PartitionRunner& runner) {
+  AttemptOutcome out;
+  Processor& core = *cores_[static_cast<size_t>(core_index)];
+  fault::FaultDecision decision;
+  if (injector_ != nullptr) decision = injector_->Decide(site);
+  out.fault_injected = decision.any();
+
+  if (decision.hang) {
+    // A hung core makes no forward progress: run a branch-to-self
+    // program on the real Cpu so the cycle watchdog -- not a simulated
+    // status -- raises the error after the granted budget.
+    const uint64_t budget = config_.fault_plan.hang_watchdog_cycles;
+    out.compute_cycles = budget;
+    core.cpu().ResetArchState();
+    const Status load = core.cpu().LoadProgram(*hang_program_);
+    if (!load.ok()) {
+      out.status = load;
+      return out;
+    }
+    auto stats = core.cpu().Run({.max_cycles = budget});
+    out.status = stats.ok()
+                     ? Status::Internal("injected hang halted unexpectedly")
+                     : Annotate(stats.status(), "injected core hang");
+    return out;
+  }
+  if (decision.transfer_fail) {
+    out.compute_cycles = noc_.config().transfer_latency_cycles;
+    out.status = Status::Unavailable("injected NoC transfer failure");
+    return out;
+  }
+  if (decision.transfer_timeout) {
+    out.compute_cycles = noc_.TimeoutCycles();
+    out.status = Status::DeadlineExceeded("injected NoC transfer timeout");
+    return out;
+  }
+
+  // Defensive mode whenever faults can occur: the core checks its
+  // inputs (detection layer 1) instead of trusting the scheduler.
+  RunSettings settings;
+  settings.validate_inputs = injector_ != nullptr;
+
+  // Input flip: corrupt the staged copy of one input word, leaving the
+  // host's original intact (the flip is local to this attempt's
+  // local-store image).
+  PartitionWork attempt_part = part;
+  std::vector<uint32_t> corrupt_copy;
+  bool corrupted = false;
+  if (decision.flip_input) {
+    const size_t total = part.a.size() + part.b.size();
+    if (total > 0) {
+      const size_t target =
+          static_cast<size_t>(decision.flip_offset % total);
+      if (target < part.a.size()) {
+        corrupt_copy.assign(part.a.begin(), part.a.end());
+        corrupt_copy[target] ^= 1u << decision.flip_bit;
+        attempt_part.a = corrupt_copy;
+      } else {
+        corrupt_copy.assign(part.b.begin(), part.b.end());
+        corrupt_copy[target - part.a.size()] ^= 1u << decision.flip_bit;
+        attempt_part.b = corrupt_copy;
+      }
+      corrupted = true;
+    }
+  }
+
+  const Status run_status =
+      runner(core, attempt_part, settings, &out.result, &out.compute_cycles);
+  if (!run_status.ok()) {
+    out.status = run_status;
+    return out;
+  }
+
+  if (decision.flip_result && !out.result.empty()) {
+    const size_t target =
+        static_cast<size_t>(decision.flip_offset % out.result.size());
+    out.result[target] ^= 1u << decision.flip_bit;
+    corrupted = true;
+  }
+
+  if (injector_ != nullptr && config_.recovery.verify_partitions) {
+    VerifyView view;
+    view.result = out.result;
+    view.a_size = part.a.size();
+    view.b_size = part.b.size();
+    view.lo = part.lo;
+    view.hi = part.hi;
+    view.is_sort = is_sort;
+    view.op = op;
+    const Status verify = VerifyPartitionResult(view);
+    if (!verify.ok()) {
+      out.verification_failed = true;
+      out.status = verify;
+      return out;
+    }
+  }
+
+  if (corrupted) {
+    // Detection layer 3: a flip that slipped past input validation and
+    // output verification is still caught by the word parity the result
+    // transport carries (detected-uncorrectable ECC). An injected flip
+    // therefore never produces a silently wrong board result.
+    out.status = Status::DataLoss(
+        "parity check failed on the partition result (injected bit flip)");
+    return out;
+  }
+
+  out.status = Status::Ok();
+  return out;
+}
+
+Result<ParallelRun> Board::ExecutePartitioned(
+    std::vector<PartitionWork> parts, bool is_sort, SetOp op,
+    uint64_t elements, const PartitionRunner& runner) {
   const auto host_start = std::chrono::steady_clock::now();
+  const uint64_t op_ordinal = op_ordinal_++;
   ParallelRun run;
   run.per_core_cycles.assign(cores_.size(), 0);
 
+  const int cores_n = num_cores();
+  struct Slot {
+    bool done = false;
+    uint32_t attempts = 0;
+    Status last_status;
+    std::vector<uint32_t> result;
+  };
+  std::vector<Slot> slots(parts.size());
+
+  // Healthy cores ordered by (cumulative failures, index): retries and
+  // spilled partitions land on the most reliable cores first. The order
+  // depends only on board state, never on host-thread scheduling.
+  std::vector<int> healthy;
+  const auto refresh_healthy = [&] {
+    healthy.clear();
+    for (int c = 0; c < cores_n; ++c) {
+      if (!IsQuarantined(c)) healthy.push_back(c);
+    }
+    std::stable_sort(healthy.begin(), healthy.end(), [&](int x, int y) {
+      return core_failures_[static_cast<size_t>(x)] <
+             core_failures_[static_cast<size_t>(y)];
+    });
+  };
+  refresh_healthy();
+  if (healthy.empty()) {
+    return Status::Unavailable(
+        "all " + std::to_string(cores_n) +
+        " cores are quarantined; call ResetQuarantine() after servicing");
+  }
+
+  // Round 0: partition i runs on its home core i unless that core is
+  // already benched -- then it spills onto the healthy cores right away
+  // (graceful degradation: the board finishes on fewer cores).
+  std::vector<std::pair<size_t, int>> pending;  // (partition, core)
+  size_t spill = 0;
+  for (size_t i = 0; i < parts.size(); ++i) {
+    if (!parts[i].active) {
+      slots[i].done = true;
+      continue;
+    }
+    if (!IsQuarantined(static_cast<int>(i))) {
+      pending.emplace_back(i, static_cast<int>(i));
+    } else {
+      pending.emplace_back(i, healthy[spill++ % healthy.size()]);
+      ++run.recovery.requeues;
+    }
+  }
+
+  uint64_t trace_cursor = 0;
+  while (!pending.empty()) {
+    ++run.recovery.rounds;
+    const int streams = static_cast<int>(pending.size());
+
+    // Fan this round out with one host task per core (a core is never
+    // driven from two threads; a core with several requeued partitions
+    // runs them back to back).
+    std::vector<AttemptOutcome> outcomes(parts.size());
+    std::vector<std::vector<size_t>> by_core(static_cast<size_t>(cores_n));
+    for (const auto& [p, c] : pending) {
+      by_core[static_cast<size_t>(c)].push_back(p);
+    }
+    std::vector<int> active_cores;
+    for (int c = 0; c < cores_n; ++c) {
+      if (!by_core[static_cast<size_t>(c)].empty()) active_cores.push_back(c);
+    }
+    ForEachCore(active_cores.size(), [&](size_t gi) {
+      const int c = active_cores[gi];
+      for (const size_t p : by_core[static_cast<size_t>(c)]) {
+        fault::AttemptSite site;
+        site.op_ordinal = op_ordinal;
+        site.partition = static_cast<uint32_t>(p);
+        site.core = static_cast<uint32_t>(c);
+        site.attempt = slots[p].attempts;
+        outcomes[p] = RunAttempt(c, parts[p], is_sort, op, site, runner);
+      }
+    });
+
+    // Deterministic reduce in partition order: telemetry, cycle
+    // accounting, and the retry set must not depend on which host
+    // thread finished first.
+    const uint64_t round_start = trace_cursor;
+    uint64_t attempt_cursor = round_start;
+    const bool tracing = trace_sink_ != nullptr && injector_ != nullptr;
+    if (tracing) {
+      trace_sink_->BeginRegion(round_start,
+                               "recovery round " +
+                                   std::to_string(run.recovery.rounds) +
+                                   " (" + std::to_string(streams) +
+                                   " partitions)");
+    }
+    std::vector<uint64_t> added(static_cast<size_t>(cores_n), 0);
+    std::vector<std::pair<size_t, int>> failed;
+    for (const auto& [p, c] : pending) {
+      AttemptOutcome& out = outcomes[p];
+      const uint32_t attempt = slots[p].attempts;
+      ++slots[p].attempts;
+      if (out.fault_injected) ++run.recovery.faults_injected;
+      if (out.verification_failed) ++run.recovery.verification_failures;
+      uint64_t cost = 0;
+      if (out.status.ok()) {
+        const uint64_t feed_cycles = noc_.TransferCycles(
+            parts[p].feed_bytes + 4 * out.result.size(), streams);
+        run.noc_bound |= feed_cycles > out.compute_cycles;
+        cost = std::max(out.compute_cycles, feed_cycles);
+      } else {
+        cost = out.compute_cycles;
+      }
+      if (attempt > 0) {
+        // Exponential backoff: re-arbitration and re-transfer cost of
+        // attempt k is backoff_base_cycles * 2^(k-1).
+        cost += config_.recovery.backoff_base_cycles << (attempt - 1);
+      }
+      run.total_core_cycles += out.compute_cycles;
+      added[static_cast<size_t>(c)] += cost;
+      if (out.status.ok()) {
+        slots[p].done = true;
+        slots[p].result = std::move(out.result);
+      } else {
+        ++run.recovery.failed_attempts;
+        run.recovery.recovery_cycles += cost;
+        ++core_failures_[static_cast<size_t>(c)];
+        slots[p].last_status = out.status;
+        failed.emplace_back(p, c);
+        if (tracing) {
+          std::string name = "p";
+          name += std::to_string(p);
+          name += "@core";
+          name += std::to_string(c);
+          name += ": ";
+          name += StatusCodeToString(out.status.code());
+          trace_sink_->BeginRegion(attempt_cursor, name);
+          attempt_cursor += cost;
+          trace_sink_->EndRegion(attempt_cursor);
+        }
+      }
+    }
+    uint64_t round_max = 0;
+    for (int c = 0; c < cores_n; ++c) {
+      run.per_core_cycles[static_cast<size_t>(c)] +=
+          added[static_cast<size_t>(c)];
+      round_max = std::max(round_max, added[static_cast<size_t>(c)]);
+    }
+    run.makespan_cycles += round_max;
+    trace_cursor = std::max(round_start + round_max, attempt_cursor);
+
+    // Quarantine repeat offenders. The bench persists across
+    // operations: a part that keeps failing stays benched until
+    // ResetQuarantine().
+    for (int c = 0; c < cores_n; ++c) {
+      if (!IsQuarantined(c) &&
+          core_failures_[static_cast<size_t>(c)] >=
+              config_.recovery.quarantine_after) {
+        Quarantine(c);
+      }
+    }
+    if (tracing) {
+      trace_sink_->EndRegion(trace_cursor);
+      trace_sink_->Counter(trace_cursor, "board/failed_attempts",
+                           run.recovery.failed_attempts);
+      trace_sink_->Counter(trace_cursor, "board/retries",
+                           run.recovery.retries);
+      trace_sink_->Counter(
+          trace_cursor, "board/healthy_cores",
+          static_cast<double>(cores_.size() - quarantined_list_.size()));
+    }
+
+    pending.clear();
+    if (failed.empty()) continue;
+
+    // A partition out of attempts fails the operation with its last
+    // error (first such partition in partition order -- deterministic).
+    for (const auto& [p, c] : failed) {
+      (void)c;
+      if (slots[p].attempts >=
+          static_cast<uint32_t>(config_.recovery.max_attempts)) {
+        std::string context = "partition ";
+        context += std::to_string(p);
+        context += " failed after ";
+        context += std::to_string(slots[p].attempts);
+        context += " attempts";
+        return Annotate(slots[p].last_status, context);
+      }
+    }
+    refresh_healthy();
+    if (healthy.empty()) {
+      const size_t p = failed.front().first;
+      std::string context = "all cores quarantined while retrying partition ";
+      context += std::to_string(p);
+      return Annotate(slots[p].last_status, context);
+    }
+    // Requeue failed partitions round-robin over the healthy cores,
+    // most reliable first.
+    size_t next = 0;
+    for (const auto& [p, prev_core] : failed) {
+      const int c = healthy[next++ % healthy.size()];
+      ++run.recovery.retries;
+      if (c != prev_core) ++run.recovery.requeues;
+      pending.emplace_back(p, c);
+    }
+  }
+
+  run.recovery.degraded = !quarantined_list_.empty();
+  run.recovery.quarantined_cores = quarantined_list_;
+  for (Slot& slot : slots) {
+    run.result.insert(run.result.end(), slot.result.begin(),
+                      slot.result.end());
+  }
+  FinishRun(&run, elements);
+  run.host_wall_seconds = SecondsSince(host_start);
+  return run;
+}
+
+Result<ParallelRun> Board::RunSetOperation(SetOp op,
+                                           std::span<const uint32_t> a,
+                                           std::span<const uint32_t> b) {
   const std::vector<uint32_t> splitters =
       PickSplitters(a.size() >= b.size() ? a : b, num_cores());
   const auto a_ranges = PartitionSorted(a, splitters);
   const auto b_ranges = PartitionSorted(b, splitters);
 
-  int active_streams = 0;
+  std::vector<PartitionWork> parts(a_ranges.size());
   for (size_t i = 0; i < a_ranges.size(); ++i) {
-    if (!a_ranges[i].empty() || !b_ranges[i].empty()) ++active_streams;
+    PartitionWork& part = parts[i];
+    part.a = a_ranges[i];
+    part.b = b_ranges[i];
+    part.lo = i == 0 ? 0 : splitters[i - 1] + 1;
+    part.hi = i < splitters.size() ? splitters[i] : 0xFFFFFFFFu;
+    part.feed_bytes = 4 * (a_ranges[i].size() + b_ranges[i].size());
+    part.active = !a_ranges[i].empty() || !b_ranges[i].empty();
   }
 
-  // Fan the independent core simulations out across the host threads.
-  // Each task touches only its own core and its own CoreRun slot.
-  std::vector<CoreRun> core_runs(a_ranges.size());
-  ForEachCore(a_ranges.size(), [&](size_t i) {
-    const std::span<const uint32_t> part_a = a_ranges[i];
-    const std::span<const uint32_t> part_b = b_ranges[i];
-    if (part_a.empty() && part_b.empty()) return;
-    CoreRun& out = core_runs[i];
-    out.status = RunSetPartition(*cores_[i], op, part_a, part_b,
-                                 &out.result, &out.compute_cycles);
-  });
-
-  // Reduce after the join, in partition order: the NoC feed model needs
-  // the final active-stream count, and makespan/energy/result must not
-  // depend on which host thread finished first.
-  for (size_t i = 0; i < core_runs.size(); ++i) {
-    if (a_ranges[i].empty() && b_ranges[i].empty()) continue;
-    CoreRun& core_run = core_runs[i];
-    if (!core_run.status.ok()) return core_run.status;
-    const uint64_t bytes =
-        4 * (a_ranges[i].size() + b_ranges[i].size() + core_run.result.size());
-    const uint64_t feed_cycles = noc_.TransferCycles(bytes, active_streams);
-    const uint64_t core_total = std::max(core_run.compute_cycles, feed_cycles);
-    run.noc_bound |= feed_cycles > core_run.compute_cycles;
-    run.per_core_cycles[i] = core_total;
-    run.total_core_cycles += core_run.compute_cycles;
-    run.makespan_cycles = std::max(run.makespan_cycles, core_total);
-    run.result.insert(run.result.end(), core_run.result.begin(),
-                      core_run.result.end());
-  }
-
-  FinishRun(&run, a.size() + b.size());
-  run.host_wall_seconds = SecondsSince(host_start);
-  return run;
+  const PartitionRunner runner =
+      [op](Processor& core, const PartitionWork& part,
+           const RunSettings& settings, std::vector<uint32_t>* result,
+           uint64_t* compute_cycles) {
+        return RunSetPartition(core, op, part.a, part.b, settings, result,
+                               compute_cycles);
+      };
+  return ExecutePartitioned(std::move(parts), /*is_sort=*/false, op,
+                            a.size() + b.size(), runner);
 }
 
 Result<ParallelRun> Board::RunSort(std::span<const uint32_t> values) {
-  const auto host_start = std::chrono::steady_clock::now();
-  ParallelRun run;
-  run.per_core_cycles.assign(cores_.size(), 0);
-
   // Sample splitters (planner-side; in hardware this partitioning pass
   // would itself be a streaming primitive, cf. the HARP partitioner the
   // paper cites [37]).
@@ -271,42 +728,32 @@ Result<ParallelRun> Board::RunSort(std::span<const uint32_t> values) {
     buckets[bucket].push_back(value);
   }
 
-  int active_streams = 0;
-  for (const auto& bucket : buckets) {
-    if (!bucket.empty()) ++active_streams;
+  // Duplicate-heavy or tiny inputs can yield fewer than num_cores-1
+  // splitters; buckets past splitters.size() are then always empty (the
+  // lower_bound index never exceeds splitters.size()) but still need
+  // in-bounds placeholder ranges.
+  std::vector<PartitionWork> parts(buckets.size());
+  for (size_t i = 0; i < buckets.size(); ++i) {
+    PartitionWork& part = parts[i];
+    part.a = buckets[i];
+    part.lo = i == 0 ? 0
+              : i <= splitters.size() ? splitters[i - 1] + 1
+                                      : 0xFFFFFFFFu;
+    part.hi = i < splitters.size() ? splitters[i] : 0xFFFFFFFFu;
+    part.feed_bytes = 4 * buckets[i].size();  // result out adds the rest
+    part.active = !buckets[i].empty();
   }
 
-  std::vector<CoreRun> core_runs(buckets.size());
-  ForEachCore(buckets.size(), [&](size_t i) {
-    if (buckets[i].empty()) return;
-    CoreRun& out = core_runs[i];
-    Result<uint64_t> cycles =
-        ExternalSort(*cores_[i], buckets[i], &out.result);
-    if (!cycles.ok()) {
-      out.status = cycles.status();
-      return;
-    }
-    out.compute_cycles = *cycles;
-  });
-
-  for (size_t i = 0; i < core_runs.size(); ++i) {
-    if (buckets[i].empty()) continue;
-    CoreRun& core_run = core_runs[i];
-    if (!core_run.status.ok()) return core_run.status;
-    const uint64_t bytes = 4 * 2 * buckets[i].size();  // in + out
-    const uint64_t feed_cycles = noc_.TransferCycles(bytes, active_streams);
-    const uint64_t core_total = std::max(core_run.compute_cycles, feed_cycles);
-    run.noc_bound |= feed_cycles > core_run.compute_cycles;
-    run.per_core_cycles[i] = core_total;
-    run.total_core_cycles += core_run.compute_cycles;
-    run.makespan_cycles = std::max(run.makespan_cycles, core_total);
-    run.result.insert(run.result.end(), core_run.result.begin(),
-                      core_run.result.end());
-  }
-
-  FinishRun(&run, values.size());
-  run.host_wall_seconds = SecondsSince(host_start);
-  return run;
+  const PartitionRunner runner =
+      [](Processor& core, const PartitionWork& part,
+         const RunSettings& settings, std::vector<uint32_t>* result,
+         uint64_t* compute_cycles) -> Status {
+    DBA_ASSIGN_OR_RETURN(*compute_cycles,
+                         ExternalSort(core, part.a, settings, result));
+    return Status::Ok();
+  };
+  return ExecutePartitioned(std::move(parts), /*is_sort=*/true,
+                            SetOp::kMerge, values.size(), runner);
 }
 
 }  // namespace dba::system

@@ -9,9 +9,33 @@
 #include "common/status.h"
 #include "common/thread_pool.h"
 #include "core/processor.h"
+#include "fault/fault.h"
+#include "sim/trace_sink.h"
 #include "system/noc.h"
 
 namespace dba::system {
+
+/// How the board reacts to failed partition attempts. The defaults
+/// tolerate transient faults at the rates the fault plan models while
+/// keeping the worst-case cost of a permanently broken core bounded.
+struct RecoveryPolicy {
+  /// Total attempts per partition (>= 1) before the operation fails
+  /// with the partition's last error.
+  int max_attempts = 4;
+  /// Cumulative failed attempts after which a core is quarantined and
+  /// receives no further work from this board (>= 1).
+  int quarantine_after = 2;
+  /// Retry attempt k (k >= 1) is charged backoff_base_cycles << (k-1)
+  /// extra cycles -- the re-arbitration and re-transfer cost grows
+  /// exponentially, discouraging hot retry loops.
+  uint64_t backoff_base_cycles = 256;
+  /// Verify every partition result (monotonicity, value-range bounds,
+  /// size bounds) before accepting it. Only consulted when a fault plan
+  /// is active; the fault-free path never pays for verification.
+  bool verify_partitions = true;
+
+  Status Validate() const;
+};
 
 /// Configuration of a multi-core accelerator board.
 struct BoardConfig {
@@ -24,6 +48,25 @@ struct BoardConfig {
   /// only changes how fast the host simulates -- results, per-core
   /// cycles, makespan, and energy are bit-identical at any setting.
   int host_threads = 0;
+  /// Deterministic fault schedule; a default plan injects nothing and
+  /// keeps every run bit-identical to a fault-unaware board.
+  fault::FaultPlan fault_plan;
+  RecoveryPolicy recovery;
+};
+
+/// Retry/quarantine/degradation telemetry of one parallel operation.
+/// All counters are zero (and `quarantined_cores` empty) when no fault
+/// plan is configured.
+struct RecoveryTelemetry {
+  uint32_t faults_injected = 0;        // attempts that drew >= 1 fault
+  uint32_t failed_attempts = 0;        // attempts that returned non-OK
+  uint32_t retries = 0;                // re-executions scheduled
+  uint32_t requeues = 0;               // retries moved to another core
+  uint32_t verification_failures = 0;  // output checks that tripped
+  uint32_t rounds = 0;                 // scheduling rounds (1 = clean)
+  uint64_t recovery_cycles = 0;        // cycles spent on failed attempts
+  std::vector<int> quarantined_cores;  // cores benched by this board
+  bool degraded = false;               // finished on fewer cores
 };
 
 /// Result of one parallel operation.
@@ -40,6 +83,7 @@ struct ParallelRun {
   /// clock) and how many host threads simulated the cores.
   double host_wall_seconds = 0;
   int host_threads_used = 1;
+  RecoveryTelemetry recovery;
 };
 
 /// A board of identical DBA cores with value-range-partitioned parallel
@@ -56,6 +100,14 @@ struct ParallelRun {
 /// thread pool and then reduces the cross-core telemetry -- the NoC feed
 /// model, per-core cycles, makespan, energy, and the concatenated result
 /// -- in partition order after the join. See docs/ARCHITECTURE.md.
+///
+/// Fault tolerance: when the config carries a FaultPlan, attempts run
+/// in barrier-synchronized rounds. Failed partitions (hang, transfer
+/// fault, or a result that fails verification) are retried with
+/// exponential cycle backoff, requeued onto the healthiest cores, and
+/// repeatedly-failing cores are quarantined -- the board finishes on
+/// fewer cores and reports it in RecoveryTelemetry rather than erroring
+/// out. See docs/FAULTS.md for the fault model and detection layers.
 class Board {
  public:
   static Result<std::unique_ptr<Board>> Create(const BoardConfig& config);
@@ -87,6 +139,21 @@ class Board {
     return programs_;
   }
 
+  /// Board-level trace receiver (non-owning; may be null): recovery
+  /// rounds, failed attempts, and quarantine/health counters are
+  /// emitted as regions and counter tracks. Render with
+  /// obs::ChromeTraceWriter for ui.perfetto.dev.
+  void set_trace_sink(sim::CycleTraceSink* sink) { trace_sink_ = sink; }
+
+  /// Cores currently quarantined by the recovery policy (persists
+  /// across operations: a benched part stays benched).
+  const std::vector<int>& quarantined_cores() const {
+    return quarantined_list_;
+  }
+  /// Returns all quarantined cores to service and clears the failure
+  /// history (an operator replacing the bad parts).
+  void ResetQuarantine();
+
   /// Parallel sorted-set operation: inputs are partitioned into
   /// disjoint value ranges (one per core), each core processes its
   /// range (streaming through its prefetcher if needed), and the
@@ -99,33 +166,59 @@ class Board {
   Result<ParallelRun> RunSort(std::span<const uint32_t> values);
 
  private:
-  /// What one core's simulation produces before the cross-core reduce:
-  /// its partition result and pure compute cycles. NoC feed cycles are
-  /// deliberately absent -- they depend on the number of active streams
-  /// and are applied in the reduce step after the join.
-  struct CoreRun {
+  /// One partition of a board operation: the input span(s), the value
+  /// range it owns (for output verification), and its NoC feed bytes
+  /// excluding the result (which is only known after the attempt).
+  struct PartitionWork {
+    std::span<const uint32_t> a;  // set ops: left input; sort: bucket
+    std::span<const uint32_t> b;  // set ops only
+    uint32_t lo = 0;              // inclusive value-range lower bound
+    uint32_t hi = 0xFFFFFFFFu;    // inclusive value-range upper bound
+    uint64_t feed_bytes = 0;
+    bool active = false;          // inactive partitions are empty
+  };
+
+  /// Executes one partition attempt on one core: result + pure compute
+  /// cycles. NoC feed cycles are applied in the reduce step (they
+  /// depend on the number of concurrently streaming cores).
+  using PartitionRunner = std::function<Status(
+      Processor&, const PartitionWork&, const RunSettings&,
+      std::vector<uint32_t>*, uint64_t*)>;
+
+  /// What one attempt produced, before the cross-core reduce.
+  struct AttemptOutcome {
     Status status;
     uint64_t compute_cycles = 0;
     std::vector<uint32_t> result;
+    bool fault_injected = false;
+    bool verification_failed = false;
   };
 
   Board(BoardConfig config, std::vector<std::unique_ptr<Processor>> cores,
-        std::shared_ptr<const ProgramCache> programs, int host_threads)
-      : config_(config),
-        noc_(config.noc),
-        cores_(std::move(cores)),
-        programs_(std::move(programs)),
-        host_threads_(host_threads) {
-    if (host_threads_ > 1) {
-      // Workers + the calling thread (which ParallelFor enlists).
-      pool_ = std::make_unique<common::ThreadPool>(host_threads_ - 1);
-    }
-  }
+        std::shared_ptr<const ProgramCache> programs, int host_threads);
 
   /// Runs fn(0..n-1): inline when serial, over the pool otherwise.
   void ForEachCore(size_t n, const std::function<void(size_t)>& fn);
 
   void FinishRun(ParallelRun* run, uint64_t elements) const;
+
+  /// The shared round-based scheduler behind RunSetOperation/RunSort:
+  /// fan out pending partitions, reduce deterministically in partition
+  /// order, retry/requeue/quarantine, repeat until done or exhausted.
+  Result<ParallelRun> ExecutePartitioned(std::vector<PartitionWork> parts,
+                                         bool is_sort, SetOp op,
+                                         uint64_t elements,
+                                         const PartitionRunner& runner);
+
+  AttemptOutcome RunAttempt(int core_index, const PartitionWork& part,
+                            bool is_sort, SetOp op,
+                            const fault::AttemptSite& site,
+                            const PartitionRunner& runner);
+
+  void Quarantine(int core);
+  bool IsQuarantined(int core) const {
+    return quarantined_[static_cast<size_t>(core)];
+  }
 
   BoardConfig config_;
   Noc noc_;
@@ -133,6 +226,21 @@ class Board {
   std::shared_ptr<const ProgramCache> programs_;
   int host_threads_ = 1;
   std::unique_ptr<common::ThreadPool> pool_;
+
+  /// Fault machinery; injector_ is null when the plan injects nothing,
+  /// and the fault-free path skips every recovery branch.
+  std::unique_ptr<fault::FaultInjector> injector_;
+  std::shared_ptr<const isa::Program> hang_program_;
+  uint64_t op_ordinal_ = 0;
+
+  /// Persistent core health: cumulative failed attempts and the
+  /// quarantine set (a part that keeps failing stays benched across
+  /// operations until ResetQuarantine).
+  std::vector<int> core_failures_;
+  std::vector<bool> quarantined_;
+  std::vector<int> quarantined_list_;
+
+  sim::CycleTraceSink* trace_sink_ = nullptr;
 };
 
 }  // namespace dba::system

@@ -4,6 +4,8 @@
 #include <algorithm>
 #include <cstdint>
 
+#include "common/status.h"
+
 namespace dba::system {
 
 /// Shared-interconnect model for a board of DBA cores (paper Section 1:
@@ -18,6 +20,18 @@ struct NocConfig {
   double bisection_bytes_per_cycle = 512.0;
   /// Base latency of one transfer (arbitration + hops).
   uint32_t transfer_latency_cycles = 64;
+
+  Status Validate() const {
+    if (link_bytes_per_cycle <= 0) {
+      return Status::InvalidArgument(
+          "NocConfig::link_bytes_per_cycle must be positive");
+    }
+    if (bisection_bytes_per_cycle <= 0) {
+      return Status::InvalidArgument(
+          "NocConfig::bisection_bytes_per_cycle must be positive");
+    }
+    return Status::Ok();
+  }
 };
 
 class Noc {
@@ -31,6 +45,12 @@ class Noc {
     if (streams <= 0) return config_.link_bytes_per_cycle;
     return std::min(config_.link_bytes_per_cycle,
                     config_.bisection_bytes_per_cycle / streams);
+  }
+
+  /// Cycles a requester waits before declaring a transfer dead (the
+  /// cost charged for an injected transfer timeout).
+  uint64_t TimeoutCycles() const {
+    return 16ull * config_.transfer_latency_cycles;
   }
 
   /// Cycles for one core to pull `bytes` while `streams` cores read

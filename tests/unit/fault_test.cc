@@ -1,0 +1,180 @@
+// The deterministic fault injector: plan validation, decision purity,
+// schedule independence from core/thread placement, and the hang-loop
+// program that trips the real Cpu watchdog.
+
+#include <gtest/gtest.h>
+
+#include "core/processor.h"
+#include "fault/fault.h"
+
+namespace dba::fault {
+namespace {
+
+FaultPlan AllRates(double rate, uint64_t seed = 7) {
+  FaultPlan plan;
+  plan.seed = seed;
+  plan.hang_rate = rate;
+  plan.input_flip_rate = rate;
+  plan.result_flip_rate = rate;
+  plan.transfer_fail_rate = rate;
+  plan.transfer_timeout_rate = rate;
+  return plan;
+}
+
+TEST(FaultPlanTest, DefaultPlanIsDisabledAndValid) {
+  FaultPlan plan;
+  EXPECT_FALSE(plan.enabled());
+  EXPECT_TRUE(plan.Validate().ok());
+}
+
+TEST(FaultPlanTest, RatesAndBrokenCoresEnable) {
+  EXPECT_TRUE(AllRates(0.01).enabled());
+  FaultPlan broken;
+  broken.broken_cores = {2};
+  EXPECT_TRUE(broken.enabled());
+}
+
+TEST(FaultPlanTest, ValidateRejectsBadValues) {
+  FaultPlan plan = AllRates(0.5);
+  plan.hang_rate = 1.5;
+  EXPECT_EQ(plan.Validate().code(), StatusCode::kInvalidArgument);
+  plan = AllRates(0.5);
+  plan.transfer_fail_rate = -0.1;
+  EXPECT_EQ(plan.Validate().code(), StatusCode::kInvalidArgument);
+  plan = AllRates(0.5);
+  plan.broken_cores = {-1};
+  EXPECT_EQ(plan.Validate().code(), StatusCode::kInvalidArgument);
+  plan = AllRates(0.5);
+  plan.hang_watchdog_cycles = 0;
+  EXPECT_EQ(plan.Validate().code(), StatusCode::kInvalidArgument);
+}
+
+TEST(FaultInjectorTest, ZeroRatesNeverInject) {
+  FaultInjector injector{FaultPlan{}};
+  for (uint32_t partition = 0; partition < 64; ++partition) {
+    AttemptSite site{.op_ordinal = 3, .partition = partition, .core = 1,
+                     .attempt = 0};
+    EXPECT_FALSE(injector.Decide(site).any());
+  }
+}
+
+TEST(FaultInjectorTest, RateOneAlwaysInjects) {
+  FaultInjector injector(AllRates(1.0));
+  AttemptSite site{.op_ordinal = 0, .partition = 0, .core = 0, .attempt = 0};
+  const FaultDecision decision = injector.Decide(site);
+  EXPECT_TRUE(decision.hang);
+  EXPECT_TRUE(decision.transfer_fail);
+  EXPECT_TRUE(decision.flip_input);
+  EXPECT_TRUE(decision.flip_result);
+}
+
+TEST(FaultInjectorTest, DecisionIsPure) {
+  FaultInjector injector(AllRates(0.3));
+  AttemptSite site{.op_ordinal = 11, .partition = 5, .core = 2,
+                   .attempt = 1};
+  const FaultDecision first = injector.Decide(site);
+  for (int i = 0; i < 10; ++i) {
+    const FaultDecision again = injector.Decide(site);
+    EXPECT_EQ(first.hang, again.hang);
+    EXPECT_EQ(first.transfer_fail, again.transfer_fail);
+    EXPECT_EQ(first.transfer_timeout, again.transfer_timeout);
+    EXPECT_EQ(first.flip_input, again.flip_input);
+    EXPECT_EQ(first.flip_result, again.flip_result);
+    EXPECT_EQ(first.flip_offset, again.flip_offset);
+    EXPECT_EQ(first.flip_bit, again.flip_bit);
+  }
+}
+
+TEST(FaultInjectorTest, TransientScheduleIgnoresCorePlacement) {
+  // A requeued attempt must see the same fault decision no matter which
+  // core (or host thread) picks it up -- the schedule is attached to
+  // the work item (op, partition, attempt), not to the executor.
+  FaultInjector injector(AllRates(0.4));
+  for (uint64_t op = 0; op < 16; ++op) {
+    for (uint32_t partition = 0; partition < 8; ++partition) {
+      AttemptSite on_core0{.op_ordinal = op, .partition = partition,
+                           .core = 0, .attempt = 1};
+      AttemptSite on_core3{.op_ordinal = op, .partition = partition,
+                           .core = 3, .attempt = 1};
+      const FaultDecision a = injector.Decide(on_core0);
+      const FaultDecision b = injector.Decide(on_core3);
+      EXPECT_EQ(a.hang, b.hang);
+      EXPECT_EQ(a.transfer_fail, b.transfer_fail);
+      EXPECT_EQ(a.transfer_timeout, b.transfer_timeout);
+      EXPECT_EQ(a.flip_input, b.flip_input);
+      EXPECT_EQ(a.flip_result, b.flip_result);
+      EXPECT_EQ(a.flip_offset, b.flip_offset);
+    }
+  }
+}
+
+TEST(FaultInjectorTest, SitesDecorrelate) {
+  // Different sites draw independently: at rate 0.5 some attempts must
+  // hang and some must not (a constant decision would mean the site is
+  // not feeding the generator).
+  FaultInjector injector(AllRates(0.5));
+  int hangs = 0;
+  constexpr int kSites = 200;
+  for (uint32_t i = 0; i < kSites; ++i) {
+    AttemptSite site{.op_ordinal = i, .partition = i % 7, .core = 0,
+                     .attempt = 0};
+    if (injector.Decide(site).hang) ++hangs;
+  }
+  EXPECT_GT(hangs, 0);
+  EXPECT_LT(hangs, kSites);
+}
+
+TEST(FaultInjectorTest, BrokenCoreAlwaysHangs) {
+  FaultPlan plan;
+  plan.broken_cores = {1};
+  FaultInjector injector(plan);
+  EXPECT_TRUE(injector.IsBroken(1));
+  EXPECT_FALSE(injector.IsBroken(0));
+  for (uint32_t attempt = 0; attempt < 4; ++attempt) {
+    AttemptSite site{.op_ordinal = 0, .partition = 2, .core = 1,
+                     .attempt = attempt};
+    EXPECT_TRUE(injector.Decide(site).hang);
+  }
+  AttemptSite healthy{.op_ordinal = 0, .partition = 2, .core = 0,
+                      .attempt = 0};
+  EXPECT_FALSE(injector.Decide(healthy).any());
+}
+
+TEST(HangLoopTest, TripsTheRealCpuWatchdog) {
+  auto program = BuildHangLoopProgram();
+  ASSERT_TRUE(program.ok()) << program.status();
+  auto processor =
+      Processor::Create(ProcessorKind::kDba2LsuEis, ProcessorOptions{});
+  ASSERT_TRUE(processor.ok()) << processor.status();
+  sim::Cpu& cpu = (*processor)->cpu();
+  cpu.ResetArchState();
+  ASSERT_TRUE(cpu.LoadProgram(*program).ok());
+  auto stats = cpu.Run({.max_cycles = 2000});
+  ASSERT_FALSE(stats.ok());
+  EXPECT_EQ(stats.status().code(), StatusCode::kDeadlineExceeded);
+}
+
+TEST(HangLoopTest, ProcessorRunSettingsWatchdogTrips) {
+  // The board grants a per-attempt budget through
+  // RunSettings::max_cycles; a budget far below the kernel's real cost
+  // must surface as DeadlineExceeded, not a hang.
+  auto processor =
+      Processor::Create(ProcessorKind::kDba2LsuEis, ProcessorOptions{});
+  ASSERT_TRUE(processor.ok()) << processor.status();
+  std::vector<uint32_t> a(256), b(256);
+  for (uint32_t i = 0; i < 256; ++i) {
+    a[i] = 2 * i;
+    b[i] = 3 * i + 1;
+  }
+  RunSettings settings;
+  settings.max_cycles = 16;
+  auto run = (*processor)->RunSetOperation(SetOp::kIntersect, a, b, settings);
+  ASSERT_FALSE(run.ok());
+  EXPECT_EQ(run.status().code(), StatusCode::kDeadlineExceeded);
+  // With the default budget the same inputs succeed.
+  auto retry = (*processor)->RunSetOperation(SetOp::kIntersect, a, b);
+  EXPECT_TRUE(retry.ok()) << retry.status();
+}
+
+}  // namespace
+}  // namespace dba::fault

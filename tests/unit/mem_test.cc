@@ -63,6 +63,27 @@ TEST(MemoryTest, BlockRoundTrip) {
   EXPECT_FALSE(memory.WriteBlock(0x10F8, values).ok());  // overruns
 }
 
+TEST(MemoryTest, FlipBitTogglesOneBit) {
+  Memory memory = MakeMemory();
+  ASSERT_TRUE(memory.StoreU32(0x1008, 0b1010).ok());
+  ASSERT_TRUE(memory.FlipBit(0x1008, 0).ok());
+  EXPECT_EQ(*memory.LoadU32(0x1008), 0b1011u);
+  ASSERT_TRUE(memory.FlipBit(0x1008, 31).ok());
+  EXPECT_EQ(*memory.LoadU32(0x1008), 0x8000000Bu);
+  // Flipping twice restores the word.
+  ASSERT_TRUE(memory.FlipBit(0x1008, 31).ok());
+  ASSERT_TRUE(memory.FlipBit(0x1008, 0).ok());
+  EXPECT_EQ(*memory.LoadU32(0x1008), 0b1010u);
+}
+
+TEST(MemoryTest, FlipBitValidates) {
+  Memory memory = MakeMemory();
+  EXPECT_EQ(memory.FlipBit(0x1000, 32).code(),
+            StatusCode::kInvalidArgument);
+  EXPECT_FALSE(memory.FlipBit(0x1002, 0).ok());  // misaligned
+  EXPECT_FALSE(memory.FlipBit(0x2000, 0).ok());  // out of range
+}
+
 TEST(MemoryTest, ClearZeroes) {
   Memory memory = MakeMemory();
   ASSERT_TRUE(memory.StoreU32(0x1000, 7).ok());

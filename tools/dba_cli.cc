@@ -18,12 +18,19 @@
 // on concurrent host threads, see docs/ARCHITECTURE.md):
 //
 //   dba_cli board --op=intersect --cores=16 --n=500000 --host-threads=8
+//
+// Fault injection and recovery (docs/FAULTS.md):
+//
+//   dba_cli faults --op=sort --cores=8 --n=100000 --fault-rate=0.05
+//   dba_cli faults --op=intersect --broken-cores=1,3 --fault-rate=0
+//   dba_cli board --op=union --fault-seed=7 --fault-rate=0.02
 
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
 #include <optional>
 #include <string>
+#include <vector>
 
 #include "core/processor.h"
 #include "core/workload.h"
@@ -62,6 +69,10 @@ struct CliOptions {
   std::string trace_path = "dba.trace.json";  // trace: Perfetto file
   int cores = 16;          // board: number of cores
   int host_threads = 0;    // board: 0 = hardware concurrency
+  uint64_t fault_seed = 1;    // board/faults: fault schedule seed
+  double fault_rate = -1.0;   // per-class rate; < 0 = command default
+  std::string broken_cores;   // comma-separated permanently-dead cores
+  int max_attempts = 4;       // recovery: attempts per partition
 };
 
 void PrintUsage() {
@@ -78,6 +89,9 @@ void PrintUsage() {
       "  board                    run a parallel op on a multi-core board\n"
       "                           (--cores=N, --host-threads=N; 0 = all\n"
       "                           host cores, 1 = serial simulation)\n"
+      "  faults                   board run under deterministic fault\n"
+      "                           injection; prints recovery telemetry\n"
+      "                           (default --fault-rate=0.05)\n"
       "  validate-bench FILE...   validate dba.bench.v1 JSON documents\n"
       "options:\n"
       "  --list-configs           print the synthesis table and exit\n"
@@ -96,7 +110,13 @@ void PrintUsage() {
       "  --stream                 stream via the data prefetcher\n"
       "  --profile                print the hotspot report\n"
       "  --trace=N                print the first N executed words\n"
-      "  --disasm                 print the kernel program listing\n");
+      "  --disasm                 print the kernel program listing\n"
+      "fault options (board | faults):\n"
+      "  --fault-seed=N           fault schedule seed (default 1)\n"
+      "  --fault-rate=F           per-attempt probability of each fault\n"
+      "                           class (hang, bit flips, NoC faults)\n"
+      "  --broken-cores=A,B,...   cores that permanently hang\n"
+      "  --max-attempts=N         attempts per partition (default 4)\n");
 }
 
 std::optional<ProcessorKind> ParseKind(const std::string& name) {
@@ -204,16 +224,43 @@ int ValidateBenchFiles(int argc, char** argv, int first) {
   return failures == 0 ? 0 : 1;
 }
 
-/// board --op=... --cores=N --host-threads=N: a parallel set operation
-/// or sample-sort on a multi-core board, with the host-side simulation
-/// speed reported next to the simulated figures.
+/// "1,3,7" -> {1, 3, 7}; empty string -> {}.
+std::vector<int> ParseIntList(const std::string& csv) {
+  std::vector<int> values;
+  size_t pos = 0;
+  while (pos < csv.size()) {
+    size_t comma = csv.find(',', pos);
+    if (comma == std::string::npos) comma = csv.size();
+    values.push_back(static_cast<int>(
+        std::strtol(csv.substr(pos, comma - pos).c_str(), nullptr, 10)));
+    pos = comma + 1;
+  }
+  return values;
+}
+
+/// board / faults --op=... --cores=N --host-threads=N: a parallel set
+/// operation or sample-sort on a multi-core board, with the host-side
+/// simulation speed reported next to the simulated figures. The faults
+/// command (or any --fault-* / --broken-cores flag) runs under the
+/// deterministic injector and prints the recovery telemetry.
 int RunBoard(const CliOptions& options, ProcessorKind kind,
              const dba::ProcessorOptions& processor_options) {
+  const bool faults_mode = options.command == "faults";
   dba::system::BoardConfig config;
   config.core_kind = kind;
   config.core_options = processor_options;
   config.num_cores = options.cores;
   config.host_threads = options.host_threads;
+  double rate = options.fault_rate;
+  if (rate < 0) rate = faults_mode ? 0.05 : 0.0;
+  config.fault_plan.seed = options.fault_seed;
+  config.fault_plan.hang_rate = rate;
+  config.fault_plan.input_flip_rate = rate;
+  config.fault_plan.result_flip_rate = rate;
+  config.fault_plan.transfer_fail_rate = rate;
+  config.fault_plan.transfer_timeout_rate = rate;
+  config.fault_plan.broken_cores = ParseIntList(options.broken_cores);
+  config.recovery.max_attempts = options.max_attempts;
   auto board = dba::system::Board::Create(config);
   if (!board.ok()) return Fail(board.status());
 
@@ -245,6 +292,25 @@ int RunBoard(const CliOptions& options, ProcessorKind kind,
               run->board_power_mw / 1000.0, run->energy_uj);
   std::printf("host wall clock   %.4f s on %d host thread(s)\n",
               run->host_wall_seconds, run->host_threads_used);
+  const dba::system::RecoveryTelemetry& recovery = run->recovery;
+  if (faults_mode || config.fault_plan.enabled()) {
+    std::printf("faults injected   %u (%u failed attempts, "
+                "%u verification failures)\n",
+                recovery.faults_injected, recovery.failed_attempts,
+                recovery.verification_failures);
+    std::printf("recovery          %u retries, %u requeues, %u rounds, "
+                "%llu cycles\n",
+                recovery.retries, recovery.requeues, recovery.rounds,
+                static_cast<unsigned long long>(recovery.recovery_cycles));
+    std::string quarantined;
+    for (const int core : recovery.quarantined_cores) {
+      if (!quarantined.empty()) quarantined += ",";
+      quarantined += std::to_string(core);
+    }
+    std::printf("quarantined cores %s%s\n",
+                quarantined.empty() ? "(none)" : quarantined.c_str(),
+                recovery.degraded ? " [degraded]" : "");
+  }
   if (!options.json_path.empty()) {
     auto root = dba::obs::JsonValue::Object();
     root.Set("config", options.config)
@@ -319,7 +385,7 @@ int main(int argc, char** argv) {
       return ValidateBenchFiles(argc, argv, 2);
     }
     if (options.command != "profile" && options.command != "trace" &&
-        options.command != "board") {
+        options.command != "board" && options.command != "faults") {
       std::fprintf(stderr, "unknown command: %s\n\n", argv[1]);
       PrintUsage();
       return 2;
@@ -370,6 +436,15 @@ int main(int argc, char** argv) {
     } else if (ParseFlag(arg, "--host-threads", &value)) {
       options.host_threads =
           static_cast<int>(std::strtol(value.c_str(), nullptr, 10));
+    } else if (ParseFlag(arg, "--fault-seed", &value)) {
+      options.fault_seed = std::strtoull(value.c_str(), nullptr, 10);
+    } else if (ParseFlag(arg, "--fault-rate", &value)) {
+      options.fault_rate = std::strtod(value.c_str(), nullptr);
+    } else if (ParseFlag(arg, "--broken-cores", &value)) {
+      options.broken_cores = value;
+    } else if (ParseFlag(arg, "--max-attempts", &value)) {
+      options.max_attempts =
+          static_cast<int>(std::strtol(value.c_str(), nullptr, 10));
     } else {
       std::fprintf(stderr, "unknown option: %s\n\n", arg);
       PrintUsage();
@@ -398,7 +473,7 @@ int main(int argc, char** argv) {
   if (options.tech28) {
     processor_options.tech = dba::hwmodel::TechNode::k28nmGfSlp;
   }
-  if (options.command == "board") {
+  if (options.command == "board" || options.command == "faults") {
     return RunBoard(options, *kind, processor_options);
   }
 
