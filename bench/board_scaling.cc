@@ -6,9 +6,12 @@
 // The bench sweeps board sizes up to the Q9550-area-equivalent count,
 // running partitioned parallel intersection on cycle-accurate cores over
 // a shared-interconnect model. Simulated numbers (throughput, energy,
-// makespan) are invariant under --host-threads; the host_wall_seconds
-// and sim_speedup columns track how fast the *simulator* runs when the
-// board's cores are simulated on concurrent host threads.
+// makespan) are invariant under --host-threads and --sim-mode (modulo
+// the documented turbo cycle model); host_wall_seconds, host_speedup,
+// and sim_speedup track how fast the *simulator* runs:
+//   host_speedup = serial host wall / this run's wall (thread scaling),
+//   sim_speedup  = interpret-mode host wall / this mode's wall at the
+//                  same thread count (fast-forward/turbo core speedup).
 
 #include <charconv>
 #include <cstdio>
@@ -16,25 +19,41 @@
 #include "bench/bench_util.h"
 #include "common/thread_pool.h"
 #include "hwmodel/reference.h"
+#include "sim/exec_mode.h"
 #include "system/board.h"
 
 namespace dba::bench {
 namespace {
 
 int g_host_threads = 0;  // 0 = hardware concurrency
+sim::ExecMode g_sim_mode = sim::ExecMode::kFastForward;
 
-/// Host wall-clock of the same run simulated serially, per board size;
-/// denominator of sim_speedup.
-double SerialWallSeconds(int cores, SetOp op, std::span<const uint32_t> a,
-                         std::span<const uint32_t> b) {
-  system::BoardConfig config;
-  config.num_cores = cores;
-  config.host_threads = 1;
-  auto board = system::Board::Create(config);
-  if (!board.ok()) return 0;
-  auto run = (*board)->RunSetOperation(op, a, b);
-  if (!run.ok()) return 0;
-  return run->host_wall_seconds;
+/// Minimum-of-N repetitions for every wall-clock sample: single-shot
+/// wall times on a shared host are dominated by scheduler noise, and
+/// speedup columns divide two of them. Simulated outputs are identical
+/// across repetitions, so min-wall changes only the host-time columns.
+constexpr int kWallReps = 5;
+
+/// Host wall-clock of the same run under `mode` with `host_threads`
+/// simulator threads; denominator/numerator of the speedup columns.
+double ReferenceWallSeconds(int cores, int host_threads, sim::ExecMode mode,
+                            SetOp op, std::span<const uint32_t> a,
+                            std::span<const uint32_t> b) {
+  double best = 0;
+  for (int rep = 0; rep < kWallReps; ++rep) {
+    system::BoardConfig config;
+    config.num_cores = cores;
+    config.host_threads = host_threads;
+    config.sim_mode = mode;
+    auto board = system::Board::Create(config);
+    if (!board.ok()) return 0;
+    auto run = (*board)->RunSetOperation(op, a, b);
+    if (!run.ok()) return 0;
+    if (rep == 0 || run->host_wall_seconds < best) {
+      best = run->host_wall_seconds;
+    }
+  }
+  return best;
 }
 
 void Run() {
@@ -50,9 +69,10 @@ void Run() {
       static_cast<int>(reference.die_area_mm2 / core_area);
   std::printf(
       "one DBA_2LSU_EIS core: %.2f mm2, %.1f mW -> %d cores fit in one "
-      "Q9550 die (%g mm2); simulating with %d host thread(s)\n\n",
+      "Q9550 die (%g mm2); simulating with %d host thread(s), %s mode\n\n",
       core_area, single->synthesis().power_mw, area_equivalent_cores,
-      reference.die_area_mm2, host_threads);
+      reference.die_area_mm2, host_threads,
+      std::string(sim::ExecModeName(g_sim_mode)).c_str());
 
   auto pair = GenerateSetPair(500000, 500000, kDefaultSelectivity, kSeed);
   if (!pair.ok()) {
@@ -62,15 +82,16 @@ void Run() {
     std::exit(1);
   }
 
-  std::printf("%-8s %12s %8s %8s %11s %8s %12s %12s\n", "cores",
+  std::printf("%-8s %12s %8s %8s %11s %8s %12s %12s %12s\n", "cores",
               "tput [M/s]", "speedup", "P [W]", "energy [uJ]", "bound",
-              "host [s]", "sim_speedup");
+              "host [s]", "host_spdup", "sim_speedup");
   double single_tput = 0;
   for (int cores : {1, 2, 4, 8, 16, 32, 64, 128}) {
     if (cores > area_equivalent_cores + 20) break;
     system::BoardConfig config;
     config.num_cores = cores;
     config.host_threads = host_threads;
+    config.sim_mode = g_sim_mode;
     auto board = system::Board::Create(config);
     if (!board.ok()) {
       std::fprintf(stderr, "bench: creating a %d-core board failed: %s\n",
@@ -84,27 +105,53 @@ void Run() {
                    run.status().ToString().c_str());
       std::exit(1);
     }
+    // Re-run on fresh boards and keep the fastest wall time; simulated
+    // outputs are repetition-invariant, only the host clock is noisy.
+    for (int rep = 1; rep < kWallReps; ++rep) {
+      auto rerun_board = system::Board::Create(config);
+      if (!rerun_board.ok()) break;
+      auto rerun =
+          (*rerun_board)->RunSetOperation(SetOp::kIntersect, pair->a, pair->b);
+      if (rerun.ok() && rerun->host_wall_seconds < run->host_wall_seconds) {
+        run->host_wall_seconds = rerun->host_wall_seconds;
+      }
+    }
     if (cores == 1) single_tput = run->throughput_meps;
-    // sim_speedup = serial host wall-clock / this run's wall-clock; 1.0
+    // host_speedup = serial host wall-clock / this run's wall-clock; 1.0
     // by construction when simulating on one thread.
-    double sim_speedup = 1.0;
+    double host_speedup = 1.0;
     if ((*board)->host_threads() > 1 && run->host_wall_seconds > 0) {
-      const double serial_seconds =
-          SerialWallSeconds(cores, SetOp::kIntersect, pair->a, pair->b);
+      const double serial_seconds = ReferenceWallSeconds(
+          cores, 1, g_sim_mode, SetOp::kIntersect, pair->a, pair->b);
       if (serial_seconds > 0) {
-        sim_speedup = serial_seconds / run->host_wall_seconds;
+        host_speedup = serial_seconds / run->host_wall_seconds;
+      }
+    }
+    // sim_speedup = interpret-mode host wall-clock / this run's
+    // wall-clock at the same thread count; 1.0 by definition when
+    // already interpreting.
+    double sim_speedup = 1.0;
+    if (g_sim_mode != sim::ExecMode::kInterpret &&
+        run->host_wall_seconds > 0) {
+      const double interpret_seconds = ReferenceWallSeconds(
+          cores, host_threads, sim::ExecMode::kInterpret, SetOp::kIntersect,
+          pair->a, pair->b);
+      if (interpret_seconds > 0) {
+        sim_speedup = interpret_seconds / run->host_wall_seconds;
       }
     }
     obs::JsonValue& row = AddBenchRow("DBA_2LSU_EIS board");
     row.Set("op", "intersect").Set("cores", cores);
     obs::MergeParallelRun(row, *run);
     row.Set("speedup", run->throughput_meps / single_tput)
+        .Set("host_speedup", host_speedup)
         .Set("sim_speedup", sim_speedup);
-    std::printf("%-8d %12.0f %8.1f %8.2f %11.1f %8s %12.4f %12.2f\n", cores,
-                run->throughput_meps, run->throughput_meps / single_tput,
+    std::printf("%-8d %12.0f %8.1f %8.2f %11.1f %8s %12.4f %12.2f %12.2f\n",
+                cores, run->throughput_meps,
+                run->throughput_meps / single_tput,
                 run->board_power_mw / 1000.0, run->energy_uj,
                 run->noc_bound ? "noc" : "compute", run->host_wall_seconds,
-                sim_speedup);
+                host_speedup, sim_speedup);
   }
 
   std::printf(
@@ -114,9 +161,20 @@ void Run() {
 }
 
 bool ParseFlag(std::string_view arg) {
-  constexpr std::string_view kPrefix = "--host-threads=";
-  if (arg.rfind(kPrefix, 0) != 0) return false;
-  const std::string_view value = arg.substr(kPrefix.size());
+  constexpr std::string_view kThreadsPrefix = "--host-threads=";
+  constexpr std::string_view kModePrefix = "--sim-mode=";
+  if (arg.rfind(kModePrefix, 0) == 0) {
+    auto mode = sim::ParseExecMode(arg.substr(kModePrefix.size()));
+    if (!mode.ok()) {
+      std::fprintf(stderr, "board_scaling: %s\n",
+                   mode.status().ToString().c_str());
+      std::exit(2);
+    }
+    g_sim_mode = *mode;
+    return true;
+  }
+  if (arg.rfind(kThreadsPrefix, 0) != 0) return false;
+  const std::string_view value = arg.substr(kThreadsPrefix.size());
   int parsed = 0;
   const auto [ptr, ec] =
       std::from_chars(value.data(), value.data() + value.size(), parsed);
@@ -139,5 +197,7 @@ int main(int argc, char** argv) {
   return dba::bench::BenchMain(
       argc, argv, "board_scaling", dba::bench::Run, dba::bench::ParseFlag,
       "  --host-threads=<n>  host threads simulating board cores "
-      "(0 = hardware concurrency, 1 = serial)\n");
+      "(0 = hardware concurrency, 1 = serial)\n"
+      "  --sim-mode=<mode>   core run-loop mode: interpret, fast-forward "
+      "(default), or turbo\n");
 }

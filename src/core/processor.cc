@@ -45,6 +45,24 @@ uint64_t PaddedBytes(uint64_t elements) {
   return AlignUp(elements * 4, mem::kBeatBytes);
 }
 
+/// Zeroes the beat-padding tail of a staged input block: bytes
+/// [addr + 4*elements, addr + PaddedBytes(elements)). The kernels read
+/// whole 128-bit beats, so the final partial beat must be deterministic;
+/// everything else the core reads back is written by the kernel itself.
+/// Zeroing only the tail (instead of Clear()-ing whole memories) keeps
+/// the staging cost independent of memory size -- the streaming path
+/// invokes a kernel every few thousand elements, and a 1 MiB result-bank
+/// memset per invocation would dominate the fast-forward run loop.
+void ZeroPadTail(mem::Memory* memory, uint64_t addr, uint64_t elements) {
+  const uint64_t used = elements * 4;
+  const uint64_t padded = PaddedBytes(elements);
+  if (padded == used) return;
+  std::span<uint8_t> raw = memory->mutable_raw();
+  std::fill_n(raw.begin() +
+                  static_cast<ptrdiff_t>(addr - memory->config().base + used),
+              static_cast<ptrdiff_t>(padded - used), uint8_t{0});
+}
+
 }  // namespace
 
 Processor::Processor(ProcessorKind kind, const ProcessorOptions& options)
@@ -127,6 +145,7 @@ Status Processor::Build() {
   if (kind_has_eis()) {
     eis_ = std::make_unique<eis::EisExtension>();
     DBA_RETURN_IF_ERROR(eis_->Attach(cpu_.get()));
+    cpu_->SetLoopAccelerator(eis_.get());
   }
   return Status::Ok();
 }
@@ -289,23 +308,24 @@ Result<SetOpRun> Processor::ExecuteBinaryKernel(
     addr_a = kSysBase;
     addr_b = addr_a + PaddedBytes(a.size());
     addr_c = addr_b + PaddedBytes(b.size());
-    sysmem_->Clear();
     DBA_RETURN_IF_ERROR(sysmem_->WriteBlock(addr_a, a));
+    ZeroPadTail(sysmem_, addr_a, a.size());
     DBA_RETURN_IF_ERROR(sysmem_->WriteBlock(addr_b, b));
+    ZeroPadTail(sysmem_, addr_b, b.size());
   } else {
     addr_a = kLdm0Base;
-    ldm0_->Clear();
     DBA_RETURN_IF_ERROR(ldm0_->WriteBlock(addr_a, a));
+    ZeroPadTail(ldm0_, addr_a, a.size());
     if (num_lsus() == 2) {
       addr_b = kLdm1Base;
-      ldm1_->Clear();
       DBA_RETURN_IF_ERROR(ldm1_->WriteBlock(addr_b, b));
+      ZeroPadTail(ldm1_, addr_b, b.size());
     } else {
       addr_b = addr_a + PaddedBytes(a.size());
       DBA_RETURN_IF_ERROR(ldm0_->WriteBlock(addr_b, b));
+      ZeroPadTail(ldm0_, addr_b, b.size());
     }
     addr_c = kResultBase;
-    result_->Clear();
   }
 
   cpu_->ResetArchState();
@@ -318,6 +338,7 @@ Result<SetOpRun> Processor::ExecuteBinaryKernel(
   cpu_->set_reg(isa::abi::kPtrC, static_cast<uint32_t>(addr_c));
 
   sim::RunOptions run_options;
+  run_options.mode = settings.sim_mode;
   run_options.profile = settings.profile;
   run_options.trace_limit = settings.trace_limit;
   run_options.trace_sink = settings.trace_sink;
@@ -365,19 +386,21 @@ Result<SortRun> Processor::RunSort(std::span<const uint32_t> values,
   if (!uses_local_store()) {
     buf0 = kSysBase;
     buf1 = buf0 + bytes;
-    sysmem_->Clear();
     DBA_RETURN_IF_ERROR(sysmem_->WriteBlock(buf0, values));
+    ZeroPadTail(sysmem_, buf0, values.size());
+    ZeroPadTail(sysmem_, buf1, values.size());
   } else if (num_lsus() == 2) {
     buf0 = kLdm0Base;
     buf1 = kLdm1Base;
-    ldm0_->Clear();
-    ldm1_->Clear();
     DBA_RETURN_IF_ERROR(ldm0_->WriteBlock(buf0, values));
+    ZeroPadTail(ldm0_, buf0, values.size());
+    ZeroPadTail(ldm1_, buf1, values.size());
   } else {
     buf0 = kLdm0Base;
     buf1 = buf0 + bytes;
-    ldm0_->Clear();
     DBA_RETURN_IF_ERROR(ldm0_->WriteBlock(buf0, values));
+    ZeroPadTail(ldm0_, buf0, values.size());
+    ZeroPadTail(ldm0_, buf1, values.size());
   }
 
   cpu_->ResetArchState();
@@ -388,6 +411,7 @@ Result<SortRun> Processor::RunSort(std::span<const uint32_t> values,
   cpu_->set_reg(isa::abi::kPtrC, static_cast<uint32_t>(buf1));
 
   sim::RunOptions run_options;
+  run_options.mode = settings.sim_mode;
   run_options.profile = settings.profile;
   run_options.trace_limit = settings.trace_limit;
   run_options.trace_sink = settings.trace_sink;

@@ -37,6 +37,10 @@ struct ProcessorOptions {
 
 /// Per-run overrides.
 struct RunSettings {
+  /// How the core's run loop advances the machine (sim/exec_mode.h):
+  /// interpret (reference), fast-forward (default; bit-identical stats),
+  /// or turbo (results exact, cycles from the loop model).
+  sim::ExecMode sim_mode = sim::ExecMode::kFastForward;
   /// Run the scalar kernel even on an EIS-capable configuration
   /// (ablation support).
   bool force_scalar = false;

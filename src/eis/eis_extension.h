@@ -6,6 +6,7 @@
 #include "eis/fifo.h"
 #include "eis/sop.h"
 #include "sim/ext_op.h"
+#include "sim/loop_accel.h"
 #include "tie/tie_extension.h"
 
 namespace dba::eis {
@@ -59,11 +60,23 @@ struct EisCounters {
 /// (Section 4: "the LD instruction loads always from LSU0"). On a
 /// single-LSU core the simulator folds all beats onto LSU0 and charges
 /// the port-contention cycles automatically.
-class EisExtension : public tie::TieExtension {
+/// The database-specific instruction-set extension. Also implements the
+/// simulator's LoopAccelerator interface: the steady-state kernel loops
+/// (Figures 10-12) are recognized as TIE-loop superblocks and executed
+/// iteration-at-a-time through a direct-dispatch batch engine instead of
+/// the per-word issue machinery -- with the same semantics and the same
+/// cycle arithmetic (pinned by the differential test suite).
+class EisExtension : public tie::TieExtension, public sim::LoopAccelerator {
  public:
   EisExtension();
 
   void ResetState() override;
+
+  // --- sim::LoopAccelerator ---
+  bool MatchesTieLoop(const sim::TieLoop& loop) const override;
+  Result<bool> RunTieLoop(const sim::TieLoop& loop, sim::Cpu& cpu, bool exact,
+                          uint64_t max_cycles,
+                          sim::ExecStats* stats) override;
 
   // --- Introspection for tests, the debug interface, and benches ---
   SopMode mode() const { return static_cast<SopMode>(mode_state_->Get()); }
@@ -111,18 +124,71 @@ class EisExtension : public tie::TieExtension {
   bool ContinueFlag() const;
 
   // Instruction semantics (shared by primitive and fused forms).
-  Status Init(sim::ExtContext& ctx);
-  Status Ld(sim::ExtContext& ctx, int side_index);
+  // Templated on the execution context so the per-word path
+  // (sim::ExtContext) and the batch engine's fast context share one
+  // implementation -- the batch path cannot drift semantically. Defined
+  // in eis_extension.cc; both contexts are instantiated there.
+  template <typename Ctx>
+  Status Init(Ctx& ctx);
+  template <typename Ctx>
+  Status Ld(Ctx& ctx, int side_index);
   void LdP(int side_index);
-  Status Sop(sim::ExtContext& ctx);
+  template <typename Ctx>
+  Status Sop(Ctx& ctx);
   void StS();
-  Status St(sim::ExtContext& ctx);
-  Status Flush(sim::ExtContext& ctx);
-  Status LdMerge(sim::ExtContext& ctx);
-  Status SortBeat(sim::ExtContext& ctx);
-  Status CopyBeat(sim::ExtContext& ctx);
+  template <typename Ctx>
+  Status St(Ctx& ctx);
+  template <typename Ctx>
+  Status Flush(Ctx& ctx);
+  template <typename Ctx>
+  Status LdMerge(Ctx& ctx);
+  template <typename Ctx>
+  Status SortBeat(Ctx& ctx);
+  template <typename Ctx>
+  Status CopyBeat(Ctx& ctx);
 
-  Status StorePack(sim::ExtContext& ctx, const std::array<uint32_t, 4>& pack);
+  template <typename Ctx>
+  Status StorePack(Ctx& ctx, const std::array<uint32_t, 4>& pack);
+
+  /// One EIS operation by id, shared by the registered per-word lambdas
+  /// and the batch engine (single dispatch table for both paths).
+  template <typename Ctx>
+  Status DispatchOp(uint16_t ext_id, Ctx& ctx);
+
+  /// Hot-counter mirrors shared between RunTieLoop and the steady-state
+  /// set-operation stepper.
+  struct SteadyMirrors {
+    uint64_t& cycles;
+    uint64_t& bundles;
+    uint64_t& instructions;
+    uint64_t& taken_branches;
+    uint64_t& mispredicted;
+    uint64_t& branch_penalty;
+    uint64_t& port_stall;
+    uint64_t& beats0;
+    uint64_t& beats1;
+  };
+  enum class SteadyOutcome {
+    kDeclined,    // stepper never ran; datapath state untouched
+    kHandedBack,  // stopped at a word boundary; state synced, pc set
+    kCompleted,   // loop fell through the branch; state synced, pc set
+  };
+
+  /// Cursor-based fast path for the steady-state set-operation loop
+  /// (Figure 11): executes whole iterations on raw memory views with
+  /// integer FIFO/window occupancy modelling, writing result beats and
+  /// accumulating exactly the per-word stats of the generic engine. Any
+  /// case it cannot model bit-exactly (result FIFO overflow, watchdog
+  /// margin, span exhaustion, unexpected entry state) hands back to the
+  /// per-word machinery at a word boundary.
+  ///
+  /// With `exact` false (turbo mode) the steady region additionally runs
+  /// through a raw two-pointer bulk loop: results stay element-exact,
+  /// but cycles and beat counts for the bulk segment are extrapolated
+  /// linearly from a short calibration prefix of exact iterations.
+  SteadyOutcome RunSetOpSteady(const sim::TieLoop& loop, sim::Cpu& cpu,
+                               bool exact, uint64_t max_cycles,
+                               uint64_t iter_margin, SteadyMirrors& m);
 
   // TIE states (scalar configuration/flag states).
   tie::TieState* mode_state_;     // 2 bits

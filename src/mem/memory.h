@@ -66,6 +66,11 @@ class Memory {
   /// Zeroes the full memory contents.
   void Clear();
 
+  // --- Raw host-side views (fast-path steppers; no timing, no bounds
+  // help: byte i maps to address config().base + i) ---
+  std::span<const uint8_t> raw() const { return data_; }
+  std::span<uint8_t> mutable_raw() { return data_; }
+
  private:
   explicit Memory(MemoryConfig config);
 

@@ -1,0 +1,56 @@
+#ifndef DBA_OBS_BENCH_COMPARE_H_
+#define DBA_OBS_BENCH_COMPARE_H_
+
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "obs/json.h"
+
+namespace dba::obs {
+
+/// Options for comparing two dba.bench.v1 documents (the CI perf gate:
+/// `dba_cli compare-bench RUN BASELINE --tolerance=F`).
+struct BenchCompareOptions {
+  /// Allowed fractional drop of a higher-is-better metric before the
+  /// row counts as a regression: run >= baseline * (1 - tolerance).
+  double tolerance = 0.15;
+  /// Higher-is-better metrics checked on every row where the baseline
+  /// carries them. Rows missing a metric in the run that the baseline
+  /// has are regressions (a silently dropped column must not pass).
+  std::vector<std::string> metrics = {"throughput_meps", "sim_speedup"};
+};
+
+/// One (row, metric) comparison result.
+struct BenchMetricDelta {
+  std::string row_key;  // "config=... op=... cores=..." identity
+  std::string metric;
+  double run_value = 0;
+  double baseline_value = 0;
+  double ratio = 0;  // run / baseline
+  bool regressed = false;
+};
+
+/// Full comparison of a run document against a baseline document.
+struct BenchComparison {
+  std::vector<BenchMetricDelta> deltas;
+  /// Baseline rows with no identity match in the run document.
+  std::vector<std::string> missing_rows;
+  int regressions = 0;
+
+  bool passed() const { return regressions == 0 && missing_rows.empty(); }
+};
+
+/// Compares `run` against `baseline` (both parsed dba.bench.v1
+/// documents). Rows are matched by identity -- the bench name plus every
+/// string-valued row field and the integer "cores" column -- so a
+/// baseline refresh that adds rows never silently matches the wrong
+/// configuration. Returns InvalidArgument when either document fails
+/// schema validation or the bench names differ.
+Result<BenchComparison> CompareBenchDocuments(
+    const JsonValue& run, const JsonValue& baseline,
+    const BenchCompareOptions& options = {});
+
+}  // namespace dba::obs
+
+#endif  // DBA_OBS_BENCH_COMPARE_H_

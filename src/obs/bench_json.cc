@@ -64,7 +64,8 @@ void MergeParallelRun(JsonValue& row, const system::ParallelRun& run) {
       .Set("energy_uj", run.energy_uj)
       .Set("bound", std::string(run.noc_bound ? "noc" : "compute"))
       .Set("host_wall_seconds", run.host_wall_seconds)
-      .Set("host_threads", run.host_threads_used);
+      .Set("host_threads", run.host_threads_used)
+      .Set("sim_mode", std::string(sim::ExecModeName(run.sim_mode)));
   // Fault-tolerance telemetry (all zero / empty for a fault-free run).
   const system::RecoveryTelemetry& recovery = run.recovery;
   JsonValue quarantined = JsonValue::Array();

@@ -118,8 +118,106 @@ Status Cpu::LoadProgram(const isa::Program& program) {
       pc_labels_[pc] = name;
     }
   }
+  BuildExecPlan();
   pc_ = 0;
   return Status::Ok();
+}
+
+namespace {
+bool IsCondBranch(Opcode opcode) {
+  switch (opcode) {
+    case Opcode::kBeq:
+    case Opcode::kBne:
+    case Opcode::kBlt:
+    case Opcode::kBltu:
+    case Opcode::kBge:
+    case Opcode::kBgeu:
+      return true;
+    default:
+      return false;
+  }
+}
+}  // namespace
+
+void Cpu::BuildExecPlan() {
+  const size_t n = decoded_.size();
+  ext_of_.assign(n, nullptr);
+  slot_ext_of_.assign(n, {});
+
+  // Superblock heads: entry, every branch/jump target, the word after
+  // every control-flow word, and every label position. A control-flow
+  // word can therefore only ever be the last word of its block.
+  std::vector<uint8_t> is_head(n, 0);
+  if (n > 0) is_head[0] = 1;
+  auto mark_head = [&](uint64_t pc) {
+    if (pc < n) is_head[pc] = 1;
+  };
+  for (const auto& [name, position] : loaded_labels_) mark_head(position);
+  for (size_t pc = 0; pc < n; ++pc) {
+    const isa::DecodedWord& word = decoded_[pc];
+    if (word.kind == isa::DecodedWord::Kind::kFlix) {
+      for (int i = 0; i < isa::kMaxFlixSlots; ++i) {
+        const isa::TieSlot& slot = word.slots[static_cast<size_t>(i)];
+        if (!slot.empty()) {
+          slot_ext_of_[pc][static_cast<size_t>(i)] =
+              &ext_ops_.find(slot.ext_id)->second;
+        }
+      }
+      continue;
+    }
+    const Instruction& instr = word.base;
+    if (instr.opcode == Opcode::kTie) {
+      ext_of_[pc] = &ext_ops_.find(instr.ext_id)->second;
+    } else if (IsCondBranch(instr.opcode) || instr.opcode == Opcode::kJ) {
+      mark_head(static_cast<uint64_t>(static_cast<int64_t>(pc) + 1 +
+                                      instr.imm));
+      mark_head(pc + 1);
+    } else if (instr.opcode == Opcode::kHalt) {
+      mark_head(pc + 1);
+    }
+  }
+
+  blocks_.clear();
+  block_of_.assign(n, 0);
+  for (size_t pc = 0; pc < n; ++pc) {
+    if (is_head[pc]) {
+      SuperBlock block;
+      block.head = static_cast<uint32_t>(pc);
+      blocks_.push_back(std::move(block));
+    }
+    block_of_[pc] = static_cast<uint32_t>(blocks_.size() - 1);
+    ++blocks_.back().len;
+  }
+
+  // Steady-state TIE loops: a body of base kTie words closed by one
+  // backward conditional branch to the block head. Their pre-decoded
+  // micro-trace is what the loop accelerator consumes.
+  for (SuperBlock& block : blocks_) {
+    if (block.len < 2) continue;
+    const uint32_t last = block.head + block.len - 1;
+    const isa::DecodedWord& tail = decoded_[last];
+    if (tail.kind != isa::DecodedWord::Kind::kBase ||
+        !IsCondBranch(tail.base.opcode) || tail.base.imm >= 0 ||
+        static_cast<int64_t>(last) + 1 + tail.base.imm != block.head) {
+      continue;
+    }
+    bool all_tie = true;
+    for (uint32_t pc = block.head; pc < last; ++pc) {
+      const isa::DecodedWord& word = decoded_[pc];
+      if (word.kind != isa::DecodedWord::Kind::kBase ||
+          word.base.opcode != Opcode::kTie) {
+        all_tie = false;
+        break;
+      }
+    }
+    if (!all_tie) continue;
+    block.tie_loop = true;
+    block.tie_body.reserve(block.len - 1);
+    for (uint32_t pc = block.head; pc < last; ++pc) {
+      block.tie_body.push_back(decoded_[pc].base);
+    }
+    block.tie_branch = tail.base;
+  }
 }
 
 void Cpu::ResetArchState() {
@@ -193,8 +291,13 @@ Status Cpu::ExecuteTieOp(uint16_t ext_id, uint16_t operand,
     return Status::NotFound("unregistered extension op " +
                             std::to_string(ext_id));
   }
+  return ExecuteTieOpResolved(it->second, operand, stats);
+}
+
+Status Cpu::ExecuteTieOpResolved(const ExtOp& op, uint16_t operand,
+                                 ExecStats* stats) {
   ExtContext ctx(this, operand);
-  DBA_RETURN_IF_ERROR(it->second.fn(ctx));
+  DBA_RETURN_IF_ERROR(op.fn(ctx));
   const uint32_t port_cycles = std::max(ctx.beats_[0], ctx.beats_[1]);
   if (port_cycles > 1) {
     stats->port_stall_cycles += port_cycles - 1;
@@ -208,7 +311,7 @@ Status Cpu::ExecuteTieOp(uint16_t ext_id, uint16_t operand,
 }
 
 Status Cpu::ExecuteBase(const Instruction& instr, ExecStats* stats,
-                        bool* halted) {
+                        bool* halted, const ExtOp* resolved) {
   const uint32_t rs1 = reg(instr.rs1);
   const uint32_t rs2 = reg(instr.rs2);
   const auto imm = static_cast<uint32_t>(instr.imm);
@@ -371,7 +474,10 @@ Status Cpu::ExecuteBase(const Instruction& instr, ExecStats* stats,
       break;
 
     case Opcode::kTie:
-      DBA_RETURN_IF_ERROR(ExecuteTieOp(instr.ext_id, instr.operand, stats));
+      DBA_RETURN_IF_ERROR(
+          resolved != nullptr
+              ? ExecuteTieOpResolved(*resolved, instr.operand, stats)
+              : ExecuteTieOp(instr.ext_id, instr.operand, stats));
       break;
   }
 
@@ -383,6 +489,11 @@ Result<ExecStats> Cpu::Run(const RunOptions& options) {
   if (decoded_.empty()) {
     return Status::FailedPrecondition("no program loaded");
   }
+  if (options.mode == ExecMode::kInterpret) return RunInterpret(options);
+  return RunFast(options);
+}
+
+Result<ExecStats> Cpu::RunInterpret(const RunOptions& options) {
   ExecStats stats;
   if (options.profile) {
     stats.pc_counts.resize(decoded_.size(), 0);
@@ -517,6 +628,208 @@ Result<ExecStats> Cpu::Run(const RunOptions& options) {
     sample_counters(stats.cycles);
   }
   return stats;
+}
+
+Result<ExecStats> Cpu::RunFast(const RunOptions& options) {
+  ExecStats stats;
+  const bool lean = !options.profile && options.trace_limit == 0 &&
+                    options.trace_sink == nullptr;
+  Status status = Status::Ok();
+  if (lean && loop_accel_ != nullptr) {
+    status = RunFastLoop<true, true>(options, stats);
+  } else if (lean) {
+    status = RunFastLoop<true, false>(options, stats);
+  } else {
+    // Profiling, tracing, and cycle-trace sinks need per-word
+    // bookkeeping; the superblock loop provides it bit-identically, but
+    // the loop accelerator cannot, so it stays out of the picture.
+    status = RunFastLoop<false, false>(options, stats);
+  }
+  if (!status.ok()) return status;
+  return stats;
+}
+
+template <bool kLean, bool kAccel>
+Status Cpu::RunFastLoop(const RunOptions& options, ExecStats& stats) {
+  if (!kLean && options.profile) {
+    stats.pc_counts.resize(decoded_.size(), 0);
+    stats.pc_cycles.resize(decoded_.size());
+  }
+  CycleTraceSink* sink = kLean ? nullptr : options.trace_sink;
+  auto sample_counters = [&stats, sink](uint64_t cycle) {
+    sink->Counter(cycle, "stall/branch",
+                  static_cast<double>(stats.branch_penalty_cycles));
+    sink->Counter(cycle, "stall/load",
+                  static_cast<double>(stats.load_stall_cycles));
+    sink->Counter(cycle, "stall/store",
+                  static_cast<double>(stats.store_stall_cycles));
+    sink->Counter(cycle, "stall/port",
+                  static_cast<double>(stats.port_stall_cycles));
+    sink->Counter(cycle, "stall/ext",
+                  static_cast<double>(stats.ext_extra_cycles));
+    sink->Counter(cycle, "lsu0/beats",
+                  static_cast<double>(stats.lsu_beats[0]));
+    sink->Counter(cycle, "lsu1/beats",
+                  static_cast<double>(stats.lsu_beats[1]));
+  };
+  const std::string* open_region = nullptr;  // label of the open region
+
+  const size_t program_size = decoded_.size();
+  const bool exact = options.mode != ExecMode::kTurbo;
+  bool halted = false;
+  while (!halted) {
+    if (stats.cycles >= options.max_cycles) {
+      return Status::DeadlineExceeded(
+          "watchdog: exceeded " + std::to_string(options.max_cycles) +
+          " cycles at pc " + std::to_string(pc_));
+    }
+    if (pc_ >= program_size) {
+      return Status::Internal("pc " + std::to_string(pc_) +
+                              " outside the program (missing halt?)");
+    }
+    SuperBlock& block = blocks_[block_of_[pc_]];
+    if constexpr (kAccel) {
+      if (block.tie_loop && pc_ == block.head && block.accel_state != 2) {
+        const TieLoop loop{block.head,
+                           std::span<const isa::Instruction>(block.tie_body),
+                           block.tie_branch};
+        if (block.accel_state == 0) {
+          block.accel_state =
+              loop_accel_->MatchesTieLoop(loop) ? uint8_t{1} : uint8_t{2};
+        }
+        if (block.accel_state == 1) {
+          DBA_ASSIGN_OR_RETURN(
+              bool handled,
+              loop_accel_->RunTieLoop(loop, *this, exact, options.max_cycles,
+                                      &stats));
+          if (handled) continue;
+        }
+      }
+    }
+    const uint32_t head = block.head;
+    const uint32_t end = head + block.len;
+    // Straight-line execution of one superblock. A taken backward
+    // branch to `head` (the steady-state case) stays inside this loop;
+    // any other control transfer exits to the block dispatcher above.
+    bool first = true;
+    while (true) {
+      if (!first) {
+        if (stats.cycles >= options.max_cycles) {
+          return Status::DeadlineExceeded(
+              "watchdog: exceeded " + std::to_string(options.max_cycles) +
+              " cycles at pc " + std::to_string(pc_));
+        }
+        if (pc_ < head || pc_ >= end) break;
+      }
+      first = false;
+      const uint32_t issue_pc = pc_;
+      const isa::DecodedWord& word = decoded_[pc_];
+      if constexpr (!kLean) {
+        if (options.profile) ++stats.pc_counts[pc_];
+        if (sink != nullptr) {
+          const std::string& label = pc_labels_[issue_pc];
+          if (open_region == nullptr || label != *open_region) {
+            if (open_region != nullptr) {
+              sink->EndRegion(stats.cycles);
+              sample_counters(stats.cycles);
+            }
+            sink->BeginRegion(stats.cycles,
+                              label.empty() ? std::string_view("(entry)")
+                                            : std::string_view(label));
+            open_region = &label;
+          }
+        }
+        if (stats.trace.size() < options.trace_limit) {
+          char head_buf[32];
+          std::snprintf(head_buf, sizeof head_buf, "%8llu %4u: ",
+                        static_cast<unsigned long long>(stats.cycles), pc_);
+          stats.trace.push_back(
+              head_buf + isa::DisassembleWord(word, MakeExtNameResolver()));
+        }
+      }
+      ++stats.bundles;
+      ++stats.cycles;  // issue cycle
+
+      PcCycleBreakdown before;
+      if constexpr (!kLean) {
+        if (options.profile) {
+          before.branch_penalty_cycles = stats.branch_penalty_cycles;
+          before.load_stall_cycles = stats.load_stall_cycles;
+          before.store_stall_cycles = stats.store_stall_cycles;
+          before.port_stall_cycles = stats.port_stall_cycles;
+          before.ext_extra_cycles = stats.ext_extra_cycles;
+          before.lsu_beats[0] = stats.lsu_beats[0];
+          before.lsu_beats[1] = stats.lsu_beats[1];
+        }
+      }
+
+      if (word.kind == isa::DecodedWord::Kind::kBase) {
+        ++stats.instructions;
+        if constexpr (!kLean) {
+          if (options.profile) {
+            if (word.base.opcode == Opcode::kTie) {
+              ++stats.mnemonic_counts[ext_of_[issue_pc]->name];
+            } else {
+              ++stats.mnemonic_counts[std::string(
+                  isa::OpcodeName(word.base.opcode))];
+            }
+          }
+        }
+        DBA_RETURN_IF_ERROR(
+            ExecuteBase(word.base, &stats, &halted, ext_of_[issue_pc]));
+      } else {
+        // FLIX bundle: all slots issue in the same cycle and share the
+        // LSU ports; port contention across slots serializes beats.
+        ExtContext ctx(this, 0);
+        for (int i = 0; i < isa::kMaxFlixSlots; ++i) {
+          const ExtOp* op = slot_ext_of_[issue_pc][static_cast<size_t>(i)];
+          if (op == nullptr) continue;
+          ++stats.instructions;
+          if constexpr (!kLean) {
+            if (options.profile) ++stats.mnemonic_counts[op->name];
+          }
+          ctx.operand_ = word.slots[static_cast<size_t>(i)].operand;
+          DBA_RETURN_IF_ERROR(op->fn(ctx));
+        }
+        const uint32_t port_cycles = std::max(ctx.beats_[0], ctx.beats_[1]);
+        if (port_cycles > 1) {
+          stats.port_stall_cycles += port_cycles - 1;
+          stats.cycles += port_cycles - 1;
+        }
+        stats.ext_extra_cycles += ctx.extra_cycles_;
+        stats.cycles += ctx.extra_cycles_;
+        stats.lsu_beats[0] += ctx.beats_[0];
+        stats.lsu_beats[1] += ctx.beats_[1];
+        pc_ = pc_ + 1;
+      }
+
+      if constexpr (!kLean) {
+        if (options.profile) {
+          PcCycleBreakdown& slot = stats.pc_cycles[issue_pc];
+          slot.issue_cycles += 1;
+          slot.branch_penalty_cycles +=
+              stats.branch_penalty_cycles - before.branch_penalty_cycles;
+          slot.load_stall_cycles +=
+              stats.load_stall_cycles - before.load_stall_cycles;
+          slot.store_stall_cycles +=
+              stats.store_stall_cycles - before.store_stall_cycles;
+          slot.port_stall_cycles +=
+              stats.port_stall_cycles - before.port_stall_cycles;
+          slot.ext_extra_cycles +=
+              stats.ext_extra_cycles - before.ext_extra_cycles;
+          slot.lsu_beats[0] += stats.lsu_beats[0] - before.lsu_beats[0];
+          slot.lsu_beats[1] += stats.lsu_beats[1] - before.lsu_beats[1];
+        }
+      }
+      if (halted) break;
+    }
+  }
+
+  if (sink != nullptr && open_region != nullptr) {
+    sink->EndRegion(stats.cycles);
+    sample_counters(stats.cycles);
+  }
+  return Status::Ok();
 }
 
 }  // namespace dba::sim

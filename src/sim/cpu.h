@@ -13,7 +13,9 @@
 #include "isa/program.h"
 #include "mem/memory.h"
 #include "sim/core_config.h"
+#include "sim/exec_mode.h"
 #include "sim/ext_op.h"
+#include "sim/loop_accel.h"
 #include "sim/stats.h"
 #include "sim/trace_sink.h"
 
@@ -21,6 +23,11 @@ namespace dba::sim {
 
 /// Execution controls for Cpu::Run.
 struct RunOptions {
+  /// How the run loop advances the machine (see sim/exec_mode.h). The
+  /// default fast-forward path is bit-identical to the interpreter;
+  /// turbo is opt-in and trades per-pc profiling for batch execution of
+  /// recognized kernel loops.
+  ExecMode mode = ExecMode::kFastForward;
   /// Watchdog: abort with DeadlineExceeded after this many cycles.
   uint64_t max_cycles = 1ull << 36;
   /// Collect per-pc counts, per-pc cycle attribution, and the dynamic
@@ -66,6 +73,12 @@ class Cpu {
   Status RegisterExtOp(uint16_t ext_id, std::string name, ExtOpFn fn);
   bool HasExtOp(uint16_t ext_id) const { return ext_ops_.count(ext_id) != 0; }
 
+  /// Registers the batch executor for steady-state extension loops
+  /// (non-owning; may be null to clear). Consulted by the fast-forward
+  /// and turbo run loops for superblocks that are TIE loops.
+  void SetLoopAccelerator(LoopAccelerator* accel) { loop_accel_ = accel; }
+  LoopAccelerator* loop_accelerator() const { return loop_accel_; }
+
   /// Mnemonic lookup for the disassembler.
   isa::ExtNameResolver MakeExtNameResolver() const;
 
@@ -91,6 +104,27 @@ class Cpu {
   /// Runs until kHalt. Returns the cycle-accurate statistics.
   Result<ExecStats> Run(const RunOptions& options = {});
 
+  /// Decode-once superblocks of the resident program (tests and the
+  /// toolchain introspect these; rebuilt by LoadProgram whenever the
+  /// program words change).
+  struct SuperBlock {
+    uint32_t head = 0;  // first pc of the straight-line region
+    uint32_t len = 0;   // words in [head, head + len)
+    /// The block is a steady-state TIE loop: `len - 1` base kTie words
+    /// followed by a backward conditional branch to `head`. Such blocks
+    /// are offered to the registered LoopAccelerator.
+    bool tie_loop = false;
+    /// Cached MatchesTieLoop verdict (0 unknown, 1 yes, 2 no).
+    uint8_t accel_state = 0;
+    /// Pre-decoded micro-trace of a tie_loop body plus its branch.
+    std::vector<isa::Instruction> tie_body;
+    isa::Instruction tie_branch;
+  };
+  size_t num_superblocks() const { return blocks_.size(); }
+  const SuperBlock& superblock_at(uint32_t pc) const {
+    return blocks_[block_of_[pc]];
+  }
+
  private:
   friend class ExtContext;
 
@@ -100,13 +134,25 @@ class Cpu {
   };
 
   Status ExecuteBase(const isa::Instruction& instr, ExecStats* stats,
-                     bool* halted);
+                     bool* halted, const ExtOp* resolved = nullptr);
   Status ExecuteTieOp(uint16_t ext_id, uint16_t operand, ExecStats* stats);
+  Status ExecuteTieOpResolved(const ExtOp& op, uint16_t operand,
+                              ExecStats* stats);
   Result<mem::Memory*> RouteData(uint64_t addr, uint64_t bytes);
+
+  /// Segments the freshly decoded program into superblocks and resolves
+  /// the per-pc extension handlers (decode-once micro-traces).
+  void BuildExecPlan();
+
+  Result<ExecStats> RunInterpret(const RunOptions& options);
+  Result<ExecStats> RunFast(const RunOptions& options);
+  template <bool kLean, bool kAccel>
+  Status RunFastLoop(const RunOptions& options, ExecStats& stats);
 
   CoreConfig config_;
   mem::MemorySystem memory_system_;
   std::map<uint16_t, ExtOp> ext_ops_;
+  LoopAccelerator* loop_accel_ = nullptr;
 
   std::vector<isa::DecodedWord> decoded_;
   const isa::Program* program_ = nullptr;  // for diagnostics only
@@ -117,6 +163,14 @@ class Cpu {
   /// Enclosing label per pc (empty when none), rebuilt by LoadProgram;
   /// names the cycle-trace regions and the stall-attribution rows.
   std::vector<std::string> pc_labels_;
+
+  /// Execution plan of the resident program: superblock table, pc ->
+  /// block map, and pre-resolved extension handlers (no map lookup on
+  /// the fast paths). Lives and dies with decoded_.
+  std::vector<SuperBlock> blocks_;
+  std::vector<uint32_t> block_of_;
+  std::vector<const ExtOp*> ext_of_;  // base kTie words only, else null
+  std::vector<std::array<const ExtOp*, isa::kMaxFlixSlots>> slot_ext_of_;
 
   std::array<uint32_t, isa::kNumRegs> regs_{};
   uint32_t pc_ = 0;

@@ -1,0 +1,30 @@
+#include "sim/exec_mode.h"
+
+#include <string>
+
+namespace dba::sim {
+
+std::string_view ExecModeName(ExecMode mode) {
+  switch (mode) {
+    case ExecMode::kInterpret:
+      return "interpret";
+    case ExecMode::kFastForward:
+      return "fast-forward";
+    case ExecMode::kTurbo:
+      return "turbo";
+  }
+  return "?";
+}
+
+Result<ExecMode> ParseExecMode(std::string_view name) {
+  if (name == "interpret") return ExecMode::kInterpret;
+  if (name == "fast-forward" || name == "fastforward") {
+    return ExecMode::kFastForward;
+  }
+  if (name == "turbo") return ExecMode::kTurbo;
+  return Status::InvalidArgument("unknown sim mode '" + std::string(name) +
+                                 "' (expected interpret, fast-forward, or "
+                                 "turbo)");
+}
+
+}  // namespace dba::sim

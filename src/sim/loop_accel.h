@@ -1,0 +1,64 @@
+#ifndef DBA_SIM_LOOP_ACCEL_H_
+#define DBA_SIM_LOOP_ACCEL_H_
+
+#include <cstdint>
+#include <span>
+
+#include "common/status.h"
+#include "isa/instruction.h"
+#include "sim/stats.h"
+
+namespace dba::sim {
+
+class Cpu;
+
+/// A superblock that is a steady-state extension loop: a straight-line
+/// body of base TIE words followed by one backward conditional branch to
+/// the head. The fast-forward/turbo run loops hand such blocks to the
+/// registered LoopAccelerator so whole iterations execute inside the
+/// extension (direct dispatch, cached memory routes) instead of going
+/// through the per-word issue machinery.
+struct TieLoop {
+  /// pc of the first body word.
+  uint32_t head = 0;
+  /// The body's pre-decoded micro-trace: base kTie instructions at
+  /// pcs [head, head + body.size()).
+  std::span<const isa::Instruction> body;
+  /// The terminating conditional branch (at pc head + body.size());
+  /// its imm is negative and its target is `head`.
+  isa::Instruction branch;
+};
+
+/// Batch executor for TieLoop superblocks, implemented by an extension
+/// that recognizes its own kernel loops (EisExtension registers one).
+///
+/// Contract: RunTieLoop either declines (returns false, having touched
+/// nothing) or executes one or more *complete* loop iterations --
+/// including the backward branch and its prediction accounting -- and
+/// leaves architectural state, extension state, memory, `cpu.pc()`, and
+/// `*stats` exactly as the per-word path would. When the loop exits
+/// (branch not taken) the accelerator sets pc to the fall-through word.
+/// When it stops early (e.g. watchdog margin) it leaves pc at `head` so
+/// the caller's per-word loop continues seamlessly.
+class LoopAccelerator {
+ public:
+  virtual ~LoopAccelerator() = default;
+
+  /// Static shape check; called once per superblock and cached. Must not
+  /// depend on run-time state (register values, extension state).
+  virtual bool MatchesTieLoop(const TieLoop& loop) const = 0;
+
+  /// Runs loop iterations until the branch falls through, `max_cycles`
+  /// is near, or the accelerator decides to yield. `exact` selects
+  /// cycle-exact fast-forward accounting (per-word watchdog checks);
+  /// otherwise the turbo loop model may batch iterations and check the
+  /// watchdog at iteration granularity with a conservative margin.
+  /// Returns false when declining at run time (caller falls back to the
+  /// per-word path without any state change).
+  virtual Result<bool> RunTieLoop(const TieLoop& loop, Cpu& cpu, bool exact,
+                                  uint64_t max_cycles, ExecStats* stats) = 0;
+};
+
+}  // namespace dba::sim
+
+#endif  // DBA_SIM_LOOP_ACCEL_H_

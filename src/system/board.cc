@@ -249,6 +249,7 @@ void Board::FinishRun(ParallelRun* run, uint64_t elements) const {
   run->energy_uj = static_cast<double>(run->total_core_cycles) / frequency *
                    cores_[0]->synthesis().power_mw * 1e3;
   run->host_threads_used = host_threads_;
+  run->sim_mode = config_.sim_mode;
 }
 
 void Board::Quarantine(int core) {
@@ -364,7 +365,8 @@ Board::AttemptOutcome Board::RunAttempt(int core_index,
       out.status = load;
       return out;
     }
-    auto stats = core.cpu().Run({.max_cycles = budget});
+    auto stats =
+        core.cpu().Run({.mode = config_.sim_mode, .max_cycles = budget});
     out.status = stats.ok()
                      ? Status::Internal("injected hang halted unexpectedly")
                      : Annotate(stats.status(), "injected core hang");
@@ -384,6 +386,7 @@ Board::AttemptOutcome Board::RunAttempt(int core_index,
   // Defensive mode whenever faults can occur: the core checks its
   // inputs (detection layer 1) instead of trusting the scheduler.
   RunSettings settings;
+  settings.sim_mode = config_.sim_mode;
   settings.validate_inputs = injector_ != nullptr;
 
   // Input flip: corrupt the staged copy of one input word, leaving the

@@ -48,6 +48,11 @@ struct BoardConfig {
   /// only changes how fast the host simulates -- results, per-core
   /// cycles, makespan, and energy are bit-identical at any setting.
   int host_threads = 0;
+  /// Execution mode of every core's run loop (sim/exec_mode.h). The
+  /// default fast-forward keeps schedule, results, and all cycle
+  /// accounting byte-identical to the interpreter; turbo keeps results
+  /// exact and derives cycles from the loop model.
+  sim::ExecMode sim_mode = sim::ExecMode::kFastForward;
   /// Deterministic fault schedule; a default plan injects nothing and
   /// keeps every run bit-identical to a fault-unaware board.
   fault::FaultPlan fault_plan;
@@ -80,9 +85,11 @@ struct ParallelRun {
   double energy_uj = 0;              // total core cycles x power
   bool noc_bound = false;
   /// Host-side telemetry: how long the simulator itself took (wall
-  /// clock) and how many host threads simulated the cores.
+  /// clock), how many host threads simulated the cores, and which
+  /// execution mode the core run loops used.
   double host_wall_seconds = 0;
   int host_threads_used = 1;
+  sim::ExecMode sim_mode = sim::ExecMode::kFastForward;
   RecoveryTelemetry recovery;
 };
 

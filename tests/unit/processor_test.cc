@@ -168,6 +168,49 @@ TEST(MergeStreamingTest, LargeMergeViaPrefetcher) {
   EXPECT_GT(run->chunks, 1u);
 }
 
+TEST(ProcessorTest, AlternatingKernelsInvalidateSuperblockCache) {
+  // One processor, one Cpu: each kernel switch reloads a different
+  // program, which must rebuild the superblock plan and re-evaluate the
+  // loop-accelerator match (a stale tie-loop verdict from the previous
+  // kernel would batch-execute the wrong loop body).
+  auto processor = Processor::Create(ProcessorKind::kDba2LsuEis);
+  ASSERT_TRUE(processor.ok());
+  auto pair = GenerateSetPair(600, 600, 0.5, 11);
+  ASSERT_TRUE(pair.ok());
+  std::vector<uint32_t> expected_intersect;
+  std::set_intersection(pair->a.begin(), pair->a.end(), pair->b.begin(),
+                        pair->b.end(),
+                        std::back_inserter(expected_intersect));
+  std::vector<uint32_t> expected_union;
+  std::set_union(pair->a.begin(), pair->a.end(), pair->b.begin(),
+                 pair->b.end(), std::back_inserter(expected_union));
+
+  RunSettings eis;
+  RunSettings scalar;
+  scalar.force_scalar = true;
+  for (int round = 0; round < 2; ++round) {
+    auto isect =
+        (*processor)->RunSetOperation(SetOp::kIntersect, pair->a, pair->b, eis);
+    ASSERT_TRUE(isect.ok());
+    EXPECT_EQ(isect->result, expected_intersect);
+    auto uni =
+        (*processor)->RunSetOperation(SetOp::kUnion, pair->a, pair->b, eis);
+    ASSERT_TRUE(uni.ok());
+    EXPECT_EQ(uni->result, expected_union);
+    // The scalar kernel of the same op is a different program again.
+    auto isect_scalar = (*processor)->RunSetOperation(SetOp::kIntersect,
+                                                      pair->a, pair->b, scalar);
+    ASSERT_TRUE(isect_scalar.ok());
+    EXPECT_EQ(isect_scalar->result, expected_intersect);
+    const auto sort_input = GenerateSortInput(500, 11);
+    auto sorted = (*processor)->RunSort(sort_input, eis);
+    ASSERT_TRUE(sorted.ok());
+    std::vector<uint32_t> expected_sorted = sort_input;
+    std::sort(expected_sorted.begin(), expected_sorted.end());
+    EXPECT_EQ(sorted->sorted, expected_sorted);
+  }
+}
+
 TEST(MetricsTest, ThroughputDefinitionsMatchSection52) {
   // T_set = (l_a + l_b) / t and T_sort = n / t.
   auto processor = Processor::Create(ProcessorKind::kDba2LsuEis);

@@ -424,5 +424,120 @@ TEST(CpuTest, ResetArchState) {
   EXPECT_EQ(h.cpu.pc(), 0u);
 }
 
+// --- Superblock cache invalidation (the decode-once execution plan) ---
+
+void ExpectSameStats(const ExecStats& a, const ExecStats& b) {
+  EXPECT_EQ(a.cycles, b.cycles);
+  EXPECT_EQ(a.bundles, b.bundles);
+  EXPECT_EQ(a.instructions, b.instructions);
+  EXPECT_EQ(a.taken_branches, b.taken_branches);
+  EXPECT_EQ(a.mispredicted_branches, b.mispredicted_branches);
+  EXPECT_EQ(a.branch_penalty_cycles, b.branch_penalty_cycles);
+  EXPECT_EQ(a.load_stall_cycles, b.load_stall_cycles);
+  EXPECT_EQ(a.store_stall_cycles, b.store_stall_cycles);
+  EXPECT_EQ(a.port_stall_cycles, b.port_stall_cycles);
+  EXPECT_EQ(a.ext_extra_cycles, b.ext_extra_cycles);
+  EXPECT_EQ(a.lsu_beats[0], b.lsu_beats[0]);
+  EXPECT_EQ(a.lsu_beats[1], b.lsu_beats[1]);
+  EXPECT_EQ(a.pc_counts, b.pc_counts);
+}
+
+TEST(CpuSuperblockTest, ReloadingChangedProgramDropsStaleBlocks) {
+  Harness h;
+  // Program A: a 10-iteration counting loop.
+  Assembler a;
+  Label loop_a;
+  a.Movi(Reg::a1, 0);
+  a.Movi(Reg::a2, 10);
+  a.Bind(&loop_a);
+  a.Addi(Reg::a1, Reg::a1, 1);
+  a.Bltu(Reg::a1, Reg::a2, &loop_a);
+  a.Halt();
+  ASSERT_TRUE(h.Run(a).ok());
+  EXPECT_EQ(h.cpu.reg(Reg::a1), 10u);
+  const size_t blocks_a = h.cpu.num_superblocks();
+  const uint32_t len_a = h.cpu.superblock_at(0).len;
+
+  // Program B: straight-line with more leading words -- a different
+  // block structure. A stale plan would misattribute the loop head.
+  Assembler b;
+  Label loop_b;
+  b.Movi(Reg::a1, 0);
+  b.Movi(Reg::a2, 3);
+  b.Movi(Reg::a3, 7);
+  b.Movi(Reg::a4, 0);
+  b.Bind(&loop_b);
+  b.Add(Reg::a4, Reg::a4, Reg::a3);
+  b.Addi(Reg::a1, Reg::a1, 1);
+  b.Bltu(Reg::a1, Reg::a2, &loop_b);
+  b.Halt();
+  h.cpu.ResetArchState();
+  ASSERT_TRUE(h.Run(b).ok());
+  EXPECT_EQ(h.cpu.reg(Reg::a4), 21u);
+  // The plan reflects program B, not the cached A decomposition.
+  EXPECT_TRUE(h.cpu.num_superblocks() != blocks_a ||
+              h.cpu.superblock_at(0).len != len_a);
+}
+
+TEST(CpuSuperblockTest, ReloadingIdenticalProgramKeepsWorking) {
+  Harness h;
+  Assembler masm;
+  Label loop;
+  masm.Movi(Reg::a1, 0);
+  masm.Movi(Reg::a2, 5);
+  masm.Bind(&loop);
+  masm.Addi(Reg::a1, Reg::a1, 1);
+  masm.Bltu(Reg::a1, Reg::a2, &loop);
+  masm.Halt();
+  auto program = masm.Finish();
+  ASSERT_TRUE(program.ok());
+  ASSERT_TRUE(h.cpu.LoadProgram(*program).ok());
+  ASSERT_TRUE(h.cpu.Run().ok());
+  const size_t blocks = h.cpu.num_superblocks();
+  // Reloading identical content skips the decode but must leave a
+  // valid, equivalent plan.
+  ASSERT_TRUE(h.cpu.LoadProgram(*program).ok());
+  EXPECT_EQ(h.cpu.num_superblocks(), blocks);
+  h.cpu.ResetArchState();
+  ASSERT_TRUE(h.cpu.Run().ok());
+  EXPECT_EQ(h.cpu.reg(Reg::a1), 5u);
+}
+
+TEST(CpuSuperblockTest, BranchIntoMiddleOfCachedSuperblock) {
+  // The first pass enters the region at its head and caches the block;
+  // the backward branch then re-enters it mid-block. Fast-forward must
+  // resume at the branch target, not replay from the cached head.
+  auto build = [](Assembler& masm) {
+    Label mid;
+    masm.Movi(Reg::a1, 0);  // incremented only on the head entry
+    masm.Movi(Reg::a2, 0);  // incremented every pass
+    masm.Movi(Reg::a4, 5);
+    masm.Addi(Reg::a1, Reg::a1, 1);  // region head
+    masm.Bind(&mid);
+    masm.Addi(Reg::a2, Reg::a2, 1);  // mid-block branch target
+    masm.Bltu(Reg::a2, Reg::a4, &mid);
+    masm.Halt();
+  };
+  Harness ff;
+  Harness ref;
+  Assembler masm_ff;
+  build(masm_ff);
+  Assembler masm_ref;
+  build(masm_ref);
+  RunOptions profile;
+  profile.profile = true;
+  profile.mode = ExecMode::kFastForward;
+  auto stats_ff = ff.Run(masm_ff, profile);
+  profile.mode = ExecMode::kInterpret;
+  auto stats_ref = ref.Run(masm_ref, profile);
+  ASSERT_TRUE(stats_ff.ok());
+  ASSERT_TRUE(stats_ref.ok());
+  EXPECT_EQ(ff.cpu.reg(Reg::a1), 1u);
+  EXPECT_EQ(ff.cpu.reg(Reg::a2), 5u);
+  EXPECT_EQ(ref.cpu.reg(Reg::a1), 1u);
+  EXPECT_EQ(ref.cpu.reg(Reg::a2), 5u);
+  ExpectSameStats(*stats_ff, *stats_ref);
+}
+
 }  // namespace
 }  // namespace dba::sim

@@ -13,6 +13,7 @@
 //   dba_cli profile --config=DBA_2LSU_EIS --op=intersect --json=out.json
 //   dba_cli trace --config=DBA_2LSU_EIS --op=intersect --out=run.trace.json
 //   dba_cli validate-bench BENCH_table2_throughput.json
+//   dba_cli compare-bench run.json baseline.json --tolerance=0.15
 //
 // Multi-core board runs (Section 5.4 scale-out; the cores are simulated
 // on concurrent host threads, see docs/ARCHITECTURE.md):
@@ -36,10 +37,12 @@
 #include "core/workload.h"
 #include "hwmodel/synthesis.h"
 #include "isa/disassembler.h"
+#include "obs/bench_compare.h"
 #include "obs/bench_json.h"
 #include "obs/serialize.h"
 #include "obs/trace_writer.h"
 #include "prefetch/streaming.h"
+#include "sim/exec_mode.h"
 #include "system/board.h"
 #include "toolchain/profiler.h"
 
@@ -64,6 +67,7 @@ struct CliOptions {
   bool disasm = false;
   bool stream = false;
   bool list_configs = false;
+  dba::sim::ExecMode sim_mode = dba::sim::ExecMode::kFastForward;
   uint32_t trace = 0;
   std::string json_path;   // profile: combined JSON report
   std::string trace_path = "dba.trace.json";  // trace: Perfetto file
@@ -93,6 +97,11 @@ void PrintUsage() {
       "                           injection; prints recovery telemetry\n"
       "                           (default --fault-rate=0.05)\n"
       "  validate-bench FILE...   validate dba.bench.v1 JSON documents\n"
+      "  compare-bench RUN BASE   compare a bench run against a committed\n"
+      "                           baseline; exit 1 when a higher-is-better\n"
+      "                           metric drops by more than --tolerance\n"
+      "                           (default 0.15) or a baseline row is\n"
+      "                           missing from the run\n"
       "options:\n"
       "  --list-configs           print the synthesis table and exit\n"
       "  --config=NAME            108Mini | DBA_1LSU | DBA_2LSU |\n"
@@ -105,6 +114,10 @@ void PrintUsage() {
       "  --seed=N                 workload seed (default 42)\n"
       "  --no-partial             disable partial loading\n"
       "  --unroll=N               EIS core-loop unroll factor (default 32)\n"
+      "  --sim-mode=MODE          core run loop: interpret | fast-forward"
+      " | turbo\n"
+      "                           (default fast-forward; turbo cycles are\n"
+      "                           model-derived, see docs/ARCHITECTURE.md)\n"
       "  --tech28                 use the 28 nm node for timing/energy\n"
       "  --scalar                 force the scalar kernel\n"
       "  --stream                 stream via the data prefetcher\n"
@@ -224,6 +237,62 @@ int ValidateBenchFiles(int argc, char** argv, int first) {
   return failures == 0 ? 0 : 1;
 }
 
+/// compare-bench RUN BASELINE [--tolerance=F]: the CI perf gate. Exits
+/// 0 when every baseline row is present in the run and no tracked
+/// higher-is-better metric regressed beyond the tolerance.
+int CompareBenchFiles(int argc, char** argv, int first) {
+  std::vector<const char*> files;
+  dba::obs::BenchCompareOptions options;
+  for (int i = first; i < argc; ++i) {
+    std::string value;
+    if (ParseFlag(argv[i], "--tolerance", &value)) {
+      options.tolerance = std::strtod(value.c_str(), nullptr);
+    } else if (argv[i][0] == '-') {
+      std::fprintf(stderr, "compare-bench: unknown option %s\n", argv[i]);
+      return 2;
+    } else {
+      files.push_back(argv[i]);
+    }
+  }
+  if (files.size() != 2) {
+    std::fprintf(stderr,
+                 "usage: dba_cli compare-bench RUN.json BASELINE.json "
+                 "[--tolerance=F]\n");
+    return 2;
+  }
+  auto run = dba::obs::ReadJsonFile(files[0]);
+  if (!run.ok()) return Fail(run.status());
+  auto baseline = dba::obs::ReadJsonFile(files[1]);
+  if (!baseline.ok()) return Fail(baseline.status());
+  auto comparison =
+      dba::obs::CompareBenchDocuments(*run, *baseline, options);
+  if (!comparison.ok()) return Fail(comparison.status());
+
+  std::printf("comparing %s against %s (tolerance %.0f%%)\n", files[0],
+              files[1], options.tolerance * 100.0);
+  std::printf("%-44s %-16s %12s %12s %8s\n", "row", "metric", "run",
+              "baseline", "ratio");
+  for (const dba::obs::BenchMetricDelta& delta : comparison->deltas) {
+    std::printf("%-44s %-16s %12.2f %12.2f %7.2fx%s\n",
+                delta.row_key.c_str(), delta.metric.c_str(), delta.run_value,
+                delta.baseline_value, delta.ratio,
+                delta.regressed ? "  << REGRESSION" : "");
+  }
+  for (const std::string& row : comparison->missing_rows) {
+    std::printf("%-44s MISSING from the run document\n", row.c_str());
+  }
+  if (!comparison->passed()) {
+    std::fprintf(stderr,
+                 "compare-bench: FAIL (%d regressed metric(s), %zu missing "
+                 "row(s))\n",
+                 comparison->regressions, comparison->missing_rows.size());
+    return 1;
+  }
+  std::printf("compare-bench: OK (%zu metrics within tolerance)\n",
+              comparison->deltas.size());
+  return 0;
+}
+
 /// "1,3,7" -> {1, 3, 7}; empty string -> {}.
 std::vector<int> ParseIntList(const std::string& csv) {
   std::vector<int> values;
@@ -251,6 +320,7 @@ int RunBoard(const CliOptions& options, ProcessorKind kind,
   config.core_options = processor_options;
   config.num_cores = options.cores;
   config.host_threads = options.host_threads;
+  config.sim_mode = options.sim_mode;
   double rate = options.fault_rate;
   if (rate < 0) rate = faults_mode ? 0.05 : 0.0;
   config.fault_plan.seed = options.fault_seed;
@@ -384,6 +454,9 @@ int main(int argc, char** argv) {
     if (options.command == "validate-bench") {
       return ValidateBenchFiles(argc, argv, 2);
     }
+    if (options.command == "compare-bench") {
+      return CompareBenchFiles(argc, argv, 2);
+    }
     if (options.command != "profile" && options.command != "trace" &&
         options.command != "board" && options.command != "faults") {
       std::fprintf(stderr, "unknown command: %s\n\n", argv[1]);
@@ -411,6 +484,13 @@ int main(int argc, char** argv) {
       options.disasm = true;
     } else if (std::strcmp(arg, "--stream") == 0) {
       options.stream = true;
+    } else if (ParseFlag(arg, "--sim-mode", &value)) {
+      auto mode = dba::sim::ParseExecMode(value);
+      if (!mode.ok()) {
+        std::fprintf(stderr, "bad --sim-mode: %s\n", mode.status().ToString().c_str());
+        return 2;
+      }
+      options.sim_mode = *mode;
     } else if (ParseFlag(arg, "--config", &value)) {
       options.config = value;
     } else if (ParseFlag(arg, "--op", &value)) {
@@ -505,6 +585,7 @@ int main(int argc, char** argv) {
   dba::obs::ChromeTraceWriter trace_writer(options.config);
   dba::RunSettings settings;
   settings.force_scalar = options.scalar;
+  settings.sim_mode = options.sim_mode;
   settings.profile = options.profile;
   settings.trace_limit = options.trace;
   if (options.command == "trace") settings.trace_sink = &trace_writer;
@@ -540,8 +621,10 @@ int main(int argc, char** argv) {
   if (!pair.ok()) return Fail(pair.status());
 
   if (options.stream) {
+    dba::RunSettings stream_settings;
+    stream_settings.sim_mode = options.sim_mode;
     dba::prefetch::StreamingSetOperation streaming(
-        processor->get(), dba::prefetch::DmaConfig{});
+        processor->get(), dba::prefetch::DmaConfig{}, 0, stream_settings);
     auto run = streaming.Run(*op, pair->a, pair->b);
     if (!run.ok()) return Fail(run.status());
     std::printf("result elements   %zu\n", run->result.size());
