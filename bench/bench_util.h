@@ -12,6 +12,8 @@
 #include "core/processor.h"
 #include "core/workload.h"
 #include "obs/bench_json.h"
+#include "obs/metrics_json.h"
+#include "obs/metrics/metrics.h"
 
 namespace dba::bench {
 
@@ -37,6 +39,7 @@ namespace internal {
 struct ReporterState {
   std::unique_ptr<obs::BenchJsonWriter> writer;
   std::string json_path;
+  std::string metrics_path;
 };
 
 inline ReporterState& Reporter() {
@@ -51,6 +54,20 @@ inline obs::BenchJsonWriter& Writer() {
     state.writer = std::make_unique<obs::BenchJsonWriter>("adhoc");
   }
   return *state.writer;
+}
+
+/// atexit hook: flushes the runtime-metrics registry to --metrics-out.
+/// Registered (once) as soon as the flag is parsed so the early
+/// std::exit(1) error paths in the helpers below still emit whatever
+/// telemetry the run accumulated before failing.
+inline void FlushMetricsAtExit() {
+  const std::string& path = Reporter().metrics_path;
+  if (path.empty()) return;
+  const Status status = obs::WriteMetricsSnapshotFile(path);
+  if (!status.ok()) {
+    std::fprintf(stderr, "bench: writing metrics snapshot %s failed: %s\n",
+                 path.c_str(), status.ToString().c_str());
+  }
 }
 
 }  // namespace internal
@@ -164,12 +181,17 @@ inline int BenchMain(int argc, char** argv, const char* bench_name,
                          extra_flag = {},
                      const char* extra_usage = nullptr) {
   std::string json_path;
+  std::string metrics_path;
   for (int i = 1; i < argc; ++i) {
     const std::string_view arg = argv[i];
     if (arg == "--help" || arg == "-h") {
-      std::printf("usage: %s [--json <path>]%s\n"
-                  "  --json <path>  also write results as a dba.bench.v1 "
-                  "JSON document\n%s",
+      std::printf("usage: %s [--json <path>] [--metrics-out <path>]%s\n"
+                  "  --json <path>         also write results as a "
+                  "dba.bench.v1 JSON document\n"
+                  "  --metrics-out <path>  write a dba.metrics.v1 runtime "
+                  "telemetry snapshot on exit\n                        "
+                  "(flushed via atexit, so failed runs still emit partial "
+                  "telemetry)\n%s",
                   bench_name, extra_usage != nullptr ? " [flags]" : "",
                   extra_usage != nullptr ? extra_usage : "");
       return 0;
@@ -178,11 +200,16 @@ inline int BenchMain(int argc, char** argv, const char* bench_name,
       json_path = std::string(arg.substr(7));
     } else if (arg == "--json" && i + 1 < argc) {
       json_path = argv[++i];
+    } else if (arg.rfind("--metrics-out=", 0) == 0) {
+      metrics_path = std::string(arg.substr(14));
+    } else if (arg == "--metrics-out" && i + 1 < argc) {
+      metrics_path = argv[++i];
     } else if (extra_flag && extra_flag(arg)) {
       // Consumed by the bench's own parser.
     } else {
       std::fprintf(stderr,
-                   "%s: unknown option '%s' (supported: --json <path>)\n",
+                   "%s: unknown option '%s' (supported: --json <path>, "
+                   "--metrics-out <path>)\n",
                    bench_name, argv[i]);
       return 2;
     }
@@ -190,10 +217,14 @@ inline int BenchMain(int argc, char** argv, const char* bench_name,
   internal::ReporterState& reporter = internal::Reporter();
   reporter.writer = std::make_unique<obs::BenchJsonWriter>(bench_name);
   reporter.json_path = json_path;
+  reporter.metrics_path = metrics_path;
+  if (!metrics_path.empty()) std::atexit(internal::FlushMetricsAtExit);
 
   run();
 
   if (!json_path.empty()) {
+    reporter.writer->AttachMetrics(obs::MetricsSnapshotToJson(
+        obs::MetricsRegistry::Global().Snapshot()));
     const Status status = reporter.writer->WriteTo(json_path);
     if (!status.ok()) {
       std::fprintf(stderr, "%s: writing %s failed: %s\n", bench_name,

@@ -158,6 +158,23 @@ void Run() {
       "\ncomparison anchor: the i7-920 runs swset at 1100 M/s / 130 W; a "
       "128-core board delivers two orders of magnitude more throughput in "
       "~17 W.\n");
+
+  // Board-level totals from the runtime-metrics registry (the same
+  // counters --metrics-out flushes on exit, so an aborted sweep still
+  // reports the partitions it completed).
+  const obs::MetricsSnapshot snapshot =
+      obs::MetricsRegistry::Global().Snapshot();
+  const auto total = [&snapshot](const char* name) -> unsigned long long {
+    const auto it = snapshot.counters.find(name);
+    return it == snapshot.counters.end() ? 0 : it->second;
+  };
+  std::printf(
+      "registry totals: board_ops=%llu rounds=%llu noc_feed_bytes=%llu "
+      "retries=%llu requeues=%llu\n",
+      total("dba_system_board_ops_total"),
+      total("dba_system_recovery_rounds_total"),
+      total("dba_system_noc_feed_bytes_total"),
+      total("dba_system_retries_total"), total("dba_system_requeues_total"));
 }
 
 bool ParseFlag(std::string_view arg) {

@@ -128,6 +128,29 @@ void Run() {
   std::printf(
       "\nevery recovered run returned the bit-exact fault-free result; "
       "failures above (if any) were loud, never silent.\n");
+
+  // Final totals come from the runtime-metrics registry, not the
+  // per-run RecoveryTelemetry structs: the registry accumulates across
+  // every attempt -- including configurations that exhausted recovery
+  // above -- and is what the --metrics-out atexit flush writes, so even
+  // a run that std::exit(1)s mid-sweep reports partial telemetry.
+  const obs::MetricsSnapshot snapshot =
+      obs::MetricsRegistry::Global().Snapshot();
+  const auto total = [&snapshot](const char* name) -> unsigned long long {
+    const auto it = snapshot.counters.find(name);
+    return it == snapshot.counters.end() ? 0 : it->second;
+  };
+  std::printf(
+      "registry totals: faults=%llu failed_attempts=%llu retries=%llu "
+      "requeues=%llu quarantines=%llu verification_failures=%llu "
+      "rounds=%llu recovery_cycles=%llu\n",
+      total("dba_system_faults_injected_total"),
+      total("dba_system_failed_attempts_total"),
+      total("dba_system_retries_total"), total("dba_system_requeues_total"),
+      total("dba_system_quarantines_total"),
+      total("dba_system_verification_failures_total"),
+      total("dba_system_recovery_rounds_total"),
+      total("dba_system_recovery_cycles_total"));
 }
 
 }  // namespace

@@ -6,12 +6,48 @@
 #include "common/bits.h"
 #include "dbkern/scalar_kernels.h"
 #include "isa/registers.h"
+#include "obs/metrics/metrics.h"
 
 namespace dba {
 
 namespace {
 
 using isa::Reg;
+
+obs::Histogram* KernelCyclesHistogram() {
+  static obs::Histogram* const histogram =
+      obs::MetricsRegistry::Global().GetHistogram(
+          "dba_core_kernel_cycles",
+          "Simulated cycles per kernel invocation.");
+  return histogram;
+}
+
+// One invocation counter per kernel label ("intersect[DBA_2LSU_EIS]" ->
+// kernel="intersect").  The registry lookup is a mutex + map find, paid
+// once per kernel run, which is negligible next to the run itself.
+void CountKernelInvocation(std::string_view phase) {
+  const std::string_view kernel = phase.substr(0, phase.find('['));
+  obs::Counter* counter = obs::MetricsRegistry::Global().GetCounter(
+      "dba_core_kernel_invocations_total", "kernel", kernel,
+      "Kernel invocations by kernel label.");
+  if (counter != nullptr) counter->Increment();
+}
+
+obs::Counter* ProgramCacheHits() {
+  static obs::Counter* const counter =
+      obs::MetricsRegistry::Global().GetCounter(
+          "dba_core_program_cache_hits_total",
+          "Kernel program lookups served from a built program cache.");
+  return counter;
+}
+
+obs::Counter* ProgramBuilds() {
+  static obs::Counter* const counter =
+      obs::MetricsRegistry::Global().GetCounter(
+          "dba_core_program_builds_total",
+          "Kernel programs assembled (lazy per-processor builds).");
+  return counter;
+}
 
 // Flat address map of the processor model. LSU0 serves LDM0, LSU1
 // serves LDM1; the result region sits on the store port. 108Mini has no
@@ -184,6 +220,7 @@ Result<const isa::Program*> Processor::sort_program(bool scalar) {
     if (program == nullptr) {
       return Status::Internal("shared ProgramCache lacks the sort kernel");
     }
+    ProgramCacheHits()->Increment();
     return program;
   }
   const auto key = std::make_pair(kSortProgramKey, scalar);
@@ -193,6 +230,9 @@ Result<const isa::Program*> Processor::sort_program(bool scalar) {
                                         : dbkern::BuildEisMergeSort();
     if (!built.ok()) return built.status();
     it = program_cache_.emplace(key, *std::move(built)).first;
+    ProgramBuilds()->Increment();
+  } else {
+    ProgramCacheHits()->Increment();
   }
   return &it->second;
 }
@@ -204,6 +244,7 @@ Result<const isa::Program*> Processor::GetProgram(SetOp op, bool scalar) {
       return Status::Internal(
           "shared ProgramCache lacks a built kernel for this operation");
     }
+    ProgramCacheHits()->Increment();
     return program;
   }
   const int op_key = static_cast<int>(op);
@@ -219,6 +260,9 @@ Result<const isa::Program*> Processor::GetProgram(SetOp op, bool scalar) {
                                               options_.unroll));
     if (!built.ok()) return built.status();
     it = program_cache_.emplace(key, *std::move(built)).first;
+    ProgramBuilds()->Increment();
+  } else {
+    ProgramCacheHits()->Increment();
   }
   return &it->second;
 }
@@ -343,17 +387,16 @@ Result<SetOpRun> Processor::ExecuteBinaryKernel(
   run_options.trace_limit = settings.trace_limit;
   run_options.trace_sink = settings.trace_sink;
   if (settings.max_cycles > 0) run_options.max_cycles = settings.max_cycles;
-  if (settings.trace_sink != nullptr) {
-    settings.trace_sink->BeginRegion(0, phase);
-  }
+  CountKernelInvocation(phase);
+  // The span begins the trace region and, once SetEndCycle runs, feeds the
+  // kernel-cycles histogram and ends the region. On failure the phase
+  // region stays open; the trace writer closes dangling regions at the
+  // last seen timestamp.
+  obs::ScopedSpan span(KernelCyclesHistogram(), settings.trace_sink, phase);
   auto run_result = cpu_->Run(run_options);
-  // On failure the phase region stays open; the trace writer closes
-  // dangling regions at the last seen timestamp.
   if (!run_result.ok()) return run_result.status();
   sim::ExecStats stats = *std::move(run_result);
-  if (settings.trace_sink != nullptr) {
-    settings.trace_sink->EndRegion(stats.cycles);
-  }
+  span.SetEndCycle(stats.cycles);
 
   const uint32_t count = cpu_->reg(isa::abi::kLenC);
   DBA_ASSIGN_OR_RETURN(mem::Memory * result_memory,
@@ -416,16 +459,14 @@ Result<SortRun> Processor::RunSort(std::span<const uint32_t> values,
   run_options.trace_limit = settings.trace_limit;
   run_options.trace_sink = settings.trace_sink;
   if (settings.max_cycles > 0) run_options.max_cycles = settings.max_cycles;
-  if (settings.trace_sink != nullptr) {
-    settings.trace_sink->BeginRegion(
-        0, "sort[" + std::string(hwmodel::ConfigKindName(kind_)) + "]");
-  }
+  const std::string phase =
+      "sort[" + std::string(hwmodel::ConfigKindName(kind_)) + "]";
+  CountKernelInvocation(phase);
+  obs::ScopedSpan span(KernelCyclesHistogram(), settings.trace_sink, phase);
   auto run_result = cpu_->Run(run_options);
   if (!run_result.ok()) return run_result.status();
   sim::ExecStats stats = *std::move(run_result);
-  if (settings.trace_sink != nullptr) {
-    settings.trace_sink->EndRegion(stats.cycles);
-  }
+  span.SetEndCycle(stats.cycles);
 
   SortRun run;
   const uint32_t sorted_ptr = cpu_->reg(isa::abi::kLenC);

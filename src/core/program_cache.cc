@@ -3,6 +3,7 @@
 #include "core/processor.h"
 #include "dbkern/eis_kernels.h"
 #include "dbkern/scalar_kernels.h"
+#include "obs/metrics/metrics.h"
 
 namespace dba {
 
@@ -42,6 +43,11 @@ Result<std::shared_ptr<const ProgramCache>> ProgramCache::Build(
   DBA_RETURN_IF_ERROR(add(merge_key, false, dbkern::BuildEisMergePair()));
   DBA_RETURN_IF_ERROR(add(kSortKey, true, dbkern::BuildScalarMergeSort()));
   DBA_RETURN_IF_ERROR(add(kSortKey, false, dbkern::BuildEisMergeSort()));
+  static obs::Counter* const builds =
+      obs::MetricsRegistry::Global().GetCounter(
+          "dba_core_program_builds_total",
+          "Kernel programs assembled (lazy per-processor builds).");
+  builds->Increment(cache->programs_.size());
   return std::shared_ptr<const ProgramCache>(std::move(cache));
 }
 

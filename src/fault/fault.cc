@@ -5,10 +5,65 @@
 
 #include "common/random.h"
 #include "isa/assembler.h"
+#include "obs/metrics/metrics.h"
 
 namespace dba::fault {
 
 namespace {
+
+// Per-kind injected-fault counters.  Decide() is pure and thread-safe;
+// counting decisions keeps totals deterministic because the set of
+// attempt sites a board run evaluates does not depend on host threads.
+obs::Counter* InjectedCounter(FaultKind kind) {
+  obs::MetricsRegistry& registry = obs::MetricsRegistry::Global();
+  static constexpr std::string_view kHelp = "Injected fault decisions by kind.";
+  static obs::Counter* const hang = registry.GetCounter(
+      "dba_fault_injected_total", "kind", FaultKindName(FaultKind::kCoreHang),
+      kHelp);
+  static obs::Counter* const input_flip = registry.GetCounter(
+      "dba_fault_injected_total", "kind",
+      FaultKindName(FaultKind::kLocalStoreBitFlip), kHelp);
+  static obs::Counter* const result_flip = registry.GetCounter(
+      "dba_fault_injected_total", "kind",
+      FaultKindName(FaultKind::kResultBitFlip), kHelp);
+  static obs::Counter* const transfer_fail = registry.GetCounter(
+      "dba_fault_injected_total", "kind",
+      FaultKindName(FaultKind::kTransferFail), kHelp);
+  static obs::Counter* const transfer_timeout = registry.GetCounter(
+      "dba_fault_injected_total", "kind",
+      FaultKindName(FaultKind::kTransferTimeout), kHelp);
+  switch (kind) {
+    case FaultKind::kCoreHang:
+      return hang;
+    case FaultKind::kLocalStoreBitFlip:
+      return input_flip;
+    case FaultKind::kResultBitFlip:
+      return result_flip;
+    case FaultKind::kTransferFail:
+      return transfer_fail;
+    case FaultKind::kTransferTimeout:
+      return transfer_timeout;
+    case FaultKind::kNone:
+      break;
+  }
+  return nullptr;
+}
+
+void CountDecision(const FaultDecision& decision) {
+  if (decision.hang) InjectedCounter(FaultKind::kCoreHang)->Increment();
+  if (decision.transfer_fail) {
+    InjectedCounter(FaultKind::kTransferFail)->Increment();
+  }
+  if (decision.transfer_timeout) {
+    InjectedCounter(FaultKind::kTransferTimeout)->Increment();
+  }
+  if (decision.flip_input) {
+    InjectedCounter(FaultKind::kLocalStoreBitFlip)->Increment();
+  }
+  if (decision.flip_result) {
+    InjectedCounter(FaultKind::kResultBitFlip)->Increment();
+  }
+}
 
 /// SplitMix-style combiner; the per-site seed must decorrelate sites
 /// that differ in a single field.
@@ -82,6 +137,7 @@ FaultDecision FaultInjector::Decide(const AttemptSite& site) const {
   if (plan_.hang_rate == 0 && plan_.input_flip_rate == 0 &&
       plan_.result_flip_rate == 0 && plan_.transfer_fail_rate == 0 &&
       plan_.transfer_timeout_rate == 0) {
+    CountDecision(decision);
     return decision;
   }
   // Transient faults key off the work item (not the core): the schedule
@@ -99,6 +155,7 @@ FaultDecision FaultInjector::Decide(const AttemptSite& site) const {
   decision.flip_result = rng.Bernoulli(plan_.result_flip_rate);
   decision.flip_offset = rng.Next64();
   decision.flip_bit = static_cast<uint32_t>(rng.Uniform(32));
+  CountDecision(decision);
   return decision;
 }
 

@@ -69,7 +69,12 @@ Result<BenchComparison> CompareBenchDocuments(
       delta.baseline_value = base_value->as_double();
       const JsonValue* run_value = it->second->Find(metric);
       if (run_value == nullptr || !run_value->is_number()) {
-        // The run dropped a metric the baseline tracks.
+        // The run dropped a metric the baseline tracks. Absent is not
+        // zero: tolerate it unless the caller asked for strict mode.
+        if (!options.strict) {
+          comparison.tolerated.push_back(key + " " + metric);
+          continue;
+        }
         delta.run_value = 0;
         delta.ratio = 0;
         delta.regressed = true;

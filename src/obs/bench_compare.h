@@ -17,8 +17,14 @@ struct BenchCompareOptions {
   double tolerance = 0.15;
   /// Higher-is-better metrics checked on every row where the baseline
   /// carries them. Rows missing a metric in the run that the baseline
-  /// has are regressions (a silently dropped column must not pass).
+  /// has are tolerated by default (recorded, not failed) so baseline
+  /// refreshes with extra columns do not break older runs; `strict`
+  /// turns them into regressions (a silently dropped column must not
+  /// pass a gated CI check).
   std::vector<std::string> metrics = {"throughput_meps", "sim_speedup"};
+  /// When true, a run row missing a metric the baseline carries is a
+  /// regression instead of a tolerated absence.
+  bool strict = false;
 };
 
 /// One (row, metric) comparison result.
@@ -36,6 +42,10 @@ struct BenchComparison {
   std::vector<BenchMetricDelta> deltas;
   /// Baseline rows with no identity match in the run document.
   std::vector<std::string> missing_rows;
+  /// "row_key metric" pairs the baseline tracks but the run omitted,
+  /// tolerated because BenchCompareOptions::strict was false. Absent
+  /// is not zero: these never count as regressions in tolerant mode.
+  std::vector<std::string> tolerated;
   int regressions = 0;
 
   bool passed() const { return regressions == 0 && missing_rows.empty(); }

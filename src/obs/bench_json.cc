@@ -3,6 +3,7 @@
 #include <cmath>
 #include <utility>
 
+#include "obs/metrics_json.h"
 #include "obs/stall_report.h"
 #include "obs/serialize.h"
 
@@ -16,6 +17,10 @@ JsonValue& BenchJsonWriter::AddRow(std::string config) {
   return results_.back();
 }
 
+void BenchJsonWriter::AttachMetrics(JsonValue metrics_snapshot) {
+  metrics_ = std::move(metrics_snapshot);
+}
+
 JsonValue BenchJsonWriter::ToJson() const {
   JsonValue results = JsonValue::Array();
   for (const JsonValue& row : results_) results.Push(row);
@@ -23,6 +28,7 @@ JsonValue BenchJsonWriter::ToJson() const {
   root.Set("schema", kBenchSchema)
       .Set("bench", bench_name_)
       .Set("results", std::move(results));
+  if (!metrics_.is_null()) root.Set("metrics", metrics_);
   return root;
 }
 
@@ -152,6 +158,14 @@ Status ValidateBenchJson(const JsonValue& root) {
           where + " needs a non-empty string \"config\"");
     }
     DBA_RETURN_IF_ERROR(ValidateScalarTree(row, where, 0));
+  }
+  // Optional embedded runtime-metrics snapshot (dba.metrics.v1). Other
+  // unknown top-level members are tolerated; this one is validated
+  // because downstream tooling consumes it.
+  if (const JsonValue* metrics = root.Find("metrics"); metrics != nullptr) {
+    if (const Status status = ValidateMetricsJson(*metrics); !status.ok()) {
+      return Status(status.code(), "metrics member: " + status.message());
+    }
   }
   return Status::Ok();
 }

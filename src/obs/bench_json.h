@@ -39,12 +39,18 @@ class BenchJsonWriter {
   /// completion: AddRow("DBA_2LSU_EIS").Set("op", "intersect")...
   JsonValue& AddRow(std::string config);
 
+  /// Embeds a dba.metrics.v1 snapshot (see obs/metrics_json.h) as the
+  /// optional top-level "metrics" member. Validators tolerate the
+  /// member being absent; when present it must itself validate.
+  void AttachMetrics(JsonValue metrics_snapshot);
+
   JsonValue ToJson() const;
   Status WriteTo(const std::string& path) const;
 
  private:
   std::string bench_name_;
   std::vector<JsonValue> results_;
+  JsonValue metrics_;  // kNull when no snapshot is attached.
 };
 
 /// The standard per-run fields (cycles, CPI, throughput, energy, cycle

@@ -1,0 +1,78 @@
+#include "obs/metrics/event_log.h"
+
+#include <algorithm>
+
+namespace dba::obs {
+
+std::string_view EventLevelName(EventLevel level) {
+  switch (level) {
+    case EventLevel::kDebug:
+      return "debug";
+    case EventLevel::kInfo:
+      return "info";
+    case EventLevel::kWarn:
+      return "warn";
+    case EventLevel::kError:
+      return "error";
+  }
+  return "unknown";
+}
+
+EventLog::EventLog(std::size_t capacity)
+    : capacity_(capacity == 0 ? 1 : capacity) {
+  ring_.resize(capacity_);
+}
+
+EventLog& EventLog::Global() {
+  static EventLog* const log = new EventLog();
+  return *log;
+}
+
+void EventLog::Log(EventLevel level, std::string_view scope,
+                   std::string_view message,
+                   std::vector<std::pair<std::string, std::string>> fields,
+                   std::uint64_t cycle) {
+  std::lock_guard<std::mutex> lock(mu_);
+  Event& slot = ring_[next_seq_ % capacity_];
+  slot.seq = next_seq_;
+  slot.level = level;
+  slot.cycle = cycle;
+  slot.scope = std::string(scope);
+  slot.message = std::string(message);
+  slot.fields = std::move(fields);
+  ++next_seq_;
+  ++level_counts_[static_cast<std::size_t>(level)];
+}
+
+std::vector<Event> EventLog::Tail(std::size_t max_events) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  const std::uint64_t stored = std::min<std::uint64_t>(next_seq_, capacity_);
+  const std::uint64_t take = std::min<std::uint64_t>(stored, max_events);
+  std::vector<Event> out;
+  out.reserve(static_cast<std::size_t>(take));
+  for (std::uint64_t seq = next_seq_ - take; seq < next_seq_; ++seq) {
+    out.push_back(ring_[seq % capacity_]);
+  }
+  return out;
+}
+
+std::uint64_t EventLog::total() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return next_seq_;
+}
+
+std::uint64_t EventLog::total(EventLevel level) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return level_counts_[static_cast<std::size_t>(level)];
+}
+
+void EventLog::Clear() {
+  std::lock_guard<std::mutex> lock(mu_);
+  next_seq_ = 0;
+  std::fill(level_counts_.begin(), level_counts_.end(), 0);
+  for (Event& event : ring_) {
+    event = Event{};
+  }
+}
+
+}  // namespace dba::obs

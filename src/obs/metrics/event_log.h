@@ -1,0 +1,69 @@
+#ifndef DBA_OBS_METRICS_EVENT_LOG_H_
+#define DBA_OBS_METRICS_EVENT_LOG_H_
+
+// Structured event log: a bounded ring of leveled, timestamped, key-value
+// records.  Timestamps are logical (a process-wide sequence number) plus an
+// optional *simulated* cycle stamp supplied by the caller, so serialized
+// events stay deterministic across host thread counts.  Serialization to
+// JsonValue lives in src/obs/metrics_json.h (this layer has no obs deps).
+
+#include <cstddef>
+#include <cstdint>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+namespace dba::obs {
+
+enum class EventLevel : std::uint8_t {
+  kDebug = 0,
+  kInfo = 1,
+  kWarn = 2,
+  kError = 3,
+};
+
+std::string_view EventLevelName(EventLevel level);
+
+struct Event {
+  std::uint64_t seq = 0;  // process-wide logical timestamp (per log)
+  EventLevel level = EventLevel::kInfo;
+  std::uint64_t cycle = 0;  // simulated cycle stamp; 0 when not applicable
+  std::string scope;        // emitting layer, e.g. "board", "query"
+  std::string message;
+  std::vector<std::pair<std::string, std::string>> fields;
+};
+
+class EventLog {
+ public:
+  explicit EventLog(std::size_t capacity = 1024);
+  EventLog(const EventLog&) = delete;
+  EventLog& operator=(const EventLog&) = delete;
+
+  static EventLog& Global();
+
+  void Log(EventLevel level, std::string_view scope, std::string_view message,
+           std::vector<std::pair<std::string, std::string>> fields = {},
+           std::uint64_t cycle = 0);
+
+  // The most recent `max_events` records, oldest first.
+  std::vector<Event> Tail(std::size_t max_events) const;
+
+  std::uint64_t total() const;                 // all events ever logged
+  std::uint64_t total(EventLevel level) const;
+  std::size_t capacity() const { return capacity_; }
+  void Clear();
+
+ private:
+  const std::size_t capacity_;
+  mutable std::mutex mu_;
+  std::uint64_t next_seq_ = 0;
+  std::vector<std::uint64_t> level_counts_ =
+      std::vector<std::uint64_t>(4, 0);
+  std::vector<Event> ring_;  // ring_[seq % capacity_]
+};
+
+}  // namespace dba::obs
+
+#endif  // DBA_OBS_METRICS_EVENT_LOG_H_

@@ -1,0 +1,374 @@
+#include "obs/metrics/metrics.h"
+
+#include <algorithm>
+#include <bit>
+#include <cinttypes>
+#include <cstdio>
+
+#include "sim/trace_sink.h"
+
+namespace dba::obs {
+namespace {
+
+std::string FormatDouble(double value) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%g", value);
+  return buf;
+}
+
+std::string FormatU64(std::uint64_t value) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%" PRIu64, value);
+  return buf;
+}
+
+}  // namespace
+
+std::size_t MetricShardIndex() {
+  static std::atomic<std::size_t> next_shard{0};
+  thread_local const std::size_t shard =
+      next_shard.fetch_add(1, std::memory_order_relaxed) % kMetricShards;
+  return shard;
+}
+
+std::uint64_t Counter::Value() const {
+  std::uint64_t total = 0;
+  for (const Shard& shard : shards_) {
+    total += shard.value.load(std::memory_order_relaxed);
+  }
+  return total;
+}
+
+void Counter::Reset() {
+  for (Shard& shard : shards_) {
+    shard.value.store(0, std::memory_order_relaxed);
+  }
+}
+
+void Gauge::Add(double delta) {
+  double current = value_.load(std::memory_order_relaxed);
+  while (!value_.compare_exchange_weak(current, current + delta,
+                                       std::memory_order_relaxed)) {
+  }
+}
+
+std::size_t Histogram::BucketIndex(std::uint64_t value) {
+  if (value < 16) return static_cast<std::size_t>(value);
+  const int msb = 63 - std::countl_zero(value);  // >= 4 here
+  const std::uint64_t sub = (value >> (msb - 2)) & 3;
+  return 16 + static_cast<std::size_t>(msb - 4) * 4 +
+         static_cast<std::size_t>(sub);
+}
+
+std::uint64_t Histogram::BucketLowerBound(std::size_t index) {
+  if (index < 16) return index;
+  const std::size_t octave = 4 + (index - 16) / 4;
+  const std::uint64_t sub = (index - 16) % 4;
+  return (4 + sub) << (octave - 2);
+}
+
+std::uint64_t Histogram::BucketUpperBound(std::size_t index) {
+  if (index + 1 >= kHistogramBuckets) return UINT64_MAX;
+  return BucketLowerBound(index + 1);
+}
+
+HistogramStats Histogram::Stats() const {
+  std::array<std::uint64_t, kHistogramBuckets> merged{};
+  HistogramStats stats;
+  for (const Shard& shard : shards_) {
+    stats.sum += shard.sum.load(std::memory_order_relaxed);
+    for (std::size_t i = 0; i < kHistogramBuckets; ++i) {
+      merged[i] += shard.buckets[i].load(std::memory_order_relaxed);
+    }
+  }
+  for (std::size_t i = 0; i < kHistogramBuckets; ++i) {
+    if (merged[i] == 0) continue;
+    stats.count += merged[i];
+    stats.buckets.push_back({static_cast<std::uint32_t>(i), merged[i]});
+  }
+  return stats;
+}
+
+void Histogram::Reset() {
+  for (Shard& shard : shards_) {
+    shard.sum.store(0, std::memory_order_relaxed);
+    for (auto& bucket : shard.buckets) {
+      bucket.store(0, std::memory_order_relaxed);
+    }
+  }
+}
+
+double HistogramStats::Quantile(double q) const {
+  if (count == 0) return 0.0;
+  q = std::clamp(q, 0.0, 1.0);
+  const double target = q * static_cast<double>(count - 1);
+  std::uint64_t cumulative = 0;
+  for (const HistogramBucket& bucket : buckets) {
+    const double end = static_cast<double>(cumulative + bucket.count);
+    if (end > target) {
+      const double lower =
+          static_cast<double>(Histogram::BucketLowerBound(bucket.index));
+      const double upper =
+          static_cast<double>(Histogram::BucketUpperBound(bucket.index));
+      const double frac = (target - static_cast<double>(cumulative)) /
+                          static_cast<double>(bucket.count);
+      return lower + (upper - lower) * frac;
+    }
+    cumulative += bucket.count;
+  }
+  // All mass consumed (q == 1 with fp round-off): top of the last bucket.
+  return buckets.empty()
+             ? 0.0
+             : static_cast<double>(
+                   Histogram::BucketUpperBound(buckets.back().index));
+}
+
+MetricsRegistry& MetricsRegistry::Global() {
+  static MetricsRegistry* const registry = new MetricsRegistry();
+  return *registry;
+}
+
+std::string InstrumentIdentity(std::string_view name,
+                               std::string_view label_key,
+                               std::string_view label_value) {
+  std::string identity(name);
+  if (!label_key.empty()) {
+    identity += '{';
+    identity += label_key;
+    identity += "=\"";
+    identity += label_value;
+    identity += "\"}";
+  }
+  return identity;
+}
+
+MetricsRegistry::Instrument* MetricsRegistry::GetOrCreate(
+    Kind kind, std::string_view name, std::string_view label_key,
+    std::string_view label_value, std::string_view help) {
+  std::string identity = InstrumentIdentity(name, label_key, label_value);
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = instruments_.find(identity);
+  if (it != instruments_.end()) {
+    return it->second->kind == kind ? it->second.get() : nullptr;
+  }
+  auto instrument = std::make_unique<Instrument>();
+  instrument->kind = kind;
+  instrument->name = std::string(name);
+  instrument->label_key = std::string(label_key);
+  instrument->label_value = std::string(label_value);
+  instrument->help = std::string(help);
+  switch (kind) {
+    case Kind::kCounter:
+      instrument->counter = std::make_unique<Counter>();
+      break;
+    case Kind::kGauge:
+      instrument->gauge = std::make_unique<Gauge>();
+      break;
+    case Kind::kHistogram:
+      instrument->histogram = std::make_unique<Histogram>();
+      break;
+  }
+  Instrument* raw = instrument.get();
+  instruments_.emplace(std::move(identity), std::move(instrument));
+  return raw;
+}
+
+Counter* MetricsRegistry::GetCounter(std::string_view name,
+                                     std::string_view help) {
+  return GetCounter(name, "", "", help);
+}
+
+Counter* MetricsRegistry::GetCounter(std::string_view name,
+                                     std::string_view label_key,
+                                     std::string_view label_value,
+                                     std::string_view help) {
+  Instrument* instrument =
+      GetOrCreate(Kind::kCounter, name, label_key, label_value, help);
+  return instrument == nullptr ? nullptr : instrument->counter.get();
+}
+
+Gauge* MetricsRegistry::GetGauge(std::string_view name, std::string_view help) {
+  return GetGauge(name, "", "", help);
+}
+
+Gauge* MetricsRegistry::GetGauge(std::string_view name,
+                                 std::string_view label_key,
+                                 std::string_view label_value,
+                                 std::string_view help) {
+  Instrument* instrument =
+      GetOrCreate(Kind::kGauge, name, label_key, label_value, help);
+  return instrument == nullptr ? nullptr : instrument->gauge.get();
+}
+
+Histogram* MetricsRegistry::GetHistogram(std::string_view name,
+                                         std::string_view help) {
+  return GetHistogram(name, "", "", help);
+}
+
+Histogram* MetricsRegistry::GetHistogram(std::string_view name,
+                                         std::string_view label_key,
+                                         std::string_view label_value,
+                                         std::string_view help) {
+  Instrument* instrument =
+      GetOrCreate(Kind::kHistogram, name, label_key, label_value, help);
+  return instrument == nullptr ? nullptr : instrument->histogram.get();
+}
+
+MetricsSnapshot MetricsRegistry::Snapshot() const {
+  MetricsSnapshot snapshot;
+  std::lock_guard<std::mutex> lock(mu_);
+  for (const auto& [identity, instrument] : instruments_) {
+    switch (instrument->kind) {
+      case Kind::kCounter:
+        snapshot.counters[identity] = instrument->counter->Value();
+        break;
+      case Kind::kGauge:
+        snapshot.gauges[identity] = instrument->gauge->Value();
+        break;
+      case Kind::kHistogram:
+        snapshot.histograms[identity] = instrument->histogram->Stats();
+        break;
+    }
+  }
+  return snapshot;
+}
+
+std::string MetricsRegistry::ExposePrometheus() const {
+  // Group instruments by base metric name so all series of a metric are
+  // contiguous (required by the text exposition format).
+  std::map<std::string, std::vector<const Instrument*>> by_name;
+  std::lock_guard<std::mutex> lock(mu_);
+  for (const auto& [identity, instrument] : instruments_) {
+    (void)identity;
+    by_name[instrument->name].push_back(instrument.get());
+  }
+  std::string out;
+  const auto emit_name = [&out](const std::string& name,
+                                const std::string& labels) {
+    out += name;
+    if (!labels.empty()) {
+      out += '{';
+      out += labels;
+      out += '}';
+    }
+    out += ' ';
+  };
+  for (const auto& [name, series] : by_name) {
+    const Instrument* first = series.front();
+    if (!first->help.empty()) {
+      out += "# HELP ";
+      out += name;
+      out += ' ';
+      out += first->help;
+      out += '\n';
+    }
+    out += "# TYPE ";
+    out += name;
+    out += first->kind == Kind::kCounter  ? " counter\n"
+           : first->kind == Kind::kGauge  ? " gauge\n"
+                                          : " histogram\n";
+    for (const Instrument* instrument : series) {
+      std::string labels;
+      if (!instrument->label_key.empty()) {
+        labels += instrument->label_key;
+        labels += "=\"";
+        labels += instrument->label_value;
+        labels += '"';
+      }
+      switch (instrument->kind) {
+        case Kind::kCounter:
+          emit_name(name, labels);
+          out += FormatU64(instrument->counter->Value());
+          out += '\n';
+          break;
+        case Kind::kGauge:
+          emit_name(name, labels);
+          out += FormatDouble(instrument->gauge->Value());
+          out += '\n';
+          break;
+        case Kind::kHistogram: {
+          const HistogramStats stats = instrument->histogram->Stats();
+          const std::string label_prefix =
+              labels.empty() ? std::string() : labels + ",";
+          std::uint64_t cumulative = 0;
+          const auto emit_bucket = [&](const std::string& le,
+                                       std::uint64_t value) {
+            out += name;
+            out += "_bucket{";
+            out += label_prefix;
+            out += "le=\"";
+            out += le;
+            out += "\"} ";
+            out += FormatU64(value);
+            out += '\n';
+          };
+          for (const HistogramBucket& bucket : stats.buckets) {
+            cumulative += bucket.count;
+            emit_bucket(FormatU64(Histogram::BucketUpperBound(bucket.index)),
+                        cumulative);
+          }
+          emit_bucket("+Inf", stats.count);
+          emit_name(name + "_sum", labels);
+          out += FormatU64(stats.sum);
+          out += '\n';
+          emit_name(name + "_count", labels);
+          out += FormatU64(stats.count);
+          out += '\n';
+          break;
+        }
+      }
+    }
+  }
+  return out;
+}
+
+void MetricsRegistry::Reset() {
+  std::lock_guard<std::mutex> lock(mu_);
+  for (auto& [identity, instrument] : instruments_) {
+    (void)identity;
+    switch (instrument->kind) {
+      case Kind::kCounter:
+        instrument->counter->Reset();
+        break;
+      case Kind::kGauge:
+        instrument->gauge->Reset();
+        break;
+      case Kind::kHistogram:
+        instrument->histogram->Reset();
+        break;
+    }
+  }
+}
+
+ScopedSpan::ScopedSpan(Histogram* latency, sim::CycleTraceSink* sink,
+                       std::string_view name, std::uint64_t begin_cycle)
+    : latency_(latency),
+      sink_(sink),
+      name_(name),
+      begin_cycle_(begin_cycle) {
+  if (sink_ != nullptr) {
+    sink_->BeginRegion(begin_cycle_, name_);
+  }
+}
+
+void ScopedSpan::SetEndCycle(std::uint64_t end_cycle) {
+  end_cycle_ = end_cycle;
+  ended_ = true;
+}
+
+ScopedSpan::~ScopedSpan() {
+  if (!ended_) {
+    // Failed / abandoned span: record nothing, leave the sink region open
+    // (trace writers close dangling regions at flush, as before).
+    return;
+  }
+  if (sink_ != nullptr) {
+    sink_->EndRegion(end_cycle_);
+  }
+  if (latency_ != nullptr) {
+    latency_->Observe(end_cycle_ >= begin_cycle_ ? end_cycle_ - begin_cycle_
+                                                 : 0);
+  }
+}
+
+}  // namespace dba::obs

@@ -1,0 +1,229 @@
+#ifndef DBA_OBS_METRICS_METRICS_H_
+#define DBA_OBS_METRICS_METRICS_H_
+
+// Runtime telemetry: a process-wide registry of named Counter / Gauge /
+// Histogram instruments, designed for the host-parallel board simulation.
+//
+// Determinism contract: instruments shard their state across a fixed number
+// of slots updated with relaxed atomics; reads merge the shards with plain
+// integer sums.  Because every merge is a commutative integer sum, the merged
+// value depends only on the multiset of updates, never on which host thread
+// performed them -- so a registry snapshot taken after a deterministic board
+// run is byte-identical at any `host_threads`.  To keep that property, hot
+// paths must only ever record *simulated* quantities (cycles, counts, bytes),
+// never wall-clock time.
+//
+// This layer sits below src/obs (which links sim/core/system): it depends
+// only on the C++ standard library, so every instrumented layer can link it.
+
+#include <array>
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+namespace dba::sim {
+class CycleTraceSink;
+}  // namespace dba::sim
+
+namespace dba::obs {
+
+// Number of independently-updated slots per instrument.  Threads hash to a
+// slot once (thread-local), so concurrent updates rarely contend on a line.
+inline constexpr std::size_t kMetricShards = 8;
+
+// Log-bucketed histogram resolution: values < 16 get exact unit buckets,
+// larger values get 4 sub-buckets per power of two (<= 19% relative width).
+inline constexpr std::size_t kHistogramBuckets = 256;
+
+// Stable per-thread shard index in [0, kMetricShards).
+std::size_t MetricShardIndex();
+
+// Monotonic event count.  Increment is wait-free; Value merges all shards.
+class Counter {
+ public:
+  void Increment(std::uint64_t n = 1) {
+    shards_[MetricShardIndex()].value.fetch_add(n, std::memory_order_relaxed);
+  }
+  std::uint64_t Value() const;
+  void Reset();
+
+ private:
+  struct alignas(64) Shard {
+    std::atomic<std::uint64_t> value{0};
+  };
+  std::array<Shard, kMetricShards> shards_{};
+};
+
+// Last-write-wins scalar.  Intended for values set from a single thread
+// (e.g. the board's deterministic reduce loop); Set/Add are still safe to
+// call concurrently, but concurrent Set order is unspecified.
+class Gauge {
+ public:
+  void Set(double value) { value_.store(value, std::memory_order_relaxed); }
+  void Add(double delta);
+  double Value() const { return value_.load(std::memory_order_relaxed); }
+  void Reset() { Set(0.0); }
+
+ private:
+  std::atomic<double> value_{0.0};
+};
+
+// One merged, non-empty histogram bucket: `index` is the bucket index (see
+// Histogram::BucketLowerBound/BucketUpperBound), `count` the observations.
+struct HistogramBucket {
+  std::uint32_t index = 0;
+  std::uint64_t count = 0;
+
+  bool operator==(const HistogramBucket&) const = default;
+};
+
+// Merged read-side view of a Histogram.
+struct HistogramStats {
+  std::uint64_t count = 0;
+  std::uint64_t sum = 0;
+  std::vector<HistogramBucket> buckets;  // ascending index, counts > 0
+
+  // Quantile estimate by linear interpolation inside the containing bucket;
+  // exact to the bucket (<= 1 bucket of error).  q is clamped to [0, 1].
+  double Quantile(double q) const;
+
+  bool operator==(const HistogramStats&) const = default;
+};
+
+// Log-bucketed histogram over non-negative integer values (cycles, bytes,
+// element counts).  Exact count and sum; quantiles accurate to one bucket.
+class Histogram {
+ public:
+  void Observe(std::uint64_t value) {
+    Shard& shard = shards_[MetricShardIndex()];
+    shard.buckets[BucketIndex(value)].fetch_add(1, std::memory_order_relaxed);
+    shard.sum.fetch_add(value, std::memory_order_relaxed);
+  }
+  HistogramStats Stats() const;
+  void Reset();
+
+  static std::size_t BucketIndex(std::uint64_t value);
+  static std::uint64_t BucketLowerBound(std::size_t index);   // inclusive
+  static std::uint64_t BucketUpperBound(std::size_t index);   // exclusive
+
+ private:
+  struct Shard {
+    std::array<std::atomic<std::uint64_t>, kHistogramBuckets> buckets{};
+    std::atomic<std::uint64_t> sum{0};
+  };
+  std::array<Shard, kMetricShards> shards_{};
+};
+
+// Deterministic point-in-time view of a registry: instrument identity
+// (`name` or `name{key="value"}`) -> merged value, sorted by identity.
+struct MetricsSnapshot {
+  std::map<std::string, std::uint64_t> counters;
+  std::map<std::string, double> gauges;
+  std::map<std::string, HistogramStats> histograms;
+};
+
+// Process-wide instrument registry.  Get* registers on first use and returns
+// a stable pointer (callers cache it; repeated Get* with the same identity
+// returns the same instrument).  An identity registered as one kind cannot be
+// re-requested as another: the mismatched Get* returns nullptr.
+//
+// Naming convention: `dba_<layer>_<name>`, counters suffixed `_total`.
+// At most one label pair per instrument (rendered `name{key="value"}`).
+class MetricsRegistry {
+ public:
+  MetricsRegistry() = default;
+  MetricsRegistry(const MetricsRegistry&) = delete;
+  MetricsRegistry& operator=(const MetricsRegistry&) = delete;
+
+  // The process-wide registry every built-in instrumentation point uses.
+  static MetricsRegistry& Global();
+
+  Counter* GetCounter(std::string_view name, std::string_view help = "");
+  Counter* GetCounter(std::string_view name, std::string_view label_key,
+                      std::string_view label_value, std::string_view help = "");
+  Gauge* GetGauge(std::string_view name, std::string_view help = "");
+  Gauge* GetGauge(std::string_view name, std::string_view label_key,
+                  std::string_view label_value, std::string_view help = "");
+  Histogram* GetHistogram(std::string_view name, std::string_view help = "");
+  Histogram* GetHistogram(std::string_view name, std::string_view label_key,
+                          std::string_view label_value,
+                          std::string_view help = "");
+
+  MetricsSnapshot Snapshot() const;
+
+  // Prometheus text exposition format 0.0.4.  Histograms render cumulative
+  // `_bucket{le="..."}` series (non-empty buckets plus `+Inf`), `_sum`, and
+  // `_count`.  Instruments are grouped by base name, sorted.
+  std::string ExposePrometheus() const;
+
+  // Zeroes every registered instrument (registration survives; cached
+  // pointers stay valid).  For tests and the start of `dba_cli top`.
+  void Reset();
+
+ private:
+  enum class Kind { kCounter, kGauge, kHistogram };
+  struct Instrument {
+    Kind kind;
+    std::string name;         // base metric name
+    std::string label_key;    // empty if unlabelled
+    std::string label_value;
+    std::string help;
+    std::unique_ptr<Counter> counter;
+    std::unique_ptr<Gauge> gauge;
+    std::unique_ptr<Histogram> histogram;
+  };
+
+  Instrument* GetOrCreate(Kind kind, std::string_view name,
+                          std::string_view label_key,
+                          std::string_view label_value, std::string_view help);
+
+  mutable std::mutex mu_;
+  // Keyed by identity string; std::map gives deterministic iteration order.
+  std::map<std::string, std::unique_ptr<Instrument>> instruments_;
+};
+
+// Builds the canonical identity string: `name` or `name{key="value"}`.
+std::string InstrumentIdentity(std::string_view name,
+                               std::string_view label_key,
+                               std::string_view label_value);
+
+// RAII span that feeds a latency Histogram and (optionally) the existing
+// sim::CycleTraceSink.  Cycle values are *simulated* cycles supplied by the
+// caller, so spans preserve the registry's determinism contract:
+//
+//   obs::ScopedSpan span(hist, settings.trace_sink, "intersect", begin);
+//   ...run...
+//   span.SetEndCycle(begin + stats.cycles);
+//
+// If SetEndCycle is never called (e.g. the run failed), the span records
+// nothing and leaves the sink region open -- matching the pre-existing
+// convention that trace writers close dangling regions themselves.
+class ScopedSpan {
+ public:
+  ScopedSpan(Histogram* latency, sim::CycleTraceSink* sink,
+             std::string_view name, std::uint64_t begin_cycle = 0);
+  ~ScopedSpan();
+  ScopedSpan(const ScopedSpan&) = delete;
+  ScopedSpan& operator=(const ScopedSpan&) = delete;
+
+  void SetEndCycle(std::uint64_t end_cycle);
+
+ private:
+  Histogram* latency_;
+  sim::CycleTraceSink* sink_;
+  std::string name_;
+  std::uint64_t begin_cycle_;
+  std::uint64_t end_cycle_ = 0;
+  bool ended_ = false;
+};
+
+}  // namespace dba::obs
+
+#endif  // DBA_OBS_METRICS_METRICS_H_

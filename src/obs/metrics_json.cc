@@ -1,0 +1,169 @@
+#include "obs/metrics_json.h"
+
+#include <cmath>
+#include <string>
+
+namespace dba::obs {
+
+namespace {
+
+JsonValue HistogramToJson(const HistogramStats& stats) {
+  JsonValue buckets = JsonValue::Array();
+  for (const HistogramBucket& bucket : stats.buckets) {
+    buckets.Push(JsonValue::Array()
+                     .Push(Histogram::BucketUpperBound(bucket.index))
+                     .Push(bucket.count));
+  }
+  return JsonValue::Object()
+      .Set("count", stats.count)
+      .Set("sum", stats.sum)
+      .Set("p50", stats.Quantile(0.50))
+      .Set("p90", stats.Quantile(0.90))
+      .Set("p99", stats.Quantile(0.99))
+      .Set("p999", stats.Quantile(0.999))
+      .Set("buckets", std::move(buckets));
+}
+
+}  // namespace
+
+JsonValue MetricsSnapshotToJson(const MetricsSnapshot& snapshot) {
+  JsonValue counters = JsonValue::Object();
+  for (const auto& [identity, value] : snapshot.counters) {
+    counters.Set(identity, value);
+  }
+  JsonValue gauges = JsonValue::Object();
+  for (const auto& [identity, value] : snapshot.gauges) {
+    gauges.Set(identity, value);
+  }
+  JsonValue histograms = JsonValue::Object();
+  for (const auto& [identity, stats] : snapshot.histograms) {
+    histograms.Set(identity, HistogramToJson(stats));
+  }
+  return JsonValue::Object()
+      .Set("schema", kMetricsSchema)
+      .Set("counters", std::move(counters))
+      .Set("gauges", std::move(gauges))
+      .Set("histograms", std::move(histograms));
+}
+
+JsonValue EventsToJson(const std::vector<Event>& events) {
+  JsonValue out = JsonValue::Array();
+  for (const Event& event : events) {
+    JsonValue fields = JsonValue::Object();
+    for (const auto& [key, value] : event.fields) {
+      fields.Set(key, value);
+    }
+    out.Push(JsonValue::Object()
+                 .Set("seq", event.seq)
+                 .Set("level", EventLevelName(event.level))
+                 .Set("cycle", event.cycle)
+                 .Set("scope", event.scope)
+                 .Set("message", event.message)
+                 .Set("fields", std::move(fields)));
+  }
+  return out;
+}
+
+namespace {
+
+Status ValidateNumberMap(const JsonValue& root, std::string_view key,
+                         bool require_non_negative) {
+  const JsonValue& map = root.at(key);
+  if (!map.is_object()) {
+    return Status::InvalidArgument("metrics document needs a \"" +
+                                   std::string(key) + "\" object");
+  }
+  for (const auto& [identity, value] : map.members()) {
+    const std::string where = std::string(key) + "." + identity;
+    if (!value.is_number() || !std::isfinite(value.as_double())) {
+      return Status::InvalidArgument(where + ": must be a finite number");
+    }
+    if (require_non_negative && value.as_double() < 0) {
+      return Status::InvalidArgument(where + ": must be non-negative");
+    }
+  }
+  return Status::Ok();
+}
+
+Status ValidateHistogramJson(const JsonValue& histogram,
+                             const std::string& where) {
+  if (!histogram.is_object()) {
+    return Status::InvalidArgument(where + ": must be an object");
+  }
+  for (const char* field : {"count", "sum", "p50", "p90", "p99", "p999"}) {
+    const JsonValue& value = histogram.at(field);
+    if (!value.is_number() || !std::isfinite(value.as_double()) ||
+        value.as_double() < 0) {
+      return Status::InvalidArgument(where + "." + field +
+                                     ": must be a non-negative number");
+    }
+  }
+  const JsonValue& buckets = histogram.at("buckets");
+  if (!buckets.is_array()) {
+    return Status::InvalidArgument(where + ".buckets: must be an array");
+  }
+  double previous_le = -1.0;
+  double total = 0.0;
+  for (size_t i = 0; i < buckets.size(); ++i) {
+    const JsonValue& bucket = buckets.at(i);
+    const std::string bucket_where =
+        where + ".buckets[" + std::to_string(i) + "]";
+    if (!bucket.is_array() || bucket.size() != 2 ||
+        !bucket.at(static_cast<size_t>(0)).is_number() ||
+        !bucket.at(static_cast<size_t>(1)).is_number()) {
+      return Status::InvalidArgument(bucket_where +
+                                     ": must be a [le, count] pair");
+    }
+    const double le = bucket.at(static_cast<size_t>(0)).as_double();
+    const double bucket_count = bucket.at(static_cast<size_t>(1)).as_double();
+    if (le <= previous_le) {
+      return Status::InvalidArgument(bucket_where +
+                                     ": bucket bounds must be ascending");
+    }
+    if (bucket_count <= 0) {
+      return Status::InvalidArgument(bucket_where +
+                                     ": bucket counts must be positive");
+    }
+    previous_le = le;
+    total += bucket_count;
+  }
+  if (total != histogram.at("count").as_double()) {
+    return Status::InvalidArgument(where +
+                                   ": bucket counts must sum to count");
+  }
+  return Status::Ok();
+}
+
+}  // namespace
+
+Status ValidateMetricsJson(const JsonValue& root) {
+  if (!root.is_object()) {
+    return Status::InvalidArgument("metrics document must be a JSON object");
+  }
+  const JsonValue& schema = root.at("schema");
+  if (!schema.is_string() || schema.as_string() != kMetricsSchema) {
+    return Status::InvalidArgument("metrics document schema must be \"" +
+                                   std::string(kMetricsSchema) + "\"");
+  }
+  DBA_RETURN_IF_ERROR(ValidateNumberMap(root, "counters", true));
+  DBA_RETURN_IF_ERROR(ValidateNumberMap(root, "gauges", false));
+  const JsonValue& histograms = root.at("histograms");
+  if (!histograms.is_object()) {
+    return Status::InvalidArgument(
+        "metrics document needs a \"histograms\" object");
+  }
+  for (const auto& [identity, histogram] : histograms.members()) {
+    DBA_RETURN_IF_ERROR(
+        ValidateHistogramJson(histogram, "histograms." + identity));
+  }
+  return Status::Ok();
+}
+
+Status WriteMetricsSnapshotFile(const std::string& path,
+                                const MetricsRegistry& registry) {
+  const JsonValue doc = MetricsSnapshotToJson(registry.Snapshot());
+  DBA_RETURN_IF_ERROR(ValidateMetricsJson(doc));
+  return WriteJsonFile(path, doc);
+}
+
+}  // namespace dba::obs

@@ -1,0 +1,51 @@
+#ifndef DBA_OBS_METRICS_JSON_H_
+#define DBA_OBS_METRICS_JSON_H_
+
+// Serialization of the runtime metrics registry (obs/metrics) to the
+// versioned `dba.metrics.v1` JSON schema, plus a validator used by
+// `dba_cli validate-bench` and the bench --json pipeline.
+//
+// Snapshot layout:
+//   {
+//     "schema": "dba.metrics.v1",
+//     "counters":   { "<identity>": <uint>, ... },
+//     "gauges":     { "<identity>": <number>, ... },
+//     "histograms": { "<identity>": { "count": N, "sum": S,
+//                                     "p50": .., "p90": .., "p99": ..,
+//                                     "p999": ..,
+//                                     "buckets": [[le, count], ...] }, ... }
+//   }
+// where <identity> is `name` or `name{key="value"}` and bucket `le` is the
+// exclusive upper bound of a non-empty log bucket (ascending).
+//
+// Because the registry only records simulated quantities, a snapshot taken
+// after a deterministic board run is byte-identical at any host_threads.
+
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "obs/json.h"
+#include "obs/metrics/event_log.h"
+#include "obs/metrics/metrics.h"
+
+namespace dba::obs {
+
+inline constexpr std::string_view kMetricsSchema = "dba.metrics.v1";
+
+JsonValue MetricsSnapshotToJson(const MetricsSnapshot& snapshot);
+
+// Serializes the most recent `max_events` event-log records (oldest first).
+JsonValue EventsToJson(const std::vector<Event>& events);
+
+Status ValidateMetricsJson(const JsonValue& root);
+
+// Snapshot + write in one step; used by `--metrics-out` flags and the
+// bench atexit flush.
+Status WriteMetricsSnapshotFile(
+    const std::string& path,
+    const MetricsRegistry& registry = MetricsRegistry::Global());
+
+}  // namespace dba::obs
+
+#endif  // DBA_OBS_METRICS_JSON_H_

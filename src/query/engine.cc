@@ -3,11 +3,63 @@
 #include <algorithm>
 #include <numeric>
 
+#include "obs/metrics/metrics.h"
 #include "prefetch/streaming.h"
 
 namespace dba::query {
 
 namespace {
+
+// Registered once; hot-path cost is one relaxed fetch_add per set op /
+// sort / query.  Latency histograms observe *simulated* accelerator
+// cycles, so registry snapshots stay deterministic across host threads.
+struct QueryInstrumentSet {
+  obs::Counter* setops;
+  obs::Counter* sorts;
+  obs::Counter* retries;
+  obs::Counter* concurrent_sort_pairs;
+  obs::Gauge* sort_concurrency;
+  obs::Histogram* latency;
+};
+
+const QueryInstrumentSet& QueryInstruments() {
+  static const QueryInstrumentSet instruments = [] {
+    obs::MetricsRegistry& registry = obs::MetricsRegistry::Global();
+    QueryInstrumentSet out;
+    out.setops = registry.GetCounter("dba_query_setops_total",
+                                     "Set operations run by query plans.");
+    out.sorts = registry.GetCounter("dba_query_sorts_total",
+                                    "Accelerator sorts run by query plans.");
+    out.retries = registry.GetCounter(
+        "dba_query_retries_total",
+        "Transient-failure retries across set ops and sorts.");
+    out.concurrent_sort_pairs = registry.GetCounter(
+        "dba_query_concurrent_sort_pairs_total",
+        "JoinKeys column-sort pairs run on concurrent host threads.");
+    out.sort_concurrency = registry.GetGauge(
+        "dba_query_sort_concurrency",
+        "Host threads used by the last JoinKeys column sort (1 or 2).");
+    out.latency = registry.GetHistogram(
+        "dba_query_latency_cycles",
+        "Simulated accelerator cycles per public query.");
+    return out;
+  }();
+  return instruments;
+}
+
+obs::Counter* QueryCounter(std::string_view op) {
+  obs::MetricsRegistry& registry = obs::MetricsRegistry::Global();
+  static constexpr std::string_view kHelp = "Public queries served by op.";
+  static obs::Counter* const select =
+      registry.GetCounter("dba_query_queries_total", "op", "select", kHelp);
+  static obs::Counter* const join_keys =
+      registry.GetCounter("dba_query_queries_total", "op", "join_keys", kHelp);
+  static obs::Counter* const select_ordered = registry.GetCounter(
+      "dba_query_queries_total", "op", "select_values_ordered", kHelp);
+  if (op == "select") return select;
+  if (op == "join_keys") return join_keys;
+  return select_ordered;
+}
 
 void AddPlanStep(QueryStats* stats, std::string step) {
   if (stats != nullptr) stats->plan.push_back(std::move(step));
@@ -130,6 +182,9 @@ Result<std::vector<Rid>> QueryEngine::RunSetOp(SetOp op,
     if (!done && !IsTransient(last_error.code())) return last_error;
   }
   if (!done) return last_error;
+  QueryInstruments().setops->Increment();
+  QueryInstruments().retries->Increment(
+      static_cast<uint64_t>(attempts_used - 1));
   if (stats != nullptr) {
     stats->retries += static_cast<uint32_t>(attempts_used - 1);
     ++stats->set_operations;
@@ -225,12 +280,17 @@ Result<std::vector<Rid>> QueryEngine::Evaluate(const Predicate& predicate,
 
 Result<std::vector<Rid>> QueryEngine::Select(const Predicate& predicate,
                                              QueryStats* stats) {
-  DBA_ASSIGN_OR_RETURN(std::vector<Rid> rids, Evaluate(predicate, stats));
-  if (stats != nullptr) {
-    stats->accelerator_seconds =
-        static_cast<double>(stats->accelerator_cycles) /
-        processor_->frequency_hz();
-  }
+  // Telemetry always flows through a stats object (a local one when the
+  // caller passed none) so the per-query latency delta is well defined
+  // even for callers that accumulate stats across queries.
+  QueryStats local_stats;
+  QueryStats* s = stats != nullptr ? stats : &local_stats;
+  const uint64_t cycles_before = s->accelerator_cycles;
+  DBA_ASSIGN_OR_RETURN(std::vector<Rid> rids, Evaluate(predicate, s));
+  s->accelerator_seconds = static_cast<double>(s->accelerator_cycles) /
+                           processor_->frequency_hz();
+  QueryCounter("select")->Increment();
+  QueryInstruments().latency->Observe(s->accelerator_cycles - cycles_before);
   return rids;
 }
 
@@ -256,6 +316,7 @@ Result<std::vector<uint32_t>> SortUniqueKeysOnce(
     DBA_ASSIGN_OR_RETURN(SortRun run,
                          processor->RunSort(values.subspan(pos, len),
                                             settings));
+    QueryInstruments().sorts->Increment();
     if (stats != nullptr) {
       ++stats->sorts;
       stats->accelerator_cycles += run.metrics.cycles;
@@ -303,6 +364,7 @@ Result<std::vector<uint32_t>> SortUniqueKeys(Processor* processor,
         processor, table, key_column, AttemptSettings(base_settings, attempt),
         stats != nullptr ? &attempt_stats : nullptr);
     if (sorted.ok()) {
+      QueryInstruments().retries->Increment(static_cast<uint64_t>(attempt));
       if (stats != nullptr) {
         stats->retries += static_cast<uint32_t>(attempt);
         stats->sorts += attempt_stats.sorts;
@@ -338,50 +400,56 @@ void MergeJoinStats(QueryStats* stats, const QueryStats& side) {
 Result<std::vector<uint32_t>> QueryEngine::JoinKeys(
     const std::string& column, const Table& other,
     const std::string& other_column, QueryStats* stats) {
+  QueryStats local_stats;
+  QueryStats* s = stats != nullptr ? stats : &local_stats;
+  const uint64_t cycles_before = s->accelerator_cycles;
   Result<std::vector<uint32_t>> left = Status::Internal("unset");
   Result<std::vector<uint32_t>> right = Status::Internal("unset");
   QueryStats left_stats;
   QueryStats right_stats;
-  QueryStats* want = stats != nullptr ? &left_stats : nullptr;
-  if (pool_ != nullptr && sibling_ != nullptr) {
+  const bool concurrent = pool_ != nullptr && sibling_ != nullptr;
+  QueryInstruments().sort_concurrency->Set(concurrent ? 2.0 : 1.0);
+  if (concurrent) {
+    QueryInstruments().concurrent_sort_pairs->Increment();
     // The two column sorts are independent: run them on concurrent host
     // threads, the second on the sibling processor. Each side writes
     // only its own result slot and stats.
     pool_->ParallelFor(2, [&](size_t side) {
       if (side == 0) {
         left = SortUniqueKeys(processor_, *table_, column, run_settings_,
-                              max_attempts_, want);
+                              max_attempts_, &left_stats);
       } else {
         right = SortUniqueKeys(sibling_, other, other_column, run_settings_,
-                               max_attempts_,
-                               stats != nullptr ? &right_stats : nullptr);
+                               max_attempts_, &right_stats);
       }
     });
   } else {
     left = SortUniqueKeys(processor_, *table_, column, run_settings_,
-                          max_attempts_, want);
+                          max_attempts_, &left_stats);
     right = SortUniqueKeys(sibling_ != nullptr ? sibling_ : processor_,
                            other, other_column, run_settings_, max_attempts_,
-                           stats != nullptr ? &right_stats : nullptr);
+                           &right_stats);
   }
   DBA_RETURN_IF_ERROR(left.status());
   DBA_RETURN_IF_ERROR(right.status());
-  MergeJoinStats(stats, left_stats);
-  MergeJoinStats(stats, right_stats);
+  MergeJoinStats(s, left_stats);
+  MergeJoinStats(s, right_stats);
   DBA_ASSIGN_OR_RETURN(std::vector<uint32_t> keys,
-                       RunSetOp(SetOp::kIntersect, *left, *right, stats));
-  if (stats != nullptr) {
-    stats->accelerator_seconds =
-        static_cast<double>(stats->accelerator_cycles) /
-        processor_->frequency_hz();
-  }
+                       RunSetOp(SetOp::kIntersect, *left, *right, s));
+  s->accelerator_seconds = static_cast<double>(s->accelerator_cycles) /
+                           processor_->frequency_hz();
+  QueryCounter("join_keys")->Increment();
+  QueryInstruments().latency->Observe(s->accelerator_cycles - cycles_before);
   return keys;
 }
 
 Result<std::vector<uint32_t>> QueryEngine::SelectValuesOrdered(
     const Predicate& predicate, const std::string& order_by,
     QueryStats* stats) {
-  DBA_ASSIGN_OR_RETURN(std::vector<Rid> rids, Evaluate(predicate, stats));
+  QueryStats local_stats;
+  QueryStats* s = stats != nullptr ? stats : &local_stats;
+  const uint64_t cycles_before = s->accelerator_cycles;
+  DBA_ASSIGN_OR_RETURN(std::vector<Rid> rids, Evaluate(predicate, s));
   DBA_ASSIGN_OR_RETURN(std::span<const uint32_t> column,
                        table_->Column(order_by));
 
@@ -396,13 +464,12 @@ Result<std::vector<uint32_t>> QueryEngine::SelectValuesOrdered(
   if (values.size() <= capacity) {
     DBA_ASSIGN_OR_RETURN(SortRun run,
                          processor_->RunSort(values, run_settings_));
-    if (stats != nullptr) {
-      ++stats->sorts;
-      stats->accelerator_cycles += run.metrics.cycles;
-      stats->elements_processed += values.size();
-      AddPlanStep(stats, "sort " + std::to_string(values.size()) +
-                             " values on " + order_by);
-    }
+    QueryInstruments().sorts->Increment();
+    ++s->sorts;
+    s->accelerator_cycles += run.metrics.cycles;
+    s->elements_processed += values.size();
+    AddPlanStep(s, "sort " + std::to_string(values.size()) +
+                       " values on " + order_by);
     sorted = std::move(run.sorted);
   } else {
     // External sort: sort local-store-sized chunks on the accelerator,
@@ -416,35 +483,32 @@ Result<std::vector<uint32_t>> QueryEngine::SelectValuesOrdered(
       DBA_ASSIGN_OR_RETURN(
           SortRun run,
           processor_->RunSort({values.data() + pos, len}, run_settings_));
-      if (stats != nullptr) {
-        ++stats->sorts;
-        stats->accelerator_cycles += run.metrics.cycles;
-        stats->elements_processed += len;
-      }
+      QueryInstruments().sorts->Increment();
+      ++s->sorts;
+      s->accelerator_cycles += run.metrics.cycles;
+      s->elements_processed += len;
       if (sorted.empty()) {
         sorted = std::move(run.sorted);
       } else {
         DBA_ASSIGN_OR_RETURN(
             prefetch::StreamingRun merge_run,
             streaming.Run(SetOp::kMerge, sorted, run.sorted));
-        if (stats != nullptr) {
-          ++stats->set_operations;
-          stats->accelerator_cycles += merge_run.total_cycles;
-          stats->elements_processed += sorted.size() + run.sorted.size();
-        }
+        QueryInstruments().setops->Increment();
+        ++s->set_operations;
+        s->accelerator_cycles += merge_run.total_cycles;
+        s->elements_processed += sorted.size() + run.sorted.size();
         sorted = std::move(merge_run.result);
       }
       ++chunks;
     }
-    AddPlanStep(stats, "external sort of " + std::to_string(values.size()) +
-                           " values (" + std::to_string(chunks) +
-                           " chunks, streamed merges)");
+    AddPlanStep(s, "external sort of " + std::to_string(values.size()) +
+                       " values (" + std::to_string(chunks) +
+                       " chunks, streamed merges)");
   }
-  if (stats != nullptr) {
-    stats->accelerator_seconds =
-        static_cast<double>(stats->accelerator_cycles) /
-        processor_->frequency_hz();
-  }
+  s->accelerator_seconds = static_cast<double>(s->accelerator_cycles) /
+                           processor_->frequency_hz();
+  QueryCounter("select_values_ordered")->Increment();
+  QueryInstruments().latency->Observe(s->accelerator_cycles - cycles_before);
   return sorted;
 }
 

@@ -8,12 +8,41 @@
 #include "common/check.h"
 #include "isa/encoding.h"
 #include "isa/opcode.h"
+#include "obs/metrics/metrics.h"
 
 namespace dba::sim {
 
 using isa::Instruction;
 using isa::Opcode;
 using isa::Reg;
+
+namespace {
+
+// Registry lookups happen once (function-local statics); the hot path is a
+// single relaxed fetch_add per Cpu::Run / LoadProgram, never per instruction.
+obs::Counter* SimRunCounter(ExecMode mode) {
+  obs::MetricsRegistry& registry = obs::MetricsRegistry::Global();
+  static obs::Counter* const interpret = registry.GetCounter(
+      "dba_sim_runs_total", "mode", "interpret",
+      "Cpu::Run invocations by execution mode.");
+  static obs::Counter* const fast_forward = registry.GetCounter(
+      "dba_sim_runs_total", "mode", "fast-forward",
+      "Cpu::Run invocations by execution mode.");
+  static obs::Counter* const turbo = registry.GetCounter(
+      "dba_sim_runs_total", "mode", "turbo",
+      "Cpu::Run invocations by execution mode.");
+  switch (mode) {
+    case ExecMode::kInterpret:
+      return interpret;
+    case ExecMode::kFastForward:
+      return fast_forward;
+    case ExecMode::kTurbo:
+      return turbo;
+  }
+  return fast_forward;
+}
+
+}  // namespace
 
 Cpu::Cpu(CoreConfig config) : config_(std::move(config)) {
   DBA_CHECK_MSG(config_.num_lsus >= 1 && config_.num_lsus <= 2,
@@ -55,6 +84,11 @@ Status Cpu::LoadProgram(const isa::Program& program) {
   // to reuse a freed address can never hit the fast path.
   if (program.words() == loaded_words_ &&
       program.labels() == loaded_labels_) {
+    static obs::Counter* const reloads =
+        obs::MetricsRegistry::Global().GetCounter(
+            "dba_sim_program_reloads_total",
+            "Program loads that reused the resident decode and exec plan.");
+    reloads->Increment();
     program_ = &program;
     pc_ = 0;
     return Status::Ok();
@@ -119,6 +153,21 @@ Status Cpu::LoadProgram(const isa::Program& program) {
     }
   }
   BuildExecPlan();
+  {
+    obs::MetricsRegistry& registry = obs::MetricsRegistry::Global();
+    static obs::Counter* const decodes = registry.GetCounter(
+        "dba_sim_program_decodes_total",
+        "Program loads that required a full decode.");
+    static obs::Counter* const rebuilds = registry.GetCounter(
+        "dba_sim_superblock_rebuilds_total",
+        "Superblock exec-plan rebuilds (one per full program decode).");
+    static obs::Counter* const superblocks = registry.GetCounter(
+        "dba_sim_superblocks_built_total",
+        "Superblocks constructed across all exec-plan rebuilds.");
+    decodes->Increment();
+    rebuilds->Increment();
+    superblocks->Increment(blocks_.size());
+  }
   pc_ = 0;
   return Status::Ok();
 }
@@ -489,8 +538,23 @@ Result<ExecStats> Cpu::Run(const RunOptions& options) {
   if (decoded_.empty()) {
     return Status::FailedPrecondition("no program loaded");
   }
-  if (options.mode == ExecMode::kInterpret) return RunInterpret(options);
-  return RunFast(options);
+  SimRunCounter(options.mode)->Increment();
+  Result<ExecStats> result = options.mode == ExecMode::kInterpret
+                                 ? RunInterpret(options)
+                                 : RunFast(options);
+  obs::MetricsRegistry& registry = obs::MetricsRegistry::Global();
+  if (result.ok()) {
+    static obs::Counter* const cycles = registry.GetCounter(
+        "dba_sim_run_cycles_total",
+        "Simulated cycles accumulated by successful Cpu::Run calls.");
+    cycles->Increment(result->cycles);
+  } else {
+    static obs::Counter* const failures = registry.GetCounter(
+        "dba_sim_run_failures_total",
+        "Cpu::Run calls that returned an error (watchdog, faults).");
+    failures->Increment();
+  }
+  return result;
 }
 
 Result<ExecStats> Cpu::RunInterpret(const RunOptions& options) {

@@ -5,9 +5,96 @@
 #include <string>
 #include <utility>
 
+#include "obs/metrics/event_log.h"
+#include "obs/metrics/metrics.h"
 #include "prefetch/streaming.h"
 
 namespace dba::system {
+
+namespace {
+
+// All board counters mirror RecoveryTelemetry increments from the
+// single-threaded deterministic reduce in ExecutePartitioned, so after a
+// run on a fresh registry the registry totals equal the run's telemetry
+// exactly, at any host_threads.  Only the NoC fault counters are bumped
+// from worker threads (RunAttempt); their totals are still deterministic
+// because fault decisions are pure functions of the work item.
+struct BoardInstruments {
+  obs::Counter* ops;
+  obs::Counter* op_failures;
+  obs::Counter* rounds;
+  obs::Counter* faults_injected;
+  obs::Counter* verification_failures;
+  obs::Counter* failed_attempts;
+  obs::Counter* retries;
+  obs::Counter* requeues;
+  obs::Counter* recovery_cycles;
+  obs::Counter* quarantines;
+  obs::Counter* noc_feed_bytes;
+  obs::Counter* noc_transfer_failures;
+  obs::Counter* noc_transfer_timeouts;
+  obs::Histogram* partition_cycles;
+  obs::Histogram* op_makespan_cycles;
+  obs::Gauge* healthy_cores;
+  obs::Gauge* quarantined_cores;
+};
+
+const BoardInstruments& Instruments() {
+  static const BoardInstruments instruments = [] {
+    obs::MetricsRegistry& registry = obs::MetricsRegistry::Global();
+    BoardInstruments out;
+    out.ops = registry.GetCounter("dba_system_board_ops_total",
+                                  "Board-level operations started.");
+    out.op_failures =
+        registry.GetCounter("dba_system_board_op_failures_total",
+                            "Board-level operations that returned an error.");
+    out.rounds = registry.GetCounter(
+        "dba_system_recovery_rounds_total",
+        "Scheduling rounds (1 per op when fault-free).");
+    out.faults_injected = registry.GetCounter(
+        "dba_system_faults_injected_total",
+        "Attempts that had a fault injected (mirrors RecoveryTelemetry).");
+    out.verification_failures = registry.GetCounter(
+        "dba_system_verification_failures_total",
+        "Partition results rejected by output verification.");
+    out.failed_attempts =
+        registry.GetCounter("dba_system_failed_attempts_total",
+                            "Partition attempts that returned an error.");
+    out.retries = registry.GetCounter("dba_system_retries_total",
+                                      "Partition retry attempts scheduled.");
+    out.requeues = registry.GetCounter(
+        "dba_system_requeues_total",
+        "Partitions moved to a different core (spill or retry).");
+    out.recovery_cycles = registry.GetCounter(
+        "dba_system_recovery_cycles_total",
+        "Simulated cycles spent on failed attempts and backoff.");
+    out.quarantines = registry.GetCounter(
+        "dba_system_quarantines_total", "Cores quarantined by the board.");
+    out.noc_feed_bytes = registry.GetCounter(
+        "dba_system_noc_feed_bytes_total",
+        "Bytes transferred over the NoC for successful attempts.");
+    out.noc_transfer_failures = registry.GetCounter(
+        "dba_system_noc_transfer_failures_total",
+        "Injected NoC transfer failures observed by attempts.");
+    out.noc_transfer_timeouts = registry.GetCounter(
+        "dba_system_noc_transfer_timeouts_total",
+        "Injected NoC transfer timeouts observed by attempts.");
+    out.partition_cycles = registry.GetHistogram(
+        "dba_system_partition_cycles",
+        "Simulated compute cycles per successful partition attempt.");
+    out.op_makespan_cycles = registry.GetHistogram(
+        "dba_system_op_makespan_cycles",
+        "Simulated makespan cycles per completed board operation.");
+    out.healthy_cores = registry.GetGauge(
+        "dba_system_healthy_cores", "Cores not currently quarantined.");
+    out.quarantined_cores = registry.GetGauge(
+        "dba_system_quarantined_cores", "Cores currently quarantined.");
+    return out;
+  }();
+  return instruments;
+}
+
+}  // namespace
 
 namespace {
 
@@ -258,6 +345,12 @@ void Board::Quarantine(int core) {
       std::upper_bound(quarantined_list_.begin(), quarantined_list_.end(),
                        core),
       core);
+  Instruments().quarantines->Increment();
+  obs::EventLog::Global().Log(
+      obs::EventLevel::kWarn, "board", "core quarantined",
+      {{"core", std::to_string(core)},
+       {"failures",
+        std::to_string(core_failures_[static_cast<size_t>(core)])}});
 }
 
 void Board::ResetQuarantine() {
@@ -373,11 +466,13 @@ Board::AttemptOutcome Board::RunAttempt(int core_index,
     return out;
   }
   if (decision.transfer_fail) {
+    Instruments().noc_transfer_failures->Increment();
     out.compute_cycles = noc_.config().transfer_latency_cycles;
     out.status = Status::Unavailable("injected NoC transfer failure");
     return out;
   }
   if (decision.transfer_timeout) {
+    Instruments().noc_transfer_timeouts->Increment();
     out.compute_cycles = noc_.TimeoutCycles();
     out.status = Status::DeadlineExceeded("injected NoC transfer timeout");
     return out;
@@ -463,6 +558,8 @@ Result<ParallelRun> Board::ExecutePartitioned(
     uint64_t elements, const PartitionRunner& runner) {
   const auto host_start = std::chrono::steady_clock::now();
   const uint64_t op_ordinal = op_ordinal_++;
+  const BoardInstruments& instruments = Instruments();
+  instruments.ops->Increment();
   ParallelRun run;
   run.per_core_cycles.assign(cores_.size(), 0);
 
@@ -511,12 +608,14 @@ Result<ParallelRun> Board::ExecutePartitioned(
     } else {
       pending.emplace_back(i, healthy[spill++ % healthy.size()]);
       ++run.recovery.requeues;
+      instruments.requeues->Increment();
     }
   }
 
   uint64_t trace_cursor = 0;
   while (!pending.empty()) {
     ++run.recovery.rounds;
+    instruments.rounds->Increment();
     const int streams = static_cast<int>(pending.size());
 
     // Fan this round out with one host task per core (a core is never
@@ -562,14 +661,23 @@ Result<ParallelRun> Board::ExecutePartitioned(
       AttemptOutcome& out = outcomes[p];
       const uint32_t attempt = slots[p].attempts;
       ++slots[p].attempts;
-      if (out.fault_injected) ++run.recovery.faults_injected;
-      if (out.verification_failed) ++run.recovery.verification_failures;
+      if (out.fault_injected) {
+        ++run.recovery.faults_injected;
+        instruments.faults_injected->Increment();
+      }
+      if (out.verification_failed) {
+        ++run.recovery.verification_failures;
+        instruments.verification_failures->Increment();
+      }
       uint64_t cost = 0;
       if (out.status.ok()) {
         const uint64_t feed_cycles = noc_.TransferCycles(
             parts[p].feed_bytes + 4 * out.result.size(), streams);
         run.noc_bound |= feed_cycles > out.compute_cycles;
         cost = std::max(out.compute_cycles, feed_cycles);
+        instruments.noc_feed_bytes->Increment(parts[p].feed_bytes +
+                                              4 * out.result.size());
+        instruments.partition_cycles->Observe(out.compute_cycles);
       } else {
         cost = out.compute_cycles;
       }
@@ -585,7 +693,9 @@ Result<ParallelRun> Board::ExecutePartitioned(
         slots[p].result = std::move(out.result);
       } else {
         ++run.recovery.failed_attempts;
+        instruments.failed_attempts->Increment();
         run.recovery.recovery_cycles += cost;
+        instruments.recovery_cycles->Increment(cost);
         ++core_failures_[static_cast<size_t>(c)];
         slots[p].last_status = out.status;
         failed.emplace_back(p, c);
@@ -646,6 +756,13 @@ Result<ParallelRun> Board::ExecutePartitioned(
         context += " failed after ";
         context += std::to_string(slots[p].attempts);
         context += " attempts";
+        instruments.op_failures->Increment();
+        obs::EventLog::Global().Log(
+            obs::EventLevel::kError, "board", "operation failed",
+            {{"partition", std::to_string(p)},
+             {"attempts", std::to_string(slots[p].attempts)},
+             {"status", std::string(StatusCodeToString(
+                            slots[p].last_status.code()))}});
         return Annotate(slots[p].last_status, context);
       }
     }
@@ -654,6 +771,11 @@ Result<ParallelRun> Board::ExecutePartitioned(
       const size_t p = failed.front().first;
       std::string context = "all cores quarantined while retrying partition ";
       context += std::to_string(p);
+      instruments.op_failures->Increment();
+      obs::EventLog::Global().Log(
+          obs::EventLevel::kError, "board",
+          "all cores quarantined mid-operation",
+          {{"partition", std::to_string(p)}});
       return Annotate(slots[p].last_status, context);
     }
     // Requeue failed partitions round-robin over the healthy cores,
@@ -662,13 +784,22 @@ Result<ParallelRun> Board::ExecutePartitioned(
     for (const auto& [p, prev_core] : failed) {
       const int c = healthy[next++ % healthy.size()];
       ++run.recovery.retries;
-      if (c != prev_core) ++run.recovery.requeues;
+      instruments.retries->Increment();
+      if (c != prev_core) {
+        ++run.recovery.requeues;
+        instruments.requeues->Increment();
+      }
       pending.emplace_back(p, c);
     }
   }
 
   run.recovery.degraded = !quarantined_list_.empty();
   run.recovery.quarantined_cores = quarantined_list_;
+  instruments.op_makespan_cycles->Observe(run.makespan_cycles);
+  instruments.healthy_cores->Set(
+      static_cast<double>(cores_.size() - quarantined_list_.size()));
+  instruments.quarantined_cores->Set(
+      static_cast<double>(quarantined_list_.size()));
   for (Slot& slot : slots) {
     run.result.insert(run.result.end(), slot.result.begin(),
                       slot.result.end());

@@ -10,8 +10,11 @@
 
 #include "core/processor.h"
 #include "core/workload.h"
+#include "obs/bench_compare.h"
 #include "obs/bench_json.h"
 #include "obs/json.h"
+#include "obs/metrics/metrics.h"
+#include "obs/metrics_json.h"
 #include "obs/serialize.h"
 #include "obs/stall_report.h"
 #include "obs/trace_writer.h"
@@ -426,6 +429,104 @@ TEST(BenchJsonTest, ValidatorRejectsBadDocuments) {
       "\"results\":[{\"config\":\"c\",\"cycles\":12}]}");
   ASSERT_TRUE(good.ok());
   EXPECT_TRUE(ValidateBenchJson(*good).ok());
+}
+
+TEST(BenchJsonTest, AttachedMetricsSnapshotValidates) {
+  BenchJsonWriter writer("metrics_embed");
+  writer.AddRow("DBA_2LSU_EIS").Set("op", "intersect").Set("cycles", 10);
+  MetricsRegistry registry;
+  registry.GetCounter("embed_total")->Increment(4);
+  registry.GetHistogram("embed_cycles")->Observe(123);
+  writer.AttachMetrics(MetricsSnapshotToJson(registry.Snapshot()));
+  const JsonValue document = writer.ToJson();
+  ASSERT_TRUE(ValidateBenchJson(document).ok());
+  EXPECT_EQ(document.at("metrics").at("schema").as_string(),
+            "dba.metrics.v1");
+  EXPECT_EQ(document.at("metrics").at("counters").at("embed_total").as_u64(),
+            4u);
+}
+
+TEST(BenchJsonTest, InvalidAttachedMetricsAreRejected) {
+  BenchJsonWriter writer("metrics_embed");
+  writer.AddRow("DBA_2LSU_EIS").Set("cycles", 10);
+  auto bogus = JsonValue::Parse("{\"schema\":\"dba.metrics.v0\"}");
+  ASSERT_TRUE(bogus.ok());
+  writer.AttachMetrics(*bogus);
+  EXPECT_FALSE(ValidateBenchJson(writer.ToJson()).ok());
+}
+
+// --- compare-bench: absent-vs-zero semantics ---
+
+namespace {
+
+Result<JsonValue> CompareDoc(const char* results) {
+  return JsonValue::Parse(
+      std::string("{\"schema\":\"dba.bench.v1\",\"bench\":\"b\","
+                  "\"results\":[") +
+      results + "]}");
+}
+
+}  // namespace
+
+TEST(BenchCompareTest, MissingMetricIsToleratedByDefault) {
+  auto baseline = CompareDoc(
+      "{\"config\":\"c\",\"cores\":1,\"throughput_meps\":100.0,"
+      "\"sim_speedup\":2.0}");
+  // The run predates the sim_speedup column: absent, not zero.
+  auto run = CompareDoc("{\"config\":\"c\",\"cores\":1,"
+                        "\"throughput_meps\":100.0}");
+  ASSERT_TRUE(baseline.ok() && run.ok());
+  auto comparison = CompareBenchDocuments(*run, *baseline, {});
+  ASSERT_TRUE(comparison.ok()) << comparison.status().ToString();
+  EXPECT_TRUE(comparison->passed());
+  EXPECT_EQ(comparison->regressions, 0);
+  ASSERT_EQ(comparison->tolerated.size(), 1u);
+  EXPECT_NE(comparison->tolerated[0].find("sim_speedup"), std::string::npos);
+  // The present metric was still compared.
+  ASSERT_EQ(comparison->deltas.size(), 1u);
+  EXPECT_EQ(comparison->deltas[0].metric, "throughput_meps");
+}
+
+TEST(BenchCompareTest, StrictModeFailsMissingMetrics) {
+  auto baseline = CompareDoc(
+      "{\"config\":\"c\",\"cores\":1,\"throughput_meps\":100.0,"
+      "\"sim_speedup\":2.0}");
+  auto run = CompareDoc("{\"config\":\"c\",\"cores\":1,"
+                        "\"throughput_meps\":100.0}");
+  ASSERT_TRUE(baseline.ok() && run.ok());
+  BenchCompareOptions options;
+  options.strict = true;
+  auto comparison = CompareBenchDocuments(*run, *baseline, options);
+  ASSERT_TRUE(comparison.ok());
+  EXPECT_FALSE(comparison->passed());
+  EXPECT_EQ(comparison->regressions, 1);
+  EXPECT_TRUE(comparison->tolerated.empty());
+}
+
+TEST(BenchCompareTest, RealRegressionsStillFailInTolerantMode) {
+  auto baseline = CompareDoc(
+      "{\"config\":\"c\",\"cores\":1,\"throughput_meps\":100.0}");
+  auto run = CompareDoc(
+      "{\"config\":\"c\",\"cores\":1,\"throughput_meps\":50.0}");
+  ASSERT_TRUE(baseline.ok() && run.ok());
+  auto comparison = CompareBenchDocuments(*run, *baseline, {});
+  ASSERT_TRUE(comparison.ok());
+  EXPECT_FALSE(comparison->passed());
+  EXPECT_EQ(comparison->regressions, 1);
+}
+
+TEST(BenchCompareTest, UnknownRunOnlyMetricsAreIgnored) {
+  // Extra columns in the run that the baseline does not track are fine.
+  auto baseline = CompareDoc(
+      "{\"config\":\"c\",\"cores\":1,\"throughput_meps\":100.0}");
+  auto run = CompareDoc(
+      "{\"config\":\"c\",\"cores\":1,\"throughput_meps\":101.0,"
+      "\"brand_new_metric\":7.0}");
+  ASSERT_TRUE(baseline.ok() && run.ok());
+  auto comparison = CompareBenchDocuments(*run, *baseline, {});
+  ASSERT_TRUE(comparison.ok());
+  EXPECT_TRUE(comparison->passed());
+  EXPECT_TRUE(comparison->tolerated.empty());
 }
 
 }  // namespace

@@ -26,6 +26,9 @@
 //   dba_cli faults --op=intersect --broken-cores=1,3 --fault-rate=0
 //   dba_cli board --op=union --fault-seed=7 --fault-rate=0.02
 
+#include <unistd.h>
+
+#include <chrono>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
@@ -39,6 +42,9 @@
 #include "isa/disassembler.h"
 #include "obs/bench_compare.h"
 #include "obs/bench_json.h"
+#include "obs/metrics_json.h"
+#include "obs/metrics/event_log.h"
+#include "obs/metrics/metrics.h"
 #include "obs/serialize.h"
 #include "obs/trace_writer.h"
 #include "prefetch/streaming.h"
@@ -77,6 +83,9 @@ struct CliOptions {
   double fault_rate = -1.0;   // per-class rate; < 0 = command default
   std::string broken_cores;   // comma-separated permanently-dead cores
   int max_attempts = 4;       // recovery: attempts per partition
+  std::string metrics_out;    // board/faults/top: dba.metrics.v1 file
+  bool once = false;          // top: one refresh, no screen clearing
+  int iters = 10;             // top: refreshes before exiting (0 = forever)
 };
 
 void PrintUsage() {
@@ -96,12 +105,20 @@ void PrintUsage() {
       "  faults                   board run under deterministic fault\n"
       "                           injection; prints recovery telemetry\n"
       "                           (default --fault-rate=0.05)\n"
-      "  validate-bench FILE...   validate dba.bench.v1 JSON documents\n"
+      "  top                      live runtime-metrics view: runs board\n"
+      "                           ops in a loop and refreshes a table of\n"
+      "                           QPS, latency quantiles, and recovery\n"
+      "                           counters (--once for a single refresh,\n"
+      "                           --iters=N refreshes, --json=PATH writes\n"
+      "                           the final dba.metrics.v1 snapshot)\n"
+      "  validate-bench FILE...   validate dba.bench.v1 (and\n"
+      "                           dba.metrics.v1) JSON documents\n"
       "  compare-bench RUN BASE   compare a bench run against a committed\n"
       "                           baseline; exit 1 when a higher-is-better\n"
       "                           metric drops by more than --tolerance\n"
       "                           (default 0.15) or a baseline row is\n"
-      "                           missing from the run\n"
+      "                           missing from the run; --strict also\n"
+      "                           fails metrics the run omitted\n"
       "options:\n"
       "  --list-configs           print the synthesis table and exit\n"
       "  --config=NAME            108Mini | DBA_1LSU | DBA_2LSU |\n"
@@ -129,7 +146,14 @@ void PrintUsage() {
       "  --fault-rate=F           per-attempt probability of each fault\n"
       "                           class (hang, bit flips, NoC faults)\n"
       "  --broken-cores=A,B,...   cores that permanently hang\n"
-      "  --max-attempts=N         attempts per partition (default 4)\n");
+      "  --max-attempts=N         attempts per partition (default 4)\n"
+      "metrics options (board | faults | top):\n"
+      "  --metrics-out=PATH       write a dba.metrics.v1 runtime telemetry\n"
+      "                           snapshot (also written when the run\n"
+      "                           fails, so partial telemetry survives)\n"
+      "  --once                   top: render one table and exit\n"
+      "  --iters=N                top: refresh N times (default 10,\n"
+      "                           0 = until interrupted)\n");
 }
 
 std::optional<ProcessorKind> ParseKind(const std::string& name) {
@@ -211,8 +235,9 @@ int NumLsus(ProcessorKind kind) {
              : 1;
 }
 
-/// validate-bench FILE...: parse each document and check it against the
-/// dba.bench.v1 schema.
+/// validate-bench FILE...: parse each document and check it against its
+/// schema, dispatched on the schema tag: dba.bench.v1 bench results or
+/// dba.metrics.v1 runtime-telemetry snapshots.
 int ValidateBenchFiles(int argc, char** argv, int first) {
   if (first >= argc) {
     std::fprintf(stderr, "validate-bench: no files given\n");
@@ -221,17 +246,32 @@ int ValidateBenchFiles(int argc, char** argv, int first) {
   int failures = 0;
   for (int i = first; i < argc; ++i) {
     auto document = dba::obs::ReadJsonFile(argv[i]);
+    if (!document.ok()) {
+      std::fprintf(stderr, "%s: INVALID: %s\n", argv[i],
+                   document.status().ToString().c_str());
+      ++failures;
+      continue;
+    }
+    const bool is_metrics =
+        document->at("schema").is_string() &&
+        document->at("schema").as_string() == dba::obs::kMetricsSchema;
     const dba::Status status =
-        document.ok() ? dba::obs::ValidateBenchJson(*document)
-                      : document.status();
-    if (status.ok()) {
-      std::printf("%s: OK (%s, %zu rows)\n", argv[i],
-                  document->at("bench").as_string().c_str(),
-                  document->at("results").size());
-    } else {
+        is_metrics ? dba::obs::ValidateMetricsJson(*document)
+                   : dba::obs::ValidateBenchJson(*document);
+    if (!status.ok()) {
       std::fprintf(stderr, "%s: INVALID: %s\n", argv[i],
                    status.ToString().c_str());
       ++failures;
+    } else if (is_metrics) {
+      std::printf("%s: OK (%s, %zu counters, %zu gauges, %zu histograms)\n",
+                  argv[i], std::string(dba::obs::kMetricsSchema).c_str(),
+                  document->at("counters").members().size(),
+                  document->at("gauges").members().size(),
+                  document->at("histograms").members().size());
+    } else {
+      std::printf("%s: OK (%s, %zu rows)\n", argv[i],
+                  document->at("bench").as_string().c_str(),
+                  document->at("results").size());
     }
   }
   return failures == 0 ? 0 : 1;
@@ -247,6 +287,8 @@ int CompareBenchFiles(int argc, char** argv, int first) {
     std::string value;
     if (ParseFlag(argv[i], "--tolerance", &value)) {
       options.tolerance = std::strtod(value.c_str(), nullptr);
+    } else if (std::strcmp(argv[i], "--strict") == 0) {
+      options.strict = true;
     } else if (argv[i][0] == '-') {
       std::fprintf(stderr, "compare-bench: unknown option %s\n", argv[i]);
       return 2;
@@ -257,7 +299,7 @@ int CompareBenchFiles(int argc, char** argv, int first) {
   if (files.size() != 2) {
     std::fprintf(stderr,
                  "usage: dba_cli compare-bench RUN.json BASELINE.json "
-                 "[--tolerance=F]\n");
+                 "[--tolerance=F] [--strict]\n");
     return 2;
   }
   auto run = dba::obs::ReadJsonFile(files[0]);
@@ -277,6 +319,11 @@ int CompareBenchFiles(int argc, char** argv, int first) {
                 delta.row_key.c_str(), delta.metric.c_str(), delta.run_value,
                 delta.baseline_value, delta.ratio,
                 delta.regressed ? "  << REGRESSION" : "");
+  }
+  for (const std::string& tolerated : comparison->tolerated) {
+    std::printf("%-44s tolerated: metric absent from the run (use "
+                "--strict to fail)\n",
+                tolerated.c_str());
   }
   for (const std::string& row : comparison->missing_rows) {
     std::printf("%-44s MISSING from the run document\n", row.c_str());
@@ -307,13 +354,24 @@ std::vector<int> ParseIntList(const std::string& csv) {
   return values;
 }
 
-/// board / faults --op=... --cores=N --host-threads=N: a parallel set
-/// operation or sample-sort on a multi-core board, with the host-side
-/// simulation speed reported next to the simulated figures. The faults
-/// command (or any --fault-* / --broken-cores flag) runs under the
-/// deterministic injector and prints the recovery telemetry.
-int RunBoard(const CliOptions& options, ProcessorKind kind,
-             const dba::ProcessorOptions& processor_options) {
+/// Writes the --metrics-out snapshot if requested. Called on both the
+/// success and failure paths of board-style commands so a failed run
+/// still emits the telemetry it accumulated.
+void FlushMetricsOut(const std::string& path) {
+  if (path.empty()) return;
+  const dba::Status status = dba::obs::WriteMetricsSnapshotFile(path);
+  if (status.ok()) {
+    std::printf("wrote metrics snapshot to %s\n", path.c_str());
+  } else {
+    std::fprintf(stderr, "writing metrics snapshot %s failed: %s\n",
+                 path.c_str(), status.ToString().c_str());
+  }
+}
+
+/// The shared board construction of the board/faults/top commands.
+dba::system::BoardConfig MakeBoardConfig(
+    const CliOptions& options, ProcessorKind kind,
+    const dba::ProcessorOptions& processor_options) {
   const bool faults_mode = options.command == "faults";
   dba::system::BoardConfig config;
   config.core_kind = kind;
@@ -331,6 +389,19 @@ int RunBoard(const CliOptions& options, ProcessorKind kind,
   config.fault_plan.transfer_timeout_rate = rate;
   config.fault_plan.broken_cores = ParseIntList(options.broken_cores);
   config.recovery.max_attempts = options.max_attempts;
+  return config;
+}
+
+/// board / faults --op=... --cores=N --host-threads=N: a parallel set
+/// operation or sample-sort on a multi-core board, with the host-side
+/// simulation speed reported next to the simulated figures. The faults
+/// command (or any --fault-* / --broken-cores flag) runs under the
+/// deterministic injector and prints the recovery telemetry.
+int RunBoard(const CliOptions& options, ProcessorKind kind,
+             const dba::ProcessorOptions& processor_options) {
+  const bool faults_mode = options.command == "faults";
+  const dba::system::BoardConfig config =
+      MakeBoardConfig(options, kind, processor_options);
   auto board = dba::system::Board::Create(config);
   if (!board.ok()) return Fail(board.status());
 
@@ -351,7 +422,10 @@ int RunBoard(const CliOptions& options, ProcessorKind kind,
     if (!pair.ok()) return Fail(pair.status());
     run = (*board)->RunSetOperation(*op, pair->a, pair->b);
   }
-  if (!run.ok()) return Fail(run.status());
+  if (!run.ok()) {
+    FlushMetricsOut(options.metrics_out);
+    return Fail(run.status());
+  }
 
   std::printf("result elements   %zu\n", run->result.size());
   std::printf("makespan          %llu cycles\n",
@@ -392,6 +466,127 @@ int RunBoard(const CliOptions& options, ProcessorKind kind,
     if (!status.ok()) return Fail(status);
     std::printf("wrote board JSON to %s\n", options.json_path.c_str());
   }
+  FlushMetricsOut(options.metrics_out);
+  return 0;
+}
+
+/// top: runs board operations in a loop and refreshes a live table fed
+/// by the runtime-metrics registry -- QPS, simulated-latency quantiles,
+/// and the recovery counters (docs/OBSERVABILITY.md). The registry is
+/// reset on entry so the view covers this run only.
+int RunTop(const CliOptions& options, ProcessorKind kind,
+           const dba::ProcessorOptions& processor_options) {
+  dba::obs::MetricsRegistry::Global().Reset();
+  dba::obs::EventLog::Global().Clear();
+
+  const dba::system::BoardConfig config =
+      MakeBoardConfig(options, kind, processor_options);
+  auto board = dba::system::Board::Create(config);
+  if (!board.ok()) return Fail(board.status());
+
+  const auto op = ParseOp(options.op);
+  const bool is_sort = options.op == "sort";
+  if (!is_sort && (!op.has_value() || *op == SetOp::kMerge)) {
+    std::fprintf(stderr, "top supports intersect|union|difference|sort\n");
+    return 2;
+  }
+  std::vector<uint32_t> sort_values;
+  dba::SetPair pair;
+  if (is_sort) {
+    sort_values = dba::GenerateSortInput(options.n, options.seed);
+  } else {
+    auto generated = dba::GenerateSetPair(options.n,
+                                          options.nb.value_or(options.n),
+                                          options.selectivity, options.seed);
+    if (!generated.ok()) return Fail(generated.status());
+    pair = *std::move(generated);
+  }
+
+  const bool live = !options.once && isatty(fileno(stdout)) != 0;
+  const int iters = options.once ? 1 : options.iters;
+  const auto start = std::chrono::steady_clock::now();
+  uint64_t ops_done = 0;
+
+  const auto render = [&] {
+    const dba::obs::MetricsSnapshot snapshot =
+        dba::obs::MetricsRegistry::Global().Snapshot();
+    const auto counter = [&snapshot](const char* name) -> unsigned long long {
+      const auto it = snapshot.counters.find(name);
+      return it == snapshot.counters.end() ? 0 : it->second;
+    };
+    const auto gauge = [&snapshot](const char* name) -> double {
+      const auto it = snapshot.gauges.find(name);
+      return it == snapshot.gauges.end() ? 0 : it->second;
+    };
+    const double elapsed =
+        std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                      start)
+            .count();
+    if (live) std::printf("\x1b[H\x1b[J");  // home + clear to end
+    std::printf("dba top -- %s on a %d-core board, n=%u (refresh %llu)\n",
+                options.op.c_str(), options.cores, options.n,
+                static_cast<unsigned long long>(ops_done));
+    std::printf("uptime %.1fs   ops %llu   QPS %.1f\n\n", elapsed,
+                static_cast<unsigned long long>(ops_done),
+                elapsed > 0 ? static_cast<double>(ops_done) / elapsed : 0.0);
+    const auto quantiles = [&snapshot](const char* name, const char* label) {
+      const auto it = snapshot.histograms.find(name);
+      if (it == snapshot.histograms.end() || it->second.count == 0) return;
+      std::printf("%-18s p50 %.0f   p90 %.0f   p99 %.0f   (n=%llu)\n",
+                  label, it->second.Quantile(0.5), it->second.Quantile(0.9),
+                  it->second.Quantile(0.99),
+                  static_cast<unsigned long long>(it->second.count));
+    };
+    quantiles("dba_system_op_makespan_cycles", "makespan cycles");
+    quantiles("dba_system_partition_cycles", "partition cycles");
+    std::printf("recovery           faults %llu   retries %llu   requeues "
+                "%llu   rounds %llu   verif_fail %llu\n",
+                counter("dba_system_faults_injected_total"),
+                counter("dba_system_retries_total"),
+                counter("dba_system_requeues_total"),
+                counter("dba_system_recovery_rounds_total"),
+                counter("dba_system_verification_failures_total"));
+    std::printf("cores              healthy %.0f   quarantined %.0f\n",
+                gauge("dba_system_healthy_cores"),
+                gauge("dba_system_quarantined_cores"));
+    std::printf("noc                feed_bytes %llu   transfer_fail %llu   "
+                "timeouts %llu\n",
+                counter("dba_system_noc_feed_bytes_total"),
+                counter("dba_system_noc_transfer_failures_total"),
+                counter("dba_system_noc_transfer_timeouts_total"));
+    const std::vector<dba::obs::Event> events =
+        dba::obs::EventLog::Global().Tail(5);
+    if (!events.empty()) {
+      std::printf("recent events:\n");
+      for (const dba::obs::Event& event : events) {
+        std::string fields;
+        for (const auto& [key, val] : event.fields) {
+          fields += " " + key + "=" + val;
+        }
+        std::printf("  [%s] %s: %s%s\n",
+                    std::string(dba::obs::EventLevelName(event.level))
+                        .c_str(),
+                    event.scope.c_str(), event.message.c_str(),
+                    fields.c_str());
+      }
+    }
+    std::fflush(stdout);
+  };
+
+  for (int iter = 0; iters == 0 || iter < iters; ++iter) {
+    dba::Result<dba::system::ParallelRun> run =
+        is_sort ? (*board)->RunSort(sort_values)
+                : (*board)->RunSetOperation(*op, pair.a, pair.b);
+    if (!run.ok()) {
+      FlushMetricsOut(options.metrics_out);
+      if (!options.json_path.empty()) FlushMetricsOut(options.json_path);
+      return Fail(run.status());
+    }
+    ++ops_done;
+    render();
+  }
+  if (!options.json_path.empty()) FlushMetricsOut(options.json_path);
+  FlushMetricsOut(options.metrics_out);
   return 0;
 }
 
@@ -458,7 +653,8 @@ int main(int argc, char** argv) {
       return CompareBenchFiles(argc, argv, 2);
     }
     if (options.command != "profile" && options.command != "trace" &&
-        options.command != "board" && options.command != "faults") {
+        options.command != "board" && options.command != "faults" &&
+        options.command != "top") {
       std::fprintf(stderr, "unknown command: %s\n\n", argv[1]);
       PrintUsage();
       return 2;
@@ -525,6 +721,12 @@ int main(int argc, char** argv) {
     } else if (ParseFlag(arg, "--max-attempts", &value)) {
       options.max_attempts =
           static_cast<int>(std::strtol(value.c_str(), nullptr, 10));
+    } else if (ParseFlag(arg, "--metrics-out", &value)) {
+      options.metrics_out = value;
+    } else if (std::strcmp(arg, "--once") == 0) {
+      options.once = true;
+    } else if (ParseFlag(arg, "--iters", &value)) {
+      options.iters = static_cast<int>(std::strtol(value.c_str(), nullptr, 10));
     } else {
       std::fprintf(stderr, "unknown option: %s\n\n", arg);
       PrintUsage();
@@ -555,6 +757,9 @@ int main(int argc, char** argv) {
   }
   if (options.command == "board" || options.command == "faults") {
     return RunBoard(options, *kind, processor_options);
+  }
+  if (options.command == "top") {
+    return RunTop(options, *kind, processor_options);
   }
 
   auto processor = dba::Processor::Create(*kind, processor_options);
