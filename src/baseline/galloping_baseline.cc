@@ -1,0 +1,50 @@
+#include "baseline/galloping_baseline.h"
+
+#include <algorithm>
+
+namespace dba::baseline {
+
+namespace {
+
+/// First position in [lo, hi) of `haystack` with haystack[pos] >= value,
+/// found by doubling the probe distance from `lo` and binary-searching
+/// the last octave. `lo` is a monotone cursor: successive probe values
+/// are increasing, so the gallop restarts where the previous one ended.
+size_t GallopLowerBound(std::span<const uint32_t> haystack, size_t lo,
+                        uint32_t value) {
+  const size_t n = haystack.size();
+  if (lo >= n || haystack[lo] >= value) return lo;
+  size_t step = 1;
+  size_t prev = lo;
+  while (lo + step < n && haystack[lo + step] < value) {
+    prev = lo + step;
+    step <<= 1;
+  }
+  const size_t hi = std::min(lo + step + 1, n);
+  return static_cast<size_t>(
+      std::lower_bound(haystack.begin() + static_cast<ptrdiff_t>(prev),
+                       haystack.begin() + static_cast<ptrdiff_t>(hi), value) -
+      haystack.begin());
+}
+
+}  // namespace
+
+std::vector<uint32_t> GallopingIntersect(std::span<const uint32_t> a,
+                                         std::span<const uint32_t> b) {
+  // Gallop with the smaller set as the probe stream.
+  if (a.size() > b.size()) std::swap(a, b);
+  std::vector<uint32_t> out;
+  out.reserve(a.size());
+  size_t cursor = 0;
+  for (const uint32_t value : a) {
+    cursor = GallopLowerBound(b, cursor, value);
+    if (cursor == b.size()) break;
+    if (b[cursor] == value) {
+      out.push_back(value);
+      ++cursor;  // inputs are duplicate-free: the next match is beyond.
+    }
+  }
+  return out;
+}
+
+}  // namespace dba::baseline

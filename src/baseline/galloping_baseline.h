@@ -1,0 +1,27 @@
+#ifndef DBA_BASELINE_GALLOPING_BASELINE_H_
+#define DBA_BASELINE_GALLOPING_BASELINE_H_
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+namespace dba::baseline {
+
+/// Host-executed galloping (exponential-probe + binary-search) sorted-set
+/// intersection, the classic small-vs-large algorithm (Bentley & Yao;
+/// used by Ding & Koenig's "Fast Set Intersection in Memory" as the
+/// skewed-size baseline the partition structures are compared against).
+///
+/// Each element of the smaller input is located in the larger one by
+/// doubling a probe offset from a monotone cursor and binary-searching
+/// the final run, so the cost is O(|small| * log(|large| / |small|))
+/// instead of the O(|A| + |B|) of the merge loop -- the regime where the
+/// EIS merge datapath is weakest. Inputs must be sorted and
+/// duplicate-free (the paper's RID-set contract); the output is the
+/// sorted intersection, byte-identical to ScalarIntersect.
+std::vector<uint32_t> GallopingIntersect(std::span<const uint32_t> a,
+                                         std::span<const uint32_t> b);
+
+}  // namespace dba::baseline
+
+#endif  // DBA_BASELINE_GALLOPING_BASELINE_H_

@@ -1,6 +1,7 @@
 #include "query/engine.h"
 
 #include <algorithm>
+#include <chrono>
 #include <numeric>
 
 #include "obs/metrics/metrics.h"
@@ -9,6 +10,12 @@
 namespace dba::query {
 
 namespace {
+
+using Clock = std::chrono::steady_clock;
+
+double ElapsedNs(Clock::time_point begin, Clock::time_point end) {
+  return std::chrono::duration<double, std::nano>(end - begin).count();
+}
 
 // Registered once; hot-path cost is one relaxed fetch_add per set op /
 // sort / query.  Latency histograms observe *simulated* accelerator
@@ -42,6 +49,48 @@ const QueryInstrumentSet& QueryInstruments() {
     out.latency = registry.GetHistogram(
         "dba_query_latency_cycles",
         "Simulated accelerator cycles per public query.");
+    return out;
+  }();
+  return instruments;
+}
+
+// Adaptive-planner instruments (EnableAdaptivePlanner). Route counters
+// record counts only, so they keep the registry's determinism contract
+// and match QueryStats::route_counts exactly at any host_threads; the
+// decision/wall histograms observe host nanoseconds and are explicitly
+// outside that contract (documented in docs/PLANNER.md).
+struct PlanInstrumentSet {
+  std::array<obs::Counter*, kNumRoutes> route_total;
+  std::array<obs::Histogram*, kNumRoutes> route_wall_ns;
+  obs::Histogram* decision_ns;
+  obs::Histogram* eis_cycles;
+  obs::Counter* index_builds;
+};
+
+const PlanInstrumentSet& PlanInstruments() {
+  static const PlanInstrumentSet instruments = [] {
+    obs::MetricsRegistry& registry = obs::MetricsRegistry::Global();
+    PlanInstrumentSet out;
+    for (size_t r = 0; r < kNumRoutes; ++r) {
+      const std::string_view route = RouteName(static_cast<Route>(r));
+      out.route_total[r] = registry.GetCounter(
+          "dba_query_plan_total", "route", route,
+          "Planner-routed intersections by chosen route.");
+      out.route_wall_ns[r] = registry.GetHistogram(
+          "dba_query_plan_route_wall_ns", "route", route,
+          "Execution time per routed intersection in ns: simulated time "
+          "(cycles / f_max) for eis_merge, host wall time otherwise "
+          "(host-route series are not deterministic).");
+    }
+    out.decision_ns = registry.GetHistogram(
+        "dba_query_plan_decision_ns",
+        "Planner decision latency in host ns (not deterministic).");
+    out.eis_cycles = registry.GetHistogram(
+        "dba_query_plan_eis_cycles",
+        "Simulated cycles of planner-routed EIS intersections.");
+    out.index_builds = registry.GetCounter(
+        "dba_query_partition_index_builds_total",
+        "Lazy PartitionIndex materializations (savings meter paybacks).");
     return out;
   }();
   return instruments;
@@ -91,77 +140,62 @@ Status QueryEngine::BuildIndex(const std::string& column) {
   return Status::Ok();
 }
 
-Result<std::vector<Rid>> QueryEngine::Probe(const Predicate& leaf,
-                                            QueryStats* stats) {
+Result<QueryEngine::Operand> QueryEngine::Probe(const Predicate& leaf,
+                                                QueryStats* stats) {
   auto it = indexes_.find(leaf.column);
   if (it == indexes_.end()) {
     return Status::FailedPrecondition(
         "no secondary index on column '" + leaf.column +
         "'; call BuildIndex first");
   }
-  std::vector<Rid> rids;
+  Operand out;
+  uint32_t lo = leaf.lo;
+  uint32_t hi = leaf.hi;
   switch (leaf.kind) {
     case Predicate::Kind::kEquals:
-      rids = it->second.ProbeEquals(leaf.lo);
+      out.rids = it->second.ProbeEquals(leaf.lo);
+      hi = leaf.lo;
       break;
     case Predicate::Kind::kBetween:
     case Predicate::Kind::kLessEq:
     case Predicate::Kind::kGreaterEq:
-      rids = it->second.ProbeRange(leaf.lo, leaf.hi);
+      out.rids = it->second.ProbeRange(leaf.lo, leaf.hi);
       break;
     default:
       return Status::Internal("Probe called on a non-leaf predicate");
   }
+  // Provenance for the planner: the source column (savings accounting)
+  // and a probe signature (the index cache key -- the table is
+  // immutable, so identical signatures yield identical RID sets).
+  out.column = leaf.column;
+  out.probe_key =
+      leaf.column + ":" + std::to_string(lo) + ":" + std::to_string(hi);
   if (stats != nullptr) {
     ++stats->index_probes;
     AddPlanStep(stats, "probe " + leaf.ToString() + " -> " +
-                           std::to_string(rids.size()) + " RIDs");
+                           std::to_string(out.rids.size()) + " RIDs");
   }
-  return rids;
+  return out;
 }
 
-Result<std::vector<Rid>> QueryEngine::RunSetOp(SetOp op,
-                                               const std::vector<Rid>& a,
-                                               const std::vector<Rid>& b,
-                                               QueryStats* stats) {
-  // Degenerate inputs need no accelerator round trip.
-  if (a.empty() || b.empty()) {
-    std::vector<Rid> result;
-    switch (op) {
-      case SetOp::kIntersect:
-        break;
-      case SetOp::kUnion:
-        result = a.empty() ? b : a;
-        break;
-      case SetOp::kDifference:
-        result = a;
-        break;
-      default:
-        return Status::InvalidArgument("unsupported set operation");
-    }
-    AddPlanStep(stats, std::string(eis::SopModeName(op)) +
-                           " (degenerate) -> " +
-                           std::to_string(result.size()) + " RIDs");
-    return result;
-  }
-
-  uint64_t cycles = 0;
-  std::vector<Rid> result;
+Result<QueryEngine::EisExecution> QueryEngine::ExecuteEis(
+    SetOp op, std::span<const Rid> a, std::span<const Rid> b) {
+  EisExecution out;
   const bool fits =
       a.size() <= processor_->max_set_elements(
                       static_cast<uint32_t>(b.size())) &&
       b.size() <= processor_->max_set_elements(static_cast<uint32_t>(a.size()));
+  out.streamed = !fits;
   Status last_error = Status::Internal("no attempt executed");
-  int attempts_used = 0;
   bool done = false;
   for (int attempt = 0; attempt < max_attempts_ && !done; ++attempt) {
-    attempts_used = attempt + 1;
+    out.attempts_used = attempt + 1;
     const RunSettings settings = AttemptSettings(run_settings_, attempt);
     if (fits) {
       Result<SetOpRun> run = processor_->RunSetOperation(op, a, b, settings);
       if (run.ok()) {
-        cycles = run->metrics.cycles;
-        result = std::move(run->result);
+        out.cycles = run->metrics.cycles;
+        out.result = std::move(run->result);
         done = true;
       } else {
         last_error = run.status();
@@ -172,8 +206,8 @@ Result<std::vector<Rid>> QueryEngine::RunSetOp(SetOp op,
                                                 settings);
       Result<prefetch::StreamingRun> run = streaming.Run(op, a, b);
       if (run.ok()) {
-        cycles = run->total_cycles;
-        result = std::move(run->result);
+        out.cycles = run->total_cycles;
+        out.result = std::move(run->result);
         done = true;
       } else {
         last_error = run.status();
@@ -182,19 +216,187 @@ Result<std::vector<Rid>> QueryEngine::RunSetOp(SetOp op,
     if (!done && !IsTransient(last_error.code())) return last_error;
   }
   if (!done) return last_error;
+  return out;
+}
+
+Result<std::vector<Rid>> QueryEngine::RunSetOp(SetOp op, const OperandView& a,
+                                               const OperandView& b,
+                                               QueryStats* stats) {
+  // Degenerate inputs need no accelerator round trip.
+  if (a.rids.empty() || b.rids.empty()) {
+    std::vector<Rid> result;
+    switch (op) {
+      case SetOp::kIntersect:
+        break;
+      case SetOp::kUnion: {
+        const std::span<const Rid> keep = a.rids.empty() ? b.rids : a.rids;
+        result.assign(keep.begin(), keep.end());
+        break;
+      }
+      case SetOp::kDifference:
+        result.assign(a.rids.begin(), a.rids.end());
+        break;
+      default:
+        return Status::InvalidArgument("unsupported set operation");
+    }
+    AddPlanStep(stats, std::string(eis::SopModeName(op)) +
+                           " (degenerate) -> " +
+                           std::to_string(result.size()) + " RIDs");
+    return result;
+  }
+
+  // Adaptive routing applies to intersections only (union/difference/
+  // merge always take the EIS datapath); off by default.
+  if (op == SetOp::kIntersect && planner_ != nullptr) {
+    return RunPlannedIntersect(a, b, stats);
+  }
+
+  DBA_ASSIGN_OR_RETURN(EisExecution run, ExecuteEis(op, a.rids, b.rids));
+  QueryInstruments().setops->Increment();
+  QueryInstruments().retries->Increment(
+      static_cast<uint64_t>(run.attempts_used - 1));
+  if (stats != nullptr) {
+    stats->retries += static_cast<uint32_t>(run.attempts_used - 1);
+    ++stats->set_operations;
+    stats->accelerator_cycles += run.cycles;
+    stats->elements_processed += a.rids.size() + b.rids.size();
+    AddPlanStep(stats, std::string(eis::SopModeName(op)) + " " +
+                           std::to_string(a.rids.size()) + " x " +
+                           std::to_string(b.rids.size()) + " -> " +
+                           std::to_string(run.result.size()) + " RIDs" +
+                           (run.streamed ? " [streamed]" : ""));
+  }
+  return std::move(run.result);
+}
+
+Result<std::vector<Rid>> QueryEngine::RunPlannedIntersect(
+    const OperandView& a, const OperandView& b, QueryStats* stats) {
+  const PlanInstrumentSet& plan_metrics = PlanInstruments();
+  const CostModel& model = planner_->cost_model();
+  const bool a_is_small = a.rids.size() <= b.rids.size();
+  const OperandView& small = a_is_small ? a : b;
+  const OperandView& large = a_is_small ? b : a;
+
+  // A cached index over the larger operand's exact RID set?
+  const PartitionIndex* index = nullptr;
+  if (!large.probe_key.empty()) {
+    auto it = partition_indexes_.find(std::string(large.probe_key));
+    if (it != partition_indexes_.end()) index = &it->second;
+  }
+
+  const Clock::time_point decide_begin = Clock::now();
+  PlanDecision decision =
+      planner_->Plan(a.rids.size(), b.rids.size(), index != nullptr);
+  plan_metrics.decision_ns->Observe(static_cast<uint64_t>(
+      ElapsedNs(decide_begin, Clock::now())));
+
+  // Savings accounting (self-building index): without an index for this
+  // operand, record what the partition-probe route would have saved over
+  // the chosen route; once a column's accumulated missed savings reach
+  // payback_factor * build_cost, materialize the index and charge it.
+  if (index == nullptr && !decision.forced && !large.column.empty() &&
+      !large.probe_key.empty() && planner_->options().allow_partition_index) {
+    const double build_cost_ns = model.PartitionBuildNs(large.rids.size());
+    const double savings_ns =
+        decision.chosen_ns -
+        model.PartitionProbeNs(a.rids.size(), b.rids.size()) -
+        model.decision_ns;
+    const std::string column(large.column);
+    PartitionSavingsMeter& meter = savings_[column];
+    const bool payback = meter.RecordMiss(savings_ns, build_cost_ns,
+                                          planner_->options().payback_factor);
+    ColumnIndexState& state = index_state_[column];
+    state.build_cost_ns = build_cost_ns;
+    state.misses_recorded = meter.misses_recorded();
+    if (payback) {
+      PartitionIndex built = PartitionIndex::Build(large.rids);
+      meter.ChargeBuild(build_cost_ns);
+      ++state.indexes_built;
+      state.indexed_entries += built.size();
+      auto [it, inserted] =
+          partition_indexes_.emplace(std::string(large.probe_key),
+                                     std::move(built));
+      index = &it->second;
+      decision.route = Route::kPartitionProbe;
+      decision.index_available = true;
+      decision.chosen_ns =
+          decision.estimated_ns[static_cast<size_t>(Route::kPartitionProbe)];
+      plan_metrics.index_builds->Increment();
+      if (stats != nullptr) ++stats->partition_index_builds;
+      AddPlanStep(stats, "build partition index on " + column + " (" +
+                             std::to_string(large.rids.size()) + " entries)");
+    }
+    state.missed_savings_ns = meter.missed_savings_ns();
+  }
+
+  // Execute the chosen route. The EIS route keeps the engine's
+  // transient-failure retry loop; host routes run to completion.
+  const uint64_t cycles_base =
+      stats != nullptr ? stats->accelerator_cycles : 0;
+  std::vector<Rid> result;
+  uint64_t cycles = 0;
+  double route_seconds = 0;
+  bool streamed = false;
+  int attempts_used = 1;
+  if (decision.route == Route::kEisMerge) {
+    DBA_ASSIGN_OR_RETURN(EisExecution run,
+                         ExecuteEis(SetOp::kIntersect, a.rids, b.rids));
+    result = std::move(run.result);
+    cycles = run.cycles;
+    streamed = run.streamed;
+    attempts_used = run.attempts_used;
+    route_seconds = static_cast<double>(cycles) / processor_->frequency_hz();
+    plan_metrics.eis_cycles->Observe(cycles);
+  } else {
+    // The partition route probes the (cached or transient) index over
+    // the larger operand with the smaller; the merge-family host routes
+    // are symmetric and take the operands as-is.
+    Result<RouteRun> run =
+        decision.route == Route::kPartitionProbe
+            ? RunIntersectRoute(decision.route, small.rids, large.rids,
+                                processor_, run_settings_, index)
+            : RunIntersectRoute(decision.route, a.rids, b.rids, processor_,
+                                run_settings_);
+    DBA_RETURN_IF_ERROR(run.status());
+    result = std::move(run->result);
+    route_seconds = run->route_seconds + run->build_seconds;
+  }
+
+  const size_t route_idx = static_cast<size_t>(decision.route);
+  plan_metrics.route_total[route_idx]->Increment();
+  plan_metrics.route_wall_ns[route_idx]->Observe(
+      static_cast<uint64_t>(route_seconds * 1e9));
   QueryInstruments().setops->Increment();
   QueryInstruments().retries->Increment(
       static_cast<uint64_t>(attempts_used - 1));
   if (stats != nullptr) {
     stats->retries += static_cast<uint32_t>(attempts_used - 1);
     ++stats->set_operations;
+    ++stats->planned_ops;
+    ++stats->route_counts[route_idx];
     stats->accelerator_cycles += cycles;
-    stats->elements_processed += a.size() + b.size();
-    AddPlanStep(stats, std::string(eis::SopModeName(op)) + " " +
-                           std::to_string(a.size()) + " x " +
-                           std::to_string(b.size()) + " -> " +
+    stats->elements_processed += a.rids.size() + b.rids.size();
+    if (decision.route != Route::kEisMerge) {
+      stats->host_route_seconds += route_seconds;
+    }
+    AddPlanStep(stats, "intersect[" + std::string(RouteName(decision.route)) +
+                           (decision.forced ? ", forced" : "") + "] " +
+                           std::to_string(a.rids.size()) + " x " +
+                           std::to_string(b.rids.size()) + " -> " +
                            std::to_string(result.size()) + " RIDs" +
-                           (fits ? "" : " [streamed]"));
+                           (streamed ? " [streamed]" : ""));
+  }
+  if (run_settings_.trace_sink != nullptr) {
+    // Planner span on the simulated timeline: EIS spans are exact; host
+    // routes are rendered at their wall-equivalent width in cycles.
+    const uint64_t width =
+        decision.route == Route::kEisMerge
+            ? cycles
+            : static_cast<uint64_t>(route_seconds *
+                                    processor_->frequency_hz());
+    run_settings_.trace_sink->BeginRegion(
+        cycles_base, "plan[" + std::string(RouteName(decision.route)) + "]");
+    run_settings_.trace_sink->EndRegion(cycles_base + width);
   }
   return result;
 }
@@ -206,69 +408,74 @@ Result<std::vector<Rid>> QueryEngine::Complement(const std::vector<Rid>& rids,
   return RunSetOp(SetOp::kDifference, all, rids, stats);
 }
 
-Result<std::vector<Rid>> QueryEngine::Evaluate(const Predicate& predicate,
-                                               QueryStats* stats) {
+Result<QueryEngine::Operand> QueryEngine::Evaluate(const Predicate& predicate,
+                                                   QueryStats* stats) {
   if (predicate.is_leaf()) return Probe(predicate, stats);
 
   switch (predicate.kind) {
     case Predicate::Kind::kNot: {
-      DBA_ASSIGN_OR_RETURN(std::vector<Rid> child,
+      DBA_ASSIGN_OR_RETURN(Operand child,
                            Evaluate(*predicate.children[0], stats));
-      return Complement(child, stats);
+      DBA_ASSIGN_OR_RETURN(std::vector<Rid> rids,
+                           Complement(child.rids, stats));
+      return Operand{std::move(rids), {}, {}};
     }
     case Predicate::Kind::kAnd: {
       // Index ANDing (Raman et al. [31]): evaluate positive conjuncts,
       // intersect smallest-first, and apply negated conjuncts as
       // difference operands (A AND NOT B = A \ B) -- never
-      // materializing a complement.
-      std::vector<std::vector<Rid>> positives;
+      // materializing a complement. Leaf operands keep their column
+      // provenance, so the planner's savings accounting sees which
+      // column each intersection probed.
+      std::vector<Operand> positives;
       std::vector<const Predicate*> negatives;
       for (const PredicatePtr& child : predicate.children) {
         if (child->kind == Predicate::Kind::kNot) {
           negatives.push_back(child->children[0].get());
         } else {
-          DBA_ASSIGN_OR_RETURN(std::vector<Rid> rids,
-                               Evaluate(*child, stats));
-          positives.push_back(std::move(rids));
+          DBA_ASSIGN_OR_RETURN(Operand operand, Evaluate(*child, stats));
+          positives.push_back(std::move(operand));
         }
       }
-      std::vector<Rid> accumulator;
+      Operand accumulator;
       if (positives.empty()) {
-        accumulator.resize(table_->num_rows());
-        std::iota(accumulator.begin(), accumulator.end(), 0u);
+        accumulator.rids.resize(table_->num_rows());
+        std::iota(accumulator.rids.begin(), accumulator.rids.end(), 0u);
       } else {
         std::sort(positives.begin(), positives.end(),
-                  [](const auto& x, const auto& y) {
-                    return x.size() < y.size();
+                  [](const Operand& x, const Operand& y) {
+                    return x.rids.size() < y.rids.size();
                   });
         accumulator = std::move(positives.front());
         for (size_t i = 1; i < positives.size(); ++i) {
           DBA_ASSIGN_OR_RETURN(
-              accumulator,
+              std::vector<Rid> rids,
               RunSetOp(SetOp::kIntersect, accumulator, positives[i], stats));
+          accumulator = Operand{std::move(rids), {}, {}};
         }
       }
       for (const Predicate* negative : negatives) {
-        DBA_ASSIGN_OR_RETURN(std::vector<Rid> excluded,
-                             Evaluate(*negative, stats));
+        DBA_ASSIGN_OR_RETURN(Operand excluded, Evaluate(*negative, stats));
         DBA_ASSIGN_OR_RETURN(
-            accumulator,
+            std::vector<Rid> rids,
             RunSetOp(SetOp::kDifference, accumulator, excluded, stats));
+        accumulator = Operand{std::move(rids), {}, {}};
       }
       return accumulator;
     }
     case Predicate::Kind::kOr: {
-      std::vector<Rid> accumulator;
+      Operand accumulator;
       bool first = true;
       for (const PredicatePtr& child : predicate.children) {
-        DBA_ASSIGN_OR_RETURN(std::vector<Rid> rids, Evaluate(*child, stats));
+        DBA_ASSIGN_OR_RETURN(Operand operand, Evaluate(*child, stats));
         if (first) {
-          accumulator = std::move(rids);
+          accumulator = std::move(operand);
           first = false;
         } else {
           DBA_ASSIGN_OR_RETURN(
-              accumulator,
-              RunSetOp(SetOp::kUnion, accumulator, rids, stats));
+              std::vector<Rid> rids,
+              RunSetOp(SetOp::kUnion, accumulator, operand, stats));
+          accumulator = Operand{std::move(rids), {}, {}};
         }
       }
       return accumulator;
@@ -276,6 +483,26 @@ Result<std::vector<Rid>> QueryEngine::Evaluate(const Predicate& predicate,
     default:
       return Status::Internal("unhandled predicate kind");
   }
+}
+
+void QueryEngine::EnableAdaptivePlanner(const PlannerOptions& options) {
+  planner_ = std::make_unique<Planner>(options);
+  savings_.clear();
+  partition_indexes_.clear();
+  index_state_.clear();
+}
+
+void QueryEngine::DisableAdaptivePlanner() {
+  planner_.reset();
+  savings_.clear();
+  partition_indexes_.clear();
+  index_state_.clear();
+}
+
+ColumnIndexState QueryEngine::partition_state(
+    const std::string& column) const {
+  auto it = index_state_.find(column);
+  return it == index_state_.end() ? ColumnIndexState{} : it->second;
 }
 
 Result<std::vector<Rid>> QueryEngine::Select(const Predicate& predicate,
@@ -286,12 +513,12 @@ Result<std::vector<Rid>> QueryEngine::Select(const Predicate& predicate,
   QueryStats local_stats;
   QueryStats* s = stats != nullptr ? stats : &local_stats;
   const uint64_t cycles_before = s->accelerator_cycles;
-  DBA_ASSIGN_OR_RETURN(std::vector<Rid> rids, Evaluate(predicate, s));
+  DBA_ASSIGN_OR_RETURN(Operand matched, Evaluate(predicate, s));
   s->accelerator_seconds = static_cast<double>(s->accelerator_cycles) /
                            processor_->frequency_hz();
   QueryCounter("select")->Increment();
   QueryInstruments().latency->Observe(s->accelerator_cycles - cycles_before);
-  return rids;
+  return std::move(matched.rids);
 }
 
 namespace {
@@ -449,7 +676,8 @@ Result<std::vector<uint32_t>> QueryEngine::SelectValuesOrdered(
   QueryStats local_stats;
   QueryStats* s = stats != nullptr ? stats : &local_stats;
   const uint64_t cycles_before = s->accelerator_cycles;
-  DBA_ASSIGN_OR_RETURN(std::vector<Rid> rids, Evaluate(predicate, s));
+  DBA_ASSIGN_OR_RETURN(Operand matched, Evaluate(predicate, s));
+  const std::vector<Rid>& rids = matched.rids;
   DBA_ASSIGN_OR_RETURN(std::span<const uint32_t> column,
                        table_->Column(order_by));
 

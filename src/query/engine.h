@@ -6,10 +6,14 @@
 #include <string>
 #include <vector>
 
+#include <array>
+
 #include "common/status.h"
 #include "common/thread_pool.h"
 #include "core/processor.h"
 #include "query/index.h"
+#include "query/partition_index.h"
+#include "query/planner.h"
 #include "query/predicate.h"
 #include "query/table.h"
 
@@ -25,6 +29,23 @@ struct QueryStats {
   uint64_t elements_processed = 0;   // set-op + sort input elements
   double accelerator_seconds = 0;    // at the synthesized f_max
   std::vector<std::string> plan;     // rendered execution steps
+  // --- Adaptive-planner telemetry (EnableAdaptivePlanner) ---
+  uint32_t planned_ops = 0;          // intersections routed by the planner
+  /// Executions per route, indexed by Route; always sums to planned_ops
+  /// and matches the dba_query_plan_total{route=...} counter deltas.
+  std::array<uint32_t, kNumRoutes> route_counts{};
+  uint32_t partition_index_builds = 0;  // lazy indexes materialized
+  double host_route_seconds = 0;     // wall time spent in host routes
+};
+
+/// Savings/materialization state of one column's lazy PartitionIndex
+/// (inspection surface for tests and `dba_cli plan`).
+struct ColumnIndexState {
+  double missed_savings_ns = 0;  // accumulated unclaimed savings
+  double build_cost_ns = 0;      // estimate for the last candidate set
+  uint32_t misses_recorded = 0;
+  uint32_t indexes_built = 0;
+  uint64_t indexed_entries = 0;  // total elements across built indexes
 };
 
 /// A miniature selection/ordering engine on top of the accelerator: the
@@ -84,6 +105,23 @@ class QueryEngine {
     sibling_ = sibling;
   }
 
+  /// Enables the adaptive intersection planner (docs/PLANNER.md): every
+  /// RID-set intersection is routed to its estimated-fastest kernel --
+  /// EIS merge, host galloping, host SIMD merge, or a probe of a lazy
+  /// per-column PartitionIndex that materializes only once its
+  /// savings-accounting meter pays back the build cost. Results stay
+  /// byte-identical to the always-EIS engine on every route; only the
+  /// execution vehicle (and so QueryStats::accelerator_cycles vs.
+  /// host_route_seconds) changes. Off by default: the seed behavior is
+  /// always-EIS.
+  void EnableAdaptivePlanner(const PlannerOptions& options = {});
+  void DisableAdaptivePlanner();
+  bool planner_enabled() const { return planner_ != nullptr; }
+  const Planner* planner() const { return planner_.get(); }
+
+  /// Lazy-index state of `column` ({} when never considered).
+  ColumnIndexState partition_state(const std::string& column) const;
+
   /// Base kernel-run settings applied to every accelerator call -- e.g. a
   /// watchdog budget (RunSettings::max_cycles) when the core may hang, or
   /// input validation when RID lists may arrive corrupted.
@@ -99,14 +137,53 @@ class QueryEngine {
   }
 
  private:
-  Result<std::vector<Rid>> Evaluate(const Predicate& predicate,
-                                    QueryStats* stats);
-  Result<std::vector<Rid>> Probe(const Predicate& leaf, QueryStats* stats);
-  Result<std::vector<Rid>> RunSetOp(SetOp op, const std::vector<Rid>& a,
-                                    const std::vector<Rid>& b,
-                                    QueryStats* stats);
+  /// A sorted RID set plus its provenance: leaf probes carry the source
+  /// column and a probe signature ("column:lo:hi") so the planner's
+  /// savings accounting and index cache can recognize repeated work;
+  /// derived sets (set-op results, complements) are anonymous.
+  struct Operand {
+    std::vector<Rid> rids;
+    std::string column;     // "" = not attributable to one column
+    std::string probe_key;  // "" = not cacheable
+  };
+
+  /// Non-owning view of an operand; implicitly built from an Operand or
+  /// a bare RID vector (anonymous provenance).
+  struct OperandView {
+    std::span<const Rid> rids;
+    std::string_view column;
+    std::string_view probe_key;
+    OperandView(const Operand& operand)  // NOLINT
+        : rids(operand.rids),
+          column(operand.column),
+          probe_key(operand.probe_key) {}
+    OperandView(const std::vector<Rid>& plain) : rids(plain) {}  // NOLINT
+  };
+
+  Result<Operand> Evaluate(const Predicate& predicate, QueryStats* stats);
+  Result<Operand> Probe(const Predicate& leaf, QueryStats* stats);
+  Result<std::vector<Rid>> RunSetOp(SetOp op, const OperandView& a,
+                                    const OperandView& b, QueryStats* stats);
   Result<std::vector<Rid>> Complement(const std::vector<Rid>& rids,
                                       QueryStats* stats);
+
+  /// The raw EIS execution: capacity-based streaming plus the
+  /// transient-failure retry loop. No stats/plan side effects.
+  struct EisExecution {
+    std::vector<Rid> result;
+    uint64_t cycles = 0;
+    bool streamed = false;
+    int attempts_used = 1;
+  };
+  Result<EisExecution> ExecuteEis(SetOp op, std::span<const Rid> a,
+                                  std::span<const Rid> b);
+
+  /// Planner-routed intersection of two non-empty operands: decides,
+  /// runs the lazy-index savings accounting, executes the chosen route,
+  /// and records the decision in stats/metrics/trace.
+  Result<std::vector<Rid>> RunPlannedIntersect(const OperandView& a,
+                                               const OperandView& b,
+                                               QueryStats* stats);
 
   const Table* table_;
   Processor* processor_;
@@ -115,6 +192,12 @@ class QueryEngine {
   RunSettings run_settings_;
   int max_attempts_ = 1;
   std::map<std::string, SecondaryIndex> indexes_;
+
+  // --- Adaptive planner state (null/empty while disabled) ---
+  std::unique_ptr<Planner> planner_;
+  std::map<std::string, PartitionSavingsMeter> savings_;      // by column
+  std::map<std::string, PartitionIndex> partition_indexes_;   // by probe_key
+  std::map<std::string, ColumnIndexState> index_state_;       // by column
 };
 
 }  // namespace dba::query

@@ -1,0 +1,99 @@
+#ifndef DBA_QUERY_PARTITION_INDEX_H_
+#define DBA_QUERY_PARTITION_INDEX_H_
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+namespace dba::query {
+
+/// A hierarchical skip/partition structure over one sorted duplicate-free
+/// uint32 set, following Ding & Koenig's "Fast Set Intersection in
+/// Memory": probing a value touches a small directory, one partition
+/// summary, and a binary search within a fixed-width partition instead
+/// of walking the whole set. Three levels:
+///
+///   level 0  directory: value >> shift -> first candidate partition
+///            (radix over the value domain, O(1))
+///   level 1  partition summaries: the maximum value of each
+///            kPartitionWidth-element slice (linear skip, short)
+///   level 2  the slice itself (binary search, log2(kPartitionWidth))
+///
+/// Intersect() streams a sorted probe set through the index with a
+/// monotone partition cursor, so the cost is
+/// O(|probes| * (1 + log2 kPartitionWidth)) -- the partition-probe route
+/// of the query planner (docs/PLANNER.md). Building is one O(n) pass;
+/// whether that pass is worth paying is the engine's savings-accounting
+/// decision (PartitionSavingsMeter), not the index's.
+class PartitionIndex {
+ public:
+  /// Elements per level-2 slice. 256 keeps a slice within a few cache
+  /// lines while the summaries stay 1/256th of the data.
+  static constexpr uint32_t kPartitionWidth = 256;
+
+  /// Builds the index over `sorted_values` (sorted, duplicate-free; the
+  /// values are copied so the index outlives the probe result it came
+  /// from). An empty input yields an empty index.
+  static PartitionIndex Build(std::span<const uint32_t> sorted_values);
+
+  PartitionIndex() = default;
+
+  size_t size() const { return values_.size(); }
+  size_t num_partitions() const { return partition_max_.size(); }
+  size_t directory_size() const { return directory_.size(); }
+
+  /// Membership probe for one value.
+  bool Contains(uint32_t value) const;
+
+  /// Sorted intersection of the (sorted, duplicate-free) probe set with
+  /// the indexed set -- byte-identical to ScalarIntersect(probes, set).
+  std::vector<uint32_t> Intersect(std::span<const uint32_t> probes) const;
+
+  /// The indexed set itself (for verification and fallback paths).
+  std::span<const uint32_t> values() const { return values_; }
+
+ private:
+  /// Index of the first partition whose maximum is >= value, starting
+  /// the scan at `from` (monotone cursor for sorted probe streams).
+  size_t FindPartition(uint32_t value, size_t from) const;
+
+  std::vector<uint32_t> values_;         // the indexed sorted set
+  std::vector<uint32_t> partition_max_;  // level 1: max of each slice
+  std::vector<uint32_t> directory_;      // level 0: radix -> partition
+  uint32_t shift_ = 32;                  // directory radix shift
+};
+
+/// Savings accounting for lazily materializing a PartitionIndex (the
+/// self-building-index idiom: an index is built only once the queries
+/// that would have used it have "missed" enough savings to amortize the
+/// build). The engine records, per column, the cost difference between
+/// the route it had to take and the partition-probe route it could have
+/// taken; once the accumulated missed savings reach
+/// payback_factor * build_cost the meter trips, the index is built, and
+/// the build cost is deducted (so a column must keep earning to justify
+/// further indexes).
+class PartitionSavingsMeter {
+ public:
+  /// Records one missed opportunity worth `savings_ns` against a build
+  /// estimated at `build_cost_ns`. Returns true when the accumulated
+  /// savings reach `payback_factor * build_cost_ns` -- the caller should
+  /// build the index now and call ChargeBuild().
+  bool RecordMiss(double savings_ns, double build_cost_ns,
+                  double payback_factor);
+
+  /// Deducts the paid build cost after a build.
+  void ChargeBuild(double build_cost_ns);
+
+  double missed_savings_ns() const { return missed_savings_ns_; }
+  double last_build_cost_ns() const { return last_build_cost_ns_; }
+  uint32_t misses_recorded() const { return misses_recorded_; }
+
+ private:
+  double missed_savings_ns_ = 0;
+  double last_build_cost_ns_ = 0;
+  uint32_t misses_recorded_ = 0;
+};
+
+}  // namespace dba::query
+
+#endif  // DBA_QUERY_PARTITION_INDEX_H_

@@ -1,0 +1,304 @@
+#include "query/planner.h"
+
+#include <algorithm>
+#include <chrono>
+#include <cmath>
+#include <limits>
+
+#include "baseline/galloping_baseline.h"
+#include "baseline/simd_baseline.h"
+#include "core/workload.h"
+#include "prefetch/streaming.h"
+
+namespace dba::query {
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+double ElapsedNs(Clock::time_point begin, Clock::time_point end) {
+  return std::chrono::duration<double, std::nano>(end - begin).count();
+}
+
+/// Best-of-3 batched wall time of `fn` in ns per call: the batch grows
+/// until one repetition spans >= 100 us, so sub-microsecond routes are
+/// measured above the clock granularity.
+template <typename Fn>
+double MeasureHostNs(Fn&& fn) {
+  double best = std::numeric_limits<double>::infinity();
+  int iters = 1;
+  for (int rep = 0; rep < 3; ++rep) {
+    for (;;) {
+      const Clock::time_point begin = Clock::now();
+      for (int i = 0; i < iters; ++i) fn();
+      const double elapsed = ElapsedNs(begin, Clock::now());
+      if (elapsed >= 1e5 || iters >= (1 << 22)) {
+        best = std::min(best, elapsed / iters);
+        break;
+      }
+      iters = elapsed <= 0 ? iters * 8 : iters * 2;
+    }
+  }
+  return best;
+}
+
+/// log2(|large| / |small| + 2): the per-probe search depth factor of
+/// the galloping cost curve.
+double GallopDepth(size_t a, size_t b) {
+  const double small = static_cast<double>(std::min(a, b));
+  const double large = static_cast<double>(std::max(a, b));
+  return std::log2(large / std::max(1.0, small) + 2.0);
+}
+
+CostModel CalibrateOnce() {
+  CostModel model = DefaultCostModel();
+  constexpr uint64_t kSeed = 0x9D1A7;
+
+  // --- Host routes: timed on synthetic sorted sets. ---
+  auto balanced = GenerateSetPair(16384, 16384, 0.5, kSeed);
+  auto skewed = GenerateSetPair(64, 65536, 0.5, kSeed + 1);
+  if (balanced.ok() && skewed.ok()) {
+    const double simd_ns = MeasureHostNs([&] {
+      baseline::SimdIntersect(balanced->a, balanced->b);
+    });
+    model.simd_ns_per_element = std::max(0.01, simd_ns / (2.0 * 16384.0));
+
+    const double gallop_ns = MeasureHostNs([&] {
+      baseline::GallopingIntersect(skewed->a, skewed->b);
+    });
+    model.gallop_ns_per_probe =
+        std::max(0.1, gallop_ns / (64.0 * GallopDepth(64, 65536)));
+
+    const Clock::time_point build_begin = Clock::now();
+    const PartitionIndex index = PartitionIndex::Build(skewed->b);
+    model.partition_build_ns_per_element = std::max(
+        0.01, ElapsedNs(build_begin, Clock::now()) / 65536.0);
+    const double probe_ns =
+        MeasureHostNs([&] { index.Intersect(skewed->a); });
+    model.partition_probe_ns = std::max(0.1, probe_ns / 64.0);
+
+    const double decision_ns = MeasureHostNs([&] {
+      // The decision itself is four cost-curve evaluations.
+      volatile double sink = model.EisMergeNs(64, 65536) +
+                             model.GallopingNs(64, 65536) +
+                             model.SimdMergeNs(64, 65536) +
+                             model.PartitionProbeNs(64, 65536);
+      (void)sink;
+    });
+    model.decision_ns = std::max(1.0, decision_ns);
+  }
+
+  // --- EIS route: two turbo-mode simulator runs fit setup + slope in
+  // *simulated* time (cycles / f_max), the currency the accelerator
+  // would really take. Falls back to the analytic defaults if the
+  // processor cannot be built. ---
+  auto processor = Processor::Create(ProcessorKind::kDba2LsuEis);
+  if (processor.ok()) {
+    RunSettings settings;
+    settings.sim_mode = sim::ExecMode::kTurbo;
+    auto big = GenerateSetPair(4096, 4096, 0.5, kSeed + 2);
+    auto small = GenerateSetPair(256, 256, 0.5, kSeed + 3);
+    if (big.ok() && small.ok()) {
+      auto big_run = (*processor)->RunSetOperation(SetOp::kIntersect,
+                                                   big->a, big->b, settings);
+      auto small_run = (*processor)->RunSetOperation(
+          SetOp::kIntersect, small->a, small->b, settings);
+      if (big_run.ok() && small_run.ok()) {
+        const double big_ns = big_run->metrics.seconds * 1e9;
+        const double small_ns = small_run->metrics.seconds * 1e9;
+        const double slope = (big_ns - small_ns) / (8192.0 - 512.0);
+        model.eis_ns_per_element = std::max(0.01, slope);
+        model.eis_setup_ns =
+            std::max(0.0, small_ns - 512.0 * model.eis_ns_per_element);
+      }
+    }
+  }
+  return model;
+}
+
+}  // namespace
+
+std::string_view RouteName(Route route) {
+  switch (route) {
+    case Route::kEisMerge:
+      return "eis_merge";
+    case Route::kGalloping:
+      return "galloping";
+    case Route::kSimdMerge:
+      return "simd_merge";
+    case Route::kPartitionProbe:
+      return "partition_probe";
+  }
+  return "unknown";
+}
+
+Result<Route> ParseRoute(std::string_view name) {
+  if (name == "eis_merge" || name == "eis" || name == "merge") {
+    return Route::kEisMerge;
+  }
+  if (name == "galloping" || name == "gallop") return Route::kGalloping;
+  if (name == "simd_merge" || name == "simd") return Route::kSimdMerge;
+  if (name == "partition_probe" || name == "partition") {
+    return Route::kPartitionProbe;
+  }
+  return Status::InvalidArgument(
+      "unknown route '" + std::string(name) +
+      "' (expected eis_merge | galloping | simd_merge | partition_probe)");
+}
+
+double CostModel::EisMergeNs(size_t a, size_t b) const {
+  return eis_setup_ns + eis_ns_per_element * static_cast<double>(a + b);
+}
+
+double CostModel::GallopingNs(size_t a, size_t b) const {
+  const double probes = static_cast<double>(std::min(a, b));
+  return gallop_ns_per_probe * probes * GallopDepth(a, b);
+}
+
+double CostModel::SimdMergeNs(size_t a, size_t b) const {
+  return simd_ns_per_element * static_cast<double>(a + b);
+}
+
+double CostModel::PartitionProbeNs(size_t a, size_t b) const {
+  return partition_probe_ns * static_cast<double>(std::min(a, b));
+}
+
+double CostModel::PartitionBuildNs(size_t indexed_size) const {
+  return partition_build_ns_per_element * static_cast<double>(indexed_size);
+}
+
+double CostModel::RouteNs(Route route, size_t a, size_t b) const {
+  switch (route) {
+    case Route::kEisMerge:
+      return EisMergeNs(a, b);
+    case Route::kGalloping:
+      return GallopingNs(a, b);
+    case Route::kSimdMerge:
+      return SimdMergeNs(a, b);
+    case Route::kPartitionProbe:
+      return PartitionProbeNs(a, b);
+  }
+  return 0;
+}
+
+CostModel DefaultCostModel() { return CostModel{}; }
+
+Planner::Planner(const PlannerOptions& options)
+    : options_(options),
+      model_(options.cost_model.has_value() ? *options.cost_model
+                                            : Calibrated()) {}
+
+const CostModel& Planner::Calibrated() {
+  static const CostModel model = CalibrateOnce();
+  return model;
+}
+
+PlanDecision Planner::Plan(size_t a_size, size_t b_size,
+                           bool index_available) const {
+  PlanDecision decision;
+  decision.index_available = index_available;
+  for (size_t r = 0; r < kNumRoutes; ++r) {
+    decision.estimated_ns[r] =
+        model_.RouteNs(static_cast<Route>(r), a_size, b_size);
+  }
+  if (options_.force_route.has_value()) {
+    decision.route = *options_.force_route;
+    decision.forced = true;
+    decision.chosen_ns =
+        decision.estimated_ns[static_cast<size_t>(decision.route)];
+    return decision;
+  }
+  Route best = Route::kEisMerge;
+  double best_ns = decision.estimated_ns[static_cast<size_t>(best)];
+  for (size_t r = 1; r < kNumRoutes; ++r) {
+    const Route route = static_cast<Route>(r);
+    if (route == Route::kPartitionProbe &&
+        (!index_available || !options_.allow_partition_index)) {
+      continue;
+    }
+    if (decision.estimated_ns[r] < best_ns) {
+      best = route;
+      best_ns = decision.estimated_ns[r];
+    }
+  }
+  decision.route = best;
+  decision.chosen_ns = best_ns;
+  return decision;
+}
+
+Result<RouteRun> RunIntersectRoute(Route route, std::span<const uint32_t> a,
+                                   std::span<const uint32_t> b,
+                                   Processor* processor,
+                                   const RunSettings& settings,
+                                   const PartitionIndex* index) {
+  RouteRun run;
+  run.route = route;
+  if (a.empty() || b.empty()) return run;
+
+  switch (route) {
+    case Route::kEisMerge: {
+      if (processor == nullptr) {
+        return Status::FailedPrecondition(
+            "the eis_merge route needs a processor");
+      }
+      const bool fits =
+          a.size() <= processor->max_set_elements(
+                          static_cast<uint32_t>(b.size())) &&
+          b.size() <= processor->max_set_elements(
+                          static_cast<uint32_t>(a.size()));
+      if (fits) {
+        DBA_ASSIGN_OR_RETURN(
+            SetOpRun op_run,
+            processor->RunSetOperation(SetOp::kIntersect, a, b, settings));
+        run.result = std::move(op_run.result);
+        run.accelerator_cycles = op_run.metrics.cycles;
+        run.route_seconds = op_run.metrics.seconds;
+      } else {
+        prefetch::StreamingSetOperation streaming(
+            processor, prefetch::DmaConfig{}, 0, settings);
+        DBA_ASSIGN_OR_RETURN(prefetch::StreamingRun stream_run,
+                             streaming.Run(SetOp::kIntersect, a, b));
+        run.result = std::move(stream_run.result);
+        run.accelerator_cycles = stream_run.total_cycles;
+        run.route_seconds = static_cast<double>(stream_run.total_cycles) /
+                            processor->frequency_hz();
+        run.streamed = true;
+      }
+      return run;
+    }
+    case Route::kGalloping: {
+      const Clock::time_point begin = Clock::now();
+      run.result = baseline::GallopingIntersect(a, b);
+      run.route_seconds = ElapsedNs(begin, Clock::now()) * 1e-9;
+      return run;
+    }
+    case Route::kSimdMerge: {
+      const Clock::time_point begin = Clock::now();
+      run.result = baseline::SimdIntersect(a, b);
+      run.route_seconds = ElapsedNs(begin, Clock::now()) * 1e-9;
+      return run;
+    }
+    case Route::kPartitionProbe: {
+      // `index` (when given) indexes `b`; probe with `a`. Without one,
+      // build a transient index over the larger input.
+      const PartitionIndex* probe_index = index;
+      PartitionIndex transient;
+      std::span<const uint32_t> probes = a;
+      if (probe_index == nullptr) {
+        const bool a_is_large = a.size() > b.size();
+        const Clock::time_point build_begin = Clock::now();
+        transient = PartitionIndex::Build(a_is_large ? a : b);
+        run.build_seconds = ElapsedNs(build_begin, Clock::now()) * 1e-9;
+        probe_index = &transient;
+        probes = a_is_large ? b : a;
+      }
+      const Clock::time_point begin = Clock::now();
+      run.result = probe_index->Intersect(probes);
+      run.route_seconds = ElapsedNs(begin, Clock::now()) * 1e-9;
+      return run;
+    }
+  }
+  return Status::Internal("unhandled route");
+}
+
+}  // namespace dba::query

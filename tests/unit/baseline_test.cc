@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "baseline/galloping_baseline.h"
 #include "baseline/scalar_baseline.h"
 #include "baseline/simd_baseline.h"
 #include "common/random.h"
@@ -138,6 +139,70 @@ TEST(SimdIntersectTest, RandomizedAgainstScalar) {
     const auto a = make_set();
     const auto b = make_set();
     ASSERT_EQ(SimdIntersect(a, b), ScalarIntersect(a, b)) << "trial " << trial;
+  }
+}
+
+// --- Galloping intersection (exponential probe + binary search) ---
+
+TEST(GallopingIntersectTest, EmptyInputs) {
+  EXPECT_TRUE(GallopingIntersect({}, {}).empty());
+  EXPECT_TRUE(
+      GallopingIntersect(std::vector<uint32_t>{1, 2, 3}, {}).empty());
+  EXPECT_TRUE(
+      GallopingIntersect({}, std::vector<uint32_t>{1, 2, 3}).empty());
+}
+
+TEST(GallopingIntersectTest, DisjointSets) {
+  const std::vector<uint32_t> evens = {0, 2, 4, 6, 8, 10};
+  const std::vector<uint32_t> odds = {1, 3, 5, 7, 9, 11};
+  EXPECT_TRUE(GallopingIntersect(evens, odds).empty());
+  const std::vector<uint32_t> low = {1, 2, 3};
+  const std::vector<uint32_t> high = {100, 200, 300};
+  EXPECT_TRUE(GallopingIntersect(low, high).empty());
+  EXPECT_TRUE(GallopingIntersect(high, low).empty());
+}
+
+TEST(GallopingIntersectTest, SubsetIsReturnedWhole) {
+  std::vector<uint32_t> large;
+  for (uint32_t i = 0; i < 4096; ++i) large.push_back(3 * i);
+  const std::vector<uint32_t> subset = {0, 3, 300, 3000, 9000, 12000};
+  EXPECT_EQ(GallopingIntersect(subset, large), subset);
+  EXPECT_EQ(GallopingIntersect(large, subset), subset);
+  EXPECT_EQ(GallopingIntersect(large, large), large);
+}
+
+TEST(GallopingIntersectTest, MatchesScalarOnSkewedWorkloads) {
+  for (uint32_t skew : {1u, 4u, 64u, 1024u}) {
+    for (double selectivity : {0.0, 0.3, 1.0}) {
+      auto pair = GenerateSetPair(64, 64 * skew, selectivity, 7 + skew);
+      ASSERT_TRUE(pair.ok());
+      EXPECT_EQ(GallopingIntersect(pair->a, pair->b),
+                ScalarIntersect(pair->a, pair->b))
+          << "skew " << skew << " selectivity " << selectivity;
+      EXPECT_EQ(GallopingIntersect(pair->b, pair->a),
+                ScalarIntersect(pair->b, pair->a))
+          << "swapped, skew " << skew;
+    }
+  }
+}
+
+TEST(GallopingIntersectTest, RandomizedAgainstScalar) {
+  Random rng(91);
+  for (int trial = 0; trial < 300; ++trial) {
+    auto make_set = [&rng](uint64_t max_len) {
+      const auto n = rng.Uniform(max_len);
+      std::vector<uint32_t> values;
+      uint32_t v = 0;
+      for (uint64_t i = 0; i < n; ++i) {
+        v += 1 + static_cast<uint32_t>(rng.Uniform(6));
+        values.push_back(v);  // strictly increasing: duplicate-free
+      }
+      return values;
+    };
+    const auto a = make_set(40);
+    const auto b = make_set(400);
+    ASSERT_EQ(GallopingIntersect(a, b), ScalarIntersect(a, b))
+        << "trial " << trial;
   }
 }
 

@@ -28,7 +28,11 @@
 
 #include <unistd.h>
 
+#include <algorithm>
+#include <array>
 #include <chrono>
+#include <limits>
+#include <cmath>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
@@ -36,6 +40,7 @@
 #include <string>
 #include <vector>
 
+#include "baseline/scalar_baseline.h"
 #include "core/processor.h"
 #include "core/workload.h"
 #include "hwmodel/synthesis.h"
@@ -48,6 +53,10 @@
 #include "obs/serialize.h"
 #include "obs/trace_writer.h"
 #include "prefetch/streaming.h"
+#include "query/engine.h"
+#include "query/planner.h"
+#include "query/predicate.h"
+#include "query/table.h"
 #include "sim/exec_mode.h"
 #include "system/board.h"
 #include "toolchain/profiler.h"
@@ -86,6 +95,8 @@ struct CliOptions {
   std::string metrics_out;    // board/faults/top: dba.metrics.v1 file
   bool once = false;          // top: one refresh, no screen clearing
   int iters = 10;             // top: refreshes before exiting (0 = forever)
+  std::string sizes;          // plan: "A,B" set sizes (default --n,--nb)
+  std::string force_route;    // plan: fixed route override
 };
 
 void PrintUsage() {
@@ -111,6 +122,14 @@ void PrintUsage() {
       "                           counters (--once for a single refresh,\n"
       "                           --iters=N refreshes, --json=PATH writes\n"
       "                           the final dba.metrics.v1 snapshot)\n"
+      "  plan                     adaptive-planner inspector: print the\n"
+      "                           route decision for an (|A|, |B|)\n"
+      "                           intersection with estimated vs measured\n"
+      "                           cost per route, then replay the query\n"
+      "                           through a QueryEngine until the lazy\n"
+      "                           PartitionIndex pays back\n"
+      "                           (--sizes=A,B --selectivity=F\n"
+      "                           [--force-route=R], docs/PLANNER.md)\n"
       "  validate-bench FILE...   validate dba.bench.v1 (and\n"
       "                           dba.metrics.v1) JSON documents\n"
       "  compare-bench RUN BASE   compare a bench run against a committed\n"
@@ -153,7 +172,13 @@ void PrintUsage() {
       "                           fails, so partial telemetry survives)\n"
       "  --once                   top: render one table and exit\n"
       "  --iters=N                top: refresh N times (default 10,\n"
-      "                           0 = until interrupted)\n");
+      "                           0 = until interrupted)\n"
+      "plan options:\n"
+      "  --sizes=A,B              intersection input sizes (default\n"
+      "                           --n and --nb)\n"
+      "  --force-route=R          eis_merge | galloping | simd_merge |\n"
+      "                           partition_probe (skip cost-based\n"
+      "                           routing; estimates still printed)\n");
 }
 
 std::optional<ProcessorKind> ParseKind(const std::string& name) {
@@ -590,6 +615,214 @@ int RunTop(const CliOptions& options, ProcessorKind kind,
   return 0;
 }
 
+/// `dba_cli plan` -- the adaptive-planner inspector (docs/PLANNER.md).
+/// Prints the cost-model routing decision for one (|A|, |B|)
+/// intersection with estimated vs measured nanoseconds per route (every
+/// route's result verified against the scalar baseline), the lazy
+/// PartitionIndex payback projection, and then replays the query
+/// through a QueryEngine until the savings meter actually materializes
+/// the index -- showing QueryStats route counts along the way.
+int RunPlan(const CliOptions& options, ProcessorKind kind,
+            const dba::ProcessorOptions& processor_options) {
+  namespace query = dba::query;
+  using Clock = std::chrono::steady_clock;
+
+  uint32_t size_a = options.n;
+  uint32_t size_b = options.nb.value_or(options.n);
+  if (!options.sizes.empty()) {
+    const size_t comma = options.sizes.find(',');
+    if (comma == std::string::npos || comma == 0 ||
+        comma + 1 == options.sizes.size()) {
+      std::fprintf(stderr, "bad --sizes '%s' (expected A,B)\n",
+                   options.sizes.c_str());
+      return 2;
+    }
+    size_a = static_cast<uint32_t>(
+        std::strtoul(options.sizes.c_str(), nullptr, 10));
+    size_b = static_cast<uint32_t>(
+        std::strtoul(options.sizes.c_str() + comma + 1, nullptr, 10));
+  }
+  if (size_a == 0 || size_b == 0) {
+    std::fprintf(stderr, "--sizes wants two nonzero set sizes\n");
+    return 2;
+  }
+
+  query::PlannerOptions planner_options;
+  if (!options.force_route.empty()) {
+    auto route = query::ParseRoute(options.force_route);
+    if (!route.ok()) return Fail(route.status());
+    planner_options.force_route = *route;
+  }
+  const query::Planner planner{planner_options};
+  const query::CostModel& model = planner.cost_model();
+
+  auto processor = dba::Processor::Create(kind, processor_options);
+  if (!processor.ok()) return Fail(processor.status());
+  dba::RunSettings settings;
+  settings.sim_mode = dba::sim::ExecMode::kTurbo;
+
+  auto pair = dba::GenerateSetPair(size_a, size_b, options.selectivity,
+                                   options.seed);
+  if (!pair.ok()) return Fail(pair.status());
+  const std::vector<uint32_t> expected =
+      dba::baseline::ScalarIntersect(pair->a, pair->b);
+
+  // The routing decision, timed over a batch so the per-decision
+  // latency is resolvable above the clock granularity.
+  constexpr int kDecisionReps = 1000;
+  query::PlanDecision decision;
+  const auto decide_start = Clock::now();
+  for (int i = 0; i < kDecisionReps; ++i) {
+    decision = planner.Plan(pair->a.size(), pair->b.size(),
+                            /*index_available=*/false);
+  }
+  const double decision_wall_ns =
+      std::chrono::duration<double, std::nano>(Clock::now() - decide_start)
+          .count() /
+      kDecisionReps;
+
+  std::printf("== plan: |A|=%u, |B|=%u, selectivity=%.2f, |A*B|=%zu ==\n",
+              size_a, size_b, options.selectivity, expected.size());
+  std::printf("%-16s %14s %14s\n", "route", "estimated_ns", "measured_ns");
+  for (size_t r = 0; r < query::kNumRoutes; ++r) {
+    const auto route = static_cast<query::Route>(r);
+    double measured_ns = std::numeric_limits<double>::infinity();
+    for (int rep = 0; rep < 3; ++rep) {
+      auto run = query::RunIntersectRoute(route, pair->a, pair->b,
+                                          processor->get(), settings);
+      if (!run.ok()) return Fail(run.status());
+      if (run->result != expected) {
+        std::fprintf(stderr, "route %s disagrees with the scalar baseline\n",
+                     std::string(query::RouteName(route)).c_str());
+        return 1;
+      }
+      measured_ns = std::min(measured_ns, run->route_seconds * 1e9);
+      // The EIS number is simulated time: deterministic, one rep does.
+      if (route == query::Route::kEisMerge) break;
+    }
+    const bool chosen = route == decision.route;
+    std::printf("%-16s %14.0f %14.0f%s%s%s\n",
+                std::string(query::RouteName(route)).c_str(),
+                decision.estimated_ns[r], measured_ns,
+                route == query::Route::kEisMerge ? " (simulated)" : "",
+                chosen ? "  <- chosen" : "",
+                chosen && decision.forced ? " (forced)" : "");
+  }
+  std::printf("decision latency  %.0f ns/decision (est %.0f, batched x%d)\n",
+              decision_wall_ns, model.decision_ns, kDecisionReps);
+
+  // Lazy-index payback projection: what the engine's savings meter will
+  // see on every planned miss of this shape.
+  const double build_ns =
+      model.PartitionBuildNs(std::max(pair->a.size(), pair->b.size()));
+  const double savings_ns =
+      decision.chosen_ns -
+      model.PartitionProbeNs(pair->a.size(), pair->b.size()) -
+      model.decision_ns;
+  std::printf("\nlazy index projection (payback_factor %.1f):\n",
+              planner_options.payback_factor);
+  std::printf("  build cost        %14.0f ns (%zu entries)\n", build_ns,
+              std::max(pair->a.size(), pair->b.size()));
+  if (savings_ns > 0) {
+    std::printf("  per-query savings %14.0f ns (chosen - probe - decision)\n",
+                savings_ns);
+    std::printf("  pays back after   %14.0f queries\n",
+                std::ceil(planner_options.payback_factor * build_ns /
+                          savings_ns));
+  } else {
+    std::printf("  per-query savings %14.0f ns -> the index would never\n"
+                "  pay back at this shape (probe no cheaper than the\n"
+                "  chosen route)\n",
+                savings_ns);
+  }
+
+  // Replay through a real QueryEngine: a bucket column where one range
+  // probe yields each input set (common rows bucket=3, A-only=2,
+  // B-only=4), so AND(bucket in [2,3], bucket in [3,4]) is exactly the
+  // (|A|, |B|) intersection -- and the savings meter walks to payback.
+  const size_t common = expected.size();
+  const size_t a_only = pair->a.size() - common;
+  const size_t b_only = pair->b.size() - common;
+  std::vector<uint32_t> bucket;
+  bucket.reserve(common + a_only + b_only);
+  bucket.insert(bucket.end(), common, 3);
+  bucket.insert(bucket.end(), a_only, 2);
+  bucket.insert(bucket.end(), b_only, 4);
+  query::Table table("plan_replay");
+  dba::Status added = table.AddColumn("bucket", std::move(bucket));
+  if (!added.ok()) return Fail(added);
+  query::QueryEngine engine(&table, processor->get());
+  dba::Status indexed = engine.BuildIndex("bucket");
+  if (!indexed.ok()) return Fail(indexed);
+  engine.SetRunSettings(settings);
+  engine.EnableAdaptivePlanner(planner_options);
+  const auto predicate = query::And(query::Between("bucket", 2, 3),
+                                    query::Between("bucket", 3, 4));
+
+  // Run long enough to reach the projected payback (with slack for the
+  // engine's measured decision latency differing from the estimate),
+  // bounded so a never-paying shape still terminates promptly.
+  int max_replay = 200;
+  if (!decision.forced && savings_ns > 0) {
+    max_replay = static_cast<int>(std::min(
+        5000.0, std::ceil(planner_options.payback_factor * build_ns /
+                          savings_ns) *
+                        2 +
+                    16));
+  }
+  std::array<uint64_t, query::kNumRoutes> totals{};
+  int queries = 0;
+  int built_after = 0;
+  while (queries < max_replay) {
+    query::QueryStats stats;
+    auto rids = engine.Select(*predicate, &stats);
+    if (!rids.ok()) return Fail(rids.status());
+    if (rids->size() != common) {
+      std::fprintf(stderr, "replay returned %zu RIDs, want %zu\n",
+                   rids->size(), common);
+      return 1;
+    }
+    for (size_t r = 0; r < query::kNumRoutes; ++r) {
+      totals[r] += stats.route_counts[r];
+    }
+    ++queries;
+    if (built_after == 0 &&
+        engine.partition_state("bucket").indexes_built > 0) {
+      built_after = queries;
+    }
+    // A couple of post-build queries show the cached index being probed.
+    if (built_after != 0 && queries >= built_after + 2) break;
+  }
+
+  const query::ColumnIndexState state = engine.partition_state("bucket");
+  std::printf("\nengine replay (%d identical queries, lazy index on "
+              "'bucket'):\n",
+              queries);
+  std::printf("  route counts     ");
+  for (size_t r = 0; r < query::kNumRoutes; ++r) {
+    std::printf(" %s=%llu",
+                std::string(query::RouteName(static_cast<query::Route>(r)))
+                    .c_str(),
+                static_cast<unsigned long long>(totals[r]));
+  }
+  std::printf("\n");
+  if (built_after != 0) {
+    std::printf("  index built after %d queries (%u misses recorded)\n",
+                built_after, state.misses_recorded);
+  } else {
+    std::printf("  index never built (%u misses, savings %.0f of %.0f ns "
+                "needed)\n",
+                state.misses_recorded, state.missed_savings_ns,
+                planner_options.payback_factor * state.build_cost_ns);
+  }
+  std::printf("  partition state   builds=%u entries=%llu "
+              "missed_savings=%.0f ns\n",
+              state.indexes_built,
+              static_cast<unsigned long long>(state.indexed_entries),
+              state.missed_savings_ns);
+  return 0;
+}
+
 /// Shared tail of the profile/trace subcommands: prints the hotspot and
 /// stall reports, writes the combined JSON document (profile --json) and
 /// the Perfetto trace file (trace).
@@ -654,7 +887,7 @@ int main(int argc, char** argv) {
     }
     if (options.command != "profile" && options.command != "trace" &&
         options.command != "board" && options.command != "faults" &&
-        options.command != "top") {
+        options.command != "top" && options.command != "plan") {
       std::fprintf(stderr, "unknown command: %s\n\n", argv[1]);
       PrintUsage();
       return 2;
@@ -727,6 +960,10 @@ int main(int argc, char** argv) {
       options.once = true;
     } else if (ParseFlag(arg, "--iters", &value)) {
       options.iters = static_cast<int>(std::strtol(value.c_str(), nullptr, 10));
+    } else if (ParseFlag(arg, "--sizes", &value)) {
+      options.sizes = value;
+    } else if (ParseFlag(arg, "--force-route", &value)) {
+      options.force_route = value;
     } else {
       std::fprintf(stderr, "unknown option: %s\n\n", arg);
       PrintUsage();
@@ -760,6 +997,9 @@ int main(int argc, char** argv) {
   }
   if (options.command == "top") {
     return RunTop(options, *kind, processor_options);
+  }
+  if (options.command == "plan") {
+    return RunPlan(options, *kind, processor_options);
   }
 
   auto processor = dba::Processor::Create(*kind, processor_options);
