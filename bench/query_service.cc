@@ -1,0 +1,199 @@
+// Query-service throughput bench: a fixed stream of requests drawn
+// from a small predicate pool, executed two ways --
+//   serial   one QueryEngine::Select per request in stream order (the
+//            naive per-call frontend),
+//   service  all requests submitted to the QueryService, which batches
+//            compatible work, deduplicates identical in-flight
+//            requests, and serves repeats from the versioned result
+//            cache.
+// Every service response is checked byte-for-byte against the serial
+// answer before any number is reported; a mismatch exits non-zero.
+//
+// dba.bench.v1 row (config DBA_2LSU_EIS_BOARD, op select_mix):
+//   service_speedup   service QPS / serial QPS (gated by compare-bench)
+//   serial_qps, service_qps, latency p50/p99 ns (reported, not gated)
+
+#include <chrono>
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "bench/bench_util.h"
+#include "obs/metrics/metrics.h"
+#include "service/query_service.h"
+#include "system/board.h"
+#include "tests/shared/service_test_util.h"
+
+namespace dba::bench {
+namespace {
+
+constexpr uint32_t kRows = 4096;
+constexpr size_t kPoolSize = 64;
+constexpr int kNumCores = 4;
+
+int g_requests = 2000;
+int g_host_threads = 2;
+
+double SecondsSince(std::chrono::steady_clock::time_point start) {
+  return std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                       start)
+      .count();
+}
+
+void Run() {
+  namespace harness = service::test;
+
+  const auto pool = harness::MakePredicatePool(kPoolSize);
+  const size_t n = static_cast<size_t>(g_requests);
+  // Fibonacci-hash scatter over the pool: every predicate repeats
+  // ~n/kPoolSize times, interleaved rather than clustered, which is
+  // the dedup/cache-friendly shape a multi-tenant frontend sees.
+  std::vector<size_t> stream(n);
+  for (size_t i = 0; i < n; ++i) {
+    stream[i] = static_cast<size_t>((i * 2654435761u) % kPoolSize);
+  }
+
+  // Serial per-call dispatch: one engine, one Select per request.
+  harness::SerialReference reference("orders", kRows, kSeed);
+  std::vector<std::vector<uint32_t>> expected(kPoolSize);
+  const auto serial_start = std::chrono::steady_clock::now();
+  for (size_t i = 0; i < n; ++i) {
+    auto result = reference.Select(*pool[stream[i]]);
+    if (!result.ok()) {
+      std::fprintf(stderr, "query_service: serial select failed: %s\n",
+                   result.status().ToString().c_str());
+      std::exit(1);
+    }
+    expected[stream[i]] = *std::move(result);
+  }
+  const double serial_seconds = SecondsSince(serial_start);
+
+  // Service dispatch: submit the same stream, drain, verify.
+  system::BoardConfig board_config;
+  board_config.num_cores = kNumCores;
+  board_config.host_threads = g_host_threads;
+  auto board = system::Board::Create(board_config);
+  if (!board.ok()) {
+    std::fprintf(stderr, "query_service: board creation failed: %s\n",
+                 board.status().ToString().c_str());
+    std::exit(1);
+  }
+  service::ServiceConfig config;
+  config.board = board->get();
+  config.queue_capacity = n + 8;
+  auto service_or = service::QueryService::Create(config);
+  if (!service_or.ok()) {
+    std::fprintf(stderr, "query_service: service creation failed: %s\n",
+                 service_or.status().ToString().c_str());
+    std::exit(1);
+  }
+  auto service = *std::move(service_or);
+  const Status registered = service->RegisterTable(
+      std::make_unique<query::Table>(
+          harness::MakeServiceTable("orders", kRows, kSeed)));
+  if (!registered.ok()) {
+    std::fprintf(stderr, "query_service: RegisterTable failed: %s\n",
+                 registered.ToString().c_str());
+    std::exit(1);
+  }
+
+  std::vector<std::future<service::ServiceResponse>> futures(n);
+  const auto service_start = std::chrono::steady_clock::now();
+  for (size_t i = 0; i < n; ++i) {
+    service::ServiceRequest request;
+    request.tenant = "tenant" + std::to_string(i % 4);
+    request.table = "orders";
+    request.predicate = pool[stream[i]];
+    futures[i] = service->Submit(std::move(request));
+  }
+  service->Drain();
+  const double service_seconds = SecondsSince(service_start);
+
+  uint64_t cache_hits = 0;
+  uint64_t deduplicated = 0;
+  for (size_t i = 0; i < n; ++i) {
+    const service::ServiceResponse response = futures[i].get();
+    if (!response.status.ok()) {
+      std::fprintf(stderr, "query_service: request %zu failed: %s\n", i,
+                   response.status.ToString().c_str());
+      std::exit(1);
+    }
+    if (response.values != expected[stream[i]]) {
+      std::fprintf(stderr,
+                   "query_service: request %zu mismatch (%zu vs %zu "
+                   "elements, cache_hit=%d dedup=%d) -- batched results "
+                   "must be bit-identical to serial dispatch\n",
+                   i, response.values.size(), expected[stream[i]].size(),
+                   response.cache_hit, response.deduplicated);
+      std::exit(1);
+    }
+    cache_hits += response.cache_hit ? 1 : 0;
+    deduplicated += response.deduplicated ? 1 : 0;
+  }
+
+  const double serial_qps = static_cast<double>(n) / serial_seconds;
+  const double service_qps = static_cast<double>(n) / service_seconds;
+  const double service_speedup = serial_seconds / service_seconds;
+
+  double p50_ns = 0;
+  double p99_ns = 0;
+  if (obs::Histogram* latency = obs::MetricsRegistry::Global().GetHistogram(
+          "dba_service_latency_ns")) {
+    const obs::HistogramStats stats = latency->Stats();
+    p50_ns = stats.Quantile(0.5);
+    p99_ns = stats.Quantile(0.99);
+  }
+
+  PrintHeader("query service vs serial per-call dispatch");
+  std::printf("%10s %12s %12s %10s %10s %12s %12s\n", "requests",
+              "serial_qps", "service_qps", "speedup", "hits+dedup",
+              "p50_ns", "p99_ns");
+  std::printf("%10zu %12.0f %12.0f %9.2fx %10llu %12.0f %12.0f\n", n,
+              serial_qps, service_qps, service_speedup,
+              static_cast<unsigned long long>(cache_hits + deduplicated),
+              p50_ns, p99_ns);
+
+  AddBenchRow("DBA_2LSU_EIS_BOARD")
+      .Set("op", "select_mix")
+      .Set("requests", static_cast<uint64_t>(n))
+      .Set("pool", static_cast<uint64_t>(kPoolSize))
+      .Set("cores", static_cast<uint64_t>(kNumCores))
+      .Set("serial_qps", serial_qps)
+      .Set("service_qps", service_qps)
+      .Set("service_speedup", service_speedup)
+      .Set("cache_hits", cache_hits)
+      .Set("deduplicated", deduplicated)
+      .Set("latency_p50_ns", p50_ns)
+      .Set("latency_p99_ns", p99_ns);
+
+  if (service_speedup < 4.0) {
+    std::fprintf(stderr,
+                 "query_service: service_speedup %.2fx below the 4x "
+                 "floor (serial %.3fs, service %.3fs)\n",
+                 service_speedup, serial_seconds, service_seconds);
+    std::exit(1);
+  }
+}
+
+}  // namespace
+}  // namespace dba::bench
+
+int main(int argc, char** argv) {
+  return dba::bench::BenchMain(
+      argc, argv, "query_service", dba::bench::Run,
+      [](std::string_view arg) {
+        if (arg.rfind("--requests=", 0) == 0) {
+          dba::bench::g_requests =
+              std::atoi(std::string(arg.substr(11)).c_str());
+          return dba::bench::g_requests > 0;
+        }
+        if (arg.rfind("--host-threads=", 0) == 0) {
+          dba::bench::g_host_threads =
+              std::atoi(std::string(arg.substr(15)).c_str());
+          return dba::bench::g_host_threads > 0;
+        }
+        return false;
+      },
+      "  --requests=<n>        request-stream length (default 2000)\n"
+      "  --host-threads=<n>    board host threads (default 2)\n");
+}

@@ -1069,7 +1069,12 @@ EisExtension::SteadyOutcome EisExtension::RunSetOpSteady(
         bool simd_done = false;
 #if defined(__x86_64__)
         if constexpr (kMode == SopMode::kIntersect) {
-          if (use_simd && ca.win > 0 && cb.win > 0 &&
+          // Full windows only: the 4-lane compare matches against every
+          // loaded lane, and with a partial window the lanes beyond
+          // `win` are not part of the stream (tail beats may carry
+          // stale local-store words from an earlier kernel). The scalar
+          // SteadySop path has exact partial-window semantics.
+          if (use_simd && ca.win == 4 && cb.win == 4 &&
               ca.consumed + 4 <= ca.words && cb.consumed + 4 <= cb.words) {
             simd_done = SimdSopIntersect(pa, ca.win, pb, cb.win, &outcome);
           }

@@ -159,6 +159,22 @@ FaultDecision FaultInjector::Decide(const AttemptSite& site) const {
   return decision;
 }
 
+AttemptFaultHook MakeTransientFaultHook(uint64_t seed, double rate,
+                                        StatusCode code) {
+  return [seed, rate, code](std::string_view op_key, int attempt) -> Status {
+    uint64_t h = Mix(seed ^ 0xA24BAED4963EE407ULL,
+                     static_cast<uint64_t>(attempt));
+    for (const char c : op_key) {
+      h = Mix(h, static_cast<uint64_t>(static_cast<unsigned char>(c)));
+    }
+    Random rng(h);
+    if (!rng.Bernoulli(rate)) return Status::Ok();
+    return Status(code, "injected transient host fault on '" +
+                            std::string(op_key) + "' attempt " +
+                            std::to_string(attempt));
+  };
+}
+
 Result<isa::Program> BuildHangLoopProgram() {
   isa::Assembler masm;
   isa::Label loop;

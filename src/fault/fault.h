@@ -2,6 +2,7 @@
 #define DBA_FAULT_FAULT_H_
 
 #include <cstdint>
+#include <functional>
 #include <string_view>
 #include <vector>
 
@@ -104,6 +105,26 @@ class FaultInjector {
 /// into a core makes the real sim::Cpu watchdog trip after exactly the
 /// caller's max_cycles budget -- a genuine hang, not a simulated status.
 Result<isa::Program> BuildHangLoopProgram();
+
+/// Per-attempt transient-fault hook for host-side execution paths
+/// (QueryEngine host routes, QueryService dispatches) that never touch
+/// the board's FaultInjector. The hook is consulted once per
+/// (operation key, attempt) before the attempt runs; a non-OK return
+/// fails that attempt with the returned status, and the caller's normal
+/// transient-retry policy decides what happens next. Hooks must be
+/// deterministic and thread-safe: like FaultInjector::Decide, the
+/// decision has to key off the work item, not the executing thread.
+using AttemptFaultHook =
+    std::function<Status(std::string_view op_key, int attempt)>;
+
+/// A seeded hook that fails each attempt independently with probability
+/// `rate`, returning a status with `code` (one of the transient codes:
+/// kDeadlineExceeded, kUnavailable, kDataLoss). The decision is a pure
+/// function of (seed, op_key, attempt), so replays with the same seed
+/// see the same fault schedule at any host-thread count.
+AttemptFaultHook MakeTransientFaultHook(
+    uint64_t seed, double rate,
+    StatusCode code = StatusCode::kUnavailable);
 
 }  // namespace dba::fault
 

@@ -21,7 +21,8 @@ struct BenchCompareOptions {
   /// refreshes with extra columns do not break older runs; `strict`
   /// turns them into regressions (a silently dropped column must not
   /// pass a gated CI check).
-  std::vector<std::string> metrics = {"throughput_meps", "sim_speedup"};
+  std::vector<std::string> metrics = {"throughput_meps", "sim_speedup",
+                                      "service_speedup"};
   /// When true, a run row missing a metric the baseline carries is a
   /// regression instead of a tolerated absence.
   bool strict = false;

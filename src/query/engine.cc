@@ -135,13 +135,47 @@ RunSettings AttemptSettings(const RunSettings& base, int attempt) {
 Status QueryEngine::BuildIndex(const std::string& column) {
   DBA_ASSIGN_OR_RETURN(SecondaryIndex index,
                        SecondaryIndex::Build(*table_, column));
+  DBA_ASSIGN_OR_RETURN(const uint64_t version, table_->ColumnVersion(column));
   indexes_.erase(column);
   indexes_.emplace(column, std::move(index));
+  index_versions_[column] = version;
   return Status::Ok();
+}
+
+Status QueryEngine::RefreshIndexIfStale(const std::string& column) {
+  if (indexes_.find(column) == indexes_.end()) return Status::Ok();
+  DBA_ASSIGN_OR_RETURN(const uint64_t current, table_->ColumnVersion(column));
+  const auto built = index_versions_.find(column);
+  if (built != index_versions_.end() && built->second == current) {
+    return Status::Ok();
+  }
+  DBA_RETURN_IF_ERROR(BuildIndex(column));
+  // Partition indexes are keyed by probe signature ("column:lo:hi"):
+  // every cached index over the stale column covers old data, as does
+  // its savings meter -- drop them and let the lazy machinery restart.
+  const std::string prefix = column + ":";
+  for (auto it = partition_indexes_.begin();
+       it != partition_indexes_.end();) {
+    if (it->first.rfind(prefix, 0) == 0) {
+      it = partition_indexes_.erase(it);
+    } else {
+      ++it;
+    }
+  }
+  savings_.erase(column);
+  index_state_.erase(column);
+  return Status::Ok();
+}
+
+Status QueryEngine::ConsultFaultHook(std::string_view key,
+                                     int attempt) const {
+  if (!attempt_fault_hook_) return Status::Ok();
+  return attempt_fault_hook_(key, attempt);
 }
 
 Result<QueryEngine::Operand> QueryEngine::Probe(const Predicate& leaf,
                                                 QueryStats* stats) {
+  DBA_RETURN_IF_ERROR(RefreshIndexIfStale(leaf.column));
   auto it = indexes_.find(leaf.column);
   if (it == indexes_.end()) {
     return Status::FailedPrecondition(
@@ -190,6 +224,13 @@ Result<QueryEngine::EisExecution> QueryEngine::ExecuteEis(
   bool done = false;
   for (int attempt = 0; attempt < max_attempts_ && !done; ++attempt) {
     out.attempts_used = attempt + 1;
+    const Status injected = ConsultFaultHook(
+        std::string("eis:") + std::string(eis::SopModeName(op)), attempt);
+    if (!injected.ok()) {
+      last_error = injected;
+      if (!IsTransient(last_error.code())) return last_error;
+      continue;
+    }
     const RunSettings settings = AttemptSettings(run_settings_, attempt);
     if (fits) {
       Result<SetOpRun> run = processor_->RunSetOperation(op, a, b, settings);
@@ -329,8 +370,11 @@ Result<std::vector<Rid>> QueryEngine::RunPlannedIntersect(
     state.missed_savings_ns = meter.missed_savings_ns();
   }
 
-  // Execute the chosen route. The EIS route keeps the engine's
-  // transient-failure retry loop; host routes run to completion.
+  // Execute the chosen route. Every route runs under the engine's
+  // transient-failure retry budget (SetMaxAttempts): the EIS route
+  // retries inside ExecuteEis, and host routes retry here under the
+  // same policy -- retry accounting must not depend on where the
+  // planner happened to send the work.
   const uint64_t cycles_base =
       stats != nullptr ? stats->accelerator_cycles : 0;
   std::vector<Rid> result;
@@ -351,15 +395,30 @@ Result<std::vector<Rid>> QueryEngine::RunPlannedIntersect(
     // The partition route probes the (cached or transient) index over
     // the larger operand with the smaller; the merge-family host routes
     // are symmetric and take the operands as-is.
-    Result<RouteRun> run =
-        decision.route == Route::kPartitionProbe
-            ? RunIntersectRoute(decision.route, small.rids, large.rids,
-                                processor_, run_settings_, index)
-            : RunIntersectRoute(decision.route, a.rids, b.rids, processor_,
-                                run_settings_);
-    DBA_RETURN_IF_ERROR(run.status());
-    result = std::move(run->result);
-    route_seconds = run->route_seconds + run->build_seconds;
+    const std::string hook_key =
+        "route:" + std::string(RouteName(decision.route));
+    Status last_error = Status::Internal("no attempt executed");
+    bool done = false;
+    for (int attempt = 0; attempt < max_attempts_ && !done; ++attempt) {
+      attempts_used = attempt + 1;
+      const Status injected = ConsultFaultHook(hook_key, attempt);
+      Result<RouteRun> run =
+          !injected.ok() ? Result<RouteRun>(injected)
+          : decision.route == Route::kPartitionProbe
+              ? RunIntersectRoute(decision.route, small.rids, large.rids,
+                                  processor_, run_settings_, index)
+              : RunIntersectRoute(decision.route, a.rids, b.rids, processor_,
+                                  run_settings_);
+      if (run.ok()) {
+        result = std::move(run->result);
+        route_seconds = run->route_seconds + run->build_seconds;
+        done = true;
+      } else {
+        last_error = run.status();
+        if (!IsTransient(last_error.code())) return last_error;
+      }
+    }
+    if (!done) return last_error;
   }
 
   const size_t route_idx = static_cast<size_t>(decision.route);
@@ -519,6 +578,28 @@ Result<std::vector<Rid>> QueryEngine::Select(const Predicate& predicate,
   QueryCounter("select")->Increment();
   QueryInstruments().latency->Observe(s->accelerator_cycles - cycles_before);
   return std::move(matched.rids);
+}
+
+std::future<Result<std::vector<Rid>>> QueryEngine::Submit(
+    std::shared_ptr<const Predicate> predicate) {
+  auto promise =
+      std::make_shared<std::promise<Result<std::vector<Rid>>>>();
+  std::future<Result<std::vector<Rid>>> future = promise->get_future();
+  auto task = [this, predicate = std::move(predicate), promise] {
+    if (predicate == nullptr) {
+      promise->set_value(
+          Status::InvalidArgument("Submit requires a predicate"));
+      return;
+    }
+    std::lock_guard<std::mutex> lock(submit_mutex_);
+    promise->set_value(Select(*predicate));
+  };
+  if (pool_ != nullptr) {
+    pool_->Run(std::move(task));
+  } else {
+    task();
+  }
+  return future;
 }
 
 namespace {

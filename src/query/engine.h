@@ -1,8 +1,10 @@
 #ifndef DBA_QUERY_ENGINE_H_
 #define DBA_QUERY_ENGINE_H_
 
+#include <future>
 #include <map>
 #include <memory>
+#include <mutex>
 #include <string>
 #include <vector>
 
@@ -11,6 +13,7 @@
 #include "common/status.h"
 #include "common/thread_pool.h"
 #include "core/processor.h"
+#include "fault/fault.h"
 #include "query/index.h"
 #include "query/partition_index.h"
 #include "query/planner.h"
@@ -71,9 +74,22 @@ class QueryEngine {
   }
 
   /// Evaluates the WHERE clause: the sorted RID set of qualifying rows.
-  /// Every column referenced by `predicate` must have an index.
+  /// Every column referenced by `predicate` must have an index. Indexes
+  /// built over a column version that the table has since mutated past
+  /// (Table::UpdateColumn) are rebuilt transparently before the probe,
+  /// and the column's lazy partition-index state is dropped with them.
   Result<std::vector<Rid>> Select(const Predicate& predicate,
                                   QueryStats* stats = nullptr);
+
+  /// Async Select: evaluates `predicate` on a host thread when a pool
+  /// was provided via EnableConcurrentSorts, inline otherwise, and
+  /// resolves the future with the same result Select would return.
+  /// Concurrent Submit calls are serialized by an internal mutex (one
+  /// engine drives one processor); mixing Submit with direct synchronous
+  /// calls while a submission is in flight is the caller's race to avoid.
+  /// For a queued, batched, multi-tenant frontend see service::QueryService.
+  std::future<Result<std::vector<Rid>>> Submit(
+      std::shared_ptr<const Predicate> predicate);
 
   /// SELECT <order_by> FROM t WHERE <predicate> ORDER BY <order_by>:
   /// gathers the qualifying rows' values of `order_by` and sorts them on
@@ -132,8 +148,18 @@ class QueryEngine {
   /// historical behavior). Transient failures -- DeadlineExceeded,
   /// Unavailable, DataLoss -- are re-executed with the watchdog budget
   /// doubled each attempt; QueryStats::retries counts re-executions.
+  /// The budget applies route-independently: planner-routed host
+  /// kernels retry under the same policy as the EIS datapath.
   void SetMaxAttempts(int attempts) {
     max_attempts_ = attempts < 1 ? 1 : attempts;
+  }
+
+  /// Deterministic per-attempt fault hook (fault::MakeTransientFaultHook)
+  /// consulted before every set-operation attempt, EIS or host-routed;
+  /// a non-OK return fails the attempt and the SetMaxAttempts retry
+  /// policy takes over. Null (the default) disables injection.
+  void SetAttemptFaultHook(fault::AttemptFaultHook hook) {
+    attempt_fault_hook_ = std::move(hook);
   }
 
  private:
@@ -162,6 +188,16 @@ class QueryEngine {
 
   Result<Operand> Evaluate(const Predicate& predicate, QueryStats* stats);
   Result<Operand> Probe(const Predicate& leaf, QueryStats* stats);
+
+  /// Rebuilds the secondary index on `column` when the table's column
+  /// version moved past the version the index was built from, dropping
+  /// the column's partition indexes and savings state (they cover the
+  /// old data). No-op when the column has no index yet.
+  Status RefreshIndexIfStale(const std::string& column);
+
+  /// The attempt-fault hook decision for (key, attempt); Ok when unset.
+  Status ConsultFaultHook(std::string_view key, int attempt) const;
+
   Result<std::vector<Rid>> RunSetOp(SetOp op, const OperandView& a,
                                     const OperandView& b, QueryStats* stats);
   Result<std::vector<Rid>> Complement(const std::vector<Rid>& rids,
@@ -191,7 +227,10 @@ class QueryEngine {
   Processor* sibling_ = nullptr;         // non-owning; may be null
   RunSettings run_settings_;
   int max_attempts_ = 1;
+  fault::AttemptFaultHook attempt_fault_hook_;
+  std::mutex submit_mutex_;  // serializes Submit-driven queries
   std::map<std::string, SecondaryIndex> indexes_;
+  std::map<std::string, uint64_t> index_versions_;  // column version built
 
   // --- Adaptive planner state (null/empty while disabled) ---
   std::unique_ptr<Planner> planner_;

@@ -18,6 +18,33 @@ Status Table::AddColumn(std::string column_name,
   return Status::Ok();
 }
 
+Status Table::UpdateColumn(std::string_view column_name,
+                           std::vector<uint32_t> values) {
+  NamedColumn* column = const_cast<NamedColumn*>(Find(column_name));
+  if (column == nullptr) {
+    return Status::NotFound("no column '" + std::string(column_name) +
+                            "' in table '" + name_ + "'");
+  }
+  if (values.size() != num_rows_) {
+    return Status::InvalidArgument(
+        "UpdateColumn of '" + std::string(column_name) + "' has " +
+        std::to_string(values.size()) + " rows; table '" + name_ + "' has " +
+        std::to_string(num_rows_));
+  }
+  column->values = std::move(values);
+  ++column->version;
+  return Status::Ok();
+}
+
+Result<uint64_t> Table::ColumnVersion(std::string_view column_name) const {
+  const NamedColumn* column = Find(column_name);
+  if (column == nullptr) {
+    return Status::NotFound("no column '" + std::string(column_name) +
+                            "' in table '" + name_ + "'");
+  }
+  return column->version;
+}
+
 const Table::NamedColumn* Table::Find(std::string_view column_name) const {
   for (const NamedColumn& column : columns_) {
     if (column.name == column_name) return &column;

@@ -30,6 +30,17 @@ class Table {
   /// column added defines the row count.
   Status AddColumn(std::string column_name, std::vector<uint32_t> values);
 
+  /// Replaces the values of an existing column (the row count must
+  /// match) and bumps the column's version counter. Derived structures
+  /// keyed on the old version -- secondary indexes, partition indexes,
+  /// cached query results -- become stale and must be rebuilt or
+  /// invalidated; QueryEngine and service::ResultCache check versions.
+  Status UpdateColumn(std::string_view column_name,
+                      std::vector<uint32_t> values);
+
+  /// Monotonic per-column version: 1 when added, +1 per UpdateColumn.
+  Result<uint64_t> ColumnVersion(std::string_view column_name) const;
+
   /// Column access by name.
   Result<std::span<const uint32_t>> Column(std::string_view column_name) const;
   bool HasColumn(std::string_view column_name) const;
@@ -42,6 +53,7 @@ class Table {
   struct NamedColumn {
     std::string name;
     std::vector<uint32_t> values;
+    uint64_t version = 1;
   };
 
   const NamedColumn* Find(std::string_view column_name) const;

@@ -1,0 +1,620 @@
+#include "service/query_service.h"
+
+#include <algorithm>
+#include <cstdint>
+#include <utility>
+
+#include "obs/metrics/metrics.h"
+
+namespace dba::service {
+
+namespace {
+
+struct ServiceInstruments {
+  obs::Counter* submitted;
+  obs::Counter* rejected;
+  obs::Counter* shed;
+  obs::Counter* dispatched;
+  obs::Counter* batches;
+  obs::Counter* deduplicated;
+  obs::Counter* cache_hits;
+  obs::Counter* cache_misses;
+  obs::Counter* cache_evictions;
+  obs::Counter* cache_invalidations;
+  obs::Counter* retries;
+  obs::Gauge* queue_depth;
+  obs::Histogram* batch_size;
+  obs::Histogram* latency_ns;
+};
+
+const ServiceInstruments& Instruments() {
+  static const ServiceInstruments instruments = [] {
+    obs::MetricsRegistry& registry = obs::MetricsRegistry::Global();
+    ServiceInstruments out;
+    out.submitted = registry.GetCounter("dba_service_submitted_total",
+                                        "Requests submitted to the service.");
+    out.rejected = registry.GetCounter(
+        "dba_service_rejected_total",
+        "Requests shed at admission (queue full -> kUnavailable).");
+    out.shed = registry.GetCounter(
+        "dba_service_shed_total",
+        "Requests whose deadline expired while queued.");
+    out.dispatched = registry.GetCounter(
+        "dba_service_dispatched_total", "Requests that reached execution.");
+    out.batches = registry.GetCounter("dba_service_batches_total",
+                                      "Dispatch batches executed.");
+    out.deduplicated = registry.GetCounter(
+        "dba_service_dedup_total",
+        "Requests answered by an identical request in the same batch.");
+    out.cache_hits = registry.GetCounter("dba_service_cache_hits_total",
+                                         "Result-cache hits.");
+    out.cache_misses = registry.GetCounter("dba_service_cache_misses_total",
+                                           "Result-cache misses.");
+    out.cache_evictions = registry.GetCounter(
+        "dba_service_cache_evictions_total", "Result-cache LRU evictions.");
+    out.cache_invalidations = registry.GetCounter(
+        "dba_service_cache_invalidations_total",
+        "Result-cache entries dropped for version staleness.");
+    out.retries = registry.GetCounter(
+        "dba_service_retries_total",
+        "Transient re-executions across engine and board recovery.");
+    out.queue_depth = registry.GetGauge("dba_service_queue_depth",
+                                        "Requests currently queued.");
+    out.batch_size = registry.GetHistogram("dba_service_batch_size",
+                                           "Requests per dispatch batch.");
+    out.latency_ns = registry.GetHistogram(
+        "dba_service_latency_ns",
+        "Submit-to-response latency (service-clock ns; deterministic "
+        "only under an injected VirtualClock).");
+    return out;
+  }();
+  return instruments;
+}
+
+/// Mirrors a ResultCache stats delta into the global instruments.
+void MirrorCacheDelta(const CacheStats& before, const CacheStats& after) {
+  const ServiceInstruments& ins = Instruments();
+  ins.cache_hits->Increment(after.hits - before.hits);
+  ins.cache_misses->Increment(after.misses - before.misses);
+  ins.cache_evictions->Increment(after.evictions - before.evictions);
+  ins.cache_invalidations->Increment(after.invalidations -
+                                     before.invalidations);
+}
+
+/// Distinct columns referenced by a predicate tree, in first-seen order.
+void CollectColumns(const query::Predicate& predicate,
+                    std::vector<std::string>* out) {
+  if (predicate.is_leaf()) {
+    if (std::find(out->begin(), out->end(), predicate.column) == out->end()) {
+      out->push_back(predicate.column);
+    }
+    return;
+  }
+  for (const auto& child : predicate.children) CollectColumns(*child, out);
+}
+
+}  // namespace
+
+Status ServiceConfig::Validate() const {
+  if (board == nullptr) {
+    return Status::InvalidArgument("ServiceConfig::board is required");
+  }
+  if (queue_capacity < 1) {
+    return Status::InvalidArgument(
+        "ServiceConfig::queue_capacity must be >= 1");
+  }
+  if (max_batch < 1) {
+    return Status::InvalidArgument("ServiceConfig::max_batch must be >= 1");
+  }
+  if (max_attempts < 1) {
+    return Status::InvalidArgument(
+        "ServiceConfig::max_attempts must be >= 1");
+  }
+  return Status::Ok();
+}
+
+Result<std::unique_ptr<QueryService>> QueryService::Create(
+    const ServiceConfig& config) {
+  DBA_RETURN_IF_ERROR(config.Validate());
+  return std::unique_ptr<QueryService>(new QueryService(config));
+}
+
+QueryService::QueryService(const ServiceConfig& config)
+    : config_(config),
+      queue_(config.queue_capacity),
+      cache_(config.cache_capacity) {
+  if (config_.clock == nullptr) {
+    owned_clock_ = std::make_unique<SystemClock>();
+    clock_ = owned_clock_.get();
+  } else {
+    clock_ = config_.clock;
+  }
+  clock_->Watch(&mu_, &cv_);
+  scheduler_ = std::thread(&QueryService::SchedulerLoop, this);
+}
+
+QueryService::~QueryService() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    stopping_ = true;
+  }
+  cv_.notify_all();
+  if (scheduler_.joinable()) scheduler_.join();
+  std::lock_guard<std::mutex> lock(mu_);
+  queue_.ConsumeAll([](Job&& job) {
+    ServiceResponse response;
+    response.status = Status::Unavailable("service stopped");
+    job.promise.set_value(std::move(response));
+  });
+  Instruments().queue_depth->Set(0.0);
+  drain_cv_.notify_all();
+}
+
+Status QueryService::RegisterTable(std::unique_ptr<query::Table> table) {
+  if (table == nullptr) {
+    return Status::InvalidArgument("RegisterTable requires a table");
+  }
+  std::unique_lock<std::shared_mutex> tables_lock(tables_mu_);
+  const std::string name = table->name();
+  if (tables_.count(name) != 0) {
+    return Status::AlreadyExists("table '" + name + "' already registered");
+  }
+  TableEntry entry;
+  entry.core = next_core_;
+  next_core_ = (next_core_ + 1) % config_.board->num_cores();
+  entry.mu = std::make_unique<std::shared_mutex>();
+  entry.table = std::move(table);
+  entry.engine = std::make_unique<query::QueryEngine>(
+      entry.table.get(), config_.board->core(entry.core));
+  entry.engine->SetMaxAttempts(config_.max_attempts);
+  if (fault_hook_) entry.engine->SetAttemptFaultHook(fault_hook_);
+  for (const std::string& column : entry.table->ColumnNames()) {
+    DBA_RETURN_IF_ERROR(entry.engine->BuildIndex(column));
+  }
+  tables_.emplace(name, std::move(entry));
+  return Status::Ok();
+}
+
+Status QueryService::UpdateColumn(const std::string& table,
+                                  const std::string& column,
+                                  std::vector<uint32_t> values) {
+  TableEntry* entry = nullptr;
+  {
+    std::shared_lock<std::shared_mutex> tables_lock(tables_mu_);
+    auto it = tables_.find(table);
+    if (it == tables_.end()) {
+      return Status::NotFound("unknown table '" + table + "'");
+    }
+    // Map nodes are address-stable and never erased: the pointer stays
+    // valid after the registry lock drops.
+    entry = &it->second;
+  }
+  {
+    std::unique_lock<std::shared_mutex> table_lock(*entry->mu);
+    DBA_RETURN_IF_ERROR(entry->table->UpdateColumn(column, std::move(values)));
+  }
+  std::lock_guard<std::mutex> cache_lock(cache_mu_);
+  const CacheStats before = cache_.stats();
+  cache_.InvalidateColumn(table, column);
+  MirrorCacheDelta(before, cache_.stats());
+  return Status::Ok();
+}
+
+std::future<ServiceResponse> QueryService::Submit(ServiceRequest request) {
+  const ServiceInstruments& ins = Instruments();
+  Job job;
+  job.request = std::move(request);
+  std::future<ServiceResponse> future = job.promise.get_future();
+  submitted_.fetch_add(1, std::memory_order_relaxed);
+  ins.submitted->Increment();
+  int priority = job.request.priority;
+  const auto boost = config_.tenant_priorities.find(job.request.tenant);
+  if (boost != config_.tenant_priorities.end()) priority += boost->second;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (stopping_) {
+      ServiceResponse response;
+      response.status = Status::Unavailable("service stopped");
+      job.promise.set_value(std::move(response));
+      return future;
+    }
+    job.enqueue_ns = clock_->NowNs();
+    const Status admitted = queue_.Push(priority, std::move(job));
+    if (!admitted.ok()) {
+      // Push leaves the job untouched on overflow: shed explicitly.
+      rejected_.fetch_add(1, std::memory_order_relaxed);
+      ins.rejected->Increment();
+      ServiceResponse response;
+      response.status = admitted;
+      job.promise.set_value(std::move(response));
+      return future;
+    }
+    ins.queue_depth->Set(static_cast<double>(queue_.size()));
+  }
+  cv_.notify_all();
+  return future;
+}
+
+void QueryService::PauseDispatch() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    paused_ = true;
+  }
+  cv_.notify_all();
+}
+
+void QueryService::ResumeDispatch() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    paused_ = false;
+  }
+  cv_.notify_all();
+}
+
+void QueryService::Drain() {
+  std::unique_lock<std::mutex> lock(mu_);
+  drain_cv_.wait(lock, [&] {
+    return (queue_.empty() && !dispatching_) || stopping_;
+  });
+}
+
+size_t QueryService::queue_depth() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return queue_.size();
+}
+
+ServiceCounters QueryService::counters() const {
+  ServiceCounters out;
+  out.submitted = submitted_.load(std::memory_order_relaxed);
+  out.rejected = rejected_.load(std::memory_order_relaxed);
+  out.shed = shed_.load(std::memory_order_relaxed);
+  out.dispatched = dispatched_.load(std::memory_order_relaxed);
+  out.batches = batches_.load(std::memory_order_relaxed);
+  out.deduplicated = deduplicated_.load(std::memory_order_relaxed);
+  out.retries = retries_.load(std::memory_order_relaxed);
+  std::lock_guard<std::mutex> cache_lock(cache_mu_);
+  const CacheStats& stats = cache_.stats();
+  out.cache_hits = stats.hits;
+  out.cache_misses = stats.misses;
+  out.cache_evictions = stats.evictions;
+  out.cache_invalidations = stats.invalidations;
+  return out;
+}
+
+std::vector<std::string> QueryService::CacheKeysMruToLru() const {
+  std::lock_guard<std::mutex> cache_lock(cache_mu_);
+  return cache_.KeysMruToLru();
+}
+
+void QueryService::SetAttemptFaultHook(fault::AttemptFaultHook hook) {
+  std::unique_lock<std::shared_mutex> tables_lock(tables_mu_);
+  fault_hook_ = std::move(hook);
+  for (auto& [name, entry] : tables_) {
+    (void)name;
+    entry.engine->SetAttemptFaultHook(fault_hook_);
+  }
+}
+
+uint64_t QueryService::OldestEnqueueNsLocked() const {
+  uint64_t oldest = UINT64_MAX;
+  queue_.ForEach(
+      [&](const Job& job) { oldest = std::min(oldest, job.enqueue_ns); });
+  return oldest == UINT64_MAX ? 0 : oldest;
+}
+
+void QueryService::SchedulerLoop() {
+  std::unique_lock<std::mutex> lock(mu_);
+  while (true) {
+    cv_.wait(lock, [&] {
+      return stopping_ || (!paused_ && !queue_.empty());
+    });
+    if (stopping_) return;
+
+    if (config_.batch_window_ns > 0) {
+      // Hold the batch open until the oldest pending request has waited
+      // a full window, or the batch is already full. New arrivals and
+      // clock advances both notify cv_, so the deadline re-derives from
+      // the (possibly older) oldest request each pass.
+      while (!stopping_ && !paused_ && !queue_.empty() &&
+             queue_.size() < static_cast<size_t>(config_.max_batch)) {
+        const uint64_t deadline =
+            OldestEnqueueNsLocked() + config_.batch_window_ns;
+        if (clock_->NowNs() >= deadline) break;
+        clock_->WaitUntil(lock, cv_, deadline);
+      }
+      if (stopping_) return;
+      if (paused_ || queue_.empty()) continue;
+    }
+
+    std::vector<Job> batch;
+    batch.reserve(static_cast<size_t>(config_.max_batch));
+    Job job;
+    while (batch.size() < static_cast<size_t>(config_.max_batch) &&
+           queue_.Pop(&job)) {
+      batch.push_back(std::move(job));
+    }
+    Instruments().queue_depth->Set(static_cast<double>(queue_.size()));
+    dispatching_ = true;
+    lock.unlock();
+    ExecuteBatch(std::move(batch));
+    lock.lock();
+    dispatching_ = false;
+    drain_cv_.notify_all();
+  }
+}
+
+void QueryService::ExecuteBatch(std::vector<Job> batch) {
+  const ServiceInstruments& ins = Instruments();
+  const uint64_t start_ns = clock_->NowNs();
+  const uint32_t batch_size = static_cast<uint32_t>(batch.size());
+  const uint64_t batch_ordinal =
+      batches_.fetch_add(1, std::memory_order_relaxed) + 1;
+  ins.batches->Increment();
+  ins.batch_size->Observe(batch_size);
+  if (config_.trace_sink != nullptr) {
+    config_.trace_sink->BeginRegion(
+        start_ns, "service batch " + std::to_string(batch_ordinal) + " (" +
+                      std::to_string(batch_size) + " requests)");
+  }
+
+  /// One distinct piece of work in the batch; identical requests
+  /// (same predicate+table, or same direct op+inputs) share a Unique.
+  struct Unique {
+    size_t owner = 0;  // first batch index with this work
+    bool is_predicate = false;
+    std::string key;   // predicate cache key ("" for direct ops)
+    bool ready = false;
+    Status status = Status::Internal("not executed");
+    std::vector<uint32_t> values;
+    bool cache_hit = false;
+    uint32_t retries = 0;
+    uint64_t cycles = 0;
+    TableEntry* entry = nullptr;
+    std::vector<ColumnVersion> versions;  // stamped at execution
+  };
+  std::vector<Unique> uniques;
+  std::vector<int> unique_of(batch.size(), -1);  // -1 = shed
+
+  // Shed expired deadlines, then deduplicate the rest.
+  for (size_t i = 0; i < batch.size(); ++i) {
+    const ServiceRequest& request = batch[i].request;
+    if (request.deadline_ns != 0 && start_ns > request.deadline_ns) {
+      shed_.fetch_add(1, std::memory_order_relaxed);
+      ins.shed->Increment();
+      continue;
+    }
+    int found = -1;
+    if (request.predicate != nullptr) {
+      std::string key =
+          "q|" + request.table + "|" + request.predicate->ToString();
+      for (size_t u = 0; u < uniques.size(); ++u) {
+        if (uniques[u].is_predicate && uniques[u].key == key) {
+          found = static_cast<int>(u);
+          break;
+        }
+      }
+      if (found < 0) {
+        Unique unique;
+        unique.owner = i;
+        unique.is_predicate = true;
+        unique.key = std::move(key);
+        found = static_cast<int>(uniques.size());
+        uniques.push_back(std::move(unique));
+      }
+    } else {
+      for (size_t u = 0; u < uniques.size(); ++u) {
+        if (uniques[u].is_predicate) continue;
+        const ServiceRequest& other = batch[uniques[u].owner].request;
+        if (other.op == request.op && other.a == request.a &&
+            other.b == request.b) {
+          found = static_cast<int>(u);
+          break;
+        }
+      }
+      if (found < 0) {
+        Unique unique;
+        unique.owner = i;
+        found = static_cast<int>(uniques.size());
+        uniques.push_back(std::move(unique));
+      }
+    }
+    unique_of[i] = found;
+    if (uniques[static_cast<size_t>(found)].owner != i) {
+      deduplicated_.fetch_add(1, std::memory_order_relaxed);
+      ins.deduplicated->Increment();
+    }
+  }
+
+  // Resolve predicate work against the table registry.
+  {
+    std::shared_lock<std::shared_mutex> tables_lock(tables_mu_);
+    for (Unique& unique : uniques) {
+      if (!unique.is_predicate) continue;
+      const ServiceRequest& request = batch[unique.owner].request;
+      auto it = tables_.find(request.table);
+      if (it == tables_.end()) {
+        unique.status =
+            Status::NotFound("unknown table '" + request.table + "'");
+        unique.ready = true;
+        continue;
+      }
+      unique.entry = &it->second;  // map nodes are address-stable
+    }
+  }
+
+  // Result-cache lookups (scheduler thread only; cache_mu_ guards
+  // against concurrent UpdateColumn invalidation and inspection).
+  for (Unique& unique : uniques) {
+    if (!unique.is_predicate || unique.ready) continue;
+    const ServiceRequest& request = batch[unique.owner].request;
+    std::vector<std::string> columns;
+    CollectColumns(*request.predicate, &columns);
+    std::vector<ColumnVersion> current;
+    bool versions_ok = true;
+    {
+      std::shared_lock<std::shared_mutex> table_lock(*unique.entry->mu);
+      for (const std::string& column : columns) {
+        Result<uint64_t> version = unique.entry->table->ColumnVersion(column);
+        if (!version.ok()) {
+          versions_ok = false;  // execution reports the real error
+          break;
+        }
+        current.push_back(ColumnVersion{request.table, column, *version});
+      }
+    }
+    if (!versions_ok) continue;
+    std::lock_guard<std::mutex> cache_lock(cache_mu_);
+    const CacheStats before = cache_.stats();
+    if (cache_.Lookup(unique.key, current, &unique.values)) {
+      unique.cache_hit = true;
+      unique.status = Status::Ok();
+      unique.ready = true;
+    }
+    MirrorCacheDelta(before, cache_.stats());
+  }
+
+  // Direct set operations: one multi-request board batch.
+  uint64_t batch_retries = 0;
+  std::vector<size_t> direct;
+  for (size_t u = 0; u < uniques.size(); ++u) {
+    if (!uniques[u].is_predicate && !uniques[u].ready) direct.push_back(u);
+  }
+  if (!direct.empty()) {
+    std::vector<system::Board::BatchItem> items;
+    items.reserve(direct.size());
+    for (const size_t u : direct) {
+      const ServiceRequest& request = batch[uniques[u].owner].request;
+      items.push_back(
+          system::Board::BatchItem{request.op, request.a, request.b});
+    }
+    Result<system::Board::BatchRun> run =
+        config_.board->RunSetOperationBatch(items);
+    if (!run.ok()) {
+      for (const size_t u : direct) {
+        uniques[u].status = run.status();
+        uniques[u].ready = true;
+      }
+    } else {
+      batch_retries += run->run.recovery.retries;
+      for (size_t k = 0; k < direct.size(); ++k) {
+        Unique& unique = uniques[direct[k]];
+        unique.values = std::move(run->results[k]);
+        unique.status = Status::Ok();
+        // Per-item cycles are not individually attributable: every
+        // direct response of the batch reports the batch makespan.
+        unique.cycles = run->run.makespan_cycles;
+        unique.ready = true;
+      }
+    }
+  }
+
+  // Predicate queries: engines grouped by their pinned board core (one
+  // thread per core; a core's tables run back to back), fanned out over
+  // the board's host pool when available.
+  std::map<int, std::vector<size_t>> by_core;
+  for (size_t u = 0; u < uniques.size(); ++u) {
+    if (uniques[u].is_predicate && !uniques[u].ready) {
+      by_core[uniques[u].entry->core].push_back(u);
+    }
+  }
+  std::vector<std::vector<size_t>> groups;
+  groups.reserve(by_core.size());
+  for (auto& [core, members] : by_core) {
+    (void)core;
+    groups.push_back(std::move(members));
+  }
+  const auto run_group = [&](size_t gi) {
+    for (const size_t uidx : groups[gi]) {
+      Unique& unique = uniques[uidx];
+      const ServiceRequest& request = batch[unique.owner].request;
+      std::shared_lock<std::shared_mutex> table_lock(*unique.entry->mu);
+      // Stamp versions under the same shared lock that covers the
+      // execution: UpdateColumn's unique lock cannot interleave, so
+      // the stamps and the computed values are mutually consistent.
+      std::vector<std::string> columns;
+      CollectColumns(*request.predicate, &columns);
+      bool versions_ok = true;
+      for (const std::string& column : columns) {
+        Result<uint64_t> version = unique.entry->table->ColumnVersion(column);
+        if (!version.ok()) {
+          unique.status = version.status();
+          versions_ok = false;
+          break;
+        }
+        unique.versions.push_back(
+            ColumnVersion{request.table, column, *version});
+      }
+      if (!versions_ok) {
+        unique.ready = true;
+        continue;
+      }
+      query::QueryStats stats;
+      Result<std::vector<query::Rid>> result =
+          unique.entry->engine->Select(*request.predicate, &stats);
+      if (result.ok()) {
+        unique.values = std::move(*result);
+        unique.status = Status::Ok();
+        unique.retries = stats.retries;
+        unique.cycles = stats.accelerator_cycles;
+      } else {
+        unique.status = result.status();
+      }
+      unique.ready = true;
+    }
+  };
+  common::ThreadPool* pool = config_.board->host_pool();
+  if (pool != nullptr && groups.size() > 1) {
+    pool->ParallelFor(groups.size(), run_group);
+  } else {
+    for (size_t gi = 0; gi < groups.size(); ++gi) run_group(gi);
+  }
+
+  // Fresh predicate results enter the cache with their version stamps.
+  {
+    std::lock_guard<std::mutex> cache_lock(cache_mu_);
+    const CacheStats before = cache_.stats();
+    for (Unique& unique : uniques) {
+      if (unique.is_predicate && unique.status.ok() && !unique.cache_hit) {
+        cache_.Insert(unique.key, unique.values, unique.versions);
+      }
+    }
+    MirrorCacheDelta(before, cache_.stats());
+  }
+
+  for (const Unique& unique : uniques) {
+    batch_retries += unique.retries;
+  }
+  if (batch_retries > 0) {
+    retries_.fetch_add(batch_retries, std::memory_order_relaxed);
+    ins.retries->Increment(batch_retries);
+  }
+
+  // Fulfill every promise (shed requests included) exactly once.
+  const uint64_t done_ns = clock_->NowNs();
+  for (size_t i = 0; i < batch.size(); ++i) {
+    ServiceResponse response;
+    response.batch_size = batch_size;
+    response.dispatch_seq = ++dispatch_seq_;
+    if (unique_of[i] < 0) {
+      response.status =
+          Status::DeadlineExceeded("deadline expired while queued");
+    } else {
+      const Unique& unique = uniques[static_cast<size_t>(unique_of[i])];
+      response.status = unique.status;
+      response.values = unique.values;
+      response.cache_hit = unique.cache_hit;
+      response.deduplicated = unique.owner != i;
+      response.retries = unique.retries;
+      response.accelerator_cycles = unique.cycles;
+      dispatched_.fetch_add(1, std::memory_order_relaxed);
+      ins.dispatched->Increment();
+    }
+    ins.latency_ns->Observe(done_ns - batch[i].enqueue_ns);
+    batch[i].promise.set_value(std::move(response));
+  }
+  if (config_.trace_sink != nullptr) {
+    config_.trace_sink->EndRegion(done_ns);
+  }
+}
+
+}  // namespace dba::service

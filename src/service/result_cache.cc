@@ -1,0 +1,82 @@
+#include "service/result_cache.h"
+
+#include <algorithm>
+#include <utility>
+
+namespace dba::service {
+
+bool ResultCache::Lookup(const std::string& key,
+                         std::span<const ColumnVersion> current,
+                         std::vector<uint32_t>* out) {
+  auto it = index_.find(key);
+  if (it == index_.end()) {
+    ++stats_.misses;
+    return false;
+  }
+  for (const ColumnVersion& stamp : it->second->versions) {
+    const auto match = std::find_if(
+        current.begin(), current.end(), [&](const ColumnVersion& now) {
+          return now.table == stamp.table && now.column == stamp.column;
+        });
+    if (match == current.end() || match->version != stamp.version) {
+      // Stale: the column moved past the stamped version (or the
+      // caller no longer vouches for it). Never serve it.
+      lru_.erase(it->second);
+      index_.erase(it);
+      ++stats_.invalidations;
+      ++stats_.misses;
+      return false;
+    }
+  }
+  lru_.splice(lru_.begin(), lru_, it->second);  // refresh recency
+  *out = it->second->values;
+  ++stats_.hits;
+  return true;
+}
+
+void ResultCache::Insert(std::string key, std::vector<uint32_t> values,
+                         std::vector<ColumnVersion> versions) {
+  if (capacity_ == 0) return;
+  auto it = index_.find(key);
+  if (it != index_.end()) {
+    it->second->values = std::move(values);
+    it->second->versions = std::move(versions);
+    lru_.splice(lru_.begin(), lru_, it->second);
+    return;
+  }
+  lru_.push_front(
+      Entry{std::move(key), std::move(values), std::move(versions)});
+  index_[lru_.front().key] = lru_.begin();
+  if (lru_.size() > capacity_) {
+    index_.erase(lru_.back().key);
+    lru_.pop_back();
+    ++stats_.evictions;
+  }
+}
+
+void ResultCache::InvalidateColumn(std::string_view table,
+                                   std::string_view column) {
+  for (auto it = lru_.begin(); it != lru_.end();) {
+    const bool depends = std::any_of(
+        it->versions.begin(), it->versions.end(),
+        [&](const ColumnVersion& stamp) {
+          return stamp.table == table && stamp.column == column;
+        });
+    if (depends) {
+      index_.erase(it->key);
+      it = lru_.erase(it);
+      ++stats_.invalidations;
+    } else {
+      ++it;
+    }
+  }
+}
+
+std::vector<std::string> ResultCache::KeysMruToLru() const {
+  std::vector<std::string> keys;
+  keys.reserve(lru_.size());
+  for (const Entry& entry : lru_) keys.push_back(entry.key);
+  return keys;
+}
+
+}  // namespace dba::service

@@ -1,0 +1,86 @@
+#ifndef DBA_SERVICE_RESULT_CACHE_H_
+#define DBA_SERVICE_RESULT_CACHE_H_
+
+#include <cstdint>
+#include <list>
+#include <span>
+#include <string>
+#include <string_view>
+#include <unordered_map>
+#include <vector>
+
+namespace dba::service {
+
+/// One column-version stamp a cached result depends on. Entries are
+/// valid only while every stamped column is still at the stamped
+/// version (Table::ColumnVersion).
+struct ColumnVersion {
+  std::string table;
+  std::string column;
+  uint64_t version = 0;
+
+  bool operator==(const ColumnVersion&) const = default;
+};
+
+struct CacheStats {
+  uint64_t hits = 0;
+  uint64_t misses = 0;
+  uint64_t evictions = 0;
+  uint64_t invalidations = 0;  // version-stale lookups + explicit drops
+};
+
+/// LRU cache of query results keyed by a canonical query string and
+/// guarded by column-version stamps: a lookup whose current versions
+/// disagree with the stored stamps drops the entry and misses (a stale
+/// result is never served). Explicit invalidation (InvalidateColumn)
+/// drops every entry depending on a column, so a mutation immediately
+/// clears derived results even before their next lookup.
+///
+/// Not internally synchronized: QueryService serializes access.
+class ResultCache {
+ public:
+  /// `capacity` is the max entry count; 0 disables caching entirely.
+  explicit ResultCache(size_t capacity) : capacity_(capacity) {}
+
+  ResultCache(const ResultCache&) = delete;
+  ResultCache& operator=(const ResultCache&) = delete;
+
+  /// Copies the cached values into `*out` and refreshes the entry's
+  /// recency iff `key` is present and every stored stamp matches the
+  /// same (table, column) stamp in `current`. A version mismatch
+  /// erases the entry and counts an invalidation plus a miss.
+  bool Lookup(const std::string& key, std::span<const ColumnVersion> current,
+              std::vector<uint32_t>* out);
+
+  /// Inserts (or refreshes) `key`, evicting the least-recently-used
+  /// entry when over capacity. No-op when capacity is 0.
+  void Insert(std::string key, std::vector<uint32_t> values,
+              std::vector<ColumnVersion> versions);
+
+  /// Drops every entry stamped with (table, column); each counts one
+  /// invalidation.
+  void InvalidateColumn(std::string_view table, std::string_view column);
+
+  const CacheStats& stats() const { return stats_; }
+  size_t size() const { return lru_.size(); }
+
+  /// Cache keys, most-recently-used first (pins the eviction order in
+  /// tests).
+  std::vector<std::string> KeysMruToLru() const;
+
+ private:
+  struct Entry {
+    std::string key;
+    std::vector<uint32_t> values;
+    std::vector<ColumnVersion> versions;
+  };
+
+  size_t capacity_;
+  std::list<Entry> lru_;  // front = most recently used
+  std::unordered_map<std::string, std::list<Entry>::iterator> index_;
+  CacheStats stats_;
+};
+
+}  // namespace dba::service
+
+#endif  // DBA_SERVICE_RESULT_CACHE_H_

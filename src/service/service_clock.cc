@@ -1,0 +1,68 @@
+#include "service/service_clock.h"
+
+#include <algorithm>
+
+namespace dba::service {
+
+uint64_t SystemClock::NowNs() {
+  return static_cast<uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now() - origin_)
+          .count());
+}
+
+void SystemClock::WaitUntil(std::unique_lock<std::mutex>& lock,
+                            std::condition_variable& cv,
+                            uint64_t deadline_ns) {
+  const uint64_t now = NowNs();
+  if (now >= deadline_ns) return;
+  cv.wait_for(lock, std::chrono::nanoseconds(deadline_ns - now));
+}
+
+uint64_t VirtualClock::NowNs() {
+  std::lock_guard<std::mutex> guard(mu_);
+  return now_ns_;
+}
+
+void VirtualClock::WaitUntil(std::unique_lock<std::mutex>& lock,
+                             std::condition_variable& cv,
+                             uint64_t deadline_ns) {
+  if (NowNs() >= deadline_ns) return;
+  // One blocking wait; AdvanceTo (or any producer-side notify) wakes
+  // us and the caller's loop re-checks. AdvanceTo acquires the mutex
+  // `lock` holds before notifying, so the advance cannot slip between
+  // the NowNs check above and the wait below.
+  cv.wait(lock);
+}
+
+void VirtualClock::Watch(std::mutex* mutex, std::condition_variable* cv) {
+  std::lock_guard<std::mutex> guard(mu_);
+  watchers_.emplace_back(mutex, cv);
+}
+
+void VirtualClock::AdvanceTo(uint64_t ns) {
+  std::vector<std::pair<std::mutex*, std::condition_variable*>> watchers;
+  {
+    std::lock_guard<std::mutex> guard(mu_);
+    now_ns_ = std::max(now_ns_, ns);
+    watchers = watchers_;
+  }
+  for (auto& [mutex, cv] : watchers) {
+    // Lock-then-notify: a waiter holding `mutex` is either before its
+    // clock check (it will see the new time) or already blocked in
+    // wait (the notify reaches it). Either way the advance is seen.
+    std::lock_guard<std::mutex> held(*mutex);
+    cv->notify_all();
+  }
+}
+
+void VirtualClock::AdvanceBy(uint64_t delta_ns) {
+  uint64_t target = 0;
+  {
+    std::lock_guard<std::mutex> guard(mu_);
+    target = now_ns_ + delta_ns;
+  }
+  AdvanceTo(target);
+}
+
+}  // namespace dba::service

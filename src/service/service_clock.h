@@ -1,0 +1,78 @@
+#ifndef DBA_SERVICE_SERVICE_CLOCK_H_
+#define DBA_SERVICE_SERVICE_CLOCK_H_
+
+#include <chrono>
+#include <condition_variable>
+#include <cstdint>
+#include <mutex>
+#include <utility>
+#include <vector>
+
+namespace dba::service {
+
+/// Time source of the query service's batching window and deadline
+/// checks. Production uses SystemClock; the deterministic concurrency
+/// harness injects a VirtualClock and steps it explicitly, making batch
+/// formation a pure function of the submission schedule.
+class ServiceClock {
+ public:
+  virtual ~ServiceClock() = default;
+
+  /// Nanoseconds since an arbitrary fixed origin (monotonic).
+  virtual uint64_t NowNs() = 0;
+
+  /// Blocks on `cv` -- whose associated mutex `lock` holds -- until
+  /// roughly `deadline_ns`. Spurious wakeups are expected: callers
+  /// re-check their condition and the clock in a loop.
+  virtual void WaitUntil(std::unique_lock<std::mutex>& lock,
+                         std::condition_variable& cv,
+                         uint64_t deadline_ns) = 0;
+
+  /// Registers the (mutex, cv) pair a waiter blocks on, so a virtual
+  /// clock can wake it when time advances. No-op for real clocks. The
+  /// pair must outlive the clock's last AdvanceTo.
+  virtual void Watch(std::mutex* /*mutex*/,
+                     std::condition_variable* /*cv*/) {}
+};
+
+/// Wall-clock time via std::chrono::steady_clock.
+class SystemClock : public ServiceClock {
+ public:
+  SystemClock() : origin_(std::chrono::steady_clock::now()) {}
+
+  uint64_t NowNs() override;
+  void WaitUntil(std::unique_lock<std::mutex>& lock,
+                 std::condition_variable& cv, uint64_t deadline_ns) override;
+
+ private:
+  std::chrono::steady_clock::time_point origin_;
+};
+
+/// Manually-stepped time for deterministic tests: NowNs only moves when
+/// a test calls AdvanceTo/AdvanceBy. Waiters never time out on their
+/// own -- AdvanceTo locks each watched mutex before notifying, so a
+/// waiter that checked the clock and then blocked cannot miss the
+/// advance (no lost wakeups).
+class VirtualClock : public ServiceClock {
+ public:
+  explicit VirtualClock(uint64_t start_ns = 0) : now_ns_(start_ns) {}
+
+  uint64_t NowNs() override;
+  void WaitUntil(std::unique_lock<std::mutex>& lock,
+                 std::condition_variable& cv, uint64_t deadline_ns) override;
+  void Watch(std::mutex* mutex, std::condition_variable* cv) override;
+
+  /// Moves time forward to `ns` (never backward) and wakes every
+  /// watched waiter.
+  void AdvanceTo(uint64_t ns);
+  void AdvanceBy(uint64_t delta_ns);
+
+ private:
+  std::mutex mu_;
+  uint64_t now_ns_;
+  std::vector<std::pair<std::mutex*, std::condition_variable*>> watchers_;
+};
+
+}  // namespace dba::service
+
+#endif  // DBA_SERVICE_SERVICE_CLOCK_H_

@@ -145,6 +145,7 @@ Status RunDegenerateRange(SetOp op, std::span<const uint32_t> a,
     case SetOp::kIntersect:
       break;
     case SetOp::kUnion:
+    case SetOp::kMerge:
       result->assign(a.empty() ? b.begin() : a.begin(),
                      a.empty() ? b.end() : a.end());
       break;
@@ -177,8 +178,13 @@ Status RunSetPartition(Processor& core, SetOp op,
     return RunDegenerateRange(op, part_a, part_b, result, compute_cycles);
   }
   if (fits) {
-    DBA_ASSIGN_OR_RETURN(SetOpRun core_run,
-                         core.RunSetOperation(op, part_a, part_b, settings));
+    // kMerge has a dedicated processor entry point (RunSetOperation
+    // rejects it: duplicates make it a sort building block, not a set op).
+    DBA_ASSIGN_OR_RETURN(
+        SetOpRun core_run,
+        op == SetOp::kMerge
+            ? core.RunMerge(part_a, part_b, settings)
+            : core.RunSetOperation(op, part_a, part_b, settings));
     *compute_cycles = core_run.metrics.cycles;
     *result = std::move(core_run.result);
     return Status::Ok();
@@ -409,7 +415,17 @@ Status VerifyPartitionResult(const VerifyView& view) {
           std::to_string(view.result.size()) + " exceeds the bound " +
           std::to_string(max_size));
     }
+    // A merge keeps every element of both inputs (duplicates included):
+    // the size is exact, and only non-decreasing order can be required.
+    if (view.op == SetOp::kMerge &&
+        view.result.size() != view.a_size + view.b_size) {
+      return Status::DataLoss(
+          "partition verification: merge result has " +
+          std::to_string(view.result.size()) + " values, inputs had " +
+          std::to_string(view.a_size + view.b_size));
+    }
   }
+  const bool non_decreasing = view.is_sort || view.op == SetOp::kMerge;
   for (size_t i = 0; i < view.result.size(); ++i) {
     const uint32_t value = view.result[i];
     if (value < view.lo || value > view.hi) {
@@ -420,12 +436,12 @@ Status VerifyPartitionResult(const VerifyView& view) {
           ", " + std::to_string(view.hi) + "]");
     }
     if (i > 0) {
-      const bool bad = view.is_sort ? value < view.result[i - 1]
-                                    : value <= view.result[i - 1];
+      const bool bad = non_decreasing ? value < view.result[i - 1]
+                                      : value <= view.result[i - 1];
       if (bad) {
         return Status::DataLoss(
             "partition verification: result is not " +
-            std::string(view.is_sort ? "sorted" : "strictly increasing") +
+            std::string(non_decreasing ? "sorted" : "strictly increasing") +
             " at index " + std::to_string(i));
       }
     }
@@ -437,7 +453,7 @@ Status VerifyPartitionResult(const VerifyView& view) {
 
 Board::AttemptOutcome Board::RunAttempt(int core_index,
                                         const PartitionWork& part,
-                                        bool is_sort, SetOp op,
+                                        bool is_sort,
                                         const fault::AttemptSite& site,
                                         const PartitionRunner& runner) {
   AttemptOutcome out;
@@ -530,7 +546,7 @@ Board::AttemptOutcome Board::RunAttempt(int core_index,
     view.lo = part.lo;
     view.hi = part.hi;
     view.is_sort = is_sort;
-    view.op = op;
+    view.op = part.op;
     const Status verify = VerifyPartitionResult(view);
     if (!verify.ok()) {
       out.verification_failed = true;
@@ -554,8 +570,9 @@ Board::AttemptOutcome Board::RunAttempt(int core_index,
 }
 
 Result<ParallelRun> Board::ExecutePartitioned(
-    std::vector<PartitionWork> parts, bool is_sort, SetOp op,
-    uint64_t elements, const PartitionRunner& runner) {
+    std::vector<PartitionWork> parts, bool is_sort, uint64_t elements,
+    const PartitionRunner& runner,
+    std::vector<std::vector<uint32_t>>* item_results) {
   const auto host_start = std::chrono::steady_clock::now();
   const uint64_t op_ordinal = op_ordinal_++;
   const BoardInstruments& instruments = Instruments();
@@ -593,9 +610,11 @@ Result<ParallelRun> Board::ExecutePartitioned(
         " cores are quarantined; call ResetQuarantine() after servicing");
   }
 
-  // Round 0: partition i runs on its home core i unless that core is
-  // already benched -- then it spills onto the healthy cores right away
-  // (graceful degradation: the board finishes on fewer cores).
+  // Round 0: partition i's home core is i mod num_cores (the identity
+  // for the value-partitioned paths, waves for batches with more items
+  // than cores). A benched home core spills the partition onto the
+  // healthy cores right away (graceful degradation: the board finishes
+  // on fewer cores).
   std::vector<std::pair<size_t, int>> pending;  // (partition, core)
   size_t spill = 0;
   for (size_t i = 0; i < parts.size(); ++i) {
@@ -603,8 +622,9 @@ Result<ParallelRun> Board::ExecutePartitioned(
       slots[i].done = true;
       continue;
     }
-    if (!IsQuarantined(static_cast<int>(i))) {
-      pending.emplace_back(i, static_cast<int>(i));
+    const int home = static_cast<int>(i % static_cast<size_t>(cores_n));
+    if (!IsQuarantined(home)) {
+      pending.emplace_back(i, home);
     } else {
       pending.emplace_back(i, healthy[spill++ % healthy.size()]);
       ++run.recovery.requeues;
@@ -638,7 +658,7 @@ Result<ParallelRun> Board::ExecutePartitioned(
         site.partition = static_cast<uint32_t>(p);
         site.core = static_cast<uint32_t>(c);
         site.attempt = slots[p].attempts;
-        outcomes[p] = RunAttempt(c, parts[p], is_sort, op, site, runner);
+        outcomes[p] = RunAttempt(c, parts[p], is_sort, site, runner);
       }
     });
 
@@ -800,9 +820,19 @@ Result<ParallelRun> Board::ExecutePartitioned(
       static_cast<double>(cores_.size() - quarantined_list_.size()));
   instruments.quarantined_cores->Set(
       static_cast<double>(quarantined_list_.size()));
-  for (Slot& slot : slots) {
-    run.result.insert(run.result.end(), slot.result.begin(),
-                      slot.result.end());
+  if (item_results != nullptr) {
+    // Batch mode: each partition is an independent request whose result
+    // must come back separately, in submission order.
+    item_results->clear();
+    item_results->reserve(slots.size());
+    for (Slot& slot : slots) {
+      item_results->push_back(std::move(slot.result));
+    }
+  } else {
+    for (Slot& slot : slots) {
+      run.result.insert(run.result.end(), slot.result.begin(),
+                        slot.result.end());
+    }
   }
   FinishRun(&run, elements);
   run.host_wall_seconds = SecondsSince(host_start);
@@ -826,6 +856,7 @@ Result<ParallelRun> Board::RunSetOperation(SetOp op,
     part.hi = i < splitters.size() ? splitters[i] : 0xFFFFFFFFu;
     part.feed_bytes = 4 * (a_ranges[i].size() + b_ranges[i].size());
     part.active = !a_ranges[i].empty() || !b_ranges[i].empty();
+    part.op = op;
   }
 
   const PartitionRunner runner =
@@ -835,7 +866,7 @@ Result<ParallelRun> Board::RunSetOperation(SetOp op,
         return RunSetPartition(core, op, part.a, part.b, settings, result,
                                compute_cycles);
       };
-  return ExecutePartitioned(std::move(parts), /*is_sort=*/false, op,
+  return ExecutePartitioned(std::move(parts), /*is_sort=*/false,
                             a.size() + b.size(), runner);
 }
 
@@ -876,6 +907,7 @@ Result<ParallelRun> Board::RunSort(std::span<const uint32_t> values) {
     part.hi = i < splitters.size() ? splitters[i] : 0xFFFFFFFFu;
     part.feed_bytes = 4 * buckets[i].size();  // result out adds the rest
     part.active = !buckets[i].empty();
+    part.op = SetOp::kMerge;  // sort verification is non-decreasing
   }
 
   const PartitionRunner runner =
@@ -887,7 +919,61 @@ Result<ParallelRun> Board::RunSort(std::span<const uint32_t> values) {
     return Status::Ok();
   };
   return ExecutePartitioned(std::move(parts), /*is_sort=*/true,
-                            SetOp::kMerge, values.size(), runner);
+                            values.size(), runner);
+}
+
+Result<Board::BatchRun> Board::RunSetOperationBatch(
+    std::span<const BatchItem> items) {
+  BatchRun batch;
+  if (items.empty()) {
+    batch.run.per_core_cycles.assign(cores_.size(), 0);
+    batch.run.host_threads_used = host_threads_;
+    batch.run.sim_mode = config_.sim_mode;
+    return batch;
+  }
+  uint64_t elements = 0;
+  for (const BatchItem& item : items) {
+    switch (item.op) {
+      case SetOp::kIntersect:
+      case SetOp::kUnion:
+      case SetOp::kDifference:
+      case SetOp::kMerge:
+        break;
+      default:
+        return Status::InvalidArgument(
+            "RunSetOperationBatch supports intersect/union/difference/merge");
+    }
+    elements += item.a.size() + item.b.size();
+  }
+
+  // Unlike the value-partitioned paths, a batch item is one whole
+  // request executed on one core: partition i's home core is
+  // i mod num_cores, so a batch larger than the board runs in waves.
+  // The full recovery machinery (retries, requeues, quarantine,
+  // verification) applies per item.
+  std::vector<PartitionWork> parts(items.size());
+  for (size_t i = 0; i < items.size(); ++i) {
+    PartitionWork& part = parts[i];
+    part.a = items[i].a;
+    part.b = items[i].b;
+    part.lo = 0;
+    part.hi = 0xFFFFFFFFu;
+    part.feed_bytes = 4 * (items[i].a.size() + items[i].b.size());
+    part.active = !items[i].a.empty() || !items[i].b.empty();
+    part.op = items[i].op;
+  }
+
+  const PartitionRunner runner =
+      [](Processor& core, const PartitionWork& part,
+         const RunSettings& settings, std::vector<uint32_t>* result,
+         uint64_t* compute_cycles) {
+        return RunSetPartition(core, part.op, part.a, part.b, settings,
+                               result, compute_cycles);
+      };
+  DBA_ASSIGN_OR_RETURN(
+      batch.run, ExecutePartitioned(std::move(parts), /*is_sort=*/false,
+                                    elements, runner, &batch.results));
+  return batch;
 }
 
 }  // namespace dba::system

@@ -172,6 +172,34 @@ class Board {
   /// each core sorts its bucket, buckets concatenate in splitter order.
   Result<ParallelRun> RunSort(std::span<const uint32_t> values);
 
+  /// One request of a multi-request batch (RunSetOperationBatch). The
+  /// spans must stay valid for the duration of the call; inputs must be
+  /// sorted (and duplicate-free for intersect/union/difference).
+  struct BatchItem {
+    SetOp op = SetOp::kIntersect;
+    std::span<const uint32_t> a;
+    std::span<const uint32_t> b;
+  };
+
+  /// Result of one batched multi-request operation: per-item outputs in
+  /// submission order plus the usual board telemetry (the ParallelRun's
+  /// own `result` stays empty -- outputs live in `results`).
+  struct BatchRun {
+    std::vector<std::vector<uint32_t>> results;
+    ParallelRun run;
+  };
+
+  /// Multi-request scheduling: executes `items` -- independent whole set
+  /// operations, possibly of mixed ops -- across the board's cores in
+  /// waves (item i starts on core i mod num_cores; a core runs its
+  /// items back to back), sharing one program load per core via the
+  /// board's ProgramCache. Items do not value-partition: each is one
+  /// request from the service batcher, small enough for one core. The
+  /// round-based recovery machinery (retry, requeue, quarantine) applies
+  /// per item exactly as it does per partition, and results reduce in
+  /// item order -- bit-identical at any host_threads.
+  Result<BatchRun> RunSetOperationBatch(std::span<const BatchItem> items);
+
  private:
   /// One partition of a board operation: the input span(s), the value
   /// range it owns (for output verification), and its NoC feed bytes
@@ -179,6 +207,7 @@ class Board {
   struct PartitionWork {
     std::span<const uint32_t> a;  // set ops: left input; sort: bucket
     std::span<const uint32_t> b;  // set ops only
+    SetOp op = SetOp::kIntersect; // per-partition op (batches mix ops)
     uint32_t lo = 0;              // inclusive value-range lower bound
     uint32_t hi = 0xFFFFFFFFu;    // inclusive value-range upper bound
     uint64_t feed_bytes = 0;
@@ -209,17 +238,19 @@ class Board {
 
   void FinishRun(ParallelRun* run, uint64_t elements) const;
 
-  /// The shared round-based scheduler behind RunSetOperation/RunSort:
-  /// fan out pending partitions, reduce deterministically in partition
-  /// order, retry/requeue/quarantine, repeat until done or exhausted.
-  Result<ParallelRun> ExecutePartitioned(std::vector<PartitionWork> parts,
-                                         bool is_sort, SetOp op,
-                                         uint64_t elements,
-                                         const PartitionRunner& runner);
+  /// The shared round-based scheduler behind RunSetOperation/RunSort/
+  /// RunSetOperationBatch: fan out pending partitions, reduce
+  /// deterministically in partition order, retry/requeue/quarantine,
+  /// repeat until done or exhausted. When `item_results` is non-null,
+  /// per-partition outputs are moved there (in partition order) instead
+  /// of concatenating into ParallelRun::result.
+  Result<ParallelRun> ExecutePartitioned(
+      std::vector<PartitionWork> parts, bool is_sort, uint64_t elements,
+      const PartitionRunner& runner,
+      std::vector<std::vector<uint32_t>>* item_results = nullptr);
 
   AttemptOutcome RunAttempt(int core_index, const PartitionWork& part,
-                            bool is_sort, SetOp op,
-                            const fault::AttemptSite& site,
+                            bool is_sort, const fault::AttemptSite& site,
                             const PartitionRunner& runner);
 
   void Quarantine(int core);

@@ -1,0 +1,293 @@
+// Linearizability and determinism properties of the QueryService
+// (ctest label `service`).
+//
+// 1. SeededSweep: 1000 seeded trials. Each trial generates an open-loop
+//    workload (queries, direct set ops, column mutations), applies the
+//    mutations at drain boundaries, submits everything in between from
+//    several barrier-started threads, and requires every response to be
+//    byte-identical to a single-threaded replay of the same seed
+//    through a plain QueryEngine. Dedup and cache hits are exercised
+//    naturally by the pool-drawn predicates and must be invisible in
+//    the values.
+// 2. ConcurrentMutationLinearizes: queries racing one UpdateColumn must
+//    each observe either the full pre-update or the full post-update
+//    table state -- never a mix, never a stale cache entry.
+// 3. ReplayDeterminism: the complete response transcript of a seed is
+//    identical at board host_threads 1, 2, and 8.
+
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <future>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "query/predicate.h"
+#include "query/table.h"
+#include "service/query_service.h"
+#include "service/service_clock.h"
+#include "shared/service_test_util.h"
+#include "system/board.h"
+
+namespace dba::service {
+namespace {
+
+constexpr uint32_t kRows = 256;
+
+std::unique_ptr<system::Board> MakeBoard(int num_cores, int host_threads) {
+  system::BoardConfig config;
+  config.num_cores = num_cores;
+  config.host_threads = host_threads;
+  auto board = system::Board::Create(config);
+  EXPECT_TRUE(board.ok()) << board.status();
+  return *std::move(board);
+}
+
+ServiceRequest ToRequest(
+    const test::WorkloadAction& action,
+    const std::vector<std::shared_ptr<const query::Predicate>>& pool) {
+  ServiceRequest request;
+  request.tenant = action.tenant;
+  request.priority = action.priority;
+  if (action.kind == test::WorkloadAction::Kind::kDirect) {
+    request.op = action.op;
+    request.a = action.a;
+    request.b = action.b;
+  } else {
+    request.table = "orders";
+    request.predicate = pool[action.predicate_index];
+  }
+  return request;
+}
+
+/// Runs one seeded trial: the service (with `submit_threads` concurrent
+/// submitters) must reproduce the serial replay byte for byte.
+void RunTrial(uint64_t seed, int submit_threads, int host_threads) {
+  test::WorkloadOptions options;
+  options.actions = 24;
+  options.rows = kRows;
+  const std::vector<test::WorkloadAction> actions =
+      test::MakeWorkload(seed, options);
+  const auto pool = test::MakePredicatePool(options.predicate_pool);
+  const uint64_t table_seed = seed ^ 0x9E3779B97F4A7C15ull;
+
+  auto board = MakeBoard(2, host_threads);
+  ServiceConfig config;
+  config.board = board.get();
+  config.queue_capacity = actions.size() + 8;
+  auto service_or = QueryService::Create(config);
+  ASSERT_TRUE(service_or.ok()) << service_or.status();
+  auto service = *std::move(service_or);
+  ASSERT_TRUE(service
+                  ->RegisterTable(std::make_unique<query::Table>(
+                      test::MakeServiceTable("orders", kRows, table_seed)))
+                  .ok());
+  test::SerialReference reference("orders", kRows, table_seed);
+
+  size_t i = 0;
+  while (i < actions.size()) {
+    if (actions[i].kind == test::WorkloadAction::Kind::kUpdate) {
+      // Mutations land at drain boundaries: the queue is empty, so the
+      // serial replay and the service agree on which queries see them.
+      const auto values = test::MakeColumnValues(actions[i].column, kRows,
+                                                 actions[i].update_seed);
+      ASSERT_TRUE(
+          service->UpdateColumn("orders", actions[i].column, values).ok());
+      ASSERT_TRUE(reference.Update(actions[i].column, values).ok());
+      ++i;
+      continue;
+    }
+    size_t j = i;
+    while (j < actions.size() &&
+           actions[j].kind != test::WorkloadAction::Kind::kUpdate) {
+      ++j;
+    }
+    // Serial expectations for the segment, in stream order.
+    std::vector<std::vector<uint32_t>> expected(j - i);
+    for (size_t k = i; k < j; ++k) {
+      const test::WorkloadAction& action = actions[k];
+      auto result = action.kind == test::WorkloadAction::Kind::kPredicate
+                        ? reference.Select(*pool[action.predicate_index])
+                        : reference.Direct(action.op, action.a, action.b);
+      ASSERT_TRUE(result.ok()) << result.status();
+      expected[k - i] = *std::move(result);
+    }
+    // Concurrent submission: threads start together at the barrier and
+    // interleave however the OS schedules them.
+    std::vector<std::future<ServiceResponse>> futures(j - i);
+    const int threads = std::min<int>(submit_threads,
+                                      static_cast<int>(j - i));
+    test::Barrier barrier(threads);
+    std::vector<std::thread> submitters;
+    submitters.reserve(static_cast<size_t>(threads));
+    for (int t = 0; t < threads; ++t) {
+      submitters.emplace_back([&, t] {
+        barrier.ArriveAndWait();
+        for (size_t k = i + static_cast<size_t>(t); k < j;
+             k += static_cast<size_t>(threads)) {
+          futures[k - i] = service->Submit(ToRequest(actions[k], pool));
+        }
+      });
+    }
+    for (std::thread& thread : submitters) thread.join();
+    service->Drain();
+    for (size_t k = i; k < j; ++k) {
+      const ServiceResponse response = futures[k - i].get();
+      ASSERT_TRUE(response.status.ok())
+          << "seed " << seed << " action " << k << ": " << response.status;
+      EXPECT_EQ(response.values, expected[k - i])
+          << "seed " << seed << " action " << k << " (dedup="
+          << response.deduplicated << " cache_hit=" << response.cache_hit
+          << ")";
+    }
+    i = j;
+  }
+}
+
+/// Board host threads for the sweep: default 2, overridable so the CI
+/// flake detector can rerun the identical suite at 1, 2, and 8 and diff
+/// the outcomes.
+int SweepHostThreads() {
+  const char* env = std::getenv("DBA_SERVICE_HOST_THREADS");
+  if (env == nullptr) return 2;
+  const int threads = std::atoi(env);
+  return threads > 0 ? threads : 2;
+}
+
+TEST(ServiceLinearizabilityTest, SeededSweep1000Trials) {
+  const int host_threads = SweepHostThreads();
+  for (uint64_t seed = 0; seed < 1000; ++seed) {
+    // Rotate the submitter count so the sweep covers single-threaded,
+    // paired, and oversubscribed schedules.
+    const int submit_threads = 1 + static_cast<int>(seed % 4);
+    RunTrial(seed, submit_threads, host_threads);
+    if (::testing::Test::HasFailure()) {
+      FAIL() << "first failing seed: " << seed;
+    }
+  }
+}
+
+TEST(ServiceLinearizabilityTest, ConcurrentMutationLinearizes) {
+  for (uint64_t seed = 0; seed < 20; ++seed) {
+    auto board = MakeBoard(2, 2);
+    ServiceConfig config;
+    config.board = board.get();
+    config.queue_capacity = 128;
+    auto service = *QueryService::Create(config);
+    const uint64_t table_seed = 1000 + seed;
+    ASSERT_TRUE(service
+                    ->RegisterTable(std::make_unique<query::Table>(
+                        test::MakeServiceTable("orders", kRows, table_seed)))
+                    .ok());
+    test::SerialReference before("orders", kRows, table_seed);
+    test::SerialReference after("orders", kRows, table_seed);
+    const auto new_region = test::MakeColumnValues("region", kRows, seed * 7);
+    ASSERT_TRUE(after.Update("region", new_region).ok());
+
+    const auto pool = test::MakePredicatePool(4);
+    std::vector<std::vector<uint32_t>> pre(pool.size());
+    std::vector<std::vector<uint32_t>> post(pool.size());
+    for (size_t p = 0; p < pool.size(); ++p) {
+      pre[p] = *before.Select(*pool[p]);
+      post[p] = *after.Select(*pool[p]);
+    }
+
+    constexpr int kQueriesPerThread = 8;
+    test::Barrier barrier(3);
+    std::vector<std::future<ServiceResponse>> futures(
+        2 * kQueriesPerThread);
+    std::thread mutator([&] {
+      barrier.ArriveAndWait();
+      ASSERT_TRUE(service->UpdateColumn("orders", "region", new_region).ok());
+    });
+    std::vector<std::thread> submitters;
+    for (int t = 0; t < 2; ++t) {
+      submitters.emplace_back([&, t] {
+        barrier.ArriveAndWait();
+        for (int q = 0; q < kQueriesPerThread; ++q) {
+          ServiceRequest request;
+          request.tenant = "t" + std::to_string(t);
+          request.table = "orders";
+          request.predicate = pool[static_cast<size_t>(q) % pool.size()];
+          futures[static_cast<size_t>(t * kQueriesPerThread + q)] =
+              service->Submit(std::move(request));
+        }
+      });
+    }
+    mutator.join();
+    for (std::thread& thread : submitters) thread.join();
+    service->Drain();
+
+    for (int t = 0; t < 2; ++t) {
+      for (int q = 0; q < kQueriesPerThread; ++q) {
+        const size_t p = static_cast<size_t>(q) % pool.size();
+        const ServiceResponse response =
+            futures[static_cast<size_t>(t * kQueriesPerThread + q)].get();
+        ASSERT_TRUE(response.status.ok()) << response.status;
+        // Linearizability: each query observed exactly one of the two
+        // table states, whichever side of the update it landed on.
+        EXPECT_TRUE(response.values == pre[p] || response.values == post[p])
+            << "seed " << seed << " query " << q
+            << " returned a state that is neither pre- nor post-update";
+      }
+    }
+  }
+}
+
+/// Full response transcript of one seed, submitted single-threaded in
+/// stream order with a drain after every action.
+std::vector<std::vector<uint32_t>> ReplayTranscript(uint64_t seed,
+                                                    int host_threads) {
+  test::WorkloadOptions options;
+  options.actions = 24;
+  options.rows = kRows;
+  const auto actions = test::MakeWorkload(seed, options);
+  const auto pool = test::MakePredicatePool(options.predicate_pool);
+
+  auto board = MakeBoard(2, host_threads);
+  VirtualClock clock;
+  ServiceConfig config;
+  config.board = board.get();
+  config.queue_capacity = actions.size() + 8;
+  config.clock = &clock;
+  auto service = *QueryService::Create(config);
+  EXPECT_TRUE(service
+                  ->RegisterTable(std::make_unique<query::Table>(
+                      test::MakeServiceTable("orders", kRows, seed + 17)))
+                  .ok());
+
+  std::vector<std::vector<uint32_t>> transcript;
+  for (const test::WorkloadAction& action : actions) {
+    clock.AdvanceTo(action.at_ns);
+    if (action.kind == test::WorkloadAction::Kind::kUpdate) {
+      EXPECT_TRUE(service
+                      ->UpdateColumn("orders", action.column,
+                                     test::MakeColumnValues(
+                                         action.column, kRows,
+                                         action.update_seed))
+                      .ok());
+      continue;
+    }
+    auto future = service->Submit(ToRequest(action, pool));
+    service->Drain();
+    ServiceResponse response = future.get();
+    EXPECT_TRUE(response.status.ok()) << response.status;
+    transcript.push_back(std::move(response.values));
+  }
+  return transcript;
+}
+
+TEST(ServiceLinearizabilityTest, ReplayDeterministicAcrossHostThreads) {
+  for (const uint64_t seed : {3u, 41u, 774u}) {
+    const auto transcript1 = ReplayTranscript(seed, /*host_threads=*/1);
+    const auto transcript2 = ReplayTranscript(seed, /*host_threads=*/2);
+    const auto transcript8 = ReplayTranscript(seed, /*host_threads=*/8);
+    EXPECT_EQ(transcript1, transcript2) << "seed " << seed;
+    EXPECT_EQ(transcript1, transcript8) << "seed " << seed;
+  }
+}
+
+}  // namespace
+}  // namespace dba::service

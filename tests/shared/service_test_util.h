@@ -1,0 +1,255 @@
+#ifndef DBA_TESTS_SHARED_SERVICE_TEST_UTIL_H_
+#define DBA_TESTS_SHARED_SERVICE_TEST_UTIL_H_
+
+// Deterministic concurrency harness for the query-service suites: a
+// reusable thread barrier for pinned schedules, a seeded open-loop
+// workload generator (queries, direct set ops, and column mutations as
+// one action stream), and a single-threaded serial reference that
+// replays the same stream through a plain Table + QueryEngine. Every
+// artifact is a pure function of its seed, so a trial that fails in the
+// concurrent service reproduces exactly in the serial replay.
+
+#include <condition_variable>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "common/random.h"
+#include "common/status.h"
+#include "core/processor.h"
+#include "query/engine.h"
+#include "query/predicate.h"
+#include "query/table.h"
+#include "service/query_service.h"
+
+namespace dba::service::test {
+
+/// N-party reusable barrier: threads block in ArriveAndWait until all
+/// parties arrived, then the generation flips and everyone releases.
+class Barrier {
+ public:
+  explicit Barrier(int parties) : parties_(parties) {}
+
+  void ArriveAndWait() {
+    std::unique_lock<std::mutex> lock(mu_);
+    const uint64_t generation = generation_;
+    if (++waiting_ == parties_) {
+      waiting_ = 0;
+      ++generation_;
+      cv_.notify_all();
+      return;
+    }
+    cv_.wait(lock, [&] { return generation_ != generation; });
+  }
+
+ private:
+  std::mutex mu_;
+  std::condition_variable cv_;
+  const int parties_;
+  int waiting_ = 0;
+  uint64_t generation_ = 0;
+};
+
+/// The shared table schema of the service suites: region in [0,5),
+/// status in [0,3), amount in [0,10000).
+inline query::Table MakeServiceTable(std::string name, uint32_t rows,
+                                     uint64_t seed) {
+  Random rng(seed);
+  query::Table table(std::move(name));
+  std::vector<uint32_t> region(rows);
+  std::vector<uint32_t> status(rows);
+  std::vector<uint32_t> amount(rows);
+  for (uint32_t i = 0; i < rows; ++i) {
+    region[i] = static_cast<uint32_t>(rng.Uniform(5));
+    status[i] = static_cast<uint32_t>(rng.Uniform(3));
+    amount[i] = static_cast<uint32_t>(rng.Uniform(10000));
+  }
+  (void)table.AddColumn("region", std::move(region));
+  (void)table.AddColumn("status", std::move(status));
+  (void)table.AddColumn("amount", std::move(amount));
+  return table;
+}
+
+/// Fresh values for one column of the schema above (for UpdateColumn).
+inline std::vector<uint32_t> MakeColumnValues(const std::string& column,
+                                              uint32_t rows, uint64_t seed) {
+  Random rng(seed);
+  const uint32_t domain =
+      column == "region" ? 5 : column == "status" ? 3 : 10000;
+  std::vector<uint32_t> values(rows);
+  for (uint32_t i = 0; i < rows; ++i) {
+    values[i] = static_cast<uint32_t>(rng.Uniform(domain));
+  }
+  return values;
+}
+
+/// Deterministic predicate pool over the schema: entry i depends only
+/// on i, so pools of equal size are identical across processes.
+inline std::vector<std::shared_ptr<const query::Predicate>>
+MakePredicatePool(size_t n) {
+  std::vector<std::shared_ptr<const query::Predicate>> pool;
+  pool.reserve(n);
+  for (size_t i = 0; i < n; ++i) {
+    query::PredicatePtr predicate;
+    const uint32_t lo = static_cast<uint32_t>((i * 997) % 8000);
+    switch (i % 4) {
+      case 0:
+        predicate = query::Equals("region", static_cast<uint32_t>(i % 5));
+        break;
+      case 1:
+        predicate =
+            query::And(query::Equals("region", static_cast<uint32_t>(i % 5)),
+                       query::Equals("status", static_cast<uint32_t>(i % 3)));
+        break;
+      case 2:
+        predicate = query::Between("amount", lo, lo + 1999);
+        break;
+      default:
+        predicate =
+            query::Or(query::Equals("status", static_cast<uint32_t>(i % 3)),
+                      query::GreaterEq("amount", 9000));
+        break;
+    }
+    pool.push_back(std::shared_ptr<const query::Predicate>(
+        std::move(predicate)));
+  }
+  return pool;
+}
+
+/// Sorted, duplicate-free set drawn from `rng` (for direct ops).
+inline std::vector<uint32_t> MakeSortedSet(Random& rng, size_t max_elements,
+                                           uint32_t value_range) {
+  const size_t n = rng.Uniform(max_elements + 1);
+  std::vector<uint32_t> values;
+  values.reserve(n);
+  uint32_t next = 0;
+  for (size_t i = 0; i < n; ++i) {
+    next += 1 + static_cast<uint32_t>(rng.Uniform(
+                    1 + value_range / (max_elements + 1)));
+    values.push_back(next);
+  }
+  return values;
+}
+
+/// One action of a generated workload.
+struct WorkloadAction {
+  enum class Kind : uint8_t { kPredicate, kDirect, kUpdate };
+  Kind kind = Kind::kPredicate;
+  uint64_t at_ns = 0;  // virtual-clock submit time (open loop)
+  std::string tenant;
+  int priority = 0;
+  size_t predicate_index = 0;        // kPredicate: index into the pool
+  SetOp op = SetOp::kIntersect;      // kDirect
+  std::vector<uint32_t> a;           // kDirect
+  std::vector<uint32_t> b;           // kDirect
+  std::string column;                // kUpdate
+  uint64_t update_seed = 0;          // kUpdate: MakeColumnValues seed
+};
+
+struct WorkloadOptions {
+  int actions = 64;
+  size_t predicate_pool = 6;
+  int tenants = 3;
+  double direct_fraction = 0.3;
+  double update_fraction = 0.1;
+  uint64_t inter_arrival_ns = 500;
+  uint32_t rows = 512;
+};
+
+/// Seeded open-loop action stream: kinds, tenants, priorities, inputs,
+/// and arrival times are all pure functions of `seed`.
+inline std::vector<WorkloadAction> MakeWorkload(uint64_t seed,
+                                                const WorkloadOptions& options) {
+  Random rng(seed);
+  std::vector<WorkloadAction> actions;
+  actions.reserve(static_cast<size_t>(options.actions));
+  const char* columns[] = {"region", "status", "amount"};
+  uint64_t at_ns = 0;
+  for (int i = 0; i < options.actions; ++i) {
+    WorkloadAction action;
+    at_ns += rng.Uniform(options.inter_arrival_ns + 1);
+    action.at_ns = at_ns;
+    action.tenant =
+        "tenant" + std::to_string(rng.Uniform(
+                       static_cast<uint64_t>(options.tenants)));
+    action.priority = static_cast<int>(rng.Uniform(3));
+    const double draw = rng.NextDouble();
+    if (draw < options.update_fraction) {
+      action.kind = WorkloadAction::Kind::kUpdate;
+      action.column = columns[rng.Uniform(3)];
+      action.update_seed = rng.Next64();
+    } else if (draw < options.update_fraction + options.direct_fraction) {
+      action.kind = WorkloadAction::Kind::kDirect;
+      const SetOp ops[] = {SetOp::kIntersect, SetOp::kUnion,
+                           SetOp::kDifference, SetOp::kMerge};
+      action.op = ops[rng.Uniform(4)];
+      action.a = MakeSortedSet(rng, 64, 4096);
+      action.b = MakeSortedSet(rng, 64, 4096);
+    } else {
+      action.kind = WorkloadAction::Kind::kPredicate;
+      action.predicate_index = rng.Uniform(options.predicate_pool);
+    }
+    actions.push_back(std::move(action));
+  }
+  return actions;
+}
+
+/// Single-threaded reference: the same table seed and action stream
+/// replayed through a plain QueryEngine / Processor, one action at a
+/// time. Service responses must be byte-identical to this replay.
+class SerialReference {
+ public:
+  SerialReference(std::string table_name, uint32_t rows, uint64_t table_seed)
+      : table_(MakeServiceTable(std::move(table_name), rows, table_seed)) {
+    auto processor = Processor::Create(ProcessorKind::kDba2LsuEis);
+    processor_ = *std::move(processor);
+    engine_ = std::make_unique<query::QueryEngine>(&table_, processor_.get());
+    for (const std::string& column : table_.ColumnNames()) {
+      (void)engine_->BuildIndex(column);
+    }
+  }
+
+  Result<std::vector<query::Rid>> Select(const query::Predicate& predicate) {
+    return engine_->Select(predicate);
+  }
+
+  Result<std::vector<uint32_t>> Direct(SetOp op,
+                                       std::span<const uint32_t> a,
+                                       std::span<const uint32_t> b) {
+    if (a.empty() || b.empty()) {
+      // Mirror the board's degenerate path: intersect drops everything,
+      // union/merge keep the non-empty side, difference keeps a.
+      std::vector<uint32_t> result;
+      if (op == SetOp::kUnion || op == SetOp::kMerge) {
+        result.assign(a.empty() ? b.begin() : a.begin(),
+                      a.empty() ? b.end() : a.end());
+      } else if (op == SetOp::kDifference) {
+        result.assign(a.begin(), a.end());
+      }
+      return result;
+    }
+    DBA_ASSIGN_OR_RETURN(SetOpRun run,
+                         op == SetOp::kMerge
+                             ? processor_->RunMerge(a, b)
+                             : processor_->RunSetOperation(op, a, b));
+    return std::move(run.result);
+  }
+
+  Status Update(const std::string& column, std::vector<uint32_t> values) {
+    return table_.UpdateColumn(column, std::move(values));
+  }
+
+  const query::Table& table() const { return table_; }
+
+ private:
+  query::Table table_;
+  std::unique_ptr<Processor> processor_;
+  std::unique_ptr<query::QueryEngine> engine_;
+};
+
+}  // namespace dba::service::test
+
+#endif  // DBA_TESTS_SHARED_SERVICE_TEST_UTIL_H_

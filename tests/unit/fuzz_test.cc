@@ -6,6 +6,11 @@
 
 #include <gtest/gtest.h>
 
+#include <future>
+#include <memory>
+#include <string>
+#include <vector>
+
 #include "common/random.h"
 #include "core/processor.h"
 #include "core/workload.h"
@@ -13,7 +18,11 @@
 #include "isa/assembler.h"
 #include "isa/encoding.h"
 #include "mem/memory.h"
+#include "query/predicate.h"
+#include "service/query_service.h"
+#include "shared/service_test_util.h"
 #include "sim/cpu.h"
+#include "system/board.h"
 
 namespace dba {
 namespace {
@@ -203,6 +212,105 @@ TEST(TraceTest, RecordsRenderedInstructions) {
                    line.find("ld_ldp_shuffle") != std::string::npos;
   }
   EXPECT_TRUE(found_fused);
+}
+
+// Service-submission fuzzer: arbitrary request streams -- malformed
+// predicates over unknown columns or tables, zero-length sets, shared
+// and duplicate tenant ids, random priorities and already-expired
+// deadlines -- must never crash the service, and every OK response must
+// match a serial recompute of the same request.
+TEST(ServiceFuzzTest, ArbitrarySubmissionsNeverCrashNorLie) {
+  using service::ServiceRequest;
+  using service::ServiceResponse;
+
+  constexpr uint32_t kRows = 128;
+  constexpr uint64_t kTableSeed = 0xF00D;
+  system::BoardConfig board_config;
+  board_config.num_cores = 2;
+  board_config.host_threads = 2;
+  auto board = system::Board::Create(board_config);
+  ASSERT_TRUE(board.ok());
+
+  service::ServiceConfig config;
+  config.board = board->get();
+  config.queue_capacity = 64;
+  auto service = *service::QueryService::Create(config);
+  ASSERT_TRUE(service
+                  ->RegisterTable(std::make_unique<query::Table>(
+                      service::test::MakeServiceTable("orders", kRows,
+                                                      kTableSeed)))
+                  .ok());
+  service::test::SerialReference reference("orders", kRows, kTableSeed);
+
+  const auto good_pool = service::test::MakePredicatePool(6);
+  // Predicates the engine must reject cleanly (unknown column) and
+  // tables that do not exist.
+  const std::vector<std::shared_ptr<const query::Predicate>> bad_pool = {
+      std::shared_ptr<const query::Predicate>(query::Equals("no_such", 1)),
+      std::shared_ptr<const query::Predicate>(
+          query::And(query::Equals("region", 1),
+                     query::GreaterEq("missing", 7))),
+  };
+  const char* tables[] = {"orders", "orders", "orders", "ghosts", ""};
+  const char* tenants[] = {"a", "a", "a", "b", ""};
+
+  Random rng(0xD1CE);
+  for (int round = 0; round < 40; ++round) {
+    struct Pending {
+      std::future<ServiceResponse> future;
+      ServiceRequest request;  // copy for the serial recompute
+    };
+    std::vector<Pending> pending;
+    const int burst = 1 + static_cast<int>(rng.Uniform(12));
+    for (int i = 0; i < burst; ++i) {
+      ServiceRequest request;
+      request.tenant = tenants[rng.Uniform(5)];
+      request.priority = static_cast<int>(rng.Uniform(7)) - 3;
+      if (rng.Uniform(8) == 0) request.deadline_ns = 1;  // likely expired
+      const uint64_t shape = rng.Uniform(10);
+      if (shape < 4) {
+        request.table = tables[rng.Uniform(5)];
+        request.predicate = good_pool[rng.Uniform(good_pool.size())];
+      } else if (shape < 6) {
+        request.table = tables[rng.Uniform(5)];
+        request.predicate = bad_pool[rng.Uniform(bad_pool.size())];
+      } else {
+        // Direct op; both, one, or neither side may be empty.
+        const SetOp ops[] = {SetOp::kIntersect, SetOp::kUnion,
+                             SetOp::kDifference, SetOp::kMerge};
+        request.op = ops[rng.Uniform(4)];
+        if (rng.Uniform(3) != 0) {
+          request.a = service::test::MakeSortedSet(rng, 48, 2048);
+        }
+        if (rng.Uniform(3) != 0) {
+          request.b = service::test::MakeSortedSet(rng, 48, 2048);
+        }
+      }
+      Pending p;
+      p.request = request;
+      p.future = service->Submit(std::move(request));
+      pending.push_back(std::move(p));
+    }
+    service->Drain();
+    for (Pending& p : pending) {
+      const ServiceResponse response = p.future.get();
+      if (!response.status.ok()) continue;  // clean rejection is fine
+      // An OK response must be verifiable against a serial recompute.
+      if (p.request.predicate != nullptr) {
+        EXPECT_EQ(p.request.table, "orders");
+        auto expected = reference.Select(*p.request.predicate);
+        ASSERT_TRUE(expected.ok()) << expected.status();
+        EXPECT_EQ(response.values, *expected)
+            << "round " << round << ": "
+            << p.request.predicate->ToString();
+      } else {
+        auto expected =
+            reference.Direct(p.request.op, p.request.a, p.request.b);
+        ASSERT_TRUE(expected.ok()) << expected.status();
+        EXPECT_EQ(response.values, *expected) << "round " << round;
+      }
+    }
+  }
 }
 
 }  // namespace

@@ -1,10 +1,13 @@
 #include <gtest/gtest.h>
 
 #include <algorithm>
+#include <future>
+#include <memory>
 
 #include "common/random.h"
 #include "common/thread_pool.h"
 #include "query/engine.h"
+#include "query/planner.h"
 #include "query/index.h"
 #include "query/predicate.h"
 #include "query/table.h"
@@ -404,6 +407,94 @@ TEST_F(QueryEngineTest, JoinKeysRejectsDuplicateKeys) {
   QueryEngine engine(&left, processor_.get());
   EXPECT_EQ(engine.JoinKeys("k", right, "k").status().code(),
             StatusCode::kInvalidArgument);
+}
+
+TEST_F(QueryEngineTest, UpdateColumnBumpsVersionAndRebuildsStaleIndex) {
+  ASSERT_EQ(*table_.ColumnVersion("region"), 1u);
+
+  Random rng(321);
+  std::vector<uint32_t> fresh(table_.num_rows());
+  for (auto& value : fresh) value = static_cast<uint32_t>(rng.Uniform(5));
+  ASSERT_TRUE(table_.UpdateColumn("region", std::move(fresh)).ok());
+  EXPECT_EQ(*table_.ColumnVersion("region"), 2u);
+  EXPECT_EQ(*table_.ColumnVersion("status"), 1u);
+
+  // The engine still holds the index built against version 1; Select
+  // must notice the stale version and rebuild before probing.
+  auto predicate = And(Equals("region", 2), Equals("status", 1));
+  auto rids = engine_->Select(*predicate);
+  ASSERT_TRUE(rids.ok()) << rids.status();
+  EXPECT_EQ(*rids, ScanSelect(table_, *predicate));
+
+  // A second mutation while queries interleave with it: each Select
+  // after the update sees the new values, never the old index.
+  std::vector<uint32_t> again(table_.num_rows(), 2);
+  ASSERT_TRUE(table_.UpdateColumn("region", std::move(again)).ok());
+  EXPECT_EQ(*table_.ColumnVersion("region"), 3u);
+  auto rids2 = engine_->Select(*predicate);
+  ASSERT_TRUE(rids2.ok()) << rids2.status();
+  EXPECT_EQ(*rids2, ScanSelect(table_, *predicate));
+}
+
+TEST_F(QueryEngineTest, SubmitAsyncMatchesSelect) {
+  std::shared_ptr<const Predicate> predicate(
+      And(Equals("region", 1), GreaterEq("amount", 4000)));
+  const auto expected = ScanSelect(table_, *predicate);
+
+  auto future = engine_->Submit(predicate);
+  auto rids = future.get();
+  ASSERT_TRUE(rids.ok()) << rids.status();
+  EXPECT_EQ(*rids, expected);
+
+  // Several submissions in flight at once: the engine serializes them
+  // internally and every future resolves to the same answer.
+  std::vector<std::future<Result<std::vector<Rid>>>> futures;
+  for (int i = 0; i < 4; ++i) futures.push_back(engine_->Submit(predicate));
+  for (auto& f : futures) {
+    auto result = f.get();
+    ASSERT_TRUE(result.ok()) << result.status();
+    EXPECT_EQ(*result, expected);
+  }
+}
+
+// Regression: retry accounting used to be wired only into the EIS
+// dispatch path, so planner-routed host kernels (galloping / SIMD
+// merge) silently ignored SetMaxAttempts and reported retries == 0
+// even when the fault hook failed their first attempt.
+TEST_F(QueryEngineTest, RetryAccountingIsRouteIndependent) {
+  auto predicate = And(Equals("region", 1), Equals("status", 0));
+  const auto expected = ScanSelect(table_, *predicate);
+
+  for (const Route route :
+       {Route::kEisMerge, Route::kGalloping, Route::kSimdMerge}) {
+    QueryEngine engine(&table_, processor_.get());
+    ASSERT_TRUE(engine.BuildIndex("region").ok());
+    ASSERT_TRUE(engine.BuildIndex("status").ok());
+    PlannerOptions options;
+    options.force_route = route;
+    engine.EnableAdaptivePlanner(options);
+    engine.SetMaxAttempts(2);
+    // Fail exactly the first attempt of every set operation; the retry
+    // budget must cover it regardless of which kernel the planner
+    // picked.
+    engine.SetAttemptFaultHook([](std::string_view, int attempt) {
+      return attempt == 0 ? Status::Unavailable("injected") : Status::Ok();
+    });
+
+    QueryStats stats;
+    auto rids = engine.Select(*predicate, &stats);
+    ASSERT_TRUE(rids.ok()) << RouteName(route) << ": " << rids.status();
+    EXPECT_EQ(*rids, expected) << RouteName(route);
+    EXPECT_EQ(stats.set_operations, 1u) << RouteName(route);
+    EXPECT_EQ(stats.retries, 1u) << RouteName(route);
+
+    // With attempts capped at 1 the same schedule must surface the
+    // injected failure instead of silently succeeding.
+    engine.SetMaxAttempts(1);
+    auto failed = engine.Select(*predicate);
+    EXPECT_EQ(failed.status().code(), StatusCode::kUnavailable)
+        << RouteName(route);
+  }
 }
 
 TEST_F(QueryEngineTest, WorksOnScalarConfigurationToo) {

@@ -1,6 +1,9 @@
 #include <gtest/gtest.h>
 
 #include <algorithm>
+#include <iterator>
+#include <span>
+#include <vector>
 
 #include "baseline/scalar_baseline.h"
 #include "core/workload.h"
@@ -143,6 +146,148 @@ TEST(BoardTest, SingleCoreBoardEqualsProcessor) {
   auto run = (*board)->RunSetOperation(SetOp::kIntersect, pair->a, pair->b);
   ASSERT_TRUE(run.ok());
   EXPECT_EQ(run->result, baseline::ScalarIntersect(pair->a, pair->b));
+}
+
+// --- RunSetOperationBatch (multi-request scheduling) ---
+
+std::vector<uint32_t> ScalarReference(SetOp op, std::span<const uint32_t> a,
+                                      std::span<const uint32_t> b) {
+  switch (op) {
+    case SetOp::kIntersect:
+      return baseline::ScalarIntersect(a, b);
+    case SetOp::kUnion:
+      return baseline::ScalarUnion(a, b);
+    case SetOp::kDifference:
+      return baseline::ScalarDifference(a, b);
+    case SetOp::kMerge: {
+      std::vector<uint32_t> merged;
+      merged.reserve(a.size() + b.size());
+      std::merge(a.begin(), a.end(), b.begin(), b.end(),
+                 std::back_inserter(merged));
+      return merged;
+    }
+  }
+  return {};
+}
+
+struct SetPairVectors {
+  std::vector<uint32_t> a;
+  std::vector<uint32_t> b;
+};
+
+/// A mixed-op batch with more items than a small board has cores, so
+/// every core runs several items back to back (waves).
+struct BatchFixture {
+  std::vector<SetPairVectors> pairs;
+  std::vector<Board::BatchItem> items;
+};
+
+BatchFixture MakeBatch(size_t n, uint64_t seed) {
+  BatchFixture fixture;
+  fixture.pairs.reserve(n);
+  const SetOp ops[] = {SetOp::kIntersect, SetOp::kUnion, SetOp::kDifference,
+                       SetOp::kMerge};
+  for (size_t i = 0; i < n; ++i) {
+    auto pair = GenerateSetPair(500 + 37 * static_cast<uint32_t>(i),
+                                400 + 53 * static_cast<uint32_t>(i), 0.4,
+                                seed + i);
+    EXPECT_TRUE(pair.ok()) << pair.status();
+    fixture.pairs.push_back({pair->a, pair->b});
+  }
+  for (size_t i = 0; i < n; ++i) {
+    fixture.items.push_back({ops[i % 4], fixture.pairs[i].a,
+                             fixture.pairs[i].b});
+  }
+  return fixture;
+}
+
+TEST(BoardBatchTest, MixedOpsMatchPerItemReference) {
+  BoardConfig config;
+  config.num_cores = 4;
+  auto board = Board::Create(config);
+  ASSERT_TRUE(board.ok());
+  // 11 items on 4 cores: three waves, uneven tail.
+  const BatchFixture fixture = MakeBatch(11, 2026);
+  auto run = (*board)->RunSetOperationBatch(fixture.items);
+  ASSERT_TRUE(run.ok()) << run.status();
+  ASSERT_EQ(run->results.size(), fixture.items.size());
+  for (size_t i = 0; i < fixture.items.size(); ++i) {
+    EXPECT_EQ(run->results[i],
+              ScalarReference(fixture.items[i].op, fixture.items[i].a,
+                              fixture.items[i].b))
+        << "item " << i;
+  }
+  EXPECT_TRUE(run->run.result.empty());  // outputs live in results
+  EXPECT_GT(run->run.makespan_cycles, 0u);
+}
+
+TEST(BoardBatchTest, BitIdenticalAcrossHostThreads) {
+  const BatchFixture fixture = MakeBatch(9, 7);
+  std::vector<std::vector<std::vector<uint32_t>>> outputs;
+  for (const int host_threads : {1, 2, 8}) {
+    BoardConfig config;
+    config.num_cores = 4;
+    config.host_threads = host_threads;
+    auto board = Board::Create(config);
+    ASSERT_TRUE(board.ok());
+    auto run = (*board)->RunSetOperationBatch(fixture.items);
+    ASSERT_TRUE(run.ok()) << run.status();
+    outputs.push_back(std::move(run->results));
+  }
+  EXPECT_EQ(outputs[0], outputs[1]);
+  EXPECT_EQ(outputs[0], outputs[2]);
+}
+
+TEST(BoardBatchTest, EmptyBatchAndEmptySides) {
+  BoardConfig config;
+  config.num_cores = 2;
+  auto board = Board::Create(config);
+  ASSERT_TRUE(board.ok());
+
+  auto empty = (*board)->RunSetOperationBatch({});
+  ASSERT_TRUE(empty.ok()) << empty.status();
+  EXPECT_TRUE(empty->results.empty());
+
+  const std::vector<uint32_t> some = {3, 9, 27, 81};
+  const std::vector<uint32_t> none;
+  const std::vector<Board::BatchItem> items = {
+      {SetOp::kIntersect, some, none},
+      {SetOp::kUnion, none, some},
+      {SetOp::kDifference, some, none},
+      {SetOp::kMerge, none, some},
+      {SetOp::kIntersect, none, none},
+  };
+  auto run = (*board)->RunSetOperationBatch(items);
+  ASSERT_TRUE(run.ok()) << run.status();
+  ASSERT_EQ(run->results.size(), 5u);
+  EXPECT_TRUE(run->results[0].empty());   // intersect with empty side
+  EXPECT_EQ(run->results[1], some);       // union keeps non-empty side
+  EXPECT_EQ(run->results[2], some);       // difference keeps a
+  EXPECT_EQ(run->results[3], some);       // merge keeps non-empty side
+  EXPECT_TRUE(run->results[4].empty());
+}
+
+TEST(BoardBatchTest, RecoversBitExactWithBrokenCore) {
+  const BatchFixture fixture = MakeBatch(8, 314);
+
+  BoardConfig faulty;
+  faulty.num_cores = 4;
+  faulty.fault_plan.broken_cores = {1};
+  faulty.fault_plan.hang_watchdog_cycles = 2000;
+  auto board = Board::Create(faulty);
+  ASSERT_TRUE(board.ok());
+  auto run = (*board)->RunSetOperationBatch(fixture.items);
+  ASSERT_TRUE(run.ok()) << run.status();
+  ASSERT_EQ(run->results.size(), fixture.items.size());
+  for (size_t i = 0; i < fixture.items.size(); ++i) {
+    EXPECT_EQ(run->results[i],
+              ScalarReference(fixture.items[i].op, fixture.items[i].a,
+                              fixture.items[i].b))
+        << "item " << i;
+  }
+  // The broken core failed its items; recovery rescheduled them.
+  EXPECT_GT(run->run.recovery.faults_injected, 0u);
+  EXPECT_GT(run->run.recovery.failed_attempts, 0u);
 }
 
 }  // namespace

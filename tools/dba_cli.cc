@@ -41,6 +41,7 @@
 #include <vector>
 
 #include "baseline/scalar_baseline.h"
+#include "common/random.h"
 #include "core/processor.h"
 #include "core/workload.h"
 #include "hwmodel/synthesis.h"
@@ -57,6 +58,7 @@
 #include "query/planner.h"
 #include "query/predicate.h"
 #include "query/table.h"
+#include "service/query_service.h"
 #include "sim/exec_mode.h"
 #include "system/board.h"
 #include "toolchain/profiler.h"
@@ -130,6 +132,14 @@ void PrintUsage() {
       "                           PartitionIndex pays back\n"
       "                           (--sizes=A,B --selectivity=F\n"
       "                           [--force-route=R], docs/PLANNER.md)\n"
+      "  serve                    query-service demo: front a board with\n"
+      "                           the multi-tenant QueryService (vip\n"
+      "                           tenant boosted, result cache on), push\n"
+      "                           --iters waves of mixed queries and\n"
+      "                           direct set ops, and print admission/\n"
+      "                           batching/cache counters plus latency\n"
+      "                           quantiles (--n=ROWS --cores=N\n"
+      "                           [--metrics-out=PATH], docs/SERVICE.md)\n"
       "  validate-bench FILE...   validate dba.bench.v1 (and\n"
       "                           dba.metrics.v1) JSON documents\n"
       "  compare-bench RUN BASE   compare a bench run against a committed\n"
@@ -499,6 +509,172 @@ int RunBoard(const CliOptions& options, ProcessorKind kind,
 /// by the runtime-metrics registry -- QPS, simulated-latency quantiles,
 /// and the recovery counters (docs/OBSERVABILITY.md). The registry is
 /// reset on entry so the view covers this run only.
+// `dba_cli serve`: a self-contained query-service demo. Builds a board,
+// fronts it with a QueryService (vip tenant boosted, result cache on),
+// registers a demo "orders" table, and pushes --iters waves of mixed
+// predicate queries plus direct set ops through Submit/Drain. Prints
+// the admission/batching/cache counters and the latency quantiles the
+// service mirrors into the global metrics registry (docs/SERVICE.md).
+int RunServe(const CliOptions& options, ProcessorKind kind,
+             const dba::ProcessorOptions& processor_options) {
+  namespace svc = dba::service;
+  dba::obs::MetricsRegistry::Global().Reset();
+  dba::obs::EventLog::Global().Clear();
+
+  const dba::system::BoardConfig board_config =
+      MakeBoardConfig(options, kind, processor_options);
+  auto board = dba::system::Board::Create(board_config);
+  if (!board.ok()) return Fail(board.status());
+
+  svc::ServiceConfig config;
+  config.board = board->get();
+  config.queue_capacity = 4096;
+  config.max_attempts = options.max_attempts;
+  config.tenant_priorities["vip"] = 10;
+  auto service = svc::QueryService::Create(config);
+  if (!service.ok()) return Fail(service.status());
+
+  // Demo table: the orders schema the bench and test suites share.
+  dba::Random rng(options.seed);
+  auto table = std::make_unique<dba::query::Table>("orders");
+  {
+    const uint32_t rows = options.n;
+    std::vector<uint32_t> region(rows);
+    std::vector<uint32_t> status(rows);
+    std::vector<uint32_t> amount(rows);
+    for (uint32_t i = 0; i < rows; ++i) {
+      region[i] = static_cast<uint32_t>(rng.Uniform(5));
+      status[i] = static_cast<uint32_t>(rng.Uniform(3));
+      amount[i] = static_cast<uint32_t>(rng.Uniform(10000));
+    }
+    if (auto s = table->AddColumn("region", std::move(region)); !s.ok()) {
+      return Fail(s);
+    }
+    if (auto s = table->AddColumn("status", std::move(status)); !s.ok()) {
+      return Fail(s);
+    }
+    if (auto s = table->AddColumn("amount", std::move(amount)); !s.ok()) {
+      return Fail(s);
+    }
+  }
+  if (auto s = (*service)->RegisterTable(std::move(table)); !s.ok()) {
+    return Fail(s);
+  }
+
+  std::vector<std::shared_ptr<const dba::query::Predicate>> pool;
+  for (uint32_t i = 0; i < 16; ++i) {
+    dba::query::PredicatePtr predicate;
+    switch (i % 4) {
+      case 0:
+        predicate = dba::query::Equals("region", i % 5);
+        break;
+      case 1:
+        predicate = dba::query::And(dba::query::Equals("region", i % 5),
+                                    dba::query::Equals("status", i % 3));
+        break;
+      case 2:
+        predicate =
+            dba::query::Between("amount", (i * 997) % 8000,
+                                (i * 997) % 8000 + 1999);
+        break;
+      default:
+        predicate = dba::query::Or(dba::query::Equals("status", i % 3),
+                                   dba::query::GreaterEq("amount", 9000));
+        break;
+    }
+    pool.emplace_back(std::move(predicate));
+  }
+
+  const int waves = options.iters > 0 ? options.iters : 10;
+  constexpr int kPerWave = 64;
+  const char* tenants[] = {"vip", "batch0", "batch1", "batch2"};
+  const auto start = std::chrono::steady_clock::now();
+  uint64_t ok_responses = 0;
+  uint64_t rows_out = 0;
+  for (int wave = 0; wave < waves; ++wave) {
+    std::vector<std::future<svc::ServiceResponse>> futures;
+    futures.reserve(kPerWave);
+    for (int i = 0; i < kPerWave; ++i) {
+      svc::ServiceRequest request;
+      request.tenant = tenants[i % 4];
+      request.priority = i % 3;
+      if (i % 8 == 7) {
+        // A direct set operation rides along with the queries.
+        request.op = i % 16 == 15 ? SetOp::kUnion : SetOp::kIntersect;
+        auto generated = dba::GenerateSetPair(
+            256, 256, options.selectivity,
+            options.seed + static_cast<uint64_t>(wave * kPerWave + i));
+        if (!generated.ok()) return Fail(generated.status());
+        request.a = std::move(generated->a);
+        request.b = std::move(generated->b);
+      } else {
+        request.table = "orders";
+        request.predicate = pool[static_cast<size_t>(
+            (wave * kPerWave + i) % static_cast<int>(pool.size()))];
+      }
+      futures.push_back((*service)->Submit(std::move(request)));
+    }
+    (*service)->Drain();
+    for (auto& future : futures) {
+      const svc::ServiceResponse response = future.get();
+      if (!response.status.ok()) {
+        std::fprintf(stderr, "serve: request failed: %s\n",
+                     response.status.ToString().c_str());
+        return 1;
+      }
+      ++ok_responses;
+      rows_out += response.values.size();
+    }
+  }
+  const double elapsed =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - start)
+          .count();
+
+  const svc::ServiceCounters counters = (*service)->counters();
+  std::printf("== dba serve -- %d-core board, %u-row table, %d waves ==\n",
+              options.cores, options.n, waves);
+  std::printf("requests  submitted %llu   ok %llu   rows_out %llu   "
+              "QPS %.0f\n",
+              static_cast<unsigned long long>(counters.submitted),
+              static_cast<unsigned long long>(ok_responses),
+              static_cast<unsigned long long>(rows_out),
+              elapsed > 0 ? static_cast<double>(ok_responses) / elapsed : 0.0);
+  std::printf("admission rejected %llu   shed %llu   dispatched %llu   "
+              "batches %llu\n",
+              static_cast<unsigned long long>(counters.rejected),
+              static_cast<unsigned long long>(counters.shed),
+              static_cast<unsigned long long>(counters.dispatched),
+              static_cast<unsigned long long>(counters.batches));
+  std::printf("reuse     dedup %llu   cache_hits %llu   cache_misses %llu   "
+              "evictions %llu\n",
+              static_cast<unsigned long long>(counters.deduplicated),
+              static_cast<unsigned long long>(counters.cache_hits),
+              static_cast<unsigned long long>(counters.cache_misses),
+              static_cast<unsigned long long>(counters.cache_evictions));
+  const dba::obs::MetricsSnapshot snapshot =
+      dba::obs::MetricsRegistry::Global().Snapshot();
+  for (const auto* name :
+       {"dba_service_latency_ns", "dba_service_batch_size"}) {
+    const auto it = snapshot.histograms.find(name);
+    if (it == snapshot.histograms.end() || it->second.count == 0) continue;
+    std::printf("%-9s p50 %.0f   p90 %.0f   p99 %.0f   (n=%llu)\n",
+                std::strcmp(name, "dba_service_latency_ns") == 0 ? "lat_ns"
+                                                                 : "batch",
+                it->second.Quantile(0.5), it->second.Quantile(0.9),
+                it->second.Quantile(0.99),
+                static_cast<unsigned long long>(it->second.count));
+  }
+
+  if (!options.metrics_out.empty()) {
+    const dba::Status status =
+        dba::obs::WriteMetricsSnapshotFile(options.metrics_out);
+    if (!status.ok()) return Fail(status);
+    std::printf("wrote metrics snapshot to %s\n",
+                options.metrics_out.c_str());
+  }
+  return 0;
+}
+
 int RunTop(const CliOptions& options, ProcessorKind kind,
            const dba::ProcessorOptions& processor_options) {
   dba::obs::MetricsRegistry::Global().Reset();
@@ -887,7 +1063,8 @@ int main(int argc, char** argv) {
     }
     if (options.command != "profile" && options.command != "trace" &&
         options.command != "board" && options.command != "faults" &&
-        options.command != "top" && options.command != "plan") {
+        options.command != "top" && options.command != "plan" &&
+        options.command != "serve") {
       std::fprintf(stderr, "unknown command: %s\n\n", argv[1]);
       PrintUsage();
       return 2;
@@ -1000,6 +1177,9 @@ int main(int argc, char** argv) {
   }
   if (options.command == "plan") {
     return RunPlan(options, *kind, processor_options);
+  }
+  if (options.command == "serve") {
+    return RunServe(options, *kind, processor_options);
   }
 
   auto processor = dba::Processor::Create(*kind, processor_options);
