@@ -12,6 +12,14 @@
 // dba.bench.v1 row (config DBA_2LSU_EIS_BOARD, op select_mix):
 //   service_speedup   service QPS / serial QPS (gated by compare-bench)
 //   serial_qps, service_qps, latency p50/p99 ns (reported, not gated)
+//
+// A second row (op direct_degraded) measures the resilience path: the
+// same board with every core broken, the circuit breaker open, and
+// direct set operations served bit-exactly by the host-fallback
+// kernels. availability (answered / submitted) is gated by
+// compare-bench; degraded_speedup (host-fallback service vs serial
+// per-call accelerator dispatch) is reported, not gated, because it
+// compares wall clock against simulated hardware.
 
 #include <chrono>
 #include <cstdio>
@@ -19,6 +27,7 @@
 #include <vector>
 
 #include "bench/bench_util.h"
+#include "fault/fault.h"
 #include "obs/metrics/metrics.h"
 #include "service/query_service.h"
 #include "system/board.h"
@@ -33,6 +42,7 @@ constexpr int kNumCores = 4;
 
 int g_requests = 2000;
 int g_host_threads = 2;
+int g_degraded_requests = 600;
 
 double SecondsSince(std::chrono::steady_clock::time_point start) {
   return std::chrono::duration<double>(std::chrono::steady_clock::now() -
@@ -175,12 +185,173 @@ void Run() {
   }
 }
 
+// Degraded-mode phase: every core broken, breaker open after the first
+// board failure, direct ops answered by the host-fallback kernels.
+// Availability must stay 1.0 and every answer bit-identical to the
+// serial reference, or the bench exits non-zero.
+void RunDegraded() {
+  namespace harness = service::test;
+
+  struct DirectSpec {
+    SetOp op;
+    std::vector<uint32_t> a;
+    std::vector<uint32_t> b;
+  };
+  constexpr size_t kDirectPool = 24;
+  Random rng(kSeed ^ 0xDE6D);
+  std::vector<DirectSpec> pool;
+  pool.reserve(kDirectPool);
+  const SetOp ops[] = {SetOp::kIntersect, SetOp::kUnion, SetOp::kDifference,
+                       SetOp::kMerge};
+  for (size_t i = 0; i < kDirectPool; ++i) {
+    DirectSpec spec;
+    spec.op = ops[i % 4];
+    spec.a = harness::MakeSortedSet(rng, 4096, 131072);
+    spec.b = harness::MakeSortedSet(rng, 4096, 131072);
+    pool.push_back(std::move(spec));
+  }
+
+  const size_t n = static_cast<size_t>(g_degraded_requests);
+  std::vector<size_t> stream(n);
+  for (size_t i = 0; i < n; ++i) {
+    stream[i] = static_cast<size_t>((i * 2654435761u) % kDirectPool);
+  }
+
+  // Serial baseline: one accelerator dispatch per request, healthy
+  // board semantics (the answer the degraded path must reproduce).
+  harness::SerialReference reference("orders", kRows, kSeed);
+  std::vector<std::vector<uint32_t>> expected(kDirectPool);
+  const auto serial_start = std::chrono::steady_clock::now();
+  for (size_t i = 0; i < n; ++i) {
+    const DirectSpec& spec = pool[stream[i]];
+    auto result = reference.Direct(spec.op, spec.a, spec.b);
+    if (!result.ok()) {
+      std::fprintf(stderr, "query_service: serial direct op failed: %s\n",
+                   result.status().ToString().c_str());
+      std::exit(1);
+    }
+    expected[stream[i]] = *std::move(result);
+  }
+  const double serial_seconds = SecondsSince(serial_start);
+
+  // Service dispatch against a board with every core broken: the first
+  // batch fails, trips the breaker, and the rest of the run is served
+  // degraded by the host-fallback kernels.
+  system::BoardConfig board_config;
+  board_config.num_cores = kNumCores;
+  board_config.host_threads = g_host_threads;
+  auto board = system::Board::Create(board_config);
+  if (!board.ok()) {
+    std::fprintf(stderr, "query_service: degraded board creation failed: %s\n",
+                 board.status().ToString().c_str());
+    std::exit(1);
+  }
+  fault::FaultPlan outage;
+  for (int core = 0; core < kNumCores; ++core) {
+    outage.broken_cores.push_back(core);
+  }
+  (*board)->SetFaultPlan(outage);
+
+  service::ServiceConfig config;
+  config.board = board->get();
+  config.queue_capacity = n + 8;
+  config.retry.max_retries = 0;  // a dead board is not worth retrying
+  config.breaker.failure_threshold = 1;
+  config.breaker.open_duration_ns = 60'000'000'000ull;  // stay open
+  auto service_or = service::QueryService::Create(config);
+  if (!service_or.ok()) {
+    std::fprintf(stderr, "query_service: degraded service creation "
+                 "failed: %s\n",
+                 service_or.status().ToString().c_str());
+    std::exit(1);
+  }
+  auto service = *std::move(service_or);
+
+  std::vector<std::future<service::ServiceResponse>> futures(n);
+  const auto service_start = std::chrono::steady_clock::now();
+  for (size_t i = 0; i < n; ++i) {
+    const DirectSpec& spec = pool[stream[i]];
+    service::ServiceRequest request;
+    request.tenant = "tenant" + std::to_string(i % 4);
+    request.op = spec.op;
+    request.a = spec.a;
+    request.b = spec.b;
+    futures[i] = service->Submit(std::move(request));
+  }
+  service->Drain();
+  const double service_seconds = SecondsSince(service_start);
+
+  uint64_t answered = 0;
+  uint64_t degraded = 0;
+  for (size_t i = 0; i < n; ++i) {
+    const service::ServiceResponse response = futures[i].get();
+    if (!response.status.ok()) continue;
+    ++answered;
+    degraded += response.degraded ? 1 : 0;
+    if (response.values != expected[stream[i]]) {
+      std::fprintf(stderr,
+                   "query_service: degraded request %zu mismatch (%zu vs "
+                   "%zu elements) -- host fallback must be bit-identical "
+                   "to the accelerator\n",
+                   i, response.values.size(), expected[stream[i]].size());
+      std::exit(1);
+    }
+  }
+
+  const double availability =
+      static_cast<double>(answered) / static_cast<double>(n);
+  const double serial_qps = static_cast<double>(n) / serial_seconds;
+  const double service_qps = static_cast<double>(n) / service_seconds;
+  const double degraded_speedup = serial_seconds / service_seconds;
+
+  PrintHeader("degraded mode: all cores broken, breaker open, host fallback");
+  std::printf("%10s %12s %12s %12s %10s %10s\n", "requests", "serial_qps",
+              "service_qps", "availability", "degraded", "speedup");
+  std::printf("%10zu %12.0f %12.0f %12.4f %10llu %9.2fx\n", n, serial_qps,
+              service_qps, availability,
+              static_cast<unsigned long long>(degraded), degraded_speedup);
+
+  AddBenchRow("DBA_2LSU_EIS_BOARD")
+      .Set("op", "direct_degraded")
+      .Set("requests", static_cast<uint64_t>(n))
+      .Set("pool", static_cast<uint64_t>(kDirectPool))
+      .Set("cores", static_cast<uint64_t>(kNumCores))
+      .Set("serial_qps", serial_qps)
+      .Set("service_qps", service_qps)
+      .Set("availability", availability)
+      .Set("answered", answered)
+      .Set("degraded", degraded)
+      .Set("degraded_speedup", degraded_speedup);
+
+  if (availability < 1.0) {
+    std::fprintf(stderr,
+                 "query_service: degraded availability %.4f below 1.0 "
+                 "(%llu of %zu answered) -- host fallback must keep the "
+                 "service available through a full board outage\n",
+                 availability, static_cast<unsigned long long>(answered), n);
+    std::exit(1);
+  }
+  if (degraded != answered) {
+    std::fprintf(stderr,
+                 "query_service: %llu of %llu answers not flagged degraded "
+                 "while every core was broken\n",
+                 static_cast<unsigned long long>(answered - degraded),
+                 static_cast<unsigned long long>(answered));
+    std::exit(1);
+  }
+}
+
+void RunAll() {
+  Run();
+  RunDegraded();
+}
+
 }  // namespace
 }  // namespace dba::bench
 
 int main(int argc, char** argv) {
   return dba::bench::BenchMain(
-      argc, argv, "query_service", dba::bench::Run,
+      argc, argv, "query_service", dba::bench::RunAll,
       [](std::string_view arg) {
         if (arg.rfind("--requests=", 0) == 0) {
           dba::bench::g_requests =
@@ -192,8 +363,15 @@ int main(int argc, char** argv) {
               std::atoi(std::string(arg.substr(15)).c_str());
           return dba::bench::g_host_threads > 0;
         }
+        if (arg.rfind("--degraded-requests=", 0) == 0) {
+          dba::bench::g_degraded_requests =
+              std::atoi(std::string(arg.substr(20)).c_str());
+          return dba::bench::g_degraded_requests > 0;
+        }
         return false;
       },
       "  --requests=<n>        request-stream length (default 2000)\n"
-      "  --host-threads=<n>    board host threads (default 2)\n");
+      "  --host-threads=<n>    board host threads (default 2)\n"
+      "  --degraded-requests=<n>  degraded-phase stream length "
+      "(default 600)\n");
 }

@@ -31,6 +31,8 @@ std::string_view StatusCodeToString(StatusCode code) {
       return "Unavailable";
     case StatusCode::kDataLoss:
       return "DataLoss";
+    case StatusCode::kRateLimited:
+      return "RateLimited";
   }
   return "Unknown";
 }

@@ -25,6 +25,10 @@ enum class StatusCode : uint8_t {
   kDeadlineExceeded = 9,
   kUnavailable = 10,
   kDataLoss = 11,
+  /// Shed by an admission-control rate limit (a per-tenant token bucket
+  /// ran dry). Distinct from kResourceExhausted: the *service* is fine,
+  /// the *caller* exceeded its contract and should back off.
+  kRateLimited = 12,
 };
 
 /// Returns a short human-readable name for `code` ("OK", "InvalidArgument"...).
@@ -79,6 +83,9 @@ class Status {
   }
   static Status DataLoss(std::string msg) {
     return Status(StatusCode::kDataLoss, std::move(msg));
+  }
+  static Status RateLimited(std::string msg) {
+    return Status(StatusCode::kRateLimited, std::move(msg));
   }
 
   bool ok() const { return code_ == StatusCode::kOk; }

@@ -22,7 +22,7 @@ struct BenchCompareOptions {
   /// turns them into regressions (a silently dropped column must not
   /// pass a gated CI check).
   std::vector<std::string> metrics = {"throughput_meps", "sim_speedup",
-                                      "service_speedup"};
+                                      "service_speedup", "availability"};
   /// When true, a run row missing a metric the baseline carries is a
   /// regression instead of a tolerated absence.
   bool strict = false;

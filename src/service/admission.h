@@ -2,15 +2,43 @@
 #define DBA_SERVICE_ADMISSION_H_
 
 #include <cstddef>
+#include <cstdint>
 #include <deque>
 #include <functional>
 #include <map>
 #include <string>
 #include <utility>
 
+#include <string_view>
+
 #include "common/status.h"
 
 namespace dba::service {
+
+/// Why a request was shed instead of executed. Every shed path is
+/// explicit and typed; the reason labels the
+/// dba_service_shed_total{reason=...} counter family.
+enum class ShedReason : uint8_t {
+  kQueueFull = 0,     // admission overflow -> kUnavailable
+  kDeadline = 1,      // deadline expired while queued -> kDeadlineExceeded
+  kRateLimited = 2,   // tenant token bucket dry -> kRateLimited
+  kBreakerOpen = 3,   // breaker open, no fallback -> kUnavailable
+};
+inline constexpr size_t kNumShedReasons = 4;
+
+inline std::string_view ShedReasonName(ShedReason reason) {
+  switch (reason) {
+    case ShedReason::kQueueFull:
+      return "queue_full";
+    case ShedReason::kDeadline:
+      return "deadline";
+    case ShedReason::kRateLimited:
+      return "rate_limited";
+    case ShedReason::kBreakerOpen:
+      return "breaker_open";
+  }
+  return "unknown";
+}
 
 /// Bounded admission queue with strict priority ordering: Pop returns
 /// the highest-priority item, FIFO within a priority level. A Push

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cstdint>
+#include <optional>
 #include <utility>
 
 #include "obs/metrics/metrics.h"
@@ -13,7 +14,12 @@ namespace {
 struct ServiceInstruments {
   obs::Counter* submitted;
   obs::Counter* rejected;
-  obs::Counter* shed;
+  /// Shed paths, labeled dba_service_shed_total{reason=...} and indexed
+  /// by ShedReason.
+  obs::Counter* shed_reason[kNumShedReasons];
+  obs::Counter* degraded;
+  obs::Counter* breaker_transitions;
+  obs::Gauge* breaker_state;
   obs::Counter* dispatched;
   obs::Counter* batches;
   obs::Counter* deduplicated;
@@ -36,9 +42,21 @@ const ServiceInstruments& Instruments() {
     out.rejected = registry.GetCounter(
         "dba_service_rejected_total",
         "Requests shed at admission (queue full -> kUnavailable).");
-    out.shed = registry.GetCounter(
-        "dba_service_shed_total",
-        "Requests whose deadline expired while queued.");
+    for (size_t r = 0; r < kNumShedReasons; ++r) {
+      out.shed_reason[r] = registry.GetCounter(
+          "dba_service_shed_total", "reason",
+          ShedReasonName(static_cast<ShedReason>(r)),
+          "Requests shed instead of executed, by reason.");
+    }
+    out.degraded = registry.GetCounter(
+        "dba_service_degraded_total",
+        "Responses served by host fallback while the breaker was open.");
+    out.breaker_transitions =
+        registry.GetCounter("dba_service_breaker_transitions_total",
+                            "Circuit-breaker state changes.");
+    out.breaker_state = registry.GetGauge(
+        "dba_service_breaker_state",
+        "Circuit-breaker state (0 closed, 1 half-open, 2 open).");
     out.dispatched = registry.GetCounter(
         "dba_service_dispatched_total", "Requests that reached execution.");
     out.batches = registry.GetCounter("dba_service_batches_total",
@@ -110,6 +128,15 @@ Status ServiceConfig::Validate() const {
     return Status::InvalidArgument(
         "ServiceConfig::max_attempts must be >= 1");
   }
+  for (const auto& [tenant, policy] : tenant_policies) {
+    const Status status = policy.Validate();
+    if (!status.ok()) {
+      return Status(status.code(),
+                    "tenant '" + tenant + "': " + status.message());
+    }
+  }
+  DBA_RETURN_IF_ERROR(breaker.Validate());
+  DBA_RETURN_IF_ERROR(retry.Validate());
   return Status::Ok();
 }
 
@@ -122,6 +149,7 @@ Result<std::unique_ptr<QueryService>> QueryService::Create(
 QueryService::QueryService(const ServiceConfig& config)
     : config_(config),
       queue_(config.queue_capacity),
+      breaker_(std::make_unique<CircuitBreaker>(config.breaker)),
       cache_(config.cache_capacity) {
   if (config_.clock == nullptr) {
     owned_clock_ = std::make_unique<SystemClock>();
@@ -168,6 +196,12 @@ Status QueryService::RegisterTable(std::unique_ptr<query::Table> table) {
       entry.table.get(), config_.board->core(entry.core));
   entry.engine->SetMaxAttempts(config_.max_attempts);
   if (fault_hook_) entry.engine->SetAttemptFaultHook(fault_hook_);
+  if (degraded_routing_) {
+    query::PlannerOptions options;
+    options.force_route = query::Route::kGalloping;
+    options.allow_partition_index = false;
+    entry.engine->EnableAdaptivePlanner(options);
+  }
   for (const std::string& column : entry.table->ColumnNames()) {
     DBA_RETURN_IF_ERROR(entry.engine->BuildIndex(column));
   }
@@ -210,6 +244,12 @@ std::future<ServiceResponse> QueryService::Submit(ServiceRequest request) {
   int priority = job.request.priority;
   const auto boost = config_.tenant_priorities.find(job.request.tenant);
   if (boost != config_.tenant_priorities.end()) priority += boost->second;
+  const TenantPolicy* policy = nullptr;
+  const auto policy_it = config_.tenant_policies.find(job.request.tenant);
+  if (policy_it != config_.tenant_policies.end()) {
+    policy = &policy_it->second;
+    priority += SloPriorityBoost(policy->slo);
+  }
   {
     std::lock_guard<std::mutex> lock(mu_);
     if (stopping_) {
@@ -219,11 +259,44 @@ std::future<ServiceResponse> QueryService::Submit(ServiceRequest request) {
       return future;
     }
     job.enqueue_ns = clock_->NowNs();
+    if (policy != nullptr) {
+      // SLO class: requests without an explicit deadline inherit the
+      // class default, relative to the submit time.
+      if (job.request.deadline_ns == 0) {
+        const uint64_t slo_deadline = SloDefaultDeadlineNs(policy->slo);
+        if (slo_deadline != 0) {
+          job.request.deadline_ns = job.enqueue_ns + slo_deadline;
+        }
+      }
+      if (policy->rate_per_sec > 0) {
+        auto bucket = buckets_.find(job.request.tenant);
+        if (bucket == buckets_.end()) {
+          bucket = buckets_
+                       .emplace(job.request.tenant,
+                                TokenBucket(policy->rate_per_sec,
+                                            policy->burst))
+                       .first;
+        }
+        if (!bucket->second.TryAcquire(job.enqueue_ns)) {
+          rate_limited_.fetch_add(1, std::memory_order_relaxed);
+          ins.shed_reason[static_cast<size_t>(ShedReason::kRateLimited)]
+              ->Increment();
+          ServiceResponse response;
+          response.status = Status::RateLimited(
+              "tenant '" + job.request.tenant +
+              "' exceeded its admission rate");
+          job.promise.set_value(std::move(response));
+          return future;
+        }
+      }
+    }
     const Status admitted = queue_.Push(priority, std::move(job));
     if (!admitted.ok()) {
       // Push leaves the job untouched on overflow: shed explicitly.
       rejected_.fetch_add(1, std::memory_order_relaxed);
       ins.rejected->Increment();
+      ins.shed_reason[static_cast<size_t>(ShedReason::kQueueFull)]
+          ->Increment();
       ServiceResponse response;
       response.status = admitted;
       job.promise.set_value(std::move(response));
@@ -272,6 +345,11 @@ ServiceCounters QueryService::counters() const {
   out.batches = batches_.load(std::memory_order_relaxed);
   out.deduplicated = deduplicated_.load(std::memory_order_relaxed);
   out.retries = retries_.load(std::memory_order_relaxed);
+  out.rate_limited = rate_limited_.load(std::memory_order_relaxed);
+  out.breaker_sheds = breaker_sheds_.load(std::memory_order_relaxed);
+  out.degraded = degraded_.load(std::memory_order_relaxed);
+  out.breaker_transitions =
+      breaker_transitions_.load(std::memory_order_relaxed);
   std::lock_guard<std::mutex> cache_lock(cache_mu_);
   const CacheStats& stats = cache_.stats();
   out.cache_hits = stats.hits;
@@ -292,6 +370,42 @@ void QueryService::SetAttemptFaultHook(fault::AttemptFaultHook hook) {
   for (auto& [name, entry] : tables_) {
     (void)name;
     entry.engine->SetAttemptFaultHook(fault_hook_);
+  }
+}
+
+void QueryService::SetDegradedRouting(bool degraded) {
+  std::unique_lock<std::shared_mutex> tables_lock(tables_mu_);
+  if (degraded_routing_ == degraded) return;
+  degraded_routing_ = degraded;
+  for (auto& [name, entry] : tables_) {
+    (void)name;
+    // The per-table lock serializes against any in-flight query of the
+    // table (none can be: only the scheduler thread executes queries,
+    // and it is the caller here).
+    std::unique_lock<std::shared_mutex> table_lock(*entry.mu);
+    if (degraded) {
+      query::PlannerOptions options;
+      options.force_route = query::Route::kGalloping;
+      options.allow_partition_index = false;
+      entry.engine->EnableAdaptivePlanner(options);
+    } else {
+      entry.engine->DisableAdaptivePlanner();
+    }
+  }
+}
+
+void QueryService::MirrorBreaker(uint64_t now_ns) {
+  const ServiceInstruments& ins = Instruments();
+  const BreakerState state = breaker_->StateAt(now_ns);
+  breaker_state_.store(static_cast<uint8_t>(state),
+                       std::memory_order_relaxed);
+  ins.breaker_state->Set(static_cast<double>(state));
+  const uint64_t transitions = breaker_->transitions();
+  if (transitions > mirrored_transitions_) {
+    const uint64_t delta = transitions - mirrored_transitions_;
+    mirrored_transitions_ = transitions;
+    breaker_transitions_.fetch_add(delta, std::memory_order_relaxed);
+    ins.breaker_transitions->Increment(delta);
   }
 }
 
@@ -367,6 +481,7 @@ void QueryService::ExecuteBatch(std::vector<Job> batch) {
     Status status = Status::Internal("not executed");
     std::vector<uint32_t> values;
     bool cache_hit = false;
+    bool degraded = false;
     uint32_t retries = 0;
     uint64_t cycles = 0;
     TableEntry* entry = nullptr;
@@ -380,7 +495,8 @@ void QueryService::ExecuteBatch(std::vector<Job> batch) {
     const ServiceRequest& request = batch[i].request;
     if (request.deadline_ns != 0 && start_ns > request.deadline_ns) {
       shed_.fetch_add(1, std::memory_order_relaxed);
-      ins.shed->Increment();
+      ins.shed_reason[static_cast<size_t>(ShedReason::kDeadline)]
+          ->Increment();
       continue;
     }
     int found = -1;
@@ -473,13 +589,49 @@ void QueryService::ExecuteBatch(std::vector<Job> batch) {
     MirrorCacheDelta(before, cache_.stats());
   }
 
-  // Direct set operations: one multi-request board batch.
+  // Direct set operations: one multi-request board batch, governed by
+  // the circuit breaker, a shared deadline budget, and the service's
+  // deadline-aware retry policy.
   uint64_t batch_retries = 0;
   std::vector<size_t> direct;
   for (size_t u = 0; u < uniques.size(); ++u) {
     if (!uniques[u].is_predicate && !uniques[u].ready) direct.push_back(u);
   }
   if (!direct.empty()) {
+    const int n_cores = config_.board->num_cores();
+
+    // The batch's wall deadline: the largest remaining deadline among
+    // the direct riders (a rider with no deadline leaves the batch
+    // unbounded -- never cut work short that someone still wants).
+    uint64_t batch_deadline_ns = 0;
+    bool unbounded = false;
+    for (size_t i = 0; i < batch.size(); ++i) {
+      if (unique_of[i] < 0) continue;
+      const Unique& unique = uniques[static_cast<size_t>(unique_of[i])];
+      if (unique.is_predicate || unique.ready) continue;
+      const uint64_t deadline = batch[i].request.deadline_ns;
+      if (deadline == 0) {
+        unbounded = true;
+      } else {
+        batch_deadline_ns = std::max(batch_deadline_ns, deadline);
+      }
+    }
+    if (unbounded) batch_deadline_ns = 0;
+
+    // Wall deadline -> simulated-cycle budget for the board's recovery
+    // ladder: the board's simulated makespan at f_max must fit in the
+    // remaining wall time (deterministic: derived from the service
+    // clock, not host time).
+    system::Board::BatchOptions board_options;
+    if (batch_deadline_ns != 0) {
+      const uint64_t remaining_ns =
+          batch_deadline_ns > start_ns ? batch_deadline_ns - start_ns : 1;
+      board_options.deadline_cycles = std::max<uint64_t>(
+          1, static_cast<uint64_t>(static_cast<double>(remaining_ns) *
+                                   config_.board->core_frequency_hz() /
+                                   1e9));
+    }
+
     std::vector<system::Board::BatchItem> items;
     items.reserve(direct.size());
     for (const size_t u : direct) {
@@ -487,14 +639,55 @@ void QueryService::ExecuteBatch(std::vector<Job> batch) {
       items.push_back(
           system::Board::BatchItem{request.op, request.a, request.b});
     }
-    Result<system::Board::BatchRun> run =
-        config_.board->RunSetOperationBatch(items);
-    if (!run.ok()) {
-      for (const size_t u : direct) {
-        uniques[u].status = run.status();
-        uniques[u].ready = true;
+
+    // Consult the breaker: open routes around the board entirely;
+    // half-open grants a bounded number of probe dispatches.
+    bool use_board = true;
+    if (config_.breaker.enabled) {
+      const BreakerState state = breaker_->StateAt(start_ns);
+      if (state == BreakerState::kOpen) {
+        use_board = false;
+      } else if (state == BreakerState::kHalfOpen) {
+        use_board = breaker_->AllowProbe(start_ns);
       }
-    } else {
+    }
+
+    const auto transient = [](StatusCode code) {
+      return code == StatusCode::kUnavailable ||
+             code == StatusCode::kDeadlineExceeded ||
+             code == StatusCode::kDataLoss;
+    };
+
+    Result<system::Board::BatchRun> run =
+        Status::Unavailable("circuit breaker open");
+    if (use_board) {
+      // Deadline-aware re-submit ladder: backoff delays are modeled
+      // against the riders' shared deadline, so a retry that could only
+      // finish past expiry is never attempted.
+      RetryBudget budget(config_.retry, batch_deadline_ns, batch_ordinal);
+      uint64_t modeled_delay_ns = 0;
+      while (true) {
+        run = config_.board->RunSetOperationBatch(items, board_options);
+        if (run.ok()) {
+          breaker_->OnBoardResult(true, &run->run.recovery, n_cores,
+                                  start_ns);
+          break;
+        }
+        breaker_->OnBoardResult(false, nullptr, n_cores, start_ns);
+        if (!transient(run.status().code())) break;
+        if (config_.breaker.enabled &&
+            breaker_->StateAt(start_ns) == BreakerState::kOpen) {
+          break;  // tripped mid-ladder: fall through to degraded mode
+        }
+        const std::optional<uint64_t> delay =
+            budget.NextDelayNs(start_ns + modeled_delay_ns);
+        if (!delay.has_value()) break;
+        modeled_delay_ns += *delay;
+        ++batch_retries;
+      }
+    }
+
+    if (run.ok()) {
       batch_retries += run->run.recovery.retries;
       for (size_t k = 0; k < direct.size(); ++k) {
         Unique& unique = uniques[direct[k]];
@@ -505,8 +698,57 @@ void QueryService::ExecuteBatch(std::vector<Job> batch) {
         unique.cycles = run->run.makespan_cycles;
         unique.ready = true;
       }
+    } else if (config_.host_fallback && config_.breaker.enabled &&
+               breaker_->StateAt(start_ns) == BreakerState::kOpen) {
+      // Degraded mode: the breaker is open (either at batch start or
+      // tripped by the failures above), so the planner's host kernels
+      // stand in for the board -- bit-exact results, flagged degraded.
+      for (const size_t u : direct) {
+        const ServiceRequest& request = batch[uniques[u].owner].request;
+        Result<std::vector<uint32_t>> fallback =
+            RunHostFallbackOp(request.op, request.a, request.b);
+        Unique& unique = uniques[u];
+        if (fallback.ok()) {
+          unique.values = std::move(*fallback);
+          unique.status = Status::Ok();
+          unique.degraded = true;
+          unique.cycles = 0;
+        } else {
+          unique.status = fallback.status();
+        }
+        unique.ready = true;
+      }
+    } else if (!use_board) {
+      // Breaker open, fallback disabled: a typed per-request shed.
+      uint32_t riders = 0;
+      for (size_t i = 0; i < batch.size(); ++i) {
+        if (unique_of[i] < 0) continue;
+        const Unique& unique = uniques[static_cast<size_t>(unique_of[i])];
+        if (!unique.is_predicate && !unique.ready) ++riders;
+      }
+      breaker_sheds_.fetch_add(riders, std::memory_order_relaxed);
+      ins.shed_reason[static_cast<size_t>(ShedReason::kBreakerOpen)]
+          ->Increment(riders);
+      for (const size_t u : direct) {
+        uniques[u].status = Status::Unavailable(
+            "circuit breaker open and host fallback disabled");
+        uniques[u].ready = true;
+      }
+    } else {
+      for (const size_t u : direct) {
+        uniques[u].status = run.status();
+        uniques[u].ready = true;
+      }
     }
   }
+
+  // Keep predicate routing in step with the breaker: while open,
+  // RID-set intersections take the planner's host routes instead of
+  // the board cores' EIS datapath.
+  const bool degrade_predicates =
+      config_.breaker.enabled &&
+      breaker_->StateAt(start_ns) == BreakerState::kOpen;
+  SetDegradedRouting(degrade_predicates);
 
   // Predicate queries: engines grouped by their pinned board core (one
   // thread per core; a core's tables run back to back), fanned out over
@@ -556,6 +798,10 @@ void QueryService::ExecuteBatch(std::vector<Job> batch) {
         unique.status = Status::Ok();
         unique.retries = stats.retries;
         unique.cycles = stats.accelerator_cycles;
+        // Freshly executed under forced host routing: the values are
+        // bit-identical, but the venue was degraded. (Cache hits keep
+        // degraded = false -- they were computed before the outage.)
+        unique.degraded = degrade_predicates;
       } else {
         unique.status = result.status();
       }
@@ -606,12 +852,18 @@ void QueryService::ExecuteBatch(std::vector<Job> batch) {
       response.deduplicated = unique.owner != i;
       response.retries = unique.retries;
       response.accelerator_cycles = unique.cycles;
+      response.degraded = unique.degraded;
+      if (unique.degraded) {
+        degraded_.fetch_add(1, std::memory_order_relaxed);
+        ins.degraded->Increment();
+      }
       dispatched_.fetch_add(1, std::memory_order_relaxed);
       ins.dispatched->Increment();
     }
     ins.latency_ns->Observe(done_ns - batch[i].enqueue_ns);
     batch[i].promise.set_value(std::move(response));
   }
+  MirrorBreaker(done_ns);
   if (config_.trace_sink != nullptr) {
     config_.trace_sink->EndRegion(done_ns);
   }

@@ -20,6 +20,7 @@
 #include "query/predicate.h"
 #include "query/table.h"
 #include "service/admission.h"
+#include "service/resilience.h"
 #include "service/result_cache.h"
 #include "service/service_clock.h"
 #include "sim/trace_sink.h"
@@ -49,6 +50,26 @@ struct ServiceConfig {
   /// Additive per-tenant priority boost (tenants absent here get 0).
   /// A request's effective priority is request.priority + boost.
   std::map<std::string, int> tenant_priorities;
+  /// Per-tenant admission policies: token-bucket rate limits and SLO
+  /// classes (service/resilience.h). A rate-limited tenant whose bucket
+  /// runs dry is shed at admission with kRateLimited; an SLO class
+  /// stamps its default deadline on requests that carry none and adds
+  /// its priority boost on top of tenant_priorities. Tenants absent
+  /// here are unlimited kStandard.
+  std::map<std::string, TenantPolicy> tenant_policies;
+  /// Board-health circuit breaker fed by direct-op outcomes and
+  /// RecoveryTelemetry. While open, direct set ops route through host
+  /// kernels (host_fallback) or shed with kUnavailable, and predicate
+  /// RID-set intersections force the planner's host routes.
+  BreakerConfig breaker;
+  /// Serve direct set ops from host kernels while the breaker is open
+  /// (bit-exact, flagged ServiceResponse::degraded). When false they
+  /// shed with kUnavailable instead.
+  bool host_fallback = true;
+  /// Deadline-aware service-level re-submit policy for transiently
+  /// failed direct-op board batches (exponential backoff + jitter,
+  /// never past the riders' deadline).
+  RetryConfig retry;
   /// Time source for the batch window and deadline shedding. Null uses
   /// a wall SystemClock; tests inject a VirtualClock (non-owning).
   ServiceClock* clock = nullptr;
@@ -88,6 +109,10 @@ struct ServiceResponse {
   uint64_t dispatch_seq = 0;     // global dispatch order (priority proof)
   uint32_t retries = 0;          // transient re-executions
   uint64_t accelerator_cycles = 0;
+  /// Served in degraded mode: host kernels stood in for the board while
+  /// the circuit breaker was open. Values are bit-identical to the
+  /// board path; only the execution venue differs.
+  bool degraded = false;
 };
 
 /// Monotonic service counters (mirrored as dba_service_* instruments in
@@ -104,6 +129,12 @@ struct ServiceCounters {
   uint64_t cache_evictions = 0;
   uint64_t cache_invalidations = 0;
   uint64_t retries = 0;
+  // --- Resilience (the pre-existing fields above keep their exact
+  // meaning: `rejected` = queue-full sheds, `shed` = deadline sheds) ---
+  uint64_t rate_limited = 0;        // admission sheds: token bucket dry
+  uint64_t breaker_sheds = 0;       // sheds while open, fallback disabled
+  uint64_t degraded = 0;            // responses served by host fallback
+  uint64_t breaker_transitions = 0; // breaker state changes
 };
 
 /// Async multi-tenant frontend over a system::Board: requests are
@@ -154,6 +185,12 @@ class QueryService {
   ServiceCounters counters() const;
   std::vector<std::string> CacheKeysMruToLru() const;
   system::Board* board() { return config_.board; }
+  /// The circuit breaker's state as of the last dispatch batch (the
+  /// breaker itself is scheduler-thread-owned; this is a mirror).
+  BreakerState breaker_state() const {
+    return static_cast<BreakerState>(
+        breaker_state_.load(std::memory_order_relaxed));
+  }
 
   /// Forwards a deterministic attempt-fault hook to every registered
   /// table's engine (and tables registered later). Call while idle.
@@ -179,6 +216,13 @@ class QueryService {
   void SchedulerLoop();
   void ExecuteBatch(std::vector<Job> batch);
   uint64_t OldestEnqueueNsLocked() const;
+  /// Toggles degraded predicate routing (force the planner's host
+  /// intersect route on every registered engine) to match the breaker
+  /// state. Scheduler thread (or RegisterTable) only; takes tables_mu_.
+  void SetDegradedRouting(bool degraded);
+  /// Mirrors breaker state/transition deltas into the atomics and
+  /// global instruments after a dispatch batch (scheduler thread).
+  void MirrorBreaker(uint64_t now_ns);
 
   ServiceConfig config_;
   std::unique_ptr<SystemClock> owned_clock_;  // when config_.clock == null
@@ -191,11 +235,20 @@ class QueryService {
   bool paused_ = false;
   bool stopping_ = false;
   bool dispatching_ = false;
+  /// Per-tenant token buckets (guarded by mu_; built lazily from
+  /// tenant_policies on a tenant's first submission).
+  std::map<std::string, TokenBucket> buckets_;
 
   mutable std::shared_mutex tables_mu_;
   std::map<std::string, TableEntry> tables_;
   int next_core_ = 0;
   fault::AttemptFaultHook fault_hook_;  // guarded by tables_mu_
+  bool degraded_routing_ = false;       // guarded by tables_mu_
+
+  /// Board-health breaker (scheduler thread only; see breaker_state_
+  /// for the cross-thread mirror).
+  std::unique_ptr<CircuitBreaker> breaker_;
+  uint64_t mirrored_transitions_ = 0;  // scheduler thread only
 
   mutable std::mutex cache_mu_;
   ResultCache cache_;
@@ -208,6 +261,11 @@ class QueryService {
   std::atomic<uint64_t> batches_{0};
   std::atomic<uint64_t> deduplicated_{0};
   std::atomic<uint64_t> retries_{0};
+  std::atomic<uint64_t> rate_limited_{0};
+  std::atomic<uint64_t> breaker_sheds_{0};
+  std::atomic<uint64_t> degraded_{0};
+  std::atomic<uint64_t> breaker_transitions_{0};
+  std::atomic<uint8_t> breaker_state_{0};  // BreakerState mirror
 
   std::thread scheduler_;
 };

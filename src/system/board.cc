@@ -527,7 +527,15 @@ Board::AttemptOutcome Board::RunAttempt(int core_index,
   const Status run_status =
       runner(core, attempt_part, settings, &out.result, &out.compute_cycles);
   if (!run_status.ok()) {
-    out.status = run_status;
+    // Detection layer 1 rejecting a fault-flipped input image is data
+    // corruption, not a caller error: type it kDataLoss so the
+    // recovery ladder (and the service above it) treats it as the
+    // transient fault it is.
+    out.status =
+        corrupted && run_status.code() == StatusCode::kInvalidArgument
+            ? Status::DataLoss(std::string(run_status.message()) +
+                               " (injected input bit flip)")
+            : run_status;
     return out;
   }
 
@@ -572,7 +580,8 @@ Board::AttemptOutcome Board::RunAttempt(int core_index,
 Result<ParallelRun> Board::ExecutePartitioned(
     std::vector<PartitionWork> parts, bool is_sort, uint64_t elements,
     const PartitionRunner& runner,
-    std::vector<std::vector<uint32_t>>* item_results) {
+    std::vector<std::vector<uint32_t>>* item_results,
+    uint64_t deadline_cycles) {
   const auto host_start = std::chrono::steady_clock::now();
   const uint64_t op_ordinal = op_ordinal_++;
   const BoardInstruments& instruments = Instruments();
@@ -765,6 +774,29 @@ Result<ParallelRun> Board::ExecutePartitioned(
     pending.clear();
     if (failed.empty()) continue;
 
+    // The caller's deadline budget bounds the retry ladder: once the
+    // accumulated makespan has consumed it, scheduling another round
+    // could not produce a result the caller would still accept, so the
+    // operation sheds kDeadlineExceeded instead of burning the rest of
+    // the ladder. (A clean first round never gets here: the check only
+    // runs when retries are pending.)
+    if (deadline_cycles > 0 && run.makespan_cycles >= deadline_cycles) {
+      const size_t p = failed.front().first;
+      instruments.op_failures->Increment();
+      obs::EventLog::Global().Log(
+          obs::EventLevel::kWarn, "board",
+          "recovery deadline budget exhausted",
+          {{"rounds", std::to_string(run.recovery.rounds)},
+           {"budget_cycles", std::to_string(deadline_cycles)},
+           {"partition", std::to_string(p)}});
+      return Status::DeadlineExceeded(
+          "recovery deadline budget (" + std::to_string(deadline_cycles) +
+          " cycles) exhausted after " +
+          std::to_string(run.recovery.rounds) + " rounds; partition " +
+          std::to_string(p) +
+          " last error: " + slots[p].last_status.message());
+    }
+
     // A partition out of attempts fails the operation with its last
     // error (first such partition in partition order -- deterministic).
     for (const auto& [p, c] : failed) {
@@ -922,8 +954,32 @@ Result<ParallelRun> Board::RunSort(std::span<const uint32_t> values) {
                             values.size(), runner);
 }
 
+Status Board::SetFaultPlan(const fault::FaultPlan& plan) {
+  DBA_RETURN_IF_ERROR(plan.Validate());
+  for (const int core : plan.broken_cores) {
+    if (core >= num_cores()) {
+      return Status::InvalidArgument(
+          "FaultPlan::broken_cores lists core " + std::to_string(core) +
+          " but the board has " + std::to_string(num_cores()) + " cores");
+    }
+  }
+  config_.fault_plan = plan;
+  if (plan.enabled()) {
+    injector_ = std::make_unique<fault::FaultInjector>(plan);
+    if (hang_program_ == nullptr) {
+      DBA_ASSIGN_OR_RETURN(isa::Program hang_loop,
+                           fault::BuildHangLoopProgram());
+      hang_program_ =
+          std::make_shared<const isa::Program>(std::move(hang_loop));
+    }
+  } else {
+    injector_.reset();
+  }
+  return Status::Ok();
+}
+
 Result<Board::BatchRun> Board::RunSetOperationBatch(
-    std::span<const BatchItem> items) {
+    std::span<const BatchItem> items, const BatchOptions& options) {
   BatchRun batch;
   if (items.empty()) {
     batch.run.per_core_cycles.assign(cores_.size(), 0);
@@ -972,7 +1028,8 @@ Result<Board::BatchRun> Board::RunSetOperationBatch(
       };
   DBA_ASSIGN_OR_RETURN(
       batch.run, ExecutePartitioned(std::move(parts), /*is_sort=*/false,
-                                    elements, runner, &batch.results));
+                                    elements, runner, &batch.results,
+                                    options.deadline_cycles));
   return batch;
 }
 

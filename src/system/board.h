@@ -189,6 +189,17 @@ class Board {
     ParallelRun run;
   };
 
+  /// Per-call limits on one batched operation.
+  struct BatchOptions {
+    /// Simulated-cycle budget for the recovery ladder: once the batch's
+    /// accumulated makespan reaches this, no further retry round is
+    /// scheduled and the operation fails with kDeadlineExceeded instead
+    /// of completing the full ladder. Derived from the caller's
+    /// remaining wall deadline (cycles = remaining_ns * f_max / 1e9);
+    /// 0 = unbounded. A fault-free first round is never cut short.
+    uint64_t deadline_cycles = 0;
+  };
+
   /// Multi-request scheduling: executes `items` -- independent whole set
   /// operations, possibly of mixed ops -- across the board's cores in
   /// waves (item i starts on core i mod num_cores; a core runs its
@@ -198,7 +209,18 @@ class Board {
   /// round-based recovery machinery (retry, requeue, quarantine) applies
   /// per item exactly as it does per partition, and results reduce in
   /// item order -- bit-identical at any host_threads.
-  Result<BatchRun> RunSetOperationBatch(std::span<const BatchItem> items);
+  Result<BatchRun> RunSetOperationBatch(std::span<const BatchItem> items,
+                                        const BatchOptions& options);
+  Result<BatchRun> RunSetOperationBatch(std::span<const BatchItem> items) {
+    return RunSetOperationBatch(items, BatchOptions{});
+  }
+
+  /// Replaces the board's fault schedule in place (the chaos harness's
+  /// entry point: a ChaosSchedule phase is one FaultPlan). Validates
+  /// like Create; an empty plan restores the fault-free fast path. Call
+  /// only while no board operation is running -- the service guarantees
+  /// this between dispatch batches.
+  Status SetFaultPlan(const fault::FaultPlan& plan);
 
  private:
   /// One partition of a board operation: the input span(s), the value
@@ -247,7 +269,8 @@ class Board {
   Result<ParallelRun> ExecutePartitioned(
       std::vector<PartitionWork> parts, bool is_sort, uint64_t elements,
       const PartitionRunner& runner,
-      std::vector<std::vector<uint32_t>>* item_results = nullptr);
+      std::vector<std::vector<uint32_t>>* item_results = nullptr,
+      uint64_t deadline_cycles = 0);
 
   AttemptOutcome RunAttempt(int core_index, const PartitionWork& part,
                             bool is_sort, const fault::AttemptSite& site,

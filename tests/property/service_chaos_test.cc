@@ -1,0 +1,345 @@
+// Chaos properties of the resilient QueryService (ctest label `chaos`).
+//
+// A chaos trial drives the live service -- breaker, rate limits, retry
+// budgets, host fallback and all -- through a seeded ChaosSchedule:
+// between dispatch steps (while the board is provably idle behind
+// Drain) the trial swaps the board's FaultPlan to the current phase's,
+// emulating fault-rate ramps, core-death waves, NoC brownouts, and a
+// full-board meltdown. The invariant under every profile:
+//
+//   every response is either byte-identical to the single-threaded
+//   serial reference, or a typed non-OK status -- never silence,
+//   never a wrong answer.
+//
+// 1. SeededSweep: 1000 trials (5 profiles x 200 seeds) of the
+//    invariant above, plus degraded => OK.
+// 2. ReplayDeterminism: the full response transcript of a (profile,
+//    seed) pair is identical at board host_threads 1, 2, and 8.
+// 3. AllCoresBrokenStaysAvailable: with every board core permanently
+//    hung, the breaker trips and direct set ops are still answered --
+//    bit-exact, flagged degraded -- by the host fallback.
+// 4. MeltdownRecovers: after the operator heals the board, the breaker
+//    walks open -> half-open -> closed and service leaves degraded mode.
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <cstdlib>
+#include <future>
+#include <memory>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "fault/chaos.h"
+#include "fault/fault.h"
+#include "query/predicate.h"
+#include "query/table.h"
+#include "service/query_service.h"
+#include "service/resilience.h"
+#include "service/service_clock.h"
+#include "shared/service_test_util.h"
+#include "system/board.h"
+
+namespace dba::service {
+namespace {
+
+constexpr uint32_t kRows = 128;
+constexpr int kNumCores = 4;
+
+std::unique_ptr<system::Board> MakeBoard(int host_threads) {
+  system::BoardConfig config;
+  config.num_cores = kNumCores;
+  config.host_threads = host_threads;
+  auto board = system::Board::Create(config);
+  EXPECT_TRUE(board.ok()) << board.status();
+  return *std::move(board);
+}
+
+/// Non-OK statuses a resilient service may return: every shed and every
+/// exhausted recovery ladder is typed. Anything else (kInternal, a
+/// default Status, ...) fails the property.
+bool IsTypedFailure(StatusCode code) {
+  return code == StatusCode::kUnavailable ||
+         code == StatusCode::kDeadlineExceeded ||
+         code == StatusCode::kDataLoss || code == StatusCode::kRateLimited;
+}
+
+ServiceRequest ToRequest(
+    const test::WorkloadAction& action,
+    const std::vector<std::shared_ptr<const query::Predicate>>& pool) {
+  ServiceRequest request;
+  request.tenant = action.tenant;
+  request.priority = action.priority;
+  if (action.kind == test::WorkloadAction::Kind::kDirect) {
+    request.op = action.op;
+    request.a = action.a;
+    request.b = action.b;
+  } else {
+    request.table = "orders";
+    request.predicate = pool[action.predicate_index];
+  }
+  return request;
+}
+
+/// One line per response: everything that must replay identically.
+std::string TranscriptLine(const ServiceResponse& response) {
+  std::ostringstream line;
+  line << StatusCodeToString(response.status.code())
+       << " degraded=" << response.degraded << " values=";
+  for (const uint32_t v : response.values) line << v << ",";
+  return line.str();
+}
+
+/// Runs one chaos trial; appends one transcript line per non-update
+/// action to `transcript` (when non-null).
+void RunChaosTrial(fault::ChaosProfile profile, uint64_t seed,
+                   int host_threads,
+                   std::vector<std::string>* transcript = nullptr) {
+  SCOPED_TRACE("profile=" + std::string(fault::ChaosProfileName(profile)) +
+               " seed=" + std::to_string(seed) +
+               " host_threads=" + std::to_string(host_threads));
+
+  test::WorkloadOptions options;
+  options.actions = 12;
+  options.rows = kRows;
+  options.direct_fraction = 0.5;
+  options.update_fraction = 0.1;
+  const std::vector<test::WorkloadAction> actions =
+      test::MakeWorkload(seed, options);
+  const auto pool = test::MakePredicatePool(options.predicate_pool);
+  const uint64_t table_seed = seed ^ 0x9E3779B97F4A7C15ull;
+
+  fault::ChaosOptions chaos_options;
+  chaos_options.num_cores = kNumCores;
+  chaos_options.steps_per_phase = 2;
+  chaos_options.hang_watchdog_cycles = 2000;
+  auto schedule_or = fault::ChaosSchedule::Make(profile, seed, chaos_options);
+  ASSERT_TRUE(schedule_or.ok()) << schedule_or.status();
+  const fault::ChaosSchedule& schedule = *schedule_or;
+
+  auto board = MakeBoard(host_threads);
+  VirtualClock clock;
+  ServiceConfig config;
+  config.board = board.get();
+  config.clock = &clock;
+  config.queue_capacity = actions.size() + 8;
+  // A breaker tuned to the trial's virtual timescale: trips after two
+  // straight failures (or a quarantine majority), cools off within a
+  // few actions' worth of virtual time.
+  config.breaker.failure_threshold = 2;
+  config.breaker.open_duration_ns = 1000;
+  config.breaker.half_open_probes = 2;
+  config.breaker.probe_successes_to_close = 1;
+  config.host_fallback = true;
+  auto service_or = QueryService::Create(config);
+  ASSERT_TRUE(service_or.ok()) << service_or.status();
+  auto service = *std::move(service_or);
+  ASSERT_TRUE(service
+                  ->RegisterTable(std::make_unique<query::Table>(
+                      test::MakeServiceTable("orders", kRows, table_seed)))
+                  .ok());
+  test::SerialReference reference("orders", kRows, table_seed);
+
+  size_t applied_phase = static_cast<size_t>(-1);
+  for (size_t i = 0; i < actions.size(); ++i) {
+    const test::WorkloadAction& action = actions[i];
+    // Phase boundaries land between dispatch steps: Drain below
+    // guarantees the board is idle here.
+    const size_t phase_index = schedule.PhaseIndexForStep(i);
+    if (phase_index != applied_phase) {
+      const fault::ChaosPhase& phase = schedule.phases()[phase_index];
+      if (phase.heal) board->ResetQuarantine();
+      ASSERT_TRUE(board->SetFaultPlan(phase.plan).ok());
+      applied_phase = phase_index;
+    }
+    clock.AdvanceTo(action.at_ns);
+
+    if (action.kind == test::WorkloadAction::Kind::kUpdate) {
+      const auto values =
+          test::MakeColumnValues(action.column, kRows, action.update_seed);
+      ASSERT_TRUE(
+          service->UpdateColumn("orders", action.column, values).ok());
+      ASSERT_TRUE(reference.Update(action.column, values).ok());
+      continue;
+    }
+
+    auto expected = action.kind == test::WorkloadAction::Kind::kPredicate
+                        ? reference.Select(*pool[action.predicate_index])
+                        : reference.Direct(action.op, action.a, action.b);
+    ASSERT_TRUE(expected.ok()) << expected.status();
+
+    std::future<ServiceResponse> future =
+        service->Submit(ToRequest(action, pool));
+    service->Drain();
+    const ServiceResponse response = future.get();
+
+    if (response.status.ok()) {
+      EXPECT_EQ(response.values, *expected)
+          << "action " << i << ": OK response diverged from the serial "
+          << "reference (degraded=" << response.degraded << ")";
+    } else {
+      EXPECT_TRUE(IsTypedFailure(response.status.code()))
+          << "action " << i
+          << ": untyped failure: " << response.status;
+      EXPECT_TRUE(response.values.empty());
+    }
+    if (response.degraded) {
+      EXPECT_TRUE(response.status.ok())
+          << "degraded responses must carry real results";
+    }
+    if (transcript != nullptr) {
+      transcript->push_back(TranscriptLine(response));
+    }
+  }
+}
+
+/// Board host threads for the sweep: default 2, overridable so the CI
+/// flake detector can rerun the identical suite at 1, 2, and 8 and diff
+/// the outcomes (trials are pure functions of their seeds).
+int SweepHostThreads() {
+  const char* env = std::getenv("DBA_SERVICE_HOST_THREADS");
+  if (env == nullptr) return 2;
+  const int threads = std::atoi(env);
+  return threads > 0 ? threads : 2;
+}
+
+TEST(ServiceChaos, SeededSweep) {
+  constexpr uint64_t kTrialsPerProfile = 200;
+  const int host_threads = SweepHostThreads();
+  for (size_t p = 0; p < fault::kNumChaosProfiles; ++p) {
+    const auto profile = static_cast<fault::ChaosProfile>(p);
+    for (uint64_t seed = 1; seed <= kTrialsPerProfile; ++seed) {
+      RunChaosTrial(profile, seed * 7919 + p, host_threads);
+      if (::testing::Test::HasFatalFailure()) return;
+    }
+  }
+}
+
+TEST(ServiceChaos, ReplayDeterminism) {
+  for (size_t p = 0; p < fault::kNumChaosProfiles; ++p) {
+    const auto profile = static_cast<fault::ChaosProfile>(p);
+    for (uint64_t seed = 1; seed <= 5; ++seed) {
+      std::vector<std::vector<std::string>> transcripts;
+      for (const int host_threads : {1, 2, 8}) {
+        transcripts.emplace_back();
+        RunChaosTrial(profile, seed * 104729 + p, host_threads,
+                      &transcripts.back());
+        if (::testing::Test::HasFatalFailure()) return;
+      }
+      EXPECT_EQ(transcripts[0], transcripts[1])
+          << "host_threads 1 vs 2 diverged";
+      EXPECT_EQ(transcripts[0], transcripts[2])
+          << "host_threads 1 vs 8 diverged";
+    }
+  }
+}
+
+TEST(ServiceChaos, AllCoresBrokenStaysAvailable) {
+  auto board = MakeBoard(/*host_threads=*/2);
+  VirtualClock clock;
+  ServiceConfig config;
+  config.board = board.get();
+  config.clock = &clock;
+  config.breaker.failure_threshold = 1;
+  config.host_fallback = true;
+  auto service_or = QueryService::Create(config);
+  ASSERT_TRUE(service_or.ok()) << service_or.status();
+  auto service = *std::move(service_or);
+
+  fault::FaultPlan plan;
+  plan.seed = 7;
+  plan.hang_watchdog_cycles = 2000;
+  for (int c = 0; c < kNumCores; ++c) plan.broken_cores.push_back(c);
+  ASSERT_TRUE(service->board()->SetFaultPlan(plan).ok());
+
+  test::SerialReference reference("orders", kRows, 42);
+  Random rng(99);
+  const SetOp ops[] = {SetOp::kIntersect, SetOp::kUnion, SetOp::kDifference,
+                       SetOp::kMerge};
+  uint64_t ok_degraded = 0;
+  for (int i = 0; i < 16; ++i) {
+    ServiceRequest request;
+    request.tenant = "t0";
+    request.op = ops[i % 4];
+    request.a = test::MakeSortedSet(rng, 48, 4096);
+    request.b = test::MakeSortedSet(rng, 48, 4096);
+    auto expected = reference.Direct(request.op, request.a, request.b);
+    ASSERT_TRUE(expected.ok()) << expected.status();
+    std::future<ServiceResponse> future = service->Submit(std::move(request));
+    service->Drain();
+    const ServiceResponse response = future.get();
+    // The very first batch may fail before the breaker trips; after
+    // that every response must be served -- degraded but bit-exact.
+    if (response.status.ok()) {
+      EXPECT_EQ(response.values, *expected) << "direct op " << i;
+      if (response.degraded) ++ok_degraded;
+    } else {
+      EXPECT_TRUE(IsTypedFailure(response.status.code()))
+          << response.status;
+    }
+    clock.AdvanceBy(100);
+  }
+  EXPECT_GT(ok_degraded, 10u) << "host fallback barely engaged";
+  EXPECT_EQ(service->breaker_state(), BreakerState::kOpen);
+  const ServiceCounters counters = service->counters();
+  EXPECT_EQ(counters.degraded, ok_degraded);
+  EXPECT_GT(counters.breaker_transitions, 0u);
+}
+
+TEST(ServiceChaos, MeltdownRecovers) {
+  auto board = MakeBoard(/*host_threads=*/2);
+  VirtualClock clock;
+  ServiceConfig config;
+  config.board = board.get();
+  config.clock = &clock;
+  config.breaker.failure_threshold = 1;
+  config.breaker.open_duration_ns = 500;
+  config.breaker.probe_successes_to_close = 1;
+  config.host_fallback = true;
+  auto service_or = QueryService::Create(config);
+  ASSERT_TRUE(service_or.ok()) << service_or.status();
+  auto service = *std::move(service_or);
+
+  const auto submit_direct = [&](uint32_t salt) {
+    ServiceRequest request;
+    request.tenant = "t0";
+    request.op = SetOp::kIntersect;
+    request.a = {1 + salt, 5 + salt, 9 + salt};
+    request.b = {1 + salt, 9 + salt, 20 + salt};
+    std::future<ServiceResponse> future = service->Submit(std::move(request));
+    service->Drain();
+    return future.get();
+  };
+
+  // Meltdown: every core hangs; the breaker trips on the first batch.
+  fault::FaultPlan melted;
+  melted.seed = 3;
+  melted.hang_watchdog_cycles = 2000;
+  for (int c = 0; c < kNumCores; ++c) melted.broken_cores.push_back(c);
+  ASSERT_TRUE(service->board()->SetFaultPlan(melted).ok());
+  (void)submit_direct(0);
+  clock.AdvanceBy(10);
+  const ServiceResponse during = submit_direct(1);
+  EXPECT_TRUE(during.status.ok()) << during.status;
+  EXPECT_TRUE(during.degraded);
+  EXPECT_EQ(service->breaker_state(), BreakerState::kOpen);
+
+  // The operator replaces the board; once the cool-down elapses the
+  // next batch is a half-open probe, and its success closes the
+  // breaker: fully board-served, no degraded flag.
+  service->board()->ResetQuarantine();
+  ASSERT_TRUE(service->board()->SetFaultPlan(fault::FaultPlan{}).ok());
+  clock.AdvanceBy(1000);
+  const ServiceResponse probe = submit_direct(2);
+  EXPECT_TRUE(probe.status.ok()) << probe.status;
+  EXPECT_FALSE(probe.degraded);
+  clock.AdvanceBy(10);
+  const ServiceResponse after = submit_direct(3);
+  EXPECT_TRUE(after.status.ok()) << after.status;
+  EXPECT_FALSE(after.degraded);
+  EXPECT_EQ(service->breaker_state(), BreakerState::kClosed);
+}
+
+}  // namespace
+}  // namespace dba::service

@@ -58,6 +58,7 @@
 #include "query/planner.h"
 #include "query/predicate.h"
 #include "query/table.h"
+#include "fault/chaos.h"
 #include "service/query_service.h"
 #include "sim/exec_mode.h"
 #include "system/board.h"
@@ -99,6 +100,8 @@ struct CliOptions {
   int iters = 10;             // top: refreshes before exiting (0 = forever)
   std::string sizes;          // plan: "A,B" set sizes (default --n,--nb)
   std::string force_route;    // plan: fixed route override
+  uint64_t chaos_seed = 1;    // serve: chaos schedule seed
+  std::string chaos_profile;  // serve: calm|ramp|waves|brownout|meltdown
 };
 
 void PrintUsage() {
@@ -139,7 +142,12 @@ void PrintUsage() {
       "                           direct set ops, and print admission/\n"
       "                           batching/cache counters plus latency\n"
       "                           quantiles (--n=ROWS --cores=N\n"
-      "                           [--metrics-out=PATH], docs/SERVICE.md)\n"
+      "                           [--metrics-out=PATH], docs/SERVICE.md);\n"
+      "                           --chaos-profile=P runs the waves under\n"
+      "                           a seeded chaos schedule (calm | ramp |\n"
+      "                           waves | brownout | meltdown,\n"
+      "                           --chaos-seed=N) and reports degraded-\n"
+      "                           mode and breaker activity\n"
       "  validate-bench FILE...   validate dba.bench.v1 (and\n"
       "                           dba.metrics.v1) JSON documents\n"
       "  compare-bench RUN BASE   compare a bench run against a committed\n"
@@ -526,11 +534,37 @@ int RunServe(const CliOptions& options, ProcessorKind kind,
   auto board = dba::system::Board::Create(board_config);
   if (!board.ok()) return Fail(board.status());
 
+  // Optional chaos schedule: the waves below run under a seeded,
+  // phased fault plan swapped in at wave boundaries (the board is idle
+  // behind Drain), exercising the breaker and host fallback live.
+  const int waves = options.iters > 0 ? options.iters : 10;
+  std::optional<dba::fault::ChaosSchedule> chaos;
+  if (!options.chaos_profile.empty()) {
+    auto profile = dba::fault::ChaosProfileFromName(options.chaos_profile);
+    if (!profile.ok()) return Fail(profile.status());
+    dba::fault::ChaosOptions chaos_options;
+    chaos_options.num_cores = options.cores;
+    auto probe = dba::fault::ChaosSchedule::Make(*profile, options.chaos_seed,
+                                                 chaos_options);
+    if (!probe.ok()) return Fail(probe.status());
+    // Stretch the schedule's phases evenly over the wave count.
+    chaos_options.steps_per_phase = std::max(
+        1, waves / static_cast<int>(probe->phases().size()));
+    auto schedule = dba::fault::ChaosSchedule::Make(
+        *profile, options.chaos_seed, chaos_options);
+    if (!schedule.ok()) return Fail(schedule.status());
+    chaos = *std::move(schedule);
+  }
+
   svc::ServiceConfig config;
   config.board = board->get();
   config.queue_capacity = 4096;
   config.max_attempts = options.max_attempts;
   config.tenant_priorities["vip"] = 10;
+  if (chaos.has_value()) {
+    config.breaker.failure_threshold = 2;
+    config.breaker.open_duration_ns = 2'000'000;  // 2 ms wall time
+  }
   auto service = svc::QueryService::Create(config);
   if (!service.ok()) return Fail(service.status());
 
@@ -585,13 +619,29 @@ int RunServe(const CliOptions& options, ProcessorKind kind,
     pool.emplace_back(std::move(predicate));
   }
 
-  const int waves = options.iters > 0 ? options.iters : 10;
   constexpr int kPerWave = 64;
   const char* tenants[] = {"vip", "batch0", "batch1", "batch2"};
   const auto start = std::chrono::steady_clock::now();
   uint64_t ok_responses = 0;
+  uint64_t degraded_responses = 0;
+  uint64_t failed_responses = 0;
   uint64_t rows_out = 0;
+  size_t applied_phase = static_cast<size_t>(-1);
   for (int wave = 0; wave < waves; ++wave) {
+    if (chaos.has_value()) {
+      const size_t phase_index =
+          chaos->PhaseIndexForStep(static_cast<uint64_t>(wave));
+      if (phase_index != applied_phase) {
+        const dba::fault::ChaosPhase& phase = chaos->phases()[phase_index];
+        if (phase.heal) (*board)->ResetQuarantine();
+        if (auto s = (*board)->SetFaultPlan(phase.plan); !s.ok()) {
+          return Fail(s);
+        }
+        applied_phase = phase_index;
+        std::printf("[chaos] wave %d: phase '%s'\n", wave,
+                    phase.label.c_str());
+      }
+    }
     std::vector<std::future<svc::ServiceResponse>> futures;
     futures.reserve(kPerWave);
     for (int i = 0; i < kPerWave; ++i) {
@@ -618,11 +668,18 @@ int RunServe(const CliOptions& options, ProcessorKind kind,
     for (auto& future : futures) {
       const svc::ServiceResponse response = future.get();
       if (!response.status.ok()) {
-        std::fprintf(stderr, "serve: request failed: %s\n",
-                     response.status.ToString().c_str());
-        return 1;
+        // Under chaos, typed failures are part of the exercise;
+        // without it any failure aborts the demo.
+        if (!chaos.has_value()) {
+          std::fprintf(stderr, "serve: request failed: %s\n",
+                       response.status.ToString().c_str());
+          return 1;
+        }
+        ++failed_responses;
+        continue;
       }
       ++ok_responses;
+      if (response.degraded) ++degraded_responses;
       rows_out += response.values.size();
     }
   }
@@ -653,6 +710,41 @@ int RunServe(const CliOptions& options, ProcessorKind kind,
               static_cast<unsigned long long>(counters.cache_evictions));
   const dba::obs::MetricsSnapshot snapshot =
       dba::obs::MetricsRegistry::Global().Snapshot();
+  const auto shed_counter = [&snapshot](svc::ShedReason reason) {
+    const std::string key = "dba_service_shed_total{reason=\"" +
+                            std::string(svc::ShedReasonName(reason)) + "\"}";
+    const auto it = snapshot.counters.find(key);
+    return it == snapshot.counters.end() ? 0ull
+                                         : static_cast<unsigned long long>(
+                                               it->second);
+  };
+  std::printf("sheds     queue_full %llu   deadline %llu   rate_limited %llu"
+              "   breaker_open %llu\n",
+              shed_counter(svc::ShedReason::kQueueFull),
+              shed_counter(svc::ShedReason::kDeadline),
+              shed_counter(svc::ShedReason::kRateLimited),
+              shed_counter(svc::ShedReason::kBreakerOpen));
+  std::printf("breaker   state %s   transitions %llu   degraded %llu   "
+              "breaker_sheds %llu\n",
+              std::string(svc::BreakerStateName((*service)->breaker_state()))
+                  .c_str(),
+              static_cast<unsigned long long>(counters.breaker_transitions),
+              static_cast<unsigned long long>(counters.degraded),
+              static_cast<unsigned long long>(counters.breaker_sheds));
+  if (chaos.has_value()) {
+    const uint64_t answered = ok_responses + failed_responses;
+    std::printf("chaos     profile %s   seed %llu   ok %llu   degraded %llu"
+                "   failed %llu   availability %.4f\n",
+                std::string(dba::fault::ChaosProfileName(chaos->profile()))
+                    .c_str(),
+                static_cast<unsigned long long>(chaos->seed()),
+                static_cast<unsigned long long>(ok_responses),
+                static_cast<unsigned long long>(degraded_responses),
+                static_cast<unsigned long long>(failed_responses),
+                answered > 0 ? static_cast<double>(ok_responses) /
+                                   static_cast<double>(answered)
+                             : 0.0);
+  }
   for (const auto* name :
        {"dba_service_latency_ns", "dba_service_batch_size"}) {
     const auto it = snapshot.histograms.find(name);
@@ -755,6 +847,18 @@ int RunTop(const CliOptions& options, ProcessorKind kind,
                 counter("dba_system_noc_feed_bytes_total"),
                 counter("dba_system_noc_transfer_failures_total"),
                 counter("dba_system_noc_transfer_timeouts_total"));
+    // Service-layer admission health, when a QueryService feeds this
+    // registry (e.g. a snapshot loaded from `serve --metrics-out`).
+    if (counter("dba_service_submitted_total") > 0) {
+      std::printf(
+          "service sheds      queue_full %llu   deadline %llu   "
+          "rate_limited %llu   breaker_open %llu   degraded %llu\n",
+          counter("dba_service_shed_total{reason=\"queue_full\"}"),
+          counter("dba_service_shed_total{reason=\"deadline\"}"),
+          counter("dba_service_shed_total{reason=\"rate_limited\"}"),
+          counter("dba_service_shed_total{reason=\"breaker_open\"}"),
+          counter("dba_service_degraded_total"));
+    }
     const std::vector<dba::obs::Event> events =
         dba::obs::EventLog::Global().Tail(5);
     if (!events.empty()) {
@@ -1141,6 +1245,10 @@ int main(int argc, char** argv) {
       options.sizes = value;
     } else if (ParseFlag(arg, "--force-route", &value)) {
       options.force_route = value;
+    } else if (ParseFlag(arg, "--chaos-seed", &value)) {
+      options.chaos_seed = std::strtoull(value.c_str(), nullptr, 10);
+    } else if (ParseFlag(arg, "--chaos-profile", &value)) {
+      options.chaos_profile = value;
     } else {
       std::fprintf(stderr, "unknown option: %s\n\n", arg);
       PrintUsage();
